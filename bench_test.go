@@ -1,0 +1,333 @@
+// Top-level benchmark harness: one testing.B target per experiment of
+// DESIGN.md's index (E1..E15). The benchmarks report block I/Os per
+// operation ("ios/op") through b.ReportMetric — the paper's cost model —
+// alongside Go's usual ns/op and allocation figures. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and regenerate the full tables with `go run ./cmd/experiments`.
+package ccidx_test
+
+import (
+	"io"
+	"math/big"
+	"testing"
+
+	"ccidx"
+	"ccidx/internal/classindex"
+	"ccidx/internal/core"
+	"ccidx/internal/cql"
+	"ccidx/internal/geom"
+	"ccidx/internal/harness"
+	"ccidx/internal/intervals"
+	"ccidx/internal/lowerbound"
+	"ccidx/internal/pst"
+	"ccidx/internal/threeside"
+	"ccidx/internal/workload"
+)
+
+const benchB = 32
+
+// BenchmarkE1MetablockQuery measures static diagonal-corner queries
+// (Theorem 3.2).
+func BenchmarkE1MetablockQuery(b *testing.B) {
+	n := 100000
+	tr := core.New(core.Config{B: benchB}, workload.DiagonalPoints(1, n, int64(4*n)))
+	before := tr.Pager().Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := int64(i%997) * int64(4*n) / 997
+		tr.DiagonalQuery(a, func(geom.Point) bool { return true })
+	}
+	b.StopTimer()
+	report(b, tr.Pager().Stats().Sub(before).IOs())
+}
+
+// BenchmarkE2CornerStructure measures queries on a single-metablock tree,
+// dominated by the Lemma 3.1 corner structure.
+func BenchmarkE2CornerStructure(b *testing.B) {
+	k := 2 * benchB * benchB
+	tr := core.New(core.Config{B: benchB}, workload.DiagonalPoints(2, k, int64(6*k)))
+	before := tr.Pager().Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.DiagonalQuery(int64(i%199)*int64(6*k)/199, func(geom.Point) bool { return true })
+	}
+	b.StopTimer()
+	report(b, tr.Pager().Stats().Sub(before).IOs())
+}
+
+// BenchmarkE3MetablockInsert measures amortized semi-dynamic inserts
+// (Theorem 3.7).
+func BenchmarkE3MetablockInsert(b *testing.B) {
+	tr := core.New(core.Config{B: benchB}, workload.DiagonalPoints(3, 50000, 1<<30))
+	extra := workload.DiagonalPoints(4, b.N, 1<<30)
+	before := tr.Pager().Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(extra[i])
+	}
+	b.StopTimer()
+	report(b, tr.Pager().Stats().Sub(before).IOs())
+}
+
+// BenchmarkE4LowerBoundAdversary measures the Proposition 3.3 workload.
+func BenchmarkE4LowerBoundAdversary(b *testing.B) {
+	n := 100000
+	tr := core.New(core.Config{B: benchB}, workload.LowerBoundSet(n))
+	qs := workload.LowerBoundQueries(n)
+	before := tr.Pager().Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.DiagonalQuery(qs[i%len(qs)], func(geom.Point) bool { return true })
+	}
+	b.StopTimer()
+	report(b, tr.Pager().Stats().Sub(before).IOs())
+}
+
+// BenchmarkE5IntervalManagement measures stabbing queries through the
+// public interval manager (Proposition 2.2).
+func BenchmarkE5IntervalManagement(b *testing.B) {
+	im := ccidx.NewIntervalManager(ccidx.Config{B: benchB},
+		workload.UniformIntervals(5, 100000, 1<<30, 2000))
+	before := im.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.Stab(int64(i%997)*(1<<30)/997, func(ccidx.Interval) bool { return true })
+	}
+	b.StopTimer()
+	report(b, im.Stats().Sub(before).IOs())
+}
+
+// BenchmarkE5NaiveBaseline is the Theta(n/B) comparator for E5.
+func BenchmarkE5NaiveBaseline(b *testing.B) {
+	nv := intervals.NewNaive(benchB)
+	for _, iv := range workload.UniformIntervals(5, 100000, 1<<30, 2000) {
+		nv.Insert(iv)
+	}
+	before := nv.Pager().Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nv.Stab(int64(i%997)*(1<<30)/997, func(geom.Interval) bool { return true })
+	}
+	b.StopTimer()
+	report(b, nv.Pager().Stats().Sub(before).IOs())
+}
+
+// BenchmarkE6ClassIndexSimple measures the Theorem 2.6 index.
+func BenchmarkE6ClassIndexSimple(b *testing.B) {
+	h := workload.RandomHierarchy(6, 255)
+	idx := classindex.NewSimple(h, benchB)
+	for _, o := range workload.Objects(7, h, 50000, 1<<20) {
+		idx.Insert(o)
+	}
+	before := idx.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a1 := int64(i%97) * (1 << 20) / 97
+		idx.Query((i*31)%255, a1, a1+(1<<20)/20, func(int64, uint64) bool { return true })
+	}
+	b.StopTimer()
+	report(b, idx.Stats().Sub(before).IOs())
+}
+
+// BenchmarkE7ExternalPST measures the Lemma 4.1 structure.
+func BenchmarkE7ExternalPST(b *testing.B) {
+	tree := pst.Build(benchB, workload.UniformPoints(8, 100000, 1<<20))
+	before := tree.Pager().Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x1 := int64(i%97) * (1 << 20) / 97
+		tree.Query(geom.ThreeSidedQuery{X1: x1, X2: x1 + (1<<20)/50, Y: int64(i%89) * (1 << 20) / 89},
+			func(geom.Point) bool { return true })
+	}
+	b.StopTimer()
+	report(b, tree.Pager().Stats().Sub(before).IOs())
+}
+
+// BenchmarkE8ThreeSidedMetablock measures the Lemma 4.3 structure.
+func BenchmarkE8ThreeSidedMetablock(b *testing.B) {
+	tree := threeside.New(threeside.Config{B: benchB}, workload.UniformPoints(9, 100000, 1<<20))
+	before := tree.Pager().Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x1 := int64(i%97) * (1 << 20) / 97
+		tree.Query(geom.ThreeSidedQuery{X1: x1, X2: x1 + (1<<20)/50, Y: int64(i%89) * (1 << 20) / 89},
+			func(geom.Point) bool { return true })
+	}
+	b.StopTimer()
+	report(b, tree.Pager().Stats().Sub(before).IOs())
+}
+
+// BenchmarkE9ClassIndexFull measures the Theorem 4.7 index.
+func BenchmarkE9ClassIndexFull(b *testing.B) {
+	h := workload.RandomHierarchy(10, 255)
+	idx := classindex.NewRakeContract(h, benchB)
+	for _, o := range workload.Objects(11, h, 50000, 1<<20) {
+		idx.Insert(o)
+	}
+	before := idx.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a1 := int64(i%97) * (1 << 20) / 97
+		idx.Query((i*17)%255, a1, a1+(1<<20)/20, func(int64, uint64) bool { return true })
+	}
+	b.StopTimer()
+	report(b, idx.Stats().Sub(before).IOs())
+}
+
+// BenchmarkE10Tessellation measures the Lemma 2.7 strategy evaluation.
+func BenchmarkE10Tessellation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bb := range []int{16, 64} {
+			lowerbound.StrategyReports(4*bb, bb)
+		}
+	}
+}
+
+// BenchmarkE11ClassLowerBound measures the Theorem 2.8 star instance.
+func BenchmarkE11ClassLowerBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lowerbound.StrategyReports(64, 64)
+	}
+}
+
+// BenchmarkE12RectangleIntersection measures Example 2.1 end to end.
+func BenchmarkE12RectangleIntersection(b *testing.B) {
+	pts := workload.UniformPoints(12, 300, 10000)
+	rects := make([]geom.Rect, len(pts))
+	for i, p := range pts {
+		rects[i] = geom.Rect{Name: uint64(i + 1), X1: p.X, Y1: p.Y, X2: p.X + 300, Y2: p.Y + 300}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cql.IntersectingPairs(rects, cql.Config{B: benchB})
+	}
+}
+
+// BenchmarkE13AblationNoTS quantifies the Type-IV amortization (E13).
+func BenchmarkE13AblationNoTS(b *testing.B) {
+	n := 100000
+	pts := workload.DiagonalPoints(13, n, 1<<24)
+	for _, cfg := range []struct {
+		name string
+		c    core.Config
+	}{
+		{"withTS", core.Config{B: benchB}},
+		{"noTS", core.Config{B: benchB, DisableTS: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			tr := core.New(cfg.c, pts)
+			before := tr.Pager().Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.DiagonalQuery(int64(i%199)*(1<<24)/199, func(geom.Point) bool { return true })
+			}
+			b.StopTimer()
+			report(b, tr.Pager().Stats().Sub(before).IOs())
+		})
+	}
+}
+
+// BenchmarkE14AblationNoCorner quantifies the Lemma 3.1 structure (E14):
+// one metablock with mixed-height columns so that every vertical chunk
+// straddles the query line (the harness experiment's workload).
+func BenchmarkE14AblationNoCorner(b *testing.B) {
+	n := benchB * benchB
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		x := int64(i) * 4
+		y := x + int64(i%13)
+		if i%benchB == 0 {
+			y = x + (1 << 20)
+		}
+		pts[i] = geom.Point{X: x, Y: y, ID: uint64(i)}
+	}
+	for _, cfg := range []struct {
+		name string
+		c    core.Config
+	}{
+		{"withCorner", core.Config{B: benchB}},
+		{"noCorner", core.Config{B: benchB, DisableCorner: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			tr := core.New(cfg.c, pts)
+			before := tr.Pager().Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.DiagonalQuery(int64(i%199)*4*int64(n)/199+1, func(geom.Point) bool { return true })
+			}
+			b.StopTimer()
+			report(b, tr.Pager().Stats().Sub(before).IOs())
+		})
+	}
+}
+
+// BenchmarkE15ClassStrategies compares every class-indexing strategy on the
+// same workload.
+func BenchmarkE15ClassStrategies(b *testing.B) {
+	h := workload.RandomHierarchy(15, 255)
+	objs := workload.Objects(16, h, 30000, 1<<20)
+	si := classindex.NewSimple(h, benchB)
+	fe := classindex.NewFullExtent(h, benchB)
+	st := classindex.NewSingleTreeFilter(h, benchB)
+	rc := classindex.NewRakeContract(h, benchB)
+	type strat struct {
+		name string
+		idx  interface {
+			Insert(classindex.Object)
+			Query(int, int64, int64, classindex.EmitObject)
+		}
+		ios func() int64
+	}
+	strategies := []strat{
+		{"simple", si, func() int64 { return si.Stats().IOs() }},
+		{"fullExtent", fe, func() int64 { return fe.Stats().IOs() }},
+		{"singleTreeFilter", st, func() int64 { return st.Stats().IOs() }},
+		{"rakeContract", rc, func() int64 { return rc.Stats().IOs() }},
+	}
+	for _, s := range strategies {
+		for _, o := range objs {
+			s.idx.Insert(o)
+		}
+	}
+	for _, s := range strategies {
+		b.Run(s.name, func(b *testing.B) {
+			before := s.ios()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a1 := int64(i%97) * (1 << 20) / 97
+				s.idx.Query((i*13)%255, a1, a1+(1<<20)/20, func(int64, uint64) bool { return true })
+			}
+			b.StopTimer()
+			report(b, s.ios()-before)
+		})
+	}
+}
+
+// BenchmarkHarnessE1Table regenerates the E1 table (kept cheap by writing to
+// io.Discard); the other tables run through cmd/experiments.
+func BenchmarkHarnessE1Table(b *testing.B) {
+	e, _ := harness.Lookup("E1")
+	for i := 0; i < b.N; i++ {
+		e.Run(io.Discard)
+	}
+}
+
+// BenchmarkCQLSatisfiability measures the exact-rational constraint solver.
+func BenchmarkCQLSatisfiability(b *testing.B) {
+	c := cql.NewConj(4, 0,
+		cql.VarVar(0, cql.LE, 1), cql.VarVar(1, cql.LT, 2), cql.VarVar(2, cql.LE, 3),
+		cql.VarConst(0, cql.GE, big.NewRat(1, 3)), cql.VarConst(3, cql.LE, big.NewRat(7, 2)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Satisfiable() {
+			b.Fatal("unsat")
+		}
+	}
+}
+
+// report attaches the ios/op metric.
+func report(b *testing.B, ios int64) {
+	b.ReportMetric(float64(ios)/float64(b.N), "ios/op")
+}

@@ -1,0 +1,224 @@
+// Package ccidx is a faithful Go implementation of the I/O-efficient index
+// structures of Kanellakis, Ramaswamy, Vengroff and Vitter, "Indexing for
+// Data Models with Constraints and Classes" (PODS 1993; JCSS 52:589-612,
+// 1996).
+//
+// The package exposes the paper's two applications:
+//
+//   - IntervalManager: external dynamic interval management — the problem
+//     indexing constraints reduces to (Section 2.1) — backed by the
+//     metablock tree of Section 3 (space O(n/B), query O(log_B n + t/B),
+//     amortized insert O(log_B n + (log_B n)^2/B)).
+//   - ClassIndex: indexing by attribute and class over a static forest
+//     hierarchy (Sections 2.2 and 4), with three strategies: the simple
+//     range-tree solution of Theorem 2.6, full-extent replication of
+//     Lemma 4.2, and the rake-and-contract decomposition of Theorem 4.7.
+//
+// The underlying structures (metablock tree, 3-sided metablock tree,
+// external priority search tree, B+-tree, CQL layer) live in internal/
+// packages; everything runs against a simulated block device whose
+// read/write counters are the experiment currency. See DESIGN.md for the
+// architecture and EXPERIMENTS.md for the reproduced bounds.
+package ccidx
+
+import (
+	"ccidx/internal/classindex"
+	"ccidx/internal/core"
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+	"ccidx/internal/intervals"
+)
+
+// Interval is a closed interval with an identifier.
+type Interval = geom.Interval
+
+// Point is a planar point with an identifier.
+type Point = geom.Point
+
+// Stats holds I/O counters of a simulated device.
+type Stats = disk.Stats
+
+// Config selects the block capacity B (records per page).
+type Config struct {
+	B int
+}
+
+// IntervalManager answers stabbing and intersection queries over a dynamic
+// interval set (Proposition 2.2 + Theorem 3.7).
+type IntervalManager struct {
+	m *intervals.Manager
+}
+
+// NewIntervalManager builds a manager over an initial interval set.
+func NewIntervalManager(cfg Config, ivs []Interval) *IntervalManager {
+	return &IntervalManager{m: intervals.New(intervals.Config{B: cfg.B}, ivs)}
+}
+
+// Insert adds an interval (semi-dynamic, amortized O(log_B n + log_B^2 n/B)).
+func (im *IntervalManager) Insert(iv Interval) { im.m.Insert(iv) }
+
+// Len returns the number of intervals.
+func (im *IntervalManager) Len() int { return im.m.Len() }
+
+// Stab reports every interval containing q in O(log_B n + t/B) I/Os.
+func (im *IntervalManager) Stab(q int64, emit func(Interval) bool) {
+	im.m.Stab(q, intervals.EmitInterval(emit))
+}
+
+// Intersect reports every interval intersecting q exactly once, in
+// O(log_B n + t/B) I/Os.
+func (im *IntervalManager) Intersect(q Interval, emit func(Interval) bool) {
+	im.m.Intersect(q, intervals.EmitInterval(emit))
+}
+
+// Stats returns cumulative I/O counters.
+func (im *IntervalManager) Stats() Stats { return im.m.Stats() }
+
+// SpaceBlocks returns the number of disk blocks in use.
+func (im *IntervalManager) SpaceBlocks() int64 { return im.m.SpaceBlocks() }
+
+// MetablockTree exposes the paper's core structure directly: diagonal
+// corner queries over points with Y >= X (Section 3).
+type MetablockTree struct {
+	t *core.Tree
+}
+
+// NewMetablockTree builds the static structure over pts (Theorem 3.2).
+func NewMetablockTree(cfg Config, pts []Point) *MetablockTree {
+	return &MetablockTree{t: core.New(core.Config{B: cfg.B}, pts)}
+}
+
+// Insert adds a point (Section 3.2, Theorem 3.7).
+func (mt *MetablockTree) Insert(p Point) { mt.t.Insert(p) }
+
+// DiagonalQuery reports every point with X <= a and Y >= a.
+func (mt *MetablockTree) DiagonalQuery(a int64, emit func(Point) bool) {
+	mt.t.DiagonalQuery(a, geom.Emit(emit))
+}
+
+// Len returns the number of points.
+func (mt *MetablockTree) Len() int { return mt.t.Len() }
+
+// Stats returns cumulative I/O counters.
+func (mt *MetablockTree) Stats() Stats { return mt.t.Pager().Stats() }
+
+// Hierarchy is a static forest of classes.
+type Hierarchy = classindex.Hierarchy
+
+// NewHierarchy returns an empty hierarchy; add classes with AddClass and
+// call Freeze before building an index.
+func NewHierarchy() *Hierarchy { return classindex.NewHierarchy() }
+
+// Strategy selects a class-indexing algorithm.
+type Strategy int
+
+// Class-indexing strategies.
+const (
+	// StrategySimple is Theorem 2.6: query O(log2 c log_B n + t/B), fully
+	// dynamic objects.
+	StrategySimple Strategy = iota
+	// StrategyFullExtent is Lemma 4.2: optimal queries, space grows with
+	// hierarchy depth.
+	StrategyFullExtent
+	// StrategyRakeContract is Theorem 4.7: query O(log_B n + log2 B + t/B),
+	// space O((n/B) log2 c), semi-dynamic inserts.
+	StrategyRakeContract
+)
+
+// ClassIndex indexes objects by one attribute over class full extents.
+type ClassIndex struct {
+	h  *Hierarchy
+	si *classindex.SimpleIndex
+	fe *classindex.FullExtentIndex
+	rc *classindex.RakeContract
+}
+
+// NewClassIndex builds an index over a frozen hierarchy.
+func NewClassIndex(h *Hierarchy, cfg Config, s Strategy) *ClassIndex {
+	ci := &ClassIndex{h: h}
+	switch s {
+	case StrategySimple:
+		ci.si = classindex.NewSimple(h, cfg.B)
+	case StrategyFullExtent:
+		ci.fe = classindex.NewFullExtent(h, cfg.B)
+	case StrategyRakeContract:
+		ci.rc = classindex.NewRakeContract(h, cfg.B)
+	default:
+		panic("ccidx: unknown strategy")
+	}
+	return ci
+}
+
+func (ci *ClassIndex) classID(name string) int {
+	id, ok := ci.h.Class(name)
+	if !ok {
+		panic("ccidx: unknown class " + name)
+	}
+	return id
+}
+
+// Insert adds an object with the given class name, attribute and id.
+func (ci *ClassIndex) Insert(class string, attr int64, id uint64) {
+	o := classindex.Object{Class: ci.classID(class), Attr: attr, ID: id}
+	switch {
+	case ci.si != nil:
+		ci.si.Insert(o)
+	case ci.fe != nil:
+		ci.fe.Insert(o)
+	default:
+		ci.rc.Insert(o)
+	}
+}
+
+// Delete removes an object; only StrategySimple and StrategyFullExtent
+// support it (the 3-sided structures of Theorem 4.7 are semi-dynamic, the
+// paper's open problem).
+func (ci *ClassIndex) Delete(class string, attr int64, id uint64) bool {
+	o := classindex.Object{Class: ci.classID(class), Attr: attr, ID: id}
+	switch {
+	case ci.si != nil:
+		return ci.si.Delete(o)
+	case ci.fe != nil:
+		return ci.fe.Delete(o)
+	default:
+		panic("ccidx: StrategyRakeContract does not support deletion")
+	}
+}
+
+// Query reports every object in the FULL extent of the class whose
+// attribute lies in [a1, a2].
+func (ci *ClassIndex) Query(class string, a1, a2 int64, emit func(attr int64, id uint64) bool) {
+	c := ci.classID(class)
+	switch {
+	case ci.si != nil:
+		ci.si.Query(c, a1, a2, classindex.EmitObject(emit))
+	case ci.fe != nil:
+		ci.fe.Query(c, a1, a2, classindex.EmitObject(emit))
+	default:
+		ci.rc.Query(c, a1, a2, classindex.EmitObject(emit))
+	}
+}
+
+// Stats returns cumulative I/O counters.
+func (ci *ClassIndex) Stats() Stats {
+	switch {
+	case ci.si != nil:
+		return ci.si.Stats()
+	case ci.fe != nil:
+		return ci.fe.Stats()
+	default:
+		return ci.rc.Stats()
+	}
+}
+
+// SpaceBlocks returns the number of disk blocks in use.
+func (ci *ClassIndex) SpaceBlocks() int64 {
+	switch {
+	case ci.si != nil:
+		return ci.si.SpaceBlocks()
+	case ci.fe != nil:
+		return ci.fe.SpaceBlocks()
+	default:
+		return ci.rc.SpaceBlocks()
+	}
+}

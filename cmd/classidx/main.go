@@ -1,0 +1,83 @@
+// Command classidx compares the three class-indexing strategies (Theorem
+// 2.6, Lemma 4.2, Theorem 4.7) on a synthetic hierarchy, reporting query
+// I/O, insert I/O and space.
+//
+// Usage:
+//
+//	classidx -c 255 -n 50000 -b 32 -shape random
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccidx/internal/classindex"
+	"ccidx/internal/disk"
+	"ccidx/internal/workload"
+)
+
+func main() {
+	c := flag.Int("c", 255, "number of classes")
+	n := flag.Int("n", 50000, "number of objects")
+	b := flag.Int("b", 32, "block capacity B")
+	shape := flag.String("shape", "random", "hierarchy shape: random|path|star|caterpillar")
+	queries := flag.Int("queries", 100, "number of queries")
+	flag.Parse()
+
+	var h *classindex.Hierarchy
+	switch *shape {
+	case "random":
+		h = workload.RandomHierarchy(1, *c)
+	case "path":
+		h = workload.PathHierarchy(*c)
+	case "star":
+		h = workload.StarHierarchy(*c)
+	case "caterpillar":
+		h = workload.CaterpillarHierarchy(*c / 2)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown shape %q\n", *shape)
+		os.Exit(1)
+	}
+	objs := workload.Objects(2, h, *n, 1<<20)
+
+	type strategy struct {
+		name string
+		idx  interface {
+			Insert(classindex.Object)
+			Query(int, int64, int64, classindex.EmitObject)
+		}
+		stats func() disk.Stats
+		space func() int64
+	}
+	si := classindex.NewSimple(h, *b)
+	fe := classindex.NewFullExtent(h, *b)
+	rc := classindex.NewRakeContract(h, *b)
+	strategies := []strategy{
+		{"simple (Thm 2.6)", si, si.Stats, si.SpaceBlocks},
+		{"full-extent (Lem 4.2)", fe, fe.Stats, fe.SpaceBlocks},
+		{"rake-contract (Thm 4.7)", rc, rc.Stats, rc.SpaceBlocks},
+	}
+
+	fmt.Printf("hierarchy: %s with %d classes; %d objects; B=%d\n", *shape, h.Len(), *n, *b)
+	fmt.Println(rc.Describe())
+	fmt.Printf("%-26s %12s %12s %12s\n", "strategy", "ins I/O", "qry I/O", "space(blk)")
+	for _, s := range strategies {
+		before := s.stats()
+		for _, o := range objs {
+			s.idx.Insert(o)
+		}
+		insPer := float64(s.stats().Sub(before).IOs()) / float64(len(objs))
+		var qryIOs int64
+		for i := 0; i < *queries; i++ {
+			cls := (i * 31) % h.Len()
+			a1 := int64(i) * (1 << 20) / int64(*queries)
+			a2 := a1 + (1<<20)/20
+			bq := s.stats()
+			s.idx.Query(cls, a1, a2, func(int64, uint64) bool { return true })
+			qryIOs += s.stats().Sub(bq).IOs()
+		}
+		fmt.Printf("%-26s %12.1f %12.1f %12d\n",
+			s.name, insPer, float64(qryIOs)/float64(*queries), s.space())
+	}
+}

@@ -1,0 +1,49 @@
+// Command experiments regenerates every table in EXPERIMENTS.md: one
+// experiment per theorem/lemma/figure of the paper (see DESIGN.md's
+// experiment index).
+//
+// Usage:
+//
+//	experiments           # run everything
+//	experiments -run E1   # run one experiment
+//	experiments -list     # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccidx/internal/harness"
+)
+
+func main() {
+	runID := flag.String("run", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *runID != "" {
+		e, ok := harness.Lookup(*runID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *runID)
+			os.Exit(1)
+		}
+		run(e)
+		return
+	}
+	for _, e := range harness.All() {
+		run(e)
+	}
+}
+
+func run(e harness.Experiment) {
+	fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+	e.Run(os.Stdout)
+	fmt.Println()
+}

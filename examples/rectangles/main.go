@@ -1,0 +1,59 @@
+// Rectangles: the paper's Example 2.1. Rectangles are stored as generalized
+// tuples of the constraint query language — R'(z,x,y) with constraints
+// z = name, a <= x <= c, b <= y <= d — and the set of intersecting pairs is
+// computed without any rectangle-specific case analysis: the generalized
+// index on x supplies candidates, and exact satisfiability of the conjoined
+// tuples decides each pair.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccidx/internal/cql"
+	"ccidx/internal/geom"
+)
+
+func main() {
+	// The same three rectangles the figure sketches, plus a random field.
+	rects := []geom.Rect{
+		{Name: 1, X1: 0, Y1: 0, X2: 10, Y2: 10},
+		{Name: 2, X1: 5, Y1: 5, X2: 15, Y2: 15},
+		{Name: 3, X1: 20, Y1: 0, X2: 30, Y2: 10},
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 4; i <= 40; i++ {
+		x := rng.Int63n(100)
+		y := rng.Int63n(100)
+		rects = append(rects, geom.Rect{
+			Name: uint64(i), X1: x, Y1: y, X2: x + rng.Int63n(20), Y2: y + rng.Int63n(20),
+		})
+	}
+
+	// Show the generalized-tuple encoding of rectangle 1.
+	t1 := cql.RectTuple(rects[0])
+	fmt.Println("rectangle 1 as a generalized tuple:")
+	fmt.Printf("  %v\n", t1)
+	fmt.Printf("  projection on x (the generalized key): %v\n\n", t1.Project(cql.RectVarX))
+
+	pairs := cql.IntersectingPairs(rects, cql.Config{B: 8})
+	fmt.Printf("%d intersecting pairs among %d rectangles:\n", len(pairs), len(rects))
+	for i, p := range pairs {
+		if i == 12 {
+			fmt.Printf("  ... and %d more\n", len(pairs)-i)
+			break
+		}
+		fmt.Printf("  (%d, %d)\n", p[0], p[1])
+	}
+
+	// Sanity: the CQL answer matches direct geometry.
+	want := 0
+	for i := range rects {
+		for j := i + 1; j < len(rects); j++ {
+			if rects[i].Intersects(rects[j]) {
+				want++
+			}
+		}
+	}
+	fmt.Printf("geometric cross-check: %d pairs (must match)\n", want)
+}

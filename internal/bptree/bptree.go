@@ -1,0 +1,622 @@
+// Package bptree implements an external-memory B+-tree over a simulated
+// disk, the reference structure for external dynamic one-dimensional range
+// searching (Section 1.1 of the paper):
+//
+//   - space O(n/B) pages,
+//   - range search O(log_B n + t/B) I/Os,
+//   - insert and delete O(log_B n) I/Os.
+//
+// Keys are int64 and may repeat; entries are made unique by the composite
+// order (key, rid), and internal separators store the full composite so
+// duplicates spanning leaves are located exactly. Data records live only in
+// the leaves, which are chained left to right so a range scan streams t
+// results in O(t/B) page reads (the B+-tree property the paper highlights
+// versus plain B-trees).
+package bptree
+
+import (
+	"fmt"
+
+	"ccidx/internal/disk"
+)
+
+// Entry is one indexed record: a key, a record identifier, and an
+// uninterpreted payload value (Val). Entries are identified by (Key, RID);
+// Val rides along (the interval manager stores the second endpoint there,
+// the class-indexing baselines a class position).
+type Entry struct {
+	Key int64
+	RID uint64
+	Val uint64
+}
+
+// sameKR reports whether two entries denote the same record (Key, RID),
+// ignoring the payload.
+func sameKR(a, b Entry) bool { return a.Key == b.Key && a.RID == b.RID }
+
+// Less orders entries by (Key, RID).
+func Less(a, b Entry) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.RID < b.RID
+}
+
+const (
+	kindLeaf     = 1
+	kindInternal = 2
+
+	leafHeader     = 1 + 2 + 8 // kind, count, next
+	internalHeader = 1 + 2     // kind, count
+	entrySize      = 24        // key + rid + val
+	sepSize        = 16        // composite separator (key + rid)
+	childSize      = 8
+)
+
+// Tree is an external B+-tree. Not safe for concurrent use.
+type Tree struct {
+	pager    *disk.Pager
+	b        int // max entries per leaf
+	maxSeps  int // max separators per internal node (fanout-1)
+	root     disk.BlockID
+	height   int // number of levels; 1 = root is a leaf
+	n        int // total entries
+	pageSize int
+}
+
+// PageSize returns the page size in bytes used for leaf capacity b.
+func PageSize(b int) int {
+	if b < 4 {
+		b = 4
+	}
+	return leafHeader + b*entrySize
+}
+
+// New creates an empty tree with at most b entries per leaf on a fresh
+// pager. The internal fanout is derived from the same page size.
+func New(b int) *Tree {
+	if b < 4 {
+		panic("bptree: branching factor must be at least 4")
+	}
+	ps := PageSize(b)
+	t := &Tree{
+		pager:    disk.NewPager(ps),
+		b:        b,
+		maxSeps:  (ps - internalHeader - childSize) / (sepSize + childSize),
+		pageSize: ps,
+	}
+	root := &node{leaf: true}
+	t.root = t.writeNode(disk.NilBlock, root)
+	t.height = 1
+	return t
+}
+
+// Pager exposes the underlying device for I/O accounting.
+func (t *Tree) Pager() *disk.Pager { return t.pager }
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.n }
+
+// Height returns the number of levels (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// B returns the leaf capacity.
+func (t *Tree) B() int { return t.b }
+
+// node is the decoded form of a page. For internal nodes, child i holds
+// entries e with seps[i-1] <= e < seps[i] in (key, rid) order (with the
+// obvious conventions at the ends).
+type node struct {
+	leaf     bool
+	entries  []Entry        // leaf payload
+	seps     []Entry        // internal separators
+	children []disk.BlockID // internal children, len = len(seps)+1
+	next     disk.BlockID   // leaf chain
+}
+
+func (t *Tree) readNode(id disk.BlockID) *node {
+	buf := make([]byte, t.pageSize)
+	t.pager.MustRead(id, buf)
+	return decodeNode(buf)
+}
+
+func decodeNode(buf []byte) *node {
+	kind := buf[0]
+	cnt := int(uint16(buf[1]) | uint16(buf[2])<<8)
+	nd := &node{}
+	switch kind {
+	case kindLeaf:
+		nd.leaf = true
+		nd.next = disk.BlockID(int64(le64(buf[3:])))
+		off := leafHeader
+		nd.entries = make([]Entry, cnt)
+		for i := 0; i < cnt; i++ {
+			nd.entries[i] = Entry{
+				Key: int64(le64(buf[off:])),
+				RID: le64(buf[off+8:]),
+				Val: le64(buf[off+16:]),
+			}
+			off += entrySize
+		}
+	case kindInternal:
+		off := internalHeader
+		nd.seps = make([]Entry, cnt)
+		for i := 0; i < cnt; i++ {
+			nd.seps[i] = Entry{Key: int64(le64(buf[off:])), RID: le64(buf[off+8:])}
+			off += sepSize
+		}
+		nd.children = make([]disk.BlockID, cnt+1)
+		for i := 0; i <= cnt; i++ {
+			nd.children[i] = disk.BlockID(int64(le64(buf[off:])))
+			off += childSize
+		}
+	default:
+		panic(fmt.Sprintf("bptree: corrupt page kind %d", kind))
+	}
+	return nd
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// writeNode encodes nd into page id, allocating a page when id is nil.
+// It returns the page id used.
+func (t *Tree) writeNode(id disk.BlockID, nd *node) disk.BlockID {
+	if id == disk.NilBlock {
+		id = t.pager.Alloc()
+	}
+	buf := make([]byte, t.pageSize)
+	if nd.leaf {
+		buf[0] = kindLeaf
+		cnt := len(nd.entries)
+		buf[1] = byte(cnt)
+		buf[2] = byte(cnt >> 8)
+		putLE64(buf[3:], uint64(int64(nd.next)))
+		off := leafHeader
+		for _, e := range nd.entries {
+			putLE64(buf[off:], uint64(e.Key))
+			putLE64(buf[off+8:], e.RID)
+			putLE64(buf[off+16:], e.Val)
+			off += entrySize
+		}
+	} else {
+		buf[0] = kindInternal
+		cnt := len(nd.seps)
+		buf[1] = byte(cnt)
+		buf[2] = byte(cnt >> 8)
+		off := internalHeader
+		for _, s := range nd.seps {
+			putLE64(buf[off:], uint64(s.Key))
+			putLE64(buf[off+8:], s.RID)
+			off += sepSize
+		}
+		for _, c := range nd.children {
+			putLE64(buf[off:], uint64(int64(c)))
+			off += childSize
+		}
+	}
+	t.pager.MustWrite(id, buf)
+	return id
+}
+
+// childIndex returns the child to descend into for entry e: the first child
+// whose separator is greater than e.
+func childIndex(seps []Entry, e Entry) int {
+	lo, hi := 0, len(seps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Less(e, seps[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Insert adds (key, rid) with a zero payload. Duplicate (key, rid) pairs
+// are ignored; the return value reports whether the entry was newly added.
+func (t *Tree) Insert(key int64, rid uint64) bool {
+	return t.InsertEntry(Entry{Key: key, RID: rid})
+}
+
+// InsertEntry adds e, identified by (Key, RID). An existing entry with the
+// same identity keeps its payload; the return value reports whether the
+// entry was newly added.
+func (t *Tree) InsertEntry(e Entry) bool {
+	added, split := t.insertAt(t.root, e)
+	if split != nil {
+		nr := &node{
+			seps:     []Entry{split.sep},
+			children: []disk.BlockID{t.root, split.right},
+		}
+		t.root = t.writeNode(disk.NilBlock, nr)
+		t.height++
+	}
+	if added {
+		t.n++
+	}
+	return added
+}
+
+// splitResult describes a child split that must be recorded in the parent.
+type splitResult struct {
+	sep   Entry // first entry of right node's subtree
+	right disk.BlockID
+}
+
+func (t *Tree) insertAt(id disk.BlockID, e Entry) (bool, *splitResult) {
+	nd := t.readNode(id)
+	if nd.leaf {
+		pos := lowerBound(nd.entries, e)
+		if pos < len(nd.entries) && sameKR(nd.entries[pos], e) {
+			return false, nil // duplicate
+		}
+		nd.entries = append(nd.entries, Entry{})
+		copy(nd.entries[pos+1:], nd.entries[pos:])
+		nd.entries[pos] = e
+		if len(nd.entries) <= t.b {
+			t.writeNode(id, nd)
+			return true, nil
+		}
+		// Split leaf.
+		mid := len(nd.entries) / 2
+		right := &node{leaf: true, entries: append([]Entry(nil), nd.entries[mid:]...), next: nd.next}
+		nd.entries = nd.entries[:mid]
+		rid := t.writeNode(disk.NilBlock, right)
+		nd.next = rid
+		t.writeNode(id, nd)
+		return true, &splitResult{sep: right.entries[0], right: rid}
+	}
+	ci := childIndex(nd.seps, e)
+	added, split := t.insertAt(nd.children[ci], e)
+	if split == nil {
+		return added, nil
+	}
+	nd.seps = append(nd.seps, Entry{})
+	copy(nd.seps[ci+1:], nd.seps[ci:])
+	nd.seps[ci] = split.sep
+	nd.children = append(nd.children, disk.NilBlock)
+	copy(nd.children[ci+2:], nd.children[ci+1:])
+	nd.children[ci+1] = split.right
+	if len(nd.seps) <= t.maxSeps {
+		t.writeNode(id, nd)
+		return added, nil
+	}
+	// Split internal node: middle separator moves up.
+	mid := len(nd.seps) / 2
+	upSep := nd.seps[mid]
+	right := &node{
+		seps:     append([]Entry(nil), nd.seps[mid+1:]...),
+		children: append([]disk.BlockID(nil), nd.children[mid+1:]...),
+	}
+	nd.seps = nd.seps[:mid]
+	nd.children = nd.children[:mid+1]
+	ridBlock := t.writeNode(disk.NilBlock, right)
+	t.writeNode(id, nd)
+	return added, &splitResult{sep: upSep, right: ridBlock}
+}
+
+func lowerBound(es []Entry, e Entry) int {
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Less(es[mid], e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Delete removes (key, rid), returning whether it was present. Underfull
+// nodes are rebalanced by borrowing from or merging with a sibling, keeping
+// the O(log_B n) bound.
+func (t *Tree) Delete(key int64, rid uint64) bool {
+	e := Entry{Key: key, RID: rid}
+	removed, _ := t.deleteAt(t.root, e)
+	if removed {
+		t.n--
+	}
+	if t.height > 1 {
+		nd := t.readNode(t.root)
+		if !nd.leaf && len(nd.seps) == 0 {
+			old := t.root
+			t.root = nd.children[0]
+			t.pager.MustFree(old)
+			t.height--
+		}
+	}
+	return removed
+}
+
+// deleteAt removes e from the subtree rooted at id. The second return value
+// reports whether the node at id became underfull.
+func (t *Tree) deleteAt(id disk.BlockID, e Entry) (bool, bool) {
+	nd := t.readNode(id)
+	if nd.leaf {
+		pos := lowerBound(nd.entries, e)
+		if pos >= len(nd.entries) || !sameKR(nd.entries[pos], e) {
+			return false, false
+		}
+		nd.entries = append(nd.entries[:pos], nd.entries[pos+1:]...)
+		t.writeNode(id, nd)
+		return true, len(nd.entries) < t.minLeaf()
+	}
+	ci := childIndex(nd.seps, e)
+	removed, under := t.deleteAt(nd.children[ci], e)
+	if !removed {
+		return false, false
+	}
+	if under {
+		t.rebalance(id, nd, ci)
+		nd = t.readNode(id)
+	}
+	return true, len(nd.seps) < t.minSeps()
+}
+
+func (t *Tree) minLeaf() int { return t.b / 2 }
+func (t *Tree) minSeps() int { return t.maxSeps / 2 }
+
+// rebalance fixes the underfull child at index ci of parent nd (page id).
+func (t *Tree) rebalance(id disk.BlockID, nd *node, ci int) {
+	childID := nd.children[ci]
+	child := t.readNode(childID)
+	if ci > 0 {
+		leftID := nd.children[ci-1]
+		left := t.readNode(leftID)
+		if t.canLend(left) {
+			t.borrowFromLeft(nd, ci, left, child)
+			t.writeNode(leftID, left)
+			t.writeNode(childID, child)
+			t.writeNode(id, nd)
+			return
+		}
+		t.merge(nd, ci-1, left, child)
+		t.writeNode(leftID, left)
+		t.pager.MustFree(childID)
+		t.writeNode(id, nd)
+		return
+	}
+	rightID := nd.children[ci+1]
+	right := t.readNode(rightID)
+	if t.canLend(right) {
+		t.borrowFromRight(nd, ci, child, right)
+		t.writeNode(childID, child)
+		t.writeNode(rightID, right)
+		t.writeNode(id, nd)
+		return
+	}
+	t.merge(nd, ci, child, right)
+	t.writeNode(childID, child)
+	t.pager.MustFree(rightID)
+	t.writeNode(id, nd)
+}
+
+func (t *Tree) canLend(nd *node) bool {
+	if nd.leaf {
+		return len(nd.entries) > t.minLeaf()
+	}
+	return len(nd.seps) > t.minSeps()
+}
+
+func (t *Tree) borrowFromLeft(parent *node, ci int, left, child *node) {
+	if child.leaf {
+		last := left.entries[len(left.entries)-1]
+		left.entries = left.entries[:len(left.entries)-1]
+		child.entries = append([]Entry{last}, child.entries...)
+		parent.seps[ci-1] = child.entries[0]
+		return
+	}
+	sep := parent.seps[ci-1]
+	lastSep := left.seps[len(left.seps)-1]
+	lastChild := left.children[len(left.children)-1]
+	left.seps = left.seps[:len(left.seps)-1]
+	left.children = left.children[:len(left.children)-1]
+	child.seps = append([]Entry{sep}, child.seps...)
+	child.children = append([]disk.BlockID{lastChild}, child.children...)
+	parent.seps[ci-1] = lastSep
+}
+
+func (t *Tree) borrowFromRight(parent *node, ci int, child, right *node) {
+	if child.leaf {
+		first := right.entries[0]
+		right.entries = right.entries[1:]
+		child.entries = append(child.entries, first)
+		parent.seps[ci] = right.entries[0]
+		return
+	}
+	sep := parent.seps[ci]
+	firstSep := right.seps[0]
+	firstChild := right.children[0]
+	right.seps = right.seps[1:]
+	right.children = right.children[1:]
+	child.seps = append(child.seps, sep)
+	child.children = append(child.children, firstChild)
+	parent.seps[ci] = firstSep
+}
+
+// merge folds the child at index ci+1 into the child at index ci and drops
+// separator ci from the parent.
+func (t *Tree) merge(parent *node, ci int, left, right *node) {
+	if left.leaf {
+		left.entries = append(left.entries, right.entries...)
+		left.next = right.next
+	} else {
+		left.seps = append(left.seps, parent.seps[ci])
+		left.seps = append(left.seps, right.seps...)
+		left.children = append(left.children, right.children...)
+	}
+	parent.seps = append(parent.seps[:ci], parent.seps[ci+1:]...)
+	parent.children = append(parent.children[:ci+1], parent.children[ci+2:]...)
+}
+
+// Contains reports whether (key, rid) is present, in O(log_B n) I/Os.
+func (t *Tree) Contains(key int64, rid uint64) bool {
+	e := Entry{Key: key, RID: rid}
+	id := t.root
+	for {
+		nd := t.readNode(id)
+		if nd.leaf {
+			pos := lowerBound(nd.entries, e)
+			return pos < len(nd.entries) && sameKR(nd.entries[pos], e)
+		}
+		id = nd.children[childIndex(nd.seps, e)]
+	}
+}
+
+// Range reports every entry with lo <= key <= hi in (key, rid) order,
+// in O(log_B n + t/B) I/Os. Enumeration stops early if emit returns false.
+func (t *Tree) Range(lo, hi int64, emit func(Entry) bool) {
+	if lo > hi {
+		return
+	}
+	start := Entry{Key: lo, RID: 0}
+	id := t.root
+	for {
+		nd := t.readNode(id)
+		if nd.leaf {
+			for {
+				for _, e := range nd.entries {
+					if e.Key < lo {
+						continue
+					}
+					if e.Key > hi {
+						return
+					}
+					if !emit(e) {
+						return
+					}
+				}
+				if nd.next == disk.NilBlock {
+					return
+				}
+				id = nd.next
+				nd = t.readNode(id)
+			}
+		}
+		id = nd.children[childIndex(nd.seps, start)]
+	}
+}
+
+// All reports every entry in order.
+func (t *Tree) All(emit func(Entry) bool) {
+	if t.n == 0 {
+		return
+	}
+	var min, max int64 = -1 << 63, 1<<63 - 1
+	t.Range(min, max, emit)
+}
+
+// Min returns the smallest entry, or ok=false when the tree is empty.
+func (t *Tree) Min() (Entry, bool) {
+	var out Entry
+	ok := false
+	t.All(func(e Entry) bool {
+		out, ok = e, true
+		return false
+	})
+	return out, ok
+}
+
+// BulkLoad builds a tree from entries that must already be sorted by
+// (key, rid); it is the O(n/B) construction used by the static class
+// indexes. Duplicate entries are kept once.
+func BulkLoad(b int, entries []Entry) *Tree {
+	t := New(b)
+	if len(entries) == 0 {
+		return t
+	}
+	dedup := make([]Entry, 0, len(entries))
+	for i, e := range entries {
+		if i > 0 {
+			prev := entries[i-1]
+			if Less(e, prev) {
+				panic("bptree: BulkLoad input not sorted")
+			}
+			if sameKR(e, prev) {
+				continue
+			}
+		}
+		dedup = append(dedup, e)
+	}
+	entries = dedup
+	t.n = len(entries)
+
+	type built struct {
+		id    disk.BlockID
+		first Entry
+	}
+	var level []built
+	fill := t.b*3/4 + 1 // leave slack for future inserts
+	if fill > t.b {
+		fill = t.b
+	}
+	var prevLeaf disk.BlockID
+	var prevNode *node
+	for i := 0; i < len(entries); i += fill {
+		j := i + fill
+		if j > len(entries) {
+			j = len(entries)
+		}
+		leaf := &node{leaf: true, entries: append([]Entry(nil), entries[i:j]...)}
+		id := t.writeNode(disk.NilBlock, leaf)
+		if prevNode != nil {
+			prevNode.next = id
+			t.writeNode(prevLeaf, prevNode)
+		}
+		prevLeaf, prevNode = id, leaf
+		level = append(level, built{id: id, first: leaf.entries[0]})
+	}
+	t.pager.MustFree(t.root)
+	t.height = 1
+	for len(level) > 1 {
+		var next []built
+		fanout := t.maxSeps*3/4 + 2
+		if fanout > t.maxSeps+1 {
+			fanout = t.maxSeps + 1
+		}
+		for i := 0; i < len(level); i += fanout {
+			j := i + fanout
+			if j > len(level) {
+				j = len(level)
+			}
+			if j-i == 1 && len(next) > 0 {
+				// Avoid a single-child node: fold into the previous one.
+				prev := next[len(next)-1]
+				pn := t.readNode(prev.id)
+				pn.seps = append(pn.seps, level[i].first)
+				pn.children = append(pn.children, level[i].id)
+				t.writeNode(prev.id, pn)
+				continue
+			}
+			nd := &node{}
+			for k := i; k < j; k++ {
+				if k > i {
+					nd.seps = append(nd.seps, level[k].first)
+				}
+				nd.children = append(nd.children, level[k].id)
+			}
+			id := t.writeNode(disk.NilBlock, nd)
+			next = append(next, built{id: id, first: level[i].first})
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].id
+	return t
+}

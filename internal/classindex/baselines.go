@@ -1,0 +1,208 @@
+package classindex
+
+import (
+	"ccidx/internal/bptree"
+	"ccidx/internal/disk"
+)
+
+// FullExtentIndex keeps one B+-tree per class over the class's FULL extent
+// (Lemma 4.2): an object of class C is stored in the trees of C and every
+// ancestor of C, i.e. replicated depth(C)+1 times. Queries are a single
+// range search — optimal — but space degrades to O((n/B) * k) for hierarchy
+// depth k, which is why the paper reserves this scheme for constant-depth
+// hierarchies.
+type FullExtentIndex struct {
+	h     *Hierarchy
+	trees []*bptree.Tree
+	n     int
+}
+
+// NewFullExtent builds the index for a frozen hierarchy.
+func NewFullExtent(h *Hierarchy, b int) *FullExtentIndex {
+	h.mustFrozen()
+	f := &FullExtentIndex{h: h, trees: make([]*bptree.Tree, h.Len())}
+	for i := range f.trees {
+		f.trees[i] = bptree.New(b)
+	}
+	return f
+}
+
+// Len returns the number of objects stored.
+func (f *FullExtentIndex) Len() int { return f.n }
+
+// Insert adds an object in O(k * log_B n) I/Os (k = depth).
+func (f *FullExtentIndex) Insert(o Object) {
+	for v := o.Class; v >= 0; v = f.h.parent[v] {
+		f.trees[v].Insert(o.Attr, o.ID)
+	}
+	f.n++
+}
+
+// Delete removes an object.
+func (f *FullExtentIndex) Delete(o Object) bool {
+	removed := false
+	for v := o.Class; v >= 0; v = f.h.parent[v] {
+		if f.trees[v].Delete(o.Attr, o.ID) {
+			removed = true
+		}
+	}
+	if removed {
+		f.n--
+	}
+	return removed
+}
+
+// Query reports the full extent of c in [a1,a2]: one range search,
+// O(log_B n + t/B) I/Os.
+func (f *FullExtentIndex) Query(c int, a1, a2 int64, emit EmitObject) {
+	f.trees[c].Range(a1, a2, func(e bptree.Entry) bool { return emit(e.Key, e.RID) })
+}
+
+// Stats sums the I/O counters of all trees.
+func (f *FullExtentIndex) Stats() disk.Stats {
+	var st disk.Stats
+	for _, t := range f.trees {
+		st = st.Add(t.Pager().Stats())
+	}
+	return st
+}
+
+// SpaceBlocks sums live pages of all trees.
+func (f *FullExtentIndex) SpaceBlocks() int64 {
+	var total int64
+	for _, t := range f.trees {
+		total += t.Pager().Allocated()
+	}
+	return total
+}
+
+// SingleTreeFilter is the first strawman of Section 2.2: a single B+-tree
+// over all objects, with the class position carried in the entry payload
+// and checked at query time. The query reads every object in the attribute
+// range regardless of class, so a t-result query can cost Theta(n/B) — "the
+// algorithm has no control over how the objects of interest are
+// interspersed with other objects".
+type SingleTreeFilter struct {
+	h    *Hierarchy
+	tree *bptree.Tree
+}
+
+// NewSingleTreeFilter builds the baseline.
+func NewSingleTreeFilter(h *Hierarchy, b int) *SingleTreeFilter {
+	h.mustFrozen()
+	return &SingleTreeFilter{h: h, tree: bptree.New(b)}
+}
+
+// Len returns the number of objects stored.
+func (s *SingleTreeFilter) Len() int { return s.tree.Len() }
+
+// Insert adds an object in O(log_B n) I/Os.
+func (s *SingleTreeFilter) Insert(o Object) {
+	s.tree.InsertEntry(bptree.Entry{Key: o.Attr, RID: o.ID, Val: uint64(s.h.Pre(o.Class))})
+}
+
+// Delete removes an object.
+func (s *SingleTreeFilter) Delete(o Object) bool {
+	return s.tree.Delete(o.Attr, o.ID)
+}
+
+// Query scans the whole attribute range and filters by class position.
+func (s *SingleTreeFilter) Query(c int, a1, a2 int64, emit EmitObject) {
+	lo, hi := s.h.SubtreeRange(c)
+	s.tree.Range(a1, a2, func(e bptree.Entry) bool {
+		if p := int(e.Val); p >= lo && p < hi {
+			return emit(e.Key, e.RID)
+		}
+		return true
+	})
+}
+
+// Stats returns the I/O counters.
+func (s *SingleTreeFilter) Stats() disk.Stats { return s.tree.Pager().Stats() }
+
+// SpaceBlocks returns the live page count.
+func (s *SingleTreeFilter) SpaceBlocks() int64 { return s.tree.Pager().Allocated() }
+
+// ExtentTrees is the second strawman of Section 2.2: one B+-tree per class
+// over the class's own extent only (no replication). A full-extent query
+// must search every class in the subtree, costing O(subtree * log_B n +
+// t/B).
+type ExtentTrees struct {
+	h     *Hierarchy
+	trees []*bptree.Tree
+	n     int
+}
+
+// NewExtentTrees builds the baseline.
+func NewExtentTrees(h *Hierarchy, b int) *ExtentTrees {
+	h.mustFrozen()
+	e := &ExtentTrees{h: h, trees: make([]*bptree.Tree, h.Len())}
+	for i := range e.trees {
+		e.trees[i] = bptree.New(b)
+	}
+	return e
+}
+
+// Len returns the number of objects stored.
+func (e *ExtentTrees) Len() int { return e.n }
+
+// Insert adds an object in O(log_B n) I/Os.
+func (e *ExtentTrees) Insert(o Object) {
+	e.trees[o.Class].Insert(o.Attr, o.ID)
+	e.n++
+}
+
+// Delete removes an object.
+func (e *ExtentTrees) Delete(o Object) bool {
+	if e.trees[o.Class].Delete(o.Attr, o.ID) {
+		e.n--
+		return true
+	}
+	return false
+}
+
+// Query searches the tree of every class in c's subtree.
+func (e *ExtentTrees) Query(c int, a1, a2 int64, emit EmitObject) {
+	lo, hi := e.h.SubtreeRange(c)
+	for _, v := range e.classesInRange(lo, hi) {
+		stopped := false
+		e.trees[v].Range(a1, a2, func(en bptree.Entry) bool {
+			if !emit(en.Key, en.RID) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+func (e *ExtentTrees) classesInRange(lo, hi int) []int {
+	var out []int
+	for v := 0; v < e.h.Len(); v++ {
+		if p := e.h.Pre(v); p >= lo && p < hi {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Stats sums the I/O counters of all trees.
+func (e *ExtentTrees) Stats() disk.Stats {
+	var st disk.Stats
+	for _, t := range e.trees {
+		st = st.Add(t.Pager().Stats())
+	}
+	return st
+}
+
+// SpaceBlocks sums live pages of all trees.
+func (e *ExtentTrees) SpaceBlocks() int64 {
+	var total int64
+	for _, t := range e.trees {
+		total += t.Pager().Allocated()
+	}
+	return total
+}

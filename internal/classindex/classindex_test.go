@@ -1,0 +1,370 @@
+package classindex
+
+import (
+	"math/big"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// fig5Hierarchy builds the Example 2.3 hierarchy: Person with children
+// Professor and Student, and Assistant-Professor under Professor.
+func fig5Hierarchy() *Hierarchy {
+	h := NewHierarchy()
+	h.MustAddClass("Person", "")
+	h.MustAddClass("Student", "Person")
+	h.MustAddClass("Professor", "Person")
+	h.MustAddClass("AsstProf", "Professor")
+	h.Freeze()
+	return h
+}
+
+// TestLabelClassReproducesFig5 checks the exact rational labels the paper
+// computes in Fig 5: Person [0,1) with value 0, Student [1/3,2/3),
+// Professor [2/3,1), Assistant Professor [5/6,1).
+func TestLabelClassReproducesFig5(t *testing.T) {
+	h := fig5Hierarchy()
+	labels := h.LabelClass()
+	want := map[string][2]*big.Rat{
+		"Person":    {big.NewRat(0, 1), big.NewRat(1, 1)},
+		"Student":   {big.NewRat(1, 3), big.NewRat(2, 3)},
+		"Professor": {big.NewRat(2, 3), big.NewRat(1, 1)},
+		"AsstProf":  {big.NewRat(5, 6), big.NewRat(1, 1)},
+	}
+	for name, w := range want {
+		id, _ := h.Class(name)
+		got := labels[id]
+		if got.Value.Cmp(w[0]) != 0 || got.End.Cmp(w[1]) != 0 {
+			t.Errorf("%s: got [%v,%v), want [%v,%v)", name, got.Value, got.End, w[0], w[1])
+		}
+	}
+}
+
+func TestSubtreeRangesNest(t *testing.T) {
+	h := fig5Hierarchy()
+	pLo, pHi := h.SubtreeRange(mustID(h, "Person"))
+	fLo, fHi := h.SubtreeRange(mustID(h, "Professor"))
+	aLo, aHi := h.SubtreeRange(mustID(h, "AsstProf"))
+	if !(pLo <= fLo && fHi <= pHi) || !(fLo <= aLo && aHi <= fHi) {
+		t.Fatalf("subtree ranges do not nest: P=[%d,%d) F=[%d,%d) A=[%d,%d)", pLo, pHi, fLo, fHi, aLo, aHi)
+	}
+	sLo, sHi := h.SubtreeRange(mustID(h, "Student"))
+	if sLo < fHi && fLo < sHi {
+		t.Fatal("sibling subtree ranges overlap")
+	}
+}
+
+func mustID(h *Hierarchy, name string) int {
+	id, ok := h.Class(name)
+	if !ok {
+		panic(name)
+	}
+	return id
+}
+
+// randomHierarchy builds a random forest with c classes.
+func randomHierarchy(rng *rand.Rand, c int) *Hierarchy {
+	h := NewHierarchy()
+	names := make([]string, c)
+	for i := 0; i < c; i++ {
+		names[i] = "C" + string(rune('A'+i%26)) + string(rune('0'+i/26%10)) + string(rune('a'+i/260))
+		parent := ""
+		if i > 0 && rng.Intn(8) != 0 { // some extra roots
+			parent = names[rng.Intn(i)]
+		}
+		h.MustAddClass(names[i], parent)
+	}
+	h.Freeze()
+	return h
+}
+
+// Lemma 4.5: at most log2 c thin edges from any class to its root.
+func TestThinEdgeBoundLemma45(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		c := 2 + rng.Intn(500)
+		h := randomHierarchy(rng, c)
+		limit := 0
+		for v := 1; v < c; v *= 2 {
+			limit++
+		}
+		for v := 0; v < c; v++ {
+			if got := h.ThinEdgesToRoot(v); got > limit {
+				t.Fatalf("c=%d class %d has %d thin edges, limit %d", c, v, got, limit)
+			}
+		}
+	}
+}
+
+// Degenerate path hierarchy: exactly one thin edge count of zero.
+func TestDegeneratePathAllThick(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAddClass("c0", "")
+	for i := 1; i < 40; i++ {
+		h.MustAddClass("c"+itoa(i), "c"+itoa(i-1))
+	}
+	h.Freeze()
+	last := mustID(h, "c39")
+	if got := h.ThinEdgesToRoot(last); got != 0 {
+		t.Fatalf("degenerate path has %d thin edges, want 0", got)
+	}
+	// Rake-and-contract must put the whole path into one 3-sided structure.
+	rc := NewRakeContract(h, 4)
+	if !rc.IsContracted(mustID(h, "c5")) {
+		t.Fatal("path member not contracted")
+	}
+	if rc.Replication(last) > 2 {
+		t.Fatalf("path leaf replicated %d times", rc.Replication(last))
+	}
+}
+
+// --- cross-implementation correctness ---------------------------------------
+
+type classIndex interface {
+	Insert(Object)
+	Query(c int, a1, a2 int64, emit EmitObject)
+}
+
+func queryIDs(idx classIndex, c int, a1, a2 int64) []uint64 {
+	var ids []uint64
+	idx.Query(c, a1, a2, func(_ int64, id uint64) bool {
+		ids = append(ids, id)
+		return true
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func oracleIDs(h *Hierarchy, objs []Object, c int, a1, a2 int64) []uint64 {
+	lo, hi := h.SubtreeRange(c)
+	var ids []uint64
+	for _, o := range objs {
+		if p := h.Pre(o.Class); p >= lo && p < hi && o.Attr >= a1 && o.Attr <= a2 {
+			ids = append(ids, o.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllIndexesAgreeWithOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := randomHierarchy(rng, 60)
+	objs := make([]Object, 3000)
+	for i := range objs {
+		objs[i] = Object{Class: rng.Intn(h.Len()), Attr: rng.Int63n(1000), ID: uint64(i)}
+	}
+	indexes := map[string]classIndex{
+		"simple":     NewSimple(h, 8),
+		"fullextent": NewFullExtent(h, 8),
+		"filter":     NewSingleTreeFilter(h, 8),
+		"extent":     NewExtentTrees(h, 8),
+		"rake":       NewRakeContract(h, 8),
+	}
+	for name, idx := range indexes {
+		for _, o := range objs {
+			idx.Insert(o)
+		}
+		_ = name
+	}
+	for trial := 0; trial < 200; trial++ {
+		c := rng.Intn(h.Len())
+		a1 := rng.Int63n(1000)
+		a2 := a1 + rng.Int63n(1000-a1+1)
+		want := oracleIDs(h, objs, c, a1, a2)
+		for name, idx := range indexes {
+			if got := queryIDs(idx, c, a1, a2); !equalIDs(got, want) {
+				t.Fatalf("%s: class %s [%d,%d]: got %d want %d", name, h.Name(c), a1, a2, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestSimpleIndexDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := randomHierarchy(rng, 20)
+	s := NewSimple(h, 4)
+	var objs []Object
+	for i := 0; i < 500; i++ {
+		o := Object{Class: rng.Intn(h.Len()), Attr: rng.Int63n(100), ID: uint64(i)}
+		s.Insert(o)
+		objs = append(objs, o)
+	}
+	// Delete every third object.
+	var kept []Object
+	for i, o := range objs {
+		if i%3 == 0 {
+			if !s.Delete(o) {
+				t.Fatalf("delete %v failed", o)
+			}
+		} else {
+			kept = append(kept, o)
+		}
+	}
+	if s.Delete(objs[0]) {
+		t.Fatal("double delete succeeded")
+	}
+	for trial := 0; trial < 60; trial++ {
+		c := rng.Intn(h.Len())
+		want := oracleIDs(h, kept, c, 0, 99)
+		if got := queryIDs(s, c, 0, 99); !equalIDs(got, want) {
+			t.Fatalf("after deletes: class %d got %d want %d", c, len(got), len(want))
+		}
+	}
+}
+
+func TestFullExtentDelete(t *testing.T) {
+	h := fig5Hierarchy()
+	f := NewFullExtent(h, 4)
+	o := Object{Class: mustID(h, "AsstProf"), Attr: 55, ID: 9}
+	f.Insert(o)
+	if got := queryIDs(f, mustID(h, "Person"), 0, 100); len(got) != 1 {
+		t.Fatal("object not visible from root full extent")
+	}
+	if !f.Delete(o) || f.Delete(o) {
+		t.Fatal("delete semantics")
+	}
+	if got := queryIDs(f, mustID(h, "Person"), 0, 100); len(got) != 0 {
+		t.Fatal("object visible after delete")
+	}
+}
+
+// Replication bound of Theorem 4.7 via Lemma 4.6: no extent is duplicated
+// more than log2 c + 1 times.
+func TestRakeContractReplicationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 15; trial++ {
+		c := 2 + rng.Intn(300)
+		h := randomHierarchy(rng, c)
+		rc := NewRakeContract(h, 4)
+		limit := 1
+		for v := 1; v < c; v *= 2 {
+			limit++
+		}
+		for v := 0; v < c; v++ {
+			if got := rc.Replication(v); got > limit {
+				t.Fatalf("c=%d class %d replicated %d times, limit %d", c, v, got, limit)
+			}
+		}
+	}
+}
+
+// Star hierarchy: c-1 leaves under a root; everything rakes to B+-trees.
+func TestRakeContractStar(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAddClass("root", "")
+	leaves := []string{"l1", "l2", "l3", "l4", "l5", "l6", "l7"}
+	for _, l := range leaves {
+		h.MustAddClass(l, "root")
+	}
+	h.Freeze()
+	rc := NewRakeContract(h, 4)
+	rng := rand.New(rand.NewSource(5))
+	var objs []Object
+	for i := 0; i < 400; i++ {
+		o := Object{Class: rng.Intn(h.Len()), Attr: rng.Int63n(200), ID: uint64(i)}
+		rc.Insert(o)
+		objs = append(objs, o)
+	}
+	for _, name := range append(leaves, "root") {
+		c := mustID(h, name)
+		want := oracleIDs(h, objs, c, 50, 150)
+		if got := queryIDs(rc, c, 50, 150); !equalIDs(got, want) {
+			t.Fatalf("star class %s: got %d want %d", name, len(got), len(want))
+		}
+	}
+}
+
+func TestRakeContractPropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := randomHierarchy(rng, 2+rng.Intn(80))
+		rc := NewRakeContract(h, 4+rng.Intn(4))
+		var objs []Object
+		for i := 0; i < 400; i++ {
+			o := Object{Class: rng.Intn(h.Len()), Attr: rng.Int63n(120), ID: uint64(i)}
+			rc.Insert(o)
+			objs = append(objs, o)
+		}
+		for k := 0; k < 25; k++ {
+			c := rng.Intn(h.Len())
+			a1 := rng.Int63n(120)
+			a2 := a1 + rng.Int63n(120-a1+1)
+			if !equalIDs(queryIDs(rc, c, a1, a2), oracleIDs(h, objs, c, a1, a2)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Space comparison (the Theorem 2.6 discussion): simple index uses a log2 c
+// factor, full-extent replication a depth factor; on a deep caterpillar the
+// rake-and-contract index must beat full-extent replication.
+func TestSpaceCaterpillar(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAddClass("s0", "")
+	depth := 60
+	for i := 1; i < depth; i++ {
+		spine := "s" + itoa(i)
+		h.MustAddClass(spine, "s"+itoa(i-1))
+		h.MustAddClass("leaf"+itoa(i), "s"+itoa(i-1))
+	}
+	h.Freeze()
+	rng := rand.New(rand.NewSource(6))
+	rc := NewRakeContract(h, 8)
+	fe := NewFullExtent(h, 8)
+	for i := 0; i < 4000; i++ {
+		o := Object{Class: rng.Intn(h.Len()), Attr: rng.Int63n(10000), ID: uint64(i)}
+		rc.Insert(o)
+		fe.Insert(o)
+	}
+	rcSpace, feSpace := rc.SpaceBlocks(), fe.SpaceBlocks()
+	t.Logf("caterpillar depth %d: rake-contract %d blocks, full-extent %d blocks", depth, rcSpace, feSpace)
+	if rcSpace >= feSpace {
+		t.Fatalf("rake-contract (%d) should use less space than full extents (%d) on a deep hierarchy", rcSpace, feSpace)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestHierarchyErrors(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAddClass("a", "")
+	if _, err := h.AddClass("a", ""); err == nil {
+		t.Fatal("duplicate class accepted")
+	}
+	if _, err := h.AddClass("b", "zzz"); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	h.Freeze()
+	if _, err := h.AddClass("c", "a"); err == nil {
+		t.Fatal("AddClass after freeze accepted")
+	}
+}

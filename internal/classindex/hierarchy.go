@@ -1,0 +1,246 @@
+// Package classindex implements the paper's class-indexing data structures
+// (Sections 2.2 and 4): indexing by one attribute and by class name in an
+// object-oriented model whose objects are organised in a static forest
+// hierarchy of classes.
+//
+// A query asks for all objects in the FULL extent of a class C — C's own
+// extent plus the extents of all its descendants — whose attribute lies in
+// a range [a1, a2]. The package provides:
+//
+//   - SimpleIndex: the range-tree-of-B+-trees solution of Theorem 2.6
+//     (query O(log2 c * log_B n + t/B), update O(log2 c * log_B n), space
+//     O((n/B) log2 c)); fully dynamic in objects.
+//   - FullExtentIndex: one B+-tree per class over its full extent
+//     (Lemma 4.2; optimal for constant-depth hierarchies, space O((n/B)*k)
+//     for depth k).
+//   - SingleTreeFilter and ExtentTrees: the two rejected strawmen of
+//     Section 2.2 (one tree over everything with filtering; one tree per
+//     extent with subtree fan-out), kept as baselines.
+//   - RakeContract: the improved solution of Theorem 4.7 via the
+//     thick/thin decomposition of Figs 22-24 (query O(log_B n + log2 B +
+//     t/B), space O((n/B) log2 c), semi-dynamic inserts).
+package classindex
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Hierarchy is a static forest of classes. Build it with AddClass, then
+// Freeze it before constructing indexes (the paper assumes the
+// class/subclass relationship is static while objects are dynamic).
+type Hierarchy struct {
+	names  []string
+	parent []int // -1 for roots
+	byName map[string]int
+	frozen bool
+
+	children [][]int
+	roots    []int
+	pre      []int // preorder position; subtree of c = [pre[c], pre[c]+size[c])
+	size     []int
+	depth    []int
+	thick    []int // thick child of each node (-1 for leaves), Fig 22
+}
+
+// NewHierarchy returns an empty hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{byName: map[string]int{}}
+}
+
+// AddClass declares a class; parent must already exist or be "" for a root.
+// Returns the class id.
+func (h *Hierarchy) AddClass(name, parent string) (int, error) {
+	if h.frozen {
+		return 0, fmt.Errorf("classindex: hierarchy is frozen")
+	}
+	if _, ok := h.byName[name]; ok {
+		return 0, fmt.Errorf("classindex: duplicate class %q", name)
+	}
+	p := -1
+	if parent != "" {
+		var ok bool
+		p, ok = h.byName[parent]
+		if !ok {
+			return 0, fmt.Errorf("classindex: unknown parent %q", parent)
+		}
+	}
+	id := len(h.names)
+	h.names = append(h.names, name)
+	h.parent = append(h.parent, p)
+	h.byName[name] = id
+	return id, nil
+}
+
+// MustAddClass is AddClass that panics on error.
+func (h *Hierarchy) MustAddClass(name, parent string) int {
+	id, err := h.AddClass(name, parent)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Class returns the id of a class by name.
+func (h *Hierarchy) Class(name string) (int, bool) {
+	id, ok := h.byName[name]
+	return id, ok
+}
+
+// Name returns the class name for an id.
+func (h *Hierarchy) Name(id int) string { return h.names[id] }
+
+// Len returns the number of classes (the paper's c).
+func (h *Hierarchy) Len() int { return len(h.names) }
+
+// Parent returns the parent id of a class (-1 for roots).
+func (h *Hierarchy) Parent(id int) int { return h.parent[id] }
+
+// Freeze computes the derived structure: children lists, preorder
+// positions, subtree sizes, depths, and the thick/thin edge labelling of
+// Fig 22 (the edge to the child with the largest subtree is thick).
+func (h *Hierarchy) Freeze() {
+	if h.frozen {
+		return
+	}
+	n := len(h.names)
+	h.children = make([][]int, n)
+	for i, p := range h.parent {
+		if p >= 0 {
+			h.children[p] = append(h.children[p], i)
+		} else {
+			h.roots = append(h.roots, i)
+		}
+	}
+	h.pre = make([]int, n)
+	h.size = make([]int, n)
+	h.depth = make([]int, n)
+	h.thick = make([]int, n)
+	for i := range h.thick {
+		h.thick[i] = -1
+	}
+	pos := 0
+	var dfs func(v, d int)
+	dfs = func(v, d int) {
+		h.pre[v] = pos
+		pos++
+		h.depth[v] = d
+		h.size[v] = 1
+		best := -1
+		for _, c := range h.children[v] {
+			dfs(c, d+1)
+			h.size[v] += h.size[c]
+			if best < 0 || h.size[c] > h.size[best] {
+				best = c
+			}
+		}
+		h.thick[v] = best
+	}
+	for _, r := range h.roots {
+		dfs(r, 0)
+	}
+	h.frozen = true
+}
+
+func (h *Hierarchy) mustFrozen() {
+	if !h.frozen {
+		panic("classindex: hierarchy must be frozen first")
+	}
+}
+
+// SubtreeRange returns the preorder interval [lo, hi) of class c's subtree;
+// a class d is a descendant-or-self of c iff pre[d] lies in it. This is the
+// integer-rank equivalent of the rational ranges produced by label-class
+// (Proposition 2.5).
+func (h *Hierarchy) SubtreeRange(c int) (lo, hi int) {
+	h.mustFrozen()
+	return h.pre[c], h.pre[c] + h.size[c]
+}
+
+// Pre returns the preorder position (the "class attribute value" of
+// Proposition 2.5) of class c.
+func (h *Hierarchy) Pre(c int) int {
+	h.mustFrozen()
+	return h.pre[c]
+}
+
+// Depth returns the depth of class c (roots have depth 0).
+func (h *Hierarchy) Depth(c int) int {
+	h.mustFrozen()
+	return h.depth[c]
+}
+
+// IsThick reports whether the edge from c's parent to c is thick (Fig 22).
+// Root edges are not thick.
+func (h *Hierarchy) IsThick(c int) bool {
+	h.mustFrozen()
+	p := h.parent[c]
+	return p >= 0 && h.thick[p] == c
+}
+
+// ThinEdgesToRoot counts the thin edges on the path from c to its root,
+// which Lemma 4.5 bounds by log2 c.
+func (h *Hierarchy) ThinEdgesToRoot(c int) int {
+	h.mustFrozen()
+	count := 0
+	for v := c; h.parent[v] >= 0; v = h.parent[v] {
+		if !h.IsThick(v) {
+			count++
+		}
+	}
+	return count
+}
+
+// RatRange is the exact rational class range assigned by the label-class
+// procedure of Fig 4: Value is the class's own label and [Value, End) spans
+// the class's subtree.
+type RatRange struct {
+	Value *big.Rat
+	End   *big.Rat
+}
+
+// LabelClass runs the procedure label-class of Fig 4 with exact rational
+// arithmetic, reproducing the fractions of Fig 5 ([0,1) at the root of each
+// tree after dividing [0,1) among the roots; each range is cut into k+1
+// equal parts, the first for the class's own extent and the rest for its k
+// children). It exists for fidelity to the paper (tests reproduce Fig 5's
+// exact labels); the integer preorder ranks are what the indexes use.
+func (h *Hierarchy) LabelClass() []RatRange {
+	h.mustFrozen()
+	out := make([]RatRange, len(h.names))
+	var rec func(v int, lo, hi *big.Rat)
+	rec = func(v int, lo, hi *big.Rat) {
+		out[v] = RatRange{Value: new(big.Rat).Set(lo), End: new(big.Rat).Set(hi)}
+		kids := h.children[v]
+		if len(kids) == 0 {
+			return
+		}
+		width := new(big.Rat).Sub(hi, lo)
+		parts := new(big.Rat).SetInt64(int64(len(kids) + 1))
+		step := new(big.Rat).Quo(width, parts)
+		cur := new(big.Rat).Add(lo, step) // first part stays with v's extent
+		for _, c := range kids {
+			next := new(big.Rat).Add(cur, step)
+			rec(c, cur, next)
+			cur = next
+		}
+	}
+	nroots := new(big.Rat).SetInt64(int64(len(h.roots)))
+	for i, r := range h.roots {
+		lo := new(big.Rat).Quo(new(big.Rat).SetInt64(int64(i)), nroots)
+		hi := new(big.Rat).Quo(new(big.Rat).SetInt64(int64(i+1)), nroots)
+		rec(r, lo, hi)
+	}
+	return out
+}
+
+// Object is one database object: a class, an indexed attribute value, and
+// an identifier.
+type Object struct {
+	Class int
+	Attr  int64
+	ID    uint64
+}
+
+// EmitObject receives query results; returning false stops the enumeration.
+type EmitObject func(attr int64, id uint64) bool

@@ -1,0 +1,253 @@
+package classindex
+
+import (
+	"fmt"
+
+	"ccidx/internal/bptree"
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+	"ccidx/internal/threeside"
+)
+
+// RakeContract is the class index of Theorem 4.7, built by the
+// rake-and-contract decomposition of Fig 23 over the thick/thin edge
+// labelling of Fig 22 (Lemma 4.5: at most log2 c thin edges on any
+// root-to-leaf path).
+//
+// The (static) hierarchy is consumed bottom-up. Each class starts with a
+// collection holding its own extent. Repeatedly:
+//
+//	rake:     a leaf attached by a thin edge (or a root leaf) is removed;
+//	          its collection — by then the class's FULL extent (Lemma 4.6)
+//	          — is indexed in a B+-tree and copied into the parent's
+//	          collection.
+//	contract: a maximal thick path v1..vk whose only connection upward is a
+//	          thin edge (or v1 is a root) is removed; the union of its
+//	          collections is indexed in ONE 3-sided metablock tree keyed
+//	          (attribute, path label), label(vi) = i, and copied into
+//	          parent(v1)'s collection. Because the labels nest exactly like
+//	          the degenerate-hierarchy ranges of Lemma 4.3, a full-extent
+//	          query on vi is the 3-sided query [a1,a2] x [i, +inf).
+//
+// Every class therefore has one home structure answering its queries in
+// O(log_B n + t/B) (B+-tree) or O(log_B n + log2 B + t/B) (3-sided), and an
+// object's extent is replicated once per thin edge above it, i.e. at most
+// log2 c + 1 times (Lemmas 4.5/4.6), giving space O((n/B) log2 c) and
+// amortized insert O(log2 c (log_B n + (log_B n)^2/B)).
+type RakeContract struct {
+	h *Hierarchy
+	b int
+
+	structs []rcStructure
+	// plan[c] lists every (structure, label) that must hold class c's
+	// extent: c's home structure first, then the home structures of the
+	// absorbing ancestors.
+	plan [][]rcTarget
+	// home[c] is plan[c][0], used to answer queries on c.
+	home []rcTarget
+	n    int
+}
+
+type rcStructure struct {
+	bt *bptree.Tree // exactly one of bt/ts is set
+	ts *threeside.Tree
+}
+
+type rcTarget struct {
+	structIdx int
+	label     int64 // path label for 3-sided structures; 0 for B+-trees
+}
+
+// NewRakeContract builds the index for a frozen hierarchy.
+func NewRakeContract(h *Hierarchy, b int) *RakeContract {
+	h.mustFrozen()
+	rc := &RakeContract{h: h, b: b}
+	rc.decompose()
+	return rc
+}
+
+// decompose runs rake-and-contract, assigning every class a home structure
+// and an absorption chain.
+func (rc *RakeContract) decompose() {
+	h := rc.h
+	n := h.Len()
+	alive := make([]bool, n)
+	aliveKids := make([]int, n)
+	for i := 0; i < n; i++ {
+		alive[i] = true
+		aliveKids[i] = len(h.children[i])
+	}
+	// absorbTarget[v] = the class whose collection received v's collection
+	// when v was removed (-1 when v's removal ended at a root).
+	absorbTarget := make([]int, n)
+	rc.home = make([]rcTarget, n)
+	for i := range absorbTarget {
+		absorbTarget[i] = -1
+	}
+	removed := 0
+	newBTreeStruct := func() int {
+		rc.structs = append(rc.structs, rcStructure{bt: bptree.New(rc.b)})
+		return len(rc.structs) - 1
+	}
+	newTSStruct := func() int {
+		rc.structs = append(rc.structs, rcStructure{ts: threeside.New(threeside.Config{B: rc.b}, nil)})
+		return len(rc.structs) - 1
+	}
+
+	for removed < n {
+		progress := false
+		// Rake: thin leaves and root leaves get B+-tree homes.
+		for v := 0; v < n; v++ {
+			if !alive[v] || aliveKids[v] != 0 {
+				continue
+			}
+			p := h.parent[v]
+			if p >= 0 && h.IsThick(v) {
+				continue // tail of a thick path; contract handles it
+			}
+			idx := newBTreeStruct()
+			rc.home[v] = rcTarget{structIdx: idx}
+			alive[v] = false
+			removed++
+			progress = true
+			if p >= 0 {
+				absorbTarget[v] = p
+				aliveKids[p]--
+			}
+		}
+		// Contract: maximal thick chains ending at a leaf whose top hangs
+		// off a thin edge or is a root.
+		for v := 0; v < n; v++ {
+			if !alive[v] || aliveKids[v] != 0 || !h.IsThick(v) {
+				continue
+			}
+			// v is an alive thick leaf; climb the chain upward.
+			chain := []int{v}
+			top := v
+			for {
+				p := h.parent[top]
+				if p < 0 || !alive[p] || aliveKids[p] != 1 || h.thick[p] != top {
+					break
+				}
+				chain = append(chain, p)
+				top = p
+			}
+			// The chain is contractible only if its top connection is thin
+			// or the top is a root.
+			if pt := h.parent[top]; pt >= 0 && h.IsThick(top) {
+				continue // wait for the parent's other children to clear
+			}
+			idx := newTSStruct()
+			// chain is bottom-up: chain[len-1] = top = v1 gets label 1.
+			k := len(chain)
+			for j, node := range chain {
+				label := int64(k - j) // deepest gets the largest label
+				rc.home[node] = rcTarget{structIdx: idx, label: label}
+				alive[node] = false
+				removed++
+			}
+			progress = true
+			if pt := h.parent[top]; pt >= 0 {
+				for _, node := range chain {
+					absorbTarget[node] = pt
+				}
+				aliveKids[pt]--
+			}
+		}
+		if !progress {
+			panic("classindex: rake-and-contract made no progress")
+		}
+	}
+
+	// Absorption chains -> per-class insertion plans. An object of class c
+	// lives in home(c) with c's label, and in home(w) with w's label for
+	// every absorb ancestor w.
+	rc.plan = make([][]rcTarget, n)
+	for c := 0; c < n; c++ {
+		targets := []rcTarget{rc.home[c]}
+		for w := absorbTarget[c]; w >= 0; w = absorbTarget[w] {
+			targets = append(targets, rc.home[w])
+		}
+		rc.plan[c] = targets
+	}
+}
+
+// Len returns the number of objects stored.
+func (rc *RakeContract) Len() int { return rc.n }
+
+// Replication returns the number of structures holding class c's extent;
+// Lemma 4.6 bounds it by log2 c + 1.
+func (rc *RakeContract) Replication(c int) int { return len(rc.plan[c]) }
+
+// IsContracted reports whether class c is answered by a 3-sided structure.
+func (rc *RakeContract) IsContracted(c int) bool {
+	return rc.structs[rc.home[c].structIdx].ts != nil
+}
+
+// Insert adds an object; amortized O(log2 c (log_B n + (log_B n)^2/B)).
+func (rc *RakeContract) Insert(o Object) {
+	for _, tgt := range rc.plan[o.Class] {
+		s := &rc.structs[tgt.structIdx]
+		if s.bt != nil {
+			s.bt.Insert(o.Attr, o.ID)
+		} else {
+			s.ts.Insert(geom.Point{X: o.Attr, Y: tgt.label, ID: o.ID})
+		}
+	}
+	rc.n++
+}
+
+// Query reports the full extent of c within [a1,a2]:
+// O(log_B n + log2 B + t/B) I/Os.
+func (rc *RakeContract) Query(c int, a1, a2 int64, emit EmitObject) {
+	tgt := rc.home[c]
+	s := &rc.structs[tgt.structIdx]
+	if s.bt != nil {
+		s.bt.Range(a1, a2, func(e bptree.Entry) bool { return emit(e.Key, e.RID) })
+		return
+	}
+	s.ts.Query(geom.ThreeSidedQuery{X1: a1, X2: a2, Y: tgt.label}, func(p geom.Point) bool {
+		return emit(p.X, p.ID)
+	})
+}
+
+// Stats sums the I/O counters of all structures.
+func (rc *RakeContract) Stats() disk.Stats {
+	var st disk.Stats
+	for i := range rc.structs {
+		if rc.structs[i].bt != nil {
+			st = st.Add(rc.structs[i].bt.Pager().Stats())
+		} else {
+			st = st.Add(rc.structs[i].ts.Pager().Stats())
+		}
+	}
+	return st
+}
+
+// SpaceBlocks sums live pages of all structures.
+func (rc *RakeContract) SpaceBlocks() int64 {
+	var total int64
+	for i := range rc.structs {
+		if rc.structs[i].bt != nil {
+			total += rc.structs[i].bt.Pager().Allocated()
+		} else {
+			total += rc.structs[i].ts.Pager().Allocated()
+		}
+	}
+	return total
+}
+
+// Describe returns a human-readable decomposition summary (Fig 24 style):
+// how many classes were raked vs contracted, and the structure count.
+func (rc *RakeContract) Describe() string {
+	raked, contracted := 0, 0
+	for c := 0; c < rc.h.Len(); c++ {
+		if rc.IsContracted(c) {
+			contracted++
+		} else {
+			raked++
+		}
+	}
+	return fmt.Sprintf("classes=%d raked=%d contracted=%d structures=%d",
+		rc.h.Len(), raked, contracted, len(rc.structs))
+}

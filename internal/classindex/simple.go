@@ -1,0 +1,147 @@
+package classindex
+
+import (
+	"ccidx/internal/bptree"
+	"ccidx/internal/disk"
+)
+
+// SimpleIndex is the range-tree-of-B+-trees class index of Theorem 2.6
+// (procedure index-classes, Fig 6): a balanced binary tree over the class
+// positions (the integer-rank version of the label-class values of Fig 4);
+// every tree node indexes the collection of objects whose class lies in its
+// position range. A full-extent query on class C decomposes C's subtree
+// interval into O(log2 c) canonical nodes, each answered by one B+-tree
+// range search; an object appears in O(log2 c) collections, one per level.
+//
+// Bounds (Theorem 2.6): query O(log2 c * log_B n + t/B), insert and delete
+// O(log2 c * log_B n), space O((n/B) log2 c). Objects are fully dynamic.
+type SimpleIndex struct {
+	h     *Hierarchy
+	b     int
+	nodes []segNode // nodes[0] is the root (c > 0)
+	n     int
+}
+
+type segNode struct {
+	lo, hi      int // position range [lo, hi)
+	left, right int // -1 for leaves
+	tree        *bptree.Tree
+}
+
+// NewSimple builds the index for a frozen hierarchy.
+func NewSimple(h *Hierarchy, b int) *SimpleIndex {
+	h.mustFrozen()
+	s := &SimpleIndex{h: h, b: b}
+	if h.Len() > 0 {
+		s.build(0, h.Len())
+	}
+	return s
+}
+
+func (s *SimpleIndex) build(lo, hi int) int {
+	idx := len(s.nodes)
+	s.nodes = append(s.nodes, segNode{lo: lo, hi: hi, left: -1, right: -1, tree: bptree.New(s.b)})
+	if hi-lo > 1 {
+		mid := (lo + hi) / 2
+		l := s.build(lo, mid)
+		r := s.build(mid, hi)
+		s.nodes[idx].left = l
+		s.nodes[idx].right = r
+	}
+	return idx
+}
+
+// Len returns the number of objects stored.
+func (s *SimpleIndex) Len() int { return s.n }
+
+// Insert adds an object in O(log2 c * log_B n) I/Os.
+func (s *SimpleIndex) Insert(o Object) {
+	pos := s.h.Pre(o.Class)
+	i := 0
+	for {
+		nd := &s.nodes[i]
+		nd.tree.Insert(o.Attr, o.ID)
+		if nd.left < 0 {
+			break
+		}
+		if pos < s.nodes[nd.left].hi {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+	s.n++
+}
+
+// Delete removes an object in O(log2 c * log_B n) I/Os; it returns whether
+// the object was present (checked at the leaf level).
+func (s *SimpleIndex) Delete(o Object) bool {
+	pos := s.h.Pre(o.Class)
+	removed := false
+	i := 0
+	for {
+		nd := &s.nodes[i]
+		if nd.tree.Delete(o.Attr, o.ID) {
+			removed = true
+		}
+		if nd.left < 0 {
+			break
+		}
+		if pos < s.nodes[nd.left].hi {
+			i = nd.left
+		} else {
+			i = nd.right
+		}
+	}
+	if removed {
+		s.n--
+	}
+	return removed
+}
+
+// Query reports every object in the full extent of class c with attribute
+// in [a1, a2], in O(log2 c * log_B n + t/B) I/Os.
+func (s *SimpleIndex) Query(c int, a1, a2 int64, emit EmitObject) {
+	lo, hi := s.h.SubtreeRange(c)
+	s.query(0, lo, hi, a1, a2, emit)
+}
+
+func (s *SimpleIndex) query(i, lo, hi int, a1, a2 int64, emit EmitObject) bool {
+	nd := &s.nodes[i]
+	if hi <= nd.lo || lo >= nd.hi {
+		return true
+	}
+	if lo <= nd.lo && nd.hi <= hi {
+		ok := true
+		nd.tree.Range(a1, a2, func(e bptree.Entry) bool {
+			if !emit(e.Key, e.RID) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if !s.query(nd.left, lo, hi, a1, a2, emit) {
+		return false
+	}
+	return s.query(nd.right, lo, hi, a1, a2, emit)
+}
+
+// Stats sums the I/O counters of every node tree.
+func (s *SimpleIndex) Stats() disk.Stats {
+	var st disk.Stats
+	for i := range s.nodes {
+		st = st.Add(s.nodes[i].tree.Pager().Stats())
+	}
+	return st
+}
+
+// SpaceBlocks sums live pages across all node trees.
+func (s *SimpleIndex) SpaceBlocks() int64 {
+	var total int64
+	for i := range s.nodes {
+		total += s.nodes[i].tree.Pager().Allocated()
+	}
+	return total
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"ccidx/internal/disk"
+)
+
+// Control information for a metablock (chunk lists, child table, TS index,
+// corner index, ...) is variable length but O(B) bytes, so it occupies a
+// constant number of disk blocks, exactly as the paper assumes ("we will use
+// a constant number of disk blocks per metablock to store control
+// information", proof of Theorem 3.2). We store it as a chained blob: each
+// page holds [next blockID | length u16 | payload]. Reading or writing a
+// blob of m pages counts m I/Os.
+
+const blobHeader = 8 + 2
+
+// blobCapacity is the payload capacity of one blob page.
+func (t *Tree) blobCapacity() int { return t.cfg.PageSize() - blobHeader }
+
+// writeBlob stores data as a fresh page chain and returns the head id.
+func (t *Tree) writeBlob(data []byte) disk.BlockID {
+	capPerPage := t.blobCapacity()
+	// Build the chain back to front so each page knows its successor.
+	var next disk.BlockID = disk.NilBlock
+	// Number of pages (at least one, even for empty blobs).
+	pages := (len(data) + capPerPage - 1) / capPerPage
+	if pages == 0 {
+		pages = 1
+	}
+	for i := pages - 1; i >= 0; i-- {
+		lo := i * capPerPage
+		hi := lo + capPerPage
+		if hi > len(data) {
+			hi = len(data)
+		}
+		chunk := data[lo:hi]
+		buf := make([]byte, t.cfg.PageSize())
+		putLE64(buf, uint64(int64(next)))
+		buf[8] = byte(len(chunk))
+		buf[9] = byte(len(chunk) >> 8)
+		copy(buf[blobHeader:], chunk)
+		id := t.pager.Alloc()
+		t.pager.MustWrite(id, buf)
+		next = id
+	}
+	return next
+}
+
+// readBlob reads a page chain back into a byte slice.
+func (t *Tree) readBlob(head disk.BlockID) []byte {
+	var out []byte
+	buf := make([]byte, t.cfg.PageSize())
+	for id := head; id != disk.NilBlock; {
+		t.pager.MustRead(id, buf)
+		next := disk.BlockID(int64(le64(buf)))
+		n := int(uint16(buf[8]) | uint16(buf[9])<<8)
+		out = append(out, buf[blobHeader:blobHeader+n]...)
+		id = next
+	}
+	return out
+}
+
+// freeBlob releases a page chain.
+func (t *Tree) freeBlob(head disk.BlockID) {
+	buf := make([]byte, t.cfg.PageSize())
+	for id := head; id != disk.NilBlock; {
+		t.pager.MustRead(id, buf)
+		next := disk.BlockID(int64(le64(buf)))
+		t.pager.MustFree(id)
+		id = next
+	}
+}
+
+// rewriteBlob rewrites a chain in place, keeping the head id stable (parents
+// reference metablocks by their control blob head, so the head must never
+// move). Returns the head. When old is NilBlock a fresh chain is written.
+func (t *Tree) rewriteBlob(old disk.BlockID, data []byte) disk.BlockID {
+	if old == disk.NilBlock {
+		return t.writeBlob(data)
+	}
+	// Collect the existing chain ids.
+	var ids []disk.BlockID
+	buf := make([]byte, t.cfg.PageSize())
+	for id := old; id != disk.NilBlock; {
+		t.pager.MustRead(id, buf)
+		ids = append(ids, id)
+		id = disk.BlockID(int64(le64(buf)))
+	}
+	capPerPage := t.blobCapacity()
+	need := (len(data) + capPerPage - 1) / capPerPage
+	if need == 0 {
+		need = 1
+	}
+	for len(ids) < need {
+		ids = append(ids, t.pager.Alloc())
+	}
+	for len(ids) > need {
+		t.pager.MustFree(ids[len(ids)-1])
+		ids = ids[:len(ids)-1]
+	}
+	for i := 0; i < need; i++ {
+		lo := i * capPerPage
+		hi := lo + capPerPage
+		if hi > len(data) {
+			hi = len(data)
+		}
+		chunk := data[lo:hi]
+		page := make([]byte, t.cfg.PageSize())
+		var next disk.BlockID = disk.NilBlock
+		if i+1 < need {
+			next = ids[i+1]
+		}
+		putLE64(page, uint64(int64(next)))
+		page[8] = byte(len(chunk))
+		page[9] = byte(len(chunk) >> 8)
+		copy(page[blobHeader:], chunk)
+		t.pager.MustWrite(ids[i], page)
+	}
+	return ids[0]
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+// Static construction (Section 3.1, Fig 8): the root metablock holds the
+// B^2 points with the largest y values; the remaining points are divided by
+// x into at most B groups, each built recursively; a group of at most B^2
+// points becomes a leaf. The build also materialises each child's TS
+// structure (the top B^2 points among the stored sets of its left
+// siblings, Fig 10) and the corner structure of every metablock whose
+// bounding box meets the diagonal.
+//
+// The build stages points in memory and writes the structure out, so its
+// I/O cost is the writes of the structure itself, O(n/B) pages; the
+// paper's O((n/B) log_B n) build bound allows for external sorting, which
+// the simulation does not need to model (sorting cost is CPU, the measured
+// quantity is page traffic).
+
+// buildResult carries what a parent needs to know about a freshly built
+// child.
+type buildResult struct {
+	ctrl         disk.BlockID
+	bb           bbox
+	stored       []geom.Point // the child's stored points (for TS pools)
+	storedCount  int
+	subtreeCount int64
+	xlo, xhi     int64
+}
+
+// buildMetablock builds a metablock subtree over pts (sorted by x) and
+// returns its control blob head. Used by New and by subtree rebuilds.
+func (t *Tree) buildMetablock(pts []geom.Point, _ bool) disk.BlockID {
+	return t.buildMeta(pts).ctrl
+}
+
+func (t *Tree) buildMeta(pts []geom.Point) buildResult {
+	cap2 := t.cap2()
+	m := &metaCtrl{}
+	var stored, rest []geom.Point
+	if len(pts) <= cap2 {
+		stored = append([]geom.Point(nil), pts...)
+	} else {
+		// Top B^2 by y become this metablock's stored set.
+		byY := append([]geom.Point(nil), pts...)
+		geom.SortByYDesc(byY)
+		storedSet := make(map[geom.Point]int, cap2)
+		for _, p := range byY[:cap2] {
+			storedSet[p]++ // multiset: exact duplicate points are legal
+		}
+		stored = byY[:cap2:cap2]
+		rest = make([]geom.Point, 0, len(pts)-cap2)
+		for _, p := range pts { // preserve x order
+			if storedSet[p] > 0 {
+				storedSet[p]--
+				continue
+			}
+			rest = append(rest, p)
+		}
+	}
+	t.fillStoredOrgs(m, stored)
+
+	if len(rest) > 0 {
+		groups := (len(rest) + cap2 - 1) / cap2
+		if groups > t.cfg.B {
+			groups = t.cfg.B
+		}
+		per := (len(rest) + groups - 1) / groups
+		var results []buildResult
+		for i := 0; i < len(rest); i += per {
+			j := i + per
+			if j > len(rest) {
+				j = len(rest)
+			}
+			results = append(results, t.buildMeta(rest[i:j]))
+		}
+		// Child table.
+		for _, r := range results {
+			m.children = append(m.children, childRef{
+				ctrl: r.ctrl, xlo: r.xlo, xhi: r.xhi, bb: r.bb,
+				storedCount: r.storedCount, subtreeCount: r.subtreeCount,
+			})
+		}
+		// TS structures: prefix pools of the children's stored points.
+		t.rebuildChildTS(results)
+		m.td = &tdInfo{}
+	}
+
+	ctrl := t.storeCtrl(disk.NilBlock, m)
+	all := pts
+	var xlo, xhi int64
+	if len(all) > 0 {
+		xlo, xhi = all[0].X, all[len(all)-1].X
+	}
+	return buildResult{
+		ctrl: ctrl, bb: m.bb, stored: stored,
+		storedCount: len(stored), subtreeCount: int64(len(pts)),
+		xlo: xlo, xhi: xhi,
+	}
+}
+
+// fillStoredOrgs populates the vertical, horizontal and corner
+// organisations of m from the stored point set.
+func (t *Tree) fillStoredOrgs(m *metaCtrl, stored []geom.Point) {
+	m.count = len(stored)
+	m.bb = bboxOf(stored)
+
+	byX := append([]geom.Point(nil), stored...)
+	geom.SortByX(byX)
+	m.vblocks = t.writePointBlocks(byX)
+
+	byY := append([]geom.Point(nil), stored...)
+	geom.SortByYDesc(byY)
+	m.hblocks = t.writePointBlocks(byY)
+
+	if !t.cfg.DisableCorner && m.bb.meetsDiagonal() {
+		rs := make([]rec, len(stored))
+		for i, p := range stored {
+			rs[i] = rec{pt: p}
+		}
+		m.corner = t.buildCorner(rs)
+	}
+}
+
+// freeStoredOrgs releases the organisation pages of m (not the control blob
+// itself, and not children/TS/update/TD state).
+func (t *Tree) freeStoredOrgs(m *metaCtrl) {
+	t.freeChunks(m.vblocks)
+	t.freeChunks(m.hblocks)
+	t.freeCorner(m.corner)
+	m.vblocks, m.hblocks, m.corner = nil, nil, nil
+}
+
+// rebuildChildTS writes TS structures for a freshly built child sequence:
+// TS(child i) = top B^2 points among the stored sets of children 0..i-1.
+// Children's control blobs are patched in place.
+func (t *Tree) rebuildChildTS(results []buildResult) {
+	cap2 := t.cap2()
+	var pool []geom.Point
+	for i, r := range results {
+		cm := t.loadCtrl(r.ctrl)
+		t.freeChunks(cm.ts.blocks)
+		cm.ts = t.writeTS(pool)
+		t.storeCtrl(r.ctrl, cm)
+		_ = i
+		pool = topYPool(append(pool, r.stored...), cap2)
+	}
+}
+
+// writeTS materialises a TS structure from the pool (sorted and blocked
+// horizontally).
+func (t *Tree) writeTS(pool []geom.Point) tsInfo {
+	if len(pool) == 0 {
+		return tsInfo{}
+	}
+	byY := append([]geom.Point(nil), pool...)
+	geom.SortByYDesc(byY)
+	info := tsInfo{
+		blocks:  t.writePointBlocks(byY),
+		count:   len(byY),
+		bottomY: byY[len(byY)-1].Y,
+	}
+	return info
+}
+
+// topYPool keeps the k highest-y points of pts (by the YDesc total order).
+func topYPool(pts []geom.Point, k int) []geom.Point {
+	if len(pts) <= k {
+		return pts
+	}
+	geom.SortByYDesc(pts)
+	return append([]geom.Point(nil), pts[:k]...)
+}

@@ -1,0 +1,526 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+// Semi-dynamic insertion (Section 3.2, procedure insert-point of Fig 19).
+//
+// A new point descends from the root to the first metablock whose stored
+// minimum y it does not undercut (or to a leaf) and is buffered in that
+// metablock's update block; it is simultaneously registered in the TD
+// corner structure of the parent. The reorganisation ladder:
+//
+//   - level I  (every B arrivals at a metablock): merge the update block
+//     into the stored organisations, O(B) I/Os; the parent TD entries of
+//     the merged points flip from "buffered" to "stored".
+//   - TD full (B^2 registrations at an internal node): discard TD and
+//     rebuild the TS structures of all children (flushing their update
+//     blocks), O(B^2) I/Os.
+//   - level II (stored count reaches 2B^2): an internal metablock keeps its
+//     top B^2 points and pushes the bottom B^2 into its children (which may
+//     cascade); a leaf splits into two leaves of B^2 points under its
+//     parent. Both are followed by TS reorganisations at the affected
+//     levels, O(B^2) I/Os.
+//   - branching reaches 2B: the subtree is rebuilt into two subtrees of
+//     branching B that replace it in its parent (the whole tree is rebuilt
+//     when this reaches the root).
+//
+// Lemma 3.6 charges these exactly as coded here, giving the amortized
+// O(log_B n + (log_B n)^2 / B) insert bound of Theorem 3.7.
+
+// step records one edge of the descent path.
+type step struct {
+	id   disk.BlockID
+	slot int // child slot taken
+}
+
+// Insert adds p (which must satisfy p.Y >= p.X) to the tree.
+// Amortized cost: O(log_B n + (log_B n)^2/B) I/Os (Theorem 3.7).
+func (t *Tree) Insert(p geom.Point) {
+	if !p.AboveDiagonal() {
+		panic(fmt.Sprintf("core: point %v below the diagonal y=x", p))
+	}
+	t.n++
+
+	// Descend to the target metablock.
+	var path []step
+	cur := t.root
+	for {
+		m := t.loadCtrl(cur)
+		if len(m.children) == 0 || m.count == 0 || p.Y >= m.bb.minY {
+			break
+		}
+		slot := chooseChild(m.children, p.X)
+		c := &m.children[slot]
+		if p.X < c.xlo {
+			c.xlo = p.X
+		}
+		if p.X > c.xhi {
+			c.xhi = p.X
+		}
+		c.subtreeCount++
+		t.storeCtrl(cur, m)
+		path = append(path, step{id: cur, slot: slot})
+		cur = c.ctrl
+	}
+	target := cur
+
+	// Buffer the point in the target's update block.
+	{
+		m := t.loadCtrl(target)
+		t.appendUpd(&m.upd, rec{pt: p})
+		t.storeCtrl(target, m)
+	}
+
+	// Register in the parent's TD corner structure.
+	if len(path) > 0 {
+		par := path[len(path)-1]
+		pm := t.loadCtrl(par.id)
+		if pm.td == nil {
+			pm.td = &tdInfo{}
+		}
+		t.appendUpd(&pm.td.upd, rec{pt: p, aux: tdAux(par.slot, true)})
+		if pm.td.upd.count >= t.cfg.B {
+			t.tdMergeUpd(pm)
+		}
+		t.storeCtrl(par.id, pm)
+		if pm.td.count+pm.td.upd.count >= t.cap2() {
+			// The TS reorganisation flushes every child's update block
+			// (including the target's) and may split or rebuild the target,
+			// so there is nothing left for a level-I pass to do.
+			t.tsReorgChildren(par.id, path[:len(path)-1])
+			return
+		}
+	}
+
+	// Level I when the update block is full.
+	m := t.loadCtrl(target)
+	if m.upd.count >= t.cfg.B {
+		t.levelI(target, path)
+	}
+}
+
+// chooseChild picks the child slot for coordinate x: the rightmost child
+// whose partition starts at or before x (the first child as a fallback).
+// This function is the single routing rule shared by descent, level-II
+// pushes and TD slot bookkeeping, so slots stay consistent.
+func chooseChild(children []childRef, x int64) int {
+	idx := 0
+	for i := range children {
+		if children[i].xlo <= x {
+			idx = i
+		} else {
+			break
+		}
+	}
+	return idx
+}
+
+// appendUpd appends r to an update block, allocating it on first use.
+func (t *Tree) appendUpd(u *updInfo, r rec) {
+	if u.id == disk.NilBlock {
+		u.id = t.pager.Alloc()
+		t.putRecBlock(u.id, []rec{r})
+		u.count = 1
+		return
+	}
+	rs := t.readRecBlock(u.id)
+	rs = rs[:u.count] // defensive: count is authoritative
+	rs = append(rs, r)
+	t.putRecBlock(u.id, rs)
+	u.count = len(rs)
+}
+
+// clearUpd empties an update block (the page is kept for reuse).
+func (t *Tree) clearUpd(u *updInfo) {
+	if u.id != disk.NilBlock {
+		t.putRecBlock(u.id, nil)
+	}
+	u.count = 0
+}
+
+// readStoredPoints reads a metablock's stored set from its horizontal
+// organisation, O(count/B) I/Os.
+func (t *Tree) readStoredPoints(m *metaCtrl) []geom.Point {
+	var pts []geom.Point
+	for _, hb := range m.hblocks {
+		pts = append(pts, t.readPoints(hb.id)...)
+	}
+	return pts
+}
+
+// levelI merges the update block of the metablock at id into its stored
+// organisations (cost O(B)), updates the parent's child table and TD
+// bookkeeping, and triggers level II if the metablock reached 2B^2 points.
+func (t *Tree) levelI(id disk.BlockID, path []step) {
+	m := t.loadCtrl(id)
+	merged := t.updPoints(m.upd)
+	if len(merged) == 0 {
+		return
+	}
+	stored := append(t.readStoredPoints(m), merged...)
+	t.freeStoredOrgs(m)
+	t.fillStoredOrgs(m, stored)
+	t.clearUpd(&m.upd)
+	t.storeCtrl(id, m)
+
+	if len(path) > 0 {
+		par := path[len(path)-1]
+		pm := t.loadCtrl(par.id)
+		if i := findChild(pm, id); i >= 0 {
+			pm.children[i].bb = m.bb
+			pm.children[i].storedCount = m.count
+			t.tdMergeUpd(pm)
+			t.tdFlipInU(pm, i, merged)
+		}
+		t.storeCtrl(par.id, pm)
+	}
+
+	if m.count >= 2*t.cap2() {
+		t.levelII(id, path)
+	}
+}
+
+// findChild locates the child slot whose control blob is id.
+func findChild(pm *metaCtrl, id disk.BlockID) int {
+	for i := range pm.children {
+		if pm.children[i].ctrl == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// tdMergeUpd folds the TD update buffer into the TD entry list and rebuilds
+// the TD corner structure, O(B) I/Os (the structure holds at most ~B^2
+// records).
+func (t *Tree) tdMergeUpd(pm *metaCtrl) {
+	td := pm.td
+	if td == nil || td.upd.count == 0 {
+		return
+	}
+	entries := t.readTDEntries(pm)
+	entries = append(entries, t.updRecs(td.upd)...)
+	t.freeChunks(td.entryBlocks)
+	td.entryBlocks = t.writeRecChunks(entries)
+	td.count = len(entries)
+	t.freeCorner(td.corner)
+	td.corner = t.buildCorner(entries)
+	t.clearUpd(&td.upd)
+}
+
+// readTDEntries reads the merged TD entries.
+func (t *Tree) readTDEntries(pm *metaCtrl) []rec {
+	var out []rec
+	if pm.td == nil {
+		return nil
+	}
+	for _, c := range pm.td.entryBlocks {
+		out = append(out, t.readRecBlock(c.id)...)
+	}
+	return out
+}
+
+// tdFlipInU marks the given points of child slot as merged-into-stored in
+// the TD entries (one entry per point occurrence) and rebuilds the TD
+// corner structure.
+func (t *Tree) tdFlipInU(pm *metaCtrl, slot int, pts []geom.Point) {
+	td := pm.td
+	if td == nil || td.count == 0 {
+		return
+	}
+	want := make(map[geom.Point]int, len(pts))
+	for _, p := range pts {
+		want[p]++
+	}
+	entries := t.readTDEntries(pm)
+	changed := false
+	for i := range entries {
+		r := &entries[i]
+		if tdInU(r.aux) && tdSlot(r.aux) == slot && want[r.pt] > 0 {
+			want[r.pt]--
+			r.aux = tdAux(slot, false)
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	t.freeChunks(td.entryBlocks)
+	td.entryBlocks = t.writeRecChunks(entries)
+	t.freeCorner(td.corner)
+	td.corner = t.buildCorner(entries)
+}
+
+// discardTD frees the TD structure of pm (used when the children's TS
+// structures are rebuilt, after which TD has nothing left to cover).
+func (t *Tree) discardTD(pm *metaCtrl) {
+	td := pm.td
+	if td == nil {
+		return
+	}
+	t.freeChunks(td.entryBlocks)
+	t.freeCorner(td.corner)
+	if td.upd.id != disk.NilBlock {
+		t.pager.MustFree(td.upd.id)
+	}
+	pm.td = &tdInfo{}
+}
+
+// tsReorgChildren rebuilds the TS structures of every child of the
+// metablock at id from their current stored sets, flushing the children's
+// update blocks first and discarding the node's TD structure (Section 3.2's
+// "TS reorganization", cost O(B^2)). Children that reach 2B^2 stored points
+// during the flush overflow into level II afterwards.
+func (t *Tree) tsReorgChildren(id disk.BlockID, path []step) {
+	m := t.loadCtrl(id)
+	if len(m.children) == 0 {
+		return
+	}
+	t.discardTD(m)
+	cap2 := t.cap2()
+	var pool []geom.Point
+	var overflow []disk.BlockID
+	for i := range m.children {
+		c := &m.children[i]
+		cm := t.loadCtrl(c.ctrl)
+		var stored []geom.Point
+		if cm.upd.count > 0 {
+			stored = append(t.readStoredPoints(cm), t.updPoints(cm.upd)...)
+			t.freeStoredOrgs(cm)
+			t.fillStoredOrgs(cm, stored)
+			t.clearUpd(&cm.upd)
+		} else {
+			stored = t.readStoredPoints(cm)
+		}
+		t.freeChunks(cm.ts.blocks)
+		cm.ts = t.writeTS(pool)
+		t.storeCtrl(c.ctrl, cm)
+		c.bb = cm.bb
+		c.storedCount = cm.count
+		pool = topYPool(append(pool, stored...), cap2)
+		if cm.count >= 2*cap2 {
+			overflow = append(overflow, c.ctrl)
+		}
+	}
+	t.storeCtrl(id, m)
+
+	selfPath := append(append([]step(nil), path...), step{id: id})
+	for _, childID := range overflow {
+		// Re-locate the child: earlier overflow handling may have
+		// restructured the child list.
+		pm := t.loadCtrl(id)
+		i := findChild(pm, childID)
+		if i < 0 {
+			continue
+		}
+		cm := t.loadCtrl(childID)
+		if cm.count >= 2*cap2 {
+			selfPath[len(selfPath)-1].slot = i
+			t.levelII(childID, selfPath)
+		}
+	}
+}
+
+// levelII reorganises a metablock that reached 2B^2 stored points: internal
+// metablocks keep the top B^2 and push the bottom B^2 into their children;
+// leaves split in two under their parent (Section 3.2).
+func (t *Tree) levelII(id disk.BlockID, path []step) {
+	m := t.loadCtrl(id)
+	if m.upd.count != 0 {
+		// Level II always runs on merged state.
+		t.levelI(id, path)
+		m = t.loadCtrl(id)
+		if m.count < 2*t.cap2() {
+			return
+		}
+	}
+	if len(m.children) == 0 {
+		t.splitLeaf(id, path)
+		return
+	}
+
+	cap2 := t.cap2()
+	stored := t.readStoredPoints(m)
+	geom.SortByYDesc(stored)
+	top := stored[:cap2]
+	bottom := stored[cap2:]
+	t.freeStoredOrgs(m)
+	t.fillStoredOrgs(m, top)
+
+	// Route the bottom points to children and merge them into the
+	// children's stored organisations directly.
+	groups := make(map[int][]geom.Point)
+	for _, p := range bottom {
+		slot := chooseChild(m.children, p.X)
+		c := &m.children[slot]
+		if p.X < c.xlo {
+			c.xlo = p.X
+		}
+		if p.X > c.xhi {
+			c.xhi = p.X
+		}
+		groups[slot] = append(groups[slot], p)
+	}
+	var slots []int
+	for s := range groups {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	for _, s := range slots {
+		c := &m.children[s]
+		cm := t.loadCtrl(c.ctrl)
+		merged := append(t.readStoredPoints(cm), groups[s]...)
+		t.freeStoredOrgs(cm)
+		t.fillStoredOrgs(cm, merged)
+		t.storeCtrl(c.ctrl, cm)
+		c.bb = cm.bb
+		c.storedCount = cm.count
+		c.subtreeCount += int64(len(groups[s]))
+	}
+	t.storeCtrl(id, m)
+
+	// The children gained stored points and this node's stored set shrank:
+	// rebuild TS structures below and beside (both O(B^2), once per B^2
+	// arrivals here).
+	t.tsReorgChildren(id, path)
+	if len(path) > 0 {
+		par := path[len(path)-1]
+		pm := t.loadCtrl(par.id)
+		if i := findChild(pm, id); i >= 0 {
+			pm.children[i].bb = m.bb
+			pm.children[i].storedCount = m.count
+		}
+		t.storeCtrl(par.id, pm)
+		t.tsReorgChildren(par.id, path[:len(path)-1])
+	}
+}
+
+// splitLeaf replaces a 2B^2-point leaf by two B^2-point leaves under its
+// parent; a root leaf is rebuilt into a two-level tree instead. The parent
+// may then exceed branching 2B and be rebuilt (splitNode).
+func (t *Tree) splitLeaf(id disk.BlockID, path []step) {
+	m := t.loadCtrl(id)
+	pts := t.readStoredPoints(m)
+	geom.SortByX(pts)
+
+	if len(path) == 0 {
+		// Root leaf: rebuild the whole (tiny) tree.
+		t.freeMetablock(id, m)
+		t.root = t.buildMeta(pts).ctrl
+		return
+	}
+
+	half := len(pts) / 2
+	left := t.buildMeta(pts[:half])
+	right := t.buildMeta(pts[half:])
+
+	par := path[len(path)-1]
+	pm := t.loadCtrl(par.id)
+	idx := findChild(pm, id)
+	if idx < 0 {
+		panic("core: split leaf not found in parent")
+	}
+	t.freeMetablock(id, m)
+	newRefs := []childRef{
+		{ctrl: left.ctrl, xlo: left.xlo, xhi: left.xhi, bb: left.bb,
+			storedCount: left.storedCount, subtreeCount: left.subtreeCount},
+		{ctrl: right.ctrl, xlo: right.xlo, xhi: right.xhi, bb: right.bb,
+			storedCount: right.storedCount, subtreeCount: right.subtreeCount},
+	}
+	pm.children = append(pm.children[:idx], append(newRefs, pm.children[idx+1:]...)...)
+	t.storeCtrl(par.id, pm)
+
+	t.tsReorgChildren(par.id, path[:len(path)-1])
+
+	pm = t.loadCtrl(par.id)
+	if len(pm.children) >= 2*t.cfg.B {
+		t.splitNode(par.id, path[:len(path)-1])
+	}
+}
+
+// splitNode rebuilds the subtree at id (branching factor reached 2B) into
+// two balanced subtrees spliced into the parent; at the root the whole tree
+// is rebuilt. Cost O((k/B) log_B k) for a k-point subtree, amortized per
+// the final account of Lemma 3.6.
+func (t *Tree) splitNode(id disk.BlockID, path []step) {
+	pts := t.collectSubtree(id)
+	geom.SortByX(pts)
+
+	if len(path) == 0 {
+		t.freeSubtree(id)
+		t.root = t.buildMeta(pts).ctrl
+		return
+	}
+
+	par := path[len(path)-1]
+	pm := t.loadCtrl(par.id)
+	idx := findChild(pm, id)
+	if idx < 0 {
+		panic("core: split node not found in parent")
+	}
+	t.freeSubtree(id)
+	half := len(pts) / 2
+	left := t.buildMeta(pts[:half])
+	right := t.buildMeta(pts[half:])
+	newRefs := []childRef{
+		{ctrl: left.ctrl, xlo: left.xlo, xhi: left.xhi, bb: left.bb,
+			storedCount: left.storedCount, subtreeCount: left.subtreeCount},
+		{ctrl: right.ctrl, xlo: right.xlo, xhi: right.xhi, bb: right.bb,
+			storedCount: right.storedCount, subtreeCount: right.subtreeCount},
+	}
+	pm.children = append(pm.children[:idx], append(newRefs, pm.children[idx+1:]...)...)
+	t.storeCtrl(par.id, pm)
+
+	t.tsReorgChildren(par.id, path[:len(path)-1])
+
+	pm = t.loadCtrl(par.id)
+	if len(pm.children) >= 2*t.cfg.B {
+		t.splitNode(par.id, path[:len(path)-1])
+	}
+}
+
+// collectSubtree gathers every stored and buffered point under id
+// (TD entries are copies of points already collected from the children and
+// are skipped).
+func (t *Tree) collectSubtree(id disk.BlockID) []geom.Point {
+	m := t.loadCtrl(id)
+	pts := t.readStoredPoints(m)
+	pts = append(pts, t.updPoints(m.upd)...)
+	for _, c := range m.children {
+		pts = append(pts, t.collectSubtree(c.ctrl)...)
+	}
+	return pts
+}
+
+// freeMetablock releases every page of a single metablock (not its
+// children).
+func (t *Tree) freeMetablock(id disk.BlockID, m *metaCtrl) {
+	t.freeStoredOrgs(m)
+	t.freeChunks(m.ts.blocks)
+	if m.upd.id != disk.NilBlock {
+		t.pager.MustFree(m.upd.id)
+	}
+	if m.td != nil {
+		t.freeChunks(m.td.entryBlocks)
+		t.freeCorner(m.td.corner)
+		if m.td.upd.id != disk.NilBlock {
+			t.pager.MustFree(m.td.upd.id)
+		}
+	}
+	t.freeBlob(id)
+}
+
+// freeSubtree releases an entire subtree.
+func (t *Tree) freeSubtree(id disk.BlockID) {
+	m := t.loadCtrl(id)
+	for _, c := range m.children {
+		t.freeSubtree(c.ctrl)
+	}
+	t.freeMetablock(id, m)
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+// Diagonal corner query (Theorem 3.2, procedure diagonal-query of Fig 15,
+// augmented per Lemma 3.5 for the semi-dynamic structure).
+//
+// A metablock falls into one of the four types of Fig 16 according to how
+// its stored bounding box interacts with the query boundary (corner at
+// (a,a), region x <= a, y >= a):
+//
+//	Type I   crossed by the vertical side only  -> vertical-blocking scan
+//	Type II  contains the corner                -> corner structure
+//	Type III entirely inside                    -> dump all blocks
+//	Type IV  crossed by the horizontal side only-> horizontal scan, top down
+//
+// Children left of the descent path are handled with the TS structures: if
+// TS(Mr) of the rightmost Type IV child reaches below the query bottom, the
+// sibling stored points inside the query are exactly the TS prefix above it
+// (read top-down, one pass); otherwise the siblings are guaranteed to hold
+// at least B^2 answers and are examined individually, the per-sibling
+// wasted block amortized against that output (Fig 17).
+//
+// Dynamic state is folded in per Lemma 3.5: every metablock's update block
+// is reported through the TD corner structure of its parent (which also
+// covers points merged into a child's stored set after the last TS
+// rebuild), so TS reads never miss buffered points and direct visits never
+// double-report them. The root's own update block is scanned directly.
+
+// DiagonalQuery reports every stored point p with p.X <= a and p.Y >= a.
+// Enumeration stops early if emit returns false.
+// Cost: O(log_B n + t/B) I/Os (Theorem 3.2 / Lemma 3.5).
+func (t *Tree) DiagonalQuery(a int64, emit geom.Emit) {
+	st := &qstate{a: a, emit: emit}
+	m := t.loadCtrl(t.root)
+	// The root's update block has no parent TD to report it.
+	for _, r := range t.updRecs(m.upd) {
+		if !st.offer(r.pt) {
+			return
+		}
+	}
+	t.visitLoaded(t.root, m, st, true)
+}
+
+// Stab is DiagonalQuery under the interval reading: report every point
+// (lo, hi) with lo <= q <= hi (Proposition 2.2).
+func (t *Tree) Stab(q int64, emit geom.Emit) { t.DiagonalQuery(q, emit) }
+
+type qstate struct {
+	a       int64
+	emit    geom.Emit
+	stopped bool
+}
+
+// offer forwards a point if it satisfies the query; returns false when
+// enumeration must stop.
+func (st *qstate) offer(p geom.Point) bool {
+	if st.stopped {
+		return false
+	}
+	if p.X <= st.a && p.Y >= st.a {
+		if !st.emit(p) {
+			st.stopped = true
+			return false
+		}
+	}
+	return true
+}
+
+// visit loads and processes one metablock. reportStored is false when the
+// metablock's stored points were already reported from a TS structure.
+func (t *Tree) visit(id disk.BlockID, st *qstate, reportStored bool) {
+	if st.stopped {
+		return
+	}
+	m := t.loadCtrl(id)
+	t.visitLoaded(id, m, st, reportStored)
+}
+
+func (t *Tree) visitLoaded(_ disk.BlockID, m *metaCtrl, st *qstate, reportStored bool) {
+	if st.stopped {
+		return
+	}
+	if reportStored {
+		t.reportStored(m, st)
+		if st.stopped {
+			return
+		}
+	}
+	if len(m.children) == 0 {
+		return
+	}
+	t.processChildren(m, st)
+}
+
+// reportStored emits m's stored points that lie inside the query, choosing
+// the organisation dictated by the metablock's type.
+func (t *Tree) reportStored(m *metaCtrl, st *qstate) {
+	a := st.a
+	if m.count == 0 || !m.bb.valid || m.bb.minX > a || m.bb.maxY < a {
+		return
+	}
+	switch {
+	case m.bb.minY >= a && m.bb.maxX <= a:
+		// Type III: entirely inside; dump everything.
+		for _, hb := range m.hblocks {
+			for _, p := range t.readPoints(hb.id) {
+				if !st.offer(p) {
+					return
+				}
+			}
+		}
+	case m.bb.minY >= a:
+		// Type I: all stored points are above the query line; scan the
+		// vertical blocking left to right, at most one partial block.
+		for _, vb := range m.vblocks {
+			if vb.minX > a {
+				break
+			}
+			for _, p := range t.readPoints(vb.id) {
+				if !st.offer(p) {
+					return
+				}
+			}
+		}
+	case m.bb.maxX <= a:
+		// Type IV: all stored points are left of the corner; scan the
+		// horizontal blocking top-down, at most one partial block.
+		for _, hb := range m.hblocks {
+			if hb.maxY < a {
+				break
+			}
+			for _, p := range t.readPoints(hb.id) {
+				if !st.offer(p) {
+					return
+				}
+			}
+			if hb.minY < a {
+				break
+			}
+		}
+	default:
+		// Type II: the box straddles both query sides, so it contains the
+		// corner (a,a) and carries a corner structure (Lemma 3.1) unless
+		// corner structures are disabled for ablation.
+		if m.corner != nil {
+			t.queryCorner(m.corner, a, func(r rec) bool { return st.offer(r.pt) })
+			return
+		}
+		// Ablation fallback: vertical scan with up to Theta(B) wasted
+		// blocks (every block can straddle y = a).
+		for _, vb := range m.vblocks {
+			if vb.minX > a {
+				break
+			}
+			if vb.maxY < a {
+				continue
+			}
+			for _, p := range t.readPoints(vb.id) {
+				if !st.offer(p) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// childClass is the Fig 16 classification of a child relative to the query.
+type childClass int
+
+const (
+	classSkip     childClass = iota // subtree entirely right of or below the query
+	classPath                       // x-partition contains the corner column
+	classInside                     // stored box entirely inside (Type III)
+	classStraddle                   // stored box crossed by the bottom (Type IV)
+)
+
+func classify(c childRef, a int64) childClass {
+	if c.xlo > a {
+		return classSkip
+	}
+	if a < c.xhi { // xlo <= a < xhi
+		return classPath
+	}
+	// Entirely left of the corner column.
+	if !c.bb.valid || c.bb.maxY < a {
+		// Stored below the line; descendants are lower still (their points
+		// fell past this child when its stored minimum was already >= the
+		// current one), and buffered points are covered by this node's TD.
+		return classSkip
+	}
+	if c.bb.minY >= a {
+		return classInside
+	}
+	return classStraddle
+}
+
+// processChildren implements the per-level sibling handling of Theorem 3.2
+// plus the TD consultation of Lemma 3.5.
+func (t *Tree) processChildren(m *metaCtrl, st *qstate) {
+	a := st.a
+	classes := make([]childClass, len(m.children))
+	rightmostIV := -1
+	for i, c := range m.children {
+		classes[i] = classify(c, a)
+		if classes[i] == classStraddle {
+			rightmostIV = i
+		}
+	}
+
+	// direct[i] records that child i's stored points are reported by a
+	// direct visit (so TD must only add its buffered points); TS-covered
+	// and skipped children get their recent arrivals from TD instead.
+	direct := make([]bool, len(m.children))
+
+	// tsCovered[i] marks left siblings whose stored points came from TS.
+	tsCovered := make([]bool, len(m.children))
+
+	if rightmostIV >= 0 && !t.cfg.DisableTS {
+		mr := m.children[rightmostIV]
+		mrCtrl := t.loadCtrl(mr.ctrl)
+		// Report Mr itself directly (one partial block at most).
+		direct[rightmostIV] = true
+		t.reportStored(mrCtrl, st)
+		if st.stopped {
+			return
+		}
+		// Decide how to treat Mr's left siblings using TS(Mr).
+		totalLeft := 0
+		for i := 0; i < rightmostIV; i++ {
+			totalLeft += m.children[i].storedCount
+		}
+		covers := totalLeft == 0 ||
+			(mrCtrl.ts.count > 0 && (mrCtrl.ts.bottomY < a || mrCtrl.ts.count == totalLeft))
+		if covers {
+			// One pass over TS top-down reports every left-sibling stored
+			// point inside the query (left siblings lie entirely left of
+			// the corner, so only the y filter applies).
+			for _, hb := range mrCtrl.ts.blocks {
+				if hb.maxY < a {
+					break
+				}
+				for _, p := range t.readPoints(hb.id) {
+					if p.Y >= a {
+						if !st.offer(p) {
+							return
+						}
+					}
+				}
+				if hb.minY < a {
+					break
+				}
+			}
+			for i := 0; i < rightmostIV; i++ {
+				tsCovered[i] = true
+			}
+			// Fully-inside left siblings still carry deeper answers:
+			// recurse without re-reporting their stored points.
+			for i := 0; i < rightmostIV; i++ {
+				if classes[i] == classInside {
+					t.visit(m.children[i].ctrl, st, false)
+					if st.stopped {
+						return
+					}
+				}
+			}
+		} else {
+			// TS guarantees at least B^2 sibling answers: examine each
+			// sibling individually, the waste amortized against them.
+			for i := 0; i < rightmostIV; i++ {
+				t.processFullChild(m.children[i], classes[i], direct, i, st)
+				if st.stopped {
+					return
+				}
+			}
+		}
+		// Children right of Mr but left of the path (inside or skip only).
+		for i := rightmostIV + 1; i < len(m.children); i++ {
+			if classes[i] == classPath {
+				break
+			}
+			t.processFullChild(m.children[i], classes[i], direct, i, st)
+			if st.stopped {
+				return
+			}
+		}
+	} else {
+		// No Type IV children (or TS disabled): process every non-path
+		// child individually.
+		for i, c := range m.children {
+			if classes[i] == classPath {
+				continue
+			}
+			t.processFullChild(c, classes[i], direct, i, st)
+			if st.stopped {
+				return
+			}
+		}
+	}
+
+	// Descend the path.
+	for i, c := range m.children {
+		if classes[i] == classPath {
+			direct[i] = true
+			t.visit(c.ctrl, st, true)
+			if st.stopped {
+				return
+			}
+		}
+	}
+
+	// TD consultation (Lemma 3.5): report buffered and recently merged
+	// points of the children. For directly visited children only their
+	// still-buffered points are new; for everything else the whole TD entry
+	// applies.
+	if m.td != nil {
+		emitTD := func(r rec) bool {
+			slot := tdSlot(r.aux)
+			if slot < len(direct) && direct[slot] && !tdInU(r.aux) {
+				return true // already reported from the child's stored set
+			}
+			return st.offer(r.pt)
+		}
+		if m.td.corner != nil {
+			if !t.queryCorner(m.td.corner, a, emitTD) {
+				return
+			}
+		}
+		for _, r := range t.updRecs(m.td.upd) {
+			if !emitTD(r) {
+				return
+			}
+		}
+	}
+}
+
+// processFullChild handles one fully-left child individually: inside
+// children are visited (their whole stored set is inside the query);
+// straddling children get a horizontal top-down scan; skipped children cost
+// nothing.
+func (t *Tree) processFullChild(c childRef, cl childClass, direct []bool, idx int, st *qstate) {
+	switch cl {
+	case classInside:
+		direct[idx] = true
+		t.visit(c.ctrl, st, true)
+	case classStraddle:
+		direct[idx] = true
+		cm := t.loadCtrl(c.ctrl)
+		t.reportStored(cm, st)
+		// Descendants of a straddling child lie below the query line.
+	case classSkip:
+		// Nothing: stored and descendants below the line or right of the
+		// corner; buffered arrivals are covered by the parent's TD.
+	}
+}

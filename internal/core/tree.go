@@ -1,0 +1,287 @@
+// Package core implements the metablock tree, the central data structure of
+// Kanellakis, Ramaswamy, Vengroff and Vitter, "Indexing for Data Models with
+// Constraints and Classes" (Section 3).
+//
+// The metablock tree stores n points in the half plane y >= x and answers
+// diagonal corner queries — report every point with x <= a and y >= a, the
+// query to which external dynamic interval management reduces (Proposition
+// 2.2) — with the following worst-case guarantees:
+//
+//   - space O(n/B) disk blocks (Theorem 3.2, Lemma 3.4),
+//   - query O(log_B n + t/B) I/Os (Theorems 3.2 and 3.7, optimal by
+//     Proposition 3.3),
+//   - amortized insert O(log_B n + (log_B n)^2/B) I/Os (Theorem 3.7).
+//
+// Structure (Section 3.1, Figs 8-10): a B-ary tree of metablocks, each
+// holding up to B^2 points (2B^2 transiently while dynamic). A metablock
+// stores its points twice, in B-point blocks blocked vertically (by x) and
+// horizontally (by decreasing y); metablocks whose bounding box meets the
+// diagonal also carry the corner structure of Lemma 3.1 (corner.go). Each
+// metablock M additionally stores TS(M), the B^2 highest-y points among the
+// points stored in M's left siblings, which lets a query decide in O(1)
+// blocks whether a run of "Type IV" siblings is worth examining one by one.
+//
+// Dynamization (Section 3.2, Fig 19): inserts are buffered in per-metablock
+// update blocks (level-I reorganisation every B inserts rebuilds the block
+// organisations), metablocks split when they reach 2B^2 points (level-II
+// reorganisation pushes the bottom half into the children), every internal
+// metablock maintains a TD corner structure over the points recently placed
+// in its children (rebuilding all the children's TS structures when TD
+// reaches B^2 points), and a subtree is rebuilt when a branching factor
+// reaches 2B. All reorganisation costs are amortized exactly as in the
+// paper's Lemma 3.6.
+package core
+
+import (
+	"fmt"
+
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+// recSize is the on-disk record slot: x, y (int64), id (uint64),
+// aux (uint32, used by TD entries), pad to 32 bytes.
+const recSize = 32
+
+// pageHeaderSize precedes the record slots in every data page.
+const pageHeaderSize = 16
+
+// Config collects the tunable parameters of a metablock tree.
+type Config struct {
+	// B is the block capacity in records. Metablocks hold up to B^2 points
+	// (2B^2 transiently). Must be at least 4.
+	B int
+	// DisableTS turns off the TS structures (ablation experiment E13): the
+	// query then examines every Type IV sibling individually, which breaks
+	// the amortization the paper proves in Theorem 3.2.
+	DisableTS bool
+	// DisableCorner turns off corner structures (ablation experiment E14):
+	// Type II metablocks fall back to a vertical-blocking scan whose waste
+	// is Theta(B) blocks in the worst case instead of O(1 + t/B).
+	DisableCorner bool
+}
+
+// PageSize returns the page size in bytes implied by cfg.
+func (cfg Config) PageSize() int { return pageHeaderSize + cfg.B*recSize }
+
+// Tree is a metablock tree. Not safe for concurrent use.
+type Tree struct {
+	cfg   Config
+	pager *disk.Pager
+	root  disk.BlockID // control blob of the root metablock
+	n     int
+}
+
+// New builds a metablock tree over pts (which must all satisfy y >= x) with
+// the static O((n/B) log_B n) construction of Section 3.1. The slice is
+// copied. Points may be inserted afterwards (Section 3.2).
+func New(cfg Config, pts []geom.Point) *Tree {
+	if cfg.B < 4 {
+		panic("core: B must be at least 4")
+	}
+	for _, p := range pts {
+		if !p.AboveDiagonal() {
+			panic(fmt.Sprintf("core: point %v below the diagonal y=x", p))
+		}
+	}
+	t := &Tree{cfg: cfg, pager: disk.NewPager(cfg.PageSize()), n: len(pts)}
+	own := append([]geom.Point(nil), pts...)
+	geom.SortByX(own)
+	t.root = t.buildMetablock(own, true)
+	return t
+}
+
+// Pager exposes the underlying simulated device for I/O accounting.
+func (t *Tree) Pager() *disk.Pager { return t.pager }
+
+// Len returns the number of points stored.
+func (t *Tree) Len() int { return t.n }
+
+// B returns the block capacity.
+func (t *Tree) B() int { return t.cfg.B }
+
+// cap2 is the nominal metablock capacity B^2.
+func (t *Tree) cap2() int { return t.cfg.B * t.cfg.B }
+
+// rec is the decoded record slot.
+type rec struct {
+	pt  geom.Point
+	aux uint32
+}
+
+// --- data pages -----------------------------------------------------------
+
+// writeRecBlock writes up to B records into a fresh page and returns its id.
+func (t *Tree) writeRecBlock(rs []rec) disk.BlockID {
+	if len(rs) > t.cfg.B {
+		panic("core: record block overflow")
+	}
+	id := t.pager.Alloc()
+	t.putRecBlock(id, rs)
+	return id
+}
+
+// putRecBlock overwrites page id with rs.
+func (t *Tree) putRecBlock(id disk.BlockID, rs []rec) {
+	buf := make([]byte, t.cfg.PageSize())
+	buf[0] = byte(len(rs))
+	buf[1] = byte(len(rs) >> 8)
+	off := pageHeaderSize
+	for _, r := range rs {
+		putLE64(buf[off:], uint64(r.pt.X))
+		putLE64(buf[off+8:], uint64(r.pt.Y))
+		putLE64(buf[off+16:], r.pt.ID)
+		putLE32(buf[off+24:], r.aux)
+		off += recSize
+	}
+	t.pager.MustWrite(id, buf)
+}
+
+// readRecBlock reads a record page.
+func (t *Tree) readRecBlock(id disk.BlockID) []rec {
+	buf := make([]byte, t.cfg.PageSize())
+	t.pager.MustRead(id, buf)
+	cnt := int(uint16(buf[0]) | uint16(buf[1])<<8)
+	rs := make([]rec, cnt)
+	off := pageHeaderSize
+	for i := 0; i < cnt; i++ {
+		rs[i] = rec{
+			pt: geom.Point{
+				X:  int64(le64(buf[off:])),
+				Y:  int64(le64(buf[off+8:])),
+				ID: le64(buf[off+16:]),
+			},
+			aux: le32(buf[off+24:]),
+		}
+		off += recSize
+	}
+	return rs
+}
+
+// writePointBlocks chunks pts into B-point pages preserving order and
+// returns one chunkRef per page with the chunk's bounding coordinates.
+func (t *Tree) writePointBlocks(pts []geom.Point) []chunkRef {
+	var refs []chunkRef
+	for i := 0; i < len(pts); i += t.cfg.B {
+		j := i + t.cfg.B
+		if j > len(pts) {
+			j = len(pts)
+		}
+		chunk := pts[i:j]
+		rs := make([]rec, len(chunk))
+		bb := newBBox()
+		for k, p := range chunk {
+			rs[k] = rec{pt: p}
+			bb.add(p)
+		}
+		refs = append(refs, chunkRef{
+			id: t.writeRecBlock(rs), n: len(chunk),
+			minX: bb.minX, maxX: bb.maxX, minY: bb.minY, maxY: bb.maxY,
+		})
+	}
+	return refs
+}
+
+// readPoints reads a chunk page as points.
+func (t *Tree) readPoints(id disk.BlockID) []geom.Point {
+	rs := t.readRecBlock(id)
+	pts := make([]geom.Point, len(rs))
+	for i, r := range rs {
+		pts[i] = r.pt
+	}
+	return pts
+}
+
+// freeChunks releases a chunk list.
+func (t *Tree) freeChunks(refs []chunkRef) {
+	for _, c := range refs {
+		t.pager.MustFree(c.id)
+	}
+}
+
+// --- little-endian helpers -------------------------------------------------
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLE32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// --- bounding boxes ---------------------------------------------------------
+
+type bbox struct {
+	minX, maxX, minY, maxY int64
+	valid                  bool
+}
+
+func newBBox() bbox {
+	return bbox{minX: 1<<63 - 1, maxX: -1 << 63, minY: 1<<63 - 1, maxY: -1 << 63}
+}
+
+func (b *bbox) add(p geom.Point) {
+	if p.X < b.minX {
+		b.minX = p.X
+	}
+	if p.X > b.maxX {
+		b.maxX = p.X
+	}
+	if p.Y < b.minY {
+		b.minY = p.Y
+	}
+	if p.Y > b.maxY {
+		b.maxY = p.Y
+	}
+	b.valid = true
+}
+
+func bboxOf(pts []geom.Point) bbox {
+	bb := newBBox()
+	for _, p := range pts {
+		bb.add(p)
+	}
+	return bb
+}
+
+// meetsDiagonal reports whether the box contains a point of the line y = x,
+// the condition under which a metablock can contain the corner of a query
+// and therefore needs a corner structure.
+func (b bbox) meetsDiagonal() bool {
+	if !b.valid {
+		return false
+	}
+	lo := b.minX
+	if b.minY > lo {
+		lo = b.minY
+	}
+	hi := b.maxX
+	if b.maxY < hi {
+		hi = b.maxY
+	}
+	return lo <= hi
+}
+
+// containsCorner reports whether the query corner (a, a) lies in the box.
+func (b bbox) containsCorner(a int64) bool {
+	return b.valid && b.minX <= a && a <= b.maxX && b.minY <= a && a <= b.maxY
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccidx/internal/geom"
+)
+
+func genDiagonalPoints(rng *rand.Rand, n int, coordRange int64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		x := rng.Int63n(coordRange)
+		y := x + rng.Int63n(coordRange-x+1)
+		pts[i] = geom.Point{X: x, Y: y, ID: uint64(i)}
+	}
+	return pts
+}
+
+func queryOracle(pts []geom.Point, a int64) map[uint64]int {
+	out := map[uint64]int{}
+	for _, p := range pts {
+		if p.X <= a && p.Y >= a {
+			out[p.ID]++
+		}
+	}
+	return out
+}
+
+func runDiagonal(t *Tree, a int64) map[uint64]int {
+	got := map[uint64]int{}
+	t.DiagonalQuery(a, func(p geom.Point) bool {
+		got[p.ID]++
+		return true
+	})
+	return got
+}
+
+func requireSame(t *testing.T, tr *Tree, pts []geom.Point, a int64, label string) {
+	t.Helper()
+	got := runDiagonal(tr, a)
+	want := queryOracle(pts, a)
+	if !sameMultiset(got, want) {
+		miss, extra := diffMultiset(want, got)
+		t.Fatalf("%s a=%d: got %d want %d (missing %v, extra %v)", label, a, len(got), len(want), miss, extra)
+	}
+}
+
+func diffMultiset(want, got map[uint64]int) (missing, extra []uint64) {
+	for id, k := range want {
+		if got[id] < k {
+			missing = append(missing, id)
+		}
+	}
+	for id, k := range got {
+		if want[id] < k {
+			extra = append(extra, id)
+		}
+	}
+	if len(missing) > 8 {
+		missing = missing[:8]
+	}
+	if len(extra) > 8 {
+		extra = extra[:8]
+	}
+	return
+}
+
+// --- static behaviour -------------------------------------------------------
+
+func TestStaticSmallTreesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(200)
+		pts := genDiagonalPoints(rng, n, 50)
+		tr := New(Config{B: 4}, pts)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for a := int64(-2); a <= 52; a++ {
+			requireSame(t, tr, pts, a, "static")
+		}
+	}
+}
+
+func TestStaticMultiLevelTree(t *testing.T) {
+	// Force several metablock levels: n >> B^2 with B=4.
+	rng := rand.New(rand.NewSource(2))
+	pts := genDiagonalPoints(rng, 3000, 1000)
+	tr := New(Config{B: 4}, pts)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 250; trial++ {
+		a := rng.Int63n(1004) - 2
+		requireSame(t, tr, pts, a, "multilevel")
+	}
+}
+
+func TestStaticAllPointsOneColumn(t *testing.T) {
+	// Degenerate input: all x equal; partitions collapse.
+	pts := make([]geom.Point, 120)
+	for i := range pts {
+		pts[i] = geom.Point{X: 10, Y: 10 + int64(i), ID: uint64(i)}
+	}
+	tr := New(Config{B: 4}, pts)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []int64{9, 10, 11, 70, 129, 130} {
+		requireSame(t, tr, pts, a, "column")
+	}
+}
+
+func TestStaticAllPointsOnDiagonal(t *testing.T) {
+	pts := make([]geom.Point, 150)
+	for i := range pts {
+		pts[i] = geom.Point{X: int64(i), Y: int64(i), ID: uint64(i)}
+	}
+	tr := New(Config{B: 4}, pts)
+	for _, a := range []int64{-1, 0, 1, 75, 149, 150} {
+		requireSame(t, tr, pts, a, "diagonal")
+	}
+}
+
+func TestEmptyTreeQueries(t *testing.T) {
+	tr := New(Config{B: 4}, nil)
+	if got := runDiagonal(tr, 0); len(got) != 0 {
+		t.Fatalf("empty tree returned %v", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsBelowDiagonal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{B: 4}, []geom.Point{{X: 5, Y: 4}})
+}
+
+func TestQueryEarlyStop(t *testing.T) {
+	pts := genDiagonalPoints(rand.New(rand.NewSource(3)), 500, 100)
+	tr := New(Config{B: 4}, pts)
+	count := 0
+	tr.DiagonalQuery(50, func(geom.Point) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop emitted %d", count)
+	}
+}
+
+// --- dynamic behaviour -------------------------------------------------------
+
+func TestInsertIntoEmptyTree(t *testing.T) {
+	tr := New(Config{B: 4}, nil)
+	var pts []geom.Point
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 400; i++ {
+		x := rng.Int63n(100)
+		p := geom.Point{X: x, Y: x + rng.Int63n(101-x), ID: uint64(i)}
+		tr.Insert(p)
+		pts = append(pts, p)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 400 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	for a := int64(-1); a <= 101; a++ {
+		requireSame(t, tr, pts, a, "insert-empty")
+	}
+}
+
+func TestInsertIntoStaticTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := genDiagonalPoints(rng, 1000, 300)
+	tr := New(Config{B: 4}, pts)
+	for i := 0; i < 1500; i++ {
+		x := rng.Int63n(300)
+		p := geom.Point{X: x, Y: x + rng.Int63n(301-x), ID: uint64(10000 + i)}
+		tr.Insert(p)
+		pts = append(pts, p)
+		if i%250 == 249 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+			for k := 0; k < 40; k++ {
+				requireSame(t, tr, pts, rng.Int63n(304)-2, "insert-static")
+			}
+		}
+	}
+}
+
+func TestInsertAscendingAdversarial(t *testing.T) {
+	// Ascending x on the diagonal: stresses rightmost-path splits.
+	tr := New(Config{B: 4}, nil)
+	var pts []geom.Point
+	for i := 0; i < 800; i++ {
+		p := geom.Point{X: int64(i), Y: int64(i), ID: uint64(i)}
+		tr.Insert(p)
+		pts = append(pts, p)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []int64{0, 1, 399, 400, 798, 799, 800} {
+		requireSame(t, tr, pts, a, "ascending")
+	}
+}
+
+func TestInsertDescendingAdversarial(t *testing.T) {
+	tr := New(Config{B: 4}, nil)
+	var pts []geom.Point
+	for i := 799; i >= 0; i-- {
+		p := geom.Point{X: int64(i), Y: int64(i) + 3, ID: uint64(i)}
+		tr.Insert(p)
+		pts = append(pts, p)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []int64{0, 1, 399, 400, 799, 802, 803} {
+		requireSame(t, tr, pts, a, "descending")
+	}
+}
+
+func TestInsertHighYFloodsRoot(t *testing.T) {
+	// Every insert lands in the root's update block: exercises root level I
+	// and level II cascades.
+	rng := rand.New(rand.NewSource(6))
+	pts := genDiagonalPoints(rng, 500, 100)
+	tr := New(Config{B: 4}, pts)
+	for i := 0; i < 600; i++ {
+		p := geom.Point{X: rng.Int63n(100), Y: 1000 + int64(i), ID: uint64(50000 + i)}
+		tr.Insert(p)
+		pts = append(pts, p)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 60; k++ {
+		requireSame(t, tr, pts, rng.Int63n(1700)-2, "flood")
+	}
+}
+
+func TestWalkEnumeratesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := genDiagonalPoints(rng, 700, 200)
+	tr := New(Config{B: 4}, pts[:300])
+	for _, p := range pts[300:] {
+		tr.Insert(p)
+	}
+	seen := map[uint64]int{}
+	tr.Walk(func(p geom.Point) bool {
+		seen[p.ID]++
+		return true
+	})
+	if len(seen) != 700 {
+		t.Fatalf("walk saw %d distinct ids, want 700", len(seen))
+	}
+	for id, k := range seen {
+		if k != 1 {
+			t.Fatalf("id %d seen %d times", id, k)
+		}
+	}
+}
+
+func TestPropertyRandomInsertQueryAgainstOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := 4 + rng.Intn(3)
+		nStatic := rng.Intn(300)
+		pts := genDiagonalPoints(rng, nStatic, 60)
+		tr := New(Config{B: b}, pts)
+		for i := 0; i < 200; i++ {
+			x := rng.Int63n(60)
+			p := geom.Point{X: x, Y: x + rng.Int63n(61-x), ID: uint64(1000 + i)}
+			tr.Insert(p)
+			pts = append(pts, p)
+		}
+		for k := 0; k < 15; k++ {
+			a := rng.Int63n(64) - 2
+			if !sameMultiset(runDiagonal(tr, a), queryOracle(pts, a)) {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- bounds ------------------------------------------------------------------
+
+func logBn(n, b int) int {
+	l := 1
+	v := b
+	for v < n {
+		v *= b
+		l++
+	}
+	return l
+}
+
+// Theorem 3.2: static query I/O <= c1*log_B n + c2*t/B + c3. The constants
+// absorb the O(1)-page control blobs per visited metablock.
+func TestStaticQueryIOBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	b := 8
+	n := 40000
+	pts := genDiagonalPoints(rng, n, 100000)
+	tr := New(Config{B: b}, pts)
+	lb := logBn(n, b*b) // metablock tree height is log_{B}(n/B^2)-ish; use log_{B^2} n
+	for trial := 0; trial < 120; trial++ {
+		a := rng.Int63n(100004) - 2
+		before := tr.Pager().Stats()
+		tq := 0
+		tr.DiagonalQuery(a, func(geom.Point) bool { tq++; return true })
+		ios := tr.Pager().Stats().Sub(before).IOs()
+		bound := int64(40*lb) + 6*int64(tq)/int64(b) + 40
+		if ios > bound {
+			t.Fatalf("a=%d t=%d: %d I/Os exceeds bound %d", a, tq, ios, bound)
+		}
+	}
+}
+
+// Theorem 3.2 / Lemma 3.4: space O(n/B) blocks.
+func TestSpaceBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := 8
+	n := 30000
+	pts := genDiagonalPoints(rng, n, 1<<40)
+	tr := New(Config{B: b}, pts)
+	pages := tr.Pager().Allocated()
+	// Stored twice (vertical+horizontal), corner structures up to 3k more,
+	// TS up to B^2 per metablock, control blobs: still c*n/B.
+	limit := int64(12 * n / b)
+	if pages > limit {
+		t.Fatalf("space %d pages exceeds %d (=12n/B)", pages, limit)
+	}
+}
+
+// Space stays O(n/B) under inserts too (Lemma 3.4 for the augmented tree).
+func TestDynamicSpaceBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	b := 8
+	tr := New(Config{B: b}, nil)
+	n := 20000
+	for i := 0; i < n; i++ {
+		x := rng.Int63n(1 << 30)
+		tr.Insert(geom.Point{X: x, Y: x + rng.Int63n(1<<30), ID: uint64(i)})
+	}
+	pages := tr.Pager().Allocated()
+	limit := int64(14 * n / b)
+	if pages > limit {
+		t.Fatalf("space %d pages exceeds %d", pages, limit)
+	}
+}
+
+// Theorem 3.7: amortized insert I/O is O(log_B n + (log_B n)^2/B).
+func TestInsertAmortizedIOBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := 8
+	tr := New(Config{B: b}, genDiagonalPoints(rng, 20000, 1<<30))
+	before := tr.Pager().Stats()
+	const extra = 4000
+	for i := 0; i < extra; i++ {
+		x := rng.Int63n(1 << 30)
+		tr.Insert(geom.Point{X: x, Y: x + rng.Int63n(1<<30-x), ID: uint64(1 << 40)})
+	}
+	per := float64(tr.Pager().Stats().Sub(before).IOs()) / extra
+	lb := float64(logBn(tr.Len(), b))
+	bound := 60*lb + 20*lb*lb/float64(b) + 60
+	if per > bound {
+		t.Fatalf("amortized insert I/O %.1f exceeds %.1f", per, bound)
+	}
+	t.Logf("amortized insert I/O: %.1f (bound %.1f)", per, bound)
+}
+
+// Ablation sanity: disabling TS/corner structures must not affect
+// correctness, only I/O counts (experiments E13/E14 measure the cost).
+func TestAblationsRemainCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pts := genDiagonalPoints(rng, 1200, 400)
+	for _, cfg := range []Config{
+		{B: 4, DisableTS: true},
+		{B: 4, DisableCorner: true},
+		{B: 4, DisableTS: true, DisableCorner: true},
+	} {
+		tr := New(cfg, pts)
+		extra := append([]geom.Point(nil), pts...)
+		for i := 0; i < 300; i++ {
+			x := rng.Int63n(400)
+			p := geom.Point{X: x, Y: x + rng.Int63n(401-x), ID: uint64(90000 + i)}
+			tr.Insert(p)
+			extra = append(extra, p)
+		}
+		for k := 0; k < 50; k++ {
+			a := rng.Int63n(404) - 2
+			if !sameMultiset(runDiagonal(tr, a), queryOracle(extra, a)) {
+				t.Fatalf("cfg %+v: mismatch at a=%d", cfg, a)
+			}
+		}
+	}
+}
+
+func TestStabAliasesDiagonalQuery(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 5, ID: 1}, {X: 3, Y: 4, ID: 2}, {X: 6, Y: 9, ID: 3}}
+	tr := New(Config{B: 4}, pts)
+	var got []geom.Point
+	tr.Stab(4, geom.Collect(&got))
+	if len(got) != 2 {
+		t.Fatalf("stab(4) returned %d intervals, want 2", len(got))
+	}
+}

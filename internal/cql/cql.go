@@ -1,0 +1,507 @@
+// Package cql implements the constraint query language layer of Section
+// 2.1: generalized tuples and relations over the theory of rational order
+// with constants, and the generalized one-dimensional index that reduces
+// indexing constraints to external dynamic interval management
+// (Proposition 2.2).
+//
+// A generalized k-tuple is a quantifier-free conjunction of order
+// constraints (x op c, x op y with op in <, <=, =, >=, >) on k variables
+// ranging over the rationals; a generalized relation is a finite set of
+// such tuples (a DNF formula). For this convex CQL the projection of a
+// tuple on any variable is a single interval, which is exactly what the
+// generalized index stores (Section 2.1's "generalized key").
+//
+// All constraint reasoning is exact (math/big.Rat). The index layer maps
+// rational endpoints to int64 keys through an order-preserving float64
+// embedding with outward rounding, so the index may return false
+// candidates — which the exact refinement step removes — but never misses
+// an answer.
+package cql
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strings"
+)
+
+// Op is a comparison operator of the theory of rational order.
+type Op int
+
+// Operators. NE is intentionally absent: it would break convexity (the
+// projection of a tuple would stop being one interval), and the paper's
+// reduction assumes convex CQLs.
+const (
+	LT Op = iota
+	LE
+	EQ
+	GE
+	GT
+)
+
+func (o Op) String() string {
+	switch o {
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case EQ:
+		return "="
+	case GE:
+		return ">="
+	case GT:
+		return ">"
+	}
+	return "?"
+}
+
+// Atom is a single constraint: Var op (other Var | Const).
+type Atom struct {
+	Var   int
+	Op    Op
+	IsVar bool
+	RVar  int
+	Const *big.Rat
+}
+
+func (a Atom) String() string {
+	if a.IsVar {
+		return fmt.Sprintf("x%d %v x%d", a.Var, a.Op, a.RVar)
+	}
+	return fmt.Sprintf("x%d %v %v", a.Var, a.Op, a.Const.RatString())
+}
+
+// VarConst builds the atom "x_v op c".
+func VarConst(v int, op Op, c *big.Rat) Atom {
+	return Atom{Var: v, Op: op, Const: new(big.Rat).Set(c)}
+}
+
+// VarVar builds the atom "x_v op x_w".
+func VarVar(v int, op Op, w int) Atom {
+	return Atom{Var: v, Op: op, IsVar: true, RVar: w}
+}
+
+// Between builds the two atoms lo <= x_v <= hi.
+func Between(v int, lo, hi *big.Rat) []Atom {
+	return []Atom{VarConst(v, GE, lo), VarConst(v, LE, hi)}
+}
+
+// EqConst builds x_v = c.
+func EqConst(v int, c *big.Rat) Atom { return VarConst(v, EQ, c) }
+
+// Conj is a generalized tuple: a conjunction of atoms over Arity variables,
+// with an identifier used by the index layer.
+type Conj struct {
+	Arity int
+	ID    uint64
+	Atoms []Atom
+}
+
+// NewConj builds a generalized tuple.
+func NewConj(arity int, id uint64, atoms ...Atom) Conj {
+	for _, a := range atoms {
+		if a.Var < 0 || a.Var >= arity || (a.IsVar && (a.RVar < 0 || a.RVar >= arity)) {
+			panic("cql: atom variable out of range")
+		}
+	}
+	return Conj{Arity: arity, ID: id, Atoms: atoms}
+}
+
+func (c Conj) String() string {
+	parts := make([]string, len(c.Atoms))
+	for i, a := range c.Atoms {
+		parts[i] = a.String()
+	}
+	if len(parts) == 0 {
+		return "true"
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// And returns the conjunction of c with more atoms.
+func (c Conj) And(atoms ...Atom) Conj {
+	out := Conj{Arity: c.Arity, ID: c.ID}
+	out.Atoms = append(append([]Atom(nil), c.Atoms...), atoms...)
+	return out
+}
+
+// bound is a one-sided constant bound.
+type bound struct {
+	val    *big.Rat // nil = unbounded
+	strict bool
+}
+
+// tighterLower returns the tighter of two lower bounds.
+func tighterLower(a, b bound) bound {
+	if a.val == nil {
+		return b
+	}
+	if b.val == nil {
+		return a
+	}
+	switch a.val.Cmp(b.val) {
+	case -1:
+		return b
+	case 1:
+		return a
+	}
+	if b.strict {
+		return b
+	}
+	return a
+}
+
+func tighterUpper(a, b bound) bound {
+	if a.val == nil {
+		return b
+	}
+	if b.val == nil {
+		return a
+	}
+	switch a.val.Cmp(b.val) {
+	case -1:
+		return a
+	case 1:
+		return b
+	}
+	if b.strict {
+		return b
+	}
+	return a
+}
+
+const (
+	relNone = 0
+	relLE   = 1
+	relLT   = 2
+)
+
+// closure is the normal form of a conjunction: pairwise order relations
+// (transitively closed) and per-variable constant bounds (propagated
+// through the relations). Order theory admits quantifier elimination by
+// dropping a variable from its closure, which is what Eliminate relies on.
+type closure struct {
+	k     int
+	rel   [][]int // rel[i][j]: xi (<=|<) xj
+	lower []bound
+	upper []bound
+	unsat bool
+}
+
+func (c Conj) close() *closure {
+	cl := &closure{k: c.Arity}
+	cl.rel = make([][]int, c.Arity)
+	for i := range cl.rel {
+		cl.rel[i] = make([]int, c.Arity)
+	}
+	cl.lower = make([]bound, c.Arity)
+	cl.upper = make([]bound, c.Arity)
+	addRel := func(i, j, r int) {
+		if cl.rel[i][j] < r {
+			cl.rel[i][j] = r
+		}
+	}
+	for _, a := range c.Atoms {
+		if a.IsVar {
+			switch a.Op {
+			case LT:
+				addRel(a.Var, a.RVar, relLT)
+			case LE:
+				addRel(a.Var, a.RVar, relLE)
+			case EQ:
+				addRel(a.Var, a.RVar, relLE)
+				addRel(a.RVar, a.Var, relLE)
+			case GE:
+				addRel(a.RVar, a.Var, relLE)
+			case GT:
+				addRel(a.RVar, a.Var, relLT)
+			}
+			continue
+		}
+		v := new(big.Rat).Set(a.Const)
+		switch a.Op {
+		case LT:
+			cl.upper[a.Var] = tighterUpper(cl.upper[a.Var], bound{val: v, strict: true})
+		case LE:
+			cl.upper[a.Var] = tighterUpper(cl.upper[a.Var], bound{val: v})
+		case EQ:
+			cl.upper[a.Var] = tighterUpper(cl.upper[a.Var], bound{val: v})
+			cl.lower[a.Var] = tighterLower(cl.lower[a.Var], bound{val: v})
+		case GE:
+			cl.lower[a.Var] = tighterLower(cl.lower[a.Var], bound{val: v})
+		case GT:
+			cl.lower[a.Var] = tighterLower(cl.lower[a.Var], bound{val: v, strict: true})
+		}
+	}
+	// Transitive closure (Floyd-Warshall; composition is < if any hop is <).
+	for m := 0; m < cl.k; m++ {
+		for i := 0; i < cl.k; i++ {
+			if cl.rel[i][m] == relNone {
+				continue
+			}
+			for j := 0; j < cl.k; j++ {
+				if cl.rel[m][j] == relNone {
+					continue
+				}
+				r := relLE
+				if cl.rel[i][m] == relLT || cl.rel[m][j] == relLT {
+					r = relLT
+				}
+				if cl.rel[i][j] < r {
+					cl.rel[i][j] = r
+				}
+			}
+		}
+	}
+	// Propagate constant bounds through the order relations.
+	for i := 0; i < cl.k; i++ {
+		for j := 0; j < cl.k; j++ {
+			if i == j || cl.rel[i][j] == relNone {
+				continue
+			}
+			strictHop := cl.rel[i][j] == relLT
+			// xi <= xj: xj inherits xi's lower bound, xi inherits xj's upper.
+			if lb := cl.lower[i]; lb.val != nil {
+				cl.lower[j] = tighterLower(cl.lower[j], bound{val: lb.val, strict: lb.strict || strictHop})
+			}
+			if ub := cl.upper[j]; ub.val != nil {
+				cl.upper[i] = tighterUpper(cl.upper[i], bound{val: ub.val, strict: ub.strict || strictHop})
+			}
+		}
+	}
+	// Unsatisfiability checks.
+	for i := 0; i < cl.k; i++ {
+		if cl.rel[i][i] == relLT {
+			cl.unsat = true
+			return cl
+		}
+		lo, hi := cl.lower[i], cl.upper[i]
+		if lo.val != nil && hi.val != nil {
+			switch lo.val.Cmp(hi.val) {
+			case 1:
+				cl.unsat = true
+				return cl
+			case 0:
+				if lo.strict || hi.strict {
+					cl.unsat = true
+					return cl
+				}
+			}
+		}
+	}
+	return cl
+}
+
+// Satisfiable reports whether the conjunction has a rational solution.
+// (Over a dense order, the closure checks are complete.)
+func (c Conj) Satisfiable() bool { return !c.close().unsat }
+
+// VarInterval is the projection of a tuple onto one variable: a single
+// interval with optionally open or unbounded ends (convex CQL, Section 2.1).
+type VarInterval struct {
+	Lo, Hi         *big.Rat // nil = unbounded
+	LoOpen, HiOpen bool
+	Empty          bool
+}
+
+func (iv VarInterval) String() string {
+	if iv.Empty {
+		return "∅"
+	}
+	l, r := "(-inf", "+inf)"
+	if iv.Lo != nil {
+		if iv.LoOpen {
+			l = "(" + iv.Lo.RatString()
+		} else {
+			l = "[" + iv.Lo.RatString()
+		}
+	}
+	if iv.Hi != nil {
+		if iv.HiOpen {
+			r = iv.Hi.RatString() + ")"
+		} else {
+			r = iv.Hi.RatString() + "]"
+		}
+	}
+	return l + "," + r
+}
+
+// Project returns the projection of the tuple on variable v, the
+// "generalized key" the index stores.
+func (c Conj) Project(v int) VarInterval {
+	cl := c.close()
+	if cl.unsat {
+		return VarInterval{Empty: true}
+	}
+	out := VarInterval{}
+	if lb := cl.lower[v]; lb.val != nil {
+		out.Lo = new(big.Rat).Set(lb.val)
+		out.LoOpen = lb.strict
+	}
+	if ub := cl.upper[v]; ub.val != nil {
+		out.Hi = new(big.Rat).Set(ub.val)
+		out.HiOpen = ub.strict
+	}
+	return out
+}
+
+// Eliminate existentially quantifies away the given variables: over a dense
+// order it suffices to drop every atom mentioning them after closing the
+// conjunction (the closure already records all consequences between the
+// remaining variables). The result keeps the original arity with the
+// eliminated variables unconstrained.
+func (c Conj) Eliminate(vars ...int) Conj {
+	drop := map[int]bool{}
+	for _, v := range vars {
+		drop[v] = true
+	}
+	cl := c.close()
+	out := Conj{Arity: c.Arity, ID: c.ID}
+	if cl.unsat {
+		// Preserve unsatisfiability explicitly: 0 < 0 is false.
+		zero := big.NewRat(0, 1)
+		out.Atoms = append(out.Atoms, VarConst(0, LT, zero), VarConst(0, GT, zero))
+		return out
+	}
+	for i := 0; i < cl.k; i++ {
+		if drop[i] {
+			continue
+		}
+		if lb := cl.lower[i]; lb.val != nil {
+			op := GE
+			if lb.strict {
+				op = GT
+			}
+			out.Atoms = append(out.Atoms, VarConst(i, op, lb.val))
+		}
+		if ub := cl.upper[i]; ub.val != nil {
+			op := LE
+			if ub.strict {
+				op = LT
+			}
+			out.Atoms = append(out.Atoms, VarConst(i, op, ub.val))
+		}
+		for j := 0; j < cl.k; j++ {
+			if i == j || drop[j] || cl.rel[i][j] == relNone {
+				continue
+			}
+			op := LE
+			if cl.rel[i][j] == relLT {
+				op = LT
+			}
+			out.Atoms = append(out.Atoms, VarVar(i, op, j))
+		}
+	}
+	return out
+}
+
+// Evaluate reports whether the assignment satisfies the conjunction.
+func (c Conj) Evaluate(assignment []*big.Rat) bool {
+	if len(assignment) < c.Arity {
+		panic("cql: assignment too short")
+	}
+	for _, a := range c.Atoms {
+		l := assignment[a.Var]
+		var r *big.Rat
+		if a.IsVar {
+			r = assignment[a.RVar]
+		} else {
+			r = a.Const
+		}
+		cmp := l.Cmp(r)
+		ok := false
+		switch a.Op {
+		case LT:
+			ok = cmp < 0
+		case LE:
+			ok = cmp <= 0
+		case EQ:
+			ok = cmp == 0
+		case GE:
+			ok = cmp >= 0
+		case GT:
+			ok = cmp > 0
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is a generalized relation: a set of generalized tuples of the
+// same arity (a DNF formula).
+type Relation struct {
+	Arity int
+	Conjs []Conj
+}
+
+// NewRelation creates an empty generalized relation.
+func NewRelation(arity int) *Relation { return &Relation{Arity: arity} }
+
+// Add appends a tuple (its arity must match).
+func (r *Relation) Add(c Conj) {
+	if c.Arity != r.Arity {
+		panic("cql: arity mismatch")
+	}
+	r.Conjs = append(r.Conjs, c)
+}
+
+// Len returns the number of generalized tuples.
+func (r *Relation) Len() int { return len(r.Conjs) }
+
+// Select returns the tuples conjoined with extra atoms, dropping the
+// unsatisfiable ones (relational selection).
+func (r *Relation) Select(atoms ...Atom) *Relation {
+	out := NewRelation(r.Arity)
+	for _, c := range r.Conjs {
+		cc := c.And(atoms...)
+		if cc.Satisfiable() {
+			out.Add(cc)
+		}
+	}
+	return out
+}
+
+// Union merges two relations of the same arity.
+func (r *Relation) Union(s *Relation) *Relation {
+	if r.Arity != s.Arity {
+		panic("cql: arity mismatch")
+	}
+	out := NewRelation(r.Arity)
+	out.Conjs = append(append([]Conj(nil), r.Conjs...), s.Conjs...)
+	return out
+}
+
+// --- order-preserving rational -> int64 key embedding ------------------------
+
+// KeyOf maps a rational to an int64 index key through the monotone float64
+// bit trick. roundUp selects the rounding direction used to widen interval
+// endpoints outward, guaranteeing the indexed interval contains the exact
+// one.
+func KeyOf(r *big.Rat, roundUp bool) int64 {
+	f, exact := r.Float64()
+	k := float64Key(f)
+	if !exact {
+		if roundUp {
+			if k < math.MaxInt64-1 {
+				k++
+			}
+		} else if k > math.MinInt64+1 {
+			k--
+		}
+	}
+	return k
+}
+
+// float64Key maps float64 to int64 preserving order (standard sortable-bits
+// transform; NaN unsupported).
+func float64Key(f float64) int64 {
+	u := math.Float64bits(f)
+	if u&(1<<63) != 0 {
+		u = ^u
+	} else {
+		u |= 1 << 63
+	}
+	return int64(u - (1 << 63))
+}

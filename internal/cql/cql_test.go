@@ -1,0 +1,290 @@
+package cql
+
+import (
+	"math/big"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ccidx/internal/geom"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func TestSatisfiableBasics(t *testing.T) {
+	cases := []struct {
+		c    Conj
+		want bool
+	}{
+		{NewConj(1, 0, VarConst(0, GE, rat(1, 1)), VarConst(0, LE, rat(2, 1))), true},
+		{NewConj(1, 0, VarConst(0, GT, rat(2, 1)), VarConst(0, LT, rat(2, 1))), false},
+		{NewConj(1, 0, VarConst(0, GE, rat(2, 1)), VarConst(0, LE, rat(2, 1))), true},
+		{NewConj(1, 0, VarConst(0, GT, rat(2, 1)), VarConst(0, LE, rat(2, 1))), false},
+		{NewConj(2, 0, VarVar(0, LT, 1), VarVar(1, LT, 0)), false},
+		{NewConj(2, 0, VarVar(0, LE, 1), VarVar(1, LE, 0)), true}, // x = y
+		{NewConj(3, 0, VarVar(0, LT, 1), VarVar(1, LT, 2), VarVar(2, LT, 0)), false},
+		{NewConj(2, 0, VarVar(0, EQ, 1), VarConst(0, LT, rat(5, 1)), VarConst(1, GT, rat(5, 1))), false},
+		{NewConj(2, 0, VarVar(0, EQ, 1), VarConst(0, LE, rat(5, 1)), VarConst(1, GE, rat(5, 1))), true},
+		// Dense order: strict gap between bounds is satisfiable.
+		{NewConj(1, 0, VarConst(0, GT, rat(1, 3)), VarConst(0, LT, rat(2, 3))), true},
+	}
+	for i, tc := range cases {
+		if got := tc.c.Satisfiable(); got != tc.want {
+			t.Errorf("case %d (%v): Satisfiable=%v, want %v", i, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestProjectTransitive(t *testing.T) {
+	// x0 <= x1, x1 <= 3, x0 >= 1: projection of x0 is [1,3].
+	c := NewConj(2, 0, VarVar(0, LE, 1), VarConst(1, LE, rat(3, 1)), VarConst(0, GE, rat(1, 1)))
+	p := c.Project(0)
+	if p.Empty || p.Lo.Cmp(rat(1, 1)) != 0 || p.Hi.Cmp(rat(3, 1)) != 0 || p.LoOpen || p.HiOpen {
+		t.Fatalf("projection = %v", p)
+	}
+	// Strictness propagates: x0 < x1 <= 3 gives x0 < 3.
+	c2 := NewConj(2, 0, VarVar(0, LT, 1), VarConst(1, LE, rat(3, 1)))
+	p2 := c2.Project(0)
+	if p2.Hi.Cmp(rat(3, 1)) != 0 || !p2.HiOpen {
+		t.Fatalf("strict projection = %v", p2)
+	}
+}
+
+func TestProjectUnbounded(t *testing.T) {
+	c := NewConj(2, 0, VarConst(0, GE, rat(0, 1)))
+	p := c.Project(1)
+	if p.Lo != nil || p.Hi != nil || p.Empty {
+		t.Fatalf("unconstrained projection = %v", p)
+	}
+}
+
+func TestEliminatePreservesProjection(t *testing.T) {
+	// Eliminating y from (x <= y ∧ y <= 5) must leave x <= 5.
+	c := NewConj(2, 0, VarVar(0, LE, 1), VarConst(1, LE, rat(5, 1)))
+	e := c.Eliminate(1)
+	for _, a := range e.Atoms {
+		if a.Var == 1 || (a.IsVar && a.RVar == 1) {
+			t.Fatalf("eliminated variable still mentioned: %v", a)
+		}
+	}
+	p := e.Project(0)
+	if p.Hi == nil || p.Hi.Cmp(rat(5, 1)) != 0 {
+		t.Fatalf("after elimination projection = %v", p)
+	}
+}
+
+func TestEliminateUnsatStaysUnsat(t *testing.T) {
+	c := NewConj(2, 0, VarVar(0, LT, 1), VarVar(1, LT, 0))
+	if e := c.Eliminate(1); e.Satisfiable() {
+		t.Fatal("eliminating from an unsatisfiable tuple produced a satisfiable one")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	c := NewConj(2, 0, VarVar(0, LT, 1), VarConst(0, GE, rat(0, 1)))
+	if !c.Evaluate([]*big.Rat{rat(1, 2), rat(3, 4)}) {
+		t.Fatal("satisfying assignment rejected")
+	}
+	if c.Evaluate([]*big.Rat{rat(3, 4), rat(1, 2)}) {
+		t.Fatal("violating assignment accepted")
+	}
+}
+
+// Property: Project agrees with sampling Evaluate on the projected
+// variable (solutions found by evaluation always fall in the projection).
+func TestProjectSoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		arity := 2 + rng.Intn(3)
+		var atoms []Atom
+		for i := 0; i < rng.Intn(6); i++ {
+			v := rng.Intn(arity)
+			op := Op(rng.Intn(5))
+			if rng.Intn(2) == 0 {
+				atoms = append(atoms, VarConst(v, op, rat(int64(rng.Intn(21)-10), 1)))
+			} else {
+				atoms = append(atoms, VarVar(v, op, rng.Intn(arity)))
+			}
+		}
+		c := NewConj(arity, 0, atoms...)
+		p := c.Project(0)
+		// Sample assignments; any satisfying one must have x0 in p.
+		for trial := 0; trial < 60; trial++ {
+			asg := make([]*big.Rat, arity)
+			for i := range asg {
+				asg[i] = rat(int64(rng.Intn(41)-20), 2)
+			}
+			if !c.Evaluate(asg) {
+				continue
+			}
+			if p.Empty {
+				return false
+			}
+			x := asg[0]
+			if p.Lo != nil {
+				if cmp := x.Cmp(p.Lo); cmp < 0 || (cmp == 0 && p.LoOpen) {
+					return false
+				}
+			}
+			if p.Hi != nil {
+				if cmp := x.Cmp(p.Hi); cmp > 0 || (cmp == 0 && p.HiOpen) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyOfMonotoneProperty(t *testing.T) {
+	f := func(a, b int64, da, db uint32) bool {
+		ra := rat(a, int64(da%1000+1))
+		rb := rat(b, int64(db%1000+1))
+		ka := KeyOf(ra, false)
+		kb := KeyOf(rb, false)
+		if ra.Cmp(rb) < 0 {
+			return ka <= kb
+		}
+		if ra.Cmp(rb) > 0 {
+			return ka >= kb
+		}
+		return ka == kb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyOfOutwardRounding(t *testing.T) {
+	// 1/3 is inexact in float64: rounding must widen.
+	third := rat(1, 3)
+	if !(KeyOf(third, false) < KeyOf(third, true)) {
+		t.Fatal("outward rounding did not widen an inexact endpoint")
+	}
+	// Exact values stay put.
+	half := rat(1, 2)
+	if KeyOf(half, false) != KeyOf(half, true) {
+		t.Fatal("exact endpoint moved")
+	}
+}
+
+func TestGeneralizedIndexSelect(t *testing.T) {
+	rel := NewRelation(2)
+	// Tuples: x in [i, i+10] for i = 0,10,20,...,90; y unconstrained.
+	for i := int64(0); i < 10; i++ {
+		rel.Add(NewConj(2, uint64(i),
+			VarConst(0, GE, rat(i*10, 1)),
+			VarConst(0, LE, rat(i*10+10, 1))))
+	}
+	idx := NewGeneralizedIndex(rel, 0, Config{B: 4})
+	got := idx.Select(rat(25, 1), rat(35, 1))
+	// Intersecting projections: [20,30] and [30,40].
+	var ids []uint64
+	for _, c := range got.Conjs {
+		ids = append(ids, c.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 3 {
+		t.Fatalf("selected ids %v, want [2 3]", ids)
+	}
+	// The result tuples carry the conjoined range constraint.
+	for _, c := range got.Conjs {
+		p := c.Project(0)
+		if p.Lo.Cmp(rat(25, 1)) < 0 || p.Hi.Cmp(rat(35, 1)) > 0 {
+			t.Fatalf("result projection %v escapes the query range", p)
+		}
+	}
+}
+
+func TestGeneralizedIndexStabRationalEndpoints(t *testing.T) {
+	rel := NewRelation(1)
+	rel.Add(NewConj(1, 1, VarConst(0, GE, rat(1, 3)), VarConst(0, LE, rat(2, 3))))
+	rel.Add(NewConj(1, 2, VarConst(0, GT, rat(2, 3)), VarConst(0, LT, rat(1, 1))))
+	idx := NewGeneralizedIndex(rel, 0, Config{B: 4})
+	if got := idx.Stab(rat(1, 2)); got.Len() != 1 || got.Conjs[0].ID != 1 {
+		t.Fatalf("stab 1/2: %v", got.Conjs)
+	}
+	// 2/3 belongs to tuple 1 only (tuple 2 is open at 2/3); the index may
+	// produce tuple 2 as a candidate, the exact refinement must drop it.
+	if got := idx.Stab(rat(2, 3)); got.Len() != 1 || got.Conjs[0].ID != 1 {
+		t.Fatalf("stab 2/3: %d tuples", got.Len())
+	}
+}
+
+func TestGeneralizedIndexInsert(t *testing.T) {
+	rel := NewRelation(1)
+	idx := NewGeneralizedIndex(rel, 0, Config{B: 4})
+	for i := int64(0); i < 50; i++ {
+		idx.Insert(NewConj(1, uint64(i), VarConst(0, GE, rat(i, 1)), VarConst(0, LE, rat(i+5, 1))))
+	}
+	if idx.Len() != 50 {
+		t.Fatalf("Len=%d", idx.Len())
+	}
+	got := idx.Stab(rat(10, 1))
+	if got.Len() != 6 { // tuples 5..10 contain 10
+		t.Fatalf("stab 10 returned %d tuples, want 6", got.Len())
+	}
+}
+
+func TestRectangleIntersectionMatchesGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rects := make([]geom.Rect, 60)
+	for i := range rects {
+		x1 := rng.Int63n(100)
+		y1 := rng.Int63n(100)
+		rects[i] = geom.Rect{
+			Name: uint64(i + 1),
+			X1:   x1, Y1: y1,
+			X2: x1 + rng.Int63n(30), Y2: y1 + rng.Int63n(30),
+		}
+	}
+	pairs := IntersectingPairs(rects, Config{B: 4})
+	gotSet := map[[2]uint64]bool{}
+	for _, p := range pairs {
+		if gotSet[p] {
+			t.Fatalf("pair %v reported twice", p)
+		}
+		gotSet[p] = true
+	}
+	for i := range rects {
+		for j := i + 1; j < len(rects); j++ {
+			want := rects[i].Intersects(rects[j])
+			key := [2]uint64{rects[i].Name, rects[j].Name}
+			if gotSet[key] != want {
+				t.Fatalf("pair %v: got %v want %v", key, gotSet[key], want)
+			}
+		}
+	}
+}
+
+func TestUnionAndSelect(t *testing.T) {
+	a := NewRelation(1)
+	a.Add(NewConj(1, 1, VarConst(0, LE, rat(0, 1))))
+	b := NewRelation(1)
+	b.Add(NewConj(1, 2, VarConst(0, GE, rat(10, 1))))
+	u := a.Union(b)
+	if u.Len() != 2 {
+		t.Fatalf("union len %d", u.Len())
+	}
+	sel := u.Select(VarConst(0, GE, rat(5, 1)))
+	if sel.Len() != 1 || sel.Conjs[0].ID != 2 {
+		t.Fatalf("select kept %d tuples", sel.Len())
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if LT.String() != "<" || GE.String() != ">=" {
+		t.Fatal("op strings")
+	}
+	c := NewConj(2, 0, VarVar(0, LT, 1))
+	if c.String() != "x0 < x1" {
+		t.Fatalf("conj string %q", c.String())
+	}
+	if (Conj{Arity: 1}).String() != "true" {
+		t.Fatal("empty conj string")
+	}
+}

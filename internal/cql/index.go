@@ -1,0 +1,130 @@
+package cql
+
+import (
+	"math"
+	"math/big"
+
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+	"ccidx/internal/intervals"
+)
+
+// GeneralizedIndex is the generalized one-dimensional index of Section 2.1:
+// every generalized tuple is represented by the projection of its
+// constraint set onto one attribute — a single interval for convex CQLs —
+// and one-dimensional searching on that attribute becomes external dynamic
+// interval management (Proposition 2.2).
+//
+// Select(a1, a2) finds all tuples whose projection intersects [a1, a2] with
+// O(log_B n + t/B) I/Os through the interval manager, then refines each
+// candidate exactly: the returned relation is the input tuples conjoined
+// with a1 <= x_attr <= a2, minus the unsatisfiable ones. Because endpoint
+// keys are rounded outward, refinement can reject a candidate, but no
+// answer is missed.
+type GeneralizedIndex struct {
+	attr  int
+	arity int
+	mgr   *intervals.Manager
+	byID  map[uint64]Conj
+}
+
+// Config mirrors intervals.Config.
+type Config = intervals.Config
+
+// NewGeneralizedIndex indexes relation r on variable attr.
+func NewGeneralizedIndex(r *Relation, attr int, cfg Config) *GeneralizedIndex {
+	g := &GeneralizedIndex{
+		attr:  attr,
+		arity: r.Arity,
+		byID:  make(map[uint64]Conj, len(r.Conjs)),
+	}
+	var ivs []geom.Interval
+	for _, c := range r.Conjs {
+		iv, ok := g.keyInterval(c)
+		if !ok {
+			continue
+		}
+		if _, dup := g.byID[c.ID]; dup {
+			panic("cql: duplicate tuple id")
+		}
+		g.byID[c.ID] = c
+		ivs = append(ivs, iv)
+	}
+	g.mgr = intervals.New(cfg, ivs)
+	return g
+}
+
+// keyInterval computes the indexed key interval (outward-rounded) of a
+// tuple; ok is false for unsatisfiable tuples.
+func (g *GeneralizedIndex) keyInterval(c Conj) (geom.Interval, bool) {
+	p := c.Project(g.attr)
+	if p.Empty {
+		return geom.Interval{}, false
+	}
+	lo := int64(math.MinInt64 + 1)
+	hi := int64(math.MaxInt64 - 1)
+	if p.Lo != nil {
+		lo = KeyOf(p.Lo, false)
+	}
+	if p.Hi != nil {
+		hi = KeyOf(p.Hi, true)
+	}
+	return geom.Interval{Lo: lo, Hi: hi, ID: c.ID}, true
+}
+
+// Insert adds a generalized tuple to the index (semi-dynamic, like the
+// underlying metablock tree).
+func (g *GeneralizedIndex) Insert(c Conj) {
+	if c.Arity != g.arity {
+		panic("cql: arity mismatch")
+	}
+	iv, ok := g.keyInterval(c)
+	if !ok {
+		return // unsatisfiable tuples denote the empty set
+	}
+	if _, dup := g.byID[c.ID]; dup {
+		panic("cql: duplicate tuple id")
+	}
+	g.byID[c.ID] = c
+	g.mgr.Insert(iv)
+}
+
+// Len returns the number of indexed tuples.
+func (g *GeneralizedIndex) Len() int { return len(g.byID) }
+
+// Select returns a generalized relation representing all tuples of the
+// input whose attribute satisfies a1 <= x <= a2 (either bound may be nil
+// for an open side), with the range constraint conjoined — exactly the
+// operation (i) of Section 2.1.
+func (g *GeneralizedIndex) Select(a1, a2 *big.Rat) *Relation {
+	lo := int64(math.MinInt64 + 1)
+	hi := int64(math.MaxInt64 - 1)
+	var extra []Atom
+	if a1 != nil {
+		lo = KeyOf(a1, false)
+		extra = append(extra, VarConst(g.attr, GE, a1))
+	}
+	if a2 != nil {
+		hi = KeyOf(a2, true)
+		extra = append(extra, VarConst(g.attr, LE, a2))
+	}
+	out := NewRelation(g.arity)
+	g.mgr.Intersect(geom.Interval{Lo: lo, Hi: hi}, func(iv geom.Interval) bool {
+		c := g.byID[iv.ID]
+		cc := c.And(extra...)
+		if cc.Satisfiable() {
+			out.Add(cc)
+		}
+		return true
+	})
+	return out
+}
+
+// Stab returns the tuples whose projection contains the single value a,
+// refined exactly.
+func (g *GeneralizedIndex) Stab(a *big.Rat) *Relation {
+	return g.Select(a, a)
+}
+
+// Stats exposes the I/O counters of the underlying interval manager.
+func (g *GeneralizedIndex) Stats() disk.Stats { return g.mgr.Stats() }

@@ -1,0 +1,152 @@
+package disk
+
+// Cache is an optional LRU page cache layered over a Pager. It models a main
+// memory buffer pool: hits do not count as I/Os on the underlying device.
+//
+// The paper's bounds are stated without caching (every page access is an
+// I/O); the cache exists for the ablation experiments that show how far a
+// realistic buffer pool moves the constants without changing the asymptotic
+// shape. Index structures themselves never use a Cache internally.
+type Cache struct {
+	p        *Pager
+	capacity int
+	entries  map[BlockID]*cacheEntry
+	head     *cacheEntry // most recently used
+	tail     *cacheEntry // least recently used
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	id         BlockID
+	data       []byte
+	dirty      bool
+	prev, next *cacheEntry
+}
+
+// NewCache wraps p with an LRU cache holding up to capacity pages.
+func NewCache(p *Pager, capacity int) *Cache {
+	if capacity <= 0 {
+		panic("disk: cache capacity must be positive")
+	}
+	return &Cache{
+		p:        p,
+		capacity: capacity,
+		entries:  make(map[BlockID]*cacheEntry, capacity),
+	}
+}
+
+// Hits returns the number of cache hits so far.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses returns the number of cache misses so far.
+func (c *Cache) Misses() int64 { return c.misses }
+
+func (c *Cache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) pushFront(e *cacheEntry) {
+	e.next = c.head
+	e.prev = nil
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) touch(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache) evictIfFull() error {
+	if len(c.entries) < c.capacity {
+		return nil
+	}
+	victim := c.tail
+	if victim == nil {
+		return nil
+	}
+	if victim.dirty {
+		if err := c.p.Write(victim.id, victim.data); err != nil {
+			return err
+		}
+	}
+	c.unlink(victim)
+	delete(c.entries, victim.id)
+	return nil
+}
+
+// Read returns page id through the cache.
+func (c *Cache) Read(id BlockID, buf []byte) error {
+	if e, ok := c.entries[id]; ok {
+		c.hits++
+		c.touch(e)
+		copy(buf, e.data)
+		return nil
+	}
+	c.misses++
+	if err := c.evictIfFull(); err != nil {
+		return err
+	}
+	data := make([]byte, c.p.PageSize())
+	if err := c.p.Read(id, data); err != nil {
+		return err
+	}
+	e := &cacheEntry{id: id, data: data}
+	c.entries[id] = e
+	c.pushFront(e)
+	copy(buf, data)
+	return nil
+}
+
+// Write stores page id through the cache (write-back).
+func (c *Cache) Write(id BlockID, buf []byte) error {
+	if e, ok := c.entries[id]; ok {
+		c.hits++
+		c.touch(e)
+		copy(e.data, buf)
+		e.dirty = true
+		return nil
+	}
+	c.misses++
+	if err := c.evictIfFull(); err != nil {
+		return err
+	}
+	data := make([]byte, c.p.PageSize())
+	copy(data, buf)
+	e := &cacheEntry{id: id, data: data, dirty: true}
+	c.entries[id] = e
+	c.pushFront(e)
+	return nil
+}
+
+// Flush writes all dirty pages back to the device.
+func (c *Cache) Flush() error {
+	for e := c.head; e != nil; e = e.next {
+		if e.dirty {
+			if err := c.p.Write(e.id, e.data); err != nil {
+				return err
+			}
+			e.dirty = false
+		}
+	}
+	return nil
+}

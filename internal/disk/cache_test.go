@@ -1,0 +1,104 @@
+package disk
+
+import "testing"
+
+func TestCacheHitsAvoidIO(t *testing.T) {
+	p := NewPager(8)
+	id := p.Alloc()
+	p.MustWrite(id, []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	base := p.Stats()
+
+	c := NewCache(p, 4)
+	buf := make([]byte, 8)
+	if err := c.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Sub(base).Reads; got != 1 {
+		t.Fatalf("device reads = %d, want 1 (second read should hit cache)", got)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheEvictionWritesBackDirty(t *testing.T) {
+	p := NewPager(8)
+	ids := make([]BlockID, 3)
+	for i := range ids {
+		ids[i] = p.Alloc()
+	}
+	c := NewCache(p, 2)
+	if err := c.Write(ids[0], []byte{1, 1, 1, 1, 1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(ids[1], []byte{2, 2, 2, 2, 2, 2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Touch ids[1] so ids[0] is LRU, then bring in ids[2] to force eviction.
+	buf := make([]byte, 8)
+	if err := c.Read(ids[1], buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(ids[2], []byte{3, 3, 3, 3, 3, 3, 3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// ids[0] must have been flushed to the device.
+	p.MustRead(ids[0], buf)
+	if buf[0] != 1 {
+		t.Fatalf("dirty page not written back: %v", buf)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	p := NewPager(8)
+	id := p.Alloc()
+	c := NewCache(p, 2)
+	if err := c.Write(id, []byte{7, 0, 0, 0, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	p.MustRead(id, buf)
+	if buf[0] != 0 {
+		t.Fatal("write-back cache leaked before flush")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p.MustRead(id, buf)
+	if buf[0] != 7 {
+		t.Fatal("flush did not persist dirty page")
+	}
+}
+
+func TestCacheReadThroughAfterEvict(t *testing.T) {
+	p := NewPager(8)
+	a, b, c3 := p.Alloc(), p.Alloc(), p.Alloc()
+	p.MustWrite(a, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	p.MustWrite(b, []byte{2, 0, 0, 0, 0, 0, 0, 0})
+	p.MustWrite(c3, []byte{3, 0, 0, 0, 0, 0, 0, 0})
+	c := NewCache(p, 2)
+	buf := make([]byte, 8)
+	for _, id := range []BlockID{a, b, c3, a} {
+		if err := c.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf[0] != 1 {
+		t.Fatalf("re-read of evicted page a returned %d", buf[0])
+	}
+	if c.Hits() != 0 || c.Misses() != 4 {
+		t.Fatalf("hits=%d misses=%d, want 0/4", c.Hits(), c.Misses())
+	}
+}
+
+func TestCachePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for capacity 0")
+		}
+	}()
+	NewCache(NewPager(8), 0)
+}

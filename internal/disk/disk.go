@@ -1,0 +1,200 @@
+// Package disk simulates a block-oriented secondary storage device with
+// explicit I/O accounting.
+//
+// The paper's cost model (Kanellakis et al., JCSS 1996, Section 1.1) counts
+// one I/O per page transferred between secondary storage and main memory,
+// with all constants independent of n, c, t and B. Reproducing that model in
+// Go requires making page transfers explicit: the garbage collector and CPU
+// caches make wall-clock time a poor proxy for block I/O. Every structure in
+// this repository therefore stores its pages in a Pager and the experiment
+// harness reads the Pager's counters as the measured quantity.
+//
+// A page is a fixed-size byte slice. Read and Write each count as one I/O.
+// Structures are free to keep O(B^2) records of working state in memory
+// during an operation, mirroring the paper's assumption that at least
+// O(B^2) units of main memory are available.
+package disk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BlockID identifies a page on the simulated device. Zero is never a valid
+// allocated block, so it can be used as a nil pointer in page layouts.
+type BlockID int64
+
+// NilBlock is the reserved "no block" identifier.
+const NilBlock BlockID = 0
+
+// Stats holds cumulative I/O counters for a device.
+type Stats struct {
+	Reads  int64 // pages read
+	Writes int64 // pages written
+	Allocs int64 // pages allocated
+	Frees  int64 // pages freed
+}
+
+// IOs returns the total number of I/O operations (reads + writes).
+func (s Stats) IOs() int64 { return s.Reads + s.Writes }
+
+// Sub returns the counter difference s - t, useful for measuring one
+// operation: take a snapshot before, subtract after.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Reads:  s.Reads - t.Reads,
+		Writes: s.Writes - t.Writes,
+		Allocs: s.Allocs - t.Allocs,
+		Frees:  s.Frees - t.Frees,
+	}
+}
+
+// Add returns s + t.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		Reads:  s.Reads + t.Reads,
+		Writes: s.Writes + t.Writes,
+		Allocs: s.Allocs + t.Allocs,
+		Frees:  s.Frees + t.Frees,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d allocs=%d frees=%d", s.Reads, s.Writes, s.Allocs, s.Frees)
+}
+
+// Common pager errors.
+var (
+	ErrBadBlock  = errors.New("disk: block not allocated")
+	ErrPageSize  = errors.New("disk: buffer size does not match page size")
+	ErrFreedTwce = errors.New("disk: double free")
+)
+
+// Pager is an in-memory simulation of a disk: a growable array of fixed-size
+// pages plus a free list. It is not safe for concurrent use; each index
+// structure owns its own Pager (the experiment harness aggregates counters).
+type Pager struct {
+	pageSize int
+	pages    [][]byte
+	live     []bool
+	free     []BlockID
+	stats    Stats
+}
+
+// NewPager creates a device with the given page size in bytes.
+// Page size must be positive.
+func NewPager(pageSize int) *Pager {
+	if pageSize <= 0 {
+		panic("disk: page size must be positive")
+	}
+	return &Pager{
+		pageSize: pageSize,
+		pages:    make([][]byte, 1), // index 0 reserved for NilBlock
+		live:     make([]bool, 1),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// Stats returns a snapshot of the cumulative I/O counters.
+func (p *Pager) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the I/O counters (allocation state is unchanged).
+func (p *Pager) ResetStats() { p.stats = Stats{} }
+
+// Allocated reports the number of live pages, i.e. the structure's space
+// usage in blocks. This is the quantity compared against the paper's O(n/B)
+// space bounds.
+func (p *Pager) Allocated() int64 {
+	return p.stats.Allocs - p.stats.Frees
+}
+
+// Alloc reserves a new zeroed page and returns its id. Allocation itself is
+// not counted as an I/O (the page must still be written to contain data).
+func (p *Pager) Alloc() BlockID {
+	p.stats.Allocs++
+	if n := len(p.free); n > 0 {
+		id := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.live[id] = true
+		for i := range p.pages[id] {
+			p.pages[id][i] = 0
+		}
+		return id
+	}
+	p.pages = append(p.pages, make([]byte, p.pageSize))
+	p.live = append(p.live, true)
+	return BlockID(len(p.pages) - 1)
+}
+
+func (p *Pager) check(id BlockID) error {
+	if id <= 0 || int(id) >= len(p.pages) || !p.live[id] {
+		return fmt.Errorf("%w: %d", ErrBadBlock, id)
+	}
+	return nil
+}
+
+// Read copies page id into buf (len(buf) must equal the page size) and
+// counts one I/O.
+func (p *Pager) Read(id BlockID, buf []byte) error {
+	if err := p.check(id); err != nil {
+		return err
+	}
+	if len(buf) != p.pageSize {
+		return ErrPageSize
+	}
+	p.stats.Reads++
+	copy(buf, p.pages[id])
+	return nil
+}
+
+// Write copies buf into page id (len(buf) must equal the page size) and
+// counts one I/O.
+func (p *Pager) Write(id BlockID, buf []byte) error {
+	if err := p.check(id); err != nil {
+		return err
+	}
+	if len(buf) != p.pageSize {
+		return ErrPageSize
+	}
+	p.stats.Writes++
+	copy(p.pages[id], buf)
+	return nil
+}
+
+// Free releases a page back to the free list.
+func (p *Pager) Free(id BlockID) error {
+	if id <= 0 || int(id) >= len(p.pages) {
+		return fmt.Errorf("%w: %d", ErrBadBlock, id)
+	}
+	if !p.live[id] {
+		return fmt.Errorf("%w: %d", ErrFreedTwce, id)
+	}
+	p.live[id] = false
+	p.free = append(p.free, id)
+	p.stats.Frees++
+	return nil
+}
+
+// MustRead is Read that panics on error. Index structures use it for blocks
+// they allocated themselves, where failure indicates internal corruption.
+func (p *Pager) MustRead(id BlockID, buf []byte) {
+	if err := p.Read(id, buf); err != nil {
+		panic(err)
+	}
+}
+
+// MustWrite is Write that panics on error.
+func (p *Pager) MustWrite(id BlockID, buf []byte) {
+	if err := p.Write(id, buf); err != nil {
+		panic(err)
+	}
+}
+
+// MustFree is Free that panics on error.
+func (p *Pager) MustFree(id BlockID) {
+	if err := p.Free(id); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,188 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalPointRoundTrip(t *testing.T) {
+	f := func(lo, hi int64, id uint64) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		iv := Interval{Lo: lo, Hi: hi, ID: id}
+		p := iv.ToPoint()
+		if !p.AboveDiagonal() {
+			return false
+		}
+		return PointToInterval(p) == iv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The heart of Proposition 2.2: an interval contains q iff its endpoint
+// point lies in the diagonal corner query anchored at (q, q).
+func TestStabbingCornerEquivalence(t *testing.T) {
+	f := func(lo, hi, q int64) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		iv := Interval{Lo: lo, Hi: hi}
+		return iv.Contains(q) == CornerQuery{A: q}.Contains(iv.ToPoint())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalIntersectsSymmetric(t *testing.T) {
+	f := func(a1, a2, b1, b2 int64) bool {
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		if b1 > b2 {
+			b1, b2 = b2, b1
+		}
+		a := Interval{Lo: a1, Hi: a2}
+		b := Interval{Lo: b1, Hi: b2}
+		return a.Intersects(b) == b.Intersects(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalIntersectsDefinition(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{Interval{Lo: 0, Hi: 5}, Interval{Lo: 5, Hi: 9}, true},    // touch at endpoint
+		{Interval{Lo: 0, Hi: 4}, Interval{Lo: 5, Hi: 9}, false},   // disjoint
+		{Interval{Lo: 0, Hi: 10}, Interval{Lo: 3, Hi: 4}, true},   // containment
+		{Interval{Lo: 3, Hi: 3}, Interval{Lo: 3, Hi: 3}, true},    // degenerate
+		{Interval{Lo: -5, Hi: -1}, Interval{Lo: 0, Hi: 0}, false}, // negative coords
+	}
+	for _, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("%v ∩ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCornerQueryIsSpecialThreeSided(t *testing.T) {
+	// A diagonal corner query at a equals the 3-sided query (-inf, a] x [a, inf).
+	f := func(x, y, a int64) bool {
+		p := Point{X: x, Y: y}
+		ts := ThreeSidedQuery{X1: -1 << 62, X2: a, Y: a}
+		if x < -1<<62 {
+			return true
+		}
+		return CornerQuery{A: a}.Contains(p) == ts.Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeSidedIsSpecialRange(t *testing.T) {
+	f := func(x, y, x1, x2, y0 int64) bool {
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		p := Point{X: x, Y: y}
+		ts := ThreeSidedQuery{X1: x1, X2: x2, Y: y0}
+		rq := RangeQuery{X1: x1, X2: x2, Y1: y0, Y2: 1<<63 - 1}
+		return ts.Contains(p) == rq.Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortByX(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := make([]Point, 200)
+	for i := range ps {
+		ps[i] = Point{X: rng.Int63n(50), Y: rng.Int63n(50), ID: uint64(i)}
+	}
+	SortByX(ps)
+	if !sort.SliceIsSorted(ps, func(i, j int) bool { return Less(ps[i], ps[j]) }) {
+		t.Fatal("SortByX did not sort")
+	}
+}
+
+func TestSortByYDesc(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ps := make([]Point, 200)
+	for i := range ps {
+		ps[i] = Point{X: rng.Int63n(50), Y: rng.Int63n(50), ID: uint64(i)}
+	}
+	SortByYDesc(ps)
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Y < ps[i].Y {
+			t.Fatalf("not descending at %d: %v %v", i, ps[i-1], ps[i])
+		}
+	}
+}
+
+func TestLessIsStrictWeakOrder(t *testing.T) {
+	f := func(ax, ay int64, aid uint64, bx, by int64, bid uint64) bool {
+		a := Point{X: ax, Y: ay, ID: aid}
+		b := Point{X: bx, Y: by, ID: bid}
+		if a == b {
+			return !Less(a, b) && !Less(b, a)
+		}
+		return Less(a, b) != Less(b, a) // totality on distinct points
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{Name: 1, X1: 0, Y1: 0, X2: 10, Y2: 10}
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{Name: 2, X1: 5, Y1: 5, X2: 15, Y2: 15}, true},
+		{Rect{Name: 3, X1: 10, Y1: 10, X2: 20, Y2: 20}, true}, // corner touch
+		{Rect{Name: 4, X1: 11, Y1: 0, X2: 20, Y2: 10}, false},
+		{Rect{Name: 5, X1: 2, Y1: 2, X2: 3, Y2: 3}, true}, // containment
+		{Rect{Name: 6, X1: 0, Y1: 11, X2: 10, Y2: 12}, false},
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("a ∩ %v = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("asymmetric intersection for %v", c.b)
+		}
+	}
+}
+
+func TestCollectAndDedup(t *testing.T) {
+	var got []Point
+	emit := Collect(&got)
+	emit(Point{ID: 3})
+	emit(Point{ID: 1})
+	emit(Point{ID: 3})
+	ids := DedupIDs(got)
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("DedupIDs = %v", ids)
+	}
+}
+
+func TestEmitEarlyStopContract(t *testing.T) {
+	// Emit returning false means "stop": Collect never does, documented here.
+	var got []Point
+	emit := Collect(&got)
+	if !emit(Point{}) {
+		t.Fatal("Collect emit should return true")
+	}
+}

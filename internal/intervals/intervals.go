@@ -1,0 +1,261 @@
+// Package intervals implements external dynamic interval management, the
+// problem to which indexing constraints reduces (Section 2.1, Proposition
+// 2.2, Fig 3).
+//
+// A set of intervals supports (1) intersection queries — report every input
+// interval intersecting a query interval — and (2) insertion (the paper's
+// metablock tree is semi-dynamic; deletion remains the paper's closing open
+// problem and is only offered by the naive manager used as a baseline).
+//
+// Following the proof of Proposition 2.2, the intervals intersecting
+// [x1,x2] split into:
+//
+//	types 1,2: left endpoint inside (x1, x2]  -> B+-tree on left endpoints,
+//	types 3,4: interval contains x1 (stabbing) -> diagonal corner query at
+//	           (x1,x1) on the endpoint points (lo,hi), answered by the
+//	           metablock tree.
+//
+// No interval is reported twice by this split.
+//
+// Bounds: space O(n/B), query O(log_B n + t/B), amortized insert
+// O(log_B n + (log_B n)^2/B).
+package intervals
+
+import (
+	"ccidx/internal/bptree"
+	"ccidx/internal/core"
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+// Config carries the block capacity for both sub-structures.
+type Config struct {
+	B int
+	// DisableTS / DisableCorner forward to the metablock tree (ablations).
+	DisableTS     bool
+	DisableCorner bool
+}
+
+// Manager answers interval intersection and stabbing queries.
+// Not safe for concurrent use.
+type Manager struct {
+	endpoints *bptree.Tree // key = Lo, rid = ID, val = Hi
+	stabber   *core.Tree   // points (Lo, Hi)
+	n         int
+}
+
+// New creates a manager over the given intervals (the slice is copied).
+func New(cfg Config, ivs []geom.Interval) *Manager {
+	pts := make([]geom.Point, len(ivs))
+	for i, iv := range ivs {
+		if !iv.Valid() {
+			panic("intervals: invalid interval " + iv.String())
+		}
+		pts[i] = iv.ToPoint()
+	}
+	m := &Manager{
+		endpoints: bptree.New(cfg.B),
+		stabber: core.New(core.Config{
+			B: cfg.B, DisableTS: cfg.DisableTS, DisableCorner: cfg.DisableCorner,
+		}, pts),
+		n: len(ivs),
+	}
+	for _, iv := range ivs {
+		m.endpoints.InsertEntry(bptree.Entry{Key: iv.Lo, RID: iv.ID, Val: uint64(iv.Hi)})
+	}
+	return m
+}
+
+// Len returns the number of intervals stored.
+func (m *Manager) Len() int { return m.n }
+
+// Insert adds an interval; amortized O(log_B n + (log_B n)^2/B) I/Os.
+func (m *Manager) Insert(iv geom.Interval) {
+	if !iv.Valid() {
+		panic("intervals: invalid interval " + iv.String())
+	}
+	m.endpoints.InsertEntry(bptree.Entry{Key: iv.Lo, RID: iv.ID, Val: uint64(iv.Hi)})
+	m.stabber.Insert(iv.ToPoint())
+	m.n++
+}
+
+// EmitInterval receives reported intervals; returning false stops the
+// enumeration early.
+type EmitInterval func(geom.Interval) bool
+
+// Stab reports every interval containing q, in O(log_B n + t/B) I/Os
+// (a diagonal corner query, Proposition 2.2).
+func (m *Manager) Stab(q int64, emit EmitInterval) {
+	m.stabber.DiagonalQuery(q, func(p geom.Point) bool {
+		return emit(geom.PointToInterval(p))
+	})
+}
+
+// Intersect reports every interval intersecting q, in O(log_B n + t/B)
+// I/Os. Each intersecting interval is reported exactly once.
+func (m *Manager) Intersect(q geom.Interval, emit EmitInterval) {
+	if !q.Valid() {
+		return
+	}
+	stopped := false
+	// Types 3 and 4: intervals containing the left query endpoint.
+	m.Stab(q.Lo, func(iv geom.Interval) bool {
+		if !emit(iv) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped || q.Lo == 1<<63-1 {
+		return
+	}
+	// Types 1 and 2: left endpoint strictly inside (q.Lo, q.Hi].
+	m.endpoints.Range(q.Lo+1, q.Hi, func(e bptree.Entry) bool {
+		return emit(geom.Interval{Lo: e.Key, Hi: int64(e.Val), ID: e.RID})
+	})
+}
+
+// Stats returns the combined I/O counters of both sub-structures.
+func (m *Manager) Stats() disk.Stats {
+	return m.endpoints.Pager().Stats().Add(m.stabber.Pager().Stats())
+}
+
+// ResetStats zeroes both counters.
+func (m *Manager) ResetStats() {
+	m.endpoints.Pager().ResetStats()
+	m.stabber.Pager().ResetStats()
+}
+
+// SpaceBlocks returns the number of live pages across both sub-structures.
+func (m *Manager) SpaceBlocks() int64 {
+	return m.endpoints.Pager().Allocated() + m.stabber.Pager().Allocated()
+}
+
+// Naive is the baseline manager: intervals in insertion order, packed B per
+// page; every query scans all n/B pages. It supports deletion, which the
+// optimal structure does not (the paper's open problem), and serves as the
+// correctness oracle in tests.
+type Naive struct {
+	pager *disk.Pager
+	b     int
+	pages []disk.BlockID
+	n     int
+}
+
+const naiveRecSize = 24
+
+// NewNaive creates an empty naive manager.
+func NewNaive(b int) *Naive {
+	return &Naive{pager: disk.NewPager(2 + b*naiveRecSize), b: b}
+}
+
+// Len returns the number of stored intervals.
+func (nv *Naive) Len() int { return nv.n }
+
+// Pager exposes the device for I/O accounting.
+func (nv *Naive) Pager() *disk.Pager { return nv.pager }
+
+func (nv *Naive) readPage(id disk.BlockID) []geom.Interval {
+	buf := make([]byte, nv.pager.PageSize())
+	nv.pager.MustRead(id, buf)
+	cnt := int(uint16(buf[0]) | uint16(buf[1])<<8)
+	out := make([]geom.Interval, cnt)
+	off := 2
+	for i := 0; i < cnt; i++ {
+		out[i] = geom.Interval{
+			Lo: int64(le64(buf[off:])),
+			Hi: int64(le64(buf[off+8:])),
+			ID: le64(buf[off+16:]),
+		}
+		off += naiveRecSize
+	}
+	return out
+}
+
+func (nv *Naive) writePage(id disk.BlockID, ivs []geom.Interval) {
+	buf := make([]byte, nv.pager.PageSize())
+	buf[0] = byte(len(ivs))
+	buf[1] = byte(len(ivs) >> 8)
+	off := 2
+	for _, iv := range ivs {
+		putLE64(buf[off:], uint64(iv.Lo))
+		putLE64(buf[off+8:], uint64(iv.Hi))
+		putLE64(buf[off+16:], iv.ID)
+		off += naiveRecSize
+	}
+	nv.pager.MustWrite(id, buf)
+}
+
+// Insert appends an interval in O(1) I/Os.
+func (nv *Naive) Insert(iv geom.Interval) {
+	if len(nv.pages) > 0 {
+		last := nv.pages[len(nv.pages)-1]
+		ivs := nv.readPage(last)
+		if len(ivs) < nv.b {
+			nv.writePage(last, append(ivs, iv))
+			nv.n++
+			return
+		}
+	}
+	id := nv.pager.Alloc()
+	nv.writePage(id, []geom.Interval{iv})
+	nv.pages = append(nv.pages, id)
+	nv.n++
+}
+
+// Delete removes the interval with the given id (full scan, O(n/B) I/Os).
+func (nv *Naive) Delete(id uint64) bool {
+	for _, pg := range nv.pages {
+		ivs := nv.readPage(pg)
+		for i, iv := range ivs {
+			if iv.ID == id {
+				nv.writePage(pg, append(ivs[:i:i], ivs[i+1:]...))
+				nv.n--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Stab reports every interval containing q in O(n/B) I/Os.
+func (nv *Naive) Stab(q int64, emit EmitInterval) {
+	for _, pg := range nv.pages {
+		for _, iv := range nv.readPage(pg) {
+			if iv.Contains(q) {
+				if !emit(iv) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Intersect reports every interval intersecting q in O(n/B) I/Os.
+func (nv *Naive) Intersect(q geom.Interval, emit EmitInterval) {
+	for _, pg := range nv.pages {
+		for _, iv := range nv.readPage(pg) {
+			if iv.Intersects(q) {
+				if !emit(iv) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

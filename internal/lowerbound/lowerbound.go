@@ -1,0 +1,200 @@
+// Package lowerbound reproduces the tessellation lower bound of Lemma 2.7
+// and Theorem 2.8 (Fig 7): on a p x p grid of points, no tessellation into
+// non-overlapping rectangles of B points each can answer every row and
+// column query with at most k*q/B blocks for a constant k — the proof shows
+// k^2 >= B.
+//
+// The package measures the worst-case waste factor of concrete tessellation
+// strategies (rows, columns, sqrt(B)-squares), and for small instances
+// (Fig 7's 8x8 grid with B = 4) searches every tessellation exhaustively to
+// find the true optimum, demonstrating that the bound is not an artifact of
+// the strategy choice.
+package lowerbound
+
+import "fmt"
+
+// Tessellation is a p x p grid whose cells carry a tile id.
+type Tessellation struct {
+	P     int
+	Tiles []int // row-major; tile id per cell
+	NumT  int
+}
+
+// WasteFactor returns max over all row and column queries of
+// blocksTouched / ceil(q/B), the constant the lemma proves cannot stay
+// bounded as B grows. Every full row and full column (q = p points) is a
+// query.
+func (t *Tessellation) WasteFactor(b int) float64 {
+	p := t.P
+	need := float64((p + b - 1) / b)
+	worst := 0.0
+	seen := make(map[int]bool, p)
+	for r := 0; r < p; r++ {
+		clear(seen)
+		for c := 0; c < p; c++ {
+			seen[t.Tiles[r*p+c]] = true
+		}
+		if f := float64(len(seen)) / need; f > worst {
+			worst = f
+		}
+	}
+	for c := 0; c < p; c++ {
+		clear(seen)
+		for r := 0; r < p; r++ {
+			seen[t.Tiles[r*p+c]] = true
+		}
+		if f := float64(len(seen)) / need; f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// Rows tiles the grid with 1 x B horizontal tiles.
+func Rows(p, b int) *Tessellation {
+	t := &Tessellation{P: p, Tiles: make([]int, p*p)}
+	id := 0
+	for r := 0; r < p; r++ {
+		for c := 0; c < p; c += b {
+			for k := c; k < c+b && k < p; k++ {
+				t.Tiles[r*p+k] = id
+			}
+			id++
+		}
+	}
+	t.NumT = id
+	return t
+}
+
+// Columns tiles the grid with B x 1 vertical tiles.
+func Columns(p, b int) *Tessellation {
+	t := &Tessellation{P: p, Tiles: make([]int, p*p)}
+	id := 0
+	for c := 0; c < p; c++ {
+		for r := 0; r < p; r += b {
+			for k := r; k < r+b && k < p; k++ {
+				t.Tiles[k*p+c] = id
+			}
+			id++
+		}
+	}
+	t.NumT = id
+	return t
+}
+
+// Squares tiles the grid with s x s tiles where s = floor(sqrt(B)) (B must
+// be a perfect square for exact coverage; otherwise tiles are s x (B/s)).
+func Squares(p, b int) *Tessellation {
+	s := 1
+	for (s+1)*(s+1) <= b {
+		s++
+	}
+	w := b / s
+	t := &Tessellation{P: p, Tiles: make([]int, p*p)}
+	id := 0
+	for r := 0; r < p; r += s {
+		for c := 0; c < p; c += w {
+			for i := r; i < r+s && i < p; i++ {
+				for j := c; j < c+w && j < p; j++ {
+					t.Tiles[i*p+j] = id
+				}
+			}
+			id++
+		}
+	}
+	t.NumT = id
+	return t
+}
+
+// OptimalSearch exhaustively enumerates every tessellation of a p x p grid
+// into axis-aligned rectangles of exactly b cells and returns the minimum
+// worst-case waste factor together with the number of tessellations
+// examined. Feasible for Fig 7's setting (p = 8, b = 4). The returned
+// optimum satisfies optimum >= sqrt(b)/ceil-rounding slack, the
+// contradiction at the heart of Lemma 2.7.
+func OptimalSearch(p, b int) (best float64, count int64) {
+	// Rectangle shapes with area b.
+	type shape struct{ h, w int }
+	var shapes []shape
+	for h := 1; h <= b; h++ {
+		if b%h == 0 {
+			shapes = append(shapes, shape{h: h, w: b / h})
+		}
+	}
+	tiles := make([]int, p*p)
+	for i := range tiles {
+		tiles[i] = -1
+	}
+	best = float64(p) // upper bound: every block distinct
+	t := &Tessellation{P: p, Tiles: tiles}
+
+	var place func(tileID int)
+	place = func(tileID int) {
+		// First empty cell.
+		idx := -1
+		for i, v := range tiles {
+			if v < 0 {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			count++
+			if f := t.WasteFactor(b); f < best {
+				best = f
+			}
+			return
+		}
+		r, c := idx/p, idx%p
+		for _, s := range shapes {
+			if r+s.h > p || c+s.w > p {
+				continue
+			}
+			ok := true
+			for i := r; i < r+s.h && ok; i++ {
+				for j := c; j < c+s.w; j++ {
+					if tiles[i*p+j] >= 0 {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			for i := r; i < r+s.h; i++ {
+				for j := c; j < c+s.w; j++ {
+					tiles[i*p+j] = tileID
+				}
+			}
+			place(tileID + 1)
+			for i := r; i < r+s.h; i++ {
+				for j := c; j < c+s.w; j++ {
+					tiles[i*p+j] = -1
+				}
+			}
+		}
+	}
+	place(0)
+	return best, count
+}
+
+// Report describes a strategy's waste factor.
+type Report struct {
+	Strategy string
+	P, B     int
+	Waste    float64
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("p=%d B=%d %-8s waste=%.2f", r.P, r.B, r.Strategy, r.Waste)
+}
+
+// StrategyReports measures the three analytic strategies on a p x p grid.
+func StrategyReports(p, b int) []Report {
+	return []Report{
+		{Strategy: "rows", P: p, B: b, Waste: Rows(p, b).WasteFactor(b)},
+		{Strategy: "columns", P: p, B: b, Waste: Columns(p, b).WasteFactor(b)},
+		{Strategy: "squares", P: p, B: b, Waste: Squares(p, b).WasteFactor(b)},
+	}
+}

@@ -1,0 +1,86 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRowsColumnsExtremes(t *testing.T) {
+	p, b := 16, 4
+	rows := Rows(p, b)
+	cols := Columns(p, b)
+	// Row tiling answers row queries optimally (waste 1) but column queries
+	// touch p blocks for p/B needed.
+	if w := rows.WasteFactor(b); w != float64(b) {
+		t.Fatalf("rows waste = %v, want %d", w, b)
+	}
+	if w := cols.WasteFactor(b); w != float64(b) {
+		t.Fatalf("columns waste = %v, want %d", w, b)
+	}
+}
+
+func TestSquaresWasteIsSqrtB(t *testing.T) {
+	p, b := 16, 16
+	sq := Squares(p, b)
+	// 4x4 tiles: a row of 16 points touches 4 tiles; needs 1 block.
+	if w := sq.WasteFactor(b); math.Abs(w-4) > 1e-9 {
+		t.Fatalf("squares waste = %v, want 4 (=sqrt B)", w)
+	}
+}
+
+func TestTilesCoverGridExactly(t *testing.T) {
+	for _, tess := range []*Tessellation{Rows(8, 4), Columns(8, 4), Squares(8, 4)} {
+		counts := map[int]int{}
+		for _, id := range tess.Tiles {
+			counts[id]++
+		}
+		for id, c := range counts {
+			if c != 4 {
+				t.Fatalf("tile %d has %d cells, want 4", id, c)
+			}
+		}
+	}
+}
+
+// Lemma 2.7 on Fig 7's exact instance: the true optimum over every
+// tessellation of the 8x8 grid with B=4 still has waste >= sqrt(B) = 2,
+// i.e. no clever tiling reaches a constant independent of B.
+func TestOptimalSearchFig7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive search")
+	}
+	best, count := OptimalSearch(8, 4)
+	t.Logf("examined %d tessellations, optimal waste %.2f", count, best)
+	if count == 0 {
+		t.Fatal("no tessellations found")
+	}
+	if best < 2 {
+		t.Fatalf("optimal waste %.2f below sqrt(B)=2: contradicts Lemma 2.7", best)
+	}
+}
+
+func TestOptimalSearchTiny(t *testing.T) {
+	// 4x4 grid, B=4: quick exhaustive sanity.
+	best, count := OptimalSearch(4, 4)
+	if count == 0 {
+		t.Fatal("no tessellations")
+	}
+	if best < 2 {
+		t.Fatalf("4x4 optimum %.2f below 2", best)
+	}
+}
+
+func TestStrategyReports(t *testing.T) {
+	reps := StrategyReports(16, 16)
+	if len(reps) != 3 {
+		t.Fatalf("got %d reports", len(reps))
+	}
+	for _, r := range reps {
+		if r.Waste < 1 {
+			t.Fatalf("%v: waste below 1", r)
+		}
+		if r.String() == "" {
+			t.Fatal("empty report string")
+		}
+	}
+}

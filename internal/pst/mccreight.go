@@ -1,0 +1,106 @@
+package pst
+
+import (
+	"ccidx/internal/geom"
+)
+
+// InCore is a static in-core priority search tree (McCreight [25]), the
+// structure the paper cites as the optimal main-memory solution for dynamic
+// interval management (Section 1.4): O(n) space and O(log2 n + t) query.
+// It serves as an oracle and as the in-core baseline that external
+// structures are compared against in the experiments: its query time is
+// optimal in comparisons but it has no blocking, so a naive mapping to disk
+// costs O(log2 n + t) I/Os rather than O(log_B n + t/B).
+type InCore struct {
+	nodes []inCoreNode
+	root  int
+	n     int
+}
+
+type inCoreNode struct {
+	pt          geom.Point // the maximum-y point of this subtree's pool
+	split       int64      // x values <= split go left
+	left, right int        // -1 for none
+}
+
+// BuildInCore constructs the tree from the given points.
+func BuildInCore(pts []geom.Point) *InCore {
+	own := append([]geom.Point(nil), pts...)
+	geom.SortByX(own)
+	t := &InCore{root: -1, n: len(own)}
+	t.root = t.build(own)
+	return t
+}
+
+// Len returns the number of stored points.
+func (t *InCore) Len() int { return t.n }
+
+func (t *InCore) build(pts []geom.Point) int {
+	if len(pts) == 0 {
+		return -1
+	}
+	// Pull out the max-y point; split the rest at the median x.
+	maxi := 0
+	for i, p := range pts {
+		if geom.YDescLess(p, pts[maxi]) {
+			maxi = i
+		}
+	}
+	nd := inCoreNode{pt: pts[maxi], left: -1, right: -1}
+	rest := make([]geom.Point, 0, len(pts)-1)
+	rest = append(rest, pts[:maxi]...)
+	rest = append(rest, pts[maxi+1:]...)
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, nd)
+	if len(rest) > 0 {
+		mid := (len(rest) - 1) / 2
+		t.nodes[idx].split = rest[mid].X
+		l := t.build(rest[:mid+1])
+		r := t.build(rest[mid+1:])
+		t.nodes[idx].left = l
+		t.nodes[idx].right = r
+	}
+	return idx
+}
+
+// Query reports every point in [q.X1,q.X2] x [q.Y, inf) in O(log2 n + t)
+// comparisons.
+func (t *InCore) Query(q geom.ThreeSidedQuery, emit geom.Emit) {
+	if !q.Valid() || t.root < 0 {
+		return
+	}
+	t.query(t.root, q, emit)
+}
+
+func (t *InCore) query(i int, q geom.ThreeSidedQuery, emit geom.Emit) bool {
+	nd := t.nodes[i]
+	if nd.pt.Y < q.Y {
+		// Heap property: everything below has y <= nd.pt.Y < q.Y.
+		return true
+	}
+	if nd.pt.X >= q.X1 && nd.pt.X <= q.X2 {
+		if !emit(nd.pt) {
+			return false
+		}
+	}
+	if nd.left >= 0 && q.X1 <= nd.split {
+		if !t.query(nd.left, q, emit) {
+			return false
+		}
+	}
+	// Right subtree holds x >= split (duplicates of the split value may sit
+	// on either side), so the descend test must be inclusive.
+	if nd.right >= 0 && q.X2 >= nd.split {
+		if !t.query(nd.right, q, emit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stab reports every interval-point (lo,hi) whose interval contains x,
+// i.e. the diagonal corner query at (x,x); a convenience for the interval
+// management baseline.
+func (t *InCore) Stab(x int64, emit geom.Emit) {
+	t.Query(geom.ThreeSidedQuery{X1: -1 << 63, X2: x, Y: x}, emit)
+}

@@ -1,0 +1,251 @@
+// Package pst implements the external priority search tree of Lemma 4.1
+// (after Icking, Klein and Ottmann [17]): a balanced binary tree over x in
+// which every node stores the B points with the largest y values among the
+// points of its x-range not already stored by an ancestor.
+//
+// Bounds (Lemma 4.1): a 3-sided query [x1,x2] x [y,inf) on n points costs
+// O(log2 n + t/B) I/Os, the structure occupies O(n/B) blocks, and it can be
+// built in O((n/B) log_B n) I/Os. The paper uses this structure for the
+// per-metablock and per-child-set 3-sided organisations of Section 4, where
+// the point count is O(B^2) or O(B^3), making the log2 term O(log2 B).
+//
+// Two properties drive the query bound:
+//
+//   - heap property: every point stored in a proper descendant of a full
+//     node v has y no larger than the smallest y stored at v, so a subtree
+//     is pruned as soon as a node is not full or its minimum stored y falls
+//     below the query threshold;
+//   - x-span pruning: each node records its children's subtree x-spans, so
+//     a child disjoint from [x1,x2] is never read. Fully-contained children
+//     are read only below fully-reported nodes, and those reads are paid
+//     for by the B points just reported.
+//
+// The package also contains an in-core McCreight priority search tree
+// (mccreight.go), the paper's reference point for optimal main-memory
+// dynamic interval management (Section 1.4).
+package pst
+
+import (
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+const (
+	pointSize  = 24            // x, y int64 + id uint64
+	nodeHeader = 2 + 2*8 + 4*8 // count u16, left/right ids, left/right x-spans
+)
+
+// Tree is a static external priority search tree.
+type Tree struct {
+	pager    *disk.Pager
+	b        int
+	root     disk.BlockID
+	n        int
+	pageSize int
+}
+
+// PageSize returns the page size in bytes for block capacity b.
+func PageSize(b int) int { return nodeHeader + b*pointSize }
+
+// Build constructs the tree from an arbitrary point slice (copied, then
+// sorted internally). b is the block capacity B.
+func Build(b int, pts []geom.Point) *Tree {
+	if b < 2 {
+		panic("pst: block capacity must be at least 2")
+	}
+	t := &Tree{
+		pager:    disk.NewPager(PageSize(b)),
+		b:        b,
+		n:        len(pts),
+		pageSize: PageSize(b),
+	}
+	own := append([]geom.Point(nil), pts...)
+	geom.SortByX(own)
+	t.root, _ = t.build(own)
+	return t
+}
+
+// Pager exposes the underlying device for I/O accounting.
+func (t *Tree) Pager() *disk.Pager { return t.pager }
+
+// Len returns the number of points stored.
+func (t *Tree) Len() int { return t.n }
+
+// B returns the block capacity.
+func (t *Tree) B() int { return t.b }
+
+// span is a closed x-range of a subtree. Empty subtrees use lo > hi.
+type span struct{ lo, hi int64 }
+
+func (s span) intersects(x1, x2 int64) bool { return s.lo <= x2 && x1 <= s.hi }
+
+type pstNode struct {
+	pts         []geom.Point // stored points, sorted by decreasing y
+	left, right disk.BlockID
+	lspan       span
+	rspan       span
+}
+
+// build recursively constructs the subtree for the x-sorted slice pts and
+// returns its block id (NilBlock for an empty slice) plus its x-span.
+func (t *Tree) build(pts []geom.Point) (disk.BlockID, span) {
+	if len(pts) == 0 {
+		return disk.NilBlock, span{lo: 1, hi: 0}
+	}
+	sp := span{lo: pts[0].X, hi: pts[len(pts)-1].X}
+	nd := &pstNode{lspan: span{lo: 1, hi: 0}, rspan: span{lo: 1, hi: 0}}
+	if len(pts) <= t.b {
+		nd.pts = append([]geom.Point(nil), pts...)
+		geom.SortByYDesc(nd.pts)
+		return t.writeNode(nd), sp
+	}
+	// Select the B points with the largest y values.
+	idx := topYIndices(pts, t.b)
+	taken := make([]bool, len(pts))
+	for _, i := range idx {
+		taken[i] = true
+		nd.pts = append(nd.pts, pts[i])
+	}
+	geom.SortByYDesc(nd.pts)
+	rest := make([]geom.Point, 0, len(pts)-t.b)
+	for i, p := range pts {
+		if !taken[i] {
+			rest = append(rest, p)
+		}
+	}
+	mid := len(rest) / 2
+	nd.left, nd.lspan = t.build(rest[:mid])
+	nd.right, nd.rspan = t.build(rest[mid:])
+	return t.writeNode(nd), sp
+}
+
+// topYIndices returns the indices of the k points with the largest y
+// (ties broken by the canonical order), as a bounded insertion pass.
+func topYIndices(pts []geom.Point, k int) []int {
+	best := make([]int, 0, k)
+	worse := func(i, j int) bool { // pts[i] has lower y-priority than pts[j]
+		return geom.YDescLess(pts[j], pts[i])
+	}
+	for i := range pts {
+		if len(best) < k {
+			best = append(best, i)
+			for j := len(best) - 1; j > 0 && worse(best[j-1], best[j]); j-- {
+				best[j-1], best[j] = best[j], best[j-1]
+			}
+			continue
+		}
+		if worse(best[k-1], i) {
+			best[k-1] = i
+			for j := k - 1; j > 0 && worse(best[j-1], best[j]); j-- {
+				best[j-1], best[j] = best[j], best[j-1]
+			}
+		}
+	}
+	return best
+}
+
+func (t *Tree) writeNode(nd *pstNode) disk.BlockID {
+	id := t.pager.Alloc()
+	buf := make([]byte, t.pageSize)
+	cnt := len(nd.pts)
+	buf[0] = byte(cnt)
+	buf[1] = byte(cnt >> 8)
+	putLE64(buf[2:], uint64(int64(nd.left)))
+	putLE64(buf[10:], uint64(int64(nd.right)))
+	putLE64(buf[18:], uint64(nd.lspan.lo))
+	putLE64(buf[26:], uint64(nd.lspan.hi))
+	putLE64(buf[34:], uint64(nd.rspan.lo))
+	putLE64(buf[42:], uint64(nd.rspan.hi))
+	off := nodeHeader
+	for _, p := range nd.pts {
+		putLE64(buf[off:], uint64(p.X))
+		putLE64(buf[off+8:], uint64(p.Y))
+		putLE64(buf[off+16:], p.ID)
+		off += pointSize
+	}
+	t.pager.MustWrite(id, buf)
+	return id
+}
+
+func (t *Tree) readNode(id disk.BlockID) *pstNode {
+	buf := make([]byte, t.pageSize)
+	t.pager.MustRead(id, buf)
+	cnt := int(uint16(buf[0]) | uint16(buf[1])<<8)
+	nd := &pstNode{
+		left:  disk.BlockID(int64(le64(buf[2:]))),
+		right: disk.BlockID(int64(le64(buf[10:]))),
+		lspan: span{lo: int64(le64(buf[18:])), hi: int64(le64(buf[26:]))},
+		rspan: span{lo: int64(le64(buf[34:])), hi: int64(le64(buf[42:]))},
+	}
+	off := nodeHeader
+	nd.pts = make([]geom.Point, cnt)
+	for i := 0; i < cnt; i++ {
+		nd.pts[i] = geom.Point{
+			X:  int64(le64(buf[off:])),
+			Y:  int64(le64(buf[off+8:])),
+			ID: le64(buf[off+16:]),
+		}
+		off += pointSize
+	}
+	return nd
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// Query reports every point in [q.X1, q.X2] x [q.Y, inf). Enumeration stops
+// early if emit returns false. Cost: O(log2 n + t/B) I/Os.
+func (t *Tree) Query(q geom.ThreeSidedQuery, emit geom.Emit) {
+	if !q.Valid() || t.root == disk.NilBlock {
+		return
+	}
+	t.query(t.root, q, emit)
+}
+
+// query returns false if enumeration was stopped early.
+func (t *Tree) query(id disk.BlockID, q geom.ThreeSidedQuery, emit geom.Emit) bool {
+	nd := t.readNode(id)
+	for _, p := range nd.pts {
+		// Stored points are sorted by decreasing y: stop at the threshold.
+		if p.Y < q.Y {
+			break
+		}
+		if p.X >= q.X1 && p.X <= q.X2 {
+			if !emit(p) {
+				return false
+			}
+		}
+	}
+	// Children can hold points with y >= q.Y only when this node is full
+	// and its smallest stored y is still >= q.Y (heap property).
+	if len(nd.pts) < t.b {
+		return true
+	}
+	if nd.pts[len(nd.pts)-1].Y < q.Y {
+		return true
+	}
+	if nd.left != disk.NilBlock && nd.lspan.intersects(q.X1, q.X2) {
+		if !t.query(nd.left, q, emit) {
+			return false
+		}
+	}
+	if nd.right != disk.NilBlock && nd.rspan.intersects(q.X1, q.X2) {
+		if !t.query(nd.right, q, emit) {
+			return false
+		}
+	}
+	return true
+}

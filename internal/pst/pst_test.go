@@ -1,0 +1,262 @@
+package pst
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ccidx/internal/geom"
+)
+
+func genPoints(rng *rand.Rand, n int, coordRange int64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Int63n(coordRange), Y: rng.Int63n(coordRange), ID: uint64(i)}
+	}
+	return pts
+}
+
+func oracle3Sided(pts []geom.Point, q geom.ThreeSidedQuery) []uint64 {
+	var out []uint64
+	for _, p := range pts {
+		if q.Contains(p) {
+			out = append(out, p.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func runQuery(t *Tree, q geom.ThreeSidedQuery) []uint64 {
+	var got []geom.Point
+	t.Query(q, geom.Collect(&got))
+	return geom.DedupIDs(got)
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExternalPSTMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := genPoints(rng, 2000, 500)
+	tree := Build(8, pts)
+	for trial := 0; trial < 300; trial++ {
+		x1 := rng.Int63n(500)
+		x2 := x1 + rng.Int63n(500-x1+1)
+		q := geom.ThreeSidedQuery{X1: x1, X2: x2, Y: rng.Int63n(500)}
+		got := runQuery(tree, q)
+		want := oracle3Sided(pts, q)
+		if !equalIDs(got, want) {
+			t.Fatalf("trial %d q=%+v: got %d ids want %d", trial, q, len(got), len(want))
+		}
+	}
+}
+
+func TestExternalPSTNoDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := genPoints(rng, 1000, 50) // many coordinate collisions
+	tree := Build(4, pts)
+	q := geom.ThreeSidedQuery{X1: 10, X2: 40, Y: 5}
+	var got []geom.Point
+	tree.Query(q, geom.Collect(&got))
+	seen := map[uint64]bool{}
+	for _, p := range got {
+		if seen[p.ID] {
+			t.Fatalf("duplicate id %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestExternalPSTEmptyAndDegenerate(t *testing.T) {
+	empty := Build(4, nil)
+	var got []geom.Point
+	empty.Query(geom.ThreeSidedQuery{X1: 0, X2: 10, Y: 0}, geom.Collect(&got))
+	if len(got) != 0 {
+		t.Fatal("empty tree returned points")
+	}
+	one := Build(4, []geom.Point{{X: 5, Y: 5, ID: 1}})
+	one.Query(geom.ThreeSidedQuery{X1: 5, X2: 5, Y: 5}, geom.Collect(&got))
+	if len(got) != 1 {
+		t.Fatalf("singleton query got %d", len(got))
+	}
+	got = got[:0]
+	one.Query(geom.ThreeSidedQuery{X1: 6, X2: 4, Y: 0}, geom.Collect(&got))
+	if len(got) != 0 {
+		t.Fatal("invalid query returned points")
+	}
+}
+
+func TestExternalPSTEarlyStop(t *testing.T) {
+	pts := genPoints(rand.New(rand.NewSource(3)), 500, 100)
+	tree := Build(4, pts)
+	count := 0
+	tree.Query(geom.ThreeSidedQuery{X1: 0, X2: 100, Y: 0}, func(geom.Point) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop emitted %d", count)
+	}
+}
+
+// Lemma 4.1 query bound: I/Os <= c1*log2(n) + c2*t/B + c3.
+func TestExternalPSTQueryIOBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := 16
+	n := 30000
+	pts := genPoints(rng, n, 10000)
+	tree := Build(b, pts)
+	log2n := 0
+	for v := 1; v < n; v *= 2 {
+		log2n++
+	}
+	for trial := 0; trial < 60; trial++ {
+		x1 := rng.Int63n(10000)
+		x2 := x1 + rng.Int63n(10000-x1+1)
+		q := geom.ThreeSidedQuery{X1: x1, X2: x2, Y: rng.Int63n(10000)}
+		before := tree.Pager().Stats()
+		var got []geom.Point
+		tree.Query(q, geom.Collect(&got))
+		ios := tree.Pager().Stats().Sub(before).IOs()
+		bound := int64(3*log2n) + 4*int64(len(got))/int64(b) + 4
+		if ios > bound {
+			t.Fatalf("q=%+v t=%d: %d I/Os exceeds bound %d", q, len(got), ios, bound)
+		}
+	}
+}
+
+// Lemma 4.1 space bound: O(n/B) blocks.
+func TestExternalPSTSpaceBound(t *testing.T) {
+	b := 16
+	n := 20000
+	pts := genPoints(rand.New(rand.NewSource(5)), n, 1<<30)
+	tree := Build(b, pts)
+	if got, lim := tree.Pager().Allocated(), int64(4*n/b); got > lim {
+		t.Fatalf("space %d blocks exceeds %d", got, lim)
+	}
+}
+
+func TestExternalPSTAllPointsReachable(t *testing.T) {
+	pts := genPoints(rand.New(rand.NewSource(6)), 1234, 300)
+	tree := Build(8, pts)
+	var got []geom.Point
+	tree.Query(geom.ThreeSidedQuery{X1: -1 << 62, X2: 1 << 62, Y: -1 << 62}, geom.Collect(&got))
+	if len(got) != len(pts) {
+		t.Fatalf("full query returned %d of %d", len(got), len(pts))
+	}
+}
+
+func TestTopYIndices(t *testing.T) {
+	pts := []geom.Point{{Y: 5}, {Y: 9}, {Y: 1}, {Y: 7}, {Y: 3}}
+	idx := topYIndices(pts, 2)
+	if len(idx) != 2 {
+		t.Fatalf("len=%d", len(idx))
+	}
+	if pts[idx[0]].Y != 9 || pts[idx[1]].Y != 7 {
+		t.Fatalf("top2 = %v %v", pts[idx[0]], pts[idx[1]])
+	}
+	// k >= len returns everything.
+	if got := topYIndices(pts, 10); len(got) != 5 {
+		t.Fatalf("k>len returned %d", len(got))
+	}
+}
+
+func TestPSTPropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := genPoints(rng, 50+rng.Intn(200), 40)
+		tree := Build(2+rng.Intn(8), pts)
+		for k := 0; k < 10; k++ {
+			x1 := rng.Int63n(40)
+			x2 := x1 + rng.Int63n(40-x1+1)
+			q := geom.ThreeSidedQuery{X1: x1, X2: x2, Y: rng.Int63n(40)}
+			if !equalIDs(runQuery(tree, q), oracle3Sided(pts, q)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- in-core McCreight PST ---
+
+func TestInCoreMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := genPoints(rng, 1500, 400)
+	tree := BuildInCore(pts)
+	if tree.Len() != len(pts) {
+		t.Fatalf("Len=%d", tree.Len())
+	}
+	for trial := 0; trial < 200; trial++ {
+		x1 := rng.Int63n(400)
+		x2 := x1 + rng.Int63n(400-x1+1)
+		q := geom.ThreeSidedQuery{X1: x1, X2: x2, Y: rng.Int63n(400)}
+		var got []geom.Point
+		tree.Query(q, geom.Collect(&got))
+		if !equalIDs(geom.DedupIDs(got), oracle3Sided(pts, q)) {
+			t.Fatalf("trial %d mismatch", trial)
+		}
+	}
+}
+
+func TestInCoreStabEqualsIntervalContainment(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ivs := make([]geom.Interval, 300)
+	pts := make([]geom.Point, 300)
+	for i := range ivs {
+		lo := rng.Int63n(100)
+		hi := lo + rng.Int63n(100-lo+1)
+		ivs[i] = geom.Interval{Lo: lo, Hi: hi, ID: uint64(i)}
+		pts[i] = ivs[i].ToPoint()
+	}
+	tree := BuildInCore(pts)
+	for q := int64(0); q < 100; q += 7 {
+		var got []geom.Point
+		tree.Stab(q, geom.Collect(&got))
+		want := 0
+		for _, iv := range ivs {
+			if iv.Contains(q) {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("stab %d: got %d want %d", q, len(got), want)
+		}
+	}
+}
+
+func TestInCoreEmpty(t *testing.T) {
+	tree := BuildInCore(nil)
+	var got []geom.Point
+	tree.Query(geom.ThreeSidedQuery{X1: 0, X2: 1, Y: 0}, geom.Collect(&got))
+	if len(got) != 0 {
+		t.Fatal("empty in-core PST returned points")
+	}
+}
+
+func TestInCoreEarlyStop(t *testing.T) {
+	pts := genPoints(rand.New(rand.NewSource(9)), 100, 20)
+	tree := BuildInCore(pts)
+	count := 0
+	tree.Query(geom.ThreeSidedQuery{X1: 0, X2: 20, Y: 0}, func(geom.Point) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop emitted %d", count)
+	}
+}

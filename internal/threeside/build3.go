@@ -1,0 +1,169 @@
+package threeside
+
+import (
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+// Static construction: identical shape to the diagonal metablock tree
+// (top B^2 points by y in each metablock, the rest partitioned by x into at
+// most B groups), with the Section 4 additions — a per-metablock 3-sided
+// structure, left and right TS structures per child, and a child-union
+// 3-sided structure per internal metablock.
+
+type buildResult struct {
+	ctrl         disk.BlockID
+	bb           bbox
+	stored       []geom.Point
+	storedCount  int
+	subtreeCount int64
+	xlo, xhi     int64
+}
+
+func (t *Tree) buildMeta(pts []geom.Point) buildResult {
+	cap2 := t.cap2()
+	m := &metaCtrl{}
+	var stored, rest []geom.Point
+	if len(pts) <= cap2 {
+		stored = append([]geom.Point(nil), pts...)
+	} else {
+		byY := append([]geom.Point(nil), pts...)
+		geom.SortByYDesc(byY)
+		storedSet := make(map[geom.Point]int, cap2)
+		for _, p := range byY[:cap2] {
+			storedSet[p]++
+		}
+		stored = byY[:cap2:cap2]
+		rest = make([]geom.Point, 0, len(pts)-cap2)
+		for _, p := range pts {
+			if storedSet[p] > 0 {
+				storedSet[p]--
+				continue
+			}
+			rest = append(rest, p)
+		}
+	}
+	t.fillStoredOrgs(m, stored)
+
+	if len(rest) > 0 {
+		groups := (len(rest) + cap2 - 1) / cap2
+		if groups > t.cfg.B {
+			groups = t.cfg.B
+		}
+		per := (len(rest) + groups - 1) / groups
+		var results []buildResult
+		for i := 0; i < len(rest); i += per {
+			j := i + per
+			if j > len(rest) {
+				j = len(rest)
+			}
+			results = append(results, t.buildMeta(rest[i:j]))
+		}
+		for _, r := range results {
+			m.children = append(m.children, childRef{
+				ctrl: r.ctrl, xlo: r.xlo, xhi: r.xhi, bb: r.bb,
+				storedCount: r.storedCount, subtreeCount: r.subtreeCount,
+			})
+		}
+		t.rebuildChildTS(m, results)
+		t.rebuildUnion(m, results)
+		m.td = &tdInfo{}
+	}
+
+	ctrl := t.storeCtrl(disk.NilBlock, m)
+	var xlo, xhi int64
+	if len(pts) > 0 {
+		xlo, xhi = pts[0].X, pts[len(pts)-1].X
+	}
+	return buildResult{
+		ctrl: ctrl, bb: m.bb, stored: stored,
+		storedCount: len(stored), subtreeCount: int64(len(pts)),
+		xlo: xlo, xhi: xhi,
+	}
+}
+
+func (t *Tree) fillStoredOrgs(m *metaCtrl, stored []geom.Point) {
+	m.count = len(stored)
+	m.bb = bboxOf(stored)
+
+	byX := append([]geom.Point(nil), stored...)
+	geom.SortByX(byX)
+	m.vblocks = t.writePointChunks(byX)
+
+	byY := append([]geom.Point(nil), stored...)
+	geom.SortByYDesc(byY)
+	m.hblocks = t.writePointChunks(byY)
+
+	rs := make([]rec, len(stored))
+	for i, p := range stored {
+		rs[i] = rec{pt: p}
+	}
+	m.pst = t.buildEPST(rs)
+}
+
+func (t *Tree) freeStoredOrgs(m *metaCtrl) {
+	t.freeChunks(m.vblocks)
+	t.freeChunks(m.hblocks)
+	t.freeEPST(m.pst)
+	m.vblocks, m.hblocks, m.pst = nil, nil, epst{}
+}
+
+// rebuildChildTS writes both TS structures of every freshly built child:
+// TSL(child i) covers children 0..i-1, TSR(child i) covers i+1..end.
+func (t *Tree) rebuildChildTS(m *metaCtrl, results []buildResult) {
+	cap2 := t.cap2()
+	n := len(results)
+	var pool []geom.Point
+	tsls := make([]tsInfo, n)
+	for i := 0; i < n; i++ {
+		tsls[i] = t.writeTS(pool)
+		pool = topYPool(append(pool, results[i].stored...), cap2)
+	}
+	pool = nil
+	tsrs := make([]tsInfo, n)
+	for i := n - 1; i >= 0; i-- {
+		tsrs[i] = t.writeTS(pool)
+		pool = topYPool(append(pool, results[i].stored...), cap2)
+	}
+	for i, r := range results {
+		cm := t.loadCtrl(r.ctrl)
+		t.freeChunks(cm.tsl.blocks)
+		t.freeChunks(cm.tsr.blocks)
+		cm.tsl = tsls[i]
+		cm.tsr = tsrs[i]
+		t.storeCtrl(r.ctrl, cm)
+	}
+}
+
+// rebuildUnion builds the child-union 3-sided structure of m, with each
+// record tagged by its child slot so queries can filter by slot.
+func (t *Tree) rebuildUnion(m *metaCtrl, results []buildResult) {
+	var rs []rec
+	for slot, r := range results {
+		for _, p := range r.stored {
+			rs = append(rs, rec{pt: p, aux: tdAux(slot, false)})
+		}
+	}
+	m.union = t.buildEPST(rs)
+}
+
+func (t *Tree) writeTS(pool []geom.Point) tsInfo {
+	if len(pool) == 0 {
+		return tsInfo{}
+	}
+	byY := append([]geom.Point(nil), pool...)
+	geom.SortByYDesc(byY)
+	return tsInfo{
+		blocks:  t.writePointChunks(byY),
+		count:   len(byY),
+		bottomY: byY[len(byY)-1].Y,
+	}
+}
+
+func topYPool(pts []geom.Point, k int) []geom.Point {
+	if len(pts) <= k {
+		return pts
+	}
+	geom.SortByYDesc(pts)
+	return append([]geom.Point(nil), pts[:k]...)
+}

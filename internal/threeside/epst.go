@@ -1,0 +1,208 @@
+// Package threeside implements the 3-sided variant of the metablock tree
+// (Section 4, Lemmas 4.3 and 4.4): points in the plane, queries of the form
+// [x1,x2] x [y, inf).
+//
+// Compared to the diagonal-corner metablock tree of internal/core, the
+// structure (i) replaces corner structures by per-metablock 3-sided
+// structures as prescribed by Lemma 4.1, (ii) keeps two TS structures per
+// metablock, one over left siblings and one over right siblings, because a
+// 3-sided query has two vertical boundary paths, and (iii) adds, for every
+// internal metablock, a 3-sided structure over the union of its children's
+// stored points (O(B^3) of them) for the case where both vertical sides of
+// the query fall among the children of one node (the paper's case (4),
+// Fig 20).
+//
+// Bounds: query O(log_B n + log2 B + t/B) I/Os and space O(n/B) blocks
+// (Lemma 4.3); amortized insert O(log_B n + (log_B n)^2/B) (Lemma 4.4).
+//
+// This file implements the embedded external priority search tree used for
+// all three kinds of 3-sided sub-structures. It lives on the tree's own
+// pager: each node occupies one page holding up to B records plus child
+// pointers and child x-spans. Records carry a 32-bit aux field so the TD
+// and child-union structures can keep (slot, buffered) bookkeeping.
+package threeside
+
+import (
+	"sort"
+
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+// epst is a block-resident static priority search tree over recs
+// (Lemma 4.1 bounds: query O(log2 k + t/B), space O(k/B)).
+type epst struct {
+	root disk.BlockID
+	n    int
+}
+
+type epstNode struct {
+	recs        []rec // sorted by decreasing y
+	left, right disk.BlockID
+	lspan       span
+	rspan       span
+}
+
+type span struct{ lo, hi int64 }
+
+func (s span) intersects(x1, x2 int64) bool { return s.lo <= x2 && x1 <= s.hi }
+
+var emptySpan = span{lo: 1, hi: 0}
+
+// buildEPST constructs a tree over rs (copied).
+func (t *Tree) buildEPST(rs []rec) epst {
+	own := append([]rec(nil), rs...)
+	sort.Slice(own, func(i, j int) bool { return geom.Less(own[i].pt, own[j].pt) })
+	root, _ := t.buildEPSTNode(own)
+	return epst{root: root, n: len(own)}
+}
+
+func (t *Tree) buildEPSTNode(rs []rec) (disk.BlockID, span) {
+	if len(rs) == 0 {
+		return disk.NilBlock, emptySpan
+	}
+	sp := span{lo: rs[0].pt.X, hi: rs[len(rs)-1].pt.X}
+	nd := &epstNode{lspan: emptySpan, rspan: emptySpan}
+	if len(rs) <= t.cfg.B {
+		nd.recs = append([]rec(nil), rs...)
+		sortYDesc(nd.recs)
+		return t.writeEPSTNode(nd), sp
+	}
+	// Top B records by y stay here; the rest split at the median.
+	idx := make([]int, len(rs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return geom.YDescLess(rs[idx[a]].pt, rs[idx[b]].pt) })
+	taken := make([]bool, len(rs))
+	for _, i := range idx[:t.cfg.B] {
+		taken[i] = true
+		nd.recs = append(nd.recs, rs[i])
+	}
+	sortYDesc(nd.recs)
+	rest := make([]rec, 0, len(rs)-t.cfg.B)
+	for i, r := range rs {
+		if !taken[i] {
+			rest = append(rest, r)
+		}
+	}
+	mid := len(rest) / 2
+	nd.left, nd.lspan = t.buildEPSTNode(rest[:mid])
+	nd.right, nd.rspan = t.buildEPSTNode(rest[mid:])
+	return t.writeEPSTNode(nd), sp
+}
+
+func sortYDesc(rs []rec) {
+	sort.Slice(rs, func(i, j int) bool { return geom.YDescLess(rs[i].pt, rs[j].pt) })
+}
+
+// queryEPST reports every rec in [x1,x2] x [y,inf); emit returning false
+// stops the enumeration (the function then returns false).
+func (t *Tree) queryEPST(e epst, x1, x2, y int64, emit func(rec) bool) bool {
+	if e.root == disk.NilBlock || x1 > x2 {
+		return true
+	}
+	return t.queryEPSTNode(e.root, x1, x2, y, emit)
+}
+
+func (t *Tree) queryEPSTNode(id disk.BlockID, x1, x2, y int64, emit func(rec) bool) bool {
+	nd := t.readEPSTNode(id)
+	for _, r := range nd.recs {
+		if r.pt.Y < y {
+			break
+		}
+		if r.pt.X >= x1 && r.pt.X <= x2 {
+			if !emit(r) {
+				return false
+			}
+		}
+	}
+	if len(nd.recs) < t.cfg.B {
+		return true
+	}
+	if nd.recs[len(nd.recs)-1].pt.Y < y {
+		return true
+	}
+	if nd.left != disk.NilBlock && nd.lspan.intersects(x1, x2) {
+		if !t.queryEPSTNode(nd.left, x1, x2, y, emit) {
+			return false
+		}
+	}
+	if nd.right != disk.NilBlock && nd.rspan.intersects(x1, x2) {
+		if !t.queryEPSTNode(nd.right, x1, x2, y, emit) {
+			return false
+		}
+	}
+	return true
+}
+
+// freeEPST releases the tree's pages.
+func (t *Tree) freeEPST(e epst) {
+	t.freeEPSTNode(e.root)
+}
+
+func (t *Tree) freeEPSTNode(id disk.BlockID) {
+	if id == disk.NilBlock {
+		return
+	}
+	nd := t.readEPSTNode(id)
+	t.freeEPSTNode(nd.left)
+	t.freeEPSTNode(nd.right)
+	t.pager.MustFree(id)
+}
+
+// --- node page layout -------------------------------------------------------
+// [0:2]   count
+// [2:10]  left id      [10:18] right id
+// [18:34] lspan lo,hi  [34:50] rspan lo,hi
+// [64:]   records (32 bytes each)
+
+func (t *Tree) writeEPSTNode(nd *epstNode) disk.BlockID {
+	id := t.pager.Alloc()
+	buf := make([]byte, t.cfg.PageSize())
+	cnt := len(nd.recs)
+	buf[0] = byte(cnt)
+	buf[1] = byte(cnt >> 8)
+	putLE64(buf[2:], uint64(int64(nd.left)))
+	putLE64(buf[10:], uint64(int64(nd.right)))
+	putLE64(buf[18:], uint64(nd.lspan.lo))
+	putLE64(buf[26:], uint64(nd.lspan.hi))
+	putLE64(buf[34:], uint64(nd.rspan.lo))
+	putLE64(buf[42:], uint64(nd.rspan.hi))
+	off := pageHeaderSize
+	for _, r := range nd.recs {
+		putLE64(buf[off:], uint64(r.pt.X))
+		putLE64(buf[off+8:], uint64(r.pt.Y))
+		putLE64(buf[off+16:], r.pt.ID)
+		putLE32(buf[off+24:], r.aux)
+		off += recSize
+	}
+	t.pager.MustWrite(id, buf)
+	return id
+}
+
+func (t *Tree) readEPSTNode(id disk.BlockID) *epstNode {
+	buf := make([]byte, t.cfg.PageSize())
+	t.pager.MustRead(id, buf)
+	cnt := int(uint16(buf[0]) | uint16(buf[1])<<8)
+	nd := &epstNode{
+		left:  disk.BlockID(int64(le64(buf[2:]))),
+		right: disk.BlockID(int64(le64(buf[10:]))),
+		lspan: span{lo: int64(le64(buf[18:])), hi: int64(le64(buf[26:]))},
+		rspan: span{lo: int64(le64(buf[34:])), hi: int64(le64(buf[42:]))},
+	}
+	off := pageHeaderSize
+	nd.recs = make([]rec, cnt)
+	for i := 0; i < cnt; i++ {
+		nd.recs[i] = rec{
+			pt: geom.Point{
+				X:  int64(le64(buf[off:])),
+				Y:  int64(le64(buf[off+8:])),
+				ID: le64(buf[off+16:]),
+			},
+			aux: le32(buf[off+24:]),
+		}
+		off += recSize
+	}
+	return nd
+}

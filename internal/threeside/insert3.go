@@ -1,0 +1,473 @@
+package threeside
+
+import (
+	"sort"
+
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+// Semi-dynamic insertion (Lemma 4.4): the ladder of Section 3.2 with the
+// 3-sided organisations in place of the corner structures. Level-I
+// reorganisations rebuild a metablock's vertical, horizontal and 3-sided
+// organisations; the TD structure is a 3-sided structure; TS
+// reorganisations rebuild both TS structures of every child plus the
+// child-union 3-sided structure.
+
+type step struct {
+	id   disk.BlockID
+	slot int
+}
+
+// Insert adds p to the tree. Amortized O(log_B n + (log_B n)^2/B) I/Os.
+func (t *Tree) Insert(p geom.Point) {
+	t.n++
+
+	var path []step
+	cur := t.root
+	for {
+		m := t.loadCtrl(cur)
+		if len(m.children) == 0 || m.count == 0 || p.Y >= m.bb.minY {
+			break
+		}
+		slot := chooseChild(m.children, p.X)
+		c := &m.children[slot]
+		if p.X < c.xlo {
+			c.xlo = p.X
+		}
+		if p.X > c.xhi {
+			c.xhi = p.X
+		}
+		c.subtreeCount++
+		t.storeCtrl(cur, m)
+		path = append(path, step{id: cur, slot: slot})
+		cur = c.ctrl
+	}
+	target := cur
+
+	{
+		m := t.loadCtrl(target)
+		t.appendUpd(&m.upd, rec{pt: p})
+		t.storeCtrl(target, m)
+	}
+
+	if len(path) > 0 {
+		par := path[len(path)-1]
+		pm := t.loadCtrl(par.id)
+		if pm.td == nil {
+			pm.td = &tdInfo{}
+		}
+		t.appendUpd(&pm.td.upd, rec{pt: p, aux: tdAux(par.slot, true)})
+		if pm.td.upd.count >= t.cfg.B {
+			t.tdMergeUpd(pm)
+		}
+		t.storeCtrl(par.id, pm)
+		if pm.td.count+pm.td.upd.count >= t.cap2() {
+			t.tsReorgChildren(par.id, path[:len(path)-1])
+			return
+		}
+	}
+
+	m := t.loadCtrl(target)
+	if m.upd.count >= t.cfg.B {
+		t.levelI(target, path)
+	}
+}
+
+func chooseChild(children []childRef, x int64) int {
+	idx := 0
+	for i := range children {
+		if children[i].xlo <= x {
+			idx = i
+		} else {
+			break
+		}
+	}
+	return idx
+}
+
+func (t *Tree) appendUpd(u *updInfo, r rec) {
+	if u.id == disk.NilBlock {
+		u.id = t.pager.Alloc()
+		t.putRecBlock(u.id, []rec{r})
+		u.count = 1
+		return
+	}
+	rs := t.readRecBlock(u.id)
+	rs = rs[:u.count]
+	rs = append(rs, r)
+	t.putRecBlock(u.id, rs)
+	u.count = len(rs)
+}
+
+func (t *Tree) clearUpd(u *updInfo) {
+	if u.id != disk.NilBlock {
+		t.putRecBlock(u.id, nil)
+	}
+	u.count = 0
+}
+
+func (t *Tree) readStoredPoints(m *metaCtrl) []geom.Point {
+	var pts []geom.Point
+	for _, hb := range m.hblocks {
+		pts = append(pts, t.readPoints(hb.id)...)
+	}
+	return pts
+}
+
+func (t *Tree) levelI(id disk.BlockID, path []step) {
+	m := t.loadCtrl(id)
+	merged := t.updPoints(m.upd)
+	if len(merged) == 0 {
+		return
+	}
+	stored := append(t.readStoredPoints(m), merged...)
+	t.freeStoredOrgs(m)
+	t.fillStoredOrgs(m, stored)
+	t.clearUpd(&m.upd)
+	t.storeCtrl(id, m)
+
+	if len(path) > 0 {
+		par := path[len(path)-1]
+		pm := t.loadCtrl(par.id)
+		if i := findChild(pm, id); i >= 0 {
+			pm.children[i].bb = m.bb
+			pm.children[i].storedCount = m.count
+			t.tdMergeUpd(pm)
+			t.tdFlipInU(pm, i, merged)
+		}
+		t.storeCtrl(par.id, pm)
+	}
+
+	if m.count >= 2*t.cap2() {
+		t.levelII(id, path)
+	}
+}
+
+func findChild(pm *metaCtrl, id disk.BlockID) int {
+	for i := range pm.children {
+		if pm.children[i].ctrl == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t *Tree) readTDEntries(pm *metaCtrl) []rec {
+	var out []rec
+	if pm.td == nil {
+		return nil
+	}
+	for _, c := range pm.td.entryBlocks {
+		out = append(out, t.readRecBlock(c.id)...)
+	}
+	return out
+}
+
+func (t *Tree) tdMergeUpd(pm *metaCtrl) {
+	td := pm.td
+	if td == nil || td.upd.count == 0 {
+		return
+	}
+	entries := t.readTDEntries(pm)
+	entries = append(entries, t.updRecs(td.upd)...)
+	t.freeChunks(td.entryBlocks)
+	td.entryBlocks = t.writeRecChunks(entries)
+	td.count = len(entries)
+	t.freeEPST(td.pst)
+	td.pst = t.buildEPST(entries)
+	t.clearUpd(&td.upd)
+}
+
+func (t *Tree) tdFlipInU(pm *metaCtrl, slot int, pts []geom.Point) {
+	td := pm.td
+	if td == nil || td.count == 0 {
+		return
+	}
+	want := make(map[geom.Point]int, len(pts))
+	for _, p := range pts {
+		want[p]++
+	}
+	entries := t.readTDEntries(pm)
+	changed := false
+	for i := range entries {
+		r := &entries[i]
+		if tdInU(r.aux) && tdSlot(r.aux) == slot && want[r.pt] > 0 {
+			want[r.pt]--
+			r.aux = tdAux(slot, false)
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	t.freeChunks(td.entryBlocks)
+	td.entryBlocks = t.writeRecChunks(entries)
+	t.freeEPST(td.pst)
+	td.pst = t.buildEPST(entries)
+}
+
+func (t *Tree) discardTD(pm *metaCtrl) {
+	td := pm.td
+	if td == nil {
+		return
+	}
+	t.freeChunks(td.entryBlocks)
+	t.freeEPST(td.pst)
+	if td.upd.id != disk.NilBlock {
+		t.pager.MustFree(td.upd.id)
+	}
+	pm.td = &tdInfo{}
+}
+
+// tsReorgChildren flushes every child's update block, rebuilds both TS
+// structures of every child and the child-union 3-sided structure, and
+// discards the TD structure. Cost O(B^2).
+func (t *Tree) tsReorgChildren(id disk.BlockID, path []step) {
+	m := t.loadCtrl(id)
+	if len(m.children) == 0 {
+		return
+	}
+	t.discardTD(m)
+	cap2 := t.cap2()
+	n := len(m.children)
+	childStored := make([][]geom.Point, n)
+	var overflow []disk.BlockID
+	ctrls := make([]*metaCtrl, n)
+	for i := range m.children {
+		c := &m.children[i]
+		cm := t.loadCtrl(c.ctrl)
+		if cm.upd.count > 0 {
+			stored := append(t.readStoredPoints(cm), t.updPoints(cm.upd)...)
+			t.freeStoredOrgs(cm)
+			t.fillStoredOrgs(cm, stored)
+			t.clearUpd(&cm.upd)
+			childStored[i] = stored
+		} else {
+			childStored[i] = t.readStoredPoints(cm)
+		}
+		ctrls[i] = cm
+		c.bb = cm.bb
+		c.storedCount = cm.count
+		if cm.count >= 2*cap2 {
+			overflow = append(overflow, c.ctrl)
+		}
+	}
+	// TS structures in both directions.
+	var pool []geom.Point
+	for i := 0; i < n; i++ {
+		t.freeChunks(ctrls[i].tsl.blocks)
+		ctrls[i].tsl = t.writeTS(pool)
+		pool = topYPool(append(pool, childStored[i]...), cap2)
+	}
+	pool = nil
+	for i := n - 1; i >= 0; i-- {
+		t.freeChunks(ctrls[i].tsr.blocks)
+		ctrls[i].tsr = t.writeTS(pool)
+		pool = topYPool(append(pool, childStored[i]...), cap2)
+	}
+	for i := range m.children {
+		t.storeCtrl(m.children[i].ctrl, ctrls[i])
+	}
+	// Child-union structure.
+	t.freeEPST(m.union)
+	var rs []rec
+	for slot, stored := range childStored {
+		for _, p := range stored {
+			rs = append(rs, rec{pt: p, aux: tdAux(slot, false)})
+		}
+	}
+	m.union = t.buildEPST(rs)
+	t.storeCtrl(id, m)
+
+	selfPath := append(append([]step(nil), path...), step{id: id})
+	for _, childID := range overflow {
+		pm := t.loadCtrl(id)
+		i := findChild(pm, childID)
+		if i < 0 {
+			continue
+		}
+		cm := t.loadCtrl(childID)
+		if cm.count >= 2*cap2 {
+			selfPath[len(selfPath)-1].slot = i
+			t.levelII(childID, selfPath)
+		}
+	}
+}
+
+func (t *Tree) levelII(id disk.BlockID, path []step) {
+	m := t.loadCtrl(id)
+	if m.upd.count != 0 {
+		t.levelI(id, path)
+		m = t.loadCtrl(id)
+		if m.count < 2*t.cap2() {
+			return
+		}
+	}
+	if len(m.children) == 0 {
+		t.splitLeaf(id, path)
+		return
+	}
+
+	cap2 := t.cap2()
+	stored := t.readStoredPoints(m)
+	geom.SortByYDesc(stored)
+	top := stored[:cap2]
+	bottom := stored[cap2:]
+	t.freeStoredOrgs(m)
+	t.fillStoredOrgs(m, top)
+
+	groups := make(map[int][]geom.Point)
+	for _, p := range bottom {
+		slot := chooseChild(m.children, p.X)
+		c := &m.children[slot]
+		if p.X < c.xlo {
+			c.xlo = p.X
+		}
+		if p.X > c.xhi {
+			c.xhi = p.X
+		}
+		groups[slot] = append(groups[slot], p)
+	}
+	var slots []int
+	for s := range groups {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	for _, s := range slots {
+		c := &m.children[s]
+		cm := t.loadCtrl(c.ctrl)
+		merged := append(t.readStoredPoints(cm), groups[s]...)
+		t.freeStoredOrgs(cm)
+		t.fillStoredOrgs(cm, merged)
+		t.storeCtrl(c.ctrl, cm)
+		c.bb = cm.bb
+		c.storedCount = cm.count
+		c.subtreeCount += int64(len(groups[s]))
+	}
+	t.storeCtrl(id, m)
+
+	t.tsReorgChildren(id, path)
+	if len(path) > 0 {
+		par := path[len(path)-1]
+		pm := t.loadCtrl(par.id)
+		if i := findChild(pm, id); i >= 0 {
+			pm.children[i].bb = m.bb
+			pm.children[i].storedCount = m.count
+		}
+		t.storeCtrl(par.id, pm)
+		t.tsReorgChildren(par.id, path[:len(path)-1])
+	}
+}
+
+func (t *Tree) splitLeaf(id disk.BlockID, path []step) {
+	m := t.loadCtrl(id)
+	pts := t.readStoredPoints(m)
+	geom.SortByX(pts)
+
+	if len(path) == 0 {
+		t.freeMetablock(id, m)
+		t.root = t.buildMeta(pts).ctrl
+		return
+	}
+
+	half := len(pts) / 2
+	left := t.buildMeta(pts[:half])
+	right := t.buildMeta(pts[half:])
+
+	par := path[len(path)-1]
+	pm := t.loadCtrl(par.id)
+	idx := findChild(pm, id)
+	if idx < 0 {
+		panic("threeside: split leaf not found in parent")
+	}
+	t.freeMetablock(id, m)
+	newRefs := []childRef{
+		{ctrl: left.ctrl, xlo: left.xlo, xhi: left.xhi, bb: left.bb,
+			storedCount: left.storedCount, subtreeCount: left.subtreeCount},
+		{ctrl: right.ctrl, xlo: right.xlo, xhi: right.xhi, bb: right.bb,
+			storedCount: right.storedCount, subtreeCount: right.subtreeCount},
+	}
+	pm.children = append(pm.children[:idx], append(newRefs, pm.children[idx+1:]...)...)
+	t.storeCtrl(par.id, pm)
+
+	t.tsReorgChildren(par.id, path[:len(path)-1])
+
+	pm = t.loadCtrl(par.id)
+	if len(pm.children) >= 2*t.cfg.B {
+		t.splitNode(par.id, path[:len(path)-1])
+	}
+}
+
+func (t *Tree) splitNode(id disk.BlockID, path []step) {
+	pts := t.collectSubtree(id)
+	geom.SortByX(pts)
+
+	if len(path) == 0 {
+		t.freeSubtree(id)
+		t.root = t.buildMeta(pts).ctrl
+		return
+	}
+
+	par := path[len(path)-1]
+	pm := t.loadCtrl(par.id)
+	idx := findChild(pm, id)
+	if idx < 0 {
+		panic("threeside: split node not found in parent")
+	}
+	t.freeSubtree(id)
+	half := len(pts) / 2
+	left := t.buildMeta(pts[:half])
+	right := t.buildMeta(pts[half:])
+	newRefs := []childRef{
+		{ctrl: left.ctrl, xlo: left.xlo, xhi: left.xhi, bb: left.bb,
+			storedCount: left.storedCount, subtreeCount: left.subtreeCount},
+		{ctrl: right.ctrl, xlo: right.xlo, xhi: right.xhi, bb: right.bb,
+			storedCount: right.storedCount, subtreeCount: right.subtreeCount},
+	}
+	pm.children = append(pm.children[:idx], append(newRefs, pm.children[idx+1:]...)...)
+	t.storeCtrl(par.id, pm)
+
+	t.tsReorgChildren(par.id, path[:len(path)-1])
+
+	pm = t.loadCtrl(par.id)
+	if len(pm.children) >= 2*t.cfg.B {
+		t.splitNode(par.id, path[:len(path)-1])
+	}
+}
+
+func (t *Tree) collectSubtree(id disk.BlockID) []geom.Point {
+	m := t.loadCtrl(id)
+	pts := t.readStoredPoints(m)
+	pts = append(pts, t.updPoints(m.upd)...)
+	for _, c := range m.children {
+		pts = append(pts, t.collectSubtree(c.ctrl)...)
+	}
+	return pts
+}
+
+func (t *Tree) freeMetablock(id disk.BlockID, m *metaCtrl) {
+	t.freeStoredOrgs(m)
+	t.freeChunks(m.tsl.blocks)
+	t.freeChunks(m.tsr.blocks)
+	t.freeEPST(m.union)
+	if m.upd.id != disk.NilBlock {
+		t.pager.MustFree(m.upd.id)
+	}
+	if m.td != nil {
+		t.freeChunks(m.td.entryBlocks)
+		t.freeEPST(m.td.pst)
+		if m.td.upd.id != disk.NilBlock {
+			t.pager.MustFree(m.td.upd.id)
+		}
+	}
+	t.freeBlob(id)
+}
+
+func (t *Tree) freeSubtree(id disk.BlockID) {
+	m := t.loadCtrl(id)
+	for _, c := range m.children {
+		t.freeSubtree(c.ctrl)
+	}
+	t.freeMetablock(id, m)
+}

@@ -1,0 +1,419 @@
+package threeside
+
+import (
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+// 3-sided query processing (Lemma 4.3, Figs 20-21).
+//
+// The query [x1,x2] x [y,inf) descends a common path while one child's
+// partition contains both vertical sides. Where the paths diverge — the
+// paper's case (4) — the stored points of the strictly-between children are
+// answered from the divergence node's child-union 3-sided structure (one
+// access, O(log2 B + t'/B)); below the divergence, the left boundary path
+// uses the TSR structures and the right boundary path the TSL structures
+// exactly as the diagonal tree uses TS (the per-level decision between
+// "read the TS prefix" and "the siblings hold at least B^2 answers, examine
+// them individually"). A boundary node whose box straddles the query bottom
+// is one of the at most two "corner" metablocks and is answered from its
+// own 3-sided structure; boundary nodes above the bottom use their vertical
+// blockings with O(1) wasted blocks. TD structures fold in buffered and
+// recently merged points as in the diagonal tree (Lemma 4.4).
+
+// Query reports every point in [q.X1,q.X2] x [q.Y, inf). Enumeration stops
+// early if emit returns false.
+// Cost: O(log_B n + log2 B + t/B) I/Os (Lemma 4.3).
+func (t *Tree) Query(q geom.ThreeSidedQuery, emit geom.Emit) {
+	if !q.Valid() {
+		return
+	}
+	st := &qstate{q: q, emit: emit}
+	m := t.loadCtrl(t.root)
+	for _, r := range t.updRecs(m.upd) {
+		if !st.offer(r.pt) {
+			return
+		}
+	}
+	t.visitLoaded(m, st, true)
+}
+
+type qstate struct {
+	q       geom.ThreeSidedQuery
+	emit    geom.Emit
+	stopped bool
+}
+
+func (st *qstate) offer(p geom.Point) bool {
+	if st.stopped {
+		return false
+	}
+	if st.q.Contains(p) {
+		if !st.emit(p) {
+			st.stopped = true
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tree) visit(id disk.BlockID, st *qstate, reportStored bool) {
+	if st.stopped {
+		return
+	}
+	m := t.loadCtrl(id)
+	t.visitLoaded(m, st, reportStored)
+}
+
+func (t *Tree) visitLoaded(m *metaCtrl, st *qstate, reportStored bool) {
+	if st.stopped {
+		return
+	}
+	if reportStored {
+		t.reportStored3(m, st)
+		if st.stopped {
+			return
+		}
+	}
+	if len(m.children) == 0 {
+		return
+	}
+	t.processChildren3(m, st)
+}
+
+// reportStored3 emits m's stored points inside the query using the cheapest
+// adequate organisation.
+func (t *Tree) reportStored3(m *metaCtrl, st *qstate) {
+	q := st.q
+	if m.count == 0 || !m.bb.valid || m.bb.maxY < q.Y || m.bb.maxX < q.X1 || m.bb.minX > q.X2 {
+		return
+	}
+	contained := m.bb.minX >= q.X1 && m.bb.maxX <= q.X2
+	switch {
+	case m.bb.minY >= q.Y && contained:
+		// Entirely inside: dump everything.
+		for _, hb := range m.hblocks {
+			for _, p := range t.readPoints(hb.id) {
+				if !st.offer(p) {
+					return
+				}
+			}
+		}
+	case m.bb.minY >= q.Y:
+		// Above the bottom, crossed by a vertical side: scan the vertical
+		// blocking across [x1,x2] with at most two partial blocks.
+		for _, vb := range m.vblocks {
+			if vb.minX > q.X2 {
+				break
+			}
+			if vb.maxX < q.X1 {
+				continue
+			}
+			for _, p := range t.readPoints(vb.id) {
+				if !st.offer(p) {
+					return
+				}
+			}
+		}
+	case contained:
+		// Crossed by the bottom only: horizontal blocking top-down.
+		for _, hb := range m.hblocks {
+			if hb.maxY < q.Y {
+				break
+			}
+			for _, p := range t.readPoints(hb.id) {
+				if !st.offer(p) {
+					return
+				}
+			}
+			if hb.minY < q.Y {
+				break
+			}
+		}
+	default:
+		// A corner metablock: both a vertical side and the bottom cross the
+		// box. Use the per-metablock 3-sided structure (Lemma 4.1); this
+		// happens at most twice per query.
+		t.queryEPST(m.pst, q.X1, q.X2, q.Y, func(r rec) bool { return st.offer(r.pt) })
+	}
+}
+
+type class3 int
+
+const (
+	c3Skip     class3 = iota // outside [x1,x2], or stored+subtree below the bottom
+	c3Both                   // extends beyond the query on both sides
+	c3Left                   // extends beyond the query on the left only
+	c3Right                  // extends beyond the query on the right only
+	c3Inside                 // contained in x, stored box entirely above the bottom
+	c3Straddle               // contained in x, stored box crossed by the bottom
+)
+
+// classify3 types a child against the query. Containment is checked first:
+// with duplicate coordinates two adjacent partitions may share a boundary
+// value, so "contains x1" alone does not make a child a boundary child.
+// A boundary child must extend strictly beyond the query on some side, and
+// because partitions are disjoint (boundary values aside) there is at most
+// one left-extender and one right-extender.
+func classify3(c childRef, q geom.ThreeSidedQuery) class3 {
+	if c.xhi < q.X1 || c.xlo > q.X2 {
+		return c3Skip
+	}
+	if c.xlo >= q.X1 && c.xhi <= q.X2 {
+		// Contained in [x1,x2]: type by the stored box.
+		if !c.bb.valid || c.bb.maxY < q.Y {
+			return c3Skip
+		}
+		if c.bb.minY >= q.Y {
+			return c3Inside
+		}
+		return c3Straddle
+	}
+	extLeft := c.xlo < q.X1
+	extRight := c.xhi > q.X2
+	switch {
+	case extLeft && extRight:
+		return c3Both
+	case extLeft:
+		return c3Left
+	default:
+		return c3Right
+	}
+}
+
+func (t *Tree) processChildren3(m *metaCtrl, st *qstate) {
+	q := st.q
+	n := len(m.children)
+	classes := make([]class3, n)
+	both, bl, br := -1, -1, -1
+	for i, c := range m.children {
+		classes[i] = classify3(c, q)
+		switch classes[i] {
+		case c3Both:
+			both = i
+		case c3Left:
+			bl = i
+		case c3Right:
+			br = i
+		}
+	}
+	direct := make([]bool, n)
+
+	switch {
+	case both >= 0:
+		// Common path continues; every other child is outside [x1,x2].
+		direct[both] = true
+		t.visit(m.children[both].ctrl, st, true)
+
+	case bl >= 0 && br >= 0:
+		// Divergence node: the paper's case (4). Stored points of the
+		// children strictly between the boundaries come from the
+		// child-union 3-sided structure in one access.
+		if !t.queryEPST(m.union, q.X1, q.X2, q.Y, func(r rec) bool {
+			if s := tdSlot(r.aux); s == bl || s == br {
+				return true // boundary children report their own stored
+			}
+			return st.offer(r.pt)
+		}) {
+			return
+		}
+		for i := range m.children {
+			switch classes[i] {
+			case c3Inside:
+				// Stored already reported via the union structure; deeper
+				// answers need the recursion.
+				t.visit(m.children[i].ctrl, st, false)
+			case c3Straddle:
+				// Stored via union; descendants below the bottom.
+			}
+			if st.stopped {
+				return
+			}
+		}
+		direct[bl], direct[br] = true, true
+		t.visit(m.children[bl].ctrl, st, true)
+		if st.stopped {
+			return
+		}
+		t.visit(m.children[br].ctrl, st, true)
+
+	default:
+		// Boundary path (or fully covering range): contained children are
+		// handled with the directional TS structures.
+		if !t.processContained(m, classes, direct, br < 0, st) {
+			return
+		}
+		if bl >= 0 {
+			direct[bl] = true
+			t.visit(m.children[bl].ctrl, st, true)
+		}
+		if br >= 0 {
+			direct[br] = true
+			t.visit(m.children[br].ctrl, st, true)
+		}
+	}
+	if st.stopped {
+		return
+	}
+
+	// TD consultation, mirroring the diagonal tree.
+	if m.td != nil {
+		emitTD := func(r rec) bool {
+			slot := tdSlot(r.aux)
+			if slot < len(direct) && direct[slot] && !tdInU(r.aux) {
+				return true
+			}
+			return st.offer(r.pt)
+		}
+		if m.td.pst.root != disk.NilBlock {
+			if !t.queryEPST(m.td.pst, q.X1, q.X2, q.Y, emitTD) {
+				return
+			}
+		}
+		for _, r := range t.updRecs(m.td.upd) {
+			if !emitTD(r) {
+				return
+			}
+		}
+	}
+}
+
+// processContained handles the x-contained children of a boundary-path node
+// using TSR structures (on the left path, useRight=true: the anchor is the
+// leftmost straddling child and its TSR covers the children to its right)
+// or TSL structures (mirror, on the right path). Returns false on early
+// stop.
+func (t *Tree) processContained(m *metaCtrl, classes []class3, direct []bool, useRight bool, st *qstate) bool {
+	q := st.q
+	n := len(m.children)
+	// Locate the anchor straddler.
+	anchor := -1
+	if useRight {
+		for i := 0; i < n; i++ {
+			if classes[i] == c3Straddle {
+				anchor = i
+				break
+			}
+		}
+	} else {
+		for i := n - 1; i >= 0; i-- {
+			if classes[i] == c3Straddle {
+				anchor = i
+				break
+			}
+		}
+	}
+	if anchor < 0 {
+		// Only inside/below children: visit the inside ones directly (all
+		// their stored points are answers, so they pay for themselves).
+		for i := 0; i < n; i++ {
+			if classes[i] == c3Inside {
+				direct[i] = true
+				t.visit(m.children[i].ctrl, st, true)
+				if st.stopped {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// Examine the anchor directly.
+	direct[anchor] = true
+	anchorCtrl := t.loadCtrl(m.children[anchor].ctrl)
+	t.reportStored3(anchorCtrl, st)
+	if st.stopped {
+		return false
+	}
+
+	// Siblings on the anchor's far side via its directional TS structure.
+	var ts tsInfo
+	var farSide []int
+	if useRight {
+		ts = anchorCtrl.tsr
+		for i := anchor + 1; i < n; i++ {
+			farSide = append(farSide, i)
+		}
+	} else {
+		ts = anchorCtrl.tsl
+		for i := 0; i < anchor; i++ {
+			farSide = append(farSide, i)
+		}
+	}
+	// totalFar counts every far-side child's stored points (the TS pool
+	// spans them all), so ts.count == totalFar certifies completeness.
+	totalFar := 0
+	relevantFar := 0
+	for _, i := range farSide {
+		totalFar += m.children[i].storedCount
+		if classes[i] == c3Inside || classes[i] == c3Straddle {
+			relevantFar += m.children[i].storedCount
+		}
+	}
+	covers := relevantFar == 0 || (ts.count > 0 && (ts.bottomY < q.Y || ts.count == totalFar))
+	if covers {
+		for _, hb := range ts.blocks {
+			if hb.maxY < q.Y {
+				break
+			}
+			for _, p := range t.readPoints(hb.id) {
+				if p.Y >= q.Y {
+					if !st.offer(p) {
+						return false
+					}
+				}
+			}
+			if hb.minY < q.Y {
+				break
+			}
+		}
+		for _, i := range farSide {
+			if classes[i] == c3Inside {
+				t.visit(m.children[i].ctrl, st, false)
+				if st.stopped {
+					return false
+				}
+			}
+		}
+	} else {
+		for _, i := range farSide {
+			switch classes[i] {
+			case c3Inside:
+				direct[i] = true
+				t.visit(m.children[i].ctrl, st, true)
+			case c3Straddle:
+				direct[i] = true
+				cm := t.loadCtrl(m.children[i].ctrl)
+				t.reportStored3(cm, st)
+			}
+			if st.stopped {
+				return false
+			}
+		}
+	}
+
+	// Siblings on the anchor's near side are inside or below (the anchor is
+	// the extreme straddler): visit the inside ones directly.
+	if useRight {
+		for i := 0; i < anchor; i++ {
+			if classes[i] == c3Inside {
+				direct[i] = true
+				t.visit(m.children[i].ctrl, st, true)
+				if st.stopped {
+					return false
+				}
+			}
+		}
+	} else {
+		for i := anchor + 1; i < n; i++ {
+			if classes[i] == c3Inside {
+				direct[i] = true
+				t.visit(m.children[i].ctrl, st, true)
+				if st.stopped {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

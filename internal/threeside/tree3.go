@@ -1,0 +1,584 @@
+package threeside
+
+import (
+	"fmt"
+
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+const (
+	recSize        = 32
+	pageHeaderSize = 64
+	blobHeader     = 8 + 2
+)
+
+// Config collects the tunable parameters of a 3-sided metablock tree.
+type Config struct {
+	// B is the block capacity in records; metablocks hold up to B^2 points
+	// (2B^2 transiently). Must be at least 4.
+	B int
+}
+
+// PageSize returns the page size in bytes implied by cfg.
+func (cfg Config) PageSize() int { return pageHeaderSize + cfg.B*recSize }
+
+// Tree is a 3-sided metablock tree over arbitrary planar points.
+// Not safe for concurrent use.
+type Tree struct {
+	cfg   Config
+	pager *disk.Pager
+	root  disk.BlockID
+	n     int
+}
+
+// New builds the tree statically over pts (copied).
+func New(cfg Config, pts []geom.Point) *Tree {
+	if cfg.B < 4 {
+		panic("threeside: B must be at least 4")
+	}
+	t := &Tree{cfg: cfg, pager: disk.NewPager(cfg.PageSize()), n: len(pts)}
+	own := append([]geom.Point(nil), pts...)
+	geom.SortByX(own)
+	t.root = t.buildMeta(own).ctrl
+	return t
+}
+
+// Pager exposes the underlying device for I/O accounting.
+func (t *Tree) Pager() *disk.Pager { return t.pager }
+
+// Len returns the number of points stored.
+func (t *Tree) Len() int { return t.n }
+
+// B returns the block capacity.
+func (t *Tree) B() int { return t.cfg.B }
+
+func (t *Tree) cap2() int { return t.cfg.B * t.cfg.B }
+
+// rec is a stored record: a point plus bookkeeping aux.
+type rec struct {
+	pt  geom.Point
+	aux uint32
+}
+
+const tdInUFlag = 1 << 16
+
+func tdAux(slot int, inU bool) uint32 {
+	a := uint32(slot)
+	if inU {
+		a |= tdInUFlag
+	}
+	return a
+}
+
+func tdSlot(aux uint32) int { return int(aux & 0xFFFF) }
+func tdInU(aux uint32) bool { return aux&tdInUFlag != 0 }
+
+// --- bounding boxes ----------------------------------------------------------
+
+type bbox struct {
+	minX, maxX, minY, maxY int64
+	valid                  bool
+}
+
+func newBBox() bbox {
+	return bbox{minX: 1<<63 - 1, maxX: -1 << 63, minY: 1<<63 - 1, maxY: -1 << 63}
+}
+
+func (b *bbox) add(p geom.Point) {
+	if p.X < b.minX {
+		b.minX = p.X
+	}
+	if p.X > b.maxX {
+		b.maxX = p.X
+	}
+	if p.Y < b.minY {
+		b.minY = p.Y
+	}
+	if p.Y > b.maxY {
+		b.maxY = p.Y
+	}
+	b.valid = true
+}
+
+func bboxOf(pts []geom.Point) bbox {
+	bb := newBBox()
+	for _, p := range pts {
+		bb.add(p)
+	}
+	return bb
+}
+
+// --- raw blocks and blobs ----------------------------------------------------
+
+type chunkRef struct {
+	id                     disk.BlockID
+	n                      int
+	minX, maxX, minY, maxY int64
+}
+
+func (t *Tree) putRecBlock(id disk.BlockID, rs []rec) {
+	buf := make([]byte, t.cfg.PageSize())
+	buf[0] = byte(len(rs))
+	buf[1] = byte(len(rs) >> 8)
+	off := pageHeaderSize
+	for _, r := range rs {
+		putLE64(buf[off:], uint64(r.pt.X))
+		putLE64(buf[off+8:], uint64(r.pt.Y))
+		putLE64(buf[off+16:], r.pt.ID)
+		putLE32(buf[off+24:], r.aux)
+		off += recSize
+	}
+	t.pager.MustWrite(id, buf)
+}
+
+func (t *Tree) writeRecBlock(rs []rec) disk.BlockID {
+	if len(rs) > t.cfg.B {
+		panic("threeside: record block overflow")
+	}
+	id := t.pager.Alloc()
+	t.putRecBlock(id, rs)
+	return id
+}
+
+func (t *Tree) readRecBlock(id disk.BlockID) []rec {
+	buf := make([]byte, t.cfg.PageSize())
+	t.pager.MustRead(id, buf)
+	cnt := int(uint16(buf[0]) | uint16(buf[1])<<8)
+	rs := make([]rec, cnt)
+	off := pageHeaderSize
+	for i := 0; i < cnt; i++ {
+		rs[i] = rec{
+			pt: geom.Point{
+				X:  int64(le64(buf[off:])),
+				Y:  int64(le64(buf[off+8:])),
+				ID: le64(buf[off+16:]),
+			},
+			aux: le32(buf[off+24:]),
+		}
+		off += recSize
+	}
+	return rs
+}
+
+func (t *Tree) writeRecChunks(rs []rec) []chunkRef {
+	var refs []chunkRef
+	for i := 0; i < len(rs); i += t.cfg.B {
+		j := i + t.cfg.B
+		if j > len(rs) {
+			j = len(rs)
+		}
+		chunk := rs[i:j]
+		bb := newBBox()
+		for _, r := range chunk {
+			bb.add(r.pt)
+		}
+		refs = append(refs, chunkRef{
+			id: t.writeRecBlock(chunk), n: len(chunk),
+			minX: bb.minX, maxX: bb.maxX, minY: bb.minY, maxY: bb.maxY,
+		})
+	}
+	return refs
+}
+
+func (t *Tree) writePointChunks(pts []geom.Point) []chunkRef {
+	rs := make([]rec, len(pts))
+	for i, p := range pts {
+		rs[i] = rec{pt: p}
+	}
+	return t.writeRecChunks(rs)
+}
+
+func (t *Tree) readPoints(id disk.BlockID) []geom.Point {
+	rs := t.readRecBlock(id)
+	pts := make([]geom.Point, len(rs))
+	for i, r := range rs {
+		pts[i] = r.pt
+	}
+	return pts
+}
+
+func (t *Tree) freeChunks(refs []chunkRef) {
+	for _, c := range refs {
+		t.pager.MustFree(c.id)
+	}
+}
+
+func (t *Tree) blobCapacity() int { return t.cfg.PageSize() - blobHeader }
+
+func (t *Tree) writeBlob(data []byte) disk.BlockID {
+	capPerPage := t.blobCapacity()
+	var next disk.BlockID = disk.NilBlock
+	pages := (len(data) + capPerPage - 1) / capPerPage
+	if pages == 0 {
+		pages = 1
+	}
+	for i := pages - 1; i >= 0; i-- {
+		lo := i * capPerPage
+		hi := lo + capPerPage
+		if hi > len(data) {
+			hi = len(data)
+		}
+		chunk := data[lo:hi]
+		buf := make([]byte, t.cfg.PageSize())
+		putLE64(buf, uint64(int64(next)))
+		buf[8] = byte(len(chunk))
+		buf[9] = byte(len(chunk) >> 8)
+		copy(buf[blobHeader:], chunk)
+		id := t.pager.Alloc()
+		t.pager.MustWrite(id, buf)
+		next = id
+	}
+	return next
+}
+
+func (t *Tree) readBlob(head disk.BlockID) []byte {
+	var out []byte
+	buf := make([]byte, t.cfg.PageSize())
+	for id := head; id != disk.NilBlock; {
+		t.pager.MustRead(id, buf)
+		next := disk.BlockID(int64(le64(buf)))
+		n := int(uint16(buf[8]) | uint16(buf[9])<<8)
+		out = append(out, buf[blobHeader:blobHeader+n]...)
+		id = next
+	}
+	return out
+}
+
+func (t *Tree) freeBlob(head disk.BlockID) {
+	buf := make([]byte, t.cfg.PageSize())
+	for id := head; id != disk.NilBlock; {
+		t.pager.MustRead(id, buf)
+		next := disk.BlockID(int64(le64(buf)))
+		t.pager.MustFree(id)
+		id = next
+	}
+}
+
+func (t *Tree) rewriteBlob(old disk.BlockID, data []byte) disk.BlockID {
+	if old == disk.NilBlock {
+		return t.writeBlob(data)
+	}
+	var ids []disk.BlockID
+	buf := make([]byte, t.cfg.PageSize())
+	for id := old; id != disk.NilBlock; {
+		t.pager.MustRead(id, buf)
+		ids = append(ids, id)
+		id = disk.BlockID(int64(le64(buf)))
+	}
+	capPerPage := t.blobCapacity()
+	need := (len(data) + capPerPage - 1) / capPerPage
+	if need == 0 {
+		need = 1
+	}
+	for len(ids) < need {
+		ids = append(ids, t.pager.Alloc())
+	}
+	for len(ids) > need {
+		t.pager.MustFree(ids[len(ids)-1])
+		ids = ids[:len(ids)-1]
+	}
+	for i := 0; i < need; i++ {
+		lo := i * capPerPage
+		hi := lo + capPerPage
+		if hi > len(data) {
+			hi = len(data)
+		}
+		chunk := data[lo:hi]
+		page := make([]byte, t.cfg.PageSize())
+		var next disk.BlockID = disk.NilBlock
+		if i+1 < need {
+			next = ids[i+1]
+		}
+		putLE64(page, uint64(int64(next)))
+		page[8] = byte(len(chunk))
+		page[9] = byte(len(chunk) >> 8)
+		copy(page[blobHeader:], chunk)
+		t.pager.MustWrite(ids[i], page)
+	}
+	return ids[0]
+}
+
+// --- little-endian helpers ---------------------------------------------------
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLE32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// --- control information -----------------------------------------------------
+
+// metaCtrl is the control information of a 3-sided metablock.
+type metaCtrl struct {
+	count   int
+	bb      bbox
+	vblocks []chunkRef
+	hblocks []chunkRef
+	pst     epst // per-metablock 3-sided structure over the stored points
+
+	children []childRef
+	union    epst // 3-sided structure over the children's stored points
+	tsl      tsInfo
+	tsr      tsInfo
+	upd      updInfo
+	td       *tdInfo
+}
+
+type childRef struct {
+	ctrl         disk.BlockID
+	xlo, xhi     int64
+	bb           bbox
+	storedCount  int
+	subtreeCount int64
+}
+
+type tsInfo struct {
+	blocks  []chunkRef
+	count   int
+	bottomY int64
+}
+
+type updInfo struct {
+	id    disk.BlockID
+	count int
+}
+
+type tdInfo struct {
+	entryBlocks []chunkRef
+	count       int
+	pst         epst
+	upd         updInfo
+}
+
+type encoder struct{ b []byte }
+
+func (e *encoder) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *encoder) u16(v uint16) { e.b = append(e.b, byte(v), byte(v>>8)) }
+func (e *encoder) u32(v uint32) {
+	e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func (e *encoder) u64(v uint64) {
+	e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+func (e *encoder) i64(v int64) { e.u64(uint64(v)) }
+
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) u8() uint8 {
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+func (d *decoder) u16() uint16 {
+	v := uint16(d.b[d.off]) | uint16(d.b[d.off+1])<<8
+	d.off += 2
+	return v
+}
+func (d *decoder) u32() uint32 {
+	v := le32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+func (d *decoder) u64() uint64 {
+	v := le64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func encChunks(e *encoder, cs []chunkRef) {
+	e.u16(uint16(len(cs)))
+	for _, c := range cs {
+		e.i64(int64(c.id))
+		e.u16(uint16(c.n))
+		e.i64(c.minX)
+		e.i64(c.maxX)
+		e.i64(c.minY)
+		e.i64(c.maxY)
+	}
+}
+
+func decChunks(d *decoder) []chunkRef {
+	n := int(d.u16())
+	cs := make([]chunkRef, n)
+	for i := range cs {
+		cs[i].id = disk.BlockID(d.i64())
+		cs[i].n = int(d.u16())
+		cs[i].minX = d.i64()
+		cs[i].maxX = d.i64()
+		cs[i].minY = d.i64()
+		cs[i].maxY = d.i64()
+	}
+	return cs
+}
+
+func encBBox(e *encoder, b bbox) {
+	if b.valid {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.i64(b.minX)
+	e.i64(b.maxX)
+	e.i64(b.minY)
+	e.i64(b.maxY)
+}
+
+func decBBox(d *decoder) bbox {
+	var b bbox
+	b.valid = d.u8() == 1
+	b.minX = d.i64()
+	b.maxX = d.i64()
+	b.minY = d.i64()
+	b.maxY = d.i64()
+	return b
+}
+
+func encEPST(e *encoder, p epst) {
+	e.i64(int64(p.root))
+	e.u32(uint32(p.n))
+}
+
+func decEPST(d *decoder) epst {
+	return epst{root: disk.BlockID(d.i64()), n: int(d.u32())}
+}
+
+func encTS(e *encoder, ts tsInfo) {
+	encChunks(e, ts.blocks)
+	e.u32(uint32(ts.count))
+	e.i64(ts.bottomY)
+}
+
+func decTS(d *decoder) tsInfo {
+	var ts tsInfo
+	ts.blocks = decChunks(d)
+	ts.count = int(d.u32())
+	ts.bottomY = d.i64()
+	return ts
+}
+
+func (t *Tree) encodeCtrl(m *metaCtrl) []byte {
+	e := &encoder{}
+	e.u32(uint32(m.count))
+	encBBox(e, m.bb)
+	encChunks(e, m.vblocks)
+	encChunks(e, m.hblocks)
+	encEPST(e, m.pst)
+
+	e.u16(uint16(len(m.children)))
+	for _, c := range m.children {
+		e.i64(int64(c.ctrl))
+		e.i64(c.xlo)
+		e.i64(c.xhi)
+		encBBox(e, c.bb)
+		e.u32(uint32(c.storedCount))
+		e.i64(c.subtreeCount)
+	}
+	encEPST(e, m.union)
+	encTS(e, m.tsl)
+	encTS(e, m.tsr)
+
+	e.i64(int64(m.upd.id))
+	e.u16(uint16(m.upd.count))
+
+	if m.td == nil {
+		e.u8(0)
+	} else {
+		e.u8(1)
+		encChunks(e, m.td.entryBlocks)
+		e.u32(uint32(m.td.count))
+		encEPST(e, m.td.pst)
+		e.i64(int64(m.td.upd.id))
+		e.u16(uint16(m.td.upd.count))
+	}
+	return e.b
+}
+
+func (t *Tree) decodeCtrl(data []byte) *metaCtrl {
+	d := &decoder{b: data}
+	m := &metaCtrl{}
+	m.count = int(d.u32())
+	m.bb = decBBox(d)
+	m.vblocks = decChunks(d)
+	m.hblocks = decChunks(d)
+	m.pst = decEPST(d)
+
+	nc := int(d.u16())
+	m.children = make([]childRef, nc)
+	for i := range m.children {
+		m.children[i].ctrl = disk.BlockID(d.i64())
+		m.children[i].xlo = d.i64()
+		m.children[i].xhi = d.i64()
+		m.children[i].bb = decBBox(d)
+		m.children[i].storedCount = int(d.u32())
+		m.children[i].subtreeCount = d.i64()
+	}
+	m.union = decEPST(d)
+	m.tsl = decTS(d)
+	m.tsr = decTS(d)
+
+	m.upd.id = disk.BlockID(d.i64())
+	m.upd.count = int(d.u16())
+
+	if d.u8() == 1 {
+		m.td = &tdInfo{}
+		m.td.entryBlocks = decChunks(d)
+		m.td.count = int(d.u32())
+		m.td.pst = decEPST(d)
+		m.td.upd.id = disk.BlockID(d.i64())
+		m.td.upd.count = int(d.u16())
+	}
+	return m
+}
+
+func (t *Tree) loadCtrl(id disk.BlockID) *metaCtrl {
+	return t.decodeCtrl(t.readBlob(id))
+}
+
+func (t *Tree) storeCtrl(id disk.BlockID, m *metaCtrl) disk.BlockID {
+	return t.rewriteBlob(id, t.encodeCtrl(m))
+}
+
+func (t *Tree) updRecs(u updInfo) []rec {
+	if u.id == disk.NilBlock || u.count == 0 {
+		return nil
+	}
+	return t.readRecBlock(u.id)
+}
+
+func (t *Tree) updPoints(u updInfo) []geom.Point {
+	rs := t.updRecs(u)
+	pts := make([]geom.Point, len(rs))
+	for i, r := range rs {
+		pts[i] = r.pt
+	}
+	return pts
+}
+
+var _ = fmt.Sprintf

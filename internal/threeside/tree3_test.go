@@ -1,0 +1,288 @@
+package threeside
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccidx/internal/geom"
+)
+
+func genPoints(rng *rand.Rand, n int, coordRange int64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Int63n(coordRange), Y: rng.Int63n(coordRange), ID: uint64(i)}
+	}
+	return pts
+}
+
+func oracle(pts []geom.Point, q geom.ThreeSidedQuery) map[uint64]int {
+	out := map[uint64]int{}
+	for _, p := range pts {
+		if q.Contains(p) {
+			out[p.ID]++
+		}
+	}
+	return out
+}
+
+func run(t *Tree, q geom.ThreeSidedQuery) map[uint64]int {
+	got := map[uint64]int{}
+	t.Query(q, func(p geom.Point) bool {
+		got[p.ID]++
+		return true
+	})
+	return got
+}
+
+func sameMultiset(a, b map[uint64]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func randomQuery(rng *rand.Rand, coordRange int64) geom.ThreeSidedQuery {
+	x1 := rng.Int63n(coordRange+4) - 2
+	x2 := x1 + rng.Int63n(coordRange-x1+3)
+	return geom.ThreeSidedQuery{X1: x1, X2: x2, Y: rng.Int63n(coordRange+4) - 2}
+}
+
+func requireSame(t *testing.T, tr *Tree, pts []geom.Point, q geom.ThreeSidedQuery, label string) {
+	t.Helper()
+	got := run(tr, q)
+	want := oracle(pts, q)
+	if !sameMultiset(got, want) {
+		t.Fatalf("%s q=%+v: got %d ids want %d", label, q, len(got), len(want))
+	}
+}
+
+func TestStaticSmallExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(250)
+		pts := genPoints(rng, n, 30)
+		tr := New(Config{B: 4}, pts)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for x1 := int64(-1); x1 <= 31; x1 += 3 {
+			for x2 := x1; x2 <= 31; x2 += 4 {
+				for y := int64(-1); y <= 31; y += 3 {
+					q := geom.ThreeSidedQuery{X1: x1, X2: x2, Y: y}
+					requireSame(t, tr, pts, q, "static-small")
+				}
+			}
+		}
+	}
+}
+
+func TestStaticMultiLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := genPoints(rng, 4000, 1200)
+	tr := New(Config{B: 4}, pts)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		requireSame(t, tr, pts, randomQuery(rng, 1200), "multilevel")
+	}
+}
+
+func TestDegenerateColumns(t *testing.T) {
+	// All points in very few columns: partitions collapse around ties.
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]geom.Point, 600)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Int63n(3) * 10, Y: rng.Int63n(500), ID: uint64(i)}
+	}
+	tr := New(Config{B: 4}, pts)
+	for trial := 0; trial < 150; trial++ {
+		requireSame(t, tr, pts, randomQuery(rng, 40), "columns")
+	}
+}
+
+func TestInsertsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := genPoints(rng, 800, 300)
+	tr := New(Config{B: 4}, pts)
+	for i := 0; i < 1200; i++ {
+		p := geom.Point{X: rng.Int63n(300), Y: rng.Int63n(300), ID: uint64(10000 + i)}
+		tr.Insert(p)
+		pts = append(pts, p)
+		if i%300 == 299 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+			for k := 0; k < 40; k++ {
+				requireSame(t, tr, pts, randomQuery(rng, 300), "dynamic")
+			}
+		}
+	}
+}
+
+func TestInsertIntoEmpty(t *testing.T) {
+	tr := New(Config{B: 4}, nil)
+	rng := rand.New(rand.NewSource(5))
+	var pts []geom.Point
+	for i := 0; i < 500; i++ {
+		p := geom.Point{X: rng.Int63n(80), Y: rng.Int63n(80), ID: uint64(i)}
+		tr.Insert(p)
+		pts = append(pts, p)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 100; k++ {
+		requireSame(t, tr, pts, randomQuery(rng, 80), "from-empty")
+	}
+}
+
+func TestHighYFlood(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := genPoints(rng, 400, 100)
+	tr := New(Config{B: 4}, pts)
+	for i := 0; i < 500; i++ {
+		p := geom.Point{X: rng.Int63n(100), Y: 1000 + int64(i), ID: uint64(70000 + i)}
+		tr.Insert(p)
+		pts = append(pts, p)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 60; k++ {
+		q := geom.ThreeSidedQuery{X1: rng.Int63n(100), X2: rng.Int63n(100), Y: rng.Int63n(1600)}
+		if q.X1 > q.X2 {
+			q.X1, q.X2 = q.X2, q.X1
+		}
+		requireSame(t, tr, pts, q, "flood")
+	}
+}
+
+func TestWalkComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := genPoints(rng, 600, 200)
+	tr := New(Config{B: 4}, pts[:200])
+	for _, p := range pts[200:] {
+		tr.Insert(p)
+	}
+	seen := map[uint64]bool{}
+	tr.Walk(func(p geom.Point) bool { seen[p.ID] = true; return true })
+	if len(seen) != 600 {
+		t.Fatalf("walk saw %d of 600", len(seen))
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	pts := genPoints(rand.New(rand.NewSource(8)), 400, 50)
+	tr := New(Config{B: 4}, pts)
+	count := 0
+	tr.Query(geom.ThreeSidedQuery{X1: 0, X2: 50, Y: 0}, func(geom.Point) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop emitted %d", count)
+	}
+}
+
+func TestPropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := genPoints(rng, rng.Intn(400), 50)
+		tr := New(Config{B: 4 + rng.Intn(3)}, pts)
+		for i := 0; i < 150; i++ {
+			p := geom.Point{X: rng.Int63n(50), Y: rng.Int63n(50), ID: uint64(5000 + i)}
+			tr.Insert(p)
+			pts = append(pts, p)
+		}
+		for k := 0; k < 12; k++ {
+			q := randomQuery(rng, 50)
+			if !sameMultiset(run(tr, q), oracle(pts, q)) {
+				return false
+			}
+		}
+		return tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func logBn(n, b int) int {
+	l := 1
+	v := b
+	for v < n {
+		v *= b
+		l++
+	}
+	return l
+}
+
+func log2(n int) int {
+	l := 0
+	for v := 1; v < n; v *= 2 {
+		l++
+	}
+	if l == 0 {
+		l = 1
+	}
+	return l
+}
+
+// Lemma 4.3: query I/O <= c1*log_B n + c2*log2 B + c3*t/B + c4.
+func TestQueryIOBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := 8
+	n := 40000
+	pts := genPoints(rng, n, 100000)
+	tr := New(Config{B: b}, pts)
+	lb := logBn(n, b*b)
+	l2b := log2(b)
+	for trial := 0; trial < 100; trial++ {
+		q := randomQuery(rng, 100000)
+		before := tr.Pager().Stats()
+		tq := 0
+		tr.Query(q, func(geom.Point) bool { tq++; return true })
+		ios := tr.Pager().Stats().Sub(before).IOs()
+		bound := int64(40*lb) + int64(20*l2b) + 8*int64(tq)/int64(b) + 40
+		if ios > bound {
+			t.Fatalf("q=%+v t=%d: %d I/Os exceeds bound %d", q, tq, ios, bound)
+		}
+	}
+}
+
+// Lemma 4.3: space O(n/B).
+func TestSpaceBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	b := 8
+	n := 30000
+	tr := New(Config{B: b}, genPoints(rng, n, 1<<40))
+	if pages, limit := tr.Pager().Allocated(), int64(14*n/b); pages > limit {
+		t.Fatalf("space %d pages exceeds %d", pages, limit)
+	}
+}
+
+// Lemma 4.4: amortized insert bound.
+func TestInsertAmortizedBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := 8
+	tr := New(Config{B: b}, genPoints(rng, 15000, 1<<30))
+	before := tr.Pager().Stats()
+	const extra = 3000
+	for i := 0; i < extra; i++ {
+		tr.Insert(geom.Point{X: rng.Int63n(1 << 30), Y: rng.Int63n(1 << 30), ID: uint64(1 << 40)})
+	}
+	per := float64(tr.Pager().Stats().Sub(before).IOs()) / extra
+	lb := float64(logBn(tr.Len(), b))
+	bound := 80*lb + 30*lb*lb/float64(b) + 80
+	if per > bound {
+		t.Fatalf("amortized insert I/O %.1f exceeds %.1f", per, bound)
+	}
+	t.Logf("amortized insert I/O: %.1f (bound %.1f)", per, bound)
+}

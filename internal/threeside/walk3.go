@@ -1,0 +1,216 @@
+package threeside
+
+import (
+	"fmt"
+
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+// Walk enumerates every point in the tree (stored and buffered), in no
+// particular order.
+func (t *Tree) Walk(emit geom.Emit) {
+	t.walk(t.root, emit)
+}
+
+func (t *Tree) walk(id disk.BlockID, emit geom.Emit) bool {
+	m := t.loadCtrl(id)
+	for _, hb := range m.hblocks {
+		for _, p := range t.readPoints(hb.id) {
+			if !emit(p) {
+				return false
+			}
+		}
+	}
+	for _, p := range t.updPoints(m.upd) {
+		if !emit(p) {
+			return false
+		}
+	}
+	for _, c := range m.children {
+		if !t.walk(c.ctrl, emit) {
+			return false
+		}
+	}
+	return true
+}
+
+type childData struct{ stored []geom.Point }
+
+// CheckInvariants validates the structural invariants; see the diagonal
+// tree's version for the reasoning behind each condition.
+func (t *Tree) CheckInvariants() error {
+	total, err := t.checkNode(t.root)
+	if err != nil {
+		return err
+	}
+	if total != t.n {
+		return fmt.Errorf("threeside: tree claims %d points, found %d", t.n, total)
+	}
+	return nil
+}
+
+func (t *Tree) checkNode(id disk.BlockID) (int, error) {
+	m := t.loadCtrl(id)
+	cap2 := t.cap2()
+
+	stored := t.readStoredPoints(m)
+	if len(stored) != m.count {
+		return 0, fmt.Errorf("threeside: node %d: count %d but %d points in hblocks", id, m.count, len(stored))
+	}
+	if m.count > 2*cap2 {
+		return 0, fmt.Errorf("threeside: node %d: %d stored exceeds 2B^2", id, m.count)
+	}
+	if bb := bboxOf(stored); bb != m.bb {
+		return 0, fmt.Errorf("threeside: node %d: stale bbox", id)
+	}
+	if m.pst.n != m.count {
+		return 0, fmt.Errorf("threeside: node %d: per-node PST has %d records, want %d", id, m.pst.n, m.count)
+	}
+	// The per-node PST enumerates exactly the stored multiset.
+	pstPts := map[geom.Point]int{}
+	t.queryEPST(m.pst, -1<<62, 1<<62, -1<<62, func(r rec) bool {
+		pstPts[r.pt]++
+		return true
+	})
+	for _, p := range stored {
+		if pstPts[p] == 0 {
+			return 0, fmt.Errorf("threeside: node %d: PST missing stored point %v", id, p)
+		}
+		pstPts[p]--
+	}
+	if m.upd.count > t.cfg.B {
+		return 0, fmt.Errorf("threeside: node %d: update block overflow", id)
+	}
+
+	if len(m.children) == 0 {
+		return m.count + m.upd.count, nil
+	}
+	if len(m.children) >= 2*t.cfg.B {
+		return 0, fmt.Errorf("threeside: node %d: branching %d >= 2B", id, len(m.children))
+	}
+
+	tdEntries := t.readTDEntries(m)
+	if m.td != nil {
+		tdEntries = append(tdEntries, t.updRecs(m.td.upd)...)
+	}
+	tdBuffered := map[int]map[geom.Point]int{}
+	tdMergedAny := map[geom.Point]bool{}
+	for _, r := range tdEntries {
+		if tdInU(r.aux) {
+			slot := tdSlot(r.aux)
+			if tdBuffered[slot] == nil {
+				tdBuffered[slot] = map[geom.Point]int{}
+			}
+			tdBuffered[slot][r.pt]++
+		} else {
+			tdMergedAny[r.pt] = true
+		}
+	}
+	unionPts := map[geom.Point]int{}
+	t.queryEPST(m.union, -1<<62, 1<<62, -1<<62, func(r rec) bool {
+		unionPts[r.pt]++
+		return true
+	})
+
+	total := m.count + m.upd.count
+	prevHi := int64(-1 << 63)
+	children := make([]childData, len(m.children))
+	for i, c := range m.children {
+		if c.xlo > c.xhi {
+			return 0, fmt.Errorf("threeside: node %d child %d: inverted partition", id, i)
+		}
+		if c.xlo < prevHi {
+			return 0, fmt.Errorf("threeside: node %d child %d: partition overlap", id, i)
+		}
+		prevHi = c.xhi
+		cm := t.loadCtrl(c.ctrl)
+		if cm.count != c.storedCount || cm.bb != c.bb {
+			return 0, fmt.Errorf("threeside: node %d child %d: stale child ref", id, i)
+		}
+		for _, p := range t.updPoints(cm.upd) {
+			if tdBuffered[i][p] == 0 {
+				return 0, fmt.Errorf("threeside: node %d child %d: buffered point %v not in TD", id, i, p)
+			}
+			tdBuffered[i][p]--
+		}
+		cs := t.readStoredPoints(cm)
+		children[i] = childData{stored: cs}
+		// Union coverage: every current stored point of a child is either
+		// in the union structure (build-time) or registered as a merged TD
+		// entry.
+		for _, p := range cs {
+			if unionPts[p] > 0 {
+				unionPts[p]--
+				continue
+			}
+			if !tdMergedAny[p] {
+				return 0, fmt.Errorf("threeside: node %d child %d: stored point %v in neither union structure nor TD", id, i, p)
+			}
+		}
+		sub, err := t.checkNode(c.ctrl)
+		if err != nil {
+			return 0, err
+		}
+		if int64(sub) != c.subtreeCount {
+			return 0, fmt.Errorf("threeside: node %d child %d: subtreeCount %d, actual %d", id, i, c.subtreeCount, sub)
+		}
+		total += sub
+	}
+
+	// Directional TS coverage for each child.
+	for i := range m.children {
+		cm := t.loadCtrl(m.children[i].ctrl)
+		if err := t.checkTS(id, i, cm.tsl, children[:i], tdMergedAny); err != nil {
+			return 0, err
+		}
+		if err := t.checkTS(id, i, cm.tsr, children[i+1:], tdMergedAny); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+func (t *Tree) checkTS(id disk.BlockID, childIdx int, ts tsInfo, side []childData, tdMerged map[geom.Point]bool) error {
+	sidePts := map[geom.Point]int{}
+	for _, cd := range side {
+		for _, p := range cd.stored {
+			sidePts[p]++
+		}
+	}
+	tsPts := map[geom.Point]int{}
+	tsTotal := 0
+	for _, b := range ts.blocks {
+		for _, p := range t.readPoints(b.id) {
+			tsPts[p]++
+			tsTotal++
+		}
+	}
+	if tsTotal != ts.count {
+		return fmt.Errorf("threeside: node %d child %d: TS count %d but %d points", id, childIdx, ts.count, tsTotal)
+	}
+	for p, k := range tsPts {
+		if sidePts[p] < k {
+			return fmt.Errorf("threeside: node %d child %d: TS point %v not stored on its side", id, childIdx, p)
+		}
+	}
+	if ts.count == 0 {
+		return nil
+	}
+	seen := map[geom.Point]int{}
+	for _, cd := range side {
+		for _, p := range cd.stored {
+			if p.Y <= ts.bottomY {
+				continue
+			}
+			seen[p]++
+			if seen[p] <= tsPts[p] {
+				continue
+			}
+			if !tdMerged[p] {
+				return fmt.Errorf("threeside: node %d child %d: stored point %v above TS bottom missing from TS and TD", id, childIdx, p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+// Package wire provides fixed-width little-endian page codecs.
+//
+// Every index structure in this repository lays out its disk pages with a
+// Cursor: a bounds-checked sequential reader/writer over a page buffer.
+// Records are fixed width so that a page's capacity in records is a
+// compile-time function of the block parameter B, exactly as in the paper's
+// model where a page holds B units of data.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Sizes of the primitive encodings in bytes.
+const (
+	SizeU8  = 1
+	SizeU16 = 2
+	SizeU32 = 4
+	SizeU64 = 8
+	SizeI64 = 8
+)
+
+// Cursor walks a byte slice sequentially. All methods panic on overflow,
+// which in this codebase always indicates a page-layout bug, not bad input:
+// layouts are sized up front from B.
+type Cursor struct {
+	buf []byte
+	off int
+}
+
+// NewCursor returns a cursor positioned at the start of buf.
+func NewCursor(buf []byte) *Cursor { return &Cursor{buf: buf} }
+
+// Offset returns the current byte offset.
+func (c *Cursor) Offset() int { return c.off }
+
+// Seek moves the cursor to an absolute offset.
+func (c *Cursor) Seek(off int) {
+	if off < 0 || off > len(c.buf) {
+		panic(fmt.Sprintf("wire: seek %d out of range [0,%d]", off, len(c.buf)))
+	}
+	c.off = off
+}
+
+// Remaining returns the number of bytes left after the cursor.
+func (c *Cursor) Remaining() int { return len(c.buf) - c.off }
+
+func (c *Cursor) need(n int) {
+	if c.off+n > len(c.buf) {
+		panic(fmt.Sprintf("wire: need %d bytes at offset %d, page size %d", n, c.off, len(c.buf)))
+	}
+}
+
+// PutU8 writes one byte.
+func (c *Cursor) PutU8(v uint8) {
+	c.need(SizeU8)
+	c.buf[c.off] = v
+	c.off += SizeU8
+}
+
+// U8 reads one byte.
+func (c *Cursor) U8() uint8 {
+	c.need(SizeU8)
+	v := c.buf[c.off]
+	c.off += SizeU8
+	return v
+}
+
+// PutU16 writes a uint16.
+func (c *Cursor) PutU16(v uint16) {
+	c.need(SizeU16)
+	binary.LittleEndian.PutUint16(c.buf[c.off:], v)
+	c.off += SizeU16
+}
+
+// U16 reads a uint16.
+func (c *Cursor) U16() uint16 {
+	c.need(SizeU16)
+	v := binary.LittleEndian.Uint16(c.buf[c.off:])
+	c.off += SizeU16
+	return v
+}
+
+// PutU32 writes a uint32.
+func (c *Cursor) PutU32(v uint32) {
+	c.need(SizeU32)
+	binary.LittleEndian.PutUint32(c.buf[c.off:], v)
+	c.off += SizeU32
+}
+
+// U32 reads a uint32.
+func (c *Cursor) U32() uint32 {
+	c.need(SizeU32)
+	v := binary.LittleEndian.Uint32(c.buf[c.off:])
+	c.off += SizeU32
+	return v
+}
+
+// PutU64 writes a uint64.
+func (c *Cursor) PutU64(v uint64) {
+	c.need(SizeU64)
+	binary.LittleEndian.PutUint64(c.buf[c.off:], v)
+	c.off += SizeU64
+}
+
+// U64 reads a uint64.
+func (c *Cursor) U64() uint64 {
+	c.need(SizeU64)
+	v := binary.LittleEndian.Uint64(c.buf[c.off:])
+	c.off += SizeU64
+	return v
+}
+
+// PutI64 writes an int64 (two's complement).
+func (c *Cursor) PutI64(v int64) { c.PutU64(uint64(v)) }
+
+// I64 reads an int64.
+func (c *Cursor) I64() int64 { return int64(c.U64()) }

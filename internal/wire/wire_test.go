@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	buf := make([]byte, 64)
+	w := NewCursor(buf)
+	w.PutU8(0xAB)
+	w.PutU16(0xCDEF)
+	w.PutU32(0xDEADBEEF)
+	w.PutU64(0x0123456789ABCDEF)
+	w.PutI64(-42)
+
+	r := NewCursor(buf)
+	if got := r.U8(); got != 0xAB {
+		t.Fatalf("U8 = %#x", got)
+	}
+	if got := r.U16(); got != 0xCDEF {
+		t.Fatalf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Fatalf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789ABCDEF {
+		t.Fatalf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if r.Offset() != w.Offset() {
+		t.Fatalf("offsets differ: %d vs %d", r.Offset(), w.Offset())
+	}
+}
+
+func TestI64RoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		buf := make([]byte, 8)
+		NewCursor(buf).PutI64(v)
+		return NewCursor(buf).I64() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeekAndRemaining(t *testing.T) {
+	c := NewCursor(make([]byte, 10))
+	c.PutU32(1)
+	if c.Remaining() != 6 {
+		t.Fatalf("Remaining = %d", c.Remaining())
+	}
+	c.Seek(8)
+	if c.Offset() != 8 || c.Remaining() != 2 {
+		t.Fatalf("after seek: off=%d rem=%d", c.Offset(), c.Remaining())
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overflow")
+		}
+	}()
+	c := NewCursor(make([]byte, 4))
+	c.PutU64(1)
+}
+
+func TestSeekOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad seek")
+		}
+	}()
+	NewCursor(make([]byte, 4)).Seek(5)
+}

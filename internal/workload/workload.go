@@ -1,0 +1,208 @@
+// Package workload provides deterministic generators for the experiment
+// suite: interval sets, point sets above the diagonal, the adversarial
+// input of Proposition 3.3, and class hierarchies with object populations.
+package workload
+
+import (
+	"math/rand"
+
+	"ccidx/internal/classindex"
+	"ccidx/internal/geom"
+)
+
+// UniformIntervals returns n intervals with left endpoints uniform in
+// [0, span) and lengths uniform in [0, maxLen].
+func UniformIntervals(seed int64, n int, span, maxLen int64) []geom.Interval {
+	rng := rand.New(rand.NewSource(seed))
+	ivs := make([]geom.Interval, n)
+	for i := range ivs {
+		lo := rng.Int63n(span)
+		ivs[i] = geom.Interval{Lo: lo, Hi: lo + rng.Int63n(maxLen+1), ID: uint64(i)}
+	}
+	return ivs
+}
+
+// ClusteredIntervals returns n intervals clustered around k hot spots,
+// modelling the skewed workloads spatial databases see.
+func ClusteredIntervals(seed int64, n int, span, maxLen int64, k int) []geom.Interval {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]int64, k)
+	for i := range centers {
+		centers[i] = rng.Int63n(span)
+	}
+	ivs := make([]geom.Interval, n)
+	for i := range ivs {
+		c := centers[rng.Intn(k)]
+		lo := c + rng.Int63n(span/20+1) - span/40
+		if lo < 0 {
+			lo = 0
+		}
+		ivs[i] = geom.Interval{Lo: lo, Hi: lo + rng.Int63n(maxLen+1), ID: uint64(i)}
+	}
+	return ivs
+}
+
+// NestedIntervals returns n intervals forming nested families (worst case
+// for stabbing output size distribution).
+func NestedIntervals(seed int64, n int, span int64) []geom.Interval {
+	rng := rand.New(rand.NewSource(seed))
+	ivs := make([]geom.Interval, n)
+	for i := range ivs {
+		depth := int64(i % 64)
+		c := rng.Int63n(span)
+		half := span / (2 << (depth % 16))
+		lo, hi := c-half, c+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi < lo {
+			hi = lo
+		}
+		ivs[i] = geom.Interval{Lo: lo, Hi: hi, ID: uint64(i)}
+	}
+	return ivs
+}
+
+// DiagonalPoints returns n points uniform above the diagonal (metablock
+// tree input).
+func DiagonalPoints(seed int64, n int, span int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		x := rng.Int63n(span)
+		pts[i] = geom.Point{X: x, Y: x + rng.Int63n(span-x+1), ID: uint64(i)}
+	}
+	return pts
+}
+
+// UniformPoints returns n arbitrary points (3-sided tree input).
+func UniformPoints(seed int64, n int, span int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Int63n(span), Y: rng.Int63n(span), ID: uint64(i)}
+	}
+	return pts
+}
+
+// LowerBoundSet returns the Proposition 3.3 adversary: the points
+// S = {(x, x+1)} for x = 0..n-1 (Fig 18). The query anchored between x and
+// x+1 returns exactly one point, forcing Omega(log_B n) I/Os per query.
+func LowerBoundSet(n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: int64(i) * 2, Y: int64(i)*2 + 1, ID: uint64(i)}
+	}
+	return pts
+}
+
+// LowerBoundQueries returns the corner anchors hitting exactly one point
+// each (odd coordinates between the staircase steps are even/odd scaled by
+// the *2 spacing used in LowerBoundSet).
+func LowerBoundQueries(n int) []int64 {
+	qs := make([]int64, n)
+	for i := range qs {
+		qs[i] = int64(i)*2 + 1
+	}
+	return qs
+}
+
+// --- hierarchies -------------------------------------------------------------
+
+// RandomHierarchy returns a frozen random tree hierarchy with c classes.
+func RandomHierarchy(seed int64, c int) *classindex.Hierarchy {
+	rng := rand.New(rand.NewSource(seed))
+	h := classindex.NewHierarchy()
+	names := make([]string, c)
+	for i := 0; i < c; i++ {
+		names[i] = className(i)
+		parent := ""
+		if i > 0 {
+			parent = names[rng.Intn(i)]
+		}
+		h.MustAddClass(names[i], parent)
+	}
+	h.Freeze()
+	return h
+}
+
+// PathHierarchy returns the degenerate hierarchy of Lemma 4.3: a single
+// chain of c classes.
+func PathHierarchy(c int) *classindex.Hierarchy {
+	h := classindex.NewHierarchy()
+	for i := 0; i < c; i++ {
+		parent := ""
+		if i > 0 {
+			parent = className(i - 1)
+		}
+		h.MustAddClass(className(i), parent)
+	}
+	h.Freeze()
+	return h
+}
+
+// StarHierarchy returns the Theorem 2.8 shape: c-1 leaves under one root.
+func StarHierarchy(c int) *classindex.Hierarchy {
+	h := classindex.NewHierarchy()
+	h.MustAddClass(className(0), "")
+	for i := 1; i < c; i++ {
+		h.MustAddClass(className(i), className(0))
+	}
+	h.Freeze()
+	return h
+}
+
+// CaterpillarHierarchy returns a spine of the given depth with one leaf per
+// spine node — the shape where full-extent replication (Lemma 4.2) pays a
+// factor of depth while rake-and-contract pays log2 c.
+func CaterpillarHierarchy(depth int) *classindex.Hierarchy {
+	h := classindex.NewHierarchy()
+	h.MustAddClass("s0", "")
+	for i := 1; i < depth; i++ {
+		h.MustAddClass("s"+itoa(i), "s"+itoa(i-1))
+		h.MustAddClass("leaf"+itoa(i), "s"+itoa(i-1))
+	}
+	h.Freeze()
+	return h
+}
+
+// Fig5Hierarchy returns the paper's running example (Example 2.3):
+// Person <- {Student, Professor}, Professor <- Assistant Professor.
+func Fig5Hierarchy() *classindex.Hierarchy {
+	h := classindex.NewHierarchy()
+	h.MustAddClass("Person", "")
+	h.MustAddClass("Student", "Person")
+	h.MustAddClass("Professor", "Person")
+	h.MustAddClass("AsstProf", "Professor")
+	h.Freeze()
+	return h
+}
+
+// Objects populates a hierarchy with n objects with uniform class and
+// attribute in [0, attrSpan).
+func Objects(seed int64, h *classindex.Hierarchy, n int, attrSpan int64) []classindex.Object {
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]classindex.Object, n)
+	for i := range objs {
+		objs[i] = classindex.Object{
+			Class: rng.Intn(h.Len()),
+			Attr:  rng.Int63n(attrSpan),
+			ID:    uint64(i),
+		}
+	}
+	return objs
+}
+
+func className(i int) string { return "class" + itoa(i) }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
