@@ -9,8 +9,11 @@
 package ccidx_test
 
 import (
+	"fmt"
 	"io"
 	"math/big"
+	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"ccidx"
@@ -301,6 +304,76 @@ func BenchmarkE15ClassStrategies(b *testing.B) {
 			}
 			b.StopTimer()
 			report(b, s.ios()-before)
+		})
+	}
+}
+
+// BenchmarkE16ShardScaling measures mixed insert/query throughput of the
+// concurrent sharded serving layer per shard count (E16): range-partitioned
+// shards, 1 insert per 8 stabbing queries, parallel workers.
+func BenchmarkE16ShardScaling(b *testing.B) {
+	const span = 1 << 20
+	base := workload.UniformIntervals(16, 100000, span, 4000)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s := ccidx.NewShardedIntervalManager(ccidx.ShardConfig{
+				Shards: shards, B: benchB, Batch: 16,
+				Partition: ccidx.PartitionRange, Span: span,
+			}, base)
+			before := s.Stats()
+			var workers atomic.Int64
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				seed := workers.Add(1)
+				rng := rand.New(rand.NewSource(seed))
+				i := 0
+				for pb.Next() {
+					if i%8 == 7 {
+						lo := rng.Int63n(span)
+						s.Insert(ccidx.Interval{Lo: lo, Hi: lo + rng.Int63n(4000),
+							ID: uint64(seed)<<32 | uint64(i)})
+					} else {
+						s.Stab(rng.Int63n(span), func(ccidx.Interval) bool { return true })
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			report(b, s.Stats().Sub(before).IOs())
+		})
+	}
+}
+
+// BenchmarkE17BatchedInsert measures concurrent insert throughput per
+// group-commit batch size (E17); ios/op shows the amortized block I/O is
+// unchanged by batching.
+func BenchmarkE17BatchedInsert(b *testing.B) {
+	const span = 1 << 20
+	for _, batch := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			s := ccidx.NewShardedIntervalManager(ccidx.ShardConfig{
+				Shards: 4, B: benchB, Batch: batch,
+				Partition: ccidx.PartitionRange, Span: span,
+			}, nil)
+			before := s.Stats()
+			var workers atomic.Int64
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				seed := workers.Add(1)
+				rng := rand.New(rand.NewSource(seed))
+				i := 0
+				for pb.Next() {
+					lo := rng.Int63n(span)
+					s.Insert(ccidx.Interval{Lo: lo, Hi: lo + rng.Int63n(4000),
+						ID: uint64(seed)<<32 | uint64(i)})
+					i++
+				}
+			})
+			b.StopTimer()
+			s.Flush()
+			report(b, s.Stats().Sub(before).IOs())
 		})
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"ccidx/internal/disk"
 	"ccidx/internal/geom"
 	"ccidx/internal/intervals"
+	"ccidx/internal/shard"
 )
 
 // Interval is a closed interval with an identifier.
@@ -76,6 +77,143 @@ func (im *IntervalManager) Stats() Stats { return im.m.Stats() }
 
 // SpaceBlocks returns the number of disk blocks in use.
 func (im *IntervalManager) SpaceBlocks() int64 { return im.m.SpaceBlocks() }
+
+// Partition selects how a sharded index assigns keys to shards.
+type Partition = shard.Partition
+
+// Partition schemes.
+const (
+	// PartitionHash spreads keys uniformly; queries fan out to all shards.
+	PartitionHash = shard.PartitionHash
+	// PartitionRange assigns contiguous key ranges of [0, Span) to
+	// consecutive shards; range queries touch only overlapping shards.
+	PartitionRange = shard.PartitionRange
+)
+
+// ShardConfig configures the concurrent sharded serving layer.
+type ShardConfig struct {
+	// Shards is the number of independent shards (each with its own
+	// simulated block device); values < 1 mean 1.
+	Shards int
+	// B is the block capacity of every per-shard structure.
+	B int
+	// Batch is the group-commit threshold: inserts accumulate in a
+	// per-shard pending buffer and are applied to the index structure
+	// every Batch calls while the shard's write lock is held. Values < 1
+	// disable batching. Queries always see pending inserts.
+	Batch int
+	// Partition selects hash or range partitioning.
+	Partition Partition
+	// Span is the key domain [0, Span) used by PartitionRange; it must be
+	// positive when that scheme is selected (construction panics
+	// otherwise, to surface the misconfiguration immediately).
+	Span int64
+}
+
+func (c ShardConfig) internal() shard.Config {
+	return shard.Config{Shards: c.Shards, B: c.B, Batch: c.Batch, Partition: c.Partition, Span: c.Span}
+}
+
+// ShardedIntervalManager is a concurrency-safe interval manager: the
+// workload of IntervalManager partitioned across N shards with per-shard
+// RWMutex guards, group-committed inserts and parallel query fan-out.
+// All methods are safe for concurrent use.
+type ShardedIntervalManager struct {
+	s *shard.Intervals
+}
+
+// NewShardedIntervalManager builds a sharded manager over an initial
+// interval set.
+func NewShardedIntervalManager(cfg ShardConfig, ivs []Interval) *ShardedIntervalManager {
+	return &ShardedIntervalManager{s: shard.NewIntervals(cfg.internal(), ivs)}
+}
+
+// Insert adds an interval (group-committed; visible to queries at once).
+func (sm *ShardedIntervalManager) Insert(iv Interval) { sm.s.Insert(iv) }
+
+// Flush forces all pending group-commit buffers into the index structures.
+func (sm *ShardedIntervalManager) Flush() { sm.s.Flush() }
+
+// Len returns the number of intervals stored, pending ones included.
+func (sm *ShardedIntervalManager) Len() int { return sm.s.Len() }
+
+// Shards returns the shard count.
+func (sm *ShardedIntervalManager) Shards() int { return sm.s.Shards() }
+
+// Stab reports every interval containing q, each exactly once.
+func (sm *ShardedIntervalManager) Stab(q int64, emit func(Interval) bool) {
+	sm.s.Stab(q, intervals.EmitInterval(emit))
+}
+
+// Intersect reports every interval intersecting q, each exactly once.
+func (sm *ShardedIntervalManager) Intersect(q Interval, emit func(Interval) bool) {
+	sm.s.Intersect(q, intervals.EmitInterval(emit))
+}
+
+// Stats sums the I/O counters of all shard devices.
+func (sm *ShardedIntervalManager) Stats() Stats { return sm.s.Stats() }
+
+// SpaceBlocks sums the live pages across all shard devices.
+func (sm *ShardedIntervalManager) SpaceBlocks() int64 { return sm.s.SpaceBlocks() }
+
+// ShardedClassIndex is a concurrency-safe class index: objects are
+// partitioned by attribute across N independent per-shard structures of
+// the chosen strategy, sharing one frozen hierarchy. All methods are safe
+// for concurrent use.
+type ShardedClassIndex struct {
+	h *Hierarchy
+	s *shard.Classes
+}
+
+// NewShardedClassIndex builds a sharded class index over a frozen
+// hierarchy. PartitionRange with Span set to the attribute domain is the
+// natural configuration: attribute-range queries then touch only the
+// overlapping shards.
+func NewShardedClassIndex(h *Hierarchy, cfg ShardConfig, s Strategy) *ShardedClassIndex {
+	var newIndex func() shard.ClassIndex
+	switch s {
+	case StrategySimple:
+		newIndex = func() shard.ClassIndex { return classindex.NewSimple(h, cfg.B) }
+	case StrategyFullExtent:
+		newIndex = func() shard.ClassIndex { return classindex.NewFullExtent(h, cfg.B) }
+	case StrategyRakeContract:
+		newIndex = func() shard.ClassIndex { return classindex.NewRakeContract(h, cfg.B) }
+	default:
+		panic("ccidx: unknown strategy")
+	}
+	return &ShardedClassIndex{h: h, s: shard.NewClasses(cfg.internal(), h, newIndex)}
+}
+
+// Insert adds an object with the given class name, attribute and id.
+func (sc *ShardedClassIndex) Insert(class string, attr int64, id uint64) {
+	c, ok := sc.h.Class(class)
+	if !ok {
+		panic("ccidx: unknown class " + class)
+	}
+	sc.s.Insert(classindex.Object{Class: c, Attr: attr, ID: id})
+}
+
+// Flush forces all pending group-commit buffers into the index structures.
+func (sc *ShardedClassIndex) Flush() { sc.s.Flush() }
+
+// Shards returns the shard count.
+func (sc *ShardedClassIndex) Shards() int { return sc.s.Shards() }
+
+// Query reports every object in the FULL extent of the class whose
+// attribute lies in [a1, a2], each exactly once.
+func (sc *ShardedClassIndex) Query(class string, a1, a2 int64, emit func(attr int64, id uint64) bool) {
+	c, ok := sc.h.Class(class)
+	if !ok {
+		panic("ccidx: unknown class " + class)
+	}
+	sc.s.Query(c, a1, a2, classindex.EmitObject(emit))
+}
+
+// Stats sums the I/O counters of all shard structures.
+func (sc *ShardedClassIndex) Stats() Stats { return sc.s.Stats() }
+
+// SpaceBlocks sums the live pages across all shards.
+func (sc *ShardedClassIndex) SpaceBlocks() int64 { return sc.s.SpaceBlocks() }
 
 // MetablockTree exposes the paper's core structure directly: diagonal
 // corner queries over points with Y >= X (Section 3).

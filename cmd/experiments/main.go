@@ -1,18 +1,22 @@
 // Command experiments regenerates every table in EXPERIMENTS.md: one
-// experiment per theorem/lemma/figure of the paper (see DESIGN.md's
-// experiment index).
+// experiment per theorem/lemma/figure of the paper plus the serving-layer
+// experiments (see DESIGN.md's experiment index).
 //
 // Usage:
 //
-//	experiments           # run everything
-//	experiments -run E1   # run one experiment
-//	experiments -list     # list experiment ids
+//	experiments                    # run everything
+//	experiments -run E1            # run one experiment
+//	experiments -list              # list experiment ids
+//	experiments -run E16 -shards 1,2,4,8,16   # override the E16 shard sweep
+//	experiments -run E17 -batch 1,64,1024     # override the E17 batch sweep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"ccidx/internal/harness"
 )
@@ -20,7 +24,16 @@ import (
 func main() {
 	runID := flag.String("run", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	shards := flag.String("shards", "", "comma-separated shard counts for E16 (default 1,2,4,8)")
+	batch := flag.String("batch", "", "comma-separated group-commit batch sizes for E17 (default 1,16,256)")
 	flag.Parse()
+
+	if *shards != "" {
+		harness.ShardCounts = parseIntList(*shards, "-shards")
+	}
+	if *batch != "" {
+		harness.BatchSizes = parseIntList(*batch, "-batch")
+	}
 
 	if *list {
 		for _, e := range harness.All() {
@@ -40,6 +53,19 @@ func main() {
 	for _, e := range harness.All() {
 		run(e)
 	}
+}
+
+func parseIntList(s, flagName string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "%s: bad value %q (want positive integers, e.g. 1,2,4)\n", flagName, part)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 func run(e harness.Experiment) {

@@ -1,0 +1,3 @@
+module ccidx
+
+go 1.21

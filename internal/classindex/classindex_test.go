@@ -163,7 +163,11 @@ func equalIDs(a, b []uint64) bool {
 func TestAllIndexesAgreeWithOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	h := randomHierarchy(rng, 60)
-	objs := make([]Object, 3000)
+	nObj, trials := 3000, 200
+	if testing.Short() {
+		nObj, trials = 1200, 80
+	}
+	objs := make([]Object, nObj)
 	for i := range objs {
 		objs[i] = Object{Class: rng.Intn(h.Len()), Attr: rng.Int63n(1000), ID: uint64(i)}
 	}
@@ -180,7 +184,7 @@ func TestAllIndexesAgreeWithOracle(t *testing.T) {
 		}
 		_ = name
 	}
-	for trial := 0; trial < 200; trial++ {
+	for trial := 0; trial < trials; trial++ {
 		c := rng.Intn(h.Len())
 		a1 := rng.Int63n(1000)
 		a2 := a1 + rng.Int63n(1000-a1+1)
@@ -309,8 +313,43 @@ func TestRakeContractPropertyRandom(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+	// A fixed-seed Rand keeps the property deterministic: testing/quick's
+	// default time-seeded generator made this test flaky (and, before the
+	// threeside in-place-rebuild fix, occasionally non-terminating).
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(99))}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRakeContractRebuildCascadeRegression replays the minimized workload
+// that used to hang Insert: a two-class chain (one 3-sided home structure)
+// at B=4, where a re-entrant maintenance cascade freed a metablock still
+// referenced by an in-flight frame and the corrupted blob chain spun
+// readBlob forever. The same point sequence is asserted at the threeside
+// level in internal/threeside; here the original end-to-end reproduction
+// (random hierarchy seed 348) runs through the class index and checks
+// query correctness against the oracle.
+func TestRakeContractRebuildCascadeRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(348))
+	h := randomHierarchy(rng, 2)
+	rc := NewRakeContract(h, 4)
+	var objs []Object
+	for i := 0; i < 200; i++ {
+		o := Object{Class: rng.Intn(h.Len()), Attr: rng.Int63n(120), ID: uint64(i)}
+		rc.Insert(o)
+		objs = append(objs, o)
+	}
+	for c := 0; c < h.Len(); c++ {
+		for _, r := range [][2]int64{{0, 119}, {30, 90}, {70, 71}} {
+			want := oracleIDs(h, objs, c, r[0], r[1])
+			if got := queryIDs(rc, c, r[0], r[1]); !equalIDs(got, want) {
+				t.Fatalf("class %d [%d,%d]: got %d ids, want %d", c, r[0], r[1], len(got), len(want))
+			}
+		}
 	}
 }
 
@@ -330,7 +369,11 @@ func TestSpaceCaterpillar(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	rc := NewRakeContract(h, 8)
 	fe := NewFullExtent(h, 8)
-	for i := 0; i < 4000; i++ {
+	nObj := 4000
+	if testing.Short() {
+		nObj = 1500
+	}
+	for i := 0; i < nObj; i++ {
 		o := Object{Class: rng.Intn(h.Len()), Attr: rng.Int63n(10000), ID: uint64(i)}
 		rc.Insert(o)
 		fe.Insert(o)

@@ -94,7 +94,15 @@ func (rc *RakeContract) decompose() {
 		return len(rc.structs) - 1
 	}
 
+	// Every pass removes at least one class (each pass rakes or contracts
+	// the deepest alive leaf, or panics below), so n passes always suffice;
+	// the explicit bound turns any future scheduling regression into a loud
+	// failure instead of a spin.
+	passes := 0
 	for removed < n {
+		if passes++; passes > n {
+			panic("classindex: rake-and-contract exceeded its pass bound")
+		}
 		progress := false
 		// Rake: thin leaves and root leaves get B+-tree homes.
 		for v := 0; v < n; v++ {

@@ -18,6 +18,7 @@ package disk
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // BlockID identifies a page on the simulated device. Zero is never a valid
@@ -71,14 +72,21 @@ var (
 )
 
 // Pager is an in-memory simulation of a disk: a growable array of fixed-size
-// pages plus a free list. It is not safe for concurrent use; each index
-// structure owns its own Pager (the experiment harness aggregates counters).
+// pages plus a free list. Each index structure owns its own Pager (the
+// experiment harness aggregates counters).
+//
+// Concurrency: the I/O counters are atomic, so any number of goroutines may
+// Read concurrently (and snapshot Stats) as long as no goroutine is
+// mutating the device (Write, Alloc, Free). Mutations require external
+// serialization against both other mutations and readers — the shard
+// serving layer provides it with a per-shard RWMutex.
 type Pager struct {
 	pageSize int
 	pages    [][]byte
 	live     []bool
 	free     []BlockID
-	stats    Stats
+
+	reads, writes, allocs, frees atomic.Int64
 }
 
 // NewPager creates a device with the given page size in bytes.
@@ -98,22 +106,39 @@ func NewPager(pageSize int) *Pager {
 func (p *Pager) PageSize() int { return p.pageSize }
 
 // Stats returns a snapshot of the cumulative I/O counters.
-func (p *Pager) Stats() Stats { return p.stats }
+func (p *Pager) Stats() Stats {
+	return Stats{
+		Reads:  p.reads.Load(),
+		Writes: p.writes.Load(),
+		Allocs: p.allocs.Load(),
+		Frees:  p.frees.Load(),
+	}
+}
 
 // ResetStats zeroes the I/O counters (allocation state is unchanged).
-func (p *Pager) ResetStats() { p.stats = Stats{} }
+func (p *Pager) ResetStats() {
+	p.reads.Store(0)
+	p.writes.Store(0)
+	p.allocs.Store(0)
+	p.frees.Store(0)
+}
 
 // Allocated reports the number of live pages, i.e. the structure's space
 // usage in blocks. This is the quantity compared against the paper's O(n/B)
 // space bounds.
 func (p *Pager) Allocated() int64 {
-	return p.stats.Allocs - p.stats.Frees
+	return p.allocs.Load() - p.frees.Load()
 }
+
+// NumPages returns the size of the page array (live or free), an upper
+// bound on any chain of distinct blocks. Unlike the Stats counters it is
+// not affected by ResetStats, so it is safe to build corruption guards on.
+func (p *Pager) NumPages() int { return len(p.pages) }
 
 // Alloc reserves a new zeroed page and returns its id. Allocation itself is
 // not counted as an I/O (the page must still be written to contain data).
 func (p *Pager) Alloc() BlockID {
-	p.stats.Allocs++
+	p.allocs.Add(1)
 	if n := len(p.free); n > 0 {
 		id := p.free[n-1]
 		p.free = p.free[:n-1]
@@ -144,7 +169,7 @@ func (p *Pager) Read(id BlockID, buf []byte) error {
 	if len(buf) != p.pageSize {
 		return ErrPageSize
 	}
-	p.stats.Reads++
+	p.reads.Add(1)
 	copy(buf, p.pages[id])
 	return nil
 }
@@ -158,7 +183,7 @@ func (p *Pager) Write(id BlockID, buf []byte) error {
 	if len(buf) != p.pageSize {
 		return ErrPageSize
 	}
-	p.stats.Writes++
+	p.writes.Add(1)
 	copy(p.pages[id], buf)
 	return nil
 }
@@ -173,7 +198,7 @@ func (p *Pager) Free(id BlockID) error {
 	}
 	p.live[id] = false
 	p.free = append(p.free, id)
-	p.stats.Frees++
+	p.frees.Add(1)
 	return nil
 }
 

@@ -1,7 +1,8 @@
-// Package harness runs the reproduction experiments E1-E15 (see DESIGN.md
+// Package harness runs the reproduction experiments E1-E17 (see DESIGN.md
 // for the mapping from the paper's theorems, lemmas and figures to
-// experiment ids). Each experiment prints a table of measured block I/Os
-// against the paper's bound formula; EXPERIMENTS.md records the outputs.
+// experiment ids). E1-E15 print tables of measured block I/Os against the
+// paper's bound formulas; E16-E17 measure the concurrent sharded serving
+// layer. EXPERIMENTS.md records the outputs.
 package harness
 
 import (
@@ -49,6 +50,8 @@ func All() []Experiment {
 		{"E13", "Ablation: metablock tree without TS structures", runE13},
 		{"E14", "Ablation: metablock tree without corner structures", runE14},
 		{"E15", "Class indexing strategy matrix", runE15},
+		{"E16", "Shard scaling: query throughput vs shard count", runE16},
+		{"E17", "Batched insert amortization (group commit)", runE17},
 	}
 }
 

@@ -1,0 +1,169 @@
+package harness
+
+// Shard-layer experiments (E16, E17). Unlike E1-E15, which reproduce the
+// paper's asymptotic bounds in the block-I/O cost model alone, these
+// measure the concurrent serving layer of internal/shard: wall-clock
+// throughput under goroutine concurrency alongside the usual I/O
+// accounting. The absolute ns figures vary by machine; the shapes —
+// throughput scaling with shard count under range partitioning, median
+// insert latency collapsing with the group-commit batch — are the
+// reproducible claims.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ccidx/internal/geom"
+	"ccidx/internal/shard"
+	"ccidx/internal/workload"
+)
+
+// Sweeps used by E16/E17; cmd/experiments overrides them with the -shards
+// and -batch flags.
+var (
+	// ShardCounts is the shard-count sweep of E16.
+	ShardCounts = []int{1, 2, 4, 8}
+	// BatchSizes is the group-commit sweep of E17.
+	BatchSizes = []int{1, 16, 256}
+)
+
+const (
+	e16Span    = int64(1 << 20)
+	e16Workers = 8
+	e16MaxLen  = 4000
+)
+
+// runE16 measures mixed insert/query throughput against shard count. The
+// workload is query-heavy serving traffic: each worker interleaves one
+// insert per eight stabbing queries.
+//
+// Range partitioning slices the key domain, so a stabbing query touches
+// exactly one shard: different workers hit different shards and aggregate
+// throughput scales. Hash partitioning must fan every query out to all
+// shards — it parallelizes one query's latency, not throughput — and is
+// included as the contrast row block.
+func runE16(w io.Writer) {
+	n := 100000
+	ops := 4000 // per worker
+	base := workload.UniformIntervals(16, n, e16Span, e16MaxLen)
+	fmt.Fprintf(w, "n=%d intervals, B=16; %d workers x %d ops, 1 insert per 8 queries.\n",
+		n, e16Workers, ops)
+	for _, part := range []struct {
+		name string
+		p    shard.Partition
+	}{
+		{"range (domain slices, stab touches 1 shard)", shard.PartitionRange},
+		{"hash (fan-out to all shards per query)", shard.PartitionHash},
+	} {
+		fmt.Fprintf(w, "%s partitioning: %s\n", map[shard.Partition]string{
+			shard.PartitionRange: "range", shard.PartitionHash: "hash"}[part.p], part.name)
+		fmt.Fprintf(w, "%7s %12s %12s %12s %12s %10s\n",
+			"shards", "ops/sec", "ns/op", "ios/op", "space(blk)", "speedup")
+		var baseline float64
+		for _, shards := range ShardCounts {
+			s := shard.NewIntervals(shard.Config{
+				Shards: shards, B: 16, Batch: 16, Partition: part.p, Span: e16Span,
+			}, base)
+			before := s.Stats()
+			elapsed := driveMixed(s, e16Workers, ops)
+			total := float64(e16Workers * ops)
+			opsPerSec := total / elapsed.Seconds()
+			if baseline == 0 {
+				baseline = opsPerSec
+			}
+			fmt.Fprintf(w, "%7d %12.0f %12.0f %12.1f %12d %9.2fx\n",
+				shards, opsPerSec, float64(elapsed.Nanoseconds())/total,
+				float64(s.Stats().Sub(before).IOs())/total, s.SpaceBlocks(),
+				opsPerSec/baseline)
+		}
+	}
+	fmt.Fprintln(w, "shape check: under range partitioning ops/sec grows with the shard count and")
+	fmt.Fprintln(w, "ios/op shrinks (each shard's log_B term covers n/N intervals), at the price of")
+	fmt.Fprintln(w, "slice-spanning replicas in the space column; hash fan-out pays the full log_B")
+	fmt.Fprintln(w, "cost in every shard and does not scale aggregate throughput.")
+}
+
+// driveMixed runs the E16 worker pool and returns the elapsed wall time.
+func driveMixed(s *shard.Intervals, workers, ops int) time.Duration {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; i < ops; i++ {
+				if i%8 == 7 {
+					lo := rng.Int63n(e16Span)
+					s.Insert(geom.Interval{Lo: lo, Hi: lo + rng.Int63n(e16MaxLen), ID: uint64(g*ops + i)})
+					continue
+				}
+				s.Stab(rng.Int63n(e16Span), func(geom.Interval) bool { return true })
+			}
+		}(g)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// runE17 measures what group commit actually buys: the insert CALL's
+// latency distribution. With batch k, k-1 of every k calls return after an
+// O(1) buffer append and only the k-th pays the deferred index
+// maintenance, so the median collapses while the total work — and the
+// amortized block I/O — is unchanged. Queries stay correct throughout
+// because they merge the pending buffer.
+func runE17(w io.Writer) {
+	total := 40000
+	per := total / e16Workers
+	fmt.Fprintf(w, "4 shards, B=16, range partitioning; %d workers inserting %d intervals total.\n",
+		e16Workers, total)
+	fmt.Fprintf(w, "latency of individual Insert calls (the group-commit amortization):\n")
+	fmt.Fprintf(w, "%7s %12s %14s %12s %12s %12s\n",
+		"batch", "ins/sec", "ios/insert", "p50 ns", "p99 ns", "max ns")
+	for _, batch := range BatchSizes {
+		s := shard.NewIntervals(shard.Config{
+			Shards: 4, B: 16, Batch: batch, Partition: shard.PartitionRange, Span: e16Span,
+		}, nil)
+		before := s.Stats()
+		lat := make([][]int64, e16Workers)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < e16Workers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(2000 + g)))
+				ls := make([]int64, per)
+				for i := 0; i < per; i++ {
+					lo := rng.Int63n(e16Span)
+					iv := geom.Interval{Lo: lo, Hi: lo + rng.Int63n(e16MaxLen), ID: uint64(g*per + i)}
+					t0 := time.Now()
+					s.Insert(iv)
+					ls[i] = time.Since(t0).Nanoseconds()
+				}
+				lat[g] = ls
+			}(g)
+		}
+		wg.Wait()
+		s.Flush()
+		elapsed := time.Since(start)
+		var all []int64
+		for _, ls := range lat {
+			all = append(all, ls...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		q := func(p float64) int64 { return all[int(p*float64(len(all)-1))] }
+		nTotal := float64(len(all))
+		fmt.Fprintf(w, "%7d %12.0f %14.1f %12d %12d %12d\n",
+			batch, nTotal/elapsed.Seconds(),
+			float64(s.Stats().Sub(before).IOs())/nTotal,
+			q(0.50), q(0.99), all[len(all)-1])
+	}
+	fmt.Fprintln(w, "shape check: p50 collapses to a buffer append as the batch grows while")
+	fmt.Fprintln(w, "ios/insert stays ~flat — group commit defers maintenance off the common path,")
+	fmt.Fprintln(w, "it does not remove block I/O; the max column is the deferred flush bill.")
+}

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"ccidx/internal/classindex"
+	"ccidx/internal/disk"
+)
+
+// ClassIndex is the abstract per-shard class-indexing structure; every
+// strategy in internal/classindex satisfies it.
+type ClassIndex interface {
+	Insert(classindex.Object)
+	Query(c int, a1, a2 int64, emit classindex.EmitObject)
+	Stats() disk.Stats
+	SpaceBlocks() int64
+}
+
+// Classes is a concurrency-safe, sharded class index: objects are
+// partitioned by their attribute value across cfg.Shards independent
+// class-index structures built over the same frozen hierarchy (the
+// hierarchy is read-only after Freeze, so shards share it safely).
+//
+// Range partitioning on the attribute is the natural choice here: a
+// full-extent query Query(c, a1, a2) is attribute-scoped, so it touches
+// only the shards whose attribute range overlaps [a1, a2] and merges their
+// results. Hash partitioning is also supported (queries then fan out to
+// every shard).
+type Classes struct {
+	cfg    Config
+	router Router
+	h      *classindex.Hierarchy
+	shards []*classShard
+}
+
+type classShard struct {
+	cell cell[classindex.Object]
+	idx  ClassIndex
+}
+
+// NewClasses builds a sharded class index; newIndex constructs one empty
+// per-shard structure (e.g. classindex.NewRakeContract(h, B)) and is
+// called once per shard.
+func NewClasses(cfg Config, h *classindex.Hierarchy, newIndex func() ClassIndex) *Classes {
+	n := cfg.shards()
+	s := &Classes{cfg: cfg, router: NewRouter(n, cfg.Partition, cfg.Span), h: h}
+	s.shards = make([]*classShard, n)
+	for i := 0; i < n; i++ {
+		s.shards[i] = &classShard{idx: newIndex()}
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Classes) Shards() int { return s.router.Shards() }
+
+// Insert adds an object, group-committing through the owning shard's
+// pending buffer.
+func (s *Classes) Insert(o classindex.Object) {
+	sh := s.shards[s.router.Route(o.Attr)]
+	sh.cell.insert(o, s.cfg.batch(), sh.idx.Insert)
+}
+
+// Flush forces every shard's pending buffer into its index structure.
+func (s *Classes) Flush() {
+	for _, sh := range s.shards {
+		sh.cell.flush(sh.idx.Insert)
+	}
+}
+
+type attrID struct {
+	attr int64
+	id   uint64
+}
+
+// queryShard collects one shard's full-extent matches under its read lock:
+// index hits plus a subtree-range filter over the pending buffer.
+func (s *Classes) queryShard(sh *classShard, c int, a1, a2 int64) []attrID {
+	lo, hi := s.h.SubtreeRange(c)
+	var out []attrID
+	sh.cell.read(func(pending []classindex.Object) {
+		sh.idx.Query(c, a1, a2, func(attr int64, id uint64) bool {
+			out = append(out, attrID{attr, id})
+			return true
+		})
+		for _, o := range pending {
+			if p := s.h.Pre(o.Class); p >= lo && p < hi && o.Attr >= a1 && o.Attr <= a2 {
+				out = append(out, attrID{o.Attr, o.ID})
+			}
+		}
+	})
+	return out
+}
+
+// Query reports every object in the full extent of class c with attribute
+// in [a1, a2], fanning out in parallel to the shards overlapping the range
+// and merging their results. Each object lives in exactly one shard, so
+// each match is reported exactly once.
+func (s *Classes) Query(c int, a1, a2 int64, emit classindex.EmitObject) {
+	if a1 > a2 {
+		return
+	}
+	first, last := s.router.RouteRange(a1, a2)
+	fanOut(first, last,
+		func(i int) []attrID { return s.queryShard(s.shards[i], c, a1, a2) },
+		func(r attrID) bool { return emit(r.attr, r.id) })
+}
+
+// Stats sums the I/O counters of every shard's structure.
+func (s *Classes) Stats() disk.Stats {
+	var st disk.Stats
+	for _, sh := range s.shards {
+		sh.cell.read(func([]classindex.Object) { st = st.Add(sh.idx.Stats()) })
+	}
+	return st
+}
+
+// SpaceBlocks sums the live pages across shards.
+func (s *Classes) SpaceBlocks() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		sh.cell.read(func([]classindex.Object) { total += sh.idx.SpaceBlocks() })
+	}
+	return total
+}

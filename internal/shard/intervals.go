@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"sync/atomic"
+
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+	"ccidx/internal/intervals"
+)
+
+// Intervals is a concurrency-safe, sharded interval manager: the external
+// dynamic interval management problem of Proposition 2.2, partitioned
+// across cfg.Shards independent managers, each with its own simulated
+// block device and pager.
+//
+// Two partitioning schemes with different scaling behaviour:
+//
+//   - PartitionRange partitions the DOMAIN [0, Span): shard i owns the
+//     i-th slice of the key space, and an interval is stored in every
+//     shard whose slice it overlaps. A stabbing query then touches
+//     exactly ONE shard, so query throughput scales with the shard count
+//     (experiment E16); the cost is replication of slice-spanning
+//     intervals, ~1 + length/sliceWidth copies each.
+//   - PartitionHash routes an interval to a single shard by a mix of its
+//     left endpoint; no replication, but every query must fan out to all
+//     shards and merge, so hash sharding parallelizes one query's latency
+//     rather than aggregate throughput.
+type Intervals struct {
+	cfg    Config
+	router Router
+	shards []*intervalShard
+	n      atomic.Int64 // logical interval count (primaries only)
+}
+
+type intervalShard struct {
+	cell cell[geom.Interval]
+	mgr  *intervals.Manager
+}
+
+// replicaRange returns the inclusive shard interval that must store iv.
+func (s *Intervals) replicaRange(iv geom.Interval) (first, last int) {
+	if s.cfg.Partition == PartitionRange {
+		return s.router.Route(iv.Lo), s.router.Route(iv.Hi)
+	}
+	i := s.router.Route(iv.Lo)
+	return i, i
+}
+
+// NewIntervals builds a sharded manager over an initial interval set (the
+// slice is copied; the initial build is static per shard, Theorem 3.2).
+func NewIntervals(cfg Config, ivs []geom.Interval) *Intervals {
+	n := cfg.shards()
+	s := &Intervals{cfg: cfg, router: NewRouter(n, cfg.Partition, cfg.Span)}
+	parts := make([][]geom.Interval, n)
+	for _, iv := range ivs {
+		first, last := s.replicaRange(iv)
+		for i := first; i <= last; i++ {
+			parts[i] = append(parts[i], iv)
+		}
+	}
+	s.shards = make([]*intervalShard, n)
+	for i := 0; i < n; i++ {
+		s.shards[i] = &intervalShard{mgr: intervals.New(intervals.Config{B: cfg.B}, parts[i])}
+	}
+	s.n.Store(int64(len(ivs)))
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Intervals) Shards() int { return s.router.Shards() }
+
+// Insert adds an interval. Each owning shard's write lock is held only for
+// a pending-buffer append on all but every Batch-th call, which pays the
+// group-commit flush.
+func (s *Intervals) Insert(iv geom.Interval) {
+	if !iv.Valid() {
+		// Reject here, not at the deferred flush: buffering an invalid
+		// interval would make an unrelated later Insert or Flush panic.
+		panic("shard: invalid interval " + iv.String())
+	}
+	first, last := s.replicaRange(iv)
+	for i := first; i <= last; i++ {
+		sh := s.shards[i]
+		sh.cell.insert(iv, s.cfg.batch(), sh.mgr.Insert)
+	}
+	s.n.Add(1)
+}
+
+// Flush forces every shard's pending buffer into its index structure.
+func (s *Intervals) Flush() {
+	for _, sh := range s.shards {
+		sh.cell.flush(sh.mgr.Insert)
+	}
+}
+
+// Len returns the number of intervals stored (including pending ones);
+// range-partition replicas are not double counted.
+func (s *Intervals) Len() int { return int(s.n.Load()) }
+
+// stabShard collects the shard's matches for a stabbing query under its
+// read lock: index hits plus a scan of the (bounded) pending buffer.
+func (sh *intervalShard) stabShard(q int64) []geom.Interval {
+	var out []geom.Interval
+	sh.cell.read(func(pending []geom.Interval) {
+		sh.mgr.Stab(q, func(iv geom.Interval) bool {
+			out = append(out, iv)
+			return true
+		})
+		for _, iv := range pending {
+			if iv.Contains(q) {
+				out = append(out, iv)
+			}
+		}
+	})
+	return out
+}
+
+// intersectShard collects the shard's matches for an intersection query.
+// Under range partitioning an intersecting interval may be replicated into
+// several queried shards; the shard owning max(iv.Lo, q.Lo) — a point
+// inside both the interval and the query, hence inside exactly one queried
+// shard that stores iv — is the unique reporter.
+func (s *Intervals) intersectShard(idx int, q geom.Interval) []geom.Interval {
+	sh := s.shards[idx]
+	owns := func(iv geom.Interval) bool {
+		if s.cfg.Partition != PartitionRange {
+			return true
+		}
+		p := iv.Lo
+		if q.Lo > p {
+			p = q.Lo
+		}
+		return s.router.Route(p) == idx
+	}
+	var out []geom.Interval
+	sh.cell.read(func(pending []geom.Interval) {
+		sh.mgr.Intersect(q, func(iv geom.Interval) bool {
+			if owns(iv) {
+				out = append(out, iv)
+			}
+			return true
+		})
+		for _, iv := range pending {
+			if iv.Intersects(q) && owns(iv) {
+				out = append(out, iv)
+			}
+		}
+	})
+	return out
+}
+
+// Stab reports every interval containing q, each exactly once. Under range
+// partitioning exactly one shard is touched.
+func (s *Intervals) Stab(q int64, emit intervals.EmitInterval) {
+	first, last := 0, s.router.Shards()-1
+	if s.cfg.Partition == PartitionRange {
+		first, last = s.router.Route(q), s.router.Route(q)
+	}
+	fanOut(first, last,
+		func(i int) []geom.Interval { return s.shards[i].stabShard(q) }, emit)
+}
+
+// Intersect reports every interval intersecting q, each exactly once.
+// Under range partitioning only the shards overlapping q are touched.
+func (s *Intervals) Intersect(q geom.Interval, emit intervals.EmitInterval) {
+	if !q.Valid() {
+		return
+	}
+	first, last := 0, s.router.Shards()-1
+	if s.cfg.Partition == PartitionRange {
+		first, last = s.router.Route(q.Lo), s.router.Route(q.Hi)
+	}
+	fanOut(first, last,
+		func(i int) []geom.Interval { return s.intersectShard(i, q) }, emit)
+}
+
+// Stats sums the I/O counters of every shard's device.
+func (s *Intervals) Stats() disk.Stats {
+	var st disk.Stats
+	for _, sh := range s.shards {
+		sh.cell.read(func([]geom.Interval) { st = st.Add(sh.mgr.Stats()) })
+	}
+	return st
+}
+
+// SpaceBlocks sums the live pages of every shard's device (replication
+// under range partitioning is visible here, as it should be).
+func (s *Intervals) SpaceBlocks() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		sh.cell.read(func([]geom.Interval) { total += sh.mgr.SpaceBlocks() })
+	}
+	return total
+}

@@ -1,0 +1,206 @@
+// Package shard implements the concurrent serving layer of the repository:
+// it partitions an index workload across N independent shards, each owning
+// its own simulated block device, and serves queries with parallel fan-out
+// over the shards.
+//
+// Concurrency model. Every shard is guarded by its own sync.RWMutex:
+// mutations (Insert, Flush) take the write lock, queries take the read
+// lock. Taking only a read lock for queries is sound because the query
+// paths of the underlying structures (metablock tree, B+-tree, 3-sided
+// tree) never write pages — they only read blocks and bump the pager's
+// atomic I/O counters. Partitioning means writers block readers of their
+// own shard only, which is what makes mixed insert/query throughput scale
+// with the shard count (experiment E16).
+//
+// Group commit. Inserts append to a small in-memory pending buffer under
+// the shard's write lock and only every Batch-th insert pays the index
+// maintenance cost, flushing the whole buffer while the lock is held.
+// Queries merge the pending buffer on the fly, so batching is invisible to
+// correctness; it trades per-call latency for bounded staleness of the
+// on-"disk" structure (experiment E17).
+package shard
+
+import "sync"
+
+// Partition selects how keys are assigned to shards.
+type Partition int
+
+const (
+	// PartitionHash spreads keys uniformly with a 64-bit mixer; queries
+	// fan out to every shard.
+	PartitionHash Partition = iota
+	// PartitionRange assigns contiguous key ranges of [0, Span) to
+	// consecutive shards; range queries touch only overlapping shards.
+	PartitionRange
+)
+
+// Config configures a sharded index.
+type Config struct {
+	// Shards is the number of shards; values < 1 are treated as 1.
+	Shards int
+	// B is the block capacity handed to every per-shard structure.
+	B int
+	// Batch is the group-commit threshold: the number of pending inserts a
+	// shard accumulates before flushing them into its index structure
+	// while still holding the write lock. Values < 1 mean no batching
+	// (every insert is applied immediately).
+	Batch int
+	// Partition selects the key-to-shard assignment.
+	Partition Partition
+	// Span is the key domain [0, Span) used by PartitionRange; it must be
+	// positive when that scheme is selected (construction panics
+	// otherwise). Keys outside the span are clamped to the first/last
+	// shard.
+	Span int64
+}
+
+func (cfg Config) shards() int {
+	if cfg.Shards < 1 {
+		return 1
+	}
+	return cfg.Shards
+}
+
+func (cfg Config) batch() int {
+	if cfg.Batch < 1 {
+		return 1
+	}
+	return cfg.Batch
+}
+
+// Router maps keys to shards.
+type Router struct {
+	n    int
+	part Partition
+	span int64
+}
+
+// NewRouter builds a router over n shards. span is only used by
+// PartitionRange and must be positive for it: a zero span would silently
+// clamp every key to the last shard, leaving n-1 shards empty while
+// results stay correct — a misconfiguration nothing else would surface.
+func NewRouter(n int, part Partition, span int64) Router {
+	if n < 1 {
+		n = 1
+	}
+	if part == PartitionRange && span < 1 {
+		panic("shard: PartitionRange requires a positive Span")
+	}
+	return Router{n: n, part: part, span: span}
+}
+
+// Shards returns the shard count.
+func (r Router) Shards() int { return r.n }
+
+// mix64 is the splitmix64 finalizer: a cheap, deterministic 64-bit mixer
+// with good avalanche behaviour for hash partitioning.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Route returns the shard owning key.
+func (r Router) Route(key int64) int {
+	if r.n == 1 {
+		return 0
+	}
+	switch r.part {
+	case PartitionRange:
+		if key < 0 {
+			return 0
+		}
+		if key >= r.span {
+			return r.n - 1
+		}
+		return int(key / ((r.span + int64(r.n) - 1) / int64(r.n)))
+	default:
+		return int(mix64(uint64(key)) % uint64(r.n))
+	}
+}
+
+// RouteRange returns the inclusive shard interval [first, last] that a key
+// range [lo, hi] can touch. For hash partitioning that is every shard.
+func (r Router) RouteRange(lo, hi int64) (first, last int) {
+	if r.part != PartitionRange {
+		return 0, r.n - 1
+	}
+	return r.Route(lo), r.Route(hi)
+}
+
+// cell is the per-shard group-commit container shared by every sharded
+// index: an RWMutex guarding the shard's structure plus the pending buffer
+// of not-yet-applied inserts. Holding the protocol here keeps the two
+// index kinds (intervals, classes) from drifting.
+type cell[T any] struct {
+	mu      sync.RWMutex
+	pending []T
+}
+
+// insert appends item under the write lock and, once the buffer reaches
+// batch, applies every pending item while still holding the lock (the
+// group commit).
+func (c *cell[T]) insert(item T, batch int, apply func(T)) {
+	c.mu.Lock()
+	c.pending = append(c.pending, item)
+	if len(c.pending) >= batch {
+		c.flushLocked(apply)
+	}
+	c.mu.Unlock()
+}
+
+func (c *cell[T]) flushLocked(apply func(T)) {
+	for _, it := range c.pending {
+		apply(it)
+	}
+	c.pending = c.pending[:0]
+}
+
+// flush applies any pending items under the write lock.
+func (c *cell[T]) flush(apply func(T)) {
+	c.mu.Lock()
+	c.flushLocked(apply)
+	c.mu.Unlock()
+}
+
+// read runs fn under the read lock, handing it the pending buffer. fn must
+// only read (the underlying structures' query paths never write pages).
+func (c *cell[T]) read(fn func(pending []T)) {
+	c.mu.RLock()
+	fn(c.pending)
+	c.mu.RUnlock()
+}
+
+// fanOut runs collect on shards [first, last] in parallel and emits the
+// merged per-shard results in shard order; emit returning false stops the
+// enumeration. A single-shard span skips the goroutine machinery.
+func fanOut[T any](first, last int, collect func(int) []T, emit func(T) bool) {
+	if first == last {
+		for _, v := range collect(first) {
+			if !emit(v) {
+				return
+			}
+		}
+		return
+	}
+	results := make([][]T, last-first+1)
+	var wg sync.WaitGroup
+	for i := first; i <= last; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i-first] = collect(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, rs := range results {
+		for _, v := range rs {
+			if !emit(v) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,414 @@
+package shard
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"ccidx/internal/classindex"
+	"ccidx/internal/geom"
+	"ccidx/internal/intervals"
+)
+
+func TestRouterRange(t *testing.T) {
+	r := NewRouter(4, PartitionRange, 100)
+	if got := r.Route(-5); got != 0 {
+		t.Fatalf("Route(-5)=%d want 0", got)
+	}
+	if got := r.Route(0); got != 0 {
+		t.Fatalf("Route(0)=%d want 0", got)
+	}
+	if got := r.Route(99); got != 3 {
+		t.Fatalf("Route(99)=%d want 3", got)
+	}
+	if got := r.Route(1000); got != 3 {
+		t.Fatalf("Route(1000)=%d want 3", got)
+	}
+	prev := 0
+	for k := int64(0); k < 100; k++ {
+		s := r.Route(k)
+		if s < prev || s > prev+1 {
+			t.Fatalf("range routing not monotone at %d: %d after %d", k, s, prev)
+		}
+		prev = s
+	}
+	f, l := r.RouteRange(10, 60)
+	if f != r.Route(10) || l != r.Route(60) {
+		t.Fatalf("RouteRange(10,60)=(%d,%d)", f, l)
+	}
+}
+
+func TestRouterRangeRequiresSpan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PartitionRange with zero span must panic at construction")
+		}
+	}()
+	NewRouter(8, PartitionRange, 0)
+}
+
+func TestRouterHashDeterministicAndBalanced(t *testing.T) {
+	r := NewRouter(8, PartitionHash, 0)
+	counts := make([]int, 8)
+	for k := int64(0); k < 8000; k++ {
+		s := r.Route(k)
+		if s2 := r.Route(k); s2 != s {
+			t.Fatalf("hash routing not deterministic for %d", k)
+		}
+		counts[s]++
+	}
+	for i, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Fatalf("hash shard %d holds %d of 8000 keys (poor balance)", i, c)
+		}
+	}
+}
+
+func sortedIvs(ivs []geom.Interval) []geom.Interval {
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].ID != ivs[j].ID {
+			return ivs[i].ID < ivs[j].ID
+		}
+		return ivs[i].Lo < ivs[j].Lo
+	})
+	return ivs
+}
+
+func collectStab(s *Intervals, q int64) []geom.Interval {
+	var out []geom.Interval
+	s.Stab(q, func(iv geom.Interval) bool { out = append(out, iv); return true })
+	return sortedIvs(out)
+}
+
+func collectIntersect(s *Intervals, q geom.Interval) []geom.Interval {
+	var out []geom.Interval
+	s.Intersect(q, func(iv geom.Interval) bool { out = append(out, iv); return true })
+	return sortedIvs(out)
+}
+
+func equalIvs(a, b []geom.Interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedIntervalsMatchOracle compares sharded query results — across
+// shard counts, both partition schemes and batch sizes, with half the
+// workload inserted dynamically — against the single-shard manager on a
+// seeded random workload.
+func TestShardedIntervalsMatchOracle(t *testing.T) {
+	const span = 1 << 16
+	rng := rand.New(rand.NewSource(11))
+	n := 4000
+	shardCounts := []int{1, 3, 8}
+	batches := []int{1, 7, 64}
+	queries := 50
+	if testing.Short() {
+		n, queries = 1500, 25
+		shardCounts = []int{1, 4}
+		batches = []int{1, 7}
+	}
+	ivs := make([]geom.Interval, n)
+	for i := range ivs {
+		lo := rng.Int63n(span)
+		ivs[i] = geom.Interval{Lo: lo, Hi: lo + rng.Int63n(span/8), ID: uint64(i)}
+	}
+	oracle := intervals.New(intervals.Config{B: 8}, ivs[:n/2])
+	for _, iv := range ivs[n/2:] {
+		oracle.Insert(iv)
+	}
+	for _, part := range []Partition{PartitionHash, PartitionRange} {
+		for _, shards := range shardCounts {
+			for _, batch := range batches {
+				cfg := Config{Shards: shards, B: 8, Batch: batch, Partition: part, Span: span}
+				s := NewIntervals(cfg, ivs[:n/2])
+				for _, iv := range ivs[n/2:] {
+					s.Insert(iv)
+				}
+				if s.Len() != n {
+					t.Fatalf("part=%v shards=%d batch=%d: Len=%d want %d", part, shards, batch, s.Len(), n)
+				}
+				for k := 0; k < queries; k++ {
+					q := rng.Int63n(span + span/4)
+					var want []geom.Interval
+					oracle.Stab(q, func(iv geom.Interval) bool { want = append(want, iv); return true })
+					if got := collectStab(s, q); !equalIvs(got, sortedIvs(want)) {
+						t.Fatalf("part=%v shards=%d batch=%d: Stab(%d): got %d want %d",
+							part, shards, batch, q, len(got), len(want))
+					}
+					qlo := rng.Int63n(span)
+					qiv := geom.Interval{Lo: qlo, Hi: qlo + rng.Int63n(span/6)}
+					want = want[:0]
+					oracle.Intersect(qiv, func(iv geom.Interval) bool { want = append(want, iv); return true })
+					if got := collectIntersect(s, qiv); !equalIvs(got, sortedIvs(want)) {
+						t.Fatalf("part=%v shards=%d batch=%d: Intersect(%v): got %d want %d",
+							part, shards, batch, qiv, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func randomHierarchy(rng *rand.Rand, c int) *classindex.Hierarchy {
+	h := classindex.NewHierarchy()
+	names := make([]string, c)
+	for i := 0; i < c; i++ {
+		names[i] = "c" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+		parent := ""
+		if i > 0 && rng.Intn(6) != 0 {
+			parent = names[rng.Intn(i)]
+		}
+		h.MustAddClass(names[i], parent)
+	}
+	h.Freeze()
+	return h
+}
+
+func classOracle(h *classindex.Hierarchy, objs []classindex.Object, c int, a1, a2 int64) []uint64 {
+	lo, hi := h.SubtreeRange(c)
+	var ids []uint64
+	for _, o := range objs {
+		if p := h.Pre(o.Class); p >= lo && p < hi && o.Attr >= a1 && o.Attr <= a2 {
+			ids = append(ids, o.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func collectClassQuery(s *Classes, c int, a1, a2 int64) []uint64 {
+	var ids []uint64
+	s.Query(c, a1, a2, func(_ int64, id uint64) bool { ids = append(ids, id); return true })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TestShardedClassesMatchOracle cross-checks the sharded class index
+// against the brute-force oracle for every strategy factory, shard count
+// and partition scheme.
+func TestShardedClassesMatchOracle(t *testing.T) {
+	const span = 1 << 12
+	rng := rand.New(rand.NewSource(12))
+	h := randomHierarchy(rng, 40)
+	nObj := 3000
+	if testing.Short() {
+		nObj = 1200
+	}
+	objs := make([]classindex.Object, nObj)
+	for i := range objs {
+		objs[i] = classindex.Object{Class: rng.Intn(h.Len()), Attr: rng.Int63n(span), ID: uint64(i)}
+	}
+	factories := map[string]func(cfg Config) func() ClassIndex{
+		"simple": func(cfg Config) func() ClassIndex {
+			return func() ClassIndex { return classindex.NewSimple(h, cfg.B) }
+		},
+		"rake": func(cfg Config) func() ClassIndex {
+			return func() ClassIndex { return classindex.NewRakeContract(h, cfg.B) }
+		},
+	}
+	for name, mk := range factories {
+		for _, part := range []Partition{PartitionHash, PartitionRange} {
+			for _, shards := range []int{1, 4} {
+				cfg := Config{Shards: shards, B: 8, Batch: 16, Partition: part, Span: span}
+				s := NewClasses(cfg, h, mk(cfg))
+				for _, o := range objs {
+					s.Insert(o)
+				}
+				for k := 0; k < 60; k++ {
+					c := rng.Intn(h.Len())
+					a1 := rng.Int63n(span)
+					a2 := a1 + rng.Int63n(span-a1)
+					want := classOracle(h, objs, c, a1, a2)
+					if got := collectClassQuery(s, c, a1, a2); !equalIDs(got, want) {
+						t.Fatalf("%s part=%v shards=%d: class %d [%d,%d]: got %d want %d",
+							name, part, shards, c, a1, a2, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentIntervalShards exercises parallel inserts and queries
+// across goroutines (run with -race) and verifies full correctness against
+// the oracle once the writers finish.
+func TestConcurrentIntervalShards(t *testing.T) {
+	const span = 1 << 16
+	const writers = 4
+	const readers = 4
+	perWriter := 1500
+	if testing.Short() {
+		perWriter = 500
+	}
+	s := NewIntervals(Config{Shards: 4, B: 8, Batch: 32, Partition: PartitionHash, Span: span}, nil)
+
+	// Deterministic per-writer workloads.
+	workloads := make([][]geom.Interval, writers)
+	for w := range workloads {
+		rng := rand.New(rand.NewSource(int64(100 + w)))
+		ivs := make([]geom.Interval, perWriter)
+		for i := range ivs {
+			lo := rng.Int63n(span)
+			ivs[i] = geom.Interval{Lo: lo, Hi: lo + rng.Int63n(span/8), ID: uint64(w*perWriter + i)}
+		}
+		workloads[w] = ivs
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := rng.Int63n(span)
+				seen := make(map[uint64]bool)
+				s.Stab(q, func(iv geom.Interval) bool {
+					if !iv.Contains(q) {
+						t.Errorf("reader %d: Stab(%d) returned non-containing %v", r, q, iv)
+						return false
+					}
+					if seen[iv.ID] {
+						t.Errorf("reader %d: Stab(%d) returned %d twice", r, q, iv.ID)
+						return false
+					}
+					seen[iv.ID] = true
+					return true
+				})
+			}
+		}(r)
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for _, iv := range workloads[w] {
+				s.Insert(iv)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	s.Flush()
+	if s.Len() != writers*perWriter {
+		t.Fatalf("Len=%d want %d", s.Len(), writers*perWriter)
+	}
+	oracle := intervals.NewNaive(8)
+	for _, ws := range workloads {
+		for _, iv := range ws {
+			oracle.Insert(iv)
+		}
+	}
+	rng := rand.New(rand.NewSource(300))
+	for k := 0; k < 40; k++ {
+		q := rng.Int63n(span)
+		var want []geom.Interval
+		oracle.Stab(q, func(iv geom.Interval) bool { want = append(want, iv); return true })
+		if got := collectStab(s, q); !equalIvs(got, sortedIvs(want)) {
+			t.Fatalf("after concurrent phase: Stab(%d): got %d want %d", q, len(got), len(want))
+		}
+	}
+}
+
+// TestConcurrentClassShards is the class-index analogue of the interval
+// race test.
+func TestConcurrentClassShards(t *testing.T) {
+	const span = 1 << 12
+	const writers = 4
+	const perWriter = 800
+	rng := rand.New(rand.NewSource(13))
+	h := randomHierarchy(rng, 30)
+	s := NewClasses(Config{Shards: 4, B: 8, Batch: 16, Partition: PartitionRange, Span: span}, h,
+		func() ClassIndex { return classindex.NewRakeContract(h, 8) })
+
+	workloads := make([][]classindex.Object, writers)
+	for w := range workloads {
+		wrng := rand.New(rand.NewSource(int64(400 + w)))
+		objs := make([]classindex.Object, perWriter)
+		for i := range objs {
+			objs[i] = classindex.Object{
+				Class: wrng.Intn(h.Len()),
+				Attr:  wrng.Int63n(span),
+				ID:    uint64(w*perWriter + i),
+			}
+		}
+		workloads[w] = objs
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			qrng := rand.New(rand.NewSource(int64(500 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := qrng.Intn(h.Len())
+				a1 := qrng.Int63n(span)
+				s.Query(c, a1, a1+span/10, func(int64, uint64) bool { return true })
+			}
+		}(r)
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for _, o := range workloads[w] {
+				s.Insert(o)
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	s.Flush()
+	var all []classindex.Object
+	for _, ws := range workloads {
+		all = append(all, ws...)
+	}
+	for k := 0; k < 40; k++ {
+		c := rng.Intn(h.Len())
+		a1 := rng.Int63n(span)
+		a2 := a1 + rng.Int63n(span-a1)
+		want := classOracle(h, all, c, a1, a2)
+		if got := collectClassQuery(s, c, a1, a2); !equalIDs(got, want) {
+			t.Fatalf("after concurrent phase: class %d [%d,%d]: got %d want %d", c, a1, a2, len(got), len(want))
+		}
+	}
+}

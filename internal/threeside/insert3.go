@@ -361,15 +361,14 @@ func (t *Tree) levelII(id disk.BlockID, path []step) {
 }
 
 func (t *Tree) splitLeaf(id disk.BlockID, path []step) {
+	if len(path) == 0 {
+		t.rebuildSubtree(id, nil)
+		return
+	}
+
 	m := t.loadCtrl(id)
 	pts := t.readStoredPoints(m)
 	geom.SortByX(pts)
-
-	if len(path) == 0 {
-		t.freeMetablock(id, m)
-		t.root = t.buildMeta(pts).ctrl
-		return
-	}
 
 	half := len(pts) / 2
 	left := t.buildMeta(pts[:half])
@@ -395,44 +394,44 @@ func (t *Tree) splitLeaf(id disk.BlockID, path []step) {
 
 	pm = t.loadCtrl(par.id)
 	if len(pm.children) >= 2*t.cfg.B {
-		t.splitNode(par.id, path[:len(path)-1])
+		t.rebuildSubtree(par.id, path[:len(path)-1])
 	}
 }
 
-func (t *Tree) splitNode(id disk.BlockID, path []step) {
+// rebuildSubtree rebuilds the whole subtree rooted at id from its points,
+// storing the new root's control information into the SAME block id.
+//
+// The maintenance cascade is re-entrant: tsReorgChildren's overflow loop
+// runs levelII on children, whose leaf splits check the fanout of the very
+// node whose loop is still on the stack. A node that enclosing frames may
+// still reference must therefore never change identity. The old code split
+// an overfull node into two fresh nodes and freed the original, so an
+// enclosing frame's id could be freed, reallocated to an unrelated block,
+// and reinterpreted as a control blob — whose next-pointer chain could then
+// cycle, hanging readBlob (the nondeterministic test hang this replaces).
+// Rebuilding in place keeps every ancestor id valid; stale CHILD ids left
+// in enclosing overflow lists are handled by the findChild guards.
+func (t *Tree) rebuildSubtree(id disk.BlockID, path []step) {
 	pts := t.collectSubtree(id)
 	geom.SortByX(pts)
 
-	if len(path) == 0 {
-		t.freeSubtree(id)
-		t.root = t.buildMeta(pts).ctrl
-		return
+	m := t.loadCtrl(id)
+	for _, c := range m.children {
+		t.freeSubtree(c.ctrl)
 	}
+	t.freeMetablockContents(m)
 
-	par := path[len(path)-1]
-	pm := t.loadCtrl(par.id)
-	idx := findChild(pm, id)
-	if idx < 0 {
-		panic("threeside: split node not found in parent")
-	}
-	t.freeSubtree(id)
-	half := len(pts) / 2
-	left := t.buildMeta(pts[:half])
-	right := t.buildMeta(pts[half:])
-	newRefs := []childRef{
-		{ctrl: left.ctrl, xlo: left.xlo, xhi: left.xhi, bb: left.bb,
-			storedCount: left.storedCount, subtreeCount: left.subtreeCount},
-		{ctrl: right.ctrl, xlo: right.xlo, xhi: right.xhi, bb: right.bb,
-			storedCount: right.storedCount, subtreeCount: right.subtreeCount},
-	}
-	pm.children = append(pm.children[:idx], append(newRefs, pm.children[idx+1:]...)...)
-	t.storeCtrl(par.id, pm)
+	ref := t.buildMeta(pts)
+	nm := t.loadCtrl(ref.ctrl)
+	t.freeBlob(ref.ctrl)
+	t.storeCtrl(id, nm)
 
-	t.tsReorgChildren(par.id, path[:len(path)-1])
-
-	pm = t.loadCtrl(par.id)
-	if len(pm.children) >= 2*t.cfg.B {
-		t.splitNode(par.id, path[:len(path)-1])
+	// The parent's child-union, TD and sibling TS structures reference the
+	// node's old stored set; rebuild them (this also refreshes the parent's
+	// bookkeeping for id). The parent's fanout is unchanged, so no further
+	// cascade is needed.
+	if len(path) > 0 {
+		t.tsReorgChildren(path[len(path)-1].id, path[:len(path)-1])
 	}
 }
 
@@ -446,7 +445,9 @@ func (t *Tree) collectSubtree(id disk.BlockID) []geom.Point {
 	return pts
 }
 
-func (t *Tree) freeMetablock(id disk.BlockID, m *metaCtrl) {
+// freeMetablockContents releases every block a metablock owns except its
+// control blob, so rebuildSubtree can reuse the blob head in place.
+func (t *Tree) freeMetablockContents(m *metaCtrl) {
 	t.freeStoredOrgs(m)
 	t.freeChunks(m.tsl.blocks)
 	t.freeChunks(m.tsr.blocks)
@@ -461,6 +462,10 @@ func (t *Tree) freeMetablock(id disk.BlockID, m *metaCtrl) {
 			t.pager.MustFree(m.td.upd.id)
 		}
 	}
+}
+
+func (t *Tree) freeMetablock(id disk.BlockID, m *metaCtrl) {
+	t.freeMetablockContents(m)
 	t.freeBlob(id)
 }
 

@@ -1,0 +1,94 @@
+package threeside
+
+import (
+	"sort"
+	"testing"
+
+	"ccidx/internal/geom"
+)
+
+// rebuildCascadeSeq is the delta-debugged minimal insert sequence (144
+// points, B=4) that used to corrupt the tree: a leaf split inside
+// tsReorgChildren's overflow loop pushed the looping node's fanout to 2B,
+// and the old splitNode freed that node while the loop still held its id.
+// The freed control blocks were reallocated to record blocks whose headers
+// reinterpret as blob next-pointers, producing a cyclic chain that hung
+// readBlob. Extracted from the classindex property test (hierarchy seed
+// 348: a two-class chain, Y = path label).
+var rebuildCascadeSeq = []geom.Point{
+	{X: 70, Y: 1, ID: 0}, {X: 114, Y: 1, ID: 1}, {X: 0, Y: 1, ID: 2}, {X: 10, Y: 1, ID: 3},
+	{X: 101, Y: 1, ID: 4}, {X: 81, Y: 1, ID: 5}, {X: 24, Y: 2, ID: 6}, {X: 21, Y: 2, ID: 7},
+	{X: 6, Y: 2, ID: 8}, {X: 54, Y: 2, ID: 9}, {X: 107, Y: 2, ID: 10}, {X: 74, Y: 1, ID: 11},
+	{X: 116, Y: 1, ID: 12}, {X: 57, Y: 2, ID: 13}, {X: 74, Y: 1, ID: 14}, {X: 62, Y: 2, ID: 15},
+	{X: 32, Y: 1, ID: 16}, {X: 110, Y: 1, ID: 17}, {X: 57, Y: 1, ID: 18}, {X: 84, Y: 1, ID: 19},
+	{X: 75, Y: 2, ID: 20}, {X: 18, Y: 1, ID: 21}, {X: 4, Y: 1, ID: 22}, {X: 62, Y: 1, ID: 23},
+	{X: 11, Y: 2, ID: 24}, {X: 89, Y: 2, ID: 25}, {X: 68, Y: 1, ID: 26}, {X: 90, Y: 1, ID: 27},
+	{X: 30, Y: 2, ID: 28}, {X: 101, Y: 2, ID: 29}, {X: 78, Y: 2, ID: 30}, {X: 75, Y: 2, ID: 31},
+	{X: 115, Y: 1, ID: 32}, {X: 36, Y: 2, ID: 33}, {X: 13, Y: 1, ID: 34}, {X: 75, Y: 2, ID: 35},
+	{X: 10, Y: 2, ID: 36}, {X: 51, Y: 2, ID: 37}, {X: 12, Y: 1, ID: 38}, {X: 10, Y: 1, ID: 39},
+	{X: 49, Y: 2, ID: 40}, {X: 70, Y: 2, ID: 41}, {X: 115, Y: 2, ID: 42}, {X: 35, Y: 2, ID: 43},
+	{X: 65, Y: 1, ID: 44}, {X: 21, Y: 2, ID: 45}, {X: 23, Y: 1, ID: 46}, {X: 34, Y: 2, ID: 47},
+	{X: 92, Y: 1, ID: 48}, {X: 10, Y: 1, ID: 49}, {X: 52, Y: 2, ID: 50}, {X: 28, Y: 1, ID: 51},
+	{X: 0, Y: 2, ID: 52}, {X: 118, Y: 2, ID: 53}, {X: 39, Y: 2, ID: 54}, {X: 72, Y: 1, ID: 55},
+	{X: 79, Y: 2, ID: 56}, {X: 63, Y: 2, ID: 57}, {X: 40, Y: 2, ID: 58}, {X: 79, Y: 1, ID: 59},
+	{X: 50, Y: 2, ID: 60}, {X: 91, Y: 1, ID: 61}, {X: 41, Y: 2, ID: 62}, {X: 118, Y: 2, ID: 63},
+	{X: 65, Y: 1, ID: 64}, {X: 104, Y: 1, ID: 65}, {X: 26, Y: 1, ID: 66}, {X: 26, Y: 2, ID: 67},
+	{X: 93, Y: 2, ID: 68}, {X: 92, Y: 1, ID: 69}, {X: 118, Y: 2, ID: 70}, {X: 23, Y: 2, ID: 71},
+	{X: 119, Y: 1, ID: 72}, {X: 51, Y: 1, ID: 73}, {X: 49, Y: 2, ID: 74}, {X: 108, Y: 2, ID: 75},
+	{X: 87, Y: 1, ID: 77}, {X: 50, Y: 2, ID: 79}, {X: 103, Y: 2, ID: 80}, {X: 104, Y: 2, ID: 81},
+	{X: 94, Y: 2, ID: 82}, {X: 83, Y: 1, ID: 83}, {X: 111, Y: 1, ID: 84}, {X: 2, Y: 2, ID: 85},
+	{X: 49, Y: 2, ID: 90}, {X: 65, Y: 2, ID: 91}, {X: 56, Y: 2, ID: 92}, {X: 40, Y: 2, ID: 93},
+	{X: 78, Y: 1, ID: 94}, {X: 83, Y: 1, ID: 96}, {X: 70, Y: 2, ID: 97}, {X: 108, Y: 2, ID: 98},
+	{X: 76, Y: 2, ID: 99}, {X: 86, Y: 2, ID: 104}, {X: 97, Y: 2, ID: 105}, {X: 62, Y: 2, ID: 106},
+	{X: 7, Y: 2, ID: 110}, {X: 69, Y: 1, ID: 115}, {X: 24, Y: 2, ID: 116}, {X: 68, Y: 1, ID: 118},
+	{X: 115, Y: 2, ID: 119}, {X: 37, Y: 2, ID: 120}, {X: 20, Y: 2, ID: 123}, {X: 89, Y: 1, ID: 129},
+	{X: 115, Y: 2, ID: 130}, {X: 58, Y: 1, ID: 131}, {X: 53, Y: 1, ID: 138}, {X: 94, Y: 2, ID: 139},
+	{X: 72, Y: 2, ID: 140}, {X: 82, Y: 2, ID: 147}, {X: 80, Y: 2, ID: 148}, {X: 85, Y: 1, ID: 149},
+	{X: 72, Y: 2, ID: 150}, {X: 51, Y: 2, ID: 151}, {X: 99, Y: 2, ID: 165}, {X: 110, Y: 1, ID: 167},
+	{X: 90, Y: 1, ID: 171}, {X: 101, Y: 2, ID: 172}, {X: 78, Y: 2, ID: 173}, {X: 118, Y: 2, ID: 174},
+	{X: 1, Y: 2, ID: 175}, {X: 30, Y: 2, ID: 176}, {X: 112, Y: 2, ID: 177}, {X: 89, Y: 2, ID: 178},
+	{X: 30, Y: 1, ID: 180}, {X: 79, Y: 2, ID: 181}, {X: 118, Y: 2, ID: 182}, {X: 71, Y: 2, ID: 183},
+	{X: 82, Y: 2, ID: 184}, {X: 79, Y: 2, ID: 185}, {X: 66, Y: 2, ID: 186}, {X: 75, Y: 1, ID: 187},
+	{X: 18, Y: 1, ID: 188}, {X: 84, Y: 1, ID: 189}, {X: 1, Y: 2, ID: 190}, {X: 97, Y: 2, ID: 191},
+	{X: 41, Y: 1, ID: 192}, {X: 96, Y: 1, ID: 193}, {X: 31, Y: 2, ID: 194}, {X: 47, Y: 1, ID: 195},
+	{X: 83, Y: 2, ID: 196}, {X: 58, Y: 2, ID: 197}, {X: 62, Y: 2, ID: 198}, {X: 53, Y: 2, ID: 199},
+}
+
+// TestInsertRebuildCascadeRegression replays the minimized hang workload
+// and asserts full query correctness afterwards.
+func TestInsertRebuildCascadeRegression(t *testing.T) {
+	tr := New(Config{B: 4}, nil)
+	for _, p := range rebuildCascadeSeq {
+		tr.Insert(p)
+	}
+	if tr.Len() != len(rebuildCascadeSeq) {
+		t.Fatalf("Len=%d want %d", tr.Len(), len(rebuildCascadeSeq))
+	}
+	queries := []geom.ThreeSidedQuery{
+		{X1: 0, X2: 119, Y: 1}, {X1: 0, X2: 119, Y: 2}, {X1: 30, X2: 90, Y: 2},
+		{X1: 70, X2: 71, Y: 1}, {X1: 50, X2: 60, Y: 3},
+	}
+	for _, q := range queries {
+		var got []uint64
+		tr.Query(q, func(p geom.Point) bool {
+			got = append(got, p.ID)
+			return true
+		})
+		var want []uint64
+		for _, p := range rebuildCascadeSeq {
+			if p.X >= q.X1 && p.X <= q.X2 && p.Y >= q.Y {
+				want = append(want, p.ID)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("query %+v: got %d points, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %+v: id mismatch at %d: got %d want %d", q, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -232,10 +232,24 @@ func (t *Tree) writeBlob(data []byte) disk.BlockID {
 	return next
 }
 
+// chainGuard bounds a blob-chain walk: a chain of distinct blocks can
+// never be longer than the device's page array, so exceeding that proves a
+// cycle (block reuse corruption). Failing loudly here turns a would-be
+// infinite loop into a diagnosable panic. NumPages (not the Stats
+// counters) is the bound because ResetStats zeroes the counters.
+func (t *Tree) chainGuard(steps int) {
+	if steps > t.pager.NumPages() {
+		panic("threeside: blob chain exceeds device pages (cycle from block reuse corruption)")
+	}
+}
+
 func (t *Tree) readBlob(head disk.BlockID) []byte {
 	var out []byte
 	buf := make([]byte, t.cfg.PageSize())
+	steps := 0
 	for id := head; id != disk.NilBlock; {
+		steps++
+		t.chainGuard(steps)
 		t.pager.MustRead(id, buf)
 		next := disk.BlockID(int64(le64(buf)))
 		n := int(uint16(buf[8]) | uint16(buf[9])<<8)
@@ -247,7 +261,10 @@ func (t *Tree) readBlob(head disk.BlockID) []byte {
 
 func (t *Tree) freeBlob(head disk.BlockID) {
 	buf := make([]byte, t.cfg.PageSize())
+	steps := 0
 	for id := head; id != disk.NilBlock; {
+		steps++
+		t.chainGuard(steps)
 		t.pager.MustRead(id, buf)
 		next := disk.BlockID(int64(le64(buf)))
 		t.pager.MustFree(id)
@@ -262,6 +279,7 @@ func (t *Tree) rewriteBlob(old disk.BlockID, data []byte) disk.BlockID {
 	var ids []disk.BlockID
 	buf := make([]byte, t.cfg.PageSize())
 	for id := old; id != disk.NilBlock; {
+		t.chainGuard(len(ids) + 1)
 		t.pager.MustRead(id, buf)
 		ids = append(ids, id)
 		id = disk.BlockID(int64(le64(buf)))
