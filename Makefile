@@ -1,0 +1,42 @@
+# Developer entry points. CI runs `make ci`; `make bench` regenerates
+# BENCH_PR2.json from a fresh benchmark pass (diffed against the committed
+# pre-PR-2 baseline in bench-baseline-pr1.txt when present).
+
+GO ?= go
+
+# bash + pipefail so a benchmark panic mid-pipeline fails `make bench`
+# instead of writing a silently truncated BENCH_PR2.json.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: build test race bench experiments ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# One iteration per benchmark keeps the full sweep cheap; the hot query
+# benchmarks additionally get a steady-state pass (200 iterations, warm
+# decode frames and pools) because their allocs/op at one cold iteration
+# is dominated by first-use warmup. The steady pass is emitted second so
+# its lines win in the JSON. bench-baseline-pr1.txt holds the pre-PR-2
+# numbers, produced the same way.
+HOT_BENCHES := BenchmarkE1MetablockQuery|BenchmarkE5IntervalManagement$$|BenchmarkE5NaiveBaseline|BenchmarkE7ExternalPST|BenchmarkE8ThreeSidedMetablock
+BENCH_BASELINE := $(wildcard bench-baseline-pr1.txt)
+bench:
+	{ $(GO) test -run=NONE -bench=. -benchtime=1x -benchmem . ; \
+	  $(GO) test -run=NONE -bench='$(HOT_BENCHES)' -benchtime=200x -benchmem . ; } | \
+		tee bench-latest.txt | \
+		$(GO) run ./cmd/experiments -bench-json BENCH_PR2.json \
+			$(if $(BENCH_BASELINE),-bench-baseline $(BENCH_BASELINE))
+	@echo wrote BENCH_PR2.json
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+ci: build test race

@@ -34,6 +34,7 @@ const benchB = 32
 // BenchmarkE1MetablockQuery measures static diagonal-corner queries
 // (Theorem 3.2).
 func BenchmarkE1MetablockQuery(b *testing.B) {
+	b.ReportAllocs()
 	n := 100000
 	tr := core.New(core.Config{B: benchB}, workload.DiagonalPoints(1, n, int64(4*n)))
 	before := tr.Pager().Stats()
@@ -49,6 +50,7 @@ func BenchmarkE1MetablockQuery(b *testing.B) {
 // BenchmarkE2CornerStructure measures queries on a single-metablock tree,
 // dominated by the Lemma 3.1 corner structure.
 func BenchmarkE2CornerStructure(b *testing.B) {
+	b.ReportAllocs()
 	k := 2 * benchB * benchB
 	tr := core.New(core.Config{B: benchB}, workload.DiagonalPoints(2, k, int64(6*k)))
 	before := tr.Pager().Stats()
@@ -63,6 +65,7 @@ func BenchmarkE2CornerStructure(b *testing.B) {
 // BenchmarkE3MetablockInsert measures amortized semi-dynamic inserts
 // (Theorem 3.7).
 func BenchmarkE3MetablockInsert(b *testing.B) {
+	b.ReportAllocs()
 	tr := core.New(core.Config{B: benchB}, workload.DiagonalPoints(3, 50000, 1<<30))
 	extra := workload.DiagonalPoints(4, b.N, 1<<30)
 	before := tr.Pager().Stats()
@@ -76,6 +79,7 @@ func BenchmarkE3MetablockInsert(b *testing.B) {
 
 // BenchmarkE4LowerBoundAdversary measures the Proposition 3.3 workload.
 func BenchmarkE4LowerBoundAdversary(b *testing.B) {
+	b.ReportAllocs()
 	n := 100000
 	tr := core.New(core.Config{B: benchB}, workload.LowerBoundSet(n))
 	qs := workload.LowerBoundQueries(n)
@@ -91,6 +95,7 @@ func BenchmarkE4LowerBoundAdversary(b *testing.B) {
 // BenchmarkE5IntervalManagement measures stabbing queries through the
 // public interval manager (Proposition 2.2).
 func BenchmarkE5IntervalManagement(b *testing.B) {
+	b.ReportAllocs()
 	im := ccidx.NewIntervalManager(ccidx.Config{B: benchB},
 		workload.UniformIntervals(5, 100000, 1<<30, 2000))
 	before := im.Stats()
@@ -104,6 +109,7 @@ func BenchmarkE5IntervalManagement(b *testing.B) {
 
 // BenchmarkE5NaiveBaseline is the Theta(n/B) comparator for E5.
 func BenchmarkE5NaiveBaseline(b *testing.B) {
+	b.ReportAllocs()
 	nv := intervals.NewNaive(benchB)
 	for _, iv := range workload.UniformIntervals(5, 100000, 1<<30, 2000) {
 		nv.Insert(iv)
@@ -119,6 +125,7 @@ func BenchmarkE5NaiveBaseline(b *testing.B) {
 
 // BenchmarkE6ClassIndexSimple measures the Theorem 2.6 index.
 func BenchmarkE6ClassIndexSimple(b *testing.B) {
+	b.ReportAllocs()
 	h := workload.RandomHierarchy(6, 255)
 	idx := classindex.NewSimple(h, benchB)
 	for _, o := range workload.Objects(7, h, 50000, 1<<20) {
@@ -136,6 +143,7 @@ func BenchmarkE6ClassIndexSimple(b *testing.B) {
 
 // BenchmarkE7ExternalPST measures the Lemma 4.1 structure.
 func BenchmarkE7ExternalPST(b *testing.B) {
+	b.ReportAllocs()
 	tree := pst.Build(benchB, workload.UniformPoints(8, 100000, 1<<20))
 	before := tree.Pager().Stats()
 	b.ResetTimer()
@@ -150,6 +158,7 @@ func BenchmarkE7ExternalPST(b *testing.B) {
 
 // BenchmarkE8ThreeSidedMetablock measures the Lemma 4.3 structure.
 func BenchmarkE8ThreeSidedMetablock(b *testing.B) {
+	b.ReportAllocs()
 	tree := threeside.New(threeside.Config{B: benchB}, workload.UniformPoints(9, 100000, 1<<20))
 	before := tree.Pager().Stats()
 	b.ResetTimer()
@@ -164,6 +173,7 @@ func BenchmarkE8ThreeSidedMetablock(b *testing.B) {
 
 // BenchmarkE9ClassIndexFull measures the Theorem 4.7 index.
 func BenchmarkE9ClassIndexFull(b *testing.B) {
+	b.ReportAllocs()
 	h := workload.RandomHierarchy(10, 255)
 	idx := classindex.NewRakeContract(h, benchB)
 	for _, o := range workload.Objects(11, h, 50000, 1<<20) {
@@ -181,6 +191,7 @@ func BenchmarkE9ClassIndexFull(b *testing.B) {
 
 // BenchmarkE10Tessellation measures the Lemma 2.7 strategy evaluation.
 func BenchmarkE10Tessellation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, bb := range []int{16, 64} {
 			lowerbound.StrategyReports(4*bb, bb)
@@ -190,6 +201,7 @@ func BenchmarkE10Tessellation(b *testing.B) {
 
 // BenchmarkE11ClassLowerBound measures the Theorem 2.8 star instance.
 func BenchmarkE11ClassLowerBound(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		lowerbound.StrategyReports(64, 64)
 	}
@@ -197,6 +209,7 @@ func BenchmarkE11ClassLowerBound(b *testing.B) {
 
 // BenchmarkE12RectangleIntersection measures Example 2.1 end to end.
 func BenchmarkE12RectangleIntersection(b *testing.B) {
+	b.ReportAllocs()
 	pts := workload.UniformPoints(12, 300, 10000)
 	rects := make([]geom.Rect, len(pts))
 	for i, p := range pts {
@@ -210,6 +223,7 @@ func BenchmarkE12RectangleIntersection(b *testing.B) {
 
 // BenchmarkE13AblationNoTS quantifies the Type-IV amortization (E13).
 func BenchmarkE13AblationNoTS(b *testing.B) {
+	b.ReportAllocs()
 	n := 100000
 	pts := workload.DiagonalPoints(13, n, 1<<24)
 	for _, cfg := range []struct {
@@ -220,6 +234,7 @@ func BenchmarkE13AblationNoTS(b *testing.B) {
 		{"noTS", core.Config{B: benchB, DisableTS: true}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			tr := core.New(cfg.c, pts)
 			before := tr.Pager().Stats()
 			b.ResetTimer()
@@ -236,6 +251,7 @@ func BenchmarkE13AblationNoTS(b *testing.B) {
 // one metablock with mixed-height columns so that every vertical chunk
 // straddles the query line (the harness experiment's workload).
 func BenchmarkE14AblationNoCorner(b *testing.B) {
+	b.ReportAllocs()
 	n := benchB * benchB
 	pts := make([]geom.Point, n)
 	for i := range pts {
@@ -254,6 +270,7 @@ func BenchmarkE14AblationNoCorner(b *testing.B) {
 		{"noCorner", core.Config{B: benchB, DisableCorner: true}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			tr := core.New(cfg.c, pts)
 			before := tr.Pager().Stats()
 			b.ResetTimer()
@@ -269,6 +286,7 @@ func BenchmarkE14AblationNoCorner(b *testing.B) {
 // BenchmarkE15ClassStrategies compares every class-indexing strategy on the
 // same workload.
 func BenchmarkE15ClassStrategies(b *testing.B) {
+	b.ReportAllocs()
 	h := workload.RandomHierarchy(15, 255)
 	objs := workload.Objects(16, h, 30000, 1<<20)
 	si := classindex.NewSimple(h, benchB)
@@ -296,6 +314,7 @@ func BenchmarkE15ClassStrategies(b *testing.B) {
 	}
 	for _, s := range strategies {
 		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
 			before := s.ios()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -312,10 +331,12 @@ func BenchmarkE15ClassStrategies(b *testing.B) {
 // concurrent sharded serving layer per shard count (E16): range-partitioned
 // shards, 1 insert per 8 stabbing queries, parallel workers.
 func BenchmarkE16ShardScaling(b *testing.B) {
+	b.ReportAllocs()
 	const span = 1 << 20
 	base := workload.UniformIntervals(16, 100000, span, 4000)
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			s := ccidx.NewShardedIntervalManager(ccidx.ShardConfig{
 				Shards: shards, B: benchB, Batch: 16,
 				Partition: ccidx.PartitionRange, Span: span,
@@ -349,9 +370,11 @@ func BenchmarkE16ShardScaling(b *testing.B) {
 // group-commit batch size (E17); ios/op shows the amortized block I/O is
 // unchanged by batching.
 func BenchmarkE17BatchedInsert(b *testing.B) {
+	b.ReportAllocs()
 	const span = 1 << 20
 	for _, batch := range []int{1, 16, 256} {
 		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
 			s := ccidx.NewShardedIntervalManager(ccidx.ShardConfig{
 				Shards: 4, B: benchB, Batch: batch,
 				Partition: ccidx.PartitionRange, Span: span,
@@ -381,6 +404,7 @@ func BenchmarkE17BatchedInsert(b *testing.B) {
 // BenchmarkHarnessE1Table regenerates the E1 table (kept cheap by writing to
 // io.Discard); the other tables run through cmd/experiments.
 func BenchmarkHarnessE1Table(b *testing.B) {
+	b.ReportAllocs()
 	e, _ := harness.Lookup("E1")
 	for i := 0; i < b.N; i++ {
 		e.Run(io.Discard)
@@ -389,6 +413,7 @@ func BenchmarkHarnessE1Table(b *testing.B) {
 
 // BenchmarkCQLSatisfiability measures the exact-rational constraint solver.
 func BenchmarkCQLSatisfiability(b *testing.B) {
+	b.ReportAllocs()
 	c := cql.NewConj(4, 0,
 		cql.VarVar(0, cql.LE, 1), cql.VarVar(1, cql.LT, 2), cql.VarVar(2, cql.LE, 3),
 		cql.VarConst(0, cql.GE, big.NewRat(1, 3)), cql.VarConst(3, cql.LE, big.NewRat(7, 2)))

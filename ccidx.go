@@ -108,10 +108,16 @@ type ShardConfig struct {
 	// positive when that scheme is selected (construction panics
 	// otherwise, to surface the misconfiguration immediately).
 	Span int64
+	// PoolFrames sizes each shard's concurrent CLOCK buffer pool: reads
+	// that hit a memory-resident frame cost no device I/O, writes are
+	// written back on eviction or Flush. 0 selects the default
+	// (shard.DefaultPoolFrames); negative disables pooling, restoring the
+	// paper's bare every-access-is-an-I/O cost model.
+	PoolFrames int
 }
 
 func (c ShardConfig) internal() shard.Config {
-	return shard.Config{Shards: c.Shards, B: c.B, Batch: c.Batch, Partition: c.Partition, Span: c.Span}
+	return shard.Config{Shards: c.Shards, B: c.B, Batch: c.Batch, Partition: c.Partition, Span: c.Span, PoolFrames: c.PoolFrames}
 }
 
 // ShardedIntervalManager is a concurrency-safe interval manager: the
@@ -150,8 +156,13 @@ func (sm *ShardedIntervalManager) Intersect(q Interval, emit func(Interval) bool
 	sm.s.Intersect(q, intervals.EmitInterval(emit))
 }
 
-// Stats sums the I/O counters of all shard devices.
+// Stats sums the I/O counters of all shard devices (pool hits excluded:
+// the counters measure transfers that actually reached the devices).
 func (sm *ShardedIntervalManager) Stats() Stats { return sm.s.Stats() }
+
+// PoolStats sums the buffer-pool hit/miss counters across shards (zeros
+// when pooling is disabled).
+func (sm *ShardedIntervalManager) PoolStats() (hits, misses int64) { return sm.s.PoolStats() }
 
 // SpaceBlocks sums the live pages across all shard devices.
 func (sm *ShardedIntervalManager) SpaceBlocks() int64 { return sm.s.SpaceBlocks() }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark JSON emission: `go test -bench -benchmem` text in, a stable
+// machine-readable file out, so CI and BENCH_PR2.json don't depend on
+// scraping Go's human-oriented format downstream.
+
+// benchResult is one parsed benchmark line. Metrics maps unit -> value for
+// every "<value> <unit>" pair on the line (ns/op, ios/op, B/op, allocs/op,
+// and any custom b.ReportMetric unit).
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// benchFile is the emitted document. Before is present only when a
+// baseline file was supplied; Delta then holds after/before ratios per
+// shared metric (a ratio of 0.1 means 10x lower than the baseline).
+type benchFile struct {
+	Schema string                        `json:"schema"`
+	Before map[string]benchResult        `json:"before,omitempty"`
+	After  map[string]benchResult        `json:"after"`
+	Delta  map[string]map[string]float64 `json:"delta_after_over_before,omitempty"`
+}
+
+// stripProcs removes Go's trailing GOMAXPROCS suffix ("-8") from a
+// benchmark name so runs from machines with different core counts key
+// identically (a 1-core run emits no suffix at all).
+func stripProcs(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// parseBench scans `go test -bench` output, collecting Benchmark lines.
+func parseBench(r io.Reader) (map[string]benchResult, error) {
+	out := map[string]benchResult{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := benchResult{Name: stripProcs(fields[0]), Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		out[res.Name] = res
+	}
+	return out, sc.Err()
+}
+
+// writeBenchJSON parses the current run from stdin (and optionally a saved
+// baseline run from baselinePath) and writes the JSON document to outPath.
+func writeBenchJSON(outPath, baselinePath string) error {
+	after, err := parseBench(os.Stdin)
+	if err != nil {
+		return fmt.Errorf("parsing bench output from stdin: %w", err)
+	}
+	if len(after) == 0 {
+		return fmt.Errorf("no Benchmark lines found on stdin (pipe `go test -bench` output in)")
+	}
+	doc := benchFile{Schema: "ccidx-bench/v1", After: after}
+
+	if baselinePath != "" {
+		f, err := os.Open(baselinePath)
+		if err != nil {
+			return err
+		}
+		before, err := parseBench(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+		}
+		doc.Before = before
+		doc.Delta = map[string]map[string]float64{}
+		names := make([]string, 0, len(after))
+		for name := range after {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			b, ok := before[name]
+			if !ok {
+				continue
+			}
+			d := map[string]float64{}
+			for unit, av := range after[name].Metrics {
+				if bv, ok := b.Metrics[unit]; ok && bv != 0 {
+					d[unit] = av / bv
+				}
+			}
+			if len(d) > 0 {
+				doc.Delta[name] = d
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(outPath, data, 0o644)
+}

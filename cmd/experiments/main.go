@@ -9,6 +9,13 @@
 //	experiments -list              # list experiment ids
 //	experiments -run E16 -shards 1,2,4,8,16   # override the E16 shard sweep
 //	experiments -run E17 -batch 1,64,1024     # override the E17 batch sweep
+//
+// Benchmark JSON mode (the `make bench` target): parse `go test -bench`
+// output from stdin into machine-readable JSON, optionally diffed against
+// a saved baseline run:
+//
+//	go test -run=NONE -bench=. -benchtime=1x -benchmem . |
+//	    experiments -bench-json BENCH_PR2.json -bench-baseline old-bench.txt
 package main
 
 import (
@@ -26,7 +33,17 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	shards := flag.String("shards", "", "comma-separated shard counts for E16 (default 1,2,4,8)")
 	batch := flag.String("batch", "", "comma-separated group-commit batch sizes for E17 (default 1,16,256)")
+	benchJSON := flag.String("bench-json", "", "parse `go test -bench` output from stdin and write JSON to this file")
+	benchBaseline := flag.String("bench-baseline", "", "optional saved bench output to embed as the before side")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *benchBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *shards != "" {
 		harness.ShardCounts = parseIntList(*shards, "-shards")

@@ -53,15 +53,23 @@ const (
 	childSize      = 8
 )
 
-// Tree is an external B+-tree. Not safe for concurrent use.
+// Tree is an external B+-tree.
+//
+// Concurrency: mutations (Insert, Delete, BulkLoad) require external
+// serialization; queries (Contains, Range, All) may run concurrently with
+// each other — they only read pages through borrowed views.
 type Tree struct {
 	pager    *disk.Pager
-	b        int // max entries per leaf
-	maxSeps  int // max separators per internal node (fanout-1)
+	dev      disk.Device // page I/O surface; the pager, or a pool over it
+	b        int         // max entries per leaf
+	maxSeps  int         // max separators per internal node (fanout-1)
 	root     disk.BlockID
 	height   int // number of levels; 1 = root is a leaf
 	n        int // total entries
 	pageSize int
+
+	// wbuf is the reusable page-encode scratch (mutate paths only).
+	wbuf []byte
 }
 
 // PageSize returns the page size in bytes used for leaf capacity b.
@@ -85,6 +93,7 @@ func New(b int) *Tree {
 		maxSeps:  (ps - internalHeader - childSize) / (sepSize + childSize),
 		pageSize: ps,
 	}
+	t.dev = t.pager
 	root := &node{leaf: true}
 	t.root = t.writeNode(disk.NilBlock, root)
 	t.height = 1
@@ -93,6 +102,10 @@ func New(b int) *Tree {
 
 // Pager exposes the underlying device for I/O accounting.
 func (t *Tree) Pager() *disk.Pager { return t.pager }
+
+// SetDevice routes all page I/O through d — typically a *disk.Pool over
+// Pager(). Call before sharing the tree between goroutines.
+func (t *Tree) SetDevice(d disk.Device) { t.dev = d }
 
 // Len returns the number of entries.
 func (t *Tree) Len() int { return t.n }
@@ -115,9 +128,10 @@ type node struct {
 }
 
 func (t *Tree) readNode(id disk.BlockID) *node {
-	buf := make([]byte, t.pageSize)
-	t.pager.MustRead(id, buf)
-	return decodeNode(buf)
+	view := disk.MustView(t.dev, id)
+	nd := decodeNode(view)
+	t.dev.Release(id)
+	return nd
 }
 
 func decodeNode(buf []byte) *node {
@@ -176,9 +190,14 @@ func putLE64(b []byte, v uint64) {
 // It returns the page id used.
 func (t *Tree) writeNode(id disk.BlockID, nd *node) disk.BlockID {
 	if id == disk.NilBlock {
-		id = t.pager.Alloc()
+		id = t.dev.Alloc()
 	}
-	buf := make([]byte, t.pageSize)
+	if t.wbuf == nil {
+		t.wbuf = make([]byte, t.pageSize)
+	} else {
+		clear(t.wbuf)
+	}
+	buf := t.wbuf
 	if nd.leaf {
 		buf[0] = kindLeaf
 		cnt := len(nd.entries)
@@ -208,7 +227,7 @@ func (t *Tree) writeNode(id disk.BlockID, nd *node) disk.BlockID {
 			off += childSize
 		}
 	}
-	t.pager.MustWrite(id, buf)
+	disk.MustWriteAt(t.dev, id, buf)
 	return id
 }
 
@@ -337,7 +356,7 @@ func (t *Tree) Delete(key int64, rid uint64) bool {
 		if !nd.leaf && len(nd.seps) == 0 {
 			old := t.root
 			t.root = nd.children[0]
-			t.pager.MustFree(old)
+			disk.MustFreeAt(t.dev, old)
 			t.height--
 		}
 	}
@@ -388,7 +407,7 @@ func (t *Tree) rebalance(id disk.BlockID, nd *node, ci int) {
 		}
 		t.merge(nd, ci-1, left, child)
 		t.writeNode(leftID, left)
-		t.pager.MustFree(childID)
+		disk.MustFreeAt(t.dev, childID)
 		t.writeNode(id, nd)
 		return
 	}
@@ -403,7 +422,7 @@ func (t *Tree) rebalance(id disk.BlockID, nd *node, ci int) {
 	}
 	t.merge(nd, ci, child, right)
 	t.writeNode(childID, child)
-	t.pager.MustFree(rightID)
+	disk.MustFreeAt(t.dev, rightID)
 	t.writeNode(id, nd)
 }
 
@@ -465,51 +484,95 @@ func (t *Tree) merge(parent *node, ci int, left, right *node) {
 	parent.children = append(parent.children[:ci+1], parent.children[ci+2:]...)
 }
 
-// Contains reports whether (key, rid) is present, in O(log_B n) I/Os.
+// viewSep decodes separator i of an internal-node view.
+func viewSep(view []byte, i int) Entry {
+	off := internalHeader + i*sepSize
+	return Entry{Key: int64(le64(view[off:])), RID: le64(view[off+8:])}
+}
+
+// viewChild decodes child pointer i of an internal-node view with cnt
+// separators.
+func viewChild(view []byte, cnt, i int) disk.BlockID {
+	off := internalHeader + cnt*sepSize + i*childSize
+	return disk.BlockID(int64(le64(view[off:])))
+}
+
+// descendTo walks from the root to the leaf that would hold e, reading
+// each of the height-1 internal nodes through a borrowed view (one I/O
+// apiece, exactly like the decoded descent), and returns the leaf id
+// unread so the caller pays the leaf's single I/O itself.
+func (t *Tree) descendTo(e Entry) disk.BlockID {
+	id := t.root
+	for level := 1; level < t.height; level++ {
+		view := disk.MustView(t.dev, id)
+		cnt := int(uint16(view[1]) | uint16(view[2])<<8)
+		// childIndex, inlined over the view.
+		lo, hi := 0, cnt
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if Less(e, viewSep(view, mid)) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		next := viewChild(view, cnt, lo)
+		t.dev.Release(id)
+		id = next
+	}
+	return id
+}
+
+// Contains reports whether (key, rid) is present, in O(log_B n) I/Os and
+// without allocating.
 func (t *Tree) Contains(key int64, rid uint64) bool {
 	e := Entry{Key: key, RID: rid}
-	id := t.root
-	for {
-		nd := t.readNode(id)
-		if nd.leaf {
-			pos := lowerBound(nd.entries, e)
-			return pos < len(nd.entries) && sameKR(nd.entries[pos], e)
+	id := t.descendTo(e)
+	view := disk.MustView(t.dev, id)
+	cnt := int(uint16(view[1]) | uint16(view[2])<<8)
+	found := false
+	for i, off := 0, leafHeader; i < cnt; i, off = i+1, off+entrySize {
+		k := int64(le64(view[off:]))
+		r := le64(view[off+8:])
+		if k > key || (k == key && r >= rid) {
+			found = k == key && r == rid
+			break
 		}
-		id = nd.children[childIndex(nd.seps, e)]
 	}
+	t.dev.Release(id)
+	return found
 }
 
 // Range reports every entry with lo <= key <= hi in (key, rid) order,
 // in O(log_B n + t/B) I/Os. Enumeration stops early if emit returns false.
+// Leaves are streamed through borrowed views, so the scan allocates
+// nothing regardless of result size.
 func (t *Tree) Range(lo, hi int64, emit func(Entry) bool) {
 	if lo > hi {
 		return
 	}
-	start := Entry{Key: lo, RID: 0}
-	id := t.root
-	for {
-		nd := t.readNode(id)
-		if nd.leaf {
-			for {
-				for _, e := range nd.entries {
-					if e.Key < lo {
-						continue
-					}
-					if e.Key > hi {
-						return
-					}
-					if !emit(e) {
-						return
-					}
-				}
-				if nd.next == disk.NilBlock {
-					return
-				}
-				id = nd.next
-				nd = t.readNode(id)
+	id := t.descendTo(Entry{Key: lo, RID: 0})
+	for id != disk.NilBlock {
+		view := disk.MustView(t.dev, id)
+		cnt := int(uint16(view[1]) | uint16(view[2])<<8)
+		next := disk.BlockID(int64(le64(view[3:])))
+		for i, off := 0, leafHeader; i < cnt; i, off = i+1, off+entrySize {
+			key := int64(le64(view[off:]))
+			if key < lo {
+				continue
+			}
+			if key > hi {
+				t.dev.Release(id)
+				return
+			}
+			e := Entry{Key: key, RID: le64(view[off+8:]), Val: le64(view[off+16:])}
+			if !emit(e) {
+				t.dev.Release(id)
+				return
 			}
 		}
-		id = nd.children[childIndex(nd.seps, start)]
+		t.dev.Release(id)
+		id = next
 	}
 }
 
@@ -582,7 +645,7 @@ func BulkLoad(b int, entries []Entry) *Tree {
 		prevLeaf, prevNode = id, leaf
 		level = append(level, built{id: id, first: leaf.entries[0]})
 	}
-	t.pager.MustFree(t.root)
+	disk.MustFreeAt(t.dev, t.root)
 	t.height = 1
 	for len(level) > 1 {
 		var next []built

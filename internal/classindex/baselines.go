@@ -15,6 +15,7 @@ type FullExtentIndex struct {
 	h     *Hierarchy
 	trees []*bptree.Tree
 	n     int
+	pools []*disk.Pool // attached buffer pools (nil without AttachPool)
 }
 
 // NewFullExtent builds the index for a frozen hierarchy.

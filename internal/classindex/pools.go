@@ -1,0 +1,94 @@
+package classindex
+
+import "ccidx/internal/disk"
+
+// Buffer-pool attachment for the class-index strategies the sharded
+// serving layer hosts. Each strategy is a forest of external trees, each
+// with its own simulated device; AttachPool divides a frame budget across
+// them so concurrent full-extent queries hit memory-resident frames
+// instead of re-reading the devices. Frames are allocated lazily by the
+// pools, so small per-tree budgets cost nothing until a tree is touched.
+
+// pooledTree is any index tree that can route its page I/O through a
+// disk.Device (bptree.Tree and threeside.Tree both qualify).
+type pooledTree interface {
+	Pager() *disk.Pager
+	SetDevice(disk.Device)
+}
+
+// attachPools wraps trees' devices in concurrent CLOCK pools, dividing
+// the frame budget across them without exceeding it: every pooled tree
+// gets at least two frames, and when the budget cannot cover all trees at
+// that floor, only the first frames/2 trees are pooled and the rest keep
+// reading their bare pagers (for SimpleIndex the slice is in preorder, so
+// the root-side trees — the ones every query touches — are pooled first).
+func attachPools(frames, nShards int, trees []pooledTree) []*disk.Pool {
+	if len(trees) == 0 || frames < 2 {
+		return nil
+	}
+	per := frames / len(trees)
+	n := len(trees)
+	if per < 2 {
+		per = 2
+		n = frames / 2
+	}
+	pools := make([]*disk.Pool, 0, n)
+	for _, t := range trees[:n] {
+		p := disk.NewPool(t.Pager(), per, nShards)
+		t.SetDevice(p)
+		pools = append(pools, p)
+	}
+	return pools
+}
+
+func flushPools(pools []*disk.Pool) {
+	for _, p := range pools {
+		if err := p.Flush(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// AttachPool layers concurrent buffer pools over every segment tree of the
+// simple index, dividing frames across them. Call before sharing the index
+// between goroutines.
+func (s *SimpleIndex) AttachPool(frames, nShards int) {
+	trees := make([]pooledTree, len(s.nodes))
+	for i := range s.nodes {
+		trees[i] = s.nodes[i].tree
+	}
+	s.pools = attachPools(frames, nShards, trees)
+}
+
+// FlushPool writes dirty pooled frames back to the devices.
+func (s *SimpleIndex) FlushPool() { flushPools(s.pools) }
+
+// AttachPool layers concurrent buffer pools over every per-class extent
+// tree of the full-extent index.
+func (f *FullExtentIndex) AttachPool(frames, nShards int) {
+	trees := make([]pooledTree, len(f.trees))
+	for i := range f.trees {
+		trees[i] = f.trees[i]
+	}
+	f.pools = attachPools(frames, nShards, trees)
+}
+
+// FlushPool writes dirty pooled frames back to the devices.
+func (f *FullExtentIndex) FlushPool() { flushPools(f.pools) }
+
+// AttachPool layers concurrent buffer pools over every rake (B+-tree) and
+// contract (3-sided) structure of the rake-and-contract index.
+func (rc *RakeContract) AttachPool(frames, nShards int) {
+	trees := make([]pooledTree, 0, len(rc.structs))
+	for _, st := range rc.structs {
+		if st.bt != nil {
+			trees = append(trees, st.bt)
+		} else {
+			trees = append(trees, st.ts)
+		}
+	}
+	rc.pools = attachPools(frames, nShards, trees)
+}
+
+// FlushPool writes dirty pooled frames back to the devices.
+func (rc *RakeContract) FlushPool() { flushPools(rc.pools) }

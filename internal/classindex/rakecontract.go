@@ -44,8 +44,9 @@ type RakeContract struct {
 	// absorbing ancestors.
 	plan [][]rcTarget
 	// home[c] is plan[c][0], used to answer queries on c.
-	home []rcTarget
-	n    int
+	home  []rcTarget
+	n     int
+	pools []*disk.Pool // attached buffer pools (nil without AttachPool)
 }
 
 type rcStructure struct {

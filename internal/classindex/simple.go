@@ -20,6 +20,7 @@ type SimpleIndex struct {
 	b     int
 	nodes []segNode // nodes[0] is the root (c > 0)
 	n     int
+	pools []*disk.Pool // attached buffer pools (nil without AttachPool)
 }
 
 type segNode struct {

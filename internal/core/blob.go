@@ -34,39 +34,45 @@ func (t *Tree) writeBlob(data []byte) disk.BlockID {
 			hi = len(data)
 		}
 		chunk := data[lo:hi]
-		buf := make([]byte, t.cfg.PageSize())
+		buf := t.wpage()
 		putLE64(buf, uint64(int64(next)))
 		buf[8] = byte(len(chunk))
 		buf[9] = byte(len(chunk) >> 8)
 		copy(buf[blobHeader:], chunk)
-		id := t.pager.Alloc()
-		t.pager.MustWrite(id, buf)
+		id := t.dev.Alloc()
+		disk.MustWriteAt(t.dev, id, buf)
 		next = id
 	}
 	return next
 }
 
-// readBlob reads a page chain back into a byte slice.
-func (t *Tree) readBlob(head disk.BlockID) []byte {
-	var out []byte
-	buf := make([]byte, t.cfg.PageSize())
+// appendBlob reads a page chain through zero-copy views, appending the
+// payload to dst (reusing its capacity) and returning the result. Each
+// chain page costs one I/O, exactly as before.
+func (t *Tree) appendBlob(dst []byte, head disk.BlockID) []byte {
 	for id := head; id != disk.NilBlock; {
-		t.pager.MustRead(id, buf)
-		next := disk.BlockID(int64(le64(buf)))
-		n := int(uint16(buf[8]) | uint16(buf[9])<<8)
-		out = append(out, buf[blobHeader:blobHeader+n]...)
+		view := disk.MustView(t.dev, id)
+		next := disk.BlockID(int64(le64(view)))
+		n := int(uint16(view[8]) | uint16(view[9])<<8)
+		dst = append(dst, view[blobHeader:blobHeader+n]...)
+		t.dev.Release(id)
 		id = next
 	}
-	return out
+	return dst
+}
+
+// readBlob reads a page chain back into a fresh byte slice.
+func (t *Tree) readBlob(head disk.BlockID) []byte {
+	return t.appendBlob(nil, head)
 }
 
 // freeBlob releases a page chain.
 func (t *Tree) freeBlob(head disk.BlockID) {
-	buf := make([]byte, t.cfg.PageSize())
 	for id := head; id != disk.NilBlock; {
-		t.pager.MustRead(id, buf)
-		next := disk.BlockID(int64(le64(buf)))
-		t.pager.MustFree(id)
+		view := disk.MustView(t.dev, id)
+		next := disk.BlockID(int64(le64(view)))
+		t.dev.Release(id)
+		disk.MustFreeAt(t.dev, id)
 		id = next
 	}
 }
@@ -80,11 +86,12 @@ func (t *Tree) rewriteBlob(old disk.BlockID, data []byte) disk.BlockID {
 	}
 	// Collect the existing chain ids.
 	var ids []disk.BlockID
-	buf := make([]byte, t.cfg.PageSize())
 	for id := old; id != disk.NilBlock; {
-		t.pager.MustRead(id, buf)
+		view := disk.MustView(t.dev, id)
 		ids = append(ids, id)
-		id = disk.BlockID(int64(le64(buf)))
+		next := disk.BlockID(int64(le64(view)))
+		t.dev.Release(id)
+		id = next
 	}
 	capPerPage := t.blobCapacity()
 	need := (len(data) + capPerPage - 1) / capPerPage
@@ -92,10 +99,10 @@ func (t *Tree) rewriteBlob(old disk.BlockID, data []byte) disk.BlockID {
 		need = 1
 	}
 	for len(ids) < need {
-		ids = append(ids, t.pager.Alloc())
+		ids = append(ids, t.dev.Alloc())
 	}
 	for len(ids) > need {
-		t.pager.MustFree(ids[len(ids)-1])
+		disk.MustFreeAt(t.dev, ids[len(ids)-1])
 		ids = ids[:len(ids)-1]
 	}
 	for i := 0; i < need; i++ {
@@ -105,7 +112,7 @@ func (t *Tree) rewriteBlob(old disk.BlockID, data []byte) disk.BlockID {
 			hi = len(data)
 		}
 		chunk := data[lo:hi]
-		page := make([]byte, t.cfg.PageSize())
+		page := t.wpage()
 		var next disk.BlockID = disk.NilBlock
 		if i+1 < need {
 			next = ids[i+1]
@@ -114,7 +121,7 @@ func (t *Tree) rewriteBlob(old disk.BlockID, data []byte) disk.BlockID {
 		page[8] = byte(len(chunk))
 		page[9] = byte(len(chunk) >> 8)
 		copy(page[blobHeader:], chunk)
-		t.pager.MustWrite(ids[i], page)
+		disk.MustWriteAt(t.dev, ids[i], page)
 	}
 	return ids[0]
 }

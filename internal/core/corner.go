@@ -164,16 +164,18 @@ func (t *Tree) queryCorner(c *cornerIdx, a int64, emit func(rec) bool) bool {
 		// a lies left of every star: only the leftmost vertical block can
 		// contain answers (the leftmost boundary is always a star, so every
 		// other block starts at or right of it).
+		inQuery := func(r rec) bool {
+			if r.pt.X <= a && r.pt.Y >= a {
+				return emit(r)
+			}
+			return true
+		}
 		for _, vb := range c.vblocks {
 			if vb.minX > a {
 				break
 			}
-			for _, r := range t.readRecBlock(vb.id) {
-				if r.pt.X <= a && r.pt.Y >= a {
-					if !emit(r) {
-						return false
-					}
-				}
+			if !t.scanRecs(vb.id, inQuery) {
+				return false
 			}
 		}
 		return true
@@ -182,16 +184,18 @@ func (t *Tree) queryCorner(c *cornerIdx, a int64, emit func(rec) bool) bool {
 	s := star.value
 
 	// Stage one: answers with x <= s, read from S*(s) top-down.
+	aboveA := func(r rec) bool {
+		if r.pt.Y >= a {
+			return emit(r)
+		}
+		return true
+	}
 	for _, hb := range star.blocks {
 		if hb.maxY < a {
 			break
 		}
-		for _, r := range t.readRecBlock(hb.id) {
-			if r.pt.Y >= a {
-				if !emit(r) {
-					return false
-				}
-			}
+		if !t.scanRecs(hb.id, aboveA) {
+			return false
 		}
 		if hb.minY < a {
 			break
@@ -199,6 +203,12 @@ func (t *Tree) queryCorner(c *cornerIdx, a int64, emit func(rec) bool) bool {
 	}
 
 	// Stage two: answers with s < x <= a, from the vertical blocking.
+	inStrip := func(r rec) bool {
+		if r.pt.X > s && r.pt.X <= a && r.pt.Y >= a {
+			return emit(r)
+		}
+		return true
+	}
 	start := sort.Search(len(c.vblocks), func(i int) bool { return c.vblocks[i].minX >= s })
 	for i := start; i < len(c.vblocks); i++ {
 		vb := c.vblocks[i]
@@ -208,12 +218,8 @@ func (t *Tree) queryCorner(c *cornerIdx, a int64, emit func(rec) bool) bool {
 		if vb.maxX <= s {
 			continue // entirely covered by stage one
 		}
-		for _, r := range t.readRecBlock(vb.id) {
-			if r.pt.X > s && r.pt.X <= a && r.pt.Y >= a {
-				if !emit(r) {
-					return false
-				}
-			}
+		if !t.scanRecs(vb.id, inStrip) {
+			return false
 		}
 	}
 	return true

@@ -282,9 +282,146 @@ func (t *Tree) decodeCtrl(data []byte) *metaCtrl {
 	return m
 }
 
-// loadCtrl reads and decodes a metablock's control blob.
+// loadCtrl reads and decodes a metablock's control blob into fresh
+// allocations; mutate paths use it because they keep several decoded ctrls
+// alive across arbitrary restructuring. Query paths use loadCtrlFrame.
 func (t *Tree) loadCtrl(id disk.BlockID) *metaCtrl {
 	return t.decodeCtrl(t.readBlob(id))
+}
+
+// --- reusable query-path decode frames --------------------------------------
+
+// ctrlFrame is a recyclable decode target for query-path metablock loads:
+// the blob scratch, the decoded control struct with all its nested slices,
+// and the per-node child-classification scratch live here, so a
+// steady-state query allocates nothing per metablock visited. Frames come
+// from the tree's sync.Pool (concurrent queries each get their own) and are
+// only valid between getFrame and putFrame.
+type ctrlFrame struct {
+	m        metaCtrl
+	corner   cornerIdx
+	td       tdInfo
+	tdCorner cornerIdx
+	blob     []byte
+
+	// processChildren scratch (per visited node, alive across recursion
+	// into children, hence frame-resident rather than shared).
+	classes   []childClass
+	direct    []bool
+	tsCovered []bool
+}
+
+func (t *Tree) getFrame() *ctrlFrame {
+	if f, ok := t.frames.Get().(*ctrlFrame); ok {
+		return f
+	}
+	return &ctrlFrame{}
+}
+
+func (t *Tree) putFrame(f *ctrlFrame) { t.frames.Put(f) }
+
+// loadCtrlFrame reads and decodes a metablock's control blob into f,
+// reusing every slice capacity the frame already owns. I/O cost is
+// identical to loadCtrl: one read per blob chain page.
+func (t *Tree) loadCtrlFrame(id disk.BlockID, f *ctrlFrame) *metaCtrl {
+	f.blob = t.appendBlob(f.blob[:0], id)
+	t.decodeCtrlInto(f.blob, f)
+	return &f.m
+}
+
+// chunksFor returns dst resized to n elements, reusing capacity.
+func chunksFor(dst []chunkRef, n int) []chunkRef {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]chunkRef, n)
+}
+
+func decChunksInto(d *decoder, dst []chunkRef) []chunkRef {
+	n := int(d.u16())
+	dst = chunksFor(dst, n)
+	for i := range dst {
+		dst[i].id = disk.BlockID(d.i64())
+		dst[i].n = int(d.u16())
+		dst[i].minX = d.i64()
+		dst[i].maxX = d.i64()
+		dst[i].minY = d.i64()
+		dst[i].maxY = d.i64()
+	}
+	return dst
+}
+
+// decCornerInto decodes a present corner structure into c, reusing the
+// star entries' nested block slices where capacities allow.
+func decCornerInto(d *decoder, c *cornerIdx) {
+	c.vblocks = decChunksInto(d, c.vblocks)
+	ns := int(d.u16())
+	if cap(c.stars) >= ns {
+		c.stars = c.stars[:ns]
+	} else {
+		// Keep the existing entries (their blocks capacities survive) and
+		// extend; the fresh tail entries warm up over the first few queries.
+		c.stars = append(c.stars[:cap(c.stars)], make([]starEntry, ns-cap(c.stars))...)
+	}
+	for i := range c.stars {
+		c.stars[i].value = d.i64()
+		c.stars[i].count = int(d.u32())
+		c.stars[i].blocks = decChunksInto(d, c.stars[i].blocks)
+	}
+}
+
+// decodeCtrlInto is decodeCtrl decoding into a reusable frame.
+func (t *Tree) decodeCtrlInto(data []byte, f *ctrlFrame) {
+	d := &decoder{b: data}
+	m := &f.m
+	m.count = int(d.u32())
+	m.bb = decBBox(d)
+	m.vblocks = decChunksInto(d, m.vblocks)
+	m.hblocks = decChunksInto(d, m.hblocks)
+	if d.u8() == 1 {
+		decCornerInto(d, &f.corner)
+		m.corner = &f.corner
+	} else {
+		m.corner = nil
+	}
+
+	nc := int(d.u16())
+	if cap(m.children) >= nc {
+		m.children = m.children[:nc]
+	} else {
+		m.children = make([]childRef, nc)
+	}
+	for i := range m.children {
+		m.children[i].ctrl = disk.BlockID(d.i64())
+		m.children[i].xlo = d.i64()
+		m.children[i].xhi = d.i64()
+		m.children[i].bb = decBBox(d)
+		m.children[i].storedCount = int(d.u32())
+		m.children[i].subtreeCount = d.i64()
+	}
+
+	m.ts.blocks = decChunksInto(d, m.ts.blocks)
+	m.ts.count = int(d.u32())
+	m.ts.bottomY = d.i64()
+
+	m.upd.id = disk.BlockID(d.i64())
+	m.upd.count = int(d.u16())
+
+	if d.u8() == 1 {
+		f.td.entryBlocks = decChunksInto(d, f.td.entryBlocks)
+		f.td.count = int(d.u32())
+		if d.u8() == 1 {
+			decCornerInto(d, &f.tdCorner)
+			f.td.corner = &f.tdCorner
+		} else {
+			f.td.corner = nil
+		}
+		f.td.upd.id = disk.BlockID(d.i64())
+		f.td.upd.count = int(d.u16())
+		m.td = &f.td
+	} else {
+		m.td = nil
+	}
 }
 
 // storeCtrl writes m's control blob, preserving the head id; when id is
@@ -300,6 +437,16 @@ func (t *Tree) updRecs(u updInfo) []rec {
 	}
 	rs := t.readRecBlock(u.id)
 	return rs
+}
+
+// scanUpd streams an update block's buffered records without allocating
+// (no I/O when the block is absent or empty, exactly like updRecs).
+// Returns false if fn stopped the scan.
+func (t *Tree) scanUpd(u updInfo, fn func(rec) bool) bool {
+	if u.id == disk.NilBlock || u.count == 0 {
+		return true
+	}
+	return t.scanRecs(u.id, fn)
 }
 
 // updPointsOnly reads an update block's buffered points.

@@ -124,7 +124,7 @@ func chooseChild(children []childRef, x int64) int {
 // appendUpd appends r to an update block, allocating it on first use.
 func (t *Tree) appendUpd(u *updInfo, r rec) {
 	if u.id == disk.NilBlock {
-		u.id = t.pager.Alloc()
+		u.id = t.dev.Alloc()
 		t.putRecBlock(u.id, []rec{r})
 		u.count = 1
 		return
@@ -267,7 +267,7 @@ func (t *Tree) discardTD(pm *metaCtrl) {
 	t.freeChunks(td.entryBlocks)
 	t.freeCorner(td.corner)
 	if td.upd.id != disk.NilBlock {
-		t.pager.MustFree(td.upd.id)
+		disk.MustFreeAt(t.dev, td.upd.id)
 	}
 	pm.td = &tdInfo{}
 }
@@ -504,13 +504,13 @@ func (t *Tree) freeMetablock(id disk.BlockID, m *metaCtrl) {
 	t.freeStoredOrgs(m)
 	t.freeChunks(m.ts.blocks)
 	if m.upd.id != disk.NilBlock {
-		t.pager.MustFree(m.upd.id)
+		disk.MustFreeAt(t.dev, m.upd.id)
 	}
 	if m.td != nil {
 		t.freeChunks(m.td.entryBlocks)
 		t.freeCorner(m.td.corner)
 		if m.td.upd.id != disk.NilBlock {
-			t.pager.MustFree(m.td.upd.id)
+			disk.MustFreeAt(t.dev, m.td.upd.id)
 		}
 	}
 	t.freeBlob(id)

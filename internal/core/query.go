@@ -33,16 +33,27 @@ import (
 // DiagonalQuery reports every stored point p with p.X <= a and p.Y >= a.
 // Enumeration stops early if emit returns false.
 // Cost: O(log_B n + t/B) I/Os (Theorem 3.2 / Lemma 3.5).
+//
+// The query path reads pages exclusively through zero-copy views and
+// decodes control blobs into recycled frames, so a steady-state query
+// performs only a handful of small allocations regardless of answer size.
 func (t *Tree) DiagonalQuery(a int64, emit geom.Emit) {
 	st := &qstate{a: a, emit: emit}
-	m := t.loadCtrl(t.root)
-	// The root's update block has no parent TD to report it.
-	for _, r := range t.updRecs(m.upd) {
-		if !st.offer(r.pt) {
-			return
+	st.offerFn = st.offer
+	st.offerRec = func(r rec) bool { return st.offer(r.pt) }
+	st.offerYFn = func(p geom.Point) bool {
+		if p.Y >= st.a {
+			return st.offer(p)
 		}
+		return true
 	}
-	t.visitLoaded(t.root, m, st, true)
+	f := t.getFrame()
+	m := t.loadCtrlFrame(t.root, f)
+	// The root's update block has no parent TD to report it.
+	if t.scanUpd(m.upd, st.offerRec) {
+		t.visitLoaded(f, st, true)
+	}
+	t.putFrame(f)
 }
 
 // Stab is DiagonalQuery under the interval reading: report every point
@@ -53,6 +64,13 @@ type qstate struct {
 	a       int64
 	emit    geom.Emit
 	stopped bool
+
+	// offerFn/offerRec/offerYFn are the bound forms of offer, built once
+	// per query so hot scan loops don't materialize a new closure per page.
+	// offerYFn additionally filters to p.Y >= a (the TS-prefix scan).
+	offerFn  geom.Emit
+	offerRec func(rec) bool
+	offerYFn geom.Emit
 }
 
 // offer forwards a point if it satisfies the query; returns false when
@@ -76,14 +94,17 @@ func (t *Tree) visit(id disk.BlockID, st *qstate, reportStored bool) {
 	if st.stopped {
 		return
 	}
-	m := t.loadCtrl(id)
-	t.visitLoaded(id, m, st, reportStored)
+	f := t.getFrame()
+	t.loadCtrlFrame(id, f)
+	t.visitLoaded(f, st, reportStored)
+	t.putFrame(f)
 }
 
-func (t *Tree) visitLoaded(_ disk.BlockID, m *metaCtrl, st *qstate, reportStored bool) {
+func (t *Tree) visitLoaded(f *ctrlFrame, st *qstate, reportStored bool) {
 	if st.stopped {
 		return
 	}
+	m := &f.m
 	if reportStored {
 		t.reportStored(m, st)
 		if st.stopped {
@@ -93,7 +114,7 @@ func (t *Tree) visitLoaded(_ disk.BlockID, m *metaCtrl, st *qstate, reportStored
 	if len(m.children) == 0 {
 		return
 	}
-	t.processChildren(m, st)
+	t.processChildren(f, st)
 }
 
 // reportStored emits m's stored points that lie inside the query, choosing
@@ -107,10 +128,8 @@ func (t *Tree) reportStored(m *metaCtrl, st *qstate) {
 	case m.bb.minY >= a && m.bb.maxX <= a:
 		// Type III: entirely inside; dump everything.
 		for _, hb := range m.hblocks {
-			for _, p := range t.readPoints(hb.id) {
-				if !st.offer(p) {
-					return
-				}
+			if !t.scanPoints(hb.id, st.offerFn) {
+				return
 			}
 		}
 	case m.bb.minY >= a:
@@ -120,10 +139,8 @@ func (t *Tree) reportStored(m *metaCtrl, st *qstate) {
 			if vb.minX > a {
 				break
 			}
-			for _, p := range t.readPoints(vb.id) {
-				if !st.offer(p) {
-					return
-				}
+			if !t.scanPoints(vb.id, st.offerFn) {
+				return
 			}
 		}
 	case m.bb.maxX <= a:
@@ -133,10 +150,8 @@ func (t *Tree) reportStored(m *metaCtrl, st *qstate) {
 			if hb.maxY < a {
 				break
 			}
-			for _, p := range t.readPoints(hb.id) {
-				if !st.offer(p) {
-					return
-				}
+			if !t.scanPoints(hb.id, st.offerFn) {
+				return
 			}
 			if hb.minY < a {
 				break
@@ -147,7 +162,7 @@ func (t *Tree) reportStored(m *metaCtrl, st *qstate) {
 		// corner (a,a) and carries a corner structure (Lemma 3.1) unless
 		// corner structures are disabled for ablation.
 		if m.corner != nil {
-			t.queryCorner(m.corner, a, func(r rec) bool { return st.offer(r.pt) })
+			t.queryCorner(m.corner, a, st.offerRec)
 			return
 		}
 		// Ablation fallback: vertical scan with up to Theta(B) wasted
@@ -159,10 +174,8 @@ func (t *Tree) reportStored(m *metaCtrl, st *qstate) {
 			if vb.maxY < a {
 				continue
 			}
-			for _, p := range t.readPoints(vb.id) {
-				if !st.offer(p) {
-					return
-				}
+			if !t.scanPoints(vb.id, st.offerFn) {
+				return
 			}
 		}
 	}
@@ -198,11 +211,31 @@ func classify(c childRef, a int64) childClass {
 	return classStraddle
 }
 
+// boolsFor returns dst resized to n elements, zeroed, reusing capacity.
+func boolsFor(dst []bool, n int) []bool {
+	if cap(dst) >= n {
+		dst = dst[:n]
+		clear(dst)
+		return dst
+	}
+	return make([]bool, n)
+}
+
 // processChildren implements the per-level sibling handling of Theorem 3.2
-// plus the TD consultation of Lemma 3.5.
-func (t *Tree) processChildren(m *metaCtrl, st *qstate) {
+// plus the TD consultation of Lemma 3.5. The caller's frame f (holding the
+// decoded ctrl of the node being processed) also carries the per-node
+// classification scratch, which stays valid across recursion into children
+// because each nested visit uses its own frame.
+func (t *Tree) processChildren(f *ctrlFrame, st *qstate) {
+	m := &f.m
 	a := st.a
-	classes := make([]childClass, len(m.children))
+	f.classes = f.classes[:0]
+	if cap(f.classes) < len(m.children) {
+		f.classes = make([]childClass, len(m.children))
+	} else {
+		f.classes = f.classes[:len(m.children)]
+	}
+	classes := f.classes
 	rightmostIV := -1
 	for i, c := range m.children {
 		classes[i] = classify(c, a)
@@ -214,14 +247,18 @@ func (t *Tree) processChildren(m *metaCtrl, st *qstate) {
 	// direct[i] records that child i's stored points are reported by a
 	// direct visit (so TD must only add its buffered points); TS-covered
 	// and skipped children get their recent arrivals from TD instead.
-	direct := make([]bool, len(m.children))
+	f.direct = boolsFor(f.direct, len(m.children))
+	direct := f.direct
 
 	// tsCovered[i] marks left siblings whose stored points came from TS.
-	tsCovered := make([]bool, len(m.children))
+	f.tsCovered = boolsFor(f.tsCovered, len(m.children))
+	tsCovered := f.tsCovered
 
 	if rightmostIV >= 0 && !t.cfg.DisableTS {
 		mr := m.children[rightmostIV]
-		mrCtrl := t.loadCtrl(mr.ctrl)
+		mf := t.getFrame()
+		defer t.putFrame(mf)
+		mrCtrl := t.loadCtrlFrame(mr.ctrl, mf)
 		// Report Mr itself directly (one partial block at most).
 		direct[rightmostIV] = true
 		t.reportStored(mrCtrl, st)
@@ -243,12 +280,8 @@ func (t *Tree) processChildren(m *metaCtrl, st *qstate) {
 				if hb.maxY < a {
 					break
 				}
-				for _, p := range t.readPoints(hb.id) {
-					if p.Y >= a {
-						if !st.offer(p) {
-							return
-						}
-					}
+				if !t.scanPoints(hb.id, st.offerYFn) {
+					return
 				}
 				if hb.minY < a {
 					break
@@ -329,10 +362,8 @@ func (t *Tree) processChildren(m *metaCtrl, st *qstate) {
 				return
 			}
 		}
-		for _, r := range t.updRecs(m.td.upd) {
-			if !emitTD(r) {
-				return
-			}
+		if !t.scanUpd(m.td.upd, emitTD) {
+			return
 		}
 	}
 }
@@ -348,8 +379,10 @@ func (t *Tree) processFullChild(c childRef, cl childClass, direct []bool, idx in
 		t.visit(c.ctrl, st, true)
 	case classStraddle:
 		direct[idx] = true
-		cm := t.loadCtrl(c.ctrl)
+		cf := t.getFrame()
+		cm := t.loadCtrlFrame(c.ctrl, cf)
 		t.reportStored(cm, st)
+		t.putFrame(cf)
 		// Descendants of a straddling child lie below the query line.
 	case classSkip:
 		// Nothing: stored and descendants below the line or right of the

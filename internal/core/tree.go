@@ -34,6 +34,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"ccidx/internal/disk"
 	"ccidx/internal/geom"
@@ -64,12 +65,26 @@ type Config struct {
 // PageSize returns the page size in bytes implied by cfg.
 func (cfg Config) PageSize() int { return pageHeaderSize + cfg.B*recSize }
 
-// Tree is a metablock tree. Not safe for concurrent use.
+// Tree is a metablock tree.
+//
+// Concurrency: mutations (New, Insert) require external serialization, but
+// any number of goroutines may run queries (DiagonalQuery, Stab, Walk)
+// concurrently as long as no mutation is in flight — query paths only read
+// pages and use no shared mutable scratch. The shard serving layer provides
+// exactly this discipline with a per-shard RWMutex.
 type Tree struct {
 	cfg   Config
 	pager *disk.Pager
+	dev   disk.Device  // page I/O surface; the pager, or a pool over it
 	root  disk.BlockID // control blob of the root metablock
 	n     int
+
+	// wbuf is the reusable page-encode scratch for mutate paths (exclusive
+	// by the concurrency contract above; never touched by queries).
+	wbuf []byte
+	// frames recycles query-path control-block decode targets so steady-state
+	// queries allocate nothing per metablock visited.
+	frames sync.Pool
 }
 
 // New builds a metablock tree over pts (which must all satisfy y >= x) with
@@ -85,6 +100,7 @@ func New(cfg Config, pts []geom.Point) *Tree {
 		}
 	}
 	t := &Tree{cfg: cfg, pager: disk.NewPager(cfg.PageSize()), n: len(pts)}
+	t.dev = t.pager
 	own := append([]geom.Point(nil), pts...)
 	geom.SortByX(own)
 	t.root = t.buildMetablock(own, true)
@@ -93,6 +109,12 @@ func New(cfg Config, pts []geom.Point) *Tree {
 
 // Pager exposes the underlying simulated device for I/O accounting.
 func (t *Tree) Pager() *disk.Pager { return t.pager }
+
+// SetDevice routes all page I/O through d — typically a *disk.Pool over
+// Pager() — so pool hits stop costing device I/Os. Call before sharing the
+// tree between goroutines; the pager's counters keep measuring the
+// transfers that actually reach the device.
+func (t *Tree) SetDevice(d disk.Device) { t.dev = d }
 
 // Len returns the number of points stored.
 func (t *Tree) Len() int { return t.n }
@@ -111,19 +133,29 @@ type rec struct {
 
 // --- data pages -----------------------------------------------------------
 
+// wpage returns the zeroed reusable page-encode scratch (mutate paths only).
+func (t *Tree) wpage() []byte {
+	if t.wbuf == nil {
+		t.wbuf = make([]byte, t.cfg.PageSize())
+	} else {
+		clear(t.wbuf)
+	}
+	return t.wbuf
+}
+
 // writeRecBlock writes up to B records into a fresh page and returns its id.
 func (t *Tree) writeRecBlock(rs []rec) disk.BlockID {
 	if len(rs) > t.cfg.B {
 		panic("core: record block overflow")
 	}
-	id := t.pager.Alloc()
+	id := t.dev.Alloc()
 	t.putRecBlock(id, rs)
 	return id
 }
 
 // putRecBlock overwrites page id with rs.
 func (t *Tree) putRecBlock(id disk.BlockID, rs []rec) {
-	buf := make([]byte, t.cfg.PageSize())
+	buf := t.wpage()
 	buf[0] = byte(len(rs))
 	buf[1] = byte(len(rs) >> 8)
 	off := pageHeaderSize
@@ -134,28 +166,67 @@ func (t *Tree) putRecBlock(id disk.BlockID, rs []rec) {
 		putLE32(buf[off+24:], r.aux)
 		off += recSize
 	}
-	t.pager.MustWrite(id, buf)
+	disk.MustWriteAt(t.dev, id, buf)
 }
 
-// readRecBlock reads a record page.
+// readRecBlock reads a record page into a fresh slice; mutate paths and
+// invariant checks use it. Hot query loops use scanRecs/scanPoints instead.
 func (t *Tree) readRecBlock(id disk.BlockID) []rec {
-	buf := make([]byte, t.cfg.PageSize())
-	t.pager.MustRead(id, buf)
-	cnt := int(uint16(buf[0]) | uint16(buf[1])<<8)
-	rs := make([]rec, cnt)
-	off := pageHeaderSize
-	for i := 0; i < cnt; i++ {
-		rs[i] = rec{
-			pt: geom.Point{
-				X:  int64(le64(buf[off:])),
-				Y:  int64(le64(buf[off+8:])),
-				ID: le64(buf[off+16:]),
-			},
-			aux: le32(buf[off+24:]),
-		}
-		off += recSize
-	}
+	var rs []rec
+	t.scanRecs(id, func(r rec) bool {
+		rs = append(rs, r)
+		return true
+	})
 	return rs
+}
+
+// decodeRec decodes the record at byte offset off of a page view.
+func decodeRec(view []byte, off int) rec {
+	return rec{
+		pt: geom.Point{
+			X:  int64(le64(view[off:])),
+			Y:  int64(le64(view[off+8:])),
+			ID: le64(view[off+16:]),
+		},
+		aux: le32(view[off+24:]),
+	}
+}
+
+// scanRecs streams the records of page id to fn through a borrowed
+// zero-copy view (one I/O, no allocation). It returns false if fn stopped
+// the scan early; the page is still charged exactly one read either way.
+func (t *Tree) scanRecs(id disk.BlockID, fn func(rec) bool) bool {
+	view := disk.MustView(t.dev, id)
+	cnt := int(uint16(view[0]) | uint16(view[1])<<8)
+	ok := true
+	for i, off := 0, pageHeaderSize; i < cnt; i, off = i+1, off+recSize {
+		if !fn(decodeRec(view, off)) {
+			ok = false
+			break
+		}
+	}
+	t.dev.Release(id)
+	return ok
+}
+
+// scanPoints is scanRecs restricted to the point payload.
+func (t *Tree) scanPoints(id disk.BlockID, fn geom.Emit) bool {
+	view := disk.MustView(t.dev, id)
+	cnt := int(uint16(view[0]) | uint16(view[1])<<8)
+	ok := true
+	for i, off := 0, pageHeaderSize; i < cnt; i, off = i+1, off+recSize {
+		p := geom.Point{
+			X:  int64(le64(view[off:])),
+			Y:  int64(le64(view[off+8:])),
+			ID: le64(view[off+16:]),
+		}
+		if !fn(p) {
+			ok = false
+			break
+		}
+	}
+	t.dev.Release(id)
+	return ok
 }
 
 // writePointBlocks chunks pts into B-point pages preserving order and
@@ -195,7 +266,7 @@ func (t *Tree) readPoints(id disk.BlockID) []geom.Point {
 // freeChunks releases a chunk list.
 func (t *Tree) freeChunks(refs []chunkRef) {
 	for _, c := range refs {
-		t.pager.MustFree(c.id)
+		disk.MustFreeAt(t.dev, c.id)
 	}
 }
 

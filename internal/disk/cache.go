@@ -7,6 +7,10 @@ package disk
 // I/O); the cache exists for the ablation experiments that show how far a
 // realistic buffer pool moves the constants without changing the asymptotic
 // shape. Index structures themselves never use a Cache internally.
+//
+// Cache is single-threaded and copy-based. The serving layer reads through
+// the concurrent, pinning, zero-copy Pool instead (pool.go); Cache remains
+// as the minimal single-threaded reference implementation.
 type Cache struct {
 	p        *Pager
 	capacity int
@@ -36,10 +40,14 @@ func NewCache(p *Pager, capacity int) *Cache {
 	}
 }
 
-// Hits returns the number of cache hits so far.
+// Hits returns the number of cache hits so far (reads and writes served
+// from a resident entry).
 func (c *Cache) Hits() int64 { return c.hits }
 
-// Misses returns the number of cache misses so far.
+// Misses returns the number of READ misses so far — the accesses that cost
+// a device read. A Write to a non-resident page is not a miss: it is a
+// full-page store that allocates an entry without any device read, so
+// counting it would overstate how often the cache failed to save an I/O.
 func (c *Cache) Misses() int64 { return c.misses }
 
 func (c *Cache) unlink(e *cacheEntry) {
@@ -126,7 +134,8 @@ func (c *Cache) Write(id BlockID, buf []byte) error {
 		e.dirty = true
 		return nil
 	}
-	c.misses++
+	// A write miss is a pure store: no device read happens, so it does not
+	// count toward the read-miss counter.
 	if err := c.evictIfFull(); err != nil {
 		return err
 	}

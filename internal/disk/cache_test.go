@@ -94,6 +94,50 @@ func TestCacheReadThroughAfterEvict(t *testing.T) {
 	}
 }
 
+// TestCacheAccountingAudit pins down the hit/miss ledger: read hits and
+// write hits count as hits, read misses count as misses, and a write miss
+// (a pure full-page store that costs no device read) counts as neither.
+func TestCacheAccountingAudit(t *testing.T) {
+	p := NewPager(8)
+	a, b := p.Alloc(), p.Alloc()
+	p.MustWrite(a, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	c := NewCache(p, 4)
+	buf := make([]byte, 8)
+
+	base := p.Stats()
+	mustCacheRead(t, c, a, buf) // read miss: 1 device read
+	if c.Hits() != 0 || c.Misses() != 1 {
+		t.Fatalf("after read miss: hits=%d misses=%d, want 0/1", c.Hits(), c.Misses())
+	}
+	mustCacheRead(t, c, a, buf) // read hit
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("after read hit: hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+	if err := c.Write(a, buf); err != nil { // write hit
+		t.Fatal(err)
+	}
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Fatalf("after write hit: hits=%d misses=%d, want 2/1", c.Hits(), c.Misses())
+	}
+	if err := c.Write(b, buf); err != nil { // write miss: pure store
+		t.Fatal(err)
+	}
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Fatalf("after write miss: hits=%d misses=%d, want 2/1 (stores are not misses)", c.Hits(), c.Misses())
+	}
+	if got := p.Stats().Sub(base); got.Reads != 1 || got.Writes != 0 {
+		t.Fatalf("device I/O = %+v, want exactly 1 read and 0 writes before flush", got)
+	}
+}
+
+// mustCacheRead fails the test on a cache read error.
+func mustCacheRead(t *testing.T, c *Cache, id BlockID, buf []byte) {
+	t.Helper()
+	if err := c.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCachePanicsOnBadCapacity(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -66,10 +66,68 @@ func (s Stats) String() string {
 
 // Common pager errors.
 var (
-	ErrBadBlock  = errors.New("disk: block not allocated")
-	ErrPageSize  = errors.New("disk: buffer size does not match page size")
-	ErrFreedTwce = errors.New("disk: double free")
+	ErrBadBlock   = errors.New("disk: block not allocated")
+	ErrPageSize   = errors.New("disk: buffer size does not match page size")
+	ErrFreedTwice = errors.New("disk: double free")
 )
+
+// ErrFreedTwce is a deprecated alias for ErrFreedTwice.
+//
+// Deprecated: the original name carried a typo; use ErrFreedTwice.
+var ErrFreedTwce = ErrFreedTwice
+
+// Device is the page I/O surface the index structures read and write
+// through. *Pager implements it directly (every access is a device I/O);
+// *Pool layers a buffer pool on top (hits are served from memory-resident
+// frames and do not count as device I/Os).
+//
+// View returns a borrowed read-only view of the page, counting the same
+// I/O as Read but without copying. The view is valid until Release(id) is
+// called and must not be written to or retained afterwards; callers decode
+// what they need and release promptly. On a *Pager, Release is a no-op and
+// a view stays readable until the page is next written, freed, or
+// reallocated; on a *Pool, View pins the frame and Release unpins it, so
+// every View must be paired with exactly one Release.
+type Device interface {
+	PageSize() int
+	Alloc() BlockID
+	Read(id BlockID, buf []byte) error
+	Write(id BlockID, buf []byte) error
+	Free(id BlockID) error
+	View(id BlockID) ([]byte, error)
+	Release(id BlockID)
+}
+
+// MustView is View that panics on error, for blocks a structure allocated
+// itself (failure indicates internal corruption).
+func MustView(d Device, id BlockID) []byte {
+	v, err := d.View(id)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// MustReadAt is Read through a Device that panics on error.
+func MustReadAt(d Device, id BlockID, buf []byte) {
+	if err := d.Read(id, buf); err != nil {
+		panic(err)
+	}
+}
+
+// MustWriteAt is Write through a Device that panics on error.
+func MustWriteAt(d Device, id BlockID, buf []byte) {
+	if err := d.Write(id, buf); err != nil {
+		panic(err)
+	}
+}
+
+// MustFreeAt is Free through a Device that panics on error.
+func MustFreeAt(d Device, id BlockID) {
+	if err := d.Free(id); err != nil {
+		panic(err)
+	}
+}
 
 // Pager is an in-memory simulation of a disk: a growable array of fixed-size
 // pages plus a free list. Each index structure owns its own Pager (the
@@ -174,6 +232,23 @@ func (p *Pager) Read(id BlockID, buf []byte) error {
 	return nil
 }
 
+// View returns a borrowed read-only view of page id and counts one I/O,
+// exactly like Read but without the copy. The returned slice aliases the
+// device's storage: it is valid until the page is next written, freed or
+// reallocated, and must never be mutated. Concurrent Views are safe under
+// the same conditions as concurrent Reads (no concurrent mutation).
+func (p *Pager) View(id BlockID) ([]byte, error) {
+	if err := p.check(id); err != nil {
+		return nil, err
+	}
+	p.reads.Add(1)
+	return p.pages[id], nil
+}
+
+// Release returns a borrowed view. On a bare Pager it is a no-op; it exists
+// so that Pager and Pool satisfy the same Device interface.
+func (p *Pager) Release(BlockID) {}
+
 // Write copies buf into page id (len(buf) must equal the page size) and
 // counts one I/O.
 func (p *Pager) Write(id BlockID, buf []byte) error {
@@ -194,7 +269,7 @@ func (p *Pager) Free(id BlockID) error {
 		return fmt.Errorf("%w: %d", ErrBadBlock, id)
 	}
 	if !p.live[id] {
-		return fmt.Errorf("%w: %d", ErrFreedTwce, id)
+		return fmt.Errorf("%w: %d", ErrFreedTwice, id)
 	}
 	p.live[id] = false
 	p.free = append(p.free, id)

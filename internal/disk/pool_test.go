@@ -1,0 +1,324 @@
+package disk
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fillPage allocates a page on p and writes a recognizable pattern.
+func fillPage(t *testing.T, p *Pager, tag byte) BlockID {
+	t.Helper()
+	id := p.Alloc()
+	buf := make([]byte, p.PageSize())
+	for i := range buf {
+		buf[i] = tag
+	}
+	p.MustWrite(id, buf)
+	return id
+}
+
+func TestPoolHitAvoidsDeviceIO(t *testing.T) {
+	p := NewPager(16)
+	id := fillPage(t, p, 7)
+	base := p.Stats()
+
+	pl := NewPool(p, 4, 1)
+	for i := 0; i < 3; i++ {
+		v, err := pl.View(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v[0] != 7 {
+			t.Fatalf("view returned %d, want 7", v[0])
+		}
+		pl.Release(id)
+	}
+	if got := p.Stats().Sub(base).Reads; got != 1 {
+		t.Fatalf("device reads = %d, want 1 (hits must not reach the device)", got)
+	}
+	if pl.Hits() != 2 || pl.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", pl.Hits(), pl.Misses())
+	}
+	if pl.PinnedFrames() != 0 {
+		t.Fatalf("pins leaked: %d frames still pinned", pl.PinnedFrames())
+	}
+}
+
+func TestPoolEvictionUnderPinRefusal(t *testing.T) {
+	p := NewPager(16)
+	a := fillPage(t, p, 1)
+	b := fillPage(t, p, 2)
+	c := fillPage(t, p, 3)
+
+	// One lock shard, two frames: pin both, then demand a third page.
+	// The pool must refuse to evict either pinned frame — it grows a
+	// temporary overflow frame instead — and both borrowed views must
+	// stay intact.
+	pl := NewPool(p, 2, 1)
+	va, err := pl.View(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := pl.View(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := pl.View(c)
+	if err != nil {
+		t.Fatalf("View with all frames pinned must overflow, not fail: %v", err)
+	}
+	if va[0] != 1 || vb[0] != 2 || vc[0] != 3 {
+		t.Fatalf("views corrupted under pin pressure: %d %d %d", va[0], vb[0], vc[0])
+	}
+	if pl.Overflows() != 1 {
+		t.Fatalf("overflows = %d, want 1", pl.Overflows())
+	}
+	if pl.PinCount(a) != 1 || pl.PinCount(b) != 1 {
+		t.Fatalf("pinned frames disturbed: pins a=%d b=%d", pl.PinCount(a), pl.PinCount(b))
+	}
+	pl.Release(a)
+	pl.Release(b)
+	pl.Release(c)
+	if pl.PinnedFrames() != 0 {
+		t.Fatalf("pins leaked: %d", pl.PinnedFrames())
+	}
+	// Once pins drain, further misses recycle the existing (now
+	// over-budget) frames instead of growing again.
+	d := fillPage(t, p, 4)
+	e := fillPage(t, p, 5)
+	for _, id := range []BlockID{d, e} {
+		v, err := pl.View(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = v
+		pl.Release(id)
+	}
+	if pl.Overflows() != 1 {
+		t.Fatalf("overflows grew after pins drained: %d", pl.Overflows())
+	}
+	if got := pl.Resident(); got > 3 {
+		t.Fatalf("resident pages = %d, want <= 3 (capacity 2 + 1 overflow)", got)
+	}
+}
+
+func TestPoolWriteBackOrdering(t *testing.T) {
+	p := NewPager(16)
+	a := fillPage(t, p, 1)
+	b := fillPage(t, p, 2)
+	c := fillPage(t, p, 3)
+
+	pl := NewPool(p, 2, 1)
+	dirty := make([]byte, 16)
+	dirty[0] = 9
+	if err := pl.Write(a, dirty); err != nil {
+		t.Fatal(err)
+	}
+	// Write-back is deferred: the device still holds the old contents.
+	raw := make([]byte, 16)
+	p.MustRead(a, raw)
+	if raw[0] != 1 {
+		t.Fatalf("device page mutated before eviction: %d", raw[0])
+	}
+	// Fill the pool so a's frame is the eviction victim; the dirty data
+	// must reach the device before the frame is recycled.
+	for _, id := range []BlockID{b, c} {
+		if _, err := pl.View(id); err != nil {
+			t.Fatal(err)
+		}
+		pl.Release(id)
+	}
+	p.MustRead(a, raw)
+	if raw[0] != 9 {
+		t.Fatalf("evicted dirty page not written back: %d", raw[0])
+	}
+	// A re-View after write-back must see the written data, via a fresh
+	// device read (the old frame is gone).
+	v, err := pl.View(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 9 {
+		t.Fatalf("re-view after write-back returned %d, want 9", v[0])
+	}
+	pl.Release(a)
+}
+
+func TestPoolFlushWritesAllDirty(t *testing.T) {
+	p := NewPager(16)
+	ids := []BlockID{fillPage(t, p, 1), fillPage(t, p, 2), fillPage(t, p, 3)}
+	pl := NewPool(p, 8, 2)
+	for i, id := range ids {
+		buf := make([]byte, 16)
+		buf[0] = byte(0x40 + i)
+		if err := pl.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := p.Stats()
+	if err := pl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Sub(base).Writes; got != 3 {
+		t.Fatalf("flush wrote %d pages, want 3", got)
+	}
+	buf := make([]byte, 16)
+	for i, id := range ids {
+		p.MustRead(id, buf)
+		if buf[0] != byte(0x40+i) {
+			t.Fatalf("page %d not flushed: %d", id, buf[0])
+		}
+	}
+	// A second flush is a no-op.
+	base = p.Stats()
+	if err := pl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Sub(base).Writes; got != 0 {
+		t.Fatalf("idempotent flush wrote %d pages, want 0", got)
+	}
+}
+
+func TestPoolPinNesting(t *testing.T) {
+	p := NewPager(16)
+	id := fillPage(t, p, 5)
+	pl := NewPool(p, 2, 1)
+	if _, err := pl.View(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.View(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.PinCount(id); got != 2 {
+		t.Fatalf("pin count = %d, want 2", got)
+	}
+	pl.Release(id)
+	if got := pl.PinCount(id); got != 1 {
+		t.Fatalf("pin count = %d, want 1", got)
+	}
+	pl.Release(id)
+	if got := pl.PinCount(id); got != 0 {
+		t.Fatalf("pin count = %d, want 0", got)
+	}
+}
+
+func TestPoolFreeInvalidatesFrame(t *testing.T) {
+	p := NewPager(16)
+	id := fillPage(t, p, 5)
+	pl := NewPool(p, 4, 1)
+	buf := make([]byte, 16)
+	buf[0] = 0x77
+	if err := pl.Write(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	// The freed page's id is reused by the next alloc; the pool must not
+	// serve the stale dirty frame.
+	id2 := pl.Alloc()
+	if id2 != id {
+		t.Fatalf("expected free-list reuse of %d, got %d", id, id2)
+	}
+	v, err := pl.View(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 0 {
+		t.Fatalf("view of reallocated page returned stale data: %d", v[0])
+	}
+	pl.Release(id2)
+}
+
+func TestPoolReleaseUnpinnedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unbalanced Release")
+		}
+	}()
+	p := NewPager(16)
+	id := fillPage(t, p, 1)
+	pl := NewPool(p, 2, 1)
+	pl.Release(id)
+}
+
+// TestPoolConcurrentPinUnpin hammers a small pool from many goroutines
+// (run with -race): concurrent Views of overlapping pages with nested
+// pins, interleaved copy-Reads, then a final pin-balance assertion.
+func TestPoolConcurrentPinUnpin(t *testing.T) {
+	p := NewPager(32)
+	const pages = 64
+	ids := make([]BlockID, pages)
+	for i := range ids {
+		ids[i] = fillPage(t, p, byte(i))
+	}
+	pl := NewPool(p, 16, 4)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 32)
+			for i := 0; i < 2000; i++ {
+				id := ids[(i*7+w*13)%pages]
+				want := byte((i*7 + w*13) % pages)
+				switch i % 3 {
+				case 0:
+					v, err := pl.View(id)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if v[0] != want {
+						errs <- fmt.Errorf("view of page %d saw %d, want %d", id, v[0], want)
+						pl.Release(id)
+						return
+					}
+					pl.Release(id)
+				case 1:
+					// Nested pins on the same page.
+					v1, err := pl.View(id)
+					if err != nil {
+						errs <- err
+						return
+					}
+					v2, err := pl.View(id)
+					if err != nil {
+						pl.Release(id)
+						errs <- err
+						return
+					}
+					if v1[0] != want || v2[0] != want {
+						errs <- fmt.Errorf("nested views of page %d saw %d/%d, want %d", id, v1[0], v2[0], want)
+					}
+					pl.Release(id)
+					pl.Release(id)
+				default:
+					if err := pl.Read(id, buf); err != nil {
+						errs <- err
+						return
+					}
+					if buf[0] != want {
+						errs <- fmt.Errorf("read of page %d saw %d, want %d", id, buf[0], want)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := pl.PinnedFrames(); got != 0 {
+		t.Fatalf("pins leaked after concurrent run: %d frames still pinned", got)
+	}
+	if pl.Hits()+pl.Misses() == 0 {
+		t.Fatal("counters recorded no traffic")
+	}
+}

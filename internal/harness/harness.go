@@ -52,6 +52,7 @@ func All() []Experiment {
 		{"E15", "Class indexing strategy matrix", runE15},
 		{"E16", "Shard scaling: query throughput vs shard count", runE16},
 		{"E17", "Batched insert amortization (group commit)", runE17},
+		{"E18", "Read-path ablation: copy vs zero-copy view vs buffer pool", runE18},
 	}
 }
 

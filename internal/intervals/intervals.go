@@ -37,10 +37,14 @@ type Config struct {
 }
 
 // Manager answers interval intersection and stabbing queries.
-// Not safe for concurrent use.
+//
+// Concurrency: mutations (New, Insert) require external serialization;
+// queries (Stab, Intersect) may run concurrently with each other. The
+// shard serving layer enforces this with a per-shard RWMutex.
 type Manager struct {
 	endpoints *bptree.Tree // key = Lo, rid = ID, val = Hi
 	stabber   *core.Tree   // points (Lo, Hi)
+	pools     []*disk.Pool // attached buffer pools (nil without AttachPool)
 	n         int
 }
 
@@ -68,6 +72,43 @@ func New(cfg Config, ivs []geom.Interval) *Manager {
 
 // Len returns the number of intervals stored.
 func (m *Manager) Len() int { return m.n }
+
+// AttachPool layers a concurrent CLOCK buffer pool of frames pages (split
+// between the two sub-structures, nShards lock shards each) over the
+// manager's devices: reads that hit a memory-resident frame stop costing
+// device I/Os, writes become write-back. Stats() keeps reporting the
+// transfers that actually reach the devices. The serving layer calls this
+// once per shard before sharing the manager between goroutines.
+func (m *Manager) AttachPool(frames, nShards int) {
+	if frames < 2 {
+		frames = 2
+	}
+	ep := disk.NewPool(m.endpoints.Pager(), frames/2, nShards)
+	sp := disk.NewPool(m.stabber.Pager(), frames-frames/2, nShards)
+	m.endpoints.SetDevice(ep)
+	m.stabber.SetDevice(sp)
+	m.pools = []*disk.Pool{ep, sp}
+}
+
+// FlushPool writes every dirty pooled frame back to the devices (no-op
+// without an attached pool).
+func (m *Manager) FlushPool() {
+	for _, p := range m.pools {
+		if err := p.Flush(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// PoolStats returns the aggregate (hits, misses) of the attached pools;
+// zeros without a pool.
+func (m *Manager) PoolStats() (hits, misses int64) {
+	for _, p := range m.pools {
+		hits += p.Hits()
+		misses += p.Misses()
+	}
+	return hits, misses
+}
 
 // Insert adds an interval; amortized O(log_B n + (log_B n)^2/B) I/Os.
 func (m *Manager) Insert(iv geom.Interval) {
@@ -137,16 +178,20 @@ func (m *Manager) SpaceBlocks() int64 {
 // correctness oracle in tests.
 type Naive struct {
 	pager *disk.Pager
+	dev   disk.Device
 	b     int
 	pages []disk.BlockID
 	n     int
+	wbuf  []byte // page-encode scratch (mutate paths only)
 }
 
 const naiveRecSize = 24
 
 // NewNaive creates an empty naive manager.
 func NewNaive(b int) *Naive {
-	return &Naive{pager: disk.NewPager(2 + b*naiveRecSize), b: b}
+	nv := &Naive{pager: disk.NewPager(2 + b*naiveRecSize), b: b}
+	nv.dev = nv.pager
+	return nv
 }
 
 // Len returns the number of stored intervals.
@@ -155,25 +200,43 @@ func (nv *Naive) Len() int { return nv.n }
 // Pager exposes the device for I/O accounting.
 func (nv *Naive) Pager() *disk.Pager { return nv.pager }
 
-func (nv *Naive) readPage(id disk.BlockID) []geom.Interval {
-	buf := make([]byte, nv.pager.PageSize())
-	nv.pager.MustRead(id, buf)
-	cnt := int(uint16(buf[0]) | uint16(buf[1])<<8)
-	out := make([]geom.Interval, cnt)
-	off := 2
-	for i := 0; i < cnt; i++ {
-		out[i] = geom.Interval{
-			Lo: int64(le64(buf[off:])),
-			Hi: int64(le64(buf[off+8:])),
-			ID: le64(buf[off+16:]),
+// scanPage streams one page's intervals to fn through a borrowed zero-copy
+// view (one I/O, no allocation); false if fn stopped the scan.
+func (nv *Naive) scanPage(id disk.BlockID, fn func(geom.Interval) bool) bool {
+	view := disk.MustView(nv.dev, id)
+	cnt := int(uint16(view[0]) | uint16(view[1])<<8)
+	ok := true
+	for i, off := 0, 2; i < cnt; i, off = i+1, off+naiveRecSize {
+		iv := geom.Interval{
+			Lo: int64(le64(view[off:])),
+			Hi: int64(le64(view[off+8:])),
+			ID: le64(view[off+16:]),
 		}
-		off += naiveRecSize
+		if !fn(iv) {
+			ok = false
+			break
+		}
 	}
+	nv.dev.Release(id)
+	return ok
+}
+
+func (nv *Naive) readPage(id disk.BlockID) []geom.Interval {
+	var out []geom.Interval
+	nv.scanPage(id, func(iv geom.Interval) bool {
+		out = append(out, iv)
+		return true
+	})
 	return out
 }
 
 func (nv *Naive) writePage(id disk.BlockID, ivs []geom.Interval) {
-	buf := make([]byte, nv.pager.PageSize())
+	if nv.wbuf == nil {
+		nv.wbuf = make([]byte, nv.pager.PageSize())
+	} else {
+		clear(nv.wbuf)
+	}
+	buf := nv.wbuf
 	buf[0] = byte(len(ivs))
 	buf[1] = byte(len(ivs) >> 8)
 	off := 2
@@ -183,7 +246,7 @@ func (nv *Naive) writePage(id disk.BlockID, ivs []geom.Interval) {
 		putLE64(buf[off+16:], iv.ID)
 		off += naiveRecSize
 	}
-	nv.pager.MustWrite(id, buf)
+	disk.MustWriteAt(nv.dev, id, buf)
 }
 
 // Insert appends an interval in O(1) I/Os.
@@ -218,28 +281,33 @@ func (nv *Naive) Delete(id uint64) bool {
 	return false
 }
 
-// Stab reports every interval containing q in O(n/B) I/Os.
+// Stab reports every interval containing q in O(n/B) I/Os (zero-alloc:
+// pages are streamed through borrowed views).
 func (nv *Naive) Stab(q int64, emit EmitInterval) {
+	fn := func(iv geom.Interval) bool {
+		if iv.Contains(q) {
+			return emit(iv)
+		}
+		return true
+	}
 	for _, pg := range nv.pages {
-		for _, iv := range nv.readPage(pg) {
-			if iv.Contains(q) {
-				if !emit(iv) {
-					return
-				}
-			}
+		if !nv.scanPage(pg, fn) {
+			return
 		}
 	}
 }
 
 // Intersect reports every interval intersecting q in O(n/B) I/Os.
 func (nv *Naive) Intersect(q geom.Interval, emit EmitInterval) {
+	fn := func(iv geom.Interval) bool {
+		if iv.Intersects(q) {
+			return emit(iv)
+		}
+		return true
+	}
 	for _, pg := range nv.pages {
-		for _, iv := range nv.readPage(pg) {
-			if iv.Intersects(q) {
-				if !emit(iv) {
-					return
-				}
-			}
+		if !nv.scanPage(pg, fn) {
+			return
 		}
 	}
 }

@@ -1,0 +1,85 @@
+package intervals
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ccidx/internal/geom"
+	"ccidx/internal/workload"
+)
+
+// collectStab returns the sorted ids reported by a stabbing query.
+func collectStab(m *Manager, q int64) []uint64 {
+	var ids []uint64
+	m.Stab(q, func(iv geom.Interval) bool {
+		ids = append(ids, iv.ID)
+		return true
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// collectIntersect returns the sorted ids reported by an intersection query.
+func collectIntersect(m *Manager, q geom.Interval) []uint64 {
+	var ids []uint64
+	m.Intersect(q, func(iv geom.Interval) bool {
+		ids = append(ids, iv.ID)
+		return true
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TestPoolOracle runs a fixed-seed mixed insert/query workload against two
+// managers built from the same intervals — one reading bare devices, one
+// through small attached buffer pools (sized to force constant eviction
+// and write-back) — and asserts every query reports the identical id set.
+func TestPoolOracle(t *testing.T) {
+	const span = 1 << 20
+	base := workload.UniformIntervals(42, 3000, span, 5000)
+	bare := New(Config{B: 8}, base)
+	pooled := New(Config{B: 8}, base)
+	// Tiny pool: far fewer frames than pages, so the CLOCK hand, eviction
+	// and dirty write-back all run constantly during the workload.
+	pooled.AttachPool(16, 2)
+
+	rng := rand.New(rand.NewSource(99))
+	nextID := uint64(1 << 32)
+	for step := 0; step < 2000; step++ {
+		switch step % 4 {
+		case 0: // insert the same interval into both
+			lo := rng.Int63n(span)
+			iv := geom.Interval{Lo: lo, Hi: lo + rng.Int63n(5000), ID: nextID}
+			nextID++
+			bare.Insert(iv)
+			pooled.Insert(iv)
+		case 1, 2: // stab
+			q := rng.Int63n(span)
+			got, want := collectStab(pooled, q), collectStab(bare, q)
+			if !equalIDs(got, want) {
+				t.Fatalf("step %d: Stab(%d) pooled %d ids, bare %d ids", step, q, len(got), len(want))
+			}
+		default: // intersect
+			lo := rng.Int63n(span)
+			q := geom.Interval{Lo: lo, Hi: lo + rng.Int63n(20000)}
+			got, want := collectIntersect(pooled, q), collectIntersect(bare, q)
+			if !equalIDs(got, want) {
+				t.Fatalf("step %d: Intersect(%v) pooled %d ids, bare %d ids", step, q, len(got), len(want))
+			}
+		}
+	}
+
+	hits, misses := pooled.PoolStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("oracle exercised no pool traffic: hits=%d misses=%d", hits, misses)
+	}
+	// Flush the write-back frames, then compare once more: the device
+	// contents behind the pool must serve the same answers.
+	pooled.FlushPool()
+	for q := int64(0); q < span; q += span / 64 {
+		if !equalIDs(collectStab(pooled, q), collectStab(bare, q)) {
+			t.Fatalf("post-flush Stab(%d) diverged", q)
+		}
+	}
+}

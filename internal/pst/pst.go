@@ -35,13 +35,18 @@ const (
 	nodeHeader = 2 + 2*8 + 4*8 // count u16, left/right ids, left/right x-spans
 )
 
-// Tree is a static external priority search tree.
+// Tree is a static external priority search tree. Concurrent queries are
+// safe once construction finishes (the query path only reads pages).
 type Tree struct {
 	pager    *disk.Pager
+	dev      disk.Device // page I/O surface; the pager, or a pool over it
 	b        int
 	root     disk.BlockID
 	n        int
 	pageSize int
+
+	// wbuf is the build-time page-encode scratch (construction only).
+	wbuf []byte
 }
 
 // PageSize returns the page size in bytes for block capacity b.
@@ -59,6 +64,7 @@ func Build(b int, pts []geom.Point) *Tree {
 		n:        len(pts),
 		pageSize: PageSize(b),
 	}
+	t.dev = t.pager
 	own := append([]geom.Point(nil), pts...)
 	geom.SortByX(own)
 	t.root, _ = t.build(own)
@@ -67,6 +73,9 @@ func Build(b int, pts []geom.Point) *Tree {
 
 // Pager exposes the underlying device for I/O accounting.
 func (t *Tree) Pager() *disk.Pager { return t.pager }
+
+// SetDevice routes all page I/O through d (e.g. a *disk.Pool over Pager()).
+func (t *Tree) SetDevice(d disk.Device) { t.dev = d }
 
 // Len returns the number of points stored.
 func (t *Tree) Len() int { return t.n }
@@ -145,8 +154,13 @@ func topYIndices(pts []geom.Point, k int) []int {
 }
 
 func (t *Tree) writeNode(nd *pstNode) disk.BlockID {
-	id := t.pager.Alloc()
-	buf := make([]byte, t.pageSize)
+	id := t.dev.Alloc()
+	if t.wbuf == nil {
+		t.wbuf = make([]byte, t.pageSize)
+	} else {
+		clear(t.wbuf)
+	}
+	buf := t.wbuf
 	cnt := len(nd.pts)
 	buf[0] = byte(cnt)
 	buf[1] = byte(cnt >> 8)
@@ -163,30 +177,30 @@ func (t *Tree) writeNode(nd *pstNode) disk.BlockID {
 		putLE64(buf[off+16:], p.ID)
 		off += pointSize
 	}
-	t.pager.MustWrite(id, buf)
+	disk.MustWriteAt(t.dev, id, buf)
 	return id
 }
 
 func (t *Tree) readNode(id disk.BlockID) *pstNode {
-	buf := make([]byte, t.pageSize)
-	t.pager.MustRead(id, buf)
-	cnt := int(uint16(buf[0]) | uint16(buf[1])<<8)
+	view := disk.MustView(t.dev, id)
+	cnt := int(uint16(view[0]) | uint16(view[1])<<8)
 	nd := &pstNode{
-		left:  disk.BlockID(int64(le64(buf[2:]))),
-		right: disk.BlockID(int64(le64(buf[10:]))),
-		lspan: span{lo: int64(le64(buf[18:])), hi: int64(le64(buf[26:]))},
-		rspan: span{lo: int64(le64(buf[34:])), hi: int64(le64(buf[42:]))},
+		left:  disk.BlockID(int64(le64(view[2:]))),
+		right: disk.BlockID(int64(le64(view[10:]))),
+		lspan: span{lo: int64(le64(view[18:])), hi: int64(le64(view[26:]))},
+		rspan: span{lo: int64(le64(view[34:])), hi: int64(le64(view[42:]))},
 	}
 	off := nodeHeader
 	nd.pts = make([]geom.Point, cnt)
 	for i := 0; i < cnt; i++ {
 		nd.pts[i] = geom.Point{
-			X:  int64(le64(buf[off:])),
-			Y:  int64(le64(buf[off+8:])),
-			ID: le64(buf[off+16:]),
+			X:  int64(le64(view[off:])),
+			Y:  int64(le64(view[off+8:])),
+			ID: le64(view[off+16:]),
 		}
 		off += pointSize
 	}
+	t.dev.Release(id)
 	return nd
 }
 
@@ -215,35 +229,53 @@ func (t *Tree) Query(q geom.ThreeSidedQuery, emit geom.Emit) {
 	t.query(t.root, q, emit)
 }
 
-// query returns false if enumeration was stopped early.
+// query returns false if enumeration was stopped early. The node is read
+// through a borrowed zero-copy view: points are streamed to emit and the
+// child pointers extracted into locals, so the view is released before
+// recursing and the whole descent allocates nothing.
 func (t *Tree) query(id disk.BlockID, q geom.ThreeSidedQuery, emit geom.Emit) bool {
-	nd := t.readNode(id)
-	for _, p := range nd.pts {
+	view := disk.MustView(t.dev, id)
+	cnt := int(uint16(view[0]) | uint16(view[1])<<8)
+	stopped := false
+	// Children can hold points with y >= q.Y only when this node is full
+	// and its smallest stored y is still >= q.Y (heap property).
+	prune := cnt < t.b
+	for i, off := 0, nodeHeader; i < cnt; i, off = i+1, off+pointSize {
+		p := geom.Point{
+			X:  int64(le64(view[off:])),
+			Y:  int64(le64(view[off+8:])),
+			ID: le64(view[off+16:]),
+		}
 		// Stored points are sorted by decreasing y: stop at the threshold.
 		if p.Y < q.Y {
+			prune = true
 			break
 		}
 		if p.X >= q.X1 && p.X <= q.X2 {
 			if !emit(p) {
-				return false
+				stopped = true
+				break
 			}
 		}
 	}
-	// Children can hold points with y >= q.Y only when this node is full
-	// and its smallest stored y is still >= q.Y (heap property).
-	if len(nd.pts) < t.b {
+	left := disk.BlockID(int64(le64(view[2:])))
+	right := disk.BlockID(int64(le64(view[10:])))
+	lspan := span{lo: int64(le64(view[18:])), hi: int64(le64(view[26:]))}
+	rspan := span{lo: int64(le64(view[34:])), hi: int64(le64(view[42:]))}
+	t.dev.Release(id)
+	if stopped {
+		return false
+	}
+	if prune {
 		return true
 	}
-	if nd.pts[len(nd.pts)-1].Y < q.Y {
-		return true
-	}
-	if nd.left != disk.NilBlock && nd.lspan.intersects(q.X1, q.X2) {
-		if !t.query(nd.left, q, emit) {
+	if left != disk.NilBlock && lspan.intersects(q.X1, q.X2) {
+		if !t.query(left, q, emit) {
 			return false
 		}
 	}
-	if nd.right != disk.NilBlock && nd.rspan.intersects(q.X1, q.X2) {
-		if !t.query(nd.right, q, emit) {
+	if right != disk.NilBlock && rspan.intersects(q.X1, q.X2) {
+		if !t.query(right, q, emit) {
 			return false
 		}
 	}

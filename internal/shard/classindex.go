@@ -36,15 +36,33 @@ type classShard struct {
 	idx  ClassIndex
 }
 
+// poolAttacher is implemented by class-index strategies whose constituent
+// trees can read through a concurrent buffer pool.
+type poolAttacher interface {
+	AttachPool(frames, nShards int)
+}
+
+// poolFlusher writes dirty pooled frames back to the devices.
+type poolFlusher interface {
+	FlushPool()
+}
+
 // NewClasses builds a sharded class index; newIndex constructs one empty
 // per-shard structure (e.g. classindex.NewRakeContract(h, B)) and is
-// called once per shard.
+// called once per shard. Strategies that support it get a per-shard
+// concurrent buffer pool attached (see Config.PoolFrames).
 func NewClasses(cfg Config, h *classindex.Hierarchy, newIndex func() ClassIndex) *Classes {
 	n := cfg.shards()
 	s := &Classes{cfg: cfg, router: NewRouter(n, cfg.Partition, cfg.Span), h: h}
 	s.shards = make([]*classShard, n)
 	for i := 0; i < n; i++ {
-		s.shards[i] = &classShard{idx: newIndex()}
+		idx := newIndex()
+		if pa, ok := idx.(poolAttacher); ok {
+			if f := cfg.poolFrames(); f > 0 {
+				pa.AttachPool(f, poolLockShards)
+			}
+		}
+		s.shards[i] = &classShard{idx: idx}
 	}
 	return s
 }
@@ -59,10 +77,16 @@ func (s *Classes) Insert(o classindex.Object) {
 	sh.cell.insert(o, s.cfg.batch(), sh.idx.Insert)
 }
 
-// Flush forces every shard's pending buffer into its index structure.
+// Flush forces every shard's pending buffer into its index structure and
+// writes dirty pooled frames back to the shard devices.
 func (s *Classes) Flush() {
 	for _, sh := range s.shards {
 		sh.cell.flush(sh.idx.Insert)
+		if pf, ok := sh.idx.(poolFlusher); ok {
+			sh.cell.mu.Lock()
+			pf.FlushPool()
+			sh.cell.mu.Unlock()
+		}
 	}
 }
 

@@ -60,7 +60,16 @@ func NewIntervals(cfg Config, ivs []geom.Interval) *Intervals {
 	}
 	s.shards = make([]*intervalShard, n)
 	for i := 0; i < n; i++ {
-		s.shards[i] = &intervalShard{mgr: intervals.New(intervals.Config{B: cfg.B}, parts[i])}
+		sh := &intervalShard{mgr: intervals.New(intervals.Config{B: cfg.B}, parts[i])}
+		// Route the shard's page I/O through a concurrent CLOCK buffer
+		// pool: queries hit memory-resident frames instead of re-reading
+		// the device, concurrently and race-free (the pool is internally
+		// lock-sharded; the cell's RWMutex already serializes writers
+		// against readers).
+		if f := cfg.poolFrames(); f > 0 {
+			sh.mgr.AttachPool(f, poolLockShards)
+		}
+		s.shards[i] = sh
 	}
 	s.n.Store(int64(len(ivs)))
 	return s
@@ -86,11 +95,27 @@ func (s *Intervals) Insert(iv geom.Interval) {
 	s.n.Add(1)
 }
 
-// Flush forces every shard's pending buffer into its index structure.
+// Flush forces every shard's pending buffer into its index structure and
+// writes dirty pooled frames back to the shard devices.
 func (s *Intervals) Flush() {
 	for _, sh := range s.shards {
 		sh.cell.flush(sh.mgr.Insert)
+		// Write-back mutates device pages, so it needs the writer lock.
+		sh.cell.mu.Lock()
+		sh.mgr.FlushPool()
+		sh.cell.mu.Unlock()
 	}
+}
+
+// PoolStats sums the buffer-pool hit/miss counters across shards (zeros
+// when pooling is disabled).
+func (s *Intervals) PoolStats() (hits, misses int64) {
+	for _, sh := range s.shards {
+		h, m := sh.mgr.PoolStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
 }
 
 // Len returns the number of intervals stored (including pending ones);

@@ -52,6 +52,31 @@ type Config struct {
 	// otherwise). Keys outside the span are clamped to the first/last
 	// shard.
 	Span int64
+	// PoolFrames sizes the per-shard concurrent CLOCK buffer pool
+	// (disk.Pool) that the shard's structures read and write through:
+	// pool hits are served from memory-resident frames without device
+	// I/O. 0 selects DefaultPoolFrames; negative disables pooling (every
+	// access is a device I/O, the paper's bare cost model).
+	PoolFrames int
+}
+
+// DefaultPoolFrames is the per-shard buffer-pool size used when
+// Config.PoolFrames is 0.
+const DefaultPoolFrames = 256
+
+// poolLockShards is the internal lock-shard count of each buffer pool,
+// enough to keep concurrent readers of one index shard from serializing on
+// pool metadata.
+const poolLockShards = 8
+
+func (cfg Config) poolFrames() int {
+	if cfg.PoolFrames < 0 {
+		return 0
+	}
+	if cfg.PoolFrames == 0 {
+		return DefaultPoolFrames
+	}
+	return cfg.PoolFrames
 }
 
 func (cfg Config) shards() int {

@@ -412,3 +412,64 @@ func TestConcurrentClassShards(t *testing.T) {
 		}
 	}
 }
+
+// TestPooledShardsMatchBareShards runs the same fixed-seed mixed workload
+// against a pooled sharded manager (tiny per-shard pools, constant
+// eviction) and a pool-disabled one, asserting identical query results
+// under concurrent readers, and that the pools actually absorbed reads.
+func TestPooledShardsMatchBareShards(t *testing.T) {
+	const span = 1 << 16
+	base := make([]geom.Interval, 4000)
+	rng := rand.New(rand.NewSource(7))
+	for i := range base {
+		lo := rng.Int63n(span)
+		base[i] = geom.Interval{Lo: lo, Hi: lo + rng.Int63n(span/16), ID: uint64(i + 1)}
+	}
+	pooled := NewIntervals(Config{Shards: 4, B: 8, Batch: 8, Partition: PartitionRange, Span: span, PoolFrames: 32}, base)
+	bare := NewIntervals(Config{Shards: 4, B: 8, Batch: 8, Partition: PartitionRange, Span: span, PoolFrames: -1}, base)
+
+	collect := func(s *Intervals, q int64) []uint64 {
+		var ids []uint64
+		s.Stab(q, func(iv geom.Interval) bool {
+			ids = append(ids, iv.ID)
+			return true
+		})
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan string, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(300 + w)))
+			for i := 0; i < 300; i++ {
+				q := rng.Int63n(span)
+				got := collect(pooled, q)
+				want := collect(bare, q)
+				if !equalIDs(got, want) {
+					select {
+					case errc <- "pooled and bare shards diverged":
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+	hits, _ := pooled.PoolStats()
+	if hits == 0 {
+		t.Fatal("pooled manager recorded no pool hits")
+	}
+	if h, m := bare.PoolStats(); h != 0 || m != 0 {
+		t.Fatalf("bare manager recorded pool traffic: %d/%d", h, m)
+	}
+}

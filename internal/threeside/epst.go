@@ -106,30 +106,47 @@ func (t *Tree) queryEPST(e epst, x1, x2, y int64, emit func(rec) bool) bool {
 }
 
 func (t *Tree) queryEPSTNode(id disk.BlockID, x1, x2, y int64, emit func(rec) bool) bool {
-	nd := t.readEPSTNode(id)
-	for _, r := range nd.recs {
+	// Decode the node straight out of a borrowed zero-copy view: the
+	// records are streamed to emit and the child pointers extracted into
+	// locals, so the view is released before recursing (pins never stack
+	// deeper than one page on this path).
+	view := disk.MustView(t.dev, id)
+	cnt := int(uint16(view[0]) | uint16(view[1])<<8)
+	stopped := false
+	prune := cnt < t.cfg.B
+	for i, off := 0, pageHeaderSize; i < cnt; i, off = i+1, off+recSize {
+		r := decodeRec(view, off)
 		if r.pt.Y < y {
+			// Records are y-descending: nothing below this one qualifies,
+			// and the heap property prunes the children too.
+			prune = true
 			break
 		}
 		if r.pt.X >= x1 && r.pt.X <= x2 {
 			if !emit(r) {
-				return false
+				stopped = true
+				break
 			}
 		}
 	}
-	if len(nd.recs) < t.cfg.B {
+	left := disk.BlockID(int64(le64(view[2:])))
+	right := disk.BlockID(int64(le64(view[10:])))
+	lspan := span{lo: int64(le64(view[18:])), hi: int64(le64(view[26:]))}
+	rspan := span{lo: int64(le64(view[34:])), hi: int64(le64(view[42:]))}
+	t.dev.Release(id)
+	if stopped {
+		return false
+	}
+	if prune {
 		return true
 	}
-	if nd.recs[len(nd.recs)-1].pt.Y < y {
-		return true
-	}
-	if nd.left != disk.NilBlock && nd.lspan.intersects(x1, x2) {
-		if !t.queryEPSTNode(nd.left, x1, x2, y, emit) {
+	if left != disk.NilBlock && lspan.intersects(x1, x2) {
+		if !t.queryEPSTNode(left, x1, x2, y, emit) {
 			return false
 		}
 	}
-	if nd.right != disk.NilBlock && nd.rspan.intersects(x1, x2) {
-		if !t.queryEPSTNode(nd.right, x1, x2, y, emit) {
+	if right != disk.NilBlock && rspan.intersects(x1, x2) {
+		if !t.queryEPSTNode(right, x1, x2, y, emit) {
 			return false
 		}
 	}
@@ -148,7 +165,7 @@ func (t *Tree) freeEPSTNode(id disk.BlockID) {
 	nd := t.readEPSTNode(id)
 	t.freeEPSTNode(nd.left)
 	t.freeEPSTNode(nd.right)
-	t.pager.MustFree(id)
+	disk.MustFreeAt(t.dev, id)
 }
 
 // --- node page layout -------------------------------------------------------
@@ -158,8 +175,8 @@ func (t *Tree) freeEPSTNode(id disk.BlockID) {
 // [64:]   records (32 bytes each)
 
 func (t *Tree) writeEPSTNode(nd *epstNode) disk.BlockID {
-	id := t.pager.Alloc()
-	buf := make([]byte, t.cfg.PageSize())
+	id := t.dev.Alloc()
+	buf := t.wpage()
 	cnt := len(nd.recs)
 	buf[0] = byte(cnt)
 	buf[1] = byte(cnt >> 8)
@@ -177,32 +194,25 @@ func (t *Tree) writeEPSTNode(nd *epstNode) disk.BlockID {
 		putLE32(buf[off+24:], r.aux)
 		off += recSize
 	}
-	t.pager.MustWrite(id, buf)
+	disk.MustWriteAt(t.dev, id, buf)
 	return id
 }
 
 func (t *Tree) readEPSTNode(id disk.BlockID) *epstNode {
-	buf := make([]byte, t.cfg.PageSize())
-	t.pager.MustRead(id, buf)
-	cnt := int(uint16(buf[0]) | uint16(buf[1])<<8)
+	view := disk.MustView(t.dev, id)
+	cnt := int(uint16(view[0]) | uint16(view[1])<<8)
 	nd := &epstNode{
-		left:  disk.BlockID(int64(le64(buf[2:]))),
-		right: disk.BlockID(int64(le64(buf[10:]))),
-		lspan: span{lo: int64(le64(buf[18:])), hi: int64(le64(buf[26:]))},
-		rspan: span{lo: int64(le64(buf[34:])), hi: int64(le64(buf[42:]))},
+		left:  disk.BlockID(int64(le64(view[2:]))),
+		right: disk.BlockID(int64(le64(view[10:]))),
+		lspan: span{lo: int64(le64(view[18:])), hi: int64(le64(view[26:]))},
+		rspan: span{lo: int64(le64(view[34:])), hi: int64(le64(view[42:]))},
 	}
 	off := pageHeaderSize
 	nd.recs = make([]rec, cnt)
 	for i := 0; i < cnt; i++ {
-		nd.recs[i] = rec{
-			pt: geom.Point{
-				X:  int64(le64(buf[off:])),
-				Y:  int64(le64(buf[off+8:])),
-				ID: le64(buf[off+16:]),
-			},
-			aux: le32(buf[off+24:]),
-		}
+		nd.recs[i] = decodeRec(view, off)
 		off += recSize
 	}
+	t.dev.Release(id)
 	return nd
 }

@@ -88,7 +88,7 @@ func chooseChild(children []childRef, x int64) int {
 
 func (t *Tree) appendUpd(u *updInfo, r rec) {
 	if u.id == disk.NilBlock {
-		u.id = t.pager.Alloc()
+		u.id = t.dev.Alloc()
 		t.putRecBlock(u.id, []rec{r})
 		u.count = 1
 		return
@@ -215,7 +215,7 @@ func (t *Tree) discardTD(pm *metaCtrl) {
 	t.freeChunks(td.entryBlocks)
 	t.freeEPST(td.pst)
 	if td.upd.id != disk.NilBlock {
-		t.pager.MustFree(td.upd.id)
+		disk.MustFreeAt(t.dev, td.upd.id)
 	}
 	pm.td = &tdInfo{}
 }
@@ -453,13 +453,13 @@ func (t *Tree) freeMetablockContents(m *metaCtrl) {
 	t.freeChunks(m.tsr.blocks)
 	t.freeEPST(m.union)
 	if m.upd.id != disk.NilBlock {
-		t.pager.MustFree(m.upd.id)
+		disk.MustFreeAt(t.dev, m.upd.id)
 	}
 	if m.td != nil {
 		t.freeChunks(m.td.entryBlocks)
 		t.freeEPST(m.td.pst)
 		if m.td.upd.id != disk.NilBlock {
-			t.pager.MustFree(m.td.upd.id)
+			disk.MustFreeAt(t.dev, m.td.upd.id)
 		}
 	}
 }

@@ -29,19 +29,32 @@ func (t *Tree) Query(q geom.ThreeSidedQuery, emit geom.Emit) {
 		return
 	}
 	st := &qstate{q: q, emit: emit}
-	m := t.loadCtrl(t.root)
-	for _, r := range t.updRecs(m.upd) {
-		if !st.offer(r.pt) {
-			return
+	st.offerFn = st.offer
+	st.offerRec = func(r rec) bool { return st.offer(r.pt) }
+	st.offerYFn = func(p geom.Point) bool {
+		if p.Y >= st.q.Y {
+			return st.offer(p)
 		}
+		return true
 	}
-	t.visitLoaded(m, st, true)
+	f := t.getFrame()
+	m := t.loadCtrlFrame(t.root, f)
+	if t.scanUpd(m.upd, st.offerRec) {
+		t.visitLoaded(f, st, true)
+	}
+	t.putFrame(f)
 }
 
 type qstate struct {
 	q       geom.ThreeSidedQuery
 	emit    geom.Emit
 	stopped bool
+
+	// Bound forms of offer, built once per query so hot scan loops don't
+	// materialize a closure per page; offerYFn filters to p.Y >= q.Y.
+	offerFn  geom.Emit
+	offerRec func(rec) bool
+	offerYFn geom.Emit
 }
 
 func (st *qstate) offer(p geom.Point) bool {
@@ -61,14 +74,17 @@ func (t *Tree) visit(id disk.BlockID, st *qstate, reportStored bool) {
 	if st.stopped {
 		return
 	}
-	m := t.loadCtrl(id)
-	t.visitLoaded(m, st, reportStored)
+	f := t.getFrame()
+	t.loadCtrlFrame(id, f)
+	t.visitLoaded(f, st, reportStored)
+	t.putFrame(f)
 }
 
-func (t *Tree) visitLoaded(m *metaCtrl, st *qstate, reportStored bool) {
+func (t *Tree) visitLoaded(f *ctrlFrame, st *qstate, reportStored bool) {
 	if st.stopped {
 		return
 	}
+	m := &f.m
 	if reportStored {
 		t.reportStored3(m, st)
 		if st.stopped {
@@ -78,7 +94,7 @@ func (t *Tree) visitLoaded(m *metaCtrl, st *qstate, reportStored bool) {
 	if len(m.children) == 0 {
 		return
 	}
-	t.processChildren3(m, st)
+	t.processChildren3(f, st)
 }
 
 // reportStored3 emits m's stored points inside the query using the cheapest
@@ -93,10 +109,8 @@ func (t *Tree) reportStored3(m *metaCtrl, st *qstate) {
 	case m.bb.minY >= q.Y && contained:
 		// Entirely inside: dump everything.
 		for _, hb := range m.hblocks {
-			for _, p := range t.readPoints(hb.id) {
-				if !st.offer(p) {
-					return
-				}
+			if !t.scanPoints(hb.id, st.offerFn) {
+				return
 			}
 		}
 	case m.bb.minY >= q.Y:
@@ -109,10 +123,8 @@ func (t *Tree) reportStored3(m *metaCtrl, st *qstate) {
 			if vb.maxX < q.X1 {
 				continue
 			}
-			for _, p := range t.readPoints(vb.id) {
-				if !st.offer(p) {
-					return
-				}
+			if !t.scanPoints(vb.id, st.offerFn) {
+				return
 			}
 		}
 	case contained:
@@ -121,10 +133,8 @@ func (t *Tree) reportStored3(m *metaCtrl, st *qstate) {
 			if hb.maxY < q.Y {
 				break
 			}
-			for _, p := range t.readPoints(hb.id) {
-				if !st.offer(p) {
-					return
-				}
+			if !t.scanPoints(hb.id, st.offerFn) {
+				return
 			}
 			if hb.minY < q.Y {
 				break
@@ -134,7 +144,7 @@ func (t *Tree) reportStored3(m *metaCtrl, st *qstate) {
 		// A corner metablock: both a vertical side and the bottom cross the
 		// box. Use the per-metablock 3-sided structure (Lemma 4.1); this
 		// happens at most twice per query.
-		t.queryEPST(m.pst, q.X1, q.X2, q.Y, func(r rec) bool { return st.offer(r.pt) })
+		t.queryEPST(m.pst, q.X1, q.X2, q.Y, st.offerRec)
 	}
 }
 
@@ -181,10 +191,16 @@ func classify3(c childRef, q geom.ThreeSidedQuery) class3 {
 	}
 }
 
-func (t *Tree) processChildren3(m *metaCtrl, st *qstate) {
+func (t *Tree) processChildren3(f *ctrlFrame, st *qstate) {
+	m := &f.m
 	q := st.q
 	n := len(m.children)
-	classes := make([]class3, n)
+	if cap(f.classes) >= n {
+		f.classes = f.classes[:n]
+	} else {
+		f.classes = make([]class3, n)
+	}
+	classes := f.classes
 	both, bl, br := -1, -1, -1
 	for i, c := range m.children {
 		classes[i] = classify3(c, q)
@@ -197,7 +213,13 @@ func (t *Tree) processChildren3(m *metaCtrl, st *qstate) {
 			br = i
 		}
 	}
-	direct := make([]bool, n)
+	if cap(f.direct) >= n {
+		f.direct = f.direct[:n]
+		clear(f.direct)
+	} else {
+		f.direct = make([]bool, n)
+	}
+	direct := f.direct
 
 	switch {
 	case both >= 0:
@@ -270,10 +292,8 @@ func (t *Tree) processChildren3(m *metaCtrl, st *qstate) {
 				return
 			}
 		}
-		for _, r := range t.updRecs(m.td.upd) {
-			if !emitTD(r) {
-				return
-			}
+		if !t.scanUpd(m.td.upd, emitTD) {
+			return
 		}
 	}
 }
@@ -318,9 +338,13 @@ func (t *Tree) processContained(m *metaCtrl, classes []class3, direct []bool, us
 		return true
 	}
 
-	// Examine the anchor directly.
+	// Examine the anchor directly. The anchor's frame stays live until this
+	// function returns: its TS block list is scanned below while nested
+	// visits use their own frames.
 	direct[anchor] = true
-	anchorCtrl := t.loadCtrl(m.children[anchor].ctrl)
+	af := t.getFrame()
+	defer t.putFrame(af)
+	anchorCtrl := t.loadCtrlFrame(m.children[anchor].ctrl, af)
 	t.reportStored3(anchorCtrl, st)
 	if st.stopped {
 		return false
@@ -356,12 +380,8 @@ func (t *Tree) processContained(m *metaCtrl, classes []class3, direct []bool, us
 			if hb.maxY < q.Y {
 				break
 			}
-			for _, p := range t.readPoints(hb.id) {
-				if p.Y >= q.Y {
-					if !st.offer(p) {
-						return false
-					}
-				}
+			if !t.scanPoints(hb.id, st.offerYFn) {
+				return false
 			}
 			if hb.minY < q.Y {
 				break
@@ -383,8 +403,10 @@ func (t *Tree) processContained(m *metaCtrl, classes []class3, direct []bool, us
 				t.visit(m.children[i].ctrl, st, true)
 			case c3Straddle:
 				direct[i] = true
-				cm := t.loadCtrl(m.children[i].ctrl)
+				cf := t.getFrame()
+				cm := t.loadCtrlFrame(m.children[i].ctrl, cf)
 				t.reportStored3(cm, st)
+				t.putFrame(cf)
 			}
 			if st.stopped {
 				return false

@@ -2,6 +2,7 @@ package threeside
 
 import (
 	"fmt"
+	"sync"
 
 	"ccidx/internal/disk"
 	"ccidx/internal/geom"
@@ -24,12 +25,21 @@ type Config struct {
 func (cfg Config) PageSize() int { return pageHeaderSize + cfg.B*recSize }
 
 // Tree is a 3-sided metablock tree over arbitrary planar points.
-// Not safe for concurrent use.
+//
+// Concurrency: mutations (New, Insert) require external serialization;
+// queries (Query, Walk) may run concurrently with each other — they only
+// read pages and use no shared mutable scratch.
 type Tree struct {
 	cfg   Config
 	pager *disk.Pager
+	dev   disk.Device // page I/O surface; the pager, or a pool over it
 	root  disk.BlockID
 	n     int
+
+	// wbuf is the reusable page-encode scratch (mutate paths only).
+	wbuf []byte
+	// frames recycles query-path control decode targets.
+	frames sync.Pool
 }
 
 // New builds the tree statically over pts (copied).
@@ -38,6 +48,7 @@ func New(cfg Config, pts []geom.Point) *Tree {
 		panic("threeside: B must be at least 4")
 	}
 	t := &Tree{cfg: cfg, pager: disk.NewPager(cfg.PageSize()), n: len(pts)}
+	t.dev = t.pager
 	own := append([]geom.Point(nil), pts...)
 	geom.SortByX(own)
 	t.root = t.buildMeta(own).ctrl
@@ -46,6 +57,10 @@ func New(cfg Config, pts []geom.Point) *Tree {
 
 // Pager exposes the underlying device for I/O accounting.
 func (t *Tree) Pager() *disk.Pager { return t.pager }
+
+// SetDevice routes all page I/O through d — typically a *disk.Pool over
+// Pager(). Call before sharing the tree between goroutines.
+func (t *Tree) SetDevice(d disk.Device) { t.dev = d }
 
 // Len returns the number of points stored.
 func (t *Tree) Len() int { return t.n }
@@ -117,8 +132,18 @@ type chunkRef struct {
 	minX, maxX, minY, maxY int64
 }
 
+// wpage returns the zeroed reusable page-encode scratch (mutate paths only).
+func (t *Tree) wpage() []byte {
+	if t.wbuf == nil {
+		t.wbuf = make([]byte, t.cfg.PageSize())
+	} else {
+		clear(t.wbuf)
+	}
+	return t.wbuf
+}
+
 func (t *Tree) putRecBlock(id disk.BlockID, rs []rec) {
-	buf := make([]byte, t.cfg.PageSize())
+	buf := t.wpage()
 	buf[0] = byte(len(rs))
 	buf[1] = byte(len(rs) >> 8)
 	off := pageHeaderSize
@@ -129,35 +154,72 @@ func (t *Tree) putRecBlock(id disk.BlockID, rs []rec) {
 		putLE32(buf[off+24:], r.aux)
 		off += recSize
 	}
-	t.pager.MustWrite(id, buf)
+	disk.MustWriteAt(t.dev, id, buf)
 }
 
 func (t *Tree) writeRecBlock(rs []rec) disk.BlockID {
 	if len(rs) > t.cfg.B {
 		panic("threeside: record block overflow")
 	}
-	id := t.pager.Alloc()
+	id := t.dev.Alloc()
 	t.putRecBlock(id, rs)
 	return id
 }
 
-func (t *Tree) readRecBlock(id disk.BlockID) []rec {
-	buf := make([]byte, t.cfg.PageSize())
-	t.pager.MustRead(id, buf)
-	cnt := int(uint16(buf[0]) | uint16(buf[1])<<8)
-	rs := make([]rec, cnt)
-	off := pageHeaderSize
-	for i := 0; i < cnt; i++ {
-		rs[i] = rec{
-			pt: geom.Point{
-				X:  int64(le64(buf[off:])),
-				Y:  int64(le64(buf[off+8:])),
-				ID: le64(buf[off+16:]),
-			},
-			aux: le32(buf[off+24:]),
-		}
-		off += recSize
+// decodeRec decodes the record at byte offset off of a page view.
+func decodeRec(view []byte, off int) rec {
+	return rec{
+		pt: geom.Point{
+			X:  int64(le64(view[off:])),
+			Y:  int64(le64(view[off+8:])),
+			ID: le64(view[off+16:]),
+		},
+		aux: le32(view[off+24:]),
 	}
+}
+
+// scanRecs streams the records of page id to fn through a borrowed
+// zero-copy view (one I/O, no allocation); false if fn stopped the scan.
+func (t *Tree) scanRecs(id disk.BlockID, fn func(rec) bool) bool {
+	view := disk.MustView(t.dev, id)
+	cnt := int(uint16(view[0]) | uint16(view[1])<<8)
+	ok := true
+	for i, off := 0, pageHeaderSize; i < cnt; i, off = i+1, off+recSize {
+		if !fn(decodeRec(view, off)) {
+			ok = false
+			break
+		}
+	}
+	t.dev.Release(id)
+	return ok
+}
+
+// scanPoints is scanRecs restricted to the point payload.
+func (t *Tree) scanPoints(id disk.BlockID, fn geom.Emit) bool {
+	view := disk.MustView(t.dev, id)
+	cnt := int(uint16(view[0]) | uint16(view[1])<<8)
+	ok := true
+	for i, off := 0, pageHeaderSize; i < cnt; i, off = i+1, off+recSize {
+		p := geom.Point{
+			X:  int64(le64(view[off:])),
+			Y:  int64(le64(view[off+8:])),
+			ID: le64(view[off+16:]),
+		}
+		if !fn(p) {
+			ok = false
+			break
+		}
+	}
+	t.dev.Release(id)
+	return ok
+}
+
+func (t *Tree) readRecBlock(id disk.BlockID) []rec {
+	var rs []rec
+	t.scanRecs(id, func(r rec) bool {
+		rs = append(rs, r)
+		return true
+	})
 	return rs
 }
 
@@ -200,7 +262,7 @@ func (t *Tree) readPoints(id disk.BlockID) []geom.Point {
 
 func (t *Tree) freeChunks(refs []chunkRef) {
 	for _, c := range refs {
-		t.pager.MustFree(c.id)
+		disk.MustFreeAt(t.dev, c.id)
 	}
 }
 
@@ -220,13 +282,13 @@ func (t *Tree) writeBlob(data []byte) disk.BlockID {
 			hi = len(data)
 		}
 		chunk := data[lo:hi]
-		buf := make([]byte, t.cfg.PageSize())
+		buf := t.wpage()
 		putLE64(buf, uint64(int64(next)))
 		buf[8] = byte(len(chunk))
 		buf[9] = byte(len(chunk) >> 8)
 		copy(buf[blobHeader:], chunk)
-		id := t.pager.Alloc()
-		t.pager.MustWrite(id, buf)
+		id := t.dev.Alloc()
+		disk.MustWriteAt(t.dev, id, buf)
 		next = id
 	}
 	return next
@@ -243,31 +305,36 @@ func (t *Tree) chainGuard(steps int) {
 	}
 }
 
-func (t *Tree) readBlob(head disk.BlockID) []byte {
-	var out []byte
-	buf := make([]byte, t.cfg.PageSize())
+// appendBlob reads a page chain through zero-copy views, appending the
+// payload to dst (reusing its capacity); each chain page costs one I/O.
+func (t *Tree) appendBlob(dst []byte, head disk.BlockID) []byte {
 	steps := 0
 	for id := head; id != disk.NilBlock; {
 		steps++
 		t.chainGuard(steps)
-		t.pager.MustRead(id, buf)
-		next := disk.BlockID(int64(le64(buf)))
-		n := int(uint16(buf[8]) | uint16(buf[9])<<8)
-		out = append(out, buf[blobHeader:blobHeader+n]...)
+		view := disk.MustView(t.dev, id)
+		next := disk.BlockID(int64(le64(view)))
+		n := int(uint16(view[8]) | uint16(view[9])<<8)
+		dst = append(dst, view[blobHeader:blobHeader+n]...)
+		t.dev.Release(id)
 		id = next
 	}
-	return out
+	return dst
+}
+
+func (t *Tree) readBlob(head disk.BlockID) []byte {
+	return t.appendBlob(nil, head)
 }
 
 func (t *Tree) freeBlob(head disk.BlockID) {
-	buf := make([]byte, t.cfg.PageSize())
 	steps := 0
 	for id := head; id != disk.NilBlock; {
 		steps++
 		t.chainGuard(steps)
-		t.pager.MustRead(id, buf)
-		next := disk.BlockID(int64(le64(buf)))
-		t.pager.MustFree(id)
+		view := disk.MustView(t.dev, id)
+		next := disk.BlockID(int64(le64(view)))
+		t.dev.Release(id)
+		disk.MustFreeAt(t.dev, id)
 		id = next
 	}
 }
@@ -277,12 +344,13 @@ func (t *Tree) rewriteBlob(old disk.BlockID, data []byte) disk.BlockID {
 		return t.writeBlob(data)
 	}
 	var ids []disk.BlockID
-	buf := make([]byte, t.cfg.PageSize())
 	for id := old; id != disk.NilBlock; {
 		t.chainGuard(len(ids) + 1)
-		t.pager.MustRead(id, buf)
+		view := disk.MustView(t.dev, id)
 		ids = append(ids, id)
-		id = disk.BlockID(int64(le64(buf)))
+		next := disk.BlockID(int64(le64(view)))
+		t.dev.Release(id)
+		id = next
 	}
 	capPerPage := t.blobCapacity()
 	need := (len(data) + capPerPage - 1) / capPerPage
@@ -290,10 +358,10 @@ func (t *Tree) rewriteBlob(old disk.BlockID, data []byte) disk.BlockID {
 		need = 1
 	}
 	for len(ids) < need {
-		ids = append(ids, t.pager.Alloc())
+		ids = append(ids, t.dev.Alloc())
 	}
 	for len(ids) > need {
-		t.pager.MustFree(ids[len(ids)-1])
+		disk.MustFreeAt(t.dev, ids[len(ids)-1])
 		ids = ids[:len(ids)-1]
 	}
 	for i := 0; i < need; i++ {
@@ -303,7 +371,7 @@ func (t *Tree) rewriteBlob(old disk.BlockID, data []byte) disk.BlockID {
 			hi = len(data)
 		}
 		chunk := data[lo:hi]
-		page := make([]byte, t.cfg.PageSize())
+		page := t.wpage()
 		var next disk.BlockID = disk.NilBlock
 		if i+1 < need {
 			next = ids[i+1]
@@ -312,7 +380,7 @@ func (t *Tree) rewriteBlob(old disk.BlockID, data []byte) disk.BlockID {
 		page[8] = byte(len(chunk))
 		page[9] = byte(len(chunk) >> 8)
 		copy(page[blobHeader:], chunk)
-		t.pager.MustWrite(ids[i], page)
+		disk.MustWriteAt(t.dev, ids[i], page)
 	}
 	return ids[0]
 }
@@ -575,8 +643,106 @@ func (t *Tree) decodeCtrl(data []byte) *metaCtrl {
 	return m
 }
 
+// loadCtrl reads and decodes a control blob into fresh allocations; mutate
+// paths use it. Query paths use loadCtrlFrame with a recycled frame.
 func (t *Tree) loadCtrl(id disk.BlockID) *metaCtrl {
 	return t.decodeCtrl(t.readBlob(id))
+}
+
+// ctrlFrame is a recyclable decode target for query-path metablock loads,
+// plus the per-node child-classification scratch; see the diagonal tree's
+// ctrlFrame for the reasoning. Valid only between getFrame and putFrame.
+type ctrlFrame struct {
+	m    metaCtrl
+	td   tdInfo
+	blob []byte
+
+	classes []class3
+	direct  []bool
+}
+
+func (t *Tree) getFrame() *ctrlFrame {
+	if f, ok := t.frames.Get().(*ctrlFrame); ok {
+		return f
+	}
+	return &ctrlFrame{}
+}
+
+func (t *Tree) putFrame(f *ctrlFrame) { t.frames.Put(f) }
+
+// loadCtrlFrame reads and decodes a control blob into f, reusing every
+// slice capacity the frame owns. I/O cost is identical to loadCtrl.
+func (t *Tree) loadCtrlFrame(id disk.BlockID, f *ctrlFrame) *metaCtrl {
+	f.blob = t.appendBlob(f.blob[:0], id)
+	t.decodeCtrlInto(f.blob, f)
+	return &f.m
+}
+
+func decChunksInto(d *decoder, dst []chunkRef) []chunkRef {
+	n := int(d.u16())
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]chunkRef, n)
+	}
+	for i := range dst {
+		dst[i].id = disk.BlockID(d.i64())
+		dst[i].n = int(d.u16())
+		dst[i].minX = d.i64()
+		dst[i].maxX = d.i64()
+		dst[i].minY = d.i64()
+		dst[i].maxY = d.i64()
+	}
+	return dst
+}
+
+func decTSInto(d *decoder, ts *tsInfo) {
+	ts.blocks = decChunksInto(d, ts.blocks)
+	ts.count = int(d.u32())
+	ts.bottomY = d.i64()
+}
+
+// decodeCtrlInto is decodeCtrl decoding into a reusable frame.
+func (t *Tree) decodeCtrlInto(data []byte, f *ctrlFrame) {
+	d := &decoder{b: data}
+	m := &f.m
+	m.count = int(d.u32())
+	m.bb = decBBox(d)
+	m.vblocks = decChunksInto(d, m.vblocks)
+	m.hblocks = decChunksInto(d, m.hblocks)
+	m.pst = decEPST(d)
+
+	nc := int(d.u16())
+	if cap(m.children) >= nc {
+		m.children = m.children[:nc]
+	} else {
+		m.children = make([]childRef, nc)
+	}
+	for i := range m.children {
+		m.children[i].ctrl = disk.BlockID(d.i64())
+		m.children[i].xlo = d.i64()
+		m.children[i].xhi = d.i64()
+		m.children[i].bb = decBBox(d)
+		m.children[i].storedCount = int(d.u32())
+		m.children[i].subtreeCount = d.i64()
+	}
+	m.union = decEPST(d)
+	decTSInto(d, &m.tsl)
+	decTSInto(d, &m.tsr)
+
+	m.upd.id = disk.BlockID(d.i64())
+	m.upd.count = int(d.u16())
+
+	if d.u8() == 1 {
+		f.td.entryBlocks = decChunksInto(d, f.td.entryBlocks)
+		f.td.count = int(d.u32())
+		f.td.pst = decEPST(d)
+		f.td.upd.id = disk.BlockID(d.i64())
+		f.td.upd.count = int(d.u16())
+		m.td = &f.td
+	} else {
+		m.td = nil
+	}
 }
 
 func (t *Tree) storeCtrl(id disk.BlockID, m *metaCtrl) disk.BlockID {
@@ -588,6 +754,15 @@ func (t *Tree) updRecs(u updInfo) []rec {
 		return nil
 	}
 	return t.readRecBlock(u.id)
+}
+
+// scanUpd streams an update block's buffered records without allocating
+// (no I/O when the block is absent or empty, exactly like updRecs).
+func (t *Tree) scanUpd(u updInfo, fn func(rec) bool) bool {
+	if u.id == disk.NilBlock || u.count == 0 {
+		return true
+	}
+	return t.scanRecs(u.id, fn)
 }
 
 func (t *Tree) updPoints(u updInfo) []geom.Point {
