@@ -1,6 +1,8 @@
 # Developer entry points. CI runs `make ci`; `make bench` regenerates
-# BENCH_PR2.json from a fresh benchmark pass (diffed against the committed
-# pre-PR-2 baseline in bench-baseline-pr1.txt when present).
+# BENCH.json from a fresh benchmark pass (diffed against the committed
+# pre-PR-2 baseline in bench-baseline-pr1.txt when present). BENCH_PR2.json
+# is the frozen PR-2 snapshot; BENCH.json is the rolling document that
+# tracks the benchmark trajectory (E19 churn included) PR over PR.
 
 GO ?= go
 
@@ -9,16 +11,24 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build test race bench experiments ci
+.PHONY: build vet test race race-churn bench experiments ci
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race -short ./...
+
+# The churn/delete suites (shard + intervals oracles) at full size under the
+# race detector — the deletion path's locking is what they exercise.
+race-churn:
+	$(GO) test -race -run 'Churn|Delete' -timeout 10m ./internal/shard/ ./internal/intervals/
 
 # One iteration per benchmark keeps the full sweep cheap; the hot query
 # benchmarks additionally get a steady-state pass (200 iterations, warm
@@ -32,11 +42,11 @@ bench:
 	{ $(GO) test -run=NONE -bench=. -benchtime=1x -benchmem . ; \
 	  $(GO) test -run=NONE -bench='$(HOT_BENCHES)' -benchtime=200x -benchmem . ; } | \
 		tee bench-latest.txt | \
-		$(GO) run ./cmd/experiments -bench-json BENCH_PR2.json \
+		$(GO) run ./cmd/experiments -bench-json BENCH.json \
 			$(if $(BENCH_BASELINE),-bench-baseline $(BENCH_BASELINE))
-	@echo wrote BENCH_PR2.json
+	@echo wrote BENCH.json
 
 experiments:
 	$(GO) run ./cmd/experiments
 
-ci: build test race
+ci: vet build test race race-churn

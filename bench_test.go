@@ -401,6 +401,37 @@ func BenchmarkE17BatchedInsert(b *testing.B) {
 	}
 }
 
+// BenchmarkE19Churn measures mixed insert/delete/query churn through the
+// public interval manager (E19): weak deletes + global rebuilding. Each
+// 4-op cycle inserts a fresh interval, stabs, deletes it again and stabs,
+// so deletes always target live ids at any b.N.
+func BenchmarkE19Churn(b *testing.B) {
+	b.ReportAllocs()
+	const span = int64(1 << 30)
+	im := ccidx.NewIntervalManager(ccidx.Config{B: benchB},
+		workload.UniformIntervals(19, 100000, span, 2000))
+	rng := rand.New(rand.NewSource(19))
+	before := im.Stats()
+	b.ResetTimer()
+	var cur uint64
+	for i := 0; i < b.N; i++ {
+		switch i % 4 {
+		case 0:
+			lo := rng.Int63n(span)
+			cur = uint64(1<<32) + uint64(i)
+			im.Insert(ccidx.Interval{Lo: lo, Hi: lo + rng.Int63n(2000), ID: cur})
+		case 2:
+			if !im.Delete(cur) {
+				b.Fatal("churn delete failed")
+			}
+		default:
+			im.Stab(rng.Int63n(span), func(ccidx.Interval) bool { return true })
+		}
+	}
+	b.StopTimer()
+	report(b, im.Stats().Sub(before).IOs())
+}
+
 // BenchmarkHarnessE1Table regenerates the E1 table (kept cheap by writing to
 // io.Discard); the other tables run through cmd/experiments.
 func BenchmarkHarnessE1Table(b *testing.B) {

@@ -58,6 +58,15 @@ func NewIntervalManager(cfg Config, ivs []Interval) *IntervalManager {
 // Insert adds an interval (semi-dynamic, amortized O(log_B n + log_B^2 n/B)).
 func (im *IntervalManager) Insert(iv Interval) { im.m.Insert(iv) }
 
+// Delete removes the interval with the given id, returning whether it was
+// present. Interval ids must be unique among live intervals (Insert panics
+// on a live duplicate). Deletion combines a real B+-tree delete on the
+// endpoint side with a weak (tombstone) delete and amortized global
+// rebuilding on the metablock side — the paper's structure is
+// semi-dynamic, so the bound is amortized O(log_B n) I/Os and query bounds
+// are unchanged. See DESIGN.md, "Weak deletes and global rebuilding".
+func (im *IntervalManager) Delete(id uint64) bool { return im.m.Delete(id) }
+
 // Len returns the number of intervals.
 func (im *IntervalManager) Len() int { return im.m.Len() }
 
@@ -122,8 +131,12 @@ func (c ShardConfig) internal() shard.Config {
 
 // ShardedIntervalManager is a concurrency-safe interval manager: the
 // workload of IntervalManager partitioned across N shards with per-shard
-// RWMutex guards, group-committed inserts and parallel query fan-out.
-// All methods are safe for concurrent use.
+// RWMutex guards, group-committed inserts and deletes and parallel query
+// fan-out. All methods are safe for concurrent use on DISTINCT interval
+// ids; mutations of the SAME id (reinserting an id while its Delete is in
+// flight) need one logical writer per id, as with any keyed store —
+// unsynchronized same-id races corrupt that id's entries. Interval ids
+// must be unique among live intervals (inserting a live id panics).
 type ShardedIntervalManager struct {
 	s *shard.Intervals
 }
@@ -136,6 +149,14 @@ func NewShardedIntervalManager(cfg ShardConfig, ivs []Interval) *ShardedInterval
 
 // Insert adds an interval (group-committed; visible to queries at once).
 func (sm *ShardedIntervalManager) Insert(iv Interval) { sm.s.Insert(iv) }
+
+// Delete removes the interval with the given id, returning whether it was
+// present. Routing is replica-aware (exactly the shards holding a replica
+// are touched), the delete group-commits through the same pending buffers
+// as inserts, and queries in between observe it immediately. Safe for
+// concurrent use alongside operations on other ids; see the type comment
+// for the one-writer-per-id contract.
+func (sm *ShardedIntervalManager) Delete(id uint64) bool { return sm.s.Delete(id) }
 
 // Flush forces all pending group-commit buffers into the index structures.
 func (sm *ShardedIntervalManager) Flush() { sm.s.Flush() }
@@ -319,9 +340,13 @@ func (ci *ClassIndex) Insert(class string, attr int64, id uint64) {
 	}
 }
 
-// Delete removes an object; only StrategySimple and StrategyFullExtent
-// support it (the 3-sided structures of Theorem 4.7 are semi-dynamic, the
-// paper's open problem).
+// Delete removes an object, returning whether it was present. Every
+// strategy supports it: StrategySimple and StrategyFullExtent delete from
+// their B+-trees directly, and StrategyRakeContract combines B+-tree
+// deletes with weak (tombstone) deletes plus global rebuilding on its
+// 3-sided structures — the paper's structures are semi-dynamic (deletion is
+// its open problem), so the rake-contract path is amortized:
+// O(log2 c * log_B n) I/Os per delete.
 func (ci *ClassIndex) Delete(class string, attr int64, id uint64) bool {
 	o := classindex.Object{Class: ci.classID(class), Attr: attr, ID: id}
 	switch {
@@ -330,7 +355,7 @@ func (ci *ClassIndex) Delete(class string, attr int64, id uint64) bool {
 	case ci.fe != nil:
 		return ci.fe.Delete(o)
 	default:
-		panic("ccidx: StrategyRakeContract does not support deletion")
+		return ci.rc.Delete(o)
 	}
 }
 

@@ -1,0 +1,150 @@
+package ccidx_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ccidx"
+	"ccidx/internal/workload"
+)
+
+// TestClassIndexDeleteAllStrategies pins ClassIndex.Delete for every
+// strategy: present objects delete once (true), repeats and absent objects
+// return false (no panic — StrategyRakeContract used to panic here), and
+// post-delete queries match the live oracle.
+func TestClassIndexDeleteAllStrategies(t *testing.T) {
+	h := workload.Fig5Hierarchy()
+	type obj struct {
+		class string
+		attr  int64
+		id    uint64
+	}
+	objs := []obj{
+		{"Person", 10, 1}, {"Student", 20, 2}, {"Student", 30, 3},
+		{"Professor", 40, 4}, {"AsstProf", 50, 5}, {"AsstProf", 60, 6},
+	}
+	for _, s := range []ccidx.Strategy{
+		ccidx.StrategySimple, ccidx.StrategyFullExtent, ccidx.StrategyRakeContract,
+	} {
+		ci := ccidx.NewClassIndex(h, ccidx.Config{B: 4}, s)
+		for _, o := range objs {
+			ci.Insert(o.class, o.attr, o.id)
+		}
+		if ci.Delete("Person", 999, 12345) {
+			t.Fatalf("strategy %d: delete of absent object returned true", s)
+		}
+		if !ci.Delete("AsstProf", 50, 5) {
+			t.Fatalf("strategy %d: delete of present object returned false", s)
+		}
+		if ci.Delete("AsstProf", 50, 5) {
+			t.Fatalf("strategy %d: double delete returned true", s)
+		}
+		// Full extent of Person now holds everything but id 5.
+		var got []uint64
+		ci.Query("Person", 0, 100, func(_ int64, id uint64) bool {
+			got = append(got, id)
+			return true
+		})
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		want := []uint64{1, 2, 3, 4, 6}
+		if len(got) != len(want) {
+			t.Fatalf("strategy %d: query after delete returned %v, want %v", s, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("strategy %d: query after delete returned %v, want %v", s, got, want)
+			}
+		}
+	}
+}
+
+// TestIntervalManagerDelete pins the public IntervalManager delete path,
+// including churn past the rebuild threshold.
+func TestIntervalManagerDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	ivs := workload.UniformIntervals(81, 500, 1000, 100)
+	im := ccidx.NewIntervalManager(ccidx.Config{B: 8}, ivs)
+	if im.Delete(1 << 50) {
+		t.Fatal("delete of absent id returned true")
+	}
+	deleted := map[uint64]bool{}
+	for i := 0; i < 400; i++ {
+		id := uint64(i)
+		if !im.Delete(id) {
+			t.Fatalf("delete of id %d returned false", id)
+		}
+		deleted[id] = true
+	}
+	if im.Len() != 100 {
+		t.Fatalf("Len=%d", im.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := rng.Int63n(1100)
+		seen := map[uint64]bool{}
+		im.Stab(q, func(iv ccidx.Interval) bool {
+			if deleted[iv.ID] {
+				t.Fatalf("stab %d reported deleted id %d", q, iv.ID)
+			}
+			if seen[iv.ID] {
+				t.Fatalf("stab %d reported id %d twice", q, iv.ID)
+			}
+			seen[iv.ID] = true
+			return true
+		})
+		want := 0
+		for _, iv := range ivs {
+			if !deleted[iv.ID] && iv.Contains(q) {
+				want++
+			}
+		}
+		if len(seen) != want {
+			t.Fatalf("stab %d: %d results, want %d", q, len(seen), want)
+		}
+	}
+}
+
+// TestShardedIntervalManagerDelete pins the public sharded delete path.
+func TestShardedIntervalManagerDelete(t *testing.T) {
+	const span = int64(1 << 12)
+	ivs := workload.UniformIntervals(82, 800, span, 300)
+	sm := ccidx.NewShardedIntervalManager(ccidx.ShardConfig{
+		Shards: 4, B: 8, Batch: 8, Partition: ccidx.PartitionRange, Span: span,
+	}, ivs)
+	if sm.Delete(1 << 50) {
+		t.Fatal("delete of absent id returned true")
+	}
+	deleted := map[uint64]bool{}
+	for i := 0; i < 500; i += 2 {
+		if !sm.Delete(uint64(i)) {
+			t.Fatalf("delete of id %d returned false", i)
+		}
+		deleted[uint64(i)] = true
+	}
+	if sm.Len() != len(ivs)-len(deleted) {
+		t.Fatalf("Len=%d, want %d", sm.Len(), len(ivs)-len(deleted))
+	}
+	// Pending deletes must be invisible to queries even before Flush.
+	for q := int64(0); q < span; q += span / 32 {
+		sm.Stab(q, func(iv ccidx.Interval) bool {
+			if deleted[iv.ID] {
+				t.Fatalf("stab %d reported deleted id %d", q, iv.ID)
+			}
+			return true
+		})
+	}
+	sm.Flush()
+	for q := int64(0); q < span; q += span / 32 {
+		want := 0
+		for _, iv := range ivs {
+			if !deleted[iv.ID] && iv.Contains(q) {
+				want++
+			}
+		}
+		got := 0
+		sm.Stab(q, func(iv ccidx.Interval) bool { got++; return true })
+		if got != want {
+			t.Fatalf("post-flush stab %d: %d results, want %d", q, got, want)
+		}
+	}
+}

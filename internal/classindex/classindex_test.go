@@ -20,6 +20,21 @@ func fig5Hierarchy() *Hierarchy {
 	return h
 }
 
+// pathHierarchy is the degenerate chain of Lemma 4.3: one thick path, so
+// rake-and-contract gives every class a 3-sided home.
+func pathHierarchy(c int) *Hierarchy {
+	h := NewHierarchy()
+	for i := 0; i < c; i++ {
+		parent := ""
+		if i > 0 {
+			parent = "p" + string(rune('0'+(i-1)/10)) + string(rune('0'+(i-1)%10))
+		}
+		h.MustAddClass("p"+string(rune('0'+i/10))+string(rune('0'+i%10)), parent)
+	}
+	h.Freeze()
+	return h
+}
+
 // TestLabelClassReproducesFig5 checks the exact rational labels the paper
 // computes in Fig 5: Person [0,1) with value 0, Student [1/3,2/3),
 // Professor [2/3,1), Assistant Professor [5/6,1).
@@ -243,6 +258,68 @@ func TestFullExtentDelete(t *testing.T) {
 	}
 	if got := queryIDs(f, mustID(h, "Person"), 0, 100); len(got) != 0 {
 		t.Fatal("object visible after delete")
+	}
+}
+
+func TestRakeContractDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// A mix of shapes so both raked (B+-tree) and contracted (3-sided,
+	// weak-delete) homes are exercised.
+	for _, h := range []*Hierarchy{randomHierarchy(rng, 40), pathHierarchy(12), fig5Hierarchy()} {
+		rc := NewRakeContract(h, 4)
+		var objs []Object
+		for i := 0; i < 600; i++ {
+			o := Object{Class: rng.Intn(h.Len()), Attr: rng.Int63n(100), ID: uint64(i)}
+			rc.Insert(o)
+			objs = append(objs, o)
+		}
+		var kept []Object
+		for i, o := range objs {
+			if i%3 == 0 {
+				if !rc.Delete(o) {
+					t.Fatalf("delete %v failed", o)
+				}
+			} else {
+				kept = append(kept, o)
+			}
+		}
+		if rc.Delete(objs[0]) {
+			t.Fatal("double delete succeeded")
+		}
+		if rc.Delete(Object{Class: 0, Attr: 12345, ID: 1 << 40}) {
+			t.Fatal("delete of absent object succeeded")
+		}
+		if rc.Len() != len(kept) {
+			t.Fatalf("Len=%d, want %d", rc.Len(), len(kept))
+		}
+		for trial := 0; trial < 60; trial++ {
+			c := rng.Intn(h.Len())
+			want := oracleIDs(h, kept, c, 0, 99)
+			if got := queryIDs(rc, c, 0, 99); !equalIDs(got, want) {
+				t.Fatalf("after deletes: class %d got %d want %d", c, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestRakeContractMisclassedDelete pins the garbage-in behaviour all
+// strategies share: deleting with an ancestor class touches the ancestor's
+// structures (full extents nest, so the object is found there), but must
+// never panic, and a subsequent correctly-classed delete still clears the
+// remaining copies.
+func TestRakeContractMisclassedDelete(t *testing.T) {
+	h := fig5Hierarchy()
+	rc := NewRakeContract(h, 4)
+	o := Object{Class: mustID(h, "Student"), Attr: 20, ID: 2}
+	rc.Insert(o)
+	// Mis-classed delete via the ancestor: best-effort, no panic.
+	rc.Delete(Object{Class: mustID(h, "Person"), Attr: 20, ID: 2})
+	// The correctly-classed delete must clear what remains without panicking.
+	rc.Delete(o)
+	for _, cls := range []string{"Person", "Student"} {
+		if got := queryIDs(rc, mustID(h, cls), 0, 100); len(got) != 0 {
+			t.Fatalf("object still visible from %s after deletes: %v", cls, got)
+		}
 	}
 }
 

@@ -206,6 +206,41 @@ func (rc *RakeContract) Insert(o Object) {
 	rc.n++
 }
 
+// Delete removes an object, returning whether it was present. The object's
+// copy in each of its log2(c)+1 target structures is removed: B+-tree homes
+// delete for real, 3-sided homes take the weak-delete path of
+// threeside.Tree (tombstone + amortized global rebuild), so the whole
+// operation is amortized O(log2 c * log_B n) I/Os — the Theorem 2.6 delete
+// bound, now available on the Theorem 4.7 structure too.
+func (rc *RakeContract) Delete(o Object) bool {
+	// Presence is decided at the home structure — the one holding exactly
+	// c's full extent — then the replicas in the absorbing ancestors' homes
+	// are removed best-effort. Like the other strategies, Delete must be
+	// called with the class the object was inserted under: an ancestor
+	// class's home also holds the object (full extents nest), so a
+	// mis-classed delete "succeeds" against the wrong structure set and
+	// leaves the extents inconsistent — garbage in, garbage out, but never
+	// a panic, and a subsequent correctly-classed delete still clears the
+	// remaining copies.
+	targets := rc.plan[o.Class]
+	if !rc.deleteFrom(targets[0], o) {
+		return false
+	}
+	for _, tgt := range targets[1:] {
+		rc.deleteFrom(tgt, o)
+	}
+	rc.n--
+	return true
+}
+
+func (rc *RakeContract) deleteFrom(tgt rcTarget, o Object) bool {
+	s := &rc.structs[tgt.structIdx]
+	if s.bt != nil {
+		return s.bt.Delete(o.Attr, o.ID)
+	}
+	return s.ts.Delete(geom.Point{X: o.Attr, Y: tgt.label, ID: o.ID})
+}
+
 // Query reports the full extent of c within [a1,a2]:
 // O(log_B n + log2 B + t/B) I/Os.
 func (rc *RakeContract) Query(c int, a1, a2 int64, emit EmitObject) {

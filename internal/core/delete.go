@@ -1,0 +1,103 @@
+package core
+
+import "ccidx/internal/geom"
+
+// Weak (tombstone) deletion + global rebuilding.
+//
+// The metablock tree is semi-dynamic — deletion is the paper's stated open
+// problem — so deletes follow the standard update-maintenance scheme of the
+// schema-level indexing literature (Blume & Scherp, DEXA 2020; Riveros et
+// al.): Delete records a tombstone against the point, queries filter
+// tombstoned copies at the emit funnel (zero extra block I/Os: the borrowed-
+// view scans are untouched and the directory lives in memory), and once the
+// tombstones outgrow the live set by the alpha threshold the whole tree is
+// rebuilt from its live points with the static Theorem 3.2 construction.
+//
+// Cost: the tombstone itself is free in the I/O model; a rebuild costs the
+// O(n/B) page writes of the static build and is triggered at most once per
+// alpha*n deletes, so deletion is amortized O(1/B * 1/alpha) page writes —
+// well inside the paper's O(log_B n + (log_B n)^2/B) insert bound. Queries
+// keep their O(log_B n + t/B) bound: the structure a query walks is always a
+// legal metablock tree over the physical (live + dead) multiset, whose size
+// is at most (1 + alpha) times the live size.
+
+// rebuildAlphaNum/Den encode the alpha threshold: a global rebuild runs as
+// soon as deadCount * rebuildAlphaDen > n * rebuildAlphaNum, i.e. once the
+// dead fraction exceeds alpha = 1/2 of the live count. The physical multiset
+// is therefore never more than 1.5x the live set.
+const (
+	rebuildAlphaNum = 1
+	rebuildAlphaDen = 2
+)
+
+// Delete weakly removes one copy of p, returning whether a live copy was
+// present. The copy is tombstoned — queries stop reporting it immediately —
+// and physically discarded by the next global rebuild, which runs once
+// tombstones exceed alpha times the live count. Amortized O(1) I/Os plus the
+// rebuild share; see the package comment above.
+func (t *Tree) Delete(p geom.Point) bool {
+	if t.mult[p]-t.dead[p] <= 0 {
+		return false
+	}
+	if t.dead == nil {
+		t.dead = make(map[geom.Point]int)
+	}
+	t.dead[p]++
+	t.deadCount++
+	t.n--
+	if t.deadCount*rebuildAlphaDen > t.n*rebuildAlphaNum {
+		t.globalRebuild()
+	}
+	return true
+}
+
+// DeadCount returns the number of tombstoned copies currently awaiting a
+// global rebuild.
+func (t *Tree) DeadCount() int { return t.deadCount }
+
+// Rebuilds returns how many delete-triggered global rebuilds have run.
+func (t *Tree) Rebuilds() int { return t.rebuilds }
+
+// filterLive drops tombstoned copies from pts in place, reconciling the
+// mult/dead directories for every copy dropped.
+func (t *Tree) filterLive(pts []geom.Point) []geom.Point {
+	if t.deadCount == 0 {
+		return pts
+	}
+	out := pts[:0]
+	for _, p := range pts {
+		if t.dead[p] > 0 {
+			t.dead[p]--
+			if t.dead[p] == 0 {
+				delete(t.dead, p)
+			}
+			t.deadCount--
+			if t.mult[p]--; t.mult[p] == 0 {
+				delete(t.mult, p)
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// globalRebuild discards the whole structure and rebuilds it over the live
+// points with the static construction of Theorem 3.2, resetting the
+// tombstone state. O((n/B) log_B n) in the paper's accounting (O(n/B) page
+// writes here, where sorting is CPU), amortized over the alpha*n deletes
+// that triggered it.
+func (t *Tree) globalRebuild() {
+	pts := t.collectSubtree(t.root)
+	pts = t.filterLive(pts)
+	if t.deadCount != 0 {
+		panic("core: tombstones survived a global rebuild")
+	}
+	if len(pts) != t.n {
+		panic("core: live point count drifted from n across a global rebuild")
+	}
+	t.freeSubtree(t.root)
+	geom.SortByX(pts)
+	t.root = t.buildMetablock(pts, true)
+	t.rebuilds++
+}

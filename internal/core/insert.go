@@ -46,6 +46,7 @@ func (t *Tree) Insert(p geom.Point) {
 		panic(fmt.Sprintf("core: point %v below the diagonal y=x", p))
 	}
 	t.n++
+	t.mult[p]++
 
 	// Descend to the target metablock.
 	var path []step

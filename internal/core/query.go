@@ -39,6 +39,9 @@ import (
 // performs only a handful of small allocations regardless of answer size.
 func (t *Tree) DiagonalQuery(a int64, emit geom.Emit) {
 	st := &qstate{a: a, emit: emit}
+	if t.deadCount > 0 {
+		st.dead = t.dead
+	}
 	st.offerFn = st.offer
 	st.offerRec = func(r rec) bool { return st.offer(r.pt) }
 	st.offerYFn = func(p geom.Point) bool {
@@ -65,6 +68,13 @@ type qstate struct {
 	emit    geom.Emit
 	stopped bool
 
+	// dead is the tree's tombstone directory, nil when no weak deletes are
+	// pending (the common case: the filter then costs one nil check).
+	// suppressed counts, per point, the copies this query has already hidden,
+	// so a point with both live and dead copies still reports its live ones.
+	dead       map[geom.Point]int
+	suppressed map[geom.Point]int
+
 	// offerFn/offerRec/offerYFn are the bound forms of offer, built once
 	// per query so hot scan loops don't materialize a new closure per page.
 	// offerYFn additionally filters to p.Y >= a (the TS-prefix scan).
@@ -74,12 +84,25 @@ type qstate struct {
 }
 
 // offer forwards a point if it satisfies the query; returns false when
-// enumeration must stop.
+// enumeration must stop. Tombstoned copies are filtered here — the single
+// funnel every organisation (blockings, corner, TS, TD) reports through —
+// so weak deletes cost queries no extra block reads.
 func (st *qstate) offer(p geom.Point) bool {
 	if st.stopped {
 		return false
 	}
 	if p.X <= st.a && p.Y >= st.a {
+		if st.dead != nil {
+			if d := st.dead[p]; d > 0 {
+				if st.suppressed == nil {
+					st.suppressed = make(map[geom.Point]int)
+				}
+				if st.suppressed[p] < d {
+					st.suppressed[p]++
+					return true
+				}
+			}
+		}
 		if !st.emit(p) {
 			st.stopped = true
 			return false

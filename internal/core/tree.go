@@ -67,17 +67,29 @@ func (cfg Config) PageSize() int { return pageHeaderSize + cfg.B*recSize }
 
 // Tree is a metablock tree.
 //
-// Concurrency: mutations (New, Insert) require external serialization, but
-// any number of goroutines may run queries (DiagonalQuery, Stab, Walk)
-// concurrently as long as no mutation is in flight — query paths only read
-// pages and use no shared mutable scratch. The shard serving layer provides
-// exactly this discipline with a per-shard RWMutex.
+// Concurrency: mutations (New, Insert, Delete) require external
+// serialization, but any number of goroutines may run queries
+// (DiagonalQuery, Stab, Walk) concurrently as long as no mutation is in
+// flight — query paths only read pages, consult the (then-immutable)
+// tombstone directory, and use no shared mutable scratch. The shard serving
+// layer provides exactly this discipline with a per-shard RWMutex.
 type Tree struct {
 	cfg   Config
 	pager *disk.Pager
 	dev   disk.Device  // page I/O surface; the pager, or a pool over it
 	root  disk.BlockID // control blob of the root metablock
-	n     int
+	n     int          // LIVE points (physical copies = n + deadCount)
+
+	// Weak-delete state (delete.go). mult is the in-memory directory of the
+	// physical point multiset (live + tombstoned copies); dead counts the
+	// tombstoned copies per point and deadCount their total. Directories
+	// cost no block I/O, matching the update-maintenance schemes the
+	// deletion design follows; an external version would be a B-tree at
+	// O(log_B n) I/Os per op without changing the amortized bound.
+	mult      map[geom.Point]int
+	dead      map[geom.Point]int
+	deadCount int
+	rebuilds  int
 
 	// wbuf is the reusable page-encode scratch for mutate paths (exclusive
 	// by the concurrency contract above; never touched by queries).
@@ -99,9 +111,15 @@ func New(cfg Config, pts []geom.Point) *Tree {
 			panic(fmt.Sprintf("core: point %v below the diagonal y=x", p))
 		}
 	}
-	t := &Tree{cfg: cfg, pager: disk.NewPager(cfg.PageSize()), n: len(pts)}
+	t := &Tree{
+		cfg: cfg, pager: disk.NewPager(cfg.PageSize()), n: len(pts),
+		mult: make(map[geom.Point]int, len(pts)),
+	}
 	t.dev = t.pager
 	own := append([]geom.Point(nil), pts...)
+	for _, p := range own {
+		t.mult[p]++
+	}
 	geom.SortByX(own)
 	t.root = t.buildMetablock(own, true)
 	return t

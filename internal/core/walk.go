@@ -7,10 +7,22 @@ import (
 	"ccidx/internal/geom"
 )
 
-// Walk enumerates every point in the tree (stored and buffered), in no
-// particular order. TD entries are bookkeeping copies and are not emitted.
+// Walk enumerates every live point in the tree (stored and buffered), in no
+// particular order. TD entries are bookkeeping copies and are not emitted;
+// tombstoned copies are filtered like the query path filters them.
 func (t *Tree) Walk(emit geom.Emit) {
-	t.walk(t.root, emit)
+	if t.deadCount == 0 {
+		t.walk(t.root, emit)
+		return
+	}
+	suppressed := make(map[geom.Point]int)
+	t.walk(t.root, func(p geom.Point) bool {
+		if suppressed[p] < t.dead[p] {
+			suppressed[p]++
+			return true
+		}
+		return emit(p)
+	})
 }
 
 func (t *Tree) walk(id disk.BlockID, emit geom.Emit) bool {
@@ -44,8 +56,10 @@ func (t *Tree) CheckInvariants() error {
 	if err != nil {
 		return err
 	}
-	if total != t.n {
-		return fmt.Errorf("core: tree claims %d points, found %d", t.n, total)
+	// The physical structure holds the live points plus the tombstoned
+	// copies awaiting the next global rebuild.
+	if total != t.n+t.deadCount {
+		return fmt.Errorf("core: tree claims %d live + %d dead points, found %d", t.n, t.deadCount, total)
 	}
 	rm := t.loadCtrl(t.root)
 	if rm.ts.count != 0 {

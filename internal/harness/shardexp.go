@@ -99,7 +99,9 @@ func driveMixed(s *shard.Intervals, workers, ops int) time.Duration {
 			for i := 0; i < ops; i++ {
 				if i%8 == 7 {
 					lo := rng.Int63n(e16Span)
-					s.Insert(geom.Interval{Lo: lo, Hi: lo + rng.Int63n(e16MaxLen), ID: uint64(g*ops + i)})
+					// High-bit offset keeps worker ids disjoint from the
+					// base set's 0..n-1 (live duplicate ids panic).
+					s.Insert(geom.Interval{Lo: lo, Hi: lo + rng.Int63n(e16MaxLen), ID: uint64(1)<<32 | uint64(g*ops+i)})
 					continue
 				}
 				s.Stab(rng.Int63n(e16Span), func(geom.Interval) bool { return true })

@@ -3,9 +3,11 @@
 // 2.2, Fig 3).
 //
 // A set of intervals supports (1) intersection queries — report every input
-// interval intersecting a query interval — and (2) insertion (the paper's
-// metablock tree is semi-dynamic; deletion remains the paper's closing open
-// problem and is only offered by the naive manager used as a baseline).
+// interval intersecting a query interval — (2) insertion, and (3) deletion
+// by interval id. The paper's metablock tree is semi-dynamic (deletion is
+// its closing open problem); Delete therefore combines the B+-tree's real
+// deletes on the endpoint side with weak (tombstone) deletes and global
+// rebuilding on the metablock side — see core/delete.go.
 //
 // Following the proof of Proposition 2.2, the intervals intersecting
 // [x1,x2] split into:
@@ -22,6 +24,8 @@
 package intervals
 
 import (
+	"strconv"
+
 	"ccidx/internal/bptree"
 	"ccidx/internal/core"
 	"ccidx/internal/disk"
@@ -38,13 +42,20 @@ type Config struct {
 
 // Manager answers interval intersection and stabbing queries.
 //
-// Concurrency: mutations (New, Insert) require external serialization;
-// queries (Stab, Intersect) may run concurrently with each other. The
-// shard serving layer enforces this with a per-shard RWMutex.
+// Concurrency: mutations (New, Insert, Delete) require external
+// serialization; queries (Stab, Intersect) may run concurrently with each
+// other. The shard serving layer enforces this with a per-shard RWMutex.
+//
+// Interval ids must be unique (inserting a live id panics — overwriting
+// would orphan the previous copy forever): the manager keeps an in-memory
+// id directory (zero block I/O, like every other directory in this
+// repository) mapping each id to its endpoints, which is what lets Delete
+// locate the B+-tree entry and the metablock point.
 type Manager struct {
 	endpoints *bptree.Tree // key = Lo, rid = ID, val = Hi
 	stabber   *core.Tree   // points (Lo, Hi)
 	pools     []*disk.Pool // attached buffer pools (nil without AttachPool)
+	dir       map[uint64]geom.Interval
 	n         int
 }
 
@@ -62,12 +73,25 @@ func New(cfg Config, ivs []geom.Interval) *Manager {
 		stabber: core.New(core.Config{
 			B: cfg.B, DisableTS: cfg.DisableTS, DisableCorner: cfg.DisableCorner,
 		}, pts),
-		n: len(ivs),
+		dir: make(map[uint64]geom.Interval, len(ivs)),
+		n:   len(ivs),
 	}
 	for _, iv := range ivs {
 		m.endpoints.InsertEntry(bptree.Entry{Key: iv.Lo, RID: iv.ID, Val: uint64(iv.Hi)})
+		m.addDir(iv)
 	}
 	return m
+}
+
+// addDir registers an interval in the id directory, panicking on a
+// duplicate id: silently overwriting would orphan the previous copy's
+// endpoint entry and stabber point forever (unreachable by Delete, still
+// reported by queries), so the misuse fails loudly at the call instead.
+func (m *Manager) addDir(iv geom.Interval) {
+	if _, dup := m.dir[iv.ID]; dup {
+		panic("intervals: duplicate interval id " + strconv.FormatUint(iv.ID, 10))
+	}
+	m.dir[iv.ID] = iv
 }
 
 // Len returns the number of intervals stored.
@@ -115,10 +139,36 @@ func (m *Manager) Insert(iv geom.Interval) {
 	if !iv.Valid() {
 		panic("intervals: invalid interval " + iv.String())
 	}
+	m.addDir(iv)
 	m.endpoints.InsertEntry(bptree.Entry{Key: iv.Lo, RID: iv.ID, Val: uint64(iv.Hi)})
 	m.stabber.Insert(iv.ToPoint())
 	m.n++
 }
+
+// Delete removes the interval with the given id, returning whether it was
+// present. The endpoint side is a real B+-tree delete (O(log_B n)); the
+// stabbing side is a weak delete on the metablock tree — a tombstone plus
+// an amortized share of its global rebuild — so the whole operation is
+// amortized O(log_B n) I/Os without disturbing the query bounds.
+func (m *Manager) Delete(id uint64) bool {
+	iv, ok := m.dir[id]
+	if !ok {
+		return false
+	}
+	if !m.endpoints.Delete(iv.Lo, id) {
+		panic("intervals: id directory out of sync with endpoint tree")
+	}
+	if !m.stabber.Delete(iv.ToPoint()) {
+		panic("intervals: id directory out of sync with metablock tree")
+	}
+	delete(m.dir, id)
+	m.n--
+	return true
+}
+
+// Rebuilds returns how many delete-triggered global rebuilds the stabbing
+// structure has run.
+func (m *Manager) Rebuilds() int { return m.stabber.Rebuilds() }
 
 // EmitInterval receives reported intervals; returning false stops the
 // enumeration early.
@@ -172,17 +222,20 @@ func (m *Manager) SpaceBlocks() int64 {
 	return m.endpoints.Pager().Allocated() + m.stabber.Pager().Allocated()
 }
 
-// Naive is the baseline manager: intervals in insertion order, packed B per
-// page; every query scans all n/B pages. It supports deletion, which the
-// optimal structure does not (the paper's open problem), and serves as the
-// correctness oracle in tests.
+// Naive is the baseline manager: intervals packed B per page; every query
+// scans all pages. It supports deletion trivially and serves as the
+// correctness oracle in tests. Pages that churn empties are freed and pages
+// with holes are refilled by later inserts, so SpaceBlocks() stays bounded
+// by the live interval count no matter how long the workload runs.
 type Naive struct {
-	pager *disk.Pager
-	dev   disk.Device
-	b     int
-	pages []disk.BlockID
-	n     int
-	wbuf  []byte // page-encode scratch (mutate paths only)
+	pager  *disk.Pager
+	dev    disk.Device
+	b      int
+	pages  []disk.BlockID
+	counts []int // per-page fill counts (in-memory directory, no I/O)
+	holes  int   // number of pages with counts[i] < b
+	n      int
+	wbuf   []byte // page-encode scratch (mutate paths only)
 }
 
 const naiveRecSize = 24
@@ -199,6 +252,10 @@ func (nv *Naive) Len() int { return nv.n }
 
 // Pager exposes the device for I/O accounting.
 func (nv *Naive) Pager() *disk.Pager { return nv.pager }
+
+// SpaceBlocks returns the number of live pages; with emptied pages freed
+// and holes refilled it is bounded by the live interval count.
+func (nv *Naive) SpaceBlocks() int64 { return nv.pager.Allocated() }
 
 // scanPage streams one page's intervals to fn through a borrowed zero-copy
 // view (one I/O, no allocation); false if fn stopped the scan.
@@ -249,33 +306,67 @@ func (nv *Naive) writePage(id disk.BlockID, ivs []geom.Interval) {
 	disk.MustWriteAt(nv.dev, id, buf)
 }
 
-// Insert appends an interval in O(1) I/Os.
+// Insert adds an interval in O(1) I/Os, reusing the rightmost page with a
+// free slot — which is the freshly allocated tail page in append-only
+// workloads, and a deletion hole under churn (the old code only ever
+// refilled the last page, so holes accumulated forever). Locating the hole
+// scans the in-memory counts (CPU only, no I/O; entered only when holes
+// exist): worst case O(#pages) comparisons, which the oracle's own cost
+// profile dominates — every Delete already READS O(n/B) pages.
 func (nv *Naive) Insert(iv geom.Interval) {
-	if len(nv.pages) > 0 {
-		last := nv.pages[len(nv.pages)-1]
-		ivs := nv.readPage(last)
-		if len(ivs) < nv.b {
-			nv.writePage(last, append(ivs, iv))
-			nv.n++
-			return
+	if nv.holes > 0 {
+		for i := len(nv.pages) - 1; i >= 0; i-- {
+			if nv.counts[i] < nv.b {
+				ivs := nv.readPage(nv.pages[i])
+				nv.writePage(nv.pages[i], append(ivs, iv))
+				if nv.counts[i]++; nv.counts[i] == nv.b {
+					nv.holes--
+				}
+				nv.n++
+				return
+			}
 		}
+		panic("intervals: naive hole count out of sync")
 	}
 	id := nv.pager.Alloc()
 	nv.writePage(id, []geom.Interval{iv})
 	nv.pages = append(nv.pages, id)
+	nv.counts = append(nv.counts, 1)
+	if nv.b > 1 {
+		nv.holes++
+	}
 	nv.n++
 }
 
 // Delete removes the interval with the given id (full scan, O(n/B) I/Os).
+// A page whose last interval is removed is freed and dropped from the scan
+// list, so neither SpaceBlocks() nor the O(n/B) query scans grow without
+// bound under churn.
 func (nv *Naive) Delete(id uint64) bool {
-	for _, pg := range nv.pages {
+	for pi, pg := range nv.pages {
 		ivs := nv.readPage(pg)
 		for i, iv := range ivs {
-			if iv.ID == id {
-				nv.writePage(pg, append(ivs[:i:i], ivs[i+1:]...))
-				nv.n--
-				return true
+			if iv.ID != id {
+				continue
 			}
+			rest := append(ivs[:i:i], ivs[i+1:]...)
+			hadHole := nv.counts[pi] < nv.b
+			if len(rest) == 0 {
+				disk.MustFreeAt(nv.dev, pg)
+				nv.pages = append(nv.pages[:pi], nv.pages[pi+1:]...)
+				nv.counts = append(nv.counts[:pi], nv.counts[pi+1:]...)
+				if hadHole {
+					nv.holes--
+				}
+			} else {
+				nv.writePage(pg, rest)
+				nv.counts[pi]--
+				if !hadHole {
+					nv.holes++
+				}
+			}
+			nv.n--
+			return true
 		}
 	}
 	return false

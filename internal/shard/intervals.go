@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"ccidx/internal/disk"
@@ -30,11 +31,44 @@ type Intervals struct {
 	router Router
 	shards []*intervalShard
 	n      atomic.Int64 // logical interval count (primaries only)
+
+	// dir maps live interval ids to their endpoints; Delete routes through
+	// it to exactly the shards holding the interval's replicas. Pending
+	// (not-yet-group-committed) inserts are already listed — directory
+	// membership tracks the logical set, not the flushed one. Insert
+	// publishes an id here only after enqueueing on every replica shard,
+	// which is what orders a racing Delete's ops after the insert's in
+	// each shard buffer. Operations on DISTINCT ids are freely concurrent;
+	// racing mutations of the SAME id (e.g. reinserting an id while a
+	// Delete of it is in flight) need one logical writer per id, as with
+	// any keyed store.
+	dirMu sync.Mutex
+	dir   map[uint64]geom.Interval
+}
+
+// ivOp is one pending group-commit operation: an insert of iv, or a delete
+// of the interval iv (captured in full so query-time merging can filter by
+// geometry without consulting the index).
+type ivOp struct {
+	iv  geom.Interval
+	del bool
 }
 
 type intervalShard struct {
-	cell cell[geom.Interval]
+	cell cell[ivOp]
 	mgr  *intervals.Manager
+}
+
+// apply replays one pending operation into the shard's index structure
+// (called with the shard's write lock held).
+func (sh *intervalShard) apply(op ivOp) {
+	if op.del {
+		if !sh.mgr.Delete(op.iv.ID) {
+			panic("shard: pending delete of an interval its shard does not hold")
+		}
+		return
+	}
+	sh.mgr.Insert(op.iv)
 }
 
 // replicaRange returns the inclusive shard interval that must store iv.
@@ -57,6 +91,17 @@ func NewIntervals(cfg Config, ivs []geom.Interval) *Intervals {
 		for i := first; i <= last; i++ {
 			parts[i] = append(parts[i], iv)
 		}
+	}
+	s.dir = make(map[uint64]geom.Interval, len(ivs))
+	for _, iv := range ivs {
+		// Same loud-failure contract as Insert: a duplicate id in the
+		// initial set would leave one copy undeletable (the directory holds
+		// one entry per id) — and range partitioning can route the copies
+		// to disjoint shards, so no per-shard manager would catch it.
+		if _, dup := s.dir[iv.ID]; dup {
+			panic("shard: duplicate interval id " + iv.String())
+		}
+		s.dir[iv.ID] = iv
 	}
 	s.shards = make([]*intervalShard, n)
 	for i := 0; i < n; i++ {
@@ -87,19 +132,64 @@ func (s *Intervals) Insert(iv geom.Interval) {
 		// interval would make an unrelated later Insert or Flush panic.
 		panic("shard: invalid interval " + iv.String())
 	}
+	// A live duplicate id would silently orphan the previous copy (the
+	// directory can hold only one entry per id); fail loudly up front.
+	// Sequential misuse is caught here; a racing duplicate still panics at
+	// the per-shard manager when its ops are applied.
+	s.dirMu.Lock()
+	_, dup := s.dir[iv.ID]
+	s.dirMu.Unlock()
+	if dup {
+		panic("shard: duplicate interval id " + iv.String())
+	}
+	// Enqueue on every replica shard BEFORE publishing the id in the
+	// directory: a concurrent Delete only acts on ids it finds in dir, and
+	// the publish below happens-after these enqueues, so its delete op is
+	// ordered after the insert op in every shard buffer. Publishing first
+	// would let a racing Delete enqueue ahead of the insert — a flush-time
+	// panic or a resurrected interval.
 	first, last := s.replicaRange(iv)
 	for i := first; i <= last; i++ {
 		sh := s.shards[i]
-		sh.cell.insert(iv, s.cfg.batch(), sh.mgr.Insert)
+		sh.cell.insert(ivOp{iv: iv}, s.cfg.batch(), sh.apply)
 	}
+	s.dirMu.Lock()
+	s.dir[iv.ID] = iv
+	s.dirMu.Unlock()
 	s.n.Add(1)
+}
+
+// Delete removes the interval with the given id, returning whether it was
+// present. Routing is replica-aware: the id directory recovers the
+// endpoints, so the delete is enqueued on exactly the shards whose slices
+// hold a replica (one shard under hash partitioning). Like inserts, deletes
+// group-commit through the pending buffer — a per-shard O(1) append on all
+// but every Batch-th operation — and queries in between merge the buffer,
+// so a deleted interval disappears from results immediately.
+func (s *Intervals) Delete(id uint64) bool {
+	s.dirMu.Lock()
+	iv, ok := s.dir[id]
+	if ok {
+		delete(s.dir, id)
+	}
+	s.dirMu.Unlock()
+	if !ok {
+		return false
+	}
+	first, last := s.replicaRange(iv)
+	for i := first; i <= last; i++ {
+		sh := s.shards[i]
+		sh.cell.insert(ivOp{iv: iv, del: true}, s.cfg.batch(), sh.apply)
+	}
+	s.n.Add(-1)
+	return true
 }
 
 // Flush forces every shard's pending buffer into its index structure and
 // writes dirty pooled frames back to the shard devices.
 func (s *Intervals) Flush() {
 	for _, sh := range s.shards {
-		sh.cell.flush(sh.mgr.Insert)
+		sh.cell.flush(sh.apply)
 		// Write-back mutates device pages, so it needs the writer lock.
 		sh.cell.mu.Lock()
 		sh.mgr.FlushPool()
@@ -122,20 +212,37 @@ func (s *Intervals) PoolStats() (hits, misses int64) {
 // range-partition replicas are not double counted.
 func (s *Intervals) Len() int { return int(s.n.Load()) }
 
+// applyPending folds the ordered pending-op buffer into a result list:
+// matching pending inserts are appended, pending deletes remove the (at
+// most one) earlier occurrence of their id — whether it came from the index
+// or from an earlier pending insert. Replaying in buffer order keeps a
+// delete-then-reinsert of the same id correct.
+func applyPending(out []geom.Interval, pending []ivOp, match func(geom.Interval) bool) []geom.Interval {
+	for _, op := range pending {
+		if op.del {
+			for i := range out {
+				if out[i].ID == op.iv.ID {
+					out = append(out[:i], out[i+1:]...)
+					break
+				}
+			}
+		} else if match(op.iv) {
+			out = append(out, op.iv)
+		}
+	}
+	return out
+}
+
 // stabShard collects the shard's matches for a stabbing query under its
-// read lock: index hits plus a scan of the (bounded) pending buffer.
+// read lock: index hits merged with the (bounded) pending-op buffer.
 func (sh *intervalShard) stabShard(q int64) []geom.Interval {
 	var out []geom.Interval
-	sh.cell.read(func(pending []geom.Interval) {
+	sh.cell.read(func(pending []ivOp) {
 		sh.mgr.Stab(q, func(iv geom.Interval) bool {
 			out = append(out, iv)
 			return true
 		})
-		for _, iv := range pending {
-			if iv.Contains(q) {
-				out = append(out, iv)
-			}
-		}
+		out = applyPending(out, pending, func(iv geom.Interval) bool { return iv.Contains(q) })
 	})
 	return out
 }
@@ -158,18 +265,16 @@ func (s *Intervals) intersectShard(idx int, q geom.Interval) []geom.Interval {
 		return s.router.Route(p) == idx
 	}
 	var out []geom.Interval
-	sh.cell.read(func(pending []geom.Interval) {
+	sh.cell.read(func(pending []ivOp) {
 		sh.mgr.Intersect(q, func(iv geom.Interval) bool {
 			if owns(iv) {
 				out = append(out, iv)
 			}
 			return true
 		})
-		for _, iv := range pending {
-			if iv.Intersects(q) && owns(iv) {
-				out = append(out, iv)
-			}
-		}
+		out = applyPending(out, pending, func(iv geom.Interval) bool {
+			return iv.Intersects(q) && owns(iv)
+		})
 	})
 	return out
 }
@@ -203,7 +308,7 @@ func (s *Intervals) Intersect(q geom.Interval, emit intervals.EmitInterval) {
 func (s *Intervals) Stats() disk.Stats {
 	var st disk.Stats
 	for _, sh := range s.shards {
-		sh.cell.read(func([]geom.Interval) { st = st.Add(sh.mgr.Stats()) })
+		sh.cell.read(func([]ivOp) { st = st.Add(sh.mgr.Stats()) })
 	}
 	return st
 }
@@ -213,7 +318,7 @@ func (s *Intervals) Stats() disk.Stats {
 func (s *Intervals) SpaceBlocks() int64 {
 	var total int64
 	for _, sh := range s.shards {
-		sh.cell.read(func([]geom.Interval) { total += sh.mgr.SpaceBlocks() })
+		sh.cell.read(func([]ivOp) { total += sh.mgr.SpaceBlocks() })
 	}
 	return total
 }

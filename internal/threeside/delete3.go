@@ -1,0 +1,81 @@
+package threeside
+
+import "ccidx/internal/geom"
+
+// Weak (tombstone) deletion + global rebuilding, mirroring the diagonal
+// metablock tree (core/delete.go): Delete records a tombstone, the query
+// emit funnel filters tombstoned copies at zero extra block I/O, and once
+// tombstones exceed alpha = 1/2 of the live count the whole tree is rebuilt
+// over its live points, reusing the in-place rebuildSubtree machinery that
+// already serves the insert cascade. Queries keep the Lemma 4.3 bound
+// because the physical multiset a query walks never exceeds (1 + alpha)
+// times the live set.
+
+// rebuildAlphaNum/Den encode the alpha threshold; see core/delete.go.
+const (
+	rebuildAlphaNum = 1
+	rebuildAlphaDen = 2
+)
+
+// Delete weakly removes one copy of p, returning whether a live copy was
+// present. Amortized O(1) I/Os plus the global-rebuild share.
+func (t *Tree) Delete(p geom.Point) bool {
+	if t.mult[p]-t.dead[p] <= 0 {
+		return false
+	}
+	if t.dead == nil {
+		t.dead = make(map[geom.Point]int)
+	}
+	t.dead[p]++
+	t.deadCount++
+	t.n--
+	if t.deadCount*rebuildAlphaDen > t.n*rebuildAlphaNum {
+		t.globalRebuild()
+	}
+	return true
+}
+
+// DeadCount returns the number of tombstoned copies currently awaiting a
+// global rebuild.
+func (t *Tree) DeadCount() int { return t.deadCount }
+
+// Rebuilds returns how many delete-triggered global rebuilds have run.
+func (t *Tree) Rebuilds() int { return t.rebuilds }
+
+// filterLive drops tombstoned copies from pts in place, reconciling the
+// mult/dead directories for every copy dropped.
+func (t *Tree) filterLive(pts []geom.Point) []geom.Point {
+	if t.deadCount == 0 {
+		return pts
+	}
+	out := pts[:0]
+	for _, p := range pts {
+		if t.dead[p] > 0 {
+			t.dead[p]--
+			if t.dead[p] == 0 {
+				delete(t.dead, p)
+			}
+			t.deadCount--
+			if t.mult[p]--; t.mult[p] == 0 {
+				delete(t.mult, p)
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// globalRebuild rebuilds the whole tree in place over its live points,
+// resetting the tombstone state.
+func (t *Tree) globalRebuild() {
+	pts := t.filterLive(t.collectSubtree(t.root))
+	if t.deadCount != 0 {
+		panic("threeside: tombstones survived a global rebuild")
+	}
+	if len(pts) != t.n {
+		panic("threeside: live point count drifted from n across a global rebuild")
+	}
+	t.rebuildInPlace(t.root, pts, nil)
+	t.rebuilds++
+}

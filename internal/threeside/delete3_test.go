@@ -1,0 +1,177 @@
+package threeside
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccidx/internal/geom"
+)
+
+func collect3(t *Tree, q geom.ThreeSidedQuery) map[geom.Point]int {
+	got := map[geom.Point]int{}
+	t.Query(q, func(p geom.Point) bool {
+		got[p]++
+		return true
+	})
+	return got
+}
+
+func TestDelete3WeakThenQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	pts := make([]geom.Point, 600)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Int63n(2000), Y: rng.Int63n(2000), ID: uint64(i)}
+	}
+	tr := New(Config{B: 4}, pts)
+
+	if tr.Delete(geom.Point{X: -1, Y: -1, ID: 999999}) {
+		t.Fatal("deleted an absent point")
+	}
+	deleted := map[geom.Point]int{}
+	for i := 0; i < 180; i++ {
+		p := pts[i*3]
+		if !tr.Delete(p) {
+			t.Fatalf("delete of present point %v failed", p)
+		}
+		deleted[p]++
+	}
+	if tr.Len() != 420 {
+		t.Fatalf("Len=%d after 180 deletes", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 40; trial++ {
+		x1 := rng.Int63n(2000)
+		q := geom.ThreeSidedQuery{X1: x1, X2: x1 + rng.Int63n(500), Y: rng.Int63n(2000)}
+		want := map[geom.Point]int{}
+		for _, p := range pts {
+			if q.Contains(p) {
+				want[p]++
+			}
+		}
+		for p, d := range deleted {
+			if q.Contains(p) {
+				want[p] -= d
+				if want[p] == 0 {
+					delete(want, p)
+				}
+			}
+		}
+		got := collect3(tr, q)
+		if len(got) != len(want) {
+			t.Fatalf("query %v: %d distinct points, want %d", q, len(got), len(want))
+		}
+		for p, k := range want {
+			if got[p] != k {
+				t.Fatalf("query %v: %v reported %d times, want %d", q, p, got[p], k)
+			}
+		}
+	}
+}
+
+// TestDelete3GlobalRebuild deletes past the alpha threshold and checks the
+// tombstone reset, the space shrink, and post-rebuild I/O sanity.
+func TestDelete3GlobalRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	n := 2000
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Int63n(1 << 20), Y: rng.Int63n(1 << 20), ID: uint64(i)}
+	}
+	tr := New(Config{B: 8}, pts)
+	spaceBefore := tr.Pager().Allocated()
+
+	queryIOs := func() int64 {
+		before := tr.Pager().Stats()
+		for i := 0; i < 20; i++ {
+			x1 := int64(i) * (1 << 20) / 20
+			tr.Query(geom.ThreeSidedQuery{X1: x1, X2: x1 + (1<<20)/40, Y: int64(i%10) * (1 << 20) / 10},
+				func(geom.Point) bool { return true })
+		}
+		return tr.Pager().Stats().Sub(before).IOs()
+	}
+	iosBefore := queryIOs()
+
+	for i := 0; i < 4*n/5; i++ {
+		if !tr.Delete(pts[i]) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Rebuilds() == 0 {
+		t.Fatal("no global rebuild after deleting 80% of the points")
+	}
+	if 2*tr.DeadCount() > tr.Len() {
+		t.Fatalf("dead=%d exceeds alpha*live (live=%d) after rebuild", tr.DeadCount(), tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if space := tr.Pager().Allocated(); space > spaceBefore {
+		t.Fatalf("space %d did not shrink from %d", space, spaceBefore)
+	}
+	if iosAfter := queryIOs(); iosAfter > iosBefore {
+		t.Fatalf("query I/O grew after rebuild: %d > %d", iosAfter, iosBefore)
+	}
+
+	live := map[geom.Point]int{}
+	for _, p := range pts[4*n/5:] {
+		live[p]++
+	}
+	got := map[geom.Point]int{}
+	tr.Walk(func(p geom.Point) bool { got[p]++; return true })
+	if len(got) != len(live) {
+		t.Fatalf("walk found %d distinct points, want %d", len(got), len(live))
+	}
+}
+
+// TestDelete3InterleavedWithInserts churns mixed mutations through the
+// maintenance ladder (including cascaded rebuildSubtree calls) with
+// tombstones pending.
+func TestDelete3InterleavedWithInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tr := New(Config{B: 4}, nil)
+	live := map[geom.Point]int{}
+	var pool []geom.Point
+	nextID := uint64(0)
+	for op := 0; op < 3000; op++ {
+		if rng.Intn(3) < 2 || len(pool) == 0 {
+			p := geom.Point{X: rng.Int63n(4000), Y: rng.Int63n(4000), ID: nextID}
+			nextID++
+			tr.Insert(p)
+			live[p]++
+			pool = append(pool, p)
+		} else {
+			j := rng.Intn(len(pool))
+			p := pool[j]
+			pool[j] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			if !tr.Delete(p) {
+				t.Fatalf("op %d: delete of live point %v failed", op, p)
+			}
+			live[p]--
+			if live[p] == 0 {
+				delete(live, p)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		x1 := rng.Int63n(4000)
+		q := geom.ThreeSidedQuery{X1: x1, X2: x1 + rng.Int63n(1000), Y: rng.Int63n(4000)}
+		want := 0
+		for p, k := range live {
+			if q.Contains(p) {
+				want += k
+			}
+		}
+		got := 0
+		tr.Query(q, func(geom.Point) bool { got++; return true })
+		if got != want {
+			t.Fatalf("query %v reported %d points, want %d", q, got, want)
+		}
+	}
+}

@@ -22,6 +22,7 @@ type step struct {
 // Insert adds p to the tree. Amortized O(log_B n + (log_B n)^2/B) I/Os.
 func (t *Tree) Insert(p geom.Point) {
 	t.n++
+	t.mult[p]++
 
 	var path []step
 	cur := t.root
@@ -412,7 +413,14 @@ func (t *Tree) splitLeaf(id disk.BlockID, path []step) {
 // Rebuilding in place keeps every ancestor id valid; stale CHILD ids left
 // in enclosing overflow lists are handled by the findChild guards.
 func (t *Tree) rebuildSubtree(id disk.BlockID, path []step) {
-	pts := t.collectSubtree(id)
+	t.rebuildInPlace(id, t.collectSubtree(id), path)
+}
+
+// rebuildInPlace is the body of rebuildSubtree with the point set supplied
+// by the caller: the insert cascade passes the subtree's physical points
+// verbatim, while the weak-delete global rebuild (delete3.go) passes the
+// subtree's points with tombstoned copies filtered out.
+func (t *Tree) rebuildInPlace(id disk.BlockID, pts []geom.Point, path []step) {
 	geom.SortByX(pts)
 
 	m := t.loadCtrl(id)

@@ -29,6 +29,9 @@ func (t *Tree) Query(q geom.ThreeSidedQuery, emit geom.Emit) {
 		return
 	}
 	st := &qstate{q: q, emit: emit}
+	if t.deadCount > 0 {
+		st.dead = t.dead
+	}
 	st.offerFn = st.offer
 	st.offerRec = func(r rec) bool { return st.offer(r.pt) }
 	st.offerYFn = func(p geom.Point) bool {
@@ -50,6 +53,12 @@ type qstate struct {
 	emit    geom.Emit
 	stopped bool
 
+	// dead is the tree's tombstone directory, nil when no weak deletes are
+	// pending; suppressed counts the copies this query has already hidden
+	// (see core's qstate for the per-copy semantics).
+	dead       map[geom.Point]int
+	suppressed map[geom.Point]int
+
 	// Bound forms of offer, built once per query so hot scan loops don't
 	// materialize a closure per page; offerYFn filters to p.Y >= q.Y.
 	offerFn  geom.Emit
@@ -57,11 +66,24 @@ type qstate struct {
 	offerYFn geom.Emit
 }
 
+// offer is the single emit funnel of the query; tombstoned copies are
+// filtered here, so weak deletes cost queries no extra block reads.
 func (st *qstate) offer(p geom.Point) bool {
 	if st.stopped {
 		return false
 	}
 	if st.q.Contains(p) {
+		if st.dead != nil {
+			if d := st.dead[p]; d > 0 {
+				if st.suppressed == nil {
+					st.suppressed = make(map[geom.Point]int)
+				}
+				if st.suppressed[p] < d {
+					st.suppressed[p]++
+					return true
+				}
+			}
+		}
 		if !st.emit(p) {
 			st.stopped = true
 			return false

@@ -26,15 +26,24 @@ func (cfg Config) PageSize() int { return pageHeaderSize + cfg.B*recSize }
 
 // Tree is a 3-sided metablock tree over arbitrary planar points.
 //
-// Concurrency: mutations (New, Insert) require external serialization;
-// queries (Query, Walk) may run concurrently with each other — they only
-// read pages and use no shared mutable scratch.
+// Concurrency: mutations (New, Insert, Delete) require external
+// serialization; queries (Query, Walk) may run concurrently with each other
+// — they only read pages, consult the (then-immutable) tombstone directory,
+// and use no shared mutable scratch.
 type Tree struct {
 	cfg   Config
 	pager *disk.Pager
 	dev   disk.Device // page I/O surface; the pager, or a pool over it
 	root  disk.BlockID
-	n     int
+	n     int // LIVE points (physical copies = n + deadCount)
+
+	// Weak-delete state (delete3.go): the in-memory physical-multiset
+	// directory, the tombstone multiset, and the rebuild counter — the same
+	// scheme as the diagonal tree's (core/delete.go).
+	mult      map[geom.Point]int
+	dead      map[geom.Point]int
+	deadCount int
+	rebuilds  int
 
 	// wbuf is the reusable page-encode scratch (mutate paths only).
 	wbuf []byte
@@ -47,9 +56,15 @@ func New(cfg Config, pts []geom.Point) *Tree {
 	if cfg.B < 4 {
 		panic("threeside: B must be at least 4")
 	}
-	t := &Tree{cfg: cfg, pager: disk.NewPager(cfg.PageSize()), n: len(pts)}
+	t := &Tree{
+		cfg: cfg, pager: disk.NewPager(cfg.PageSize()), n: len(pts),
+		mult: make(map[geom.Point]int, len(pts)),
+	}
 	t.dev = t.pager
 	own := append([]geom.Point(nil), pts...)
+	for _, p := range own {
+		t.mult[p]++
+	}
 	geom.SortByX(own)
 	t.root = t.buildMeta(own).ctrl
 	return t

@@ -107,6 +107,81 @@ func LowerBoundQueries(n int) []int64 {
 	return qs
 }
 
+// --- churn -------------------------------------------------------------------
+
+// ChurnKind tags one operation of a churn stream.
+type ChurnKind int
+
+// Churn operation kinds.
+const (
+	ChurnInsert ChurnKind = iota
+	ChurnDelete
+	ChurnStab
+	ChurnIntersect
+)
+
+// ChurnOp is one operation of a deterministic mixed insert/delete/query
+// stream (experiment E19 and the churn oracle tests).
+type ChurnOp struct {
+	Kind ChurnKind
+	Iv   geom.Interval // ChurnInsert
+	ID   uint64        // ChurnDelete: a then-live interval id
+	Q    int64         // ChurnStab
+	QIv  geom.Interval // ChurnIntersect
+}
+
+// ChurnOps returns a deterministic stream of ops operations mixing inserts,
+// deletes, stabbing and intersection queries (3:3:1:1). Deletes always
+// target an id that is live at that point of the stream — initially the ids
+// of the caller's starting set (liveIDs is copied), afterwards also the ids
+// the stream itself inserted, starting at nextID. The balanced insert:delete
+// ratio keeps the live count roughly stationary, which is what makes the
+// measured per-op costs amortized steady-state figures.
+func ChurnOps(seed int64, liveIDs []uint64, nextID uint64, ops int, span, maxLen int64) []ChurnOp {
+	rng := rand.New(rand.NewSource(seed))
+	live := append([]uint64(nil), liveIDs...)
+	out := make([]ChurnOp, 0, ops)
+	insert := func() {
+		lo := rng.Int63n(span)
+		out = append(out, ChurnOp{Kind: ChurnInsert,
+			Iv: geom.Interval{Lo: lo, Hi: lo + rng.Int63n(maxLen+1), ID: nextID}})
+		live = append(live, nextID)
+		nextID++
+	}
+	for i := 0; i < ops; i++ {
+		switch r := rng.Intn(8); {
+		case r < 3:
+			insert()
+		case r < 6:
+			if len(live) == 0 {
+				insert()
+				continue
+			}
+			j := rng.Intn(len(live))
+			out = append(out, ChurnOp{Kind: ChurnDelete, ID: live[j]})
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		case r == 6:
+			out = append(out, ChurnOp{Kind: ChurnStab, Q: rng.Int63n(span)})
+		default:
+			lo := rng.Int63n(span)
+			out = append(out, ChurnOp{Kind: ChurnIntersect,
+				QIv: geom.Interval{Lo: lo, Hi: lo + rng.Int63n(maxLen+1)}})
+		}
+	}
+	return out
+}
+
+// SeqIDs returns the ids 0..n-1, the id set of a fresh workload of n
+// generated intervals (companion to ChurnOps).
+func SeqIDs(n int) []uint64 {
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	return ids
+}
+
 // --- hierarchies -------------------------------------------------------------
 
 // RandomHierarchy returns a frozen random tree hierarchy with c classes.
