@@ -11,7 +11,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build vet test race race-churn bench experiments ci
+.PHONY: build vet test race race-churn bench bench-smoke experiments ci
 
 build:
 	$(GO) build ./...
@@ -36,7 +36,7 @@ race-churn:
 # is dominated by first-use warmup. The steady pass is emitted second so
 # its lines win in the JSON. bench-baseline-pr1.txt holds the pre-PR-2
 # numbers, produced the same way.
-HOT_BENCHES := BenchmarkE1MetablockQuery|BenchmarkE5IntervalManagement$$|BenchmarkE5NaiveBaseline|BenchmarkE7ExternalPST|BenchmarkE8ThreeSidedMetablock
+HOT_BENCHES := BenchmarkE1MetablockQuery|BenchmarkE5IntervalManagement$$|BenchmarkE5NaiveBaseline|BenchmarkE7ExternalPST|BenchmarkE8ThreeSidedMetablock|BenchmarkE20BatchedStab|BenchmarkStabPendingReplay
 BENCH_BASELINE := $(wildcard bench-baseline-pr1.txt)
 bench:
 	{ $(GO) test -run=NONE -bench=. -benchtime=1x -benchmem . ; \
@@ -46,7 +46,13 @@ bench:
 			$(if $(BENCH_BASELINE),-bench-baseline $(BENCH_BASELINE))
 	@echo wrote BENCH.json
 
+# Small-scale E20: drives the batched query path through every layer
+# (bptree/core/intervals/shard) end to end in a few seconds, so CI
+# exercises the shared-traversal machinery on every push.
+bench-smoke:
+	$(GO) run ./cmd/experiments -run E20 -e20n 20000 -qbatch 1,16,64
+
 experiments:
 	$(GO) run ./cmd/experiments
 
-ci: vet build test race race-churn
+ci: vet build test race race-churn bench-smoke

@@ -432,6 +432,85 @@ func BenchmarkE19Churn(b *testing.B) {
 	report(b, im.Stats().Sub(before).IOs())
 }
 
+// BenchmarkE20BatchedStab measures batched query execution through the
+// sharded serving layer (E20): the identical stabbing stream issued
+// sequentially and at increasing batch sizes. ios/op is the headline — the
+// shared traversal amortizes the per-query search term, locks and pending
+// replays across the batch. Pools are disabled so the saving shows in the
+// I/O counters (the paper's bare cost model), exactly like the E20 table.
+func BenchmarkE20BatchedStab(b *testing.B) {
+	b.ReportAllocs()
+	const span = 1 << 20
+	base := workload.UniformIntervals(20, 100000, span, 1000)
+	for _, batch := range []int{0, 1, 16, 256} {
+		name := "seq"
+		if batch > 0 {
+			name = fmt.Sprintf("batch=%d", batch)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			s := ccidx.NewShardedIntervalManager(ccidx.ShardConfig{
+				Shards: 4, B: 16, Batch: 16,
+				Partition: ccidx.PartitionRange, Span: span, PoolFrames: -1,
+			}, base)
+			qs := workload.StabQueries(22, b.N, span)
+			before := s.Stats()
+			b.ResetTimer()
+			if batch == 0 {
+				for _, q := range qs {
+					s.Stab(q, func(ccidx.Interval) bool { return true })
+				}
+			} else {
+				for _, bq := range workload.QueryBatches(qs, batch) {
+					s.StabBatch(bq, func(int, ccidx.Interval) bool { return true })
+				}
+			}
+			b.StopTimer()
+			report(b, s.Stats().Sub(before).IOs())
+		})
+	}
+}
+
+// BenchmarkStabPendingReplay isolates the pending-op-log replay against a
+// deliberately large group-commit buffer: the per-query path (one full log
+// scan per Stab, unchanged by the batching work) versus the batched path
+// (one grouped replay per batch). Guards the sequential path against
+// regressions while the batch path amortizes.
+func BenchmarkStabPendingReplay(b *testing.B) {
+	b.ReportAllocs()
+	const span = 1 << 20
+	mk := func() *ccidx.ShardedIntervalManager {
+		s := ccidx.NewShardedIntervalManager(ccidx.ShardConfig{
+			Shards: 1, B: benchB, Batch: 4096, // large: the buffer never flushes
+			Partition: ccidx.PartitionRange, Span: span,
+		}, workload.UniformIntervals(23, 20000, span, 2000))
+		rng := rand.New(rand.NewSource(24))
+		for i := 0; i < 2048; i++ { // a fat pending op log
+			lo := rng.Int63n(span)
+			s.Insert(ccidx.Interval{Lo: lo, Hi: lo + rng.Int63n(2000), ID: uint64(1)<<40 | uint64(i)})
+		}
+		return s
+	}
+	b.Run("perQuery", func(b *testing.B) {
+		b.ReportAllocs()
+		s := mk()
+		qs := workload.StabQueries(25, b.N, span)
+		b.ResetTimer()
+		for _, q := range qs {
+			s.Stab(q, func(ccidx.Interval) bool { return true })
+		}
+	})
+	b.Run("batch=256", func(b *testing.B) {
+		b.ReportAllocs()
+		s := mk()
+		qs := workload.StabQueries(25, b.N, span)
+		b.ResetTimer()
+		for _, bq := range workload.QueryBatches(qs, 256) {
+			s.StabBatch(bq, func(int, ccidx.Interval) bool { return true })
+		}
+	})
+}
+
 // BenchmarkHarnessE1Table regenerates the E1 table (kept cheap by writing to
 // io.Discard); the other tables run through cmd/experiments.
 func BenchmarkHarnessE1Table(b *testing.B) {

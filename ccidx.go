@@ -81,6 +81,25 @@ func (im *IntervalManager) Intersect(q Interval, emit func(Interval) bool) {
 	im.m.Intersect(q, intervals.EmitInterval(emit))
 }
 
+// StabBatch answers a batch of stabbing queries in one shared traversal:
+// the structure's upper levels are read once per BATCH instead of once per
+// query, so I/Os per query fall toward the output-driven t/B floor as the
+// batch grows. Results are demultiplexed per query: emit receives the
+// batch position qi of the answered query, and per query the reported
+// multiset is exactly Stab(qs[qi], ...)'s; returning false stops that
+// query only. See DESIGN.md, "Batched query execution".
+func (im *IntervalManager) StabBatch(qs []int64, emit func(qi int, iv Interval) bool) {
+	im.m.StabBatch(qs, intervals.EmitBatch(emit))
+}
+
+// IntersectBatch answers a batch of intersection queries with one batched
+// stabbing pass plus one batched endpoint-tree range pass, reporting each
+// intersecting interval exactly once per query; demultiplexing and
+// early-stop semantics as in StabBatch.
+func (im *IntervalManager) IntersectBatch(qs []Interval, emit func(qi int, iv Interval) bool) {
+	im.m.IntersectBatch(qs, intervals.EmitBatch(emit))
+}
+
 // Stats returns cumulative I/O counters.
 func (im *IntervalManager) Stats() Stats { return im.m.Stats() }
 
@@ -177,6 +196,24 @@ func (sm *ShardedIntervalManager) Intersect(q Interval, emit func(Interval) bool
 	sm.s.Intersect(q, intervals.EmitInterval(emit))
 }
 
+// StabBatch answers a batch of stabbing queries: the batch is sorted and
+// grouped by owning shard, each shard's read lock is acquired ONCE per
+// group, the pending group-commit log is replayed once against the whole
+// group, and every per-shard structure runs its shared-traversal batch
+// pass; shard-groups fan out in parallel. Per query the result multiset is
+// exactly Stab's; emit receives the batch position of the answered query
+// and returning false stops that query only.
+func (sm *ShardedIntervalManager) StabBatch(qs []int64, emit func(qi int, iv Interval) bool) {
+	sm.s.StabBatch(qs, intervals.EmitBatch(emit))
+}
+
+// IntersectBatch is the batched Intersect: one lock acquisition and one
+// pending replay per touched shard for the whole sub-batch, each
+// intersecting interval reported exactly once per query.
+func (sm *ShardedIntervalManager) IntersectBatch(qs []Interval, emit func(qi int, iv Interval) bool) {
+	sm.s.IntersectBatch(qs, intervals.EmitBatch(emit))
+}
+
 // Stats sums the I/O counters of all shard devices (pool hits excluded:
 // the counters measure transfers that actually reached the devices).
 func (sm *ShardedIntervalManager) Stats() Stats { return sm.s.Stats() }
@@ -239,6 +276,29 @@ func (sc *ShardedClassIndex) Query(class string, a1, a2 int64, emit func(attr in
 		panic("ccidx: unknown class " + class)
 	}
 	sc.s.Query(c, a1, a2, classindex.EmitObject(emit))
+}
+
+// ClassRangeQuery is one query of a batched class-index lookup.
+type ClassRangeQuery struct {
+	Class  string
+	A1, A2 int64
+}
+
+// QueryBatch answers a batch of full-extent class queries: each touched
+// shard is locked once for its whole sub-batch and its pending buffer is
+// scanned once for the group, with shards queried in parallel. Per query
+// the result multiset is exactly Query's; emit receives the batch position
+// of the answered query and returning false stops that query only.
+func (sc *ShardedClassIndex) QueryBatch(qs []ClassRangeQuery, emit func(qi int, attr int64, id uint64) bool) {
+	sqs := make([]shard.ClassQuery, len(qs))
+	for i, q := range qs {
+		c, ok := sc.h.Class(q.Class)
+		if !ok {
+			panic("ccidx: unknown class " + q.Class)
+		}
+		sqs[i] = shard.ClassQuery{Class: c, A1: q.A1, A2: q.A2}
+	}
+	sc.s.QueryBatch(sqs, emit)
 }
 
 // Stats sums the I/O counters of all shard structures.

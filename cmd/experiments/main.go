@@ -9,6 +9,8 @@
 //	experiments -list              # list experiment ids
 //	experiments -run E16 -shards 1,2,4,8,16   # override the E16 shard sweep
 //	experiments -run E17 -batch 1,64,1024     # override the E17 batch sweep
+//	experiments -run E20 -qbatch 1,16,256     # override the E20 query-batch sweep
+//	experiments -run E20 -e20n 20000          # small-scale E20 (the CI smoke run)
 //
 // Benchmark JSON mode (the `make bench` target): parse `go test -bench`
 // output from stdin into machine-readable JSON, optionally diffed against
@@ -33,6 +35,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	shards := flag.String("shards", "", "comma-separated shard counts for E16 (default 1,2,4,8)")
 	batch := flag.String("batch", "", "comma-separated group-commit batch sizes for E17 (default 1,16,256)")
+	qbatch := flag.String("qbatch", "", "comma-separated query batch sizes for E20 (default 1,4,16,64,256,1024)")
+	e20n := flag.Int("e20n", 0, "E20 interval count override (default 100000; CI smoke uses a small value)")
 	benchJSON := flag.String("bench-json", "", "parse `go test -bench` output from stdin and write JSON to this file")
 	benchBaseline := flag.String("bench-baseline", "", "optional saved bench output to embed as the before side")
 	flag.Parse()
@@ -50,6 +54,12 @@ func main() {
 	}
 	if *batch != "" {
 		harness.BatchSizes = parseIntList(*batch, "-batch")
+	}
+	if *qbatch != "" {
+		harness.E20BatchSizes = parseIntList(*qbatch, "-qbatch")
+	}
+	if *e20n > 0 {
+		harness.E20Intervals = *e20n
 	}
 
 	if *list {

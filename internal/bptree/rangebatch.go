@@ -1,0 +1,159 @@
+package bptree
+
+import (
+	"sort"
+
+	"ccidx/internal/disk"
+)
+
+// Batched range search: a flood of range queries answered in ONE shared
+// left-to-right traversal instead of one descent per query. The classic
+// external-memory amortization (cf. batched evaluation of free-connex
+// queries, PAPERS.md): with the queries sorted by their lower endpoint,
+//
+//   - every internal node on the union of root-to-leaf paths is read and
+//     decoded ONCE per batch, no matter how many queries descend through
+//     it (the sorted batch is split across the node's children in a single
+//     merge against the separators), and
+//   - every leaf is read ONCE per batch even when several overlapping
+//     ranges cover it (queries activate at their start leaf and retire
+//     when the scan passes their upper endpoint; the walk jumps across
+//     leaf runs no active query needs).
+//
+// A batch of one costs exactly the same I/Os as Range; as the batch grows
+// the O(log_B n) search term is shared, so I/Os per query approach the
+// output-driven t/B floor.
+
+// KeyRange is one query of a batched range search: report every entry with
+// Lo <= Key <= Hi. An inverted range (Lo > Hi) reports nothing, exactly
+// like Range.
+type KeyRange struct {
+	Lo, Hi int64
+}
+
+// leafSeg assigns the contiguous query run order[lo:hi] to the leaf (or,
+// during the descent, internal node) id.
+type leafSeg struct {
+	id     disk.BlockID
+	lo, hi int
+}
+
+// RangeBatch answers every query of qs, reporting each result as
+// (query index, entry) in (key, rid) order per query. emit returning false
+// stops the enumeration for THAT query only (the others keep streaming),
+// mirroring the per-query contract of Range. Results for one query are the
+// exact multiset Range(qs[qi].Lo, qs[qi].Hi) would report.
+//
+// Like Range, this is a read-only path: any number of RangeBatch and Range
+// calls may run concurrently as long as no mutation is in flight.
+func (t *Tree) RangeBatch(qs []KeyRange, emit func(qi int, e Entry) bool) {
+	order := make([]int, 0, len(qs))
+	for i, q := range qs {
+		if q.Lo <= q.Hi {
+			order = append(order, i)
+		}
+	}
+	if len(order) == 0 {
+		return
+	}
+	sort.Slice(order, func(a, b int) bool {
+		qa, qb := qs[order[a]], qs[order[b]]
+		if qa.Lo != qb.Lo {
+			return qa.Lo < qb.Lo
+		}
+		return qa.Hi < qb.Hi
+	})
+
+	// Shared descent: split the Lo-sorted batch across each node's children
+	// with one merge against the separators, level by level, so every
+	// internal page on the union of search paths is read once per batch.
+	frontier := []leafSeg{{t.root, 0, len(order)}}
+	var next []leafSeg
+	for level := 1; level < t.height; level++ {
+		next = next[:0]
+		for _, sg := range frontier {
+			view := disk.MustView(t.dev, sg.id)
+			cnt := int(uint16(view[1]) | uint16(view[2])<<8)
+			qp := sg.lo
+			for ci := 0; ci <= cnt && qp < sg.hi; ci++ {
+				start := qp
+				if ci == cnt {
+					qp = sg.hi
+				} else {
+					sep := viewSep(view, ci)
+					for qp < sg.hi && Less(Entry{Key: qs[order[qp]].Lo}, sep) {
+						qp++
+					}
+				}
+				if qp > start {
+					next = append(next, leafSeg{viewChild(view, cnt, ci), start, qp})
+				}
+			}
+			t.dev.Release(sg.id)
+		}
+		frontier, next = next, frontier
+	}
+
+	// One pass along the leaf chain. frontier is in leaf-chain order (the
+	// queries are Lo-sorted and the descent preserves that order), so each
+	// visited leaf either continues an active query's scan or starts the
+	// next pending one; a leaf overlapped by several queries is read once.
+	done := make([]bool, len(qs))
+	active := make([]int, 0, len(order))
+	si := 0
+	cur := frontier[0].id
+	for cur != disk.NilBlock {
+		view := disk.MustView(t.dev, cur)
+		cnt := int(uint16(view[1]) | uint16(view[2])<<8)
+		nxt := disk.BlockID(int64(le64(view[3:])))
+		for si < len(frontier) && frontier[si].id == cur {
+			for p := frontier[si].lo; p < frontier[si].hi; p++ {
+				active = append(active, order[p])
+			}
+			si++
+		}
+		for i, off := 0, leafHeader; i < cnt; i, off = i+1, off+entrySize {
+			key := int64(le64(view[off:]))
+			decoded := false
+			var e Entry
+			for _, qi := range active {
+				if done[qi] {
+					continue
+				}
+				q := qs[qi]
+				if key < q.Lo {
+					continue
+				}
+				if key > q.Hi {
+					done[qi] = true
+					continue
+				}
+				if !decoded {
+					e = Entry{Key: key, RID: le64(view[off+8:]), Val: le64(view[off+16:])}
+					decoded = true
+				}
+				if !emit(qi, e) {
+					done[qi] = true
+				}
+			}
+		}
+		t.dev.Release(cur)
+		live := active[:0]
+		for _, qi := range active {
+			if !done[qi] {
+				live = append(live, qi)
+			}
+		}
+		active = live
+		if len(active) == 0 {
+			// Nobody needs the next chained leaf: jump straight to the next
+			// pending query's start leaf, or stop.
+			if si >= len(frontier) {
+				return
+			}
+			cur = frontier[si].id
+			continue
+		}
+		cur = nxt
+	}
+}

@@ -1,0 +1,165 @@
+package bptree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRandomTree inserts n random entries (duplicate keys likely) and
+// deletes a fraction again, so leaves carry holes and the chain has seen
+// rebalancing — the shapes RangeBatch must walk correctly.
+func buildRandomTree(t *testing.T, seed int64, n int) (*Tree, []Entry) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tr := New(8)
+	span := int64(n/2 + 1)
+	var live []Entry
+	for i := 0; i < n; i++ {
+		e := Entry{Key: rng.Int63n(span), RID: uint64(i), Val: uint64(rng.Int63())}
+		tr.InsertEntry(e)
+		live = append(live, e)
+	}
+	// Churn: delete a third, insert a few more.
+	for i := 0; i < n/3; i++ {
+		j := rng.Intn(len(live))
+		e := live[j]
+		if !tr.Delete(e.Key, e.RID) {
+			t.Fatalf("delete of live entry %v failed", e)
+		}
+		live[j] = live[len(live)-1]
+		live = live[:len(live)-1]
+	}
+	for i := 0; i < n/10; i++ {
+		e := Entry{Key: rng.Int63n(span), RID: uint64(n + i), Val: uint64(rng.Int63())}
+		tr.InsertEntry(e)
+		live = append(live, e)
+	}
+	return tr, live
+}
+
+// collectSeq runs the sequential Range for q.
+func collectSeq(tr *Tree, q KeyRange) []Entry {
+	var out []Entry
+	tr.Range(q.Lo, q.Hi, func(e Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+func sameEntries(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRangeBatchOracle asserts RangeBatch reports, per query, exactly the
+// entries (and order) of the same queries issued sequentially — including
+// overlapping, nested, empty, inverted and full-domain ranges.
+func TestRangeBatchOracle(t *testing.T) {
+	for _, n := range []int{0, 1, 50, 2000} {
+		tr, _ := buildRandomTree(t, int64(100+n), n)
+		rng := rand.New(rand.NewSource(int64(200 + n)))
+		span := int64(n/2 + 10)
+		for trial := 0; trial < 20; trial++ {
+			k := rng.Intn(40) + 1
+			qs := make([]KeyRange, k)
+			for i := range qs {
+				lo := rng.Int63n(span) - 2
+				var hi int64
+				switch rng.Intn(5) {
+				case 0:
+					hi = lo // point query
+				case 1:
+					hi = lo - 1 - rng.Int63n(3) // inverted: reports nothing
+				case 2:
+					hi = span + 5 // runs off the right end
+				default:
+					hi = lo + rng.Int63n(span/4+1)
+				}
+				qs[i] = KeyRange{Lo: lo, Hi: hi}
+			}
+			got := make([][]Entry, k)
+			tr.RangeBatch(qs, func(qi int, e Entry) bool {
+				got[qi] = append(got[qi], e)
+				return true
+			})
+			for qi, q := range qs {
+				want := collectSeq(tr, q)
+				if !sameEntries(got[qi], want) {
+					t.Fatalf("n=%d trial=%d query %d %+v: batch %d entries, sequential %d",
+						n, trial, qi, q, len(got[qi]), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestRangeBatchEarlyStop asserts a per-query emit stop truncates exactly
+// that query's stream, leaving the others complete.
+func TestRangeBatchEarlyStop(t *testing.T) {
+	tr, _ := buildRandomTree(t, 7, 3000)
+	qs := []KeyRange{{Lo: 0, Hi: 1 << 40}, {Lo: 0, Hi: 1 << 40}, {Lo: 100, Hi: 900}}
+	const cap0 = 7
+	got := make([][]Entry, len(qs))
+	tr.RangeBatch(qs, func(qi int, e Entry) bool {
+		got[qi] = append(got[qi], e)
+		return !(qi == 0 && len(got[0]) >= cap0)
+	})
+	if len(got[0]) != cap0 {
+		t.Fatalf("stopped query reported %d entries, want %d", len(got[0]), cap0)
+	}
+	for qi := 1; qi < len(qs); qi++ {
+		want := collectSeq(tr, qs[qi])
+		if !sameEntries(got[qi], want) {
+			t.Fatalf("query %d truncated by another query's stop: %d vs %d entries",
+				qi, len(got[qi]), len(want))
+		}
+	}
+}
+
+// TestRangeBatchSingleMatchesRangeIOs asserts a batch of one costs exactly
+// the sequential I/Os (the shared traversal degenerates to one descent).
+func TestRangeBatchSingleMatchesRangeIOs(t *testing.T) {
+	tr, _ := buildRandomTree(t, 11, 4000)
+	for _, q := range []KeyRange{{Lo: 10, Hi: 400}, {Lo: 0, Hi: 1 << 40}, {Lo: 1999, Hi: 1999}} {
+		before := tr.Pager().Stats()
+		tr.Range(q.Lo, q.Hi, func(Entry) bool { return true })
+		seq := tr.Pager().Stats().Sub(before).IOs()
+		before = tr.Pager().Stats()
+		tr.RangeBatch([]KeyRange{q}, func(int, Entry) bool { return true })
+		batch := tr.Pager().Stats().Sub(before).IOs()
+		if batch != seq {
+			t.Fatalf("query %+v: batch-of-one cost %d I/Os, sequential %d", q, batch, seq)
+		}
+	}
+}
+
+// TestRangeBatchSharesIOs asserts the amortization itself: many queries in
+// one batch must cost fewer I/Os than the same queries issued one by one.
+func TestRangeBatchSharesIOs(t *testing.T) {
+	tr, _ := buildRandomTree(t, 13, 8000)
+	rng := rand.New(rand.NewSource(14))
+	qs := make([]KeyRange, 128)
+	for i := range qs {
+		lo := rng.Int63n(4000)
+		qs[i] = KeyRange{Lo: lo, Hi: lo + rng.Int63n(200)}
+	}
+	before := tr.Pager().Stats()
+	for _, q := range qs {
+		tr.Range(q.Lo, q.Hi, func(Entry) bool { return true })
+	}
+	seq := tr.Pager().Stats().Sub(before).IOs()
+	before = tr.Pager().Stats()
+	tr.RangeBatch(qs, func(int, Entry) bool { return true })
+	batch := tr.Pager().Stats().Sub(before).IOs()
+	if batch*2 > seq {
+		t.Fatalf("batched traversal shared too little: %d I/Os batched vs %d sequential", batch, seq)
+	}
+}

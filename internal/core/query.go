@@ -81,6 +81,12 @@ type qstate struct {
 	offerFn  geom.Emit
 	offerRec func(rec) bool
 	offerYFn geom.Emit
+
+	// scanDone is grouped-scan bookkeeping of the batched query path
+	// (querybatch.go): within one shared top-down blocking scan it records
+	// that this query's sequential scan would already have stopped. Unused
+	// by single-query paths.
+	scanDone bool
 }
 
 // offer forwards a point if it satisfies the query; returns false when

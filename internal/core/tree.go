@@ -97,6 +97,9 @@ type Tree struct {
 	// frames recycles query-path control-block decode targets so steady-state
 	// queries allocate nothing per metablock visited.
 	frames sync.Pool
+	// bscratch recycles the per-node routing scratch of batched queries
+	// (querybatch.go), the batch counterpart of frames.
+	bscratch sync.Pool
 }
 
 // New builds a metablock tree over pts (which must all satisfy y >= x) with

@@ -1,9 +1,10 @@
-// Package harness runs the reproduction experiments E1-E19 (see DESIGN.md
+// Package harness runs the reproduction experiments E1-E20 (see DESIGN.md
 // for the mapping from the paper's theorems, lemmas and figures to
 // experiment ids). E1-E15 print tables of measured block I/Os against the
 // paper's bound formulas; E16-E17 measure the concurrent sharded serving
 // layer; E18 ablates the read path; E19 measures churn through the weak
-// delete + global rebuilding machinery. EXPERIMENTS.md records the outputs.
+// delete + global rebuilding machinery; E20 measures batched query
+// execution. EXPERIMENTS.md records the outputs.
 package harness
 
 import (
@@ -55,6 +56,7 @@ func All() []Experiment {
 		{"E17", "Batched insert amortization (group commit)", runE17},
 		{"E18", "Read-path ablation: copy vs zero-copy view vs buffer pool", runE18},
 		{"E19", "Churn: weak deletes + global rebuilding", runE19},
+		{"E20", "Batched query execution: shared-traversal reads", runE20},
 	}
 }
 

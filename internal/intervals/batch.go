@@ -1,0 +1,65 @@
+package intervals
+
+import (
+	"ccidx/internal/bptree"
+	"ccidx/internal/geom"
+)
+
+// Batched queries: the manager's two sub-structures each expose a
+// shared-traversal batch pass (core.StabBatch, bptree.RangeBatch), so a
+// flood of queries costs one endpoint-tree walk plus one stabber walk per
+// BATCH instead of per query. Per query, results are the exact multiset of
+// the sequential call; only the interleaving across queries differs.
+
+// EmitBatch receives batched query results: qi is the position in the
+// batch of the query the interval answers. Returning false stops the
+// enumeration for that query only.
+type EmitBatch func(qi int, iv geom.Interval) bool
+
+// StabBatch reports, for every query point qs[qi], every interval
+// containing it — one shared diagonal-corner batch pass over the metablock
+// tree (per-copy tombstone suppression preserved per query). Read-only:
+// safe to run concurrently with other queries.
+func (m *Manager) StabBatch(qs []int64, emit EmitBatch) {
+	m.stabber.StabBatch(qs, func(qi int, p geom.Point) bool {
+		return emit(qi, geom.PointToInterval(p))
+	})
+}
+
+// IntersectBatch reports, for every query interval qs[qi], every interval
+// intersecting it, each exactly once per query: one stabber batch pass
+// answers the types-3/4 split (intervals containing the query's left
+// endpoint), one endpoint-tree batch pass the types-1/2 split (left
+// endpoints strictly inside the query), exactly mirroring Intersect.
+func (m *Manager) IntersectBatch(qs []geom.Interval, emit EmitBatch) {
+	stab := make([]int64, 0, len(qs))
+	idxs := make([]int, 0, len(qs))
+	stopped := make([]bool, len(qs))
+	for i, q := range qs {
+		if !q.Valid() {
+			stopped[i] = true
+			continue
+		}
+		stab = append(stab, q.Lo)
+		idxs = append(idxs, i)
+	}
+	m.stabber.StabBatch(stab, func(bi int, p geom.Point) bool {
+		qi := idxs[bi]
+		if !emit(qi, geom.PointToInterval(p)) {
+			stopped[qi] = true
+			return false
+		}
+		return true
+	})
+	ranges := make([]bptree.KeyRange, len(qs))
+	for i, q := range qs {
+		if stopped[i] || q.Lo == 1<<63-1 {
+			ranges[i] = bptree.KeyRange{Lo: 1, Hi: 0} // inverted: skipped
+			continue
+		}
+		ranges[i] = bptree.KeyRange{Lo: q.Lo + 1, Hi: q.Hi}
+	}
+	m.endpoints.RangeBatch(ranges, func(qi int, e bptree.Entry) bool {
+		return emit(qi, geom.Interval{Lo: e.Key, Hi: int64(e.Val), ID: e.RID})
+	})
+}

@@ -1,0 +1,357 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+
+	"ccidx/internal/classindex"
+	"ccidx/internal/geom"
+	"ccidx/internal/intervals"
+)
+
+// Batched serving-layer queries. The sequential path pays, PER QUERY, a
+// shard read-lock acquisition, a full pending-op-log replay and a complete
+// index traversal. The batched path sorts the queries, groups them by
+// owning shard, and per shard-group pays each of those costs ONCE:
+//
+//   - the shard's read lock is acquired once for the whole group;
+//   - the group runs the per-shard manager's shared-traversal batch
+//     (intervals.Manager.StabBatch / IntersectBatch), so upper index
+//     levels are decoded once per group instead of once per query;
+//   - the pending op log is replayed once against the whole group instead
+//     of once per query, each op routed by binary search over the sorted
+//     group to the run of queries it can affect (the exact stabbed run for
+//     point queries; the Lo-/A1-bounded prefix for interval and attribute
+//     ranges). The sequential path keeps its per-query applyPending
+//     untouched;
+//   - shard-groups fan out in parallel, one goroutine per touched shard.
+//
+// Results are demultiplexed per query: emit(qi, iv) receives the batch
+// position of the answered query, and per query the multiset equals the
+// sequential call's.
+
+// StabBatch answers a batch of stabbing queries, each exactly once per
+// query. Under range partitioning each query touches exactly one shard and
+// the sorted batch splits into contiguous per-shard groups; under hash
+// partitioning every shard processes the whole batch and the per-shard
+// answer sets merge per query.
+func (s *Intervals) StabBatch(qs []int64, emit intervals.EmitBatch) {
+	n := len(qs)
+	if n == 0 {
+		return
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return qs[order[a]] < qs[order[b]] })
+	sorted := make([]int64, n)
+	for i, oi := range order {
+		sorted[i] = qs[oi]
+	}
+
+	out := make([][]geom.Interval, n)
+	switch {
+	case s.cfg.Partition == PartitionRange && s.router.Route(sorted[0]) == s.router.Route(sorted[n-1]):
+		// Whole batch lands in one shard-group: skip the goroutine machinery.
+		s.shards[s.router.Route(sorted[0])].stabBatch(sorted, order, out)
+	case s.cfg.Partition == PartitionRange:
+		var wg sync.WaitGroup
+		for lo := 0; lo < n; {
+			shardIdx := s.router.Route(sorted[lo])
+			hi := lo + 1
+			for hi < n && s.router.Route(sorted[hi]) == shardIdx {
+				hi++
+			}
+			wg.Add(1)
+			go func(shardIdx, lo, hi int) {
+				defer wg.Done()
+				s.shards[shardIdx].stabBatch(sorted[lo:hi], order[lo:hi], out)
+			}(shardIdx, lo, hi)
+			lo = hi
+		}
+		wg.Wait()
+	default:
+		ns := s.router.Shards()
+		perShard := make([][][]geom.Interval, ns)
+		var wg sync.WaitGroup
+		for i := 0; i < ns; i++ {
+			perShard[i] = make([][]geom.Interval, n)
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				s.shards[i].stabBatch(sorted, order, perShard[i])
+			}(i)
+		}
+		wg.Wait()
+		for qi := 0; qi < n; qi++ {
+			for i := 0; i < ns; i++ {
+				out[qi] = append(out[qi], perShard[i][qi]...)
+			}
+		}
+	}
+	for qi := 0; qi < n; qi++ {
+		for _, iv := range out[qi] {
+			if !emit(qi, iv) {
+				break
+			}
+		}
+	}
+}
+
+// stabBatch collects one shard's matches for a sorted group of stabbing
+// queries under ONE read-lock acquisition: one shared index traversal plus
+// one grouped pending replay. idxs maps group positions back to batch
+// positions; out is indexed by batch position (each batch position is
+// written by exactly one goroutine under range partitioning, and by this
+// shard's private buffer under hash partitioning).
+func (sh *intervalShard) stabBatch(qs []int64, idxs []int, out [][]geom.Interval) {
+	sh.cell.read(func(pending []ivOp) {
+		sh.mgr.StabBatch(qs, func(bi int, iv geom.Interval) bool {
+			out[idxs[bi]] = append(out[idxs[bi]], iv)
+			return true
+		})
+		applyPendingBatch(out, idxs, qs, pending)
+	})
+}
+
+// applyPendingBatch is applyPending amortized over a sorted query group:
+// ONE pass over the ordered op log, each op routed to the queries whose
+// stabbing point it contains by binary search (the queries an op cannot
+// affect are never touched). Replaying in buffer order keeps
+// delete-then-reinsert of the same id correct, exactly like applyPending.
+func applyPendingBatch(out [][]geom.Interval, idxs []int, qs []int64, pending []ivOp) {
+	for _, op := range pending {
+		lo := sort.Search(len(qs), func(i int) bool { return qs[i] >= op.iv.Lo })
+		for bi := lo; bi < len(qs) && qs[bi] <= op.iv.Hi; bi++ {
+			qi := idxs[bi]
+			if op.del {
+				// The delete's target is the only earlier occurrence of the
+				// id (geometry op.iv, which contains qs[bi], or it would not
+				// be in out[qi] at all).
+				for j := range out[qi] {
+					if out[qi][j].ID == op.iv.ID {
+						out[qi] = append(out[qi][:j], out[qi][j+1:]...)
+						break
+					}
+				}
+			} else {
+				out[qi] = append(out[qi], op.iv)
+			}
+		}
+	}
+}
+
+// IntersectBatch answers a batch of intersection queries, each intersecting
+// interval reported exactly once per query (the max(iv.Lo, q.Lo) ownership
+// rule of intersectShard deduplicates range-partition replicas). Each
+// touched shard is locked once for its whole sub-batch.
+func (s *Intervals) IntersectBatch(qs []geom.Interval, emit intervals.EmitBatch) {
+	n := len(qs)
+	if n == 0 {
+		return
+	}
+	ns := s.router.Shards()
+	members := make([][]int, ns)
+	for qi, q := range qs {
+		if !q.Valid() {
+			continue
+		}
+		first, last := 0, ns-1
+		if s.cfg.Partition == PartitionRange {
+			first, last = s.router.Route(q.Lo), s.router.Route(q.Hi)
+		}
+		for i := first; i <= last; i++ {
+			members[i] = append(members[i], qi)
+		}
+	}
+	touched := 0
+	for i := 0; i < ns; i++ {
+		if len(members[i]) > 0 {
+			touched++
+		}
+	}
+	shardOuts := make([][][]geom.Interval, ns)
+	var wg sync.WaitGroup
+	for i := 0; i < ns; i++ {
+		if len(members[i]) == 0 {
+			continue
+		}
+		shardOuts[i] = make([][]geom.Interval, len(members[i]))
+		if touched == 1 {
+			// Whole batch lands in one shard: skip the goroutine machinery.
+			s.intersectBatchShard(i, qs, members[i], shardOuts[i])
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.intersectBatchShard(i, qs, members[i], shardOuts[i])
+		}(i)
+	}
+	wg.Wait()
+	out := make([][]geom.Interval, n)
+	for i := 0; i < ns; i++ {
+		for mi, qi := range members[i] {
+			out[qi] = append(out[qi], shardOuts[i][mi]...)
+		}
+	}
+	for qi := 0; qi < n; qi++ {
+		for _, iv := range out[qi] {
+			if !emit(qi, iv) {
+				break
+			}
+		}
+	}
+}
+
+// intersectBatchShard collects one shard's matches for its sub-batch under
+// one read-lock acquisition; out is indexed by sub-batch position (member
+// and out stay positionally aligned through the Lo-sort below, which the
+// caller's merge step tolerates because it maps positions through member).
+func (s *Intervals) intersectBatchShard(idx int, qs []geom.Interval, member []int, out [][]geom.Interval) {
+	sh := s.shards[idx]
+	sort.Slice(member, func(a, b int) bool { return qs[member[a]].Lo < qs[member[b]].Lo })
+	sub := make([]geom.Interval, len(member))
+	for i, qi := range member {
+		sub[i] = qs[qi]
+	}
+	owns := func(q, iv geom.Interval) bool {
+		if s.cfg.Partition != PartitionRange {
+			return true
+		}
+		p := iv.Lo
+		if q.Lo > p {
+			p = q.Lo
+		}
+		return s.router.Route(p) == idx
+	}
+	sh.cell.read(func(pending []ivOp) {
+		sh.mgr.IntersectBatch(sub, func(bi int, iv geom.Interval) bool {
+			if owns(sub[bi], iv) {
+				out[bi] = append(out[bi], iv)
+			}
+			return true
+		})
+		// One pass over the op log for the whole sub-batch: each op is
+		// routed by binary search to the Lo-sorted prefix that can still
+		// intersect it (q.Lo <= op.iv.Hi), then filtered by the other bound.
+		for _, op := range pending {
+			end := sort.Search(len(sub), func(i int) bool { return sub[i].Lo > op.iv.Hi })
+			for bi := 0; bi < end; bi++ {
+				q := sub[bi]
+				if q.Hi < op.iv.Lo || !owns(q, op.iv) {
+					continue
+				}
+				if op.del {
+					for j := range out[bi] {
+						if out[bi][j].ID == op.iv.ID {
+							out[bi] = append(out[bi][:j], out[bi][j+1:]...)
+							break
+						}
+					}
+				} else {
+					out[bi] = append(out[bi], op.iv)
+				}
+			}
+		}
+	})
+}
+
+// ClassQuery is one query of a batched class-index lookup: every object in
+// the full extent of Class with attribute in [A1, A2].
+type ClassQuery struct {
+	Class  int
+	A1, A2 int64
+}
+
+// QueryBatch answers a batch of full-extent class queries. Each touched
+// shard is locked once for its whole sub-batch and its pending buffer is
+// scanned once against the group's precomputed subtree ranges; shards fan
+// out in parallel. Per query the result multiset equals Query's.
+func (s *Classes) QueryBatch(qs []ClassQuery, emit func(qi int, attr int64, id uint64) bool) {
+	n := len(qs)
+	if n == 0 {
+		return
+	}
+	ns := s.router.Shards()
+	members := make([][]int, ns)
+	for qi, q := range qs {
+		if q.A1 > q.A2 {
+			continue
+		}
+		first, last := s.router.RouteRange(q.A1, q.A2)
+		for i := first; i <= last; i++ {
+			members[i] = append(members[i], qi)
+		}
+	}
+	touched := 0
+	for i := 0; i < ns; i++ {
+		if len(members[i]) > 0 {
+			touched++
+		}
+	}
+	shardOuts := make([][][]attrID, ns)
+	var wg sync.WaitGroup
+	for i := 0; i < ns; i++ {
+		if len(members[i]) == 0 {
+			continue
+		}
+		shardOuts[i] = make([][]attrID, len(members[i]))
+		if touched == 1 {
+			s.queryBatchShard(s.shards[i], qs, members[i], shardOuts[i])
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.queryBatchShard(s.shards[i], qs, members[i], shardOuts[i])
+		}(i)
+	}
+	wg.Wait()
+	out := make([][]attrID, n)
+	for i := 0; i < ns; i++ {
+		for mi, qi := range members[i] {
+			out[qi] = append(out[qi], shardOuts[i][mi]...)
+		}
+	}
+	for qi := 0; qi < n; qi++ {
+		for _, r := range out[qi] {
+			if !emit(qi, r.attr, r.id) {
+				break
+			}
+		}
+	}
+}
+
+// queryBatchShard collects one shard's matches for its sub-batch under one
+// read-lock acquisition: per-query index lookups (the strategies' own
+// traversals) plus ONE pass over the pending buffer for the whole group,
+// each object routed by binary search to the A1-sorted prefix whose
+// attribute ranges can still contain it.
+func (s *Classes) queryBatchShard(sh *classShard, qs []ClassQuery, member []int, out [][]attrID) {
+	sort.Slice(member, func(a, b int) bool { return qs[member[a]].A1 < qs[member[b]].A1 })
+	los := make([]int, len(member))
+	his := make([]int, len(member))
+	for mi, qi := range member {
+		los[mi], his[mi] = s.h.SubtreeRange(qs[qi].Class)
+	}
+	sh.cell.read(func(pending []classindex.Object) {
+		for mi, qi := range member {
+			q := qs[qi]
+			sh.idx.Query(q.Class, q.A1, q.A2, func(attr int64, id uint64) bool {
+				out[mi] = append(out[mi], attrID{attr, id})
+				return true
+			})
+		}
+		for _, o := range pending {
+			p := s.h.Pre(o.Class)
+			end := sort.Search(len(member), func(i int) bool { return qs[member[i]].A1 > o.Attr })
+			for mi := 0; mi < end; mi++ {
+				if p >= los[mi] && p < his[mi] && o.Attr <= qs[member[mi]].A2 {
+					out[mi] = append(out[mi], attrID{o.Attr, o.ID})
+				}
+			}
+		}
+	})
+}

@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"sync/atomic"
+
 	"ccidx/internal/classindex"
 	"ccidx/internal/disk"
 )
@@ -96,15 +98,22 @@ type attrID struct {
 }
 
 // queryShard collects one shard's full-extent matches under its read lock:
-// index hits plus a subtree-range filter over the pending buffer.
-func (s *Classes) queryShard(sh *classShard, c int, a1, a2 int64) []attrID {
+// index hits plus a subtree-range filter over the pending buffer. stop is
+// the fan-out's early-termination flag.
+func (s *Classes) queryShard(sh *classShard, c int, a1, a2 int64, stop *atomic.Bool) []attrID {
 	lo, hi := s.h.SubtreeRange(c)
 	var out []attrID
 	sh.cell.read(func(pending []classindex.Object) {
 		sh.idx.Query(c, a1, a2, func(attr int64, id uint64) bool {
+			if stop.Load() {
+				return false
+			}
 			out = append(out, attrID{attr, id})
 			return true
 		})
+		if stop.Load() {
+			return
+		}
 		for _, o := range pending {
 			if p := s.h.Pre(o.Class); p >= lo && p < hi && o.Attr >= a1 && o.Attr <= a2 {
 				out = append(out, attrID{o.Attr, o.ID})
@@ -124,7 +133,7 @@ func (s *Classes) Query(c int, a1, a2 int64, emit classindex.EmitObject) {
 	}
 	first, last := s.router.RouteRange(a1, a2)
 	fanOut(first, last,
-		func(i int) []attrID { return s.queryShard(s.shards[i], c, a1, a2) },
+		func(i int, stop *atomic.Bool) []attrID { return s.queryShard(s.shards[i], c, a1, a2, stop) },
 		func(r attrID) bool { return emit(r.attr, r.id) })
 }
 

@@ -234,14 +234,22 @@ func applyPending(out []geom.Interval, pending []ivOp, match func(geom.Interval)
 }
 
 // stabShard collects the shard's matches for a stabbing query under its
-// read lock: index hits merged with the (bounded) pending-op buffer.
-func (sh *intervalShard) stabShard(q int64) []geom.Interval {
+// read lock: index hits merged with the (bounded) pending-op buffer. stop
+// is the fan-out's early-termination flag: once another shard's results
+// satisfied the caller, collection is pointless and halts.
+func (sh *intervalShard) stabShard(q int64, stop *atomic.Bool) []geom.Interval {
 	var out []geom.Interval
 	sh.cell.read(func(pending []ivOp) {
 		sh.mgr.Stab(q, func(iv geom.Interval) bool {
+			if stop.Load() {
+				return false
+			}
 			out = append(out, iv)
 			return true
 		})
+		if stop.Load() {
+			return
+		}
 		out = applyPending(out, pending, func(iv geom.Interval) bool { return iv.Contains(q) })
 	})
 	return out
@@ -252,7 +260,7 @@ func (sh *intervalShard) stabShard(q int64) []geom.Interval {
 // several queried shards; the shard owning max(iv.Lo, q.Lo) — a point
 // inside both the interval and the query, hence inside exactly one queried
 // shard that stores iv — is the unique reporter.
-func (s *Intervals) intersectShard(idx int, q geom.Interval) []geom.Interval {
+func (s *Intervals) intersectShard(idx int, q geom.Interval, stop *atomic.Bool) []geom.Interval {
 	sh := s.shards[idx]
 	owns := func(iv geom.Interval) bool {
 		if s.cfg.Partition != PartitionRange {
@@ -267,11 +275,17 @@ func (s *Intervals) intersectShard(idx int, q geom.Interval) []geom.Interval {
 	var out []geom.Interval
 	sh.cell.read(func(pending []ivOp) {
 		sh.mgr.Intersect(q, func(iv geom.Interval) bool {
+			if stop.Load() {
+				return false
+			}
 			if owns(iv) {
 				out = append(out, iv)
 			}
 			return true
 		})
+		if stop.Load() {
+			return
+		}
 		out = applyPending(out, pending, func(iv geom.Interval) bool {
 			return iv.Intersects(q) && owns(iv)
 		})
@@ -287,7 +301,8 @@ func (s *Intervals) Stab(q int64, emit intervals.EmitInterval) {
 		first, last = s.router.Route(q), s.router.Route(q)
 	}
 	fanOut(first, last,
-		func(i int) []geom.Interval { return s.shards[i].stabShard(q) }, emit)
+		func(i int, stop *atomic.Bool) []geom.Interval { return s.shards[i].stabShard(q, stop) },
+		emit)
 }
 
 // Intersect reports every interval intersecting q, each exactly once.
@@ -301,7 +316,8 @@ func (s *Intervals) Intersect(q geom.Interval, emit intervals.EmitInterval) {
 		first, last = s.router.Route(q.Lo), s.router.Route(q.Hi)
 	}
 	fanOut(first, last,
-		func(i int) []geom.Interval { return s.intersectShard(i, q) }, emit)
+		func(i int, stop *atomic.Bool) []geom.Interval { return s.intersectShard(i, q, stop) },
+		emit)
 }
 
 // Stats sums the I/O counters of every shard's device.

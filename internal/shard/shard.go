@@ -20,7 +20,10 @@
 // on-"disk" structure (experiment E17).
 package shard
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Partition selects how keys are assigned to shards.
 type Partition int
@@ -202,30 +205,47 @@ func (c *cell[T]) read(fn func(pending []T)) {
 // fanOut runs collect on shards [first, last] in parallel and emits the
 // merged per-shard results in shard order; emit returning false stops the
 // enumeration. A single-shard span skips the goroutine machinery.
-func fanOut[T any](first, last int, collect func(int) []T, emit func(T) bool) {
+//
+// Early termination propagates BACK into the collectors: per-shard results
+// stream to emit as each shard finishes (still in shard order), and the
+// moment emit returns false the shared stop flag flips, so unfinished
+// shard goroutines — whose collect callbacks poll the flag per emitted
+// item — stop building result slices instead of materializing answers
+// nobody will read. The call still joins every goroutine before returning,
+// so no collector outlives its query.
+func fanOut[T any](first, last int, collect func(shard int, stop *atomic.Bool) []T, emit func(T) bool) {
+	var stop atomic.Bool
 	if first == last {
-		for _, v := range collect(first) {
+		for _, v := range collect(first, &stop) {
 			if !emit(v) {
 				return
 			}
 		}
 		return
 	}
-	results := make([][]T, last-first+1)
-	var wg sync.WaitGroup
+	n := last - first + 1
+	results := make([][]T, n)
+	done := make(chan int, n)
 	for i := first; i <= last; i++ {
-		wg.Add(1)
 		go func(i int) {
-			defer wg.Done()
-			results[i-first] = collect(i)
+			results[i-first] = collect(i, &stop)
+			done <- i - first
 		}(i)
 	}
-	wg.Wait()
-	for _, rs := range results {
-		for _, v := range rs {
-			if !emit(v) {
-				return
+	ready := make([]bool, n)
+	next := 0 // next shard (in order) whose results have not been emitted
+	for completed := 0; completed < n; completed++ {
+		ready[<-done] = true
+		for next < n && ready[next] {
+			if !stop.Load() {
+				for _, v := range results[next] {
+					if !emit(v) {
+						stop.Store(true)
+						break
+					}
+				}
 			}
+			next++
 		}
 	}
 }

@@ -64,6 +64,10 @@ type qstate struct {
 	offerFn  geom.Emit
 	offerRec func(rec) bool
 	offerYFn geom.Emit
+
+	// scanDone is grouped-scan bookkeeping of the batched query path
+	// (querybatch3.go); unused by single-query paths.
+	scanDone bool
 }
 
 // offer is the single emit funnel of the query; tombstoned copies are

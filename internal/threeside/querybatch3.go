@@ -1,0 +1,566 @@
+package threeside
+
+import (
+	"sort"
+
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+// Batched 3-sided queries — the Lemma 4.3 mirror of the diagonal tree's
+// DiagonalQueryBatch (see core/querybatch.go for the full design notes).
+// A batch descends in one shared traversal: every control blob on the
+// union of search paths is loaded once per batch, every blocking page and
+// TS prefix is scanned once per group of queries needing it, and TD update
+// blocks are scanned once per node per batch. Per-metablock EPST accesses
+// (corner metablocks, divergence unions, TD structures) stay per-query:
+// they are O(log2 B + t'/B) point lookups inside one metablock, the part
+// the paper already charges to the query's own output.
+//
+// The sharing is invisible to results for the same reason as in the
+// diagonal tree: each query keeps exactly one organisation per metablock,
+// the offer funnel re-checks the full query predicate, and blocking pages
+// a query's sequential scan would skip contain no points satisfying it.
+
+// EmitBatch receives results of a batched query: qi is the position of the
+// answered query in the batch. Returning false stops that query only.
+type EmitBatch func(qi int, p geom.Point) bool
+
+type visitReq struct {
+	st           *qstate
+	reportStored bool
+}
+
+type batchChildReq struct {
+	qi  int
+	rep bool
+}
+
+// nodeScratch3 is the pooled per-node scratch of a batched visit.
+type nodeScratch3 struct {
+	classes []class3
+	direct  []bool
+
+	anchorR   [][]int // per child: queries anchored at it with TSR (left path)
+	anchorL   [][]int // mirror with TSL (right path)
+	childReqs [][]batchChildReq
+	repOnly   [][]int
+	vr        [][]visitReq
+
+	grpSts  []*qstate
+	covered []*qstate
+	hGroup  []*qstate
+	vGroup  []*qstate
+	tdEmits []func(rec) bool
+}
+
+func (t *Tree) getScratch() *nodeScratch3 {
+	if sc, ok := t.bscratch.Get().(*nodeScratch3); ok {
+		return sc
+	}
+	return &nodeScratch3{}
+}
+
+func (t *Tree) putScratch(sc *nodeScratch3) { t.bscratch.Put(sc) }
+
+func classesFor(dst []class3, n int) []class3 {
+	if cap(dst) >= n {
+		dst = dst[:n]
+		clear(dst)
+		return dst
+	}
+	return make([]class3, n)
+}
+
+func boolsFor(dst []bool, n int) []bool {
+	if cap(dst) >= n {
+		dst = dst[:n]
+		clear(dst)
+		return dst
+	}
+	return make([]bool, n)
+}
+
+func growLists[T any](dst [][]T, n int) [][]T {
+	if cap(dst) < n {
+		nd := make([][]T, n)
+		copy(nd, dst[:cap(dst)])
+		dst = nd
+	} else {
+		dst = dst[:n]
+	}
+	for i := range dst {
+		dst[i] = dst[i][:0]
+	}
+	return dst
+}
+
+// QueryBatch answers a batch of 3-sided queries in one shared traversal;
+// per query, the reported multiset is exactly what Query(qs[qi], ...)
+// reports. Read-only: batches may run concurrently with other queries.
+func (t *Tree) QueryBatch(qs []geom.ThreeSidedQuery, emit EmitBatch) {
+	if len(qs) == 0 {
+		return
+	}
+	sts := make([]qstate, len(qs))
+	reqs := make([]visitReq, 0, len(qs))
+	for i, q := range qs {
+		if !q.Valid() {
+			continue
+		}
+		st := &sts[i]
+		st.q = q
+		qi := i
+		st.emit = func(p geom.Point) bool { return emit(qi, p) }
+		if t.deadCount > 0 {
+			st.dead = t.dead
+		}
+		reqs = append(reqs, visitReq{st: st, reportStored: true})
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	sort.SliceStable(reqs, func(i, j int) bool {
+		a, b := reqs[i].st.q, reqs[j].st.q
+		if a.X1 != b.X1 {
+			return a.X1 < b.X1
+		}
+		return a.X2 < b.X2
+	})
+
+	f := t.getFrame()
+	m := t.loadCtrlFrame(t.root, f)
+	t.scanUpd(m.upd, func(r rec) bool {
+		for i := range reqs {
+			reqs[i].st.offer(r.pt)
+		}
+		return true
+	})
+	t.visitBatchLoaded(f, reqs)
+	t.putFrame(f)
+}
+
+func (t *Tree) visitBatchLoaded(f *ctrlFrame, reqs []visitReq) {
+	sc := t.getScratch()
+	grp := sc.grpSts[:0]
+	for _, r := range reqs {
+		if r.reportStored && !r.st.stopped {
+			grp = append(grp, r.st)
+		}
+	}
+	sc.grpSts = grp
+	t.reportStored3Batch(&f.m, grp, sc)
+	if len(f.m.children) > 0 {
+		t.processChildren3Batch(f, reqs, sc)
+	}
+	t.putScratch(sc)
+}
+
+// reportStored3Batch reports m's stored points to every query in sts,
+// grouped by the organisation reportStored3 would pick.
+func (t *Tree) reportStored3Batch(m *metaCtrl, sts []*qstate, sc *nodeScratch3) {
+	if m.count == 0 || !m.bb.valid || len(sts) == 0 {
+		return
+	}
+	hGroup := sc.hGroup[:0]
+	vGroup := sc.vGroup[:0]
+	for _, st := range sts {
+		if st.stopped {
+			continue
+		}
+		q := st.q
+		if m.bb.maxY < q.Y || m.bb.maxX < q.X1 || m.bb.minX > q.X2 {
+			continue
+		}
+		contained := m.bb.minX >= q.X1 && m.bb.maxX <= q.X2
+		switch {
+		case m.bb.minY >= q.Y && contained:
+			hGroup = append(hGroup, st) // dump-all degenerates below
+		case m.bb.minY >= q.Y:
+			vGroup = append(vGroup, st)
+		case contained:
+			hGroup = append(hGroup, st)
+		default:
+			// Corner metablock (at most two per query): its own 3-sided
+			// structure, a per-query in-metablock access.
+			t.queryEPST(m.pst, q.X1, q.X2, q.Y, st.offerRecFn())
+		}
+	}
+	if len(hGroup) > 0 {
+		t.scanH3Batch(m.hblocks, hGroup)
+	}
+	if len(vGroup) > 0 {
+		t.scanV3Batch(m.vblocks, vGroup)
+	}
+	sc.hGroup = hGroup[:0]
+	sc.vGroup = vGroup[:0]
+}
+
+// offerRecFn returns the rec-level offer funnel, reusing the bound closure
+// if the state already has one.
+func (st *qstate) offerRecFn() func(rec) bool {
+	if st.offerRec == nil {
+		st.offerRec = func(r rec) bool { return st.offer(r.pt) }
+	}
+	return st.offerRec
+}
+
+// scanH3Batch runs a grouped top-down scan of a horizontal blocking (or TS
+// prefix): each block is read once per batch while some member's
+// sequential scan would still be on it.
+func (t *Tree) scanH3Batch(blocks []chunkRef, grp []*qstate) {
+	for _, st := range grp {
+		st.scanDone = false
+	}
+	fn := func(p geom.Point) bool {
+		for _, st := range grp {
+			st.offer(p)
+		}
+		return true
+	}
+	for _, hb := range blocks {
+		need := false
+		for _, st := range grp {
+			if !st.stopped && !st.scanDone && st.q.Y <= hb.maxY {
+				need = true
+				break
+			}
+		}
+		if !need {
+			break // maxY non-increasing down the blocking
+		}
+		t.scanPoints(hb.id, fn)
+		for _, st := range grp {
+			if hb.minY < st.q.Y {
+				st.scanDone = true
+			}
+		}
+	}
+}
+
+// scanV3Batch runs a grouped left-to-right scan of a vertical blocking for
+// queries whose boxes sit above their bottom: each member needs the blocks
+// overlapping [X1, X2].
+func (t *Tree) scanV3Batch(blocks []chunkRef, grp []*qstate) {
+	maxX2 := int64(-1 << 63)
+	for _, st := range grp {
+		if st.q.X2 > maxX2 {
+			maxX2 = st.q.X2
+		}
+	}
+	fn := func(p geom.Point) bool {
+		for _, st := range grp {
+			st.offer(p)
+		}
+		return true
+	}
+	for _, vb := range blocks {
+		if vb.minX > maxX2 {
+			break
+		}
+		need := false
+		for _, st := range grp {
+			if !st.stopped && vb.minX <= st.q.X2 && vb.maxX >= st.q.X1 {
+				need = true
+				break
+			}
+		}
+		if need {
+			t.scanPoints(vb.id, fn)
+		}
+	}
+}
+
+// processChildren3Batch mirrors processChildren3 with per-batch sharing:
+// one ctrl load per child per batch, one TS prefix scan per anchor group,
+// one TD update-block scan per node.
+func (t *Tree) processChildren3Batch(f *ctrlFrame, reqs []visitReq, sc *nodeScratch3) {
+	m := &f.m
+	n := len(m.children)
+	k := len(reqs)
+	sc.classes = classesFor(sc.classes, k*n)
+	sc.direct = boolsFor(sc.direct, k*n)
+	sc.anchorR = growLists(sc.anchorR, n)
+	sc.anchorL = growLists(sc.anchorL, n)
+	sc.childReqs = growLists(sc.childReqs, n)
+	sc.repOnly = growLists(sc.repOnly, n)
+	sc.vr = growLists(sc.vr, n)
+	direct := sc.direct
+
+	// 1. Classify and route the per-query branch decisions; boundary-path
+	// queries with a straddling anchor are bucketed per (anchor, side) for
+	// the shared TS handling of phase 2.
+	for qi, r := range reqs {
+		st := r.st
+		if st.stopped {
+			continue
+		}
+		q := st.q
+		row := sc.classes[qi*n : qi*n+n]
+		both, bl, br := -1, -1, -1
+		for i, c := range m.children {
+			row[i] = classify3(c, q)
+			switch row[i] {
+			case c3Both:
+				both = i
+			case c3Left:
+				bl = i
+			case c3Right:
+				br = i
+			}
+		}
+		switch {
+		case both >= 0:
+			direct[qi*n+both] = true
+			sc.childReqs[both] = append(sc.childReqs[both], batchChildReq{qi, true})
+
+		case bl >= 0 && br >= 0:
+			// Divergence node (case 4): stored points of the strictly-between
+			// children come from the child-union 3-sided structure in one
+			// per-query access.
+			if !t.queryEPST(m.union, q.X1, q.X2, q.Y, func(r rec) bool {
+				if s := tdSlot(r.aux); s == bl || s == br {
+					return true // boundary children report their own stored
+				}
+				return st.offer(r.pt)
+			}) {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if row[i] == c3Inside {
+					sc.childReqs[i] = append(sc.childReqs[i], batchChildReq{qi, false})
+				}
+			}
+			direct[qi*n+bl] = true
+			direct[qi*n+br] = true
+			sc.childReqs[bl] = append(sc.childReqs[bl], batchChildReq{qi, true})
+			sc.childReqs[br] = append(sc.childReqs[br], batchChildReq{qi, true})
+
+		default:
+			// Boundary path (or fully covering range): contained children go
+			// through the directional TS structures of the anchor straddler.
+			useRight := br < 0
+			anchor := -1
+			if useRight {
+				for i := 0; i < n; i++ {
+					if row[i] == c3Straddle {
+						anchor = i
+						break
+					}
+				}
+			} else {
+				for i := n - 1; i >= 0; i-- {
+					if row[i] == c3Straddle {
+						anchor = i
+						break
+					}
+				}
+			}
+			if anchor < 0 {
+				// Only inside/below children: visit the inside ones directly.
+				for i := 0; i < n; i++ {
+					if row[i] == c3Inside {
+						direct[qi*n+i] = true
+						sc.childReqs[i] = append(sc.childReqs[i], batchChildReq{qi, true})
+					}
+				}
+			} else if useRight {
+				sc.anchorR[anchor] = append(sc.anchorR[anchor], qi)
+			} else {
+				sc.anchorL[anchor] = append(sc.anchorL[anchor], qi)
+			}
+			if bl >= 0 {
+				direct[qi*n+bl] = true
+				sc.childReqs[bl] = append(sc.childReqs[bl], batchChildReq{qi, true})
+			}
+			if br >= 0 {
+				direct[qi*n+br] = true
+				sc.childReqs[br] = append(sc.childReqs[br], batchChildReq{qi, true})
+			}
+		}
+	}
+
+	// 2. One ctrl load per distinct (anchor, side): report the anchor's
+	// stored points for the group, share its TS prefix among the covered
+	// members, route everyone's siblings.
+	for a := 0; a < n; a++ {
+		t.anchorBatch(m, reqs, sc, a, true, sc.anchorR[a])
+		t.anchorBatch(m, reqs, sc, a, false, sc.anchorL[a])
+	}
+
+	// 3. One load + one recursive batch per child with requests.
+	for i := 0; i < n; i++ {
+		creqs := sc.childReqs[i]
+		rep := sc.repOnly[i]
+		if len(creqs) == 0 && len(rep) == 0 {
+			continue
+		}
+		sort.Slice(creqs, func(x, y int) bool { return creqs[x].qi < creqs[y].qi })
+		sort.Ints(rep)
+		cf := t.getFrame()
+		cm := t.loadCtrlFrame(m.children[i].ctrl, cf)
+		grp := sc.grpSts[:0]
+		ri, ci := 0, 0
+		for ri < len(rep) || ci < len(creqs) {
+			switch {
+			case ci >= len(creqs) || (ri < len(rep) && rep[ri] < creqs[ci].qi):
+				grp = append(grp, reqs[rep[ri]].st)
+				ri++
+			default:
+				if creqs[ci].rep {
+					grp = append(grp, reqs[creqs[ci].qi].st)
+				}
+				ci++
+			}
+		}
+		sc.grpSts = grp
+		t.reportStored3Batch(cm, grp, sc)
+		if len(cm.children) > 0 && len(creqs) > 0 {
+			vr := sc.vr[i][:0]
+			for _, cr := range creqs {
+				if st := reqs[cr.qi].st; !st.stopped {
+					vr = append(vr, visitReq{st: st, reportStored: cr.rep})
+				}
+			}
+			sc.vr[i] = vr
+			if len(vr) > 0 {
+				csc := t.getScratch()
+				t.processChildren3Batch(cf, vr, csc)
+				t.putScratch(csc)
+			}
+		}
+		t.putFrame(cf)
+	}
+
+	// 4. TD consultation, once per node for the batch: the TD 3-sided
+	// structure stays a per-query access, the TD update block is scanned
+	// once and demultiplexed through the per-query direct filters.
+	if m.td != nil {
+		tdEmits := sc.tdEmits[:0]
+		for qi, r := range reqs {
+			st := r.st
+			if st.stopped {
+				continue
+			}
+			row := direct[qi*n : qi*n+n]
+			fn := func(rc rec) bool {
+				slot := tdSlot(rc.aux)
+				if slot < len(row) && row[slot] && !tdInU(rc.aux) {
+					return true
+				}
+				return st.offer(rc.pt)
+			}
+			if m.td.pst.root != disk.NilBlock {
+				t.queryEPST(m.td.pst, st.q.X1, st.q.X2, st.q.Y, fn)
+			}
+			tdEmits = append(tdEmits, fn)
+		}
+		if len(tdEmits) > 0 {
+			t.scanUpd(m.td.upd, func(rc rec) bool {
+				for _, fn := range tdEmits {
+					fn(rc)
+				}
+				return true
+			})
+		}
+		sc.tdEmits = tdEmits[:0]
+	}
+}
+
+// anchorBatch handles one (anchor child, side) group of boundary-path
+// queries: the shared anchor load, the per-member TS coverage decision, the
+// shared TS prefix scan, and the far-/near-side sibling routing — exactly
+// processContained's logic with the I/O hoisted out of the per-query loop.
+func (t *Tree) anchorBatch(m *metaCtrl, reqs []visitReq, sc *nodeScratch3, anchor int, useRight bool, members []int) {
+	if len(members) == 0 {
+		return
+	}
+	n := len(m.children)
+	direct := sc.direct
+	af := t.getFrame()
+	anchorCtrl := t.loadCtrlFrame(m.children[anchor].ctrl, af)
+	grp := sc.grpSts[:0]
+	for _, qi := range members {
+		direct[qi*n+anchor] = true
+		grp = append(grp, reqs[qi].st)
+	}
+	sc.grpSts = grp
+	t.reportStored3Batch(anchorCtrl, grp, sc)
+
+	var ts tsInfo
+	farLo, farHi := 0, 0 // far-side child interval [farLo, farHi)
+	if useRight {
+		ts = anchorCtrl.tsr
+		farLo, farHi = anchor+1, n
+	} else {
+		ts = anchorCtrl.tsl
+		farLo, farHi = 0, anchor
+	}
+	totalFar := 0
+	for i := farLo; i < farHi; i++ {
+		totalFar += m.children[i].storedCount
+	}
+	tsCount, tsBottom := ts.count, ts.bottomY
+	covers := func(st *qstate, relevantFar int) bool {
+		return relevantFar == 0 || (tsCount > 0 && (tsBottom < st.q.Y || tsCount == totalFar))
+	}
+	relFar := func(qi int) int {
+		row := sc.classes[qi*n : qi*n+n]
+		rel := 0
+		for i := farLo; i < farHi; i++ {
+			if row[i] == c3Inside || row[i] == c3Straddle {
+				rel += m.children[i].storedCount
+			}
+		}
+		return rel
+	}
+	covered := sc.covered[:0]
+	for _, qi := range members {
+		if st := reqs[qi].st; !st.stopped && covers(st, relFar(qi)) {
+			covered = append(covered, st)
+		}
+	}
+	sc.covered = covered
+	if len(covered) > 0 {
+		t.scanH3Batch(ts.blocks, covered)
+	}
+	t.putFrame(af)
+
+	for _, qi := range members {
+		st := reqs[qi].st
+		if st.stopped {
+			continue
+		}
+		row := sc.classes[qi*n : qi*n+n]
+		if covers(st, relFar(qi)) {
+			for i := farLo; i < farHi; i++ {
+				if row[i] == c3Inside {
+					sc.childReqs[i] = append(sc.childReqs[i], batchChildReq{qi, false})
+				}
+			}
+		} else {
+			for i := farLo; i < farHi; i++ {
+				switch row[i] {
+				case c3Inside:
+					direct[qi*n+i] = true
+					sc.childReqs[i] = append(sc.childReqs[i], batchChildReq{qi, true})
+				case c3Straddle:
+					direct[qi*n+i] = true
+					sc.repOnly[i] = append(sc.repOnly[i], qi)
+				}
+			}
+		}
+		// Near-side siblings are inside or below (the anchor is the extreme
+		// straddler): visit the inside ones directly.
+		nearLo, nearHi := 0, anchor
+		if !useRight {
+			nearLo, nearHi = anchor+1, n
+		}
+		for i := nearLo; i < nearHi; i++ {
+			if row[i] == c3Inside {
+				direct[qi*n+i] = true
+				sc.childReqs[i] = append(sc.childReqs[i], batchChildReq{qi, true})
+			}
+		}
+	}
+}

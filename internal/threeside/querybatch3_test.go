@@ -1,0 +1,162 @@
+package threeside
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ccidx/internal/geom"
+)
+
+// uniformPoints mirrors uniformPoints (that package imports
+// classindex, which imports threeside — an import cycle in tests).
+func uniformPoints(seed int64, n int, span int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Int63n(span), Y: rng.Int63n(span), ID: uint64(i)}
+	}
+	return pts
+}
+
+func sortPoints(ps []geom.Point) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.ID < b.ID
+	})
+}
+
+func assertBatchOracle3(t *testing.T, tr *Tree, qs []geom.ThreeSidedQuery, label string) {
+	t.Helper()
+	got := make([][]geom.Point, len(qs))
+	tr.QueryBatch(qs, func(qi int, p geom.Point) bool {
+		got[qi] = append(got[qi], p)
+		return true
+	})
+	for qi, q := range qs {
+		var want []geom.Point
+		tr.Query(q, func(p geom.Point) bool {
+			want = append(want, p)
+			return true
+		})
+		sortPoints(got[qi])
+		sortPoints(want)
+		if len(got[qi]) != len(want) {
+			t.Fatalf("%s: query %d %+v: batch %d points, sequential %d",
+				label, qi, q, len(got[qi]), len(want))
+		}
+		for i := range want {
+			if got[qi][i] != want[i] {
+				t.Fatalf("%s: query %d %+v: result %d differs: %v vs %v",
+					label, qi, q, i, got[qi][i], want[i])
+			}
+		}
+	}
+}
+
+func random3Queries(rng *rand.Rand, k int, span int64) []geom.ThreeSidedQuery {
+	qs := make([]geom.ThreeSidedQuery, k)
+	for i := range qs {
+		x1 := rng.Int63n(span) - 4
+		width := rng.Int63n(span/3 + 1)
+		if rng.Intn(8) == 0 {
+			width = -1 - rng.Int63n(3) // invalid: reports nothing
+		}
+		qs[i] = geom.ThreeSidedQuery{X1: x1, X2: x1 + width, Y: rng.Int63n(span)}
+	}
+	return qs
+}
+
+// TestQueryBatch3Oracle checks batch == sequential on static builds.
+func TestQueryBatch3Oracle(t *testing.T) {
+	for _, b := range []int{4, 8} {
+		for _, n := range []int{0, 5, 300, 6000} {
+			span := int64(4*n + 32)
+			tr := New(Config{B: b}, uniformPoints(int64(40+n), n, span))
+			rng := rand.New(rand.NewSource(int64(41 + n)))
+			for trial := 0; trial < 6; trial++ {
+				assertBatchOracle3(t, tr, random3Queries(rng, rng.Intn(40)+1, span), "static")
+			}
+		}
+	}
+}
+
+// TestQueryBatch3ChurnOracle checks batch == sequential while the dynamic
+// machinery (update blocks, TD, splits) and tombstones are live.
+func TestQueryBatch3ChurnOracle(t *testing.T) {
+	const b = 4
+	span := int64(4000)
+	base := uniformPoints(43, 700, span)
+	tr := New(Config{B: b}, base)
+	rng := rand.New(rand.NewSource(44))
+	live := append([]geom.Point(nil), base...)
+	for i := 0; i < 1000; i++ {
+		switch {
+		case rng.Intn(3) == 0 && len(live) > 10:
+			j := rng.Intn(len(live))
+			if !tr.Delete(live[j]) {
+				t.Fatalf("delete of live point %v failed", live[j])
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default:
+			p := geom.Point{X: rng.Int63n(span), Y: rng.Int63n(span), ID: uint64(10000 + i)}
+			if rng.Intn(8) == 0 && len(live) > 0 {
+				q := live[rng.Intn(len(live))]
+				p.X, p.Y = q.X, q.Y
+			}
+			tr.Insert(p)
+			live = append(live, p)
+		}
+		if i%200 == 199 {
+			assertBatchOracle3(t, tr, random3Queries(rng, 32, span), "churn")
+		}
+	}
+	if tr.DeadCount() == 0 {
+		t.Fatalf("churn stream left no tombstones")
+	}
+	assertBatchOracle3(t, tr, random3Queries(rng, 200, span), "churn-final")
+}
+
+// TestQueryBatch3SharesIOs asserts the amortization and the batch-of-one
+// cost bound.
+func TestQueryBatch3SharesIOs(t *testing.T) {
+	span := int64(1 << 20)
+	tr := New(Config{B: 8}, uniformPoints(45, 40000, span))
+	rng := rand.New(rand.NewSource(46))
+	qs := make([]geom.ThreeSidedQuery, 128)
+	for i := range qs {
+		x1 := rng.Int63n(span)
+		qs[i] = geom.ThreeSidedQuery{X1: x1, X2: x1 + span/64, Y: rng.Int63n(span)}
+	}
+	before := tr.Pager().Stats()
+	for _, q := range qs {
+		tr.Query(q, func(geom.Point) bool { return true })
+	}
+	seq := tr.Pager().Stats().Sub(before).IOs()
+	before = tr.Pager().Stats()
+	tr.QueryBatch(qs, func(int, geom.Point) bool { return true })
+	batch := tr.Pager().Stats().Sub(before).IOs()
+	// The t/B output term dominates 3-sided queries and cannot be shared;
+	// the batch must still save a solid fraction of the search-term I/Os.
+	if batch*4 > seq*3 {
+		t.Fatalf("batched traversal shared too little: %d I/Os batched vs %d sequential", batch, seq)
+	}
+	for _, q := range qs[:8] {
+		before = tr.Pager().Stats()
+		tr.Query(q, func(geom.Point) bool { return true })
+		one := tr.Pager().Stats().Sub(before).IOs()
+		before = tr.Pager().Stats()
+		tr.QueryBatch([]geom.ThreeSidedQuery{q}, func(int, geom.Point) bool { return true })
+		b1 := tr.Pager().Stats().Sub(before).IOs()
+		if b1 > one {
+			t.Fatalf("batch of one cost %d I/Os, sequential %d (q=%+v)", b1, one, q)
+		}
+	}
+}

@@ -49,6 +49,9 @@ type Tree struct {
 	wbuf []byte
 	// frames recycles query-path control decode targets.
 	frames sync.Pool
+	// bscratch recycles the per-node routing scratch of batched queries
+	// (querybatch3.go), the batch counterpart of frames.
+	bscratch sync.Pool
 }
 
 // New builds the tree statically over pts (copied).

@@ -182,6 +182,35 @@ func SeqIDs(n int) []uint64 {
 	return ids
 }
 
+// StabQueries returns nq stabbing query points uniform in [0, span) — the
+// deterministic query stream of the batched-execution experiments.
+func StabQueries(seed int64, nq int, span int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]int64, nq)
+	for i := range qs {
+		qs[i] = rng.Int63n(span)
+	}
+	return qs
+}
+
+// QueryBatches chunks a query stream into batches of size k (the last
+// batch may be short), preserving stream order so every batch size sweeps
+// the identical total workload.
+func QueryBatches(qs []int64, k int) [][]int64 {
+	if k < 1 {
+		k = 1
+	}
+	batches := make([][]int64, 0, (len(qs)+k-1)/k)
+	for lo := 0; lo < len(qs); lo += k {
+		hi := lo + k
+		if hi > len(qs) {
+			hi = len(qs)
+		}
+		batches = append(batches, qs[lo:hi])
+	}
+	return batches
+}
+
 // --- hierarchies -------------------------------------------------------------
 
 // RandomHierarchy returns a frozen random tree hierarchy with c classes.
