@@ -11,7 +11,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build vet test race race-churn bench bench-smoke experiments ci
+.PHONY: build vet test race race-churn crash bench bench-smoke bench-gate experiments ci
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,14 @@ race:
 race-churn:
 	$(GO) test -race -run 'Churn|Delete' -timeout 10m ./internal/shard/ ./internal/intervals/
 
+# The fault-injection reopen suite at full size under the race detector:
+# crash after every k-th device write (device, manager, and sharded levels),
+# reopen, and require the recovered index to equal the checkpoint-consistent
+# oracle. Mirrors race-churn for the durability paths.
+crash:
+	$(GO) test -race -run 'CrashEveryWrite|CrashBetweenManifestAndCommit|DurableRoundTrip|DurableClassesDurable|PublicDurable' \
+		-timeout 20m ./internal/disk/ ./internal/intervals/ ./internal/shard/ .
+
 # One iteration per benchmark keeps the full sweep cheap; the hot query
 # benchmarks additionally get a steady-state pass (200 iterations, warm
 # decode frames and pools) because their allocs/op at one cold iteration
@@ -46,13 +54,23 @@ bench:
 			$(if $(BENCH_BASELINE),-bench-baseline $(BENCH_BASELINE))
 	@echo wrote BENCH.json
 
-# Small-scale E20: drives the batched query path through every layer
-# (bptree/core/intervals/shard) end to end in a few seconds, so CI
-# exercises the shared-traversal machinery on every push.
+# Small-scale E20 + E21: drives the batched query path and the durable
+# (file-backed) serving path end to end in a few seconds, so CI exercises
+# the shared-traversal and persistence machinery on every push.
 bench-smoke:
 	$(GO) run ./cmd/experiments -run E20 -e20n 20000 -qbatch 1,16,64
+	$(GO) run ./cmd/experiments -run E21 -e21n 20000
+
+# Regression GATE: save the committed BENCH.json as the baseline, regenerate
+# it, and fail on a >10% ios/op regression in any tier-1 benchmark (see
+# cmd/benchdiff). CI runs this instead of merely uploading the artifact.
+bench-gate:
+	@cp BENCH.json .bench-baseline.json
+	$(MAKE) bench
+	@status=0; $(GO) run ./cmd/benchdiff -baseline .bench-baseline.json -current BENCH.json || status=$$?; \
+		rm -f .bench-baseline.json; exit $$status
 
 experiments:
 	$(GO) run ./cmd/experiments
 
-ci: vet build test race race-churn bench-smoke
+ci: vet build test race race-churn crash bench-smoke

@@ -513,6 +513,56 @@ func BenchmarkStabPendingReplay(b *testing.B) {
 
 // BenchmarkHarnessE1Table regenerates the E1 table (kept cheap by writing to
 // io.Discard); the other tables run through cmd/experiments.
+// BenchmarkE21DurableStab measures stabbing queries against the
+// FILE-BACKED interval manager (E21): the ios/op must match
+// BenchmarkE5IntervalManagement's in-memory figure (the structures are
+// device-oblivious); the ns/op difference is the price of real page reads.
+func BenchmarkE21DurableStab(b *testing.B) {
+	b.ReportAllocs()
+	n := 100000
+	ivs := workload.UniformIntervals(5, n, int64(1<<20), 1<<14)
+	m, err := intervals.CreateAt(b.TempDir(), intervals.Config{B: benchB}, ivs, intervals.DurableOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.CloseFiles()
+	before := m.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := int64(i%997) * int64(1<<20) / 997
+		m.Stab(q, func(geom.Interval) bool { return true })
+	}
+	b.StopTimer()
+	report(b, m.Stats().Sub(before).IOs())
+}
+
+// BenchmarkE21ColdOpen measures restartable serving: reopening a
+// checkpointed durable manager (recovery + root reattachment + the O(n/B)
+// id-directory rebuild scan), reporting the block reads per open.
+func BenchmarkE21ColdOpen(b *testing.B) {
+	b.ReportAllocs()
+	n := 100000
+	ivs := workload.UniformIntervals(7, n, int64(1<<20), 1<<14)
+	dir := b.TempDir()
+	m, err := intervals.CreateAt(dir, intervals.Config{B: benchB}, ivs, intervals.DurableOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.CloseFiles()
+	var ios int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := intervals.OpenAt(dir, intervals.DurableOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ios += r.Stats().IOs()
+		r.CloseFiles()
+	}
+	b.StopTimer()
+	report(b, ios)
+}
+
 func BenchmarkHarnessE1Table(b *testing.B) {
 	b.ReportAllocs()
 	e, _ := harness.Lookup("E1")

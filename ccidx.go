@@ -22,6 +22,9 @@
 package ccidx
 
 import (
+	"encoding/json"
+	"fmt"
+
 	"ccidx/internal/classindex"
 	"ccidx/internal/core"
 	"ccidx/internal/disk"
@@ -54,6 +57,43 @@ type IntervalManager struct {
 func NewIntervalManager(cfg Config, ivs []Interval) *IntervalManager {
 	return &IntervalManager{m: intervals.New(intervals.Config{B: cfg.B}, ivs)}
 }
+
+// CreateIntervalManager builds a DURABLE manager: both index structures
+// live on file-backed page devices inside dir (created if needed), and the
+// initial state is checkpointed before returning. Use Checkpoint to persist
+// later mutations and OpenIntervalManager to reopen after a restart — or a
+// crash, which recovers the last committed checkpoint.
+func CreateIntervalManager(cfg Config, dir string, ivs []Interval) (*IntervalManager, error) {
+	m, err := intervals.CreateAt(dir, intervals.Config{B: cfg.B}, ivs, intervals.DurableOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &IntervalManager{m: m}, nil
+}
+
+// OpenIntervalManager reopens the durable manager persisted in dir at its
+// last committed checkpoint. Crash recovery is automatic: partially written
+// generations are rolled back, never observed.
+func OpenIntervalManager(dir string) (*IntervalManager, error) {
+	m, err := intervals.OpenAt(dir, intervals.DurableOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &IntervalManager{m: m}, nil
+}
+
+// Checkpoint makes the durable manager's current state crash-safe: the new
+// generation is written beside the previous one and atomically committed
+// (shadow superblocks + manifest rename), so a crash at any point leaves
+// one consistent generation. Errors for managers built with
+// NewIntervalManager (no backing files).
+func (im *IntervalManager) Checkpoint() error { return im.m.Checkpoint() }
+
+// Close closes a durable manager's files WITHOUT checkpointing (state since
+// the last checkpoint is recovered — i.e. discarded back to that
+// checkpoint — by the next OpenIntervalManager). No-op for in-memory
+// managers.
+func (im *IntervalManager) Close() error { return im.m.CloseFiles() }
 
 // Insert adds an interval (semi-dynamic, amortized O(log_B n + log_B^2 n/B)).
 func (im *IntervalManager) Insert(iv Interval) { im.m.Insert(iv) }
@@ -166,6 +206,41 @@ func NewShardedIntervalManager(cfg ShardConfig, ivs []Interval) *ShardedInterval
 	return &ShardedIntervalManager{s: shard.NewIntervals(cfg.internal(), ivs)}
 }
 
+// CreateShardedIntervalManager builds a DURABLE sharded manager: every
+// shard's structures live on file-backed devices under dir (one
+// subdirectory per shard), the serving configuration is recorded in a
+// manifest, and the initial state is checkpointed before returning.
+func CreateShardedIntervalManager(cfg ShardConfig, dir string, ivs []Interval) (*ShardedIntervalManager, error) {
+	s, err := shard.CreateIntervalsAt(dir, cfg.internal(), ivs, intervals.DurableOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIntervalManager{s: s}, nil
+}
+
+// OpenShardedIntervalManager reopens the sharded manager persisted under
+// dir: the manifest supplies the serving configuration, every shard's files
+// are reopened IN PARALLEL at the manifest's committed generation (crash
+// recovery included), buffer pools are re-attached, and the manager resumes
+// serving.
+func OpenShardedIntervalManager(dir string) (*ShardedIntervalManager, error) {
+	s, err := shard.OpenIntervals(dir, intervals.DurableOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIntervalManager{s: s}, nil
+}
+
+// Checkpoint makes the whole sharded index durable at ONE consistent
+// generation: per shard the pending group-commit log is drained and the
+// devices prepared, then a single atomic manifest rename commits every
+// shard together — a crash can never surface shards from different
+// checkpoints. Queries may run concurrently; mutations must be quiesced.
+func (sm *ShardedIntervalManager) Checkpoint() error { return sm.s.Checkpoint() }
+
+// Close closes all shard files WITHOUT checkpointing.
+func (sm *ShardedIntervalManager) Close() error { return sm.s.Close() }
+
 // Insert adds an interval (group-committed; visible to queries at once).
 func (sm *ShardedIntervalManager) Insert(iv Interval) { sm.s.Insert(iv) }
 
@@ -252,6 +327,41 @@ func NewShardedClassIndex(h *Hierarchy, cfg ShardConfig, s Strategy) *ShardedCla
 	}
 	return &ShardedClassIndex{h: h, s: shard.NewClasses(cfg.internal(), h, newIndex)}
 }
+
+// CreateShardedClassIndex builds a DURABLE, initially empty sharded class
+// index: every shard's strategy instance lives on file-backed devices under
+// dir, and the serving configuration plus the full hierarchy are recorded
+// in the manifest.
+func CreateShardedClassIndex(h *Hierarchy, cfg ShardConfig, s Strategy, dir string) (*ShardedClassIndex, error) {
+	sc, err := shard.CreateClassesAt(dir, cfg.internal(), h, classindex.StrategyKind(s), disk.FsyncCheckpoint)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedClassIndex{h: h, s: sc}, nil
+}
+
+// OpenShardedClassIndex reopens the sharded class index persisted under
+// dir at its last committed checkpoint, reopening shards in parallel and
+// rebuilding the hierarchy from the manifest.
+func OpenShardedClassIndex(dir string) (*ShardedClassIndex, error) {
+	sc, h, err := shard.OpenClasses(dir, disk.FsyncCheckpoint)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedClassIndex{h: h, s: sc}, nil
+}
+
+// Checkpoint makes the whole sharded class index durable at one consistent
+// generation (per-shard prepare, one manifest rename, per-shard commit).
+// Mutations must be quiesced by the caller; queries may continue.
+func (sc *ShardedClassIndex) Checkpoint() error { return sc.s.Checkpoint() }
+
+// Close closes all shard files WITHOUT checkpointing.
+func (sc *ShardedClassIndex) Close() error { return sc.s.Close() }
+
+// Hierarchy returns the (frozen) hierarchy the index serves — for
+// instances reopened from disk, the one rebuilt from the manifest.
+func (sc *ShardedClassIndex) Hierarchy() *Hierarchy { return sc.h }
 
 // Insert adds an object with the given class name, attribute and id.
 func (sc *ShardedClassIndex) Insert(class string, attr int64, id uint64) {
@@ -361,6 +471,25 @@ type ClassIndex struct {
 	si *classindex.SimpleIndex
 	fe *classindex.FullExtentIndex
 	rc *classindex.RakeContract
+
+	// Durable state (nil/zero for in-memory instances): the file-backed
+	// strategy wrapper and its checkpoint directory.
+	du       *classindex.Durable
+	dirPath  string
+	strategy Strategy
+	b        int
+}
+
+// classIndexManifestKind tags a durable class index's manifest.
+const classIndexManifestKind = "ccidx-classindex"
+
+// classIndexMeta is the configuration a durable class index records in its
+// manifest: strategy, block capacity, and the full hierarchy, so
+// OpenClassIndex needs nothing but the directory.
+type classIndexMeta struct {
+	Strategy  int                      `json:"strategy"`
+	B         int                      `json:"b"`
+	Hierarchy classindex.HierarchySpec `json:"hierarchy"`
 }
 
 // NewClassIndex builds an index over a frozen hierarchy.
@@ -379,6 +508,83 @@ func NewClassIndex(h *Hierarchy, cfg Config, s Strategy) *ClassIndex {
 	return ci
 }
 
+// CreateClassIndex builds a DURABLE, initially empty class index over a
+// frozen hierarchy: the strategy's trees live on file-backed devices in dir
+// and the hierarchy itself is recorded in the manifest, so OpenClassIndex
+// needs only the directory. The empty state is checkpointed before
+// returning.
+func CreateClassIndex(h *Hierarchy, cfg Config, s Strategy, dir string) (*ClassIndex, error) {
+	du, err := classindex.CreateDurable(dir, h, cfg.B, classindex.StrategyKind(s), disk.FsyncCheckpoint)
+	if err != nil {
+		return nil, err
+	}
+	ci := &ClassIndex{h: h, du: du, dirPath: dir, strategy: s, b: cfg.B}
+	if err := ci.Checkpoint(); err != nil {
+		du.CloseFiles()
+		return nil, err
+	}
+	return ci, nil
+}
+
+// OpenClassIndex reopens the durable class index persisted in dir at its
+// last committed checkpoint, rebuilding the hierarchy from the manifest.
+func OpenClassIndex(dir string) (*ClassIndex, error) {
+	mf, err := disk.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if mf.Kind != classIndexManifestKind {
+		return nil, fmt.Errorf("ccidx: %s holds a %q checkpoint, not %q", dir, mf.Kind, classIndexManifestKind)
+	}
+	var cm classIndexMeta
+	if err := json.Unmarshal(mf.Meta, &cm); err != nil {
+		return nil, fmt.Errorf("ccidx: corrupt manifest meta in %s: %w", dir, err)
+	}
+	h, err := classindex.HierarchyFromSpec(cm.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	du, err := classindex.OpenDurable(dir, h, cm.B, classindex.StrategyKind(cm.Strategy), mf.Seq, disk.FsyncCheckpoint)
+	if err != nil {
+		return nil, err
+	}
+	return &ClassIndex{h: h, du: du, dirPath: dir, strategy: Strategy(cm.Strategy), b: cm.B}, nil
+}
+
+// Checkpoint makes a durable class index's current state crash-safe
+// (shadow superblocks committed by one manifest rename). Errors for
+// in-memory instances.
+func (ci *ClassIndex) Checkpoint() error {
+	if ci.du == nil {
+		return fmt.Errorf("ccidx: class index is not file-backed")
+	}
+	seq := ci.du.Seq() + 1
+	if err := ci.du.PrepareCheckpoint(seq); err != nil {
+		return err
+	}
+	metaJSON, err := json.Marshal(classIndexMeta{
+		Strategy: int(ci.strategy), B: ci.b, Hierarchy: ci.h.Spec(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := disk.WriteManifest(ci.dirPath, disk.Manifest{
+		Version: 1, Kind: classIndexManifestKind, Seq: seq, Meta: metaJSON,
+	}); err != nil {
+		return err
+	}
+	return ci.du.CommitCheckpoint()
+}
+
+// Close closes a durable class index's files WITHOUT checkpointing. No-op
+// for in-memory instances.
+func (ci *ClassIndex) Close() error {
+	if ci.du == nil {
+		return nil
+	}
+	return ci.du.CloseFiles()
+}
+
 func (ci *ClassIndex) classID(name string) int {
 	id, ok := ci.h.Class(name)
 	if !ok {
@@ -391,6 +597,8 @@ func (ci *ClassIndex) classID(name string) int {
 func (ci *ClassIndex) Insert(class string, attr int64, id uint64) {
 	o := classindex.Object{Class: ci.classID(class), Attr: attr, ID: id}
 	switch {
+	case ci.du != nil:
+		ci.du.Insert(o)
 	case ci.si != nil:
 		ci.si.Insert(o)
 	case ci.fe != nil:
@@ -410,6 +618,8 @@ func (ci *ClassIndex) Insert(class string, attr int64, id uint64) {
 func (ci *ClassIndex) Delete(class string, attr int64, id uint64) bool {
 	o := classindex.Object{Class: ci.classID(class), Attr: attr, ID: id}
 	switch {
+	case ci.du != nil:
+		return ci.du.Delete(o)
 	case ci.si != nil:
 		return ci.si.Delete(o)
 	case ci.fe != nil:
@@ -424,6 +634,8 @@ func (ci *ClassIndex) Delete(class string, attr int64, id uint64) bool {
 func (ci *ClassIndex) Query(class string, a1, a2 int64, emit func(attr int64, id uint64) bool) {
 	c := ci.classID(class)
 	switch {
+	case ci.du != nil:
+		ci.du.Query(c, a1, a2, classindex.EmitObject(emit))
 	case ci.si != nil:
 		ci.si.Query(c, a1, a2, classindex.EmitObject(emit))
 	case ci.fe != nil:
@@ -436,6 +648,8 @@ func (ci *ClassIndex) Query(class string, a1, a2 int64, emit func(attr int64, id
 // Stats returns cumulative I/O counters.
 func (ci *ClassIndex) Stats() Stats {
 	switch {
+	case ci.du != nil:
+		return ci.du.Stats()
 	case ci.si != nil:
 		return ci.si.Stats()
 	case ci.fe != nil:
@@ -448,6 +662,8 @@ func (ci *ClassIndex) Stats() Stats {
 // SpaceBlocks returns the number of disk blocks in use.
 func (ci *ClassIndex) SpaceBlocks() int64 {
 	switch {
+	case ci.du != nil:
+		return ci.du.SpaceBlocks()
 	case ci.si != nil:
 		return ci.si.SpaceBlocks()
 	case ci.fe != nil:

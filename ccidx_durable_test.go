@@ -1,0 +1,213 @@
+package ccidx
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func collectStab(m interface {
+	Stab(int64, func(Interval) bool)
+}, q int64) []uint64 {
+	var ids []uint64
+	m.Stab(q, func(iv Interval) bool { ids = append(ids, iv.ID); return true })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sameIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPublicDurableIntervalManager is the README quick-start as a test:
+// create a durable manager, mutate, checkpoint, close, reopen, query.
+func TestPublicDurableIntervalManager(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "index")
+	ivs := []Interval{{Lo: 1, Hi: 10, ID: 1}, {Lo: 5, Hi: 8, ID: 2}, {Lo: 20, Hi: 30, ID: 3}}
+	m, err := CreateIntervalManager(Config{B: 16}, dir, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Insert(Interval{Lo: 7, Hi: 25, ID: 4})
+	if !m.Delete(3) {
+		t.Fatal("Delete(3) = false")
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenIntervalManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if got := collectStab(r, 7); !sameIDs(got, []uint64{1, 2, 4}) {
+		t.Fatalf("Stab(7) = %v, want [1 2 4]", got)
+	}
+	if got := collectStab(r, 25); !sameIDs(got, []uint64{4}) {
+		t.Fatalf("Stab(25) = %v, want [4]", got)
+	}
+	// In-memory managers refuse to checkpoint.
+	if err := NewIntervalManager(Config{B: 16}, nil).Checkpoint(); err == nil {
+		t.Fatal("in-memory Checkpoint did not error")
+	}
+}
+
+// TestPublicDurableShardedIntervalManager round-trips the sharded public
+// API, serving configuration included.
+func TestPublicDurableShardedIntervalManager(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sharded")
+	var ivs []Interval
+	for i := 0; i < 500; i++ {
+		lo := int64(i * 7 % 2000)
+		ivs = append(ivs, Interval{Lo: lo, Hi: lo + int64(i%97), ID: uint64(i)})
+	}
+	cfg := ShardConfig{Shards: 4, B: 16, Batch: 8, Partition: PartitionRange, Span: 2100}
+	sm, err := CreateShardedIntervalManager(cfg, dir, ivs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.Insert(Interval{Lo: 42, Hi: 2042, ID: 9000})
+	sm.Delete(17)
+	before := collectStab(sm, 1000)
+	if err := sm.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenShardedIntervalManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", r.Shards())
+	}
+	if r.Len() != sm.Len() {
+		t.Fatalf("Len = %d, want %d", r.Len(), sm.Len())
+	}
+	if got := collectStab(r, 1000); !sameIDs(got, before) {
+		t.Fatalf("Stab(1000) diverged after reopen: %d vs %d results", len(got), len(before))
+	}
+}
+
+// TestPublicDurableClassIndex round-trips every strategy through the public
+// class-index API, with the hierarchy rebuilt from the manifest.
+func TestPublicDurableClassIndex(t *testing.T) {
+	for _, s := range []Strategy{StrategySimple, StrategyFullExtent, StrategyRakeContract} {
+		t.Run(fmt.Sprintf("strategy=%d", s), func(t *testing.T) {
+			h := NewHierarchy()
+			h.MustAddClass("vehicle", "")
+			h.MustAddClass("car", "vehicle")
+			h.MustAddClass("truck", "vehicle")
+			h.MustAddClass("sports", "car")
+			h.Freeze()
+
+			dir := filepath.Join(t.TempDir(), "classes")
+			ci, err := CreateClassIndex(h, Config{B: 16}, s, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ci.Insert("car", 10, 1)
+			ci.Insert("sports", 20, 2)
+			ci.Insert("truck", 30, 3)
+			ci.Insert("vehicle", 40, 4)
+			if err := ci.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ci.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			r, err := OpenClassIndex(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			var got []uint64
+			r.Query("car", 0, 100, func(_ int64, id uint64) bool {
+				got = append(got, id)
+				return true
+			})
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if !sameIDs(got, []uint64{1, 2}) {
+				t.Fatalf("Query(car) = %v, want [1 2]", got)
+			}
+			// Deletion and further mutation keep working after reopen.
+			if !r.Delete("sports", 20, 2) {
+				t.Fatal("Delete(sports) = false")
+			}
+			r.Insert("car", 50, 5)
+			got = got[:0]
+			r.Query("vehicle", 0, 100, func(_ int64, id uint64) bool {
+				got = append(got, id)
+				return true
+			})
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if !sameIDs(got, []uint64{1, 3, 4, 5}) {
+				t.Fatalf("Query(vehicle) after churn = %v, want [1 3 4 5]", got)
+			}
+		})
+	}
+}
+
+// TestPublicDurableShardedClassIndex round-trips the sharded class index
+// through the public API.
+func TestPublicDurableShardedClassIndex(t *testing.T) {
+	h := NewHierarchy()
+	h.MustAddClass("root", "")
+	h.MustAddClass("a", "root")
+	h.MustAddClass("b", "root")
+	h.Freeze()
+
+	dir := filepath.Join(t.TempDir(), "sharded-classes")
+	cfg := ShardConfig{Shards: 3, B: 16, Partition: PartitionRange, Span: 1000}
+	sc, err := CreateShardedClassIndex(h, cfg, StrategyRakeContract, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		class := []string{"root", "a", "b"}[i%3]
+		sc.Insert(class, int64(i*5%1000), uint64(i))
+	}
+	sc.Flush()
+	if err := sc.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenShardedClassIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	count := 0
+	r.Query("root", 0, 1000, func(int64, uint64) bool { count++; return true })
+	if count != 200 {
+		t.Fatalf("Query(root) returned %d objects, want 200", count)
+	}
+	count = 0
+	r.Query("a", 0, 1000, func(int64, uint64) bool { count++; return true })
+	if count != 67 {
+		t.Fatalf("Query(a) returned %d objects, want 67", count)
+	}
+}

@@ -1,0 +1,130 @@
+// Command benchdiff turns the benchmark document into a regression GATE:
+// it diffs a fresh BENCH.json against the committed baseline and fails
+// (exit 1) when any tier-1 experiment's I/O cost regressed by more than the
+// allowed fraction — instead of CI only uploading an artifact someone might
+// read.
+//
+// The compared quantity defaults to ios/op, the repository's experiment
+// currency: it is deterministic for the fixed-seed workloads, so a >10%
+// change is a real algorithmic regression, not machine noise (wall-clock
+// metrics are deliberately NOT gated; they vary with the runner).
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH.json.committed -current BENCH.json
+//	benchdiff -baseline old.json -current new.json -metric allocs/op -max-regress 0.25
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// benchResult mirrors the document cmd/experiments -bench-json emits.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type benchFile struct {
+	Schema string                 `json:"schema"`
+	After  map[string]benchResult `json:"after"`
+}
+
+func load(path string) (map[string]benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(doc.Schema, "ccidx-bench/") {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, doc.Schema)
+	}
+	if len(doc.After) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return doc.After, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed BENCH.json to gate against")
+	current := flag.String("current", "", "freshly generated BENCH.json")
+	metric := flag.String("metric", "ios/op", "metric to gate on (deterministic metrics only)")
+	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed fractional regression (0.10 = +10%)")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var compared, regressed, missing int
+	fmt.Printf("%-44s %12s %12s %8s\n", "benchmark", "base "+*metric, "cur "+*metric, "delta")
+	for _, name := range names {
+		bv, ok := base[name].Metrics[*metric]
+		if !ok {
+			continue // baseline benchmark without the gated metric
+		}
+		cr, ok := cur[name]
+		if !ok {
+			// A tier-1 benchmark that vanished is a gate failure too: a
+			// silent drop would otherwise hide a regression forever.
+			fmt.Printf("%-44s %12.2f %12s %8s\n", name, bv, "MISSING", "!!")
+			missing++
+			continue
+		}
+		cv, ok := cr.Metrics[*metric]
+		if !ok {
+			fmt.Printf("%-44s %12.2f %12s %8s\n", name, bv, "NO METRIC", "!!")
+			missing++
+			continue
+		}
+		compared++
+		delta := 0.0
+		if bv != 0 {
+			delta = cv/bv - 1
+		} else if cv > 0 {
+			delta = 1 // from zero to nonzero: treat as full regression
+		}
+		marker := ""
+		if delta > *maxRegress {
+			marker = "  << REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%-44s %12.2f %12.2f %+7.1f%%%s\n", name, bv, cv, delta*100, marker)
+	}
+
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks shared the gated metric — wrong files?")
+		os.Exit(2)
+	}
+	if regressed > 0 || missing > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — %d regression(s) beyond +%.0f%%, %d missing, %d compared\n",
+			regressed, *maxRegress*100, missing, compared)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK — %d benchmarks within +%.0f%% on %s\n", compared, *maxRegress*100, *metric)
+}

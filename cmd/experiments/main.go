@@ -37,6 +37,7 @@ func main() {
 	batch := flag.String("batch", "", "comma-separated group-commit batch sizes for E17 (default 1,16,256)")
 	qbatch := flag.String("qbatch", "", "comma-separated query batch sizes for E20 (default 1,4,16,64,256,1024)")
 	e20n := flag.Int("e20n", 0, "E20 interval count override (default 100000; CI smoke uses a small value)")
+	e21n := flag.Int("e21n", 0, "E21 interval count override (default 100000; CI smoke uses a small value)")
 	benchJSON := flag.String("bench-json", "", "parse `go test -bench` output from stdin and write JSON to this file")
 	benchBaseline := flag.String("bench-baseline", "", "optional saved bench output to embed as the before side")
 	flag.Parse()
@@ -60,6 +61,9 @@ func main() {
 	}
 	if *e20n > 0 {
 		harness.E20Intervals = *e20n
+	}
+	if *e21n > 0 {
+		harness.E21Intervals = *e21n
 	}
 
 	if *list {

@@ -59,8 +59,8 @@ const (
 // serialization; queries (Contains, Range, All) may run concurrently with
 // each other — they only read pages through borrowed views.
 type Tree struct {
-	pager    *disk.Pager
-	dev      disk.Device // page I/O surface; the pager, or a pool over it
+	store    disk.Store
+	dev      disk.Device // page I/O surface; the store, or a pool over it
 	b        int         // max entries per leaf
 	maxSeps  int         // max separators per internal node (fanout-1)
 	root     disk.BlockID
@@ -81,27 +81,45 @@ func PageSize(b int) int {
 }
 
 // New creates an empty tree with at most b entries per leaf on a fresh
-// pager. The internal fanout is derived from the same page size.
+// in-memory pager. The internal fanout is derived from the same page size.
 func New(b int) *Tree {
 	if b < 4 {
 		panic("bptree: branching factor must be at least 4")
 	}
-	ps := PageSize(b)
-	t := &Tree{
-		pager:    disk.NewPager(ps),
-		b:        b,
-		maxSeps:  (ps - internalHeader - childSize) / (sepSize + childSize),
-		pageSize: ps,
-	}
-	t.dev = t.pager
+	return NewOn(disk.NewPager(PageSize(b)), b)
+}
+
+// NewOn creates an empty tree with at most b entries per leaf on the given
+// store — an in-memory pager or a file-backed device — whose page size must
+// be exactly PageSize(b).
+func NewOn(store disk.Store, b int) *Tree {
+	t := skeletonOn(store, b)
 	root := &node{leaf: true}
 	t.root = t.writeNode(disk.NilBlock, root)
 	t.height = 1
 	return t
 }
 
-// Pager exposes the underlying device for I/O accounting.
-func (t *Tree) Pager() *disk.Pager { return t.pager }
+func skeletonOn(store disk.Store, b int) *Tree {
+	if b < 4 {
+		panic("bptree: branching factor must be at least 4")
+	}
+	ps := PageSize(b)
+	if store.PageSize() != ps {
+		panic(fmt.Sprintf("bptree: store page size %d, want %d for b=%d", store.PageSize(), ps, b))
+	}
+	t := &Tree{
+		store:    store,
+		b:        b,
+		maxSeps:  (ps - internalHeader - childSize) / (sepSize + childSize),
+		pageSize: ps,
+	}
+	t.dev = t.store
+	return t
+}
+
+// Pager exposes the underlying store for I/O accounting.
+func (t *Tree) Pager() disk.Store { return t.store }
 
 // SetDevice routes all page I/O through d — typically a *disk.Pool over
 // Pager(). Call before sharing the tree between goroutines.

@@ -1,0 +1,51 @@
+package bptree
+
+// Checkpoint support. A B+-tree's only state outside its pages is the tiny
+// header {root, height, n, b}: MarshalState serializes it and OpenOn
+// reattaches a Tree to a store that already holds the pages — typically a
+// disk.FileDevice reopened at its last durable checkpoint.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccidx/internal/disk"
+)
+
+const stateSize = 4 * 8
+
+// MarshalState serializes the tree's out-of-page state (root pointer,
+// height, entry count, leaf capacity). The pages themselves live on the
+// store; the caller is responsible for flushing any pool layered over it
+// before checkpointing the store.
+func (t *Tree) MarshalState() []byte {
+	buf := make([]byte, stateSize)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(int64(t.root)))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(t.height))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(t.n))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(t.b))
+	return buf
+}
+
+// OpenOn reattaches a tree to a store holding its pages, using the state a
+// prior MarshalState produced.
+func OpenOn(store disk.Store, state []byte) (*Tree, error) {
+	if len(state) != stateSize {
+		return nil, fmt.Errorf("bptree: state is %d bytes, want %d", len(state), stateSize)
+	}
+	root := disk.BlockID(int64(binary.LittleEndian.Uint64(state[0:])))
+	height := int(binary.LittleEndian.Uint64(state[8:]))
+	n := int(binary.LittleEndian.Uint64(state[16:]))
+	b := int(binary.LittleEndian.Uint64(state[24:]))
+	if b < 4 || height < 1 || n < 0 {
+		return nil, fmt.Errorf("bptree: corrupt state (b=%d height=%d n=%d)", b, height, n)
+	}
+	t := skeletonOn(store, b)
+	if err := store.Check(root); err != nil {
+		return nil, fmt.Errorf("bptree: root %d: %w", root, err)
+	}
+	t.root = root
+	t.height = height
+	t.n = n
+	return t, nil
+}

@@ -16,14 +16,28 @@ type FullExtentIndex struct {
 	trees []*bptree.Tree
 	n     int
 	pools []*disk.Pool // attached buffer pools (nil without AttachPool)
+
+	// store is the shared device of a file-backed instance (nil when every
+	// tree owns its own in-memory pager); see persist.go.
+	store disk.Store
 }
 
 // NewFullExtent builds the index for a frozen hierarchy.
 func NewFullExtent(h *Hierarchy, b int) *FullExtentIndex {
+	return NewFullExtentOn(h, b, nil)
+}
+
+// NewFullExtentOn is NewFullExtent with every per-class tree on a shared
+// store (nil: per-tree in-memory pagers).
+func NewFullExtentOn(h *Hierarchy, b int, store disk.Store) *FullExtentIndex {
 	h.mustFrozen()
-	f := &FullExtentIndex{h: h, trees: make([]*bptree.Tree, h.Len())}
+	f := &FullExtentIndex{h: h, trees: make([]*bptree.Tree, h.Len()), store: store}
 	for i := range f.trees {
-		f.trees[i] = bptree.New(b)
+		if store != nil {
+			f.trees[i] = bptree.NewOn(store, b)
+		} else {
+			f.trees[i] = bptree.New(b)
+		}
 	}
 	return f
 }
@@ -61,6 +75,9 @@ func (f *FullExtentIndex) Query(c int, a1, a2 int64, emit EmitObject) {
 
 // Stats sums the I/O counters of all trees.
 func (f *FullExtentIndex) Stats() disk.Stats {
+	if f.store != nil { // shared device: every tree reports the same counters
+		return f.store.Stats()
+	}
 	var st disk.Stats
 	for _, t := range f.trees {
 		st = st.Add(t.Pager().Stats())
@@ -70,6 +87,9 @@ func (f *FullExtentIndex) Stats() disk.Stats {
 
 // SpaceBlocks sums live pages of all trees.
 func (f *FullExtentIndex) SpaceBlocks() int64 {
+	if f.store != nil {
+		return f.store.Allocated()
+	}
 	var total int64
 	for _, t := range f.trees {
 		total += t.Pager().Allocated()

@@ -1,0 +1,292 @@
+package classindex
+
+// Durable is a file-backed class-index strategy instance in a directory:
+// the strategy's trees live on one shared FileDevice per page size (one for
+// B+-trees; rake-and-contract adds one for its 3-sided trees), with the
+// strategy state serialized into the checkpoint payload. Commit is owned by
+// the caller (ccidx.ClassIndex writes a directory manifest; the sharded
+// serving layer commits every shard under one top-level manifest) through
+// the PrepareCheckpoint/CommitCheckpoint pair.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ccidx/internal/bptree"
+	"ccidx/internal/disk"
+	"ccidx/internal/threeside"
+)
+
+// StrategyKind selects a class-indexing algorithm (mirrors ccidx.Strategy).
+type StrategyKind int
+
+// Strategy kinds.
+const (
+	KindSimple StrategyKind = iota
+	KindFullExtent
+	KindRakeContract
+)
+
+// Device file names inside a durable class index's directory.
+const (
+	btPagesFile = "classes-bt.pages"
+	tsPagesFile = "classes-ts.pages"
+)
+
+// tsMarker is the payload checkpointed on the 3-sided device (whose real
+// state rides on the B+-tree device's payload): it only needs to be
+// non-empty so HasCheckpoint distinguishes a committed device from a
+// freshly created one.
+var tsMarker = []byte{1}
+
+// Durable is a file-backed strategy instance. Create with CreateDurable,
+// reopen with OpenDurable. It implements the per-shard ClassIndex surface
+// plus the checkpoint hooks.
+type Durable struct {
+	Kind StrategyKind
+	b    int
+	h    *Hierarchy
+
+	si *SimpleIndex
+	fe *FullExtentIndex
+	rc *RakeContract
+
+	files []*disk.FileDevice
+}
+
+// CreateDurable builds an EMPTY file-backed strategy instance in dir. No
+// manifest is written: the owner commits via PrepareCheckpoint /
+// CommitCheckpoint under its own manifest.
+func CreateDurable(dir string, h *Hierarchy, b int, kind StrategyKind, opt disk.FsyncPolicy) (*Durable, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Durable{Kind: kind, b: b, h: h}
+	if err := d.openDevices(dir, opt, nil); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KindSimple:
+		d.si = NewSimpleOn(h, b, d.files[0])
+	case KindFullExtent:
+		d.fe = NewFullExtentOn(h, b, d.files[0])
+	case KindRakeContract:
+		d.rc = NewRakeContractOn(h, b, d.files[0], d.files[1])
+	default:
+		d.CloseFiles()
+		return nil, fmt.Errorf("classindex: unknown strategy kind %d", kind)
+	}
+	return d, nil
+}
+
+// OpenDurable reopens the strategy instance in dir at generation seq (the
+// owner's committed manifest).
+func OpenDurable(dir string, h *Hierarchy, b int, kind StrategyKind, seq uint64, opt disk.FsyncPolicy) (*Durable, error) {
+	d := &Durable{Kind: kind, b: b, h: h}
+	if err := d.openDevices(dir, opt, &seq); err != nil {
+		return nil, err
+	}
+	bt := d.files[0]
+	if !bt.HasCheckpoint() {
+		d.CloseFiles()
+		return nil, fmt.Errorf("classindex: %s has no structure checkpoint at seq %d", dir, seq)
+	}
+	state := bt.ReadCheckpoint()
+	var err error
+	switch kind {
+	case KindSimple:
+		d.si, err = OpenSimpleOn(h, b, bt, state)
+	case KindFullExtent:
+		d.fe, err = OpenFullExtentOn(h, b, bt, state)
+	case KindRakeContract:
+		d.rc, err = OpenRakeContractOn(h, b, bt, d.files[1], state)
+	default:
+		err = fmt.Errorf("classindex: unknown strategy kind %d", kind)
+	}
+	if err != nil {
+		d.CloseFiles()
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Durable) openDevices(dir string, opt disk.FsyncPolicy, trustSeq *uint64) error {
+	// trustSeq == nil is the create path: refuse to build fresh trees over
+	// an existing device (see intervals/durable.go).
+	mustCreate := trustSeq == nil
+	bt, err := disk.OpenFile(filepath.Join(dir, btPagesFile), disk.FileOptions{
+		PageSize: bptree.PageSize(d.b), Fsync: opt, TrustSeq: trustSeq, MustCreate: mustCreate,
+	})
+	if err != nil {
+		return err
+	}
+	d.files = []*disk.FileDevice{bt}
+	if d.Kind == KindRakeContract {
+		ts, err := disk.OpenFile(filepath.Join(dir, tsPagesFile), disk.FileOptions{
+			PageSize: threeside.Config{B: d.b}.PageSize(), Fsync: opt, TrustSeq: trustSeq, MustCreate: mustCreate,
+		})
+		if err != nil {
+			bt.Close()
+			return err
+		}
+		d.files = append(d.files, ts)
+	}
+	return nil
+}
+
+// strategy returns the wrapped index as the common interface surface.
+func (d *Durable) insertTarget() interface{ Insert(Object) } {
+	switch {
+	case d.si != nil:
+		return d.si
+	case d.fe != nil:
+		return d.fe
+	default:
+		return d.rc
+	}
+}
+
+// Insert adds an object.
+func (d *Durable) Insert(o Object) { d.insertTarget().Insert(o) }
+
+// Delete removes an object, returning whether it was present.
+func (d *Durable) Delete(o Object) bool {
+	switch {
+	case d.si != nil:
+		return d.si.Delete(o)
+	case d.fe != nil:
+		return d.fe.Delete(o)
+	default:
+		return d.rc.Delete(o)
+	}
+}
+
+// Query reports the full extent of c within [a1, a2].
+func (d *Durable) Query(c int, a1, a2 int64, emit EmitObject) {
+	switch {
+	case d.si != nil:
+		d.si.Query(c, a1, a2, emit)
+	case d.fe != nil:
+		d.fe.Query(c, a1, a2, emit)
+	default:
+		d.rc.Query(c, a1, a2, emit)
+	}
+}
+
+// Len returns the number of objects stored.
+func (d *Durable) Len() int {
+	switch {
+	case d.si != nil:
+		return d.si.Len()
+	case d.fe != nil:
+		return d.fe.Len()
+	default:
+		return d.rc.Len()
+	}
+}
+
+// Stats returns the devices' I/O counters.
+func (d *Durable) Stats() disk.Stats {
+	st := d.files[0].Stats()
+	if len(d.files) > 1 {
+		st = st.Add(d.files[1].Stats())
+	}
+	return st
+}
+
+// SpaceBlocks returns the live pages across the devices.
+func (d *Durable) SpaceBlocks() int64 {
+	total := d.files[0].Allocated()
+	if len(d.files) > 1 {
+		total += d.files[1].Allocated()
+	}
+	return total
+}
+
+// AttachPool layers buffer pools over the strategy's trees.
+func (d *Durable) AttachPool(frames, nShards int) {
+	switch {
+	case d.si != nil:
+		d.si.AttachPool(frames, nShards)
+	case d.fe != nil:
+		d.fe.AttachPool(frames, nShards)
+	default:
+		d.rc.AttachPool(frames, nShards)
+	}
+}
+
+// FlushPool writes dirty pooled frames back to the devices.
+func (d *Durable) FlushPool() {
+	switch {
+	case d.si != nil:
+		d.si.FlushPool()
+	case d.fe != nil:
+		d.fe.FlushPool()
+	default:
+		d.rc.FlushPool()
+	}
+}
+
+func (d *Durable) marshal() []byte {
+	switch {
+	case d.si != nil:
+		return d.si.MarshalState()
+	case d.fe != nil:
+		return d.fe.MarshalState()
+	default:
+		return d.rc.MarshalState()
+	}
+}
+
+// Seq returns the last durable checkpoint generation.
+func (d *Durable) Seq() uint64 { return d.files[0].Seq() }
+
+// PrepareCheckpoint flushes pooled frames and writes generation seq on
+// every device without committing it.
+func (d *Durable) PrepareCheckpoint(seq uint64) error {
+	var pools []*disk.Pool
+	switch {
+	case d.si != nil:
+		pools = d.si.pools
+	case d.fe != nil:
+		pools = d.fe.pools
+	default:
+		pools = d.rc.pools
+	}
+	if err := flushPoolsErr(pools); err != nil {
+		return err
+	}
+	if err := d.files[0].PrepareCheckpoint(seq, d.marshal()); err != nil {
+		return err
+	}
+	if len(d.files) > 1 {
+		return d.files[1].PrepareCheckpoint(seq, tsMarker)
+	}
+	return nil
+}
+
+// CommitCheckpoint commits the prepared generation on every device.
+func (d *Durable) CommitCheckpoint() error {
+	for _, f := range d.files {
+		if err := f.CommitCheckpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloseFiles closes the devices without checkpointing.
+func (d *Durable) CloseFiles() error {
+	var first error
+	for _, f := range d.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Files exposes the underlying devices (fault-injection tests arm their
+// write budgets).
+func (d *Durable) Files() []*disk.FileDevice { return d.files }

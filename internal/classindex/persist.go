@@ -1,0 +1,253 @@
+package classindex
+
+// Checkpoint support for the class-indexing strategies. Each strategy is a
+// deterministic forest of external trees over (hierarchy, b): the segment
+// tree layout of SimpleIndex, the per-class trees of FullExtentIndex, and
+// the rake-and-contract structure list. Reopening therefore re-runs the
+// SAME deterministic construction with a factory that, instead of building
+// fresh trees, reattaches each tree to the shared store from its serialized
+// state — in construction order, which is the order MarshalState emits.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccidx/internal/bptree"
+	"ccidx/internal/disk"
+	"ccidx/internal/threeside"
+	"ccidx/internal/wire"
+)
+
+// HierarchySpec is a serializable description of a frozen hierarchy
+// (classes in id order, parents by id, -1 for roots); checkpoint manifests
+// embed it so opening a persisted class index needs no out-of-band schema.
+type HierarchySpec struct {
+	Names   []string `json:"names"`
+	Parents []int    `json:"parents"`
+}
+
+// Spec returns the hierarchy's serializable description.
+func (h *Hierarchy) Spec() HierarchySpec {
+	return HierarchySpec{
+		Names:   append([]string(nil), h.names...),
+		Parents: append([]int(nil), h.parent...),
+	}
+}
+
+// HierarchyFromSpec rebuilds a frozen hierarchy from a Spec. Class ids are
+// assigned in slice order, so they (and every Freeze-derived array) match
+// the original exactly.
+func HierarchyFromSpec(sp HierarchySpec) (*Hierarchy, error) {
+	if len(sp.Names) != len(sp.Parents) {
+		return nil, fmt.Errorf("classindex: spec has %d names, %d parents", len(sp.Names), len(sp.Parents))
+	}
+	h := NewHierarchy()
+	for i, name := range sp.Names {
+		p := sp.Parents[i]
+		parent := ""
+		if p >= 0 {
+			if p >= i {
+				return nil, fmt.Errorf("classindex: spec parent %d of class %d not yet defined", p, i)
+			}
+			parent = sp.Names[p]
+		}
+		if _, err := h.AddClass(name, parent); err != nil {
+			return nil, err
+		}
+	}
+	h.Freeze()
+	return h, nil
+}
+
+// --- state codec helpers -----------------------------------------------------
+
+func appendU64(buf []byte, v uint64) []byte {
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], v)
+	return append(buf, w[:]...)
+}
+
+func appendBlock(buf, blk []byte) []byte {
+	buf = appendU64(buf, uint64(len(blk)))
+	return append(buf, blk...)
+}
+
+// --- SimpleIndex -------------------------------------------------------------
+
+// MarshalState serializes {n, per-node tree states} in node-index order
+// (the deterministic preorder of the segment-tree build).
+func (s *SimpleIndex) MarshalState() []byte {
+	buf := appendU64(nil, uint64(s.n))
+	buf = appendU64(buf, uint64(len(s.nodes)))
+	for i := range s.nodes {
+		buf = appendBlock(buf, s.nodes[i].tree.MarshalState())
+	}
+	return buf
+}
+
+// OpenSimpleOn reattaches a simple index to the shared store holding its
+// pages, using the state a prior MarshalState produced.
+func OpenSimpleOn(h *Hierarchy, b int, store disk.Store, state []byte) (*SimpleIndex, error) {
+	h.mustFrozen()
+	r := wire.NewStateReader(state)
+	n := int(r.U64())
+	count := int(r.U64())
+	s := &SimpleIndex{h: h, b: b, store: store, n: n}
+	var openErr error
+	s.mk = func() *bptree.Tree {
+		blk := r.Block()
+		if r.Err() != nil {
+			return brokenBT()
+		}
+		t, err := bptree.OpenOn(store, blk)
+		if err != nil {
+			if openErr == nil {
+				openErr = err
+			}
+			return brokenBT()
+		}
+		return t
+	}
+	if h.Len() > 0 {
+		s.build(0, h.Len())
+	}
+	if openErr != nil {
+		return nil, openErr
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("classindex: corrupt simple-index state: %w", err)
+	}
+	if len(s.nodes) != count {
+		return nil, fmt.Errorf("classindex: state has %d trees, layout needs %d", count, len(s.nodes))
+	}
+	return s, nil
+}
+
+// brokenBT is a placeholder returned by a failed reattach so the
+// deterministic build can finish before the error is reported (the index is
+// discarded; the placeholder is never used).
+func brokenBT() *bptree.Tree { return bptree.New(4) }
+
+// --- FullExtentIndex ---------------------------------------------------------
+
+// MarshalState serializes {n, per-class tree states} in class-id order.
+func (f *FullExtentIndex) MarshalState() []byte {
+	buf := appendU64(nil, uint64(f.n))
+	buf = appendU64(buf, uint64(len(f.trees)))
+	for _, t := range f.trees {
+		buf = appendBlock(buf, t.MarshalState())
+	}
+	return buf
+}
+
+// OpenFullExtentOn reattaches a full-extent index to the shared store.
+func OpenFullExtentOn(h *Hierarchy, b int, store disk.Store, state []byte) (*FullExtentIndex, error) {
+	h.mustFrozen()
+	r := wire.NewStateReader(state)
+	n := int(r.U64())
+	count := int(r.U64())
+	if count != h.Len() {
+		return nil, fmt.Errorf("classindex: state has %d trees, hierarchy has %d classes", count, h.Len())
+	}
+	f := &FullExtentIndex{h: h, trees: make([]*bptree.Tree, h.Len()), store: store, n: n}
+	for i := range f.trees {
+		blk := r.Block()
+		if r.Err() != nil {
+			break
+		}
+		t, err := bptree.OpenOn(store, blk)
+		if err != nil {
+			return nil, err
+		}
+		f.trees[i] = t
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("classindex: corrupt full-extent state: %w", err)
+	}
+	return f, nil
+}
+
+// --- RakeContract ------------------------------------------------------------
+
+const (
+	rcKindBT = 1
+	rcKindTS = 2
+)
+
+// MarshalState serializes {n, per-structure kind+state} in structure order
+// (the deterministic rake-and-contract construction order).
+func (rc *RakeContract) MarshalState() []byte {
+	buf := appendU64(nil, uint64(rc.n))
+	buf = appendU64(buf, uint64(len(rc.structs)))
+	for i := range rc.structs {
+		if rc.structs[i].bt != nil {
+			buf = appendU64(buf, rcKindBT)
+			buf = appendBlock(buf, rc.structs[i].bt.MarshalState())
+		} else {
+			buf = appendU64(buf, rcKindTS)
+			buf = appendBlock(buf, rc.structs[i].ts.MarshalState())
+		}
+	}
+	return buf
+}
+
+// OpenRakeContractOn reattaches a rake-and-contract index to its two shared
+// stores, re-running the deterministic decomposition with factories that
+// consume the serialized structure states in order.
+func OpenRakeContractOn(h *Hierarchy, b int, btStore, tsStore disk.Store, state []byte) (*RakeContract, error) {
+	h.mustFrozen()
+	r := wire.NewStateReader(state)
+	n := int(r.U64())
+	count := int(r.U64())
+	rc := &RakeContract{h: h, b: b, btStore: btStore, tsStore: tsStore, n: n}
+	var openErr error
+	fail := func(err error) {
+		if openErr == nil && err != nil {
+			openErr = err
+		}
+	}
+	rc.mkBT = func() *bptree.Tree {
+		if kind := r.U64(); r.Err() == nil && kind != rcKindBT {
+			fail(fmt.Errorf("classindex: state structure kind %d, decomposition expects B+-tree", kind))
+		}
+		blk := r.Block()
+		if r.Err() != nil {
+			return brokenBT()
+		}
+		t, err := bptree.OpenOn(btStore, blk)
+		if err != nil {
+			fail(err)
+			return brokenBT()
+		}
+		return t
+	}
+	rc.mkTS = func() *threeside.Tree {
+		if kind := r.U64(); r.Err() == nil && kind != rcKindTS {
+			fail(fmt.Errorf("classindex: state structure kind %d, decomposition expects 3-sided tree", kind))
+		}
+		blk := r.Block()
+		if r.Err() != nil {
+			return brokenTS(b)
+		}
+		t, err := threeside.OpenOn(threeside.Config{B: b}, tsStore, blk)
+		if err != nil {
+			fail(err)
+			return brokenTS(b)
+		}
+		return t
+	}
+	rc.decompose()
+	if openErr != nil {
+		return nil, openErr
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("classindex: corrupt rake-contract state: %w", err)
+	}
+	if len(rc.structs) != count {
+		return nil, fmt.Errorf("classindex: state has %d structures, decomposition builds %d", count, len(rc.structs))
+	}
+	return rc, nil
+}
+
+// brokenTS is brokenBT's 3-sided counterpart.
+func brokenTS(b int) *threeside.Tree { return threeside.New(threeside.Config{B: b}, nil) }

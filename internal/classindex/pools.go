@@ -12,7 +12,7 @@ import "ccidx/internal/disk"
 // pooledTree is any index tree that can route its page I/O through a
 // disk.Device (bptree.Tree and threeside.Tree both qualify).
 type pooledTree interface {
-	Pager() *disk.Pager
+	Pager() disk.Store
 	SetDevice(disk.Device)
 }
 
@@ -42,11 +42,20 @@ func attachPools(frames, nShards int, trees []pooledTree) []*disk.Pool {
 }
 
 func flushPools(pools []*disk.Pool) {
+	if err := flushPoolsErr(pools); err != nil {
+		panic(err)
+	}
+}
+
+// flushPoolsErr is flushPools with an error return (the checkpoint path
+// reports injected write faults instead of panicking).
+func flushPoolsErr(pools []*disk.Pool) error {
 	for _, p := range pools {
 		if err := p.Flush(); err != nil {
-			panic(err)
+			return err
 		}
 	}
+	return nil
 }
 
 // AttachPool layers concurrent buffer pools over every segment tree of the

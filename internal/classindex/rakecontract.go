@@ -47,6 +47,15 @@ type RakeContract struct {
 	home  []rcTarget
 	n     int
 	pools []*disk.Pool // attached buffer pools (nil without AttachPool)
+
+	// btStore/tsStore are the shared devices of a file-backed instance
+	// (nil when every structure owns its own in-memory pager): one device
+	// for the B+-tree page size, one for the 3-sided tree's. mkBT/mkTS
+	// construct the structures during decompose (persist.go swaps in
+	// state-reattaching factories).
+	btStore, tsStore disk.Store
+	mkBT             func() *bptree.Tree
+	mkTS             func() *threeside.Tree
 }
 
 type rcStructure struct {
@@ -61,8 +70,28 @@ type rcTarget struct {
 
 // NewRakeContract builds the index for a frozen hierarchy.
 func NewRakeContract(h *Hierarchy, b int) *RakeContract {
+	return NewRakeContractOn(h, b, nil, nil)
+}
+
+// NewRakeContractOn is NewRakeContract with every structure on shared
+// stores: btStore for the B+-tree homes (page size bptree.PageSize(b)) and
+// tsStore for the 3-sided homes (page size threeside.Config{B: b}.PageSize()).
+// Nil stores give each structure its own in-memory pager.
+func NewRakeContractOn(h *Hierarchy, b int, btStore, tsStore disk.Store) *RakeContract {
 	h.mustFrozen()
-	rc := &RakeContract{h: h, b: b}
+	rc := &RakeContract{h: h, b: b, btStore: btStore, tsStore: tsStore}
+	rc.mkBT = func() *bptree.Tree {
+		if rc.btStore != nil {
+			return bptree.NewOn(rc.btStore, rc.b)
+		}
+		return bptree.New(rc.b)
+	}
+	rc.mkTS = func() *threeside.Tree {
+		if rc.tsStore != nil {
+			return threeside.NewOn(threeside.Config{B: rc.b}, rc.tsStore, nil)
+		}
+		return threeside.New(threeside.Config{B: rc.b}, nil)
+	}
 	rc.decompose()
 	return rc
 }
@@ -87,11 +116,11 @@ func (rc *RakeContract) decompose() {
 	}
 	removed := 0
 	newBTreeStruct := func() int {
-		rc.structs = append(rc.structs, rcStructure{bt: bptree.New(rc.b)})
+		rc.structs = append(rc.structs, rcStructure{bt: rc.mkBT()})
 		return len(rc.structs) - 1
 	}
 	newTSStruct := func() int {
-		rc.structs = append(rc.structs, rcStructure{ts: threeside.New(threeside.Config{B: rc.b}, nil)})
+		rc.structs = append(rc.structs, rcStructure{ts: rc.mkTS()})
 		return len(rc.structs) - 1
 	}
 
@@ -257,6 +286,13 @@ func (rc *RakeContract) Query(c int, a1, a2 int64, emit EmitObject) {
 
 // Stats sums the I/O counters of all structures.
 func (rc *RakeContract) Stats() disk.Stats {
+	if rc.btStore != nil { // shared devices: sum each once, not per tree
+		st := rc.btStore.Stats()
+		if rc.tsStore != nil {
+			st = st.Add(rc.tsStore.Stats())
+		}
+		return st
+	}
 	var st disk.Stats
 	for i := range rc.structs {
 		if rc.structs[i].bt != nil {
@@ -270,6 +306,13 @@ func (rc *RakeContract) Stats() disk.Stats {
 
 // SpaceBlocks sums live pages of all structures.
 func (rc *RakeContract) SpaceBlocks() int64 {
+	if rc.btStore != nil {
+		total := rc.btStore.Allocated()
+		if rc.tsStore != nil {
+			total += rc.tsStore.Allocated()
+		}
+		return total
+	}
 	var total int64
 	for i := range rc.structs {
 		if rc.structs[i].bt != nil {

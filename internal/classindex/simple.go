@@ -21,6 +21,12 @@ type SimpleIndex struct {
 	nodes []segNode // nodes[0] is the root (c > 0)
 	n     int
 	pools []*disk.Pool // attached buffer pools (nil without AttachPool)
+
+	// store is the shared device of a file-backed instance (nil when every
+	// tree owns its own in-memory pager); mk constructs each segment
+	// tree during build (persist.go swaps in a state-reattaching factory).
+	store disk.Store
+	mk    func() *bptree.Tree
 }
 
 type segNode struct {
@@ -31,8 +37,21 @@ type segNode struct {
 
 // NewSimple builds the index for a frozen hierarchy.
 func NewSimple(h *Hierarchy, b int) *SimpleIndex {
+	return NewSimpleOn(h, b, nil)
+}
+
+// NewSimpleOn is NewSimple with every segment tree on a caller-provided
+// shared store (a file-backed device; page size bptree.PageSize(b)). A nil
+// store gives each tree its own in-memory pager, NewSimple's behaviour.
+func NewSimpleOn(h *Hierarchy, b int, store disk.Store) *SimpleIndex {
 	h.mustFrozen()
-	s := &SimpleIndex{h: h, b: b}
+	s := &SimpleIndex{h: h, b: b, store: store}
+	s.mk = func() *bptree.Tree {
+		if s.store != nil {
+			return bptree.NewOn(s.store, s.b)
+		}
+		return bptree.New(s.b)
+	}
 	if h.Len() > 0 {
 		s.build(0, h.Len())
 	}
@@ -41,7 +60,7 @@ func NewSimple(h *Hierarchy, b int) *SimpleIndex {
 
 func (s *SimpleIndex) build(lo, hi int) int {
 	idx := len(s.nodes)
-	s.nodes = append(s.nodes, segNode{lo: lo, hi: hi, left: -1, right: -1, tree: bptree.New(s.b)})
+	s.nodes = append(s.nodes, segNode{lo: lo, hi: hi, left: -1, right: -1, tree: s.mk()})
 	if hi-lo > 1 {
 		mid := (lo + hi) / 2
 		l := s.build(lo, mid)
@@ -131,6 +150,9 @@ func (s *SimpleIndex) query(i, lo, hi int, a1, a2 int64, emit EmitObject) bool {
 
 // Stats sums the I/O counters of every node tree.
 func (s *SimpleIndex) Stats() disk.Stats {
+	if s.store != nil { // shared device: every tree reports the same counters
+		return s.store.Stats()
+	}
 	var st disk.Stats
 	for i := range s.nodes {
 		st = st.Add(s.nodes[i].tree.Pager().Stats())
@@ -140,6 +162,9 @@ func (s *SimpleIndex) Stats() disk.Stats {
 
 // SpaceBlocks sums live pages across all node trees.
 func (s *SimpleIndex) SpaceBlocks() int64 {
+	if s.store != nil {
+		return s.store.Allocated()
+	}
 	var total int64
 	for i := range s.nodes {
 		total += s.nodes[i].tree.Pager().Allocated()

@@ -1,0 +1,96 @@
+package core
+
+// Checkpoint support. Unlike the B+-tree, the metablock tree keeps real
+// state outside its pages: the in-memory physical-multiset directory (mult)
+// and the tombstone directory (dead) that weak deletes rely on. A
+// checkpoint therefore serializes {root, n, rebuilds, mult, dead}; OpenOn
+// reattaches a Tree to a store that already holds the pages.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+	"ccidx/internal/wire"
+)
+
+const (
+	stateHeader    = 4 * 8 // root, n, rebuilds, multCount (+ deadCount derived)
+	statePointSize = 3*8 + 8
+)
+
+// MarshalState serializes the tree's out-of-page state: root pointer, live
+// count, rebuild counter, and the mult/dead directories. The caller flushes
+// any pool over the store before checkpointing it.
+func (t *Tree) MarshalState() []byte {
+	buf := make([]byte, 0, stateHeader+8+(len(t.mult)+len(t.dead))*statePointSize)
+	var w [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		buf = append(buf, w[:]...)
+	}
+	put(uint64(int64(t.root)))
+	put(uint64(t.n))
+	put(uint64(t.rebuilds))
+	put(uint64(len(t.mult)))
+	for p, c := range t.mult {
+		put(uint64(p.X))
+		put(uint64(p.Y))
+		put(p.ID)
+		put(uint64(c))
+	}
+	put(uint64(len(t.dead)))
+	for p, c := range t.dead {
+		put(uint64(p.X))
+		put(uint64(p.Y))
+		put(p.ID)
+		put(uint64(c))
+	}
+	return buf
+}
+
+// OpenOn reattaches a metablock tree to a store holding its pages, using
+// the state a prior MarshalState produced. cfg must match the
+// configuration the tree was built with (the owning manager serializes it
+// alongside).
+func OpenOn(cfg Config, store disk.Store, state []byte) (*Tree, error) {
+	t := skeletonOn(cfg, store)
+	r := wire.NewStateReader(state)
+	t.root = disk.BlockID(int64(r.U64()))
+	t.n = int(r.U64())
+	t.rebuilds = int(r.U64())
+	nMult := int(r.U64())
+	if r.Err() != nil || nMult < 0 {
+		return nil, fmt.Errorf("core: corrupt state header")
+	}
+	t.mult = make(map[geom.Point]int, nMult)
+	for i := 0; i < nMult; i++ {
+		p := geom.Point{X: int64(r.U64()), Y: int64(r.U64()), ID: r.U64()}
+		t.mult[p] = int(r.U64())
+	}
+	nDead := int(r.U64())
+	if r.Err() != nil || nDead < 0 {
+		return nil, fmt.Errorf("core: corrupt mult directory")
+	}
+	t.dead = make(map[geom.Point]int, nDead)
+	t.deadCount = 0
+	for i := 0; i < nDead; i++ {
+		p := geom.Point{X: int64(r.U64()), Y: int64(r.U64()), ID: r.U64()}
+		c := int(r.U64())
+		t.dead[p] = c
+		t.deadCount += c
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("core: corrupt state: %w", err)
+	}
+	if t.n < 0 {
+		return nil, fmt.Errorf("core: corrupt state: n=%d", t.n)
+	}
+	if t.root != disk.NilBlock {
+		if err := store.Check(t.root); err != nil {
+			return nil, fmt.Errorf("core: root %d: %w", t.root, err)
+		}
+	}
+	return t, nil
+}

@@ -75,8 +75,8 @@ func (cfg Config) PageSize() int { return pageHeaderSize + cfg.B*recSize }
 // layer provides exactly this discipline with a per-shard RWMutex.
 type Tree struct {
 	cfg   Config
-	pager *disk.Pager
-	dev   disk.Device  // page I/O surface; the pager, or a pool over it
+	pager disk.Store
+	dev   disk.Device  // page I/O surface; the store, or a pool over it
 	root  disk.BlockID // control blob of the root metablock
 	n     int          // LIVE points (physical copies = n + deadCount)
 
@@ -106,19 +106,19 @@ type Tree struct {
 // the static O((n/B) log_B n) construction of Section 3.1. The slice is
 // copied. Points may be inserted afterwards (Section 3.2).
 func New(cfg Config, pts []geom.Point) *Tree {
-	if cfg.B < 4 {
-		panic("core: B must be at least 4")
-	}
+	return NewOn(cfg, disk.NewPager(cfg.PageSize()), pts)
+}
+
+// NewOn is New over a caller-provided store — an in-memory pager or a
+// file-backed device — whose page size must be exactly cfg.PageSize().
+func NewOn(cfg Config, store disk.Store, pts []geom.Point) *Tree {
 	for _, p := range pts {
 		if !p.AboveDiagonal() {
 			panic(fmt.Sprintf("core: point %v below the diagonal y=x", p))
 		}
 	}
-	t := &Tree{
-		cfg: cfg, pager: disk.NewPager(cfg.PageSize()), n: len(pts),
-		mult: make(map[geom.Point]int, len(pts)),
-	}
-	t.dev = t.pager
+	t := skeletonOn(cfg, store)
+	t.n = len(pts)
 	own := append([]geom.Point(nil), pts...)
 	for _, p := range own {
 		t.mult[p]++
@@ -128,8 +128,21 @@ func New(cfg Config, pts []geom.Point) *Tree {
 	return t
 }
 
-// Pager exposes the underlying simulated device for I/O accounting.
-func (t *Tree) Pager() *disk.Pager { return t.pager }
+func skeletonOn(cfg Config, store disk.Store) *Tree {
+	if cfg.B < 4 {
+		panic("core: B must be at least 4")
+	}
+	if store.PageSize() != cfg.PageSize() {
+		panic(fmt.Sprintf("core: store page size %d, want %d for B=%d",
+			store.PageSize(), cfg.PageSize(), cfg.B))
+	}
+	t := &Tree{cfg: cfg, pager: store, mult: make(map[geom.Point]int)}
+	t.dev = t.pager
+	return t
+}
+
+// Pager exposes the underlying store for I/O accounting.
+func (t *Tree) Pager() disk.Store { return t.pager }
 
 // SetDevice routes all page I/O through d — typically a *disk.Pool over
 // Pager() — so pool hits stop costing device I/Os. Call before sharing the

@@ -196,6 +196,9 @@ func (p *Pager) NumPages() int { return len(p.pages) }
 // Alloc reserves a new zeroed page and returns its id. Allocation itself is
 // not counted as an I/O (the page must still be written to contain data).
 func (p *Pager) Alloc() BlockID {
+	if misuseArmed.Load() {
+		p.noteMutation("Alloc", NilBlock)
+	}
 	p.allocs.Add(1)
 	if n := len(p.free); n > 0 {
 		id := p.free[n-1]
@@ -217,6 +220,9 @@ func (p *Pager) check(id BlockID) error {
 	}
 	return nil
 }
+
+// Check reports whether id names a live page (part of the Store interface).
+func (p *Pager) Check(id BlockID) error { return p.check(id) }
 
 // Read copies page id into buf (len(buf) must equal the page size) and
 // counts one I/O.
@@ -242,12 +248,21 @@ func (p *Pager) View(id BlockID) ([]byte, error) {
 		return nil, err
 	}
 	p.reads.Add(1)
+	if misuseArmed.Load() {
+		p.noteView(id)
+	}
 	return p.pages[id], nil
 }
 
-// Release returns a borrowed view. On a bare Pager it is a no-op; it exists
-// so that Pager and Pool satisfy the same Device interface.
-func (p *Pager) Release(BlockID) {}
+// Release returns a borrowed view. On a bare Pager it is a no-op (the view
+// stays readable until the page is next mutated); it exists so that Pager
+// and Pool satisfy the same Device interface. Under EnableMisuseChecks it
+// additionally ends the view's registered borrow.
+func (p *Pager) Release(id BlockID) {
+	if misuseArmed.Load() {
+		p.noteRelease(id)
+	}
+}
 
 // Write copies buf into page id (len(buf) must equal the page size) and
 // counts one I/O.
@@ -257,6 +272,9 @@ func (p *Pager) Write(id BlockID, buf []byte) error {
 	}
 	if len(buf) != p.pageSize {
 		return ErrPageSize
+	}
+	if misuseArmed.Load() {
+		p.noteMutation("Write", id)
 	}
 	p.writes.Add(1)
 	copy(p.pages[id], buf)
@@ -270,6 +288,9 @@ func (p *Pager) Free(id BlockID) error {
 	}
 	if !p.live[id] {
 		return fmt.Errorf("%w: %d", ErrFreedTwice, id)
+	}
+	if misuseArmed.Load() {
+		p.noteMutation("Free", id)
 	}
 	p.live[id] = false
 	p.free = append(p.free, id)

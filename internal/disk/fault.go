@@ -1,0 +1,111 @@
+package disk
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// FaultDevice wraps a Store and injects a write fault after a configured
+// number of mutations: Write returns ErrInjectedFault, Alloc and Free panic
+// with it (their signatures have no error channel for Alloc; the structures'
+// Must* helpers panic on a failed Write anyway, so a fault surfaces as a
+// panic the crash harness recovers from either way). Reads are never
+// faulted — a halted process can always re-read what it already wrote.
+//
+// FaultDevice tests any Store at Device-call granularity; the FileDevice's
+// own FailAfterWrites is finer (file-write granularity, covering journal
+// appends and superblock flips), and the recovery suite uses both.
+type FaultDevice struct {
+	inner     Store
+	remaining atomic.Int64 // mutation budget; negative = disarmed
+	tripped   atomic.Bool
+}
+
+// NewFaultDevice wraps inner with fault injection disarmed.
+func NewFaultDevice(inner Store) *FaultDevice {
+	fd := &FaultDevice{inner: inner}
+	fd.remaining.Store(-1)
+	return fd
+}
+
+// FailAfterMutations arms the device: the next n mutations (Write, Alloc,
+// Free) succeed, every later one faults. Negative n disarms.
+func (fd *FaultDevice) FailAfterMutations(n int64) {
+	fd.tripped.Store(false)
+	fd.remaining.Store(n)
+}
+
+// Tripped reports whether a fault has been injected since the last arming.
+func (fd *FaultDevice) Tripped() bool { return fd.tripped.Load() }
+
+func (fd *FaultDevice) spend() error {
+	for {
+		r := fd.remaining.Load()
+		if r < 0 {
+			return nil
+		}
+		if r == 0 {
+			fd.tripped.Store(true)
+			return ErrInjectedFault
+		}
+		if fd.remaining.CompareAndSwap(r, r-1) {
+			return nil
+		}
+	}
+}
+
+// PageSize returns the wrapped store's page size.
+func (fd *FaultDevice) PageSize() int { return fd.inner.PageSize() }
+
+// Alloc reserves a page, panicking with ErrInjectedFault once the budget is
+// spent (Alloc has no error channel).
+func (fd *FaultDevice) Alloc() BlockID {
+	if err := fd.spend(); err != nil {
+		panic(fmt.Errorf("disk: Alloc: %w", err))
+	}
+	return fd.inner.Alloc()
+}
+
+// Read passes through unfaulted.
+func (fd *FaultDevice) Read(id BlockID, buf []byte) error { return fd.inner.Read(id, buf) }
+
+// View passes through unfaulted.
+func (fd *FaultDevice) View(id BlockID) ([]byte, error) { return fd.inner.View(id) }
+
+// Release passes through.
+func (fd *FaultDevice) Release(id BlockID) { fd.inner.Release(id) }
+
+// Write stores the page, or returns ErrInjectedFault once the budget is
+// spent.
+func (fd *FaultDevice) Write(id BlockID, buf []byte) error {
+	if err := fd.spend(); err != nil {
+		return err
+	}
+	return fd.inner.Write(id, buf)
+}
+
+// Free releases the page, or fails with ErrInjectedFault once the budget is
+// spent.
+func (fd *FaultDevice) Free(id BlockID) error {
+	if err := fd.spend(); err != nil {
+		return err
+	}
+	return fd.inner.Free(id)
+}
+
+// Check reports whether id names a live page.
+func (fd *FaultDevice) Check(id BlockID) error { return fd.inner.Check(id) }
+
+// Stats returns the wrapped store's counters.
+func (fd *FaultDevice) Stats() Stats { return fd.inner.Stats() }
+
+// ResetStats zeroes the wrapped store's counters.
+func (fd *FaultDevice) ResetStats() { fd.inner.ResetStats() }
+
+// Allocated returns the wrapped store's live page count.
+func (fd *FaultDevice) Allocated() int64 { return fd.inner.Allocated() }
+
+// NumPages returns the wrapped store's page-id space size.
+func (fd *FaultDevice) NumPages() int { return fd.inner.NumPages() }
+
+var _ Store = (*FaultDevice)(nil)

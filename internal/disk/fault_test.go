@@ -1,0 +1,73 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFaultDeviceBudget: the Store-agnostic wrapper faults exactly after
+// the armed number of mutations, reads stay unfaulted, and disarming
+// restores normal operation.
+func TestFaultDeviceBudget(t *testing.T) {
+	fd := NewFaultDevice(NewPager(64))
+	buf := make([]byte, 64)
+
+	var ids []BlockID
+	for i := 0; i < 4; i++ {
+		id := fd.Alloc()
+		if err := fd.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	fd.FailAfterMutations(2)
+	if err := fd.Write(ids[0], buf); err != nil {
+		t.Fatalf("write 1 of 2: %v", err)
+	}
+	if err := fd.Write(ids[1], buf); err != nil {
+		t.Fatalf("write 2 of 2: %v", err)
+	}
+	if err := fd.Write(ids[2], buf); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("write past budget: %v, want ErrInjectedFault", err)
+	}
+	if !fd.Tripped() {
+		t.Fatal("Tripped() = false after injected fault")
+	}
+	if err := fd.Free(ids[3]); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("free past budget: %v, want ErrInjectedFault", err)
+	}
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				t.Fatal("Alloc past budget did not panic")
+			}
+			if err, ok := p.(error); !ok || !errors.Is(err, ErrInjectedFault) {
+				t.Fatalf("Alloc panic = %v, want wrapped ErrInjectedFault", p)
+			}
+		}()
+		fd.Alloc()
+	}()
+
+	// Reads are never faulted: a halted process can re-read what it wrote.
+	if err := fd.Read(ids[0], buf); err != nil {
+		t.Fatalf("read under exhausted budget: %v", err)
+	}
+	v, err := fd.View(ids[0])
+	if err != nil || len(v) != 64 {
+		t.Fatalf("view under exhausted budget: %v", err)
+	}
+	fd.Release(ids[0])
+
+	fd.FailAfterMutations(-1)
+	if err := fd.Write(ids[0], buf); err != nil {
+		t.Fatalf("write after disarm: %v", err)
+	}
+	if fd.Tripped() {
+		t.Fatal("Tripped() = true after re-arming")
+	}
+	if fd.PageSize() != 64 || fd.NumPages() != 5 {
+		t.Fatalf("pass-through accessors: ps=%d np=%d", fd.PageSize(), fd.NumPages())
+	}
+}

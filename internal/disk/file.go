@@ -1,0 +1,1007 @@
+package disk
+
+// FileDevice is an os.File-backed Store: the same page semantics as the
+// in-memory Pager — fixed-size pages addressed by BlockID, an allocator
+// with a free list, atomic I/O counters — but every Read/Write is a real
+// page transfer against secondary storage, so the reproduced I/O counts
+// correspond to actual disk pages (the paper's cost model, Section 1.1,
+// counts exactly these transfers).
+//
+// # On-disk layout
+//
+// The page file is an array of pageSize-byte file pages:
+//
+//	file page 0      device header {magic, version, pageSize}
+//	file pages 1,2   superblock slots A and B (shadow pair)
+//	file page k+2    data page for BlockID k (k >= 1; 0 is NilBlock)
+//
+// # Checkpoints and the shadow superblock
+//
+// A checkpoint captures (a) the device's allocation state (page count and
+// free list) and (b) an opaque structure payload (root pointers and
+// directories serialized by the owning index). Small checkpoints inline the
+// content in the superblock slot; larger ones write it to a chain of
+// freshly allocated data pages (the blob) and the slot records the chain
+// head, length and CRC. The slot itself is written with a double-buffer
+// protocol: content first, fsync, then the inactive slot is overwritten
+// with an incremented sequence number and its own CRC, fsync. A torn slot
+// write leaves the other slot valid, so some durable checkpoint always
+// survives.
+//
+// Checkpointing is split into PrepareCheckpoint/CommitCheckpoint so that a
+// manager spanning several devices can make one multi-file checkpoint
+// atomic: prepare every device (each now holds both the old and the new
+// checkpoint), flip a single commit record (the manager's manifest), then
+// commit every device. Checkpoint() combines both for single-device use.
+//
+// # The rollback journal
+//
+// Structures write pages in place, so between checkpoints they physically
+// overwrite pages the last durable checkpoint still references. Before the
+// first overwrite of any such protected page in a generation, the device
+// appends the page's pre-image to a rollback journal (path + ".journal").
+// Opening a crashed device replays valid journal records — restoring every
+// protected page to its checkpointed content — and discards the torn tail,
+// which is safe because a record is always durable before its in-place
+// overwrite. CommitCheckpoint truncates the journal and starts the next
+// generation. Pages that were free at the last checkpoint are not
+// journaled: no checkpointed state references their content.
+//
+// # Concurrency
+//
+// Same contract as Pager: any number of goroutines may Read/View
+// concurrently while no mutation is in flight; mutations (Write, Alloc,
+// Free, checkpointing) require external serialization — with the one
+// internal exception that Write is self-serializing (journal bookkeeping
+// takes a mutex), because a buffer pool may write back dirty frames from
+// concurrent read paths.
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// FsyncPolicy selects how aggressively the device calls fsync.
+type FsyncPolicy int
+
+const (
+	// FsyncCheckpoint (the default) syncs at the two ordering points of a
+	// checkpoint: after the content is written and after the superblock
+	// flip. Journal appends are ordered before their overwrite by write
+	// order only, which is sufficient for process-crash recovery (and for
+	// the fault-injection suite); a power loss can lose the tail of the
+	// current generation back to the last checkpoint.
+	FsyncCheckpoint FsyncPolicy = iota
+	// FsyncNever never syncs; durability is left entirely to the OS.
+	FsyncNever
+	// FsyncAlways additionally syncs every journal append before the
+	// corresponding in-place page overwrite, extending crash safety to
+	// power loss between checkpoints.
+	FsyncAlways
+)
+
+// Errors of the file-backed device.
+var (
+	ErrInjectedFault = errors.New("disk: injected write fault")
+	ErrCorruptDevice = errors.New("disk: corrupt device file")
+	ErrNoCheckpoint  = errors.New("disk: no checkpoint with the requested sequence")
+)
+
+const (
+	fdMagic   = 0x3164466864696363 // "ccidhFd1" little-endian-ish tag
+	sbMagic   = 0x3142536864696363
+	jMagic    = 0x314e4a6864696363
+	jRecMagic = 0x4a52ec0d
+	fdVersion = 1
+
+	reservedFilePages = 3 // header + two superblock slots
+
+	blobPageHeader = 12 // next (u64) + dataLen (u32)
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// FileOptions configures OpenFile.
+type FileOptions struct {
+	// PageSize is required when creating a new file; when opening an
+	// existing one it must be zero or match the on-disk page size.
+	PageSize int
+	// Fsync selects the sync policy (default FsyncCheckpoint).
+	Fsync FsyncPolicy
+	// TrustSeq, when non-nil, requires the opened checkpoint to have
+	// exactly this sequence number (the manager's manifest-committed
+	// generation) instead of the highest valid one; ErrNoCheckpoint is
+	// returned when neither slot has it.
+	TrustSeq *uint64
+	// MustCreate requires path to not already hold a device: creating a
+	// fresh structure over an existing file would silently recover the old
+	// allocation state and leak every old page under the new tree.
+	MustCreate bool
+}
+
+// pendingCkpt is the state between PrepareCheckpoint and CommitCheckpoint.
+type pendingCkpt struct {
+	seq     uint64
+	newBlob []BlockID
+	oldBlob []BlockID
+}
+
+// FileDevice is a file-backed Store. Create or open one with OpenFile.
+type FileDevice struct {
+	f        *os.File
+	jf       *os.File
+	path     string
+	pageSize int
+	fsync    FsyncPolicy
+
+	// Mutation state; mu additionally serializes journal bookkeeping
+	// against pool write-back (see the concurrency note above).
+	mu        sync.Mutex
+	live      []bool // index 0 unused (NilBlock)
+	liveCount atomic.Int64
+	free      []BlockID
+	seq       uint64
+	ckptBlob  []BlockID
+	payload   []byte
+	pending   *pendingCkpt
+	protected []bool
+	journaled map[BlockID]bool
+
+	reads, writes, allocs, frees atomic.Int64
+	jAppends, syncs              atomic.Int64
+
+	// budget, when set, is the fault-injection write budget (possibly
+	// SHARED with other devices, so a multi-file crash sweep has one global
+	// write ordering); every file-level write spends from it and fails with
+	// ErrInjectedFault once it is exhausted.
+	budget atomic.Pointer[WriteBudget]
+	// fwrites counts every file-level write operation (page writes, journal
+	// appends, superblock and zeroing writes) — the crash boundaries the
+	// fault-injection suite sweeps.
+	fwrites atomic.Int64
+}
+
+// WriteBudget is a fault-injection budget in file-level write operations,
+// shareable across several FileDevices: arm with n writes, and every write
+// any sharing device issues past the n-th fails with ErrInjectedFault.
+type WriteBudget struct {
+	remaining atomic.Int64
+}
+
+// NewWriteBudget returns a budget allowing n writes.
+func NewWriteBudget(n int64) *WriteBudget {
+	b := &WriteBudget{}
+	b.remaining.Store(n)
+	return b
+}
+
+func (b *WriteBudget) spend() error {
+	for {
+		r := b.remaining.Load()
+		if r <= 0 {
+			return ErrInjectedFault
+		}
+		if b.remaining.CompareAndSwap(r, r-1) {
+			return nil
+		}
+	}
+}
+
+// OpenFile opens the device file at path, creating it when absent (which
+// requires opts.PageSize). Opening an existing file recovers it: the valid
+// superblock slot with the highest (or TrustSeq-requested) sequence is
+// selected and the rollback journal of that generation, if any, is
+// replayed, so the device exposes exactly the last durable checkpoint.
+func OpenFile(path string, opts FileOptions) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	d := &FileDevice{f: f, path: path, fsync: opts.Fsync}
+	d.journaled = make(map[BlockID]bool)
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if opts.PageSize <= 0 {
+			f.Close()
+			return nil, fmt.Errorf("disk: creating %s requires FileOptions.PageSize", path)
+		}
+	} else if opts.MustCreate {
+		f.Close()
+		return nil, fmt.Errorf("disk: %s already holds a device; open it instead, or remove it to recreate", path)
+	}
+	if st.Size() == 0 {
+		d.pageSize = opts.PageSize
+		if err := d.initFresh(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if err := d.recover(opts); err != nil {
+		f.Close()
+		if d.jf != nil {
+			d.jf.Close()
+		}
+		return nil, err
+	}
+	if d.jf == nil {
+		if err := d.openJournal(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := d.resetJournal(); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// initFresh lays out a brand-new device file: header page plus an empty
+// checkpoint in slot A (seq 0, no payload).
+func (d *FileDevice) initFresh() error {
+	hdr := make([]byte, d.pageSize)
+	binary.LittleEndian.PutUint64(hdr[0:], fdMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], fdVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(d.pageSize))
+	binary.LittleEndian.PutUint32(hdr[16:], crc32.Checksum(hdr[:16], crcTable))
+	if err := d.fwrite(hdr, 0); err != nil {
+		return err
+	}
+	d.live = make([]bool, 1)
+	empty := make([]byte, 16) // nPages 0, empty free list, no payload
+	if err := d.writeSlot(0, NilBlock, len(empty), crc32.Checksum(empty, crcTable), empty); err != nil {
+		return err
+	}
+	return d.sync()
+}
+
+// recover loads an existing device file: validate the header, pick the
+// checkpoint slot, replay the rollback journal, rebuild allocation state.
+func (d *FileDevice) recover(opts FileOptions) error {
+	var small [20]byte
+	if _, err := d.f.ReadAt(small[:], 0); err != nil {
+		return fmt.Errorf("%w: short header: %v", ErrCorruptDevice, err)
+	}
+	if binary.LittleEndian.Uint64(small[0:]) != fdMagic {
+		return fmt.Errorf("%w: bad magic in %s", ErrCorruptDevice, d.path)
+	}
+	if v := binary.LittleEndian.Uint32(small[8:]); v != fdVersion {
+		return fmt.Errorf("%w: version %d (want %d)", ErrCorruptDevice, v, fdVersion)
+	}
+	ps := int(binary.LittleEndian.Uint32(small[12:]))
+	if ps <= 0 {
+		return fmt.Errorf("%w: page size %d", ErrCorruptDevice, ps)
+	}
+	if crc32.Checksum(small[:16], crcTable) != binary.LittleEndian.Uint32(small[16:]) {
+		return fmt.Errorf("%w: header checksum", ErrCorruptDevice)
+	}
+	if opts.PageSize != 0 && opts.PageSize != ps {
+		return fmt.Errorf("disk: %s has page size %d, caller expects %d", d.path, ps, opts.PageSize)
+	}
+	d.pageSize = ps
+
+	// Pick the checkpoint slot.
+	type cand struct {
+		slot int
+		sb   slotInfo
+	}
+	var best *cand
+	for i := 0; i < 2; i++ {
+		sb, ok := d.readSlot(i)
+		if !ok {
+			continue
+		}
+		if opts.TrustSeq != nil {
+			if sb.seq == *opts.TrustSeq {
+				best = &cand{i, sb}
+				break
+			}
+			continue
+		}
+		if best == nil || sb.seq > best.sb.seq {
+			best = &cand{i, sb}
+		}
+	}
+	if best == nil {
+		if opts.TrustSeq != nil {
+			return fmt.Errorf("%w: seq %d in %s", ErrNoCheckpoint, *opts.TrustSeq, d.path)
+		}
+		return fmt.Errorf("%w: no valid superblock in %s", ErrCorruptDevice, d.path)
+	}
+	d.seq = best.sb.seq
+
+	// Replay the rollback journal of this generation, restoring protected
+	// pages to their checkpointed pre-images; then start it afresh.
+	if err := d.openJournal(); err != nil {
+		return err
+	}
+	if err := d.rollback(d.seq); err != nil {
+		return err
+	}
+	if err := d.resetJournal(); err != nil {
+		return err
+	}
+
+	// Load the checkpoint content (after rollback: a blob chain may cross
+	// pages the journal just restored).
+	content, chain, err := d.readSlotContent(best.sb)
+	if err != nil {
+		return err
+	}
+	if len(content) < 16 {
+		return fmt.Errorf("%w: checkpoint content truncated", ErrCorruptDevice)
+	}
+	nPages := int(binary.LittleEndian.Uint64(content[0:]))
+	freeCount := int(binary.LittleEndian.Uint64(content[8:]))
+	if len(content) < 16+8*freeCount {
+		return fmt.Errorf("%w: free list truncated", ErrCorruptDevice)
+	}
+	d.live = make([]bool, nPages+1)
+	for i := 1; i <= nPages; i++ {
+		d.live[i] = true
+	}
+	d.free = d.free[:0]
+	for i := 0; i < freeCount; i++ {
+		id := BlockID(binary.LittleEndian.Uint64(content[16+8*i:]))
+		if id <= 0 || int(id) > nPages || !d.live[id] {
+			return fmt.Errorf("%w: free list entry %d", ErrCorruptDevice, id)
+		}
+		d.live[id] = false
+		d.free = append(d.free, id)
+	}
+	d.payload = append([]byte(nil), content[16+8*freeCount:]...)
+	d.ckptBlob = chain
+	d.liveCount.Store(int64(nPages - freeCount))
+	d.snapshotProtected()
+	return nil
+}
+
+// --- basic geometry ----------------------------------------------------------
+
+func (d *FileDevice) dataOff(id BlockID) int64 {
+	return int64(int(id)+reservedFilePages-1) * int64(d.pageSize)
+}
+
+func (d *FileDevice) slotOff(slot int) int64 { return int64(1+slot) * int64(d.pageSize) }
+
+// spendWriteBudget charges one file-level write against the fault-injection
+// budget; every write the device issues (page writes, journal appends,
+// superblock flips alike) passes through it, so a crash boundary exists at
+// each one.
+func (d *FileDevice) spendWriteBudget() error {
+	d.fwrites.Add(1)
+	if b := d.budget.Load(); b != nil {
+		return b.spend()
+	}
+	return nil
+}
+
+// fwrite is the single funnel for page-file writes.
+func (d *FileDevice) fwrite(buf []byte, off int64) error {
+	if err := d.spendWriteBudget(); err != nil {
+		return err
+	}
+	_, err := d.f.WriteAt(buf, off)
+	return err
+}
+
+// fread reads len(buf) bytes at off, treating the region past EOF as zeros
+// (pages grown by Alloc are materialized lazily by their first write).
+func (d *FileDevice) fread(buf []byte, off int64) error {
+	n, err := d.f.ReadAt(buf, off)
+	if err == io.EOF || (err == nil && n == len(buf)) {
+		for i := n; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		return nil
+	}
+	return err
+}
+
+func (d *FileDevice) sync() error {
+	if d.fsync == FsyncNever {
+		return nil
+	}
+	d.syncs.Add(1)
+	return d.f.Sync()
+}
+
+// --- Store interface ---------------------------------------------------------
+
+// PageSize returns the page size in bytes.
+func (d *FileDevice) PageSize() int { return d.pageSize }
+
+// Path returns the page file's path.
+func (d *FileDevice) Path() string { return d.path }
+
+// Stats returns a snapshot of the cumulative I/O counters. Journal appends,
+// superblock writes and allocation zeroing are deliberately NOT counted:
+// the counters measure the same quantity as the Pager's — data page
+// transfers — so simulated and durable runs are directly comparable.
+// JournalStats exposes the durability overhead separately.
+func (d *FileDevice) Stats() Stats {
+	return Stats{
+		Reads:  d.reads.Load(),
+		Writes: d.writes.Load(),
+		Allocs: d.allocs.Load(),
+		Frees:  d.frees.Load(),
+	}
+}
+
+// ResetStats zeroes the I/O counters (allocation state is unchanged).
+func (d *FileDevice) ResetStats() {
+	d.reads.Store(0)
+	d.writes.Store(0)
+	d.allocs.Store(0)
+	d.frees.Store(0)
+}
+
+// JournalStats returns the cumulative durability overhead: journal
+// pre-image appends and fsync calls.
+func (d *FileDevice) JournalStats() (appends, syncs int64) {
+	return d.jAppends.Load(), d.syncs.Load()
+}
+
+// Allocated returns the number of live pages. Unlike the Pager's
+// session-counter arithmetic, it is maintained directly from the live set,
+// so it stays correct across ResetStats AND across reopening a device that
+// already holds checkpointed pages.
+func (d *FileDevice) Allocated() int64 { return d.liveCount.Load() }
+
+// NumPages returns the size of the page-id space (live or free).
+func (d *FileDevice) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.live)
+}
+
+// Seq returns the sequence number of the last durable checkpoint.
+func (d *FileDevice) Seq() uint64 { return d.seq }
+
+// Check reports whether id names a live page.
+func (d *FileDevice) Check(id BlockID) error {
+	if id <= 0 || int(id) >= len(d.live) || !d.live[id] {
+		return fmt.Errorf("%w: %d", ErrBadBlock, id)
+	}
+	return nil
+}
+
+// Alloc reserves a page and returns its id; not counted as an I/O (the
+// page must still be written to contain data). Reused pages read back as
+// zeros, matching the Pager; fresh pages are materialized lazily by their
+// first write (the file is sparse until then).
+func (d *FileDevice) Alloc() BlockID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.allocLocked()
+}
+
+func (d *FileDevice) allocLocked() BlockID {
+	id, err := d.allocPageLocked()
+	if err != nil {
+		panic(fmt.Errorf("disk: allocating page: %w", err))
+	}
+	return id
+}
+
+func (d *FileDevice) allocPageLocked() (BlockID, error) {
+	d.allocs.Add(1)
+	d.liveCount.Add(1)
+	if n := len(d.free); n > 0 {
+		id := d.free[n-1]
+		d.free = d.free[:n-1]
+		d.live[id] = true
+		// Reuse must present a zeroed page. The zeroing write is journaled
+		// like any overwrite (the old content may belong to the last
+		// checkpoint) but is not an accounted data I/O.
+		if err := d.journalLocked(id); err != nil {
+			return NilBlock, fmt.Errorf("journaling reused page %d: %w", id, err)
+		}
+		zero := make([]byte, d.pageSize)
+		if err := d.fwrite(zero, d.dataOff(id)); err != nil {
+			return NilBlock, fmt.Errorf("zeroing reused page %d: %w", id, err)
+		}
+		return id, nil
+	}
+	d.live = append(d.live, true)
+	return BlockID(len(d.live) - 1), nil
+}
+
+// Free releases a page back to the free list. The content is untouched, so
+// no journaling is needed.
+func (d *FileDevice) Free(id BlockID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.freeLocked(id)
+}
+
+func (d *FileDevice) freeLocked(id BlockID) error {
+	if id <= 0 || int(id) >= len(d.live) {
+		return fmt.Errorf("%w: %d", ErrBadBlock, id)
+	}
+	if !d.live[id] {
+		return fmt.Errorf("%w: %d", ErrFreedTwice, id)
+	}
+	d.live[id] = false
+	d.free = append(d.free, id)
+	d.frees.Add(1)
+	d.liveCount.Add(-1)
+	return nil
+}
+
+// Read copies page id into buf and counts one I/O.
+func (d *FileDevice) Read(id BlockID, buf []byte) error {
+	if err := d.Check(id); err != nil {
+		return err
+	}
+	if len(buf) != d.pageSize {
+		return ErrPageSize
+	}
+	d.reads.Add(1)
+	return d.fread(buf, d.dataOff(id))
+}
+
+// View returns a read-only view of page id, counting one I/O like Read.
+// Unlike the Pager's zero-copy views, a file-backed view is a private
+// buffer (a real transfer happened); Release is a no-op. Serving
+// configurations layer a Pool on top, whose frames restore zero-copy hits.
+func (d *FileDevice) View(id BlockID) ([]byte, error) {
+	buf := make([]byte, d.pageSize)
+	if err := d.Read(id, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Release is a no-op (views are private buffers).
+func (d *FileDevice) Release(BlockID) {}
+
+// Write stores buf into page id and counts one I/O, journaling the page's
+// pre-image first when the last durable checkpoint still references it.
+func (d *FileDevice) Write(id BlockID, buf []byte) error {
+	if err := d.Check(id); err != nil {
+		return err
+	}
+	if len(buf) != d.pageSize {
+		return ErrPageSize
+	}
+	d.mu.Lock()
+	if err := d.journalLocked(id); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.writes.Add(1)
+	err := d.fwrite(buf, d.dataOff(id))
+	d.mu.Unlock()
+	return err
+}
+
+// --- rollback journal --------------------------------------------------------
+
+func (d *FileDevice) openJournal() error {
+	jf, err := os.OpenFile(d.path+".journal", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	d.jf = jf
+	return nil
+}
+
+// resetJournal truncates the journal and stamps it with the current
+// generation (the seq of the checkpoint its future records will protect).
+func (d *FileDevice) resetJournal() error {
+	if err := d.jf.Truncate(0); err != nil {
+		return err
+	}
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], jMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], d.seq)
+	if _, err := d.jf.WriteAt(hdr[:], 0); err != nil {
+		return err
+	}
+	d.journaled = make(map[BlockID]bool)
+	if d.fsync != FsyncNever {
+		d.syncs.Add(1)
+		return d.jf.Sync()
+	}
+	return nil
+}
+
+// journalLocked appends page id's pre-image to the journal if the last
+// durable checkpoint references it and it has not been journaled this
+// generation. Called with d.mu held.
+func (d *FileDevice) journalLocked(id BlockID) error {
+	if d.journaled[id] || int(id) >= len(d.protected) || !d.protected[id] {
+		return nil
+	}
+	pre := make([]byte, d.pageSize)
+	if err := d.fread(pre, d.dataOff(id)); err != nil {
+		return err
+	}
+	rec := make([]byte, 16+d.pageSize)
+	binary.LittleEndian.PutUint32(rec[0:], jRecMagic)
+	binary.LittleEndian.PutUint64(rec[4:], uint64(id))
+	binary.LittleEndian.PutUint32(rec[12:], crc32.Checksum(pre, crcTable))
+	copy(rec[16:], pre)
+	end, err := d.jf.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
+	// The journal append spends the same fault budget as any other file
+	// write: a crash can land between the append and the overwrite.
+	if err := d.spendWriteBudget(); err != nil {
+		return err
+	}
+	if _, err := d.jf.WriteAt(rec, end); err != nil {
+		return err
+	}
+	d.jAppends.Add(1)
+	if d.fsync == FsyncAlways {
+		d.syncs.Add(1)
+		if err := d.jf.Sync(); err != nil {
+			return err
+		}
+	}
+	d.journaled[id] = true
+	return nil
+}
+
+// rollback replays the journal if it protects generation gen: every valid
+// record's pre-image is written back, restoring the checkpointed content of
+// protected pages; the torn tail (if any) is discarded — safe because a
+// record is durable before its in-place overwrite.
+func (d *FileDevice) rollback(gen uint64) error {
+	var hdr [16]byte
+	n, err := d.jf.ReadAt(hdr[:], 0)
+	if err == io.EOF && n < len(hdr) {
+		return nil // empty or torn header: nothing was journaled
+	}
+	if err != nil && err != io.EOF {
+		return err
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != jMagic {
+		return nil
+	}
+	if binary.LittleEndian.Uint64(hdr[8:]) != gen {
+		return nil // stale journal from another generation
+	}
+	rec := make([]byte, 16+d.pageSize)
+	off := int64(16)
+	for {
+		n, err := d.jf.ReadAt(rec, off)
+		if n < len(rec) {
+			return nil // torn tail: its overwrite never happened
+		}
+		if err != nil && err != io.EOF {
+			return err
+		}
+		if binary.LittleEndian.Uint32(rec[0:]) != jRecMagic {
+			return nil
+		}
+		id := BlockID(binary.LittleEndian.Uint64(rec[4:]))
+		if crc32.Checksum(rec[16:], crcTable) != binary.LittleEndian.Uint32(rec[12:]) {
+			return nil
+		}
+		if id <= 0 {
+			return nil
+		}
+		if err := d.fwrite(rec[16:], d.dataOff(id)); err != nil {
+			return err
+		}
+		off += int64(len(rec))
+	}
+}
+
+// snapshotProtected records the current live set as the journal filter:
+// these are the pages the newly durable checkpoint references.
+func (d *FileDevice) snapshotProtected() {
+	d.protected = append(d.protected[:0], d.live...)
+}
+
+// --- superblock slots --------------------------------------------------------
+
+// Slot page layout:
+//
+//	 0  magic      u64
+//	 8  seq        u64
+//	16  head       u64  blob chain head BlockID; 0 = content inlined
+//	24  contentLen u64  total content length in bytes
+//	32  contentCRC u32  crc32c over the full content
+//	36  slotCRC    u32  crc32c over the whole slot page with this field zeroed
+//	40  inline content (head == 0 only)
+const slotHeader = 40
+
+type slotInfo struct {
+	seq        uint64
+	head       BlockID
+	contentLen int
+	contentCRC uint32
+	inline     []byte // content when head == 0 (already CRC-validated)
+}
+
+// writeSlot writes superblock slot (seq%2): content inlined when head is
+// nil, otherwise a reference to the already-written blob chain.
+func (d *FileDevice) writeSlot(seq uint64, head BlockID, contentLen int, contentCRC uint32, inline []byte) error {
+	buf := make([]byte, d.pageSize)
+	binary.LittleEndian.PutUint64(buf[0:], sbMagic)
+	binary.LittleEndian.PutUint64(buf[8:], seq)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(head))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(contentLen))
+	binary.LittleEndian.PutUint32(buf[32:], contentCRC)
+	if head == NilBlock {
+		if slotHeader+len(inline) > d.pageSize {
+			return fmt.Errorf("disk: inline checkpoint content %d bytes exceeds page", len(inline))
+		}
+		copy(buf[slotHeader:], inline)
+	}
+	binary.LittleEndian.PutUint32(buf[36:], crc32.Checksum(buf, crcTable))
+	return d.fwrite(buf, d.slotOff(int(seq%2)))
+}
+
+// readSlot reads and validates superblock slot i; ok is false for a slot
+// that was never written or was torn mid-write.
+func (d *FileDevice) readSlot(i int) (slotInfo, bool) {
+	buf := make([]byte, d.pageSize)
+	if err := d.fread(buf, d.slotOff(i)); err != nil {
+		return slotInfo{}, false
+	}
+	if binary.LittleEndian.Uint64(buf[0:]) != sbMagic {
+		return slotInfo{}, false
+	}
+	want := binary.LittleEndian.Uint32(buf[36:])
+	binary.LittleEndian.PutUint32(buf[36:], 0)
+	if crc32.Checksum(buf, crcTable) != want {
+		return slotInfo{}, false
+	}
+	sb := slotInfo{
+		seq:        binary.LittleEndian.Uint64(buf[8:]),
+		head:       BlockID(binary.LittleEndian.Uint64(buf[16:])),
+		contentLen: int(binary.LittleEndian.Uint64(buf[24:])),
+		contentCRC: binary.LittleEndian.Uint32(buf[32:]),
+	}
+	if sb.contentLen < 0 {
+		return slotInfo{}, false
+	}
+	if sb.head == NilBlock {
+		if slotHeader+sb.contentLen > d.pageSize {
+			return slotInfo{}, false
+		}
+		inline := buf[slotHeader : slotHeader+sb.contentLen]
+		if crc32.Checksum(inline, crcTable) != sb.contentCRC {
+			return slotInfo{}, false
+		}
+		sb.inline = inline
+	}
+	return sb, true
+}
+
+// readSlotContent returns the checkpoint content a validated slot refers
+// to, along with the blob chain page ids (nil for inline content). Chain
+// pages are read with raw file reads: allocation state is not rebuilt yet
+// when recovery calls this.
+func (d *FileDevice) readSlotContent(sb slotInfo) (content []byte, chain []BlockID, err error) {
+	if sb.head == NilBlock {
+		return sb.inline, nil, nil
+	}
+	content = make([]byte, 0, sb.contentLen)
+	maxPages := sb.contentLen/(d.pageSize-blobPageHeader) + 2
+	page := make([]byte, d.pageSize)
+	for id := sb.head; id != NilBlock; {
+		if len(chain) > maxPages {
+			return nil, nil, fmt.Errorf("%w: checkpoint blob chain cycle", ErrCorruptDevice)
+		}
+		chain = append(chain, id)
+		if err := d.fread(page, d.dataOff(id)); err != nil {
+			return nil, nil, err
+		}
+		next := BlockID(binary.LittleEndian.Uint64(page[0:]))
+		dataLen := int(binary.LittleEndian.Uint32(page[8:]))
+		if dataLen < 0 || blobPageHeader+dataLen > d.pageSize {
+			return nil, nil, fmt.Errorf("%w: checkpoint blob page %d", ErrCorruptDevice, id)
+		}
+		content = append(content, page[blobPageHeader:blobPageHeader+dataLen]...)
+		id = next
+	}
+	if len(content) != sb.contentLen {
+		return nil, nil, fmt.Errorf("%w: checkpoint blob length %d, superblock says %d",
+			ErrCorruptDevice, len(content), sb.contentLen)
+	}
+	if crc32.Checksum(content, crcTable) != sb.contentCRC {
+		return nil, nil, fmt.Errorf("%w: checkpoint blob checksum", ErrCorruptDevice)
+	}
+	return content, chain, nil
+}
+
+// --- checkpointing -----------------------------------------------------------
+
+// PrepareCheckpoint writes a new checkpoint — the device's allocation state
+// plus the caller's opaque payload — as generation seq (which must be
+// Seq()+1), leaving both the previous and the new checkpoint durable on
+// disk. Nothing is committed yet: a crash before CommitCheckpoint (or the
+// caller's own commit record) recovers the previous generation. After a
+// failed Prepare the in-memory allocation state may have consumed free
+// pages; the caller is expected to treat the device as crashed and reopen.
+func (d *FileDevice) PrepareCheckpoint(seq uint64, payload []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.pending != nil {
+		return fmt.Errorf("disk: PrepareCheckpoint with an uncommitted checkpoint pending")
+	}
+	if seq != d.seq+1 {
+		return fmt.Errorf("disk: PrepareCheckpoint seq %d, want %d", seq, d.seq+1)
+	}
+	oldBlob := d.ckptBlob
+
+	// The serialized free list must reflect the post-commit state: the
+	// current free pages plus the previous checkpoint's blob chain (freed
+	// at commit), minus whatever the new blob chain allocates below.
+	contentSize := func() int { return 16 + 8*(len(d.free)+len(oldBlob)) + len(payload) }
+
+	var chain []BlockID
+	if slotHeader+contentSize() > d.pageSize {
+		capacity := 0
+		for capacity < contentSize() {
+			id, err := d.allocPageLocked()
+			if err != nil {
+				return err
+			}
+			chain = append(chain, id)
+			capacity += d.pageSize - blobPageHeader
+		}
+	}
+
+	content := make([]byte, 0, contentSize())
+	var scratch [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		content = append(content, scratch[:]...)
+	}
+	put64(uint64(len(d.live) - 1)) // nPages
+	put64(uint64(len(d.free) + len(oldBlob)))
+	for _, id := range d.free {
+		put64(uint64(id))
+	}
+	for _, id := range oldBlob {
+		put64(uint64(id))
+	}
+	content = append(content, payload...)
+	crc := crc32.Checksum(content, crcTable)
+
+	if len(chain) > 0 {
+		per := d.pageSize - blobPageHeader
+		page := make([]byte, d.pageSize)
+		for i, id := range chain {
+			lo := i * per
+			hi := lo + per
+			if lo > len(content) {
+				lo = len(content)
+			}
+			if hi > len(content) {
+				hi = len(content)
+			}
+			for j := range page {
+				page[j] = 0
+			}
+			next := NilBlock
+			if i+1 < len(chain) {
+				next = chain[i+1]
+			}
+			binary.LittleEndian.PutUint64(page[0:], uint64(next))
+			binary.LittleEndian.PutUint32(page[8:], uint32(hi-lo))
+			copy(page[blobPageHeader:], content[lo:hi])
+			if err := d.journalLocked(id); err != nil {
+				return err
+			}
+			d.writes.Add(1)
+			if err := d.fwrite(page, d.dataOff(id)); err != nil {
+				return err
+			}
+		}
+		if err := d.sync(); err != nil {
+			return err
+		}
+		if err := d.writeSlot(seq, chain[0], len(content), crc, nil); err != nil {
+			return err
+		}
+	} else {
+		if err := d.sync(); err != nil {
+			return err
+		}
+		if err := d.writeSlot(seq, NilBlock, len(content), crc, content); err != nil {
+			return err
+		}
+	}
+	if err := d.sync(); err != nil {
+		return err
+	}
+	d.pending = &pendingCkpt{seq: seq, newBlob: chain, oldBlob: oldBlob}
+	d.payload = append([]byte(nil), payload...)
+	return nil
+}
+
+// CommitCheckpoint makes the prepared checkpoint the device's durable
+// generation: the previous checkpoint's blob pages are freed, the rollback
+// journal restarts, and subsequent writes journal pre-images of the pages
+// the new checkpoint references.
+func (d *FileDevice) CommitCheckpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.pending
+	if p == nil {
+		return fmt.Errorf("disk: CommitCheckpoint without PrepareCheckpoint")
+	}
+	d.pending = nil
+	d.seq = p.seq
+	d.ckptBlob = p.newBlob
+	for _, id := range p.oldBlob {
+		if err := d.freeLocked(id); err != nil {
+			return err
+		}
+	}
+	d.snapshotProtected()
+	return d.resetJournal()
+}
+
+// Checkpoint prepares and commits in one step — the single-device protocol
+// (the superblock flip itself is the commit point).
+func (d *FileDevice) Checkpoint(payload []byte) error {
+	if err := d.PrepareCheckpoint(d.seq+1, payload); err != nil {
+		return err
+	}
+	return d.CommitCheckpoint()
+}
+
+// HasCheckpoint reports whether the device holds a structure payload (a
+// freshly created device holds only the empty generation-0 checkpoint).
+func (d *FileDevice) HasCheckpoint() bool { return len(d.payload) > 0 }
+
+// ReadCheckpoint returns a copy of the structure payload of the checkpoint
+// the device was opened at (or last wrote).
+func (d *FileDevice) ReadCheckpoint() []byte { return append([]byte(nil), d.payload...) }
+
+// --- fault injection ---------------------------------------------------------
+
+// FailAfterWrites arms fault injection: the next n file-level write
+// operations (data pages, journal appends, superblock flips and allocation
+// zeroing alike) succeed and every later one fails with ErrInjectedFault —
+// the "crash after the k-th write" boundary the recovery suite sweeps.
+// Negative n disarms.
+func (d *FileDevice) FailAfterWrites(n int64) {
+	if n < 0 {
+		d.budget.Store(nil)
+		return
+	}
+	d.budget.Store(NewWriteBudget(n))
+}
+
+// SetWriteBudget shares a fault-injection budget with other devices (nil
+// disarms): a multi-device crash sweep arms ONE budget so the k-th write
+// boundary is global across all files of a manager.
+func (d *FileDevice) SetWriteBudget(b *WriteBudget) { d.budget.Store(b) }
+
+// FileWrites returns the total number of file-level write operations the
+// device has issued, the coordinate system of FailAfterWrites.
+func (d *FileDevice) FileWrites() int64 { return d.fwrites.Load() }
+
+// Close closes the page file and the journal. It does not checkpoint: the
+// whole point of recovery testing is that closing without one loses exactly
+// the un-checkpointed tail.
+func (d *FileDevice) Close() error {
+	err := d.f.Close()
+	if d.jf != nil {
+		if jerr := d.jf.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
+
+var _ Store = (*FileDevice)(nil)

@@ -1,0 +1,422 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+const testPS = 128
+
+func fill(t *testing.T, d Device, id BlockID, b byte) {
+	t.Helper()
+	buf := make([]byte, d.PageSize())
+	for i := range buf {
+		buf[i] = b
+	}
+	if err := d.Write(id, buf); err != nil {
+		t.Fatalf("Write(%d): %v", id, err)
+	}
+}
+
+func pageByte(t *testing.T, d Device, id BlockID) byte {
+	t.Helper()
+	buf := make([]byte, d.PageSize())
+	if err := d.Read(id, buf); err != nil {
+		t.Fatalf("Read(%d): %v", id, err)
+	}
+	for i := 1; i < len(buf); i++ {
+		if buf[i] != buf[0] {
+			t.Fatalf("page %d not uniform at %d: %d vs %d", id, i, buf[i], buf[0])
+		}
+	}
+	return buf[0]
+}
+
+func TestFileDeviceBasicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.pages")
+	d, err := OpenFile(path, FileOptions{PageSize: testPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := d.Alloc(), d.Alloc()
+	fill(t, d, a, 0xAA)
+	fill(t, d, b, 0xBB)
+	if got := pageByte(t, d, a); got != 0xAA {
+		t.Fatalf("page a = %x", got)
+	}
+	v, err := d.View(b)
+	if err != nil || v[0] != 0xBB {
+		t.Fatalf("View(b) = %v, %v", v, err)
+	}
+	d.Release(b)
+	if err := d.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(a); !errors.Is(err, ErrFreedTwice) {
+		t.Fatalf("double free: %v", err)
+	}
+	// Reused page must read as zeros, like the Pager.
+	c := d.Alloc()
+	if c != a {
+		t.Fatalf("expected free-list reuse of %d, got %d", a, c)
+	}
+	if got := pageByte(t, d, c); got != 0 {
+		t.Fatalf("reused page not zeroed: %x", got)
+	}
+	st := d.Stats()
+	if st.Allocs != 3 || st.Frees != 1 || st.Writes != 2 {
+		t.Fatalf("stats %v", st)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileDeviceCheckpointReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.pages")
+	d, err := OpenFile(path, FileOptions{PageSize: testPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []BlockID
+	for i := 0; i < 10; i++ {
+		id := d.Alloc()
+		fill(t, d, id, byte(i+1))
+		ids = append(ids, id)
+	}
+	d.Free(ids[3])
+	payload := []byte("hello checkpoint payload")
+	if err := d.Checkpoint(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if !d2.HasCheckpoint() {
+		t.Fatal("no checkpoint after reopen")
+	}
+	if got := d2.ReadCheckpoint(); !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q", got)
+	}
+	if d2.PageSize() != testPS {
+		t.Fatalf("page size %d", d2.PageSize())
+	}
+	for i, id := range ids {
+		if i == 3 {
+			if err := d2.Check(id); err == nil {
+				t.Fatal("freed page still live after reopen")
+			}
+			continue
+		}
+		if got := pageByte(t, d2, id); got != byte(i+1) {
+			t.Fatalf("page %d = %x want %x", id, got, i+1)
+		}
+	}
+	// Freed page must be reusable.
+	if id := d2.Alloc(); id != ids[3] {
+		t.Fatalf("expected reuse of %d, got %d", ids[3], id)
+	}
+}
+
+// TestFileDeviceAllocatedSurvivesReopen: Allocated() reflects the live set
+// (not session counters), so space accounting stays correct after reopening
+// a device that already holds checkpointed pages — and after ResetStats.
+func TestFileDeviceAllocatedSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.pages")
+	d, err := OpenFile(path, FileOptions{PageSize: testPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		fill(t, d, d.Alloc(), byte(i+1))
+	}
+	d.Free(3)
+	if got := d.Allocated(); got != 6 {
+		t.Fatalf("Allocated = %d, want 6", got)
+	}
+	d.ResetStats()
+	if got := d.Allocated(); got != 6 {
+		t.Fatalf("Allocated after ResetStats = %d, want 6", got)
+	}
+	if err := d.Checkpoint([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	d2, err := OpenFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := d2.Allocated(); got != 6 {
+		t.Fatalf("Allocated after reopen = %d, want 6", got)
+	}
+	if err := d2.Free(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Allocated(); got != 5 {
+		t.Fatalf("Allocated after reopen+free = %d, want 5", got)
+	}
+}
+
+// TestFileDeviceMustCreateRefusesExisting: creating a fresh structure over
+// an existing device must fail loudly instead of silently recovering the
+// old pages and leaking them under the new tree.
+func TestFileDeviceMustCreateRefusesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.pages")
+	d, err := OpenFile(path, FileOptions{PageSize: testPS, MustCreate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, d, d.Alloc(), 1)
+	d.Close()
+	if _, err := OpenFile(path, FileOptions{PageSize: testPS, MustCreate: true}); err == nil {
+		t.Fatal("MustCreate over an existing device did not error")
+	}
+	d2, err := OpenFile(path, FileOptions{}) // plain open still works
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Close()
+}
+
+// TestFileDeviceLargeCheckpointBlob pushes the content over the inline
+// limit so the blob-chain path is exercised, twice (the second checkpoint
+// must free and reuse the first chain's pages without corrupting anything).
+func TestFileDeviceLargeCheckpointBlob(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.pages")
+	d, err := OpenFile(path, FileOptions{PageSize: testPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []BlockID
+	for i := 0; i < 50; i++ {
+		id := d.Alloc()
+		fill(t, d, id, byte(i%250+1))
+		ids = append(ids, id)
+	}
+	payload := make([]byte, 10*testPS)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	for gen := 0; gen < 3; gen++ {
+		if err := d.Checkpoint(payload); err != nil {
+			t.Fatalf("checkpoint %d: %v", gen, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := d2.ReadCheckpoint(); !bytes.Equal(got, payload) {
+		t.Fatal("large payload mismatch")
+	}
+	for i, id := range ids {
+		if got := pageByte(t, d2, id); got != byte(i%250+1) {
+			t.Fatalf("page %d = %x", id, got)
+		}
+	}
+}
+
+// TestFileDeviceJournalRollback overwrites and frees checkpointed pages,
+// then reopens WITHOUT checkpointing: the journal must restore the
+// checkpointed contents and the free list must revert.
+func TestFileDeviceJournalRollback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.pages")
+	d, err := OpenFile(path, FileOptions{PageSize: testPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := d.Alloc(), d.Alloc()
+	fill(t, d, a, 1)
+	fill(t, d, b, 2)
+	if err := d.Checkpoint([]byte("gen1")); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint chaos: overwrite a, free b, alloc+write new pages
+	// (one of which reuses b).
+	fill(t, d, a, 0xEE)
+	d.Free(b)
+	c := d.Alloc() // reuses b
+	fill(t, d, c, 0xCC)
+	dd := d.Alloc()
+	fill(t, d, dd, 0xDD)
+	d.Close()
+
+	d2, err := OpenFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := d2.ReadCheckpoint(); string(got) != "gen1" {
+		t.Fatalf("payload %q", got)
+	}
+	if got := pageByte(t, d2, a); got != 1 {
+		t.Fatalf("page a rolled back to %x, want 1", got)
+	}
+	if got := pageByte(t, d2, b); got != 2 {
+		t.Fatalf("page b rolled back to %x, want 2", got)
+	}
+	if err := d2.Check(dd); err == nil {
+		t.Fatal("post-checkpoint page survived reopen")
+	}
+}
+
+// devOracle drives a deterministic page workload against a FileDevice and
+// records, at each checkpoint, the full expected page image.
+type devState struct {
+	pages map[BlockID]byte
+	free  []BlockID
+}
+
+// TestFileDeviceCrashEveryWrite runs a fixed-seed workload of
+// alloc/write/free/checkpoint, arming the write-fault at every possible
+// boundary, and verifies that reopening always exposes exactly the last
+// committed checkpoint's state.
+func TestFileDeviceCrashEveryWrite(t *testing.T) {
+	// First pass: count total file writes with no fault.
+	total := runDevWorkload(t, filepath.Join(t.TempDir(), "probe.pages"), -1, nil)
+	if total < 40 {
+		t.Fatalf("workload too small to be interesting: %d writes", total)
+	}
+	step := int64(1)
+	if testing.Short() && total > 60 {
+		step = total / 60
+	}
+	for k := int64(0); k <= total; k += step {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "dev.pages")
+			var committed *devState
+			runDevWorkload(t, path, k, &committed)
+			d, err := OpenFile(path, FileOptions{})
+			if err != nil {
+				t.Fatalf("reopen after crash at write %d: %v", k, err)
+			}
+			defer d.Close()
+			if committed == nil {
+				// Crash before the first commit: device must be empty.
+				if d.HasCheckpoint() {
+					t.Fatal("checkpoint visible before any commit")
+				}
+				return
+			}
+			for id, want := range committed.pages {
+				if got := pageByte(t, d, id); got != want {
+					t.Fatalf("crash at write %d: page %d = %x want %x", k, id, got, want)
+				}
+			}
+			for _, id := range committed.free {
+				if err := d.Check(id); err == nil {
+					t.Fatalf("crash at write %d: freed page %d live", k, id)
+				}
+			}
+		})
+	}
+}
+
+// runDevWorkload replays the fixed-seed device workload with the fault
+// armed after k file writes (-1 = unfaulted), returning the total file
+// writes issued. committed, when non-nil, receives the device state at the
+// last checkpoint whose COMMIT completed before the fault tripped.
+func runDevWorkload(t *testing.T, path string, k int64, committed **devState) int64 {
+	t.Helper()
+	d, err := OpenFile(path, FileOptions{PageSize: testPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.FailAfterWrites(k)
+
+	rng := rand.New(rand.NewSource(42))
+	state := &devState{pages: map[BlockID]byte{}}
+	var live []BlockID
+	crashed := false
+	step := func(fn func() error) bool {
+		if err := fn(); err != nil {
+			if errors.Is(err, ErrInjectedFault) {
+				crashed = true
+				return false
+			}
+			t.Fatal(err)
+		}
+		return true
+	}
+	for op := 0; op < 120 && !crashed; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4 || len(live) == 0: // alloc+write
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						crashed = true // Alloc zeroing faulted
+					}
+				}()
+				id := d.Alloc()
+				b := byte(rng.Intn(250) + 1)
+				if step(func() error { return d.Write(id, uniform(testPS, b)) }) {
+					state.pages[id] = b
+					live = append(live, id)
+					for i, f := range state.free { // id may be a free-list reuse
+						if f == id {
+							state.free = append(state.free[:i], state.free[i+1:]...)
+							break
+						}
+					}
+				}
+			}()
+		case r < 7: // overwrite
+			i := rng.Intn(len(live))
+			b := byte(rng.Intn(250) + 1)
+			if step(func() error { return d.Write(live[i], uniform(testPS, b)) }) {
+				state.pages[live[i]] = b
+			}
+		case r < 8: // free
+			i := rng.Intn(len(live))
+			id := live[i]
+			if step(func() error { return d.Free(id) }) {
+				live = append(live[:i], live[i+1:]...)
+				delete(state.pages, id)
+				state.free = append(state.free, id)
+			}
+		default: // checkpoint every so often
+			if op%3 != 0 {
+				continue
+			}
+			if !step(func() error { return d.PrepareCheckpoint(d.Seq()+1, []byte("p")) }) {
+				break
+			}
+			if step(func() error { return d.CommitCheckpoint() }) && committed != nil {
+				snap := &devState{pages: map[BlockID]byte{}}
+				for id, b := range state.pages {
+					snap.pages[id] = b
+				}
+				snap.free = append([]BlockID(nil), state.free...)
+				*committed = snap
+			}
+		}
+	}
+	return d.FileWrites()
+}
+
+func uniform(n int, b byte) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}

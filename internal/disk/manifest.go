@@ -1,0 +1,82 @@
+package disk
+
+// Manifest is the commit record of a checkpoint spanning one or more
+// FileDevices in a directory. Each device's PrepareCheckpoint leaves both
+// its previous and its new checkpoint durable; atomically renaming the
+// manifest with the new sequence number is the single commit point, after
+// which every device is CommitCheckpoint-ed. Opening the directory reads
+// the manifest and opens each device with TrustSeq = Manifest.Seq, so a
+// crash anywhere in the protocol recovers all devices at one consistent
+// generation.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the manifest's file name inside a checkpoint directory.
+const ManifestName = "MANIFEST.json"
+
+// Manifest is the durable description of a checkpointed directory: the
+// committed generation plus the owner's configuration (so Open needs no
+// out-of-band parameters).
+type Manifest struct {
+	Version int             `json:"version"`
+	Kind    string          `json:"kind"`
+	Seq     uint64          `json:"seq"`
+	Meta    json.RawMessage `json:"meta,omitempty"`
+}
+
+// WriteManifest atomically replaces dir's manifest: write to a temp file,
+// fsync it, rename over the old one, fsync the directory. The rename is the
+// commit point of a multi-device checkpoint.
+func WriteManifest(dir string, m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(dir, ManifestName+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if df, err := os.Open(dir); err == nil {
+		df.Sync() // best-effort: not all platforms support directory fsync
+		df.Close()
+	}
+	return nil
+}
+
+// ReadManifest loads dir's manifest.
+func ReadManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("disk: corrupt manifest in %s: %w", dir, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,153 @@
+package disk
+
+// Concurrent-misuse detection for the Pager. The Pager's contract —
+// mutations (Write, Alloc, Free) require external serialization against
+// borrowed Views — was previously comment-only: a violating program
+// corrupts a zero-copy view silently (or trips the race detector only if
+// the racing accesses happen to overlap in time AND the test runs under
+// -race). This debug mode makes the contract executable: while enabled,
+// View registers the borrow (with the borrowing goroutine's stack) until
+// Release, and any mutation that overlaps a borrow it could corrupt panics
+// with BOTH stacks — the mutator's and the recorded borrower's.
+//
+// What counts as misuse:
+//
+//   - a mutation of page id while ANOTHER goroutine holds any outstanding
+//     view (the documented contract is global: no mutation may race any
+//     reader);
+//   - a mutation of page id while the SAME goroutine still holds a view of
+//     that page (sequential code is allowed to hold a view of page A while
+//     writing page B — the Pager's views stay valid until the viewed page
+//     itself is written, freed or reallocated).
+//
+// Enable it per test (or program) with EnableMisuseChecks; the returned
+// function restores the previous state. The "ccidxdebug" build tag turns it
+// on for every Pager in the binary (see misuse_tag.go).
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// misuseArmed gates the hot paths: a single atomic load when the mode is
+// off. misuseMu guards the borrow registry when it is on.
+var (
+	misuseArmed  atomic.Bool
+	misuseMu     sync.Mutex
+	misuseBorrow = map[*Pager]map[BlockID][]borrow{}
+)
+
+type borrow struct {
+	gid   uint64
+	stack []byte
+}
+
+// EnableMisuseChecks turns on Pager concurrent-misuse detection process-wide
+// and returns a function restoring the previous setting. While enabled,
+// every Pager records outstanding View borrows and panics on a mutation
+// that races one (see the package comment above for the exact rule). The
+// mode costs a mutex and a stack capture per View, so it is for tests and
+// debugging, not serving.
+func EnableMisuseChecks() (restore func()) {
+	misuseMu.Lock()
+	prev := misuseArmed.Load()
+	misuseArmed.Store(true)
+	misuseMu.Unlock()
+	return func() {
+		misuseMu.Lock()
+		misuseArmed.Store(prev)
+		if !prev {
+			misuseBorrow = map[*Pager]map[BlockID][]borrow{}
+		}
+		misuseMu.Unlock()
+	}
+}
+
+// goid returns the current goroutine's id, parsed from the runtime's stack
+// header ("goroutine N [...]"). Debug-path only.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	s = bytes.TrimPrefix(s, []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		if id, err := strconv.ParseUint(string(s[:i]), 10, 64); err == nil {
+			return id
+		}
+	}
+	return 0
+}
+
+func captureStack() []byte {
+	buf := make([]byte, 16<<10)
+	n := runtime.Stack(buf, false)
+	return buf[:n]
+}
+
+// noteView registers a borrow of page id on p. Called only when
+// misuseArmed is set.
+func (p *Pager) noteView(id BlockID) {
+	misuseMu.Lock()
+	defer misuseMu.Unlock()
+	m := misuseBorrow[p]
+	if m == nil {
+		m = map[BlockID][]borrow{}
+		misuseBorrow[p] = m
+	}
+	m[id] = append(m[id], borrow{gid: goid(), stack: captureStack()})
+}
+
+// noteRelease drops one borrow of page id (preferring the current
+// goroutine's, so nested borrows from several goroutines unwind sanely).
+func (p *Pager) noteRelease(id BlockID) {
+	misuseMu.Lock()
+	defer misuseMu.Unlock()
+	m := misuseBorrow[p]
+	bs := m[id]
+	if len(bs) == 0 {
+		return
+	}
+	g := goid()
+	at := len(bs) - 1
+	for i := range bs {
+		if bs[i].gid == g {
+			at = i
+			break
+		}
+	}
+	bs = append(bs[:at], bs[at+1:]...)
+	if len(bs) == 0 {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(misuseBorrow, p)
+		}
+	} else {
+		m[id] = bs
+	}
+}
+
+// noteMutation panics if mutating page id on p races an outstanding borrow:
+// any borrow from another goroutine, or a same-goroutine borrow of the page
+// being mutated. op names the mutation for the report.
+func (p *Pager) noteMutation(op string, id BlockID) {
+	misuseMu.Lock()
+	defer misuseMu.Unlock()
+	m := misuseBorrow[p]
+	if len(m) == 0 {
+		return
+	}
+	g := goid()
+	for vid, bs := range m {
+		for _, b := range bs {
+			if b.gid != g || vid == id {
+				panic(fmt.Sprintf(
+					"disk: %s of page %d races a borrowed View of page %d (goroutine %d)\n"+
+						"--- mutator stack ---\n%s\n--- view borrower stack ---\n%s",
+					op, id, vid, b.gid, captureStack(), b.stack))
+			}
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build ccidxdebug
+
+package disk
+
+// Building with -tags ccidxdebug arms Pager concurrent-misuse detection for
+// the whole binary, so any test or experiment run can be promoted to a
+// contract-checking run without code changes.
+func init() { misuseArmed.Store(true) }

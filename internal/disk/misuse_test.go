@@ -1,0 +1,170 @@
+package disk
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMisuseChecksCatchWriteRacingView proves the previously comment-only
+// Pager contract is now executable: a Write issued while ANOTHER goroutine
+// holds a borrowed View panics with both stacks.
+func TestMisuseChecksCatchWriteRacingView(t *testing.T) {
+	restore := EnableMisuseChecks()
+	defer restore()
+
+	p := NewPager(64)
+	id := p.Alloc()
+	buf := make([]byte, 64)
+	p.MustWrite(id, buf)
+
+	viewTaken := make(chan struct{})
+	release := make(chan struct{})
+	var viewDone sync.WaitGroup
+	viewDone.Add(1)
+	go func() {
+		defer viewDone.Done()
+		if _, err := p.View(id); err != nil {
+			t.Error(err)
+			close(viewTaken)
+			return
+		}
+		close(viewTaken)
+		<-release
+		p.Release(id)
+	}()
+	<-viewTaken
+
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Write racing a borrowed View did not panic")
+			}
+			msg, ok := r.(string)
+			if !ok {
+				t.Fatalf("panic value %T, want string report", r)
+			}
+			for _, want := range []string{"races a borrowed View", "mutator stack", "view borrower stack"} {
+				if !strings.Contains(msg, want) {
+					t.Fatalf("panic report missing %q:\n%s", want, msg)
+				}
+			}
+		}()
+		p.MustWrite(id, buf)
+	}()
+
+	close(release)
+	viewDone.Wait()
+
+	// After the borrow is released, mutations are legal again.
+	p.MustWrite(id, buf)
+}
+
+// TestMisuseChecksCatchSameGoroutineOverwrite: mutating the very page the
+// SAME goroutine still has borrowed is also flagged (the view's bytes would
+// change underfoot); mutating a different page is legal.
+func TestMisuseChecksCatchSameGoroutineOverwrite(t *testing.T) {
+	restore := EnableMisuseChecks()
+	defer restore()
+
+	p := NewPager(64)
+	a, b := p.Alloc(), p.Alloc()
+	buf := make([]byte, 64)
+	p.MustWrite(a, buf)
+	p.MustWrite(b, buf)
+
+	if _, err := p.View(a); err != nil {
+		t.Fatal(err)
+	}
+	// Writing another page while holding a view of a is allowed.
+	p.MustWrite(b, buf)
+	// Writing the viewed page is not.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Write of a same-goroutine-borrowed page did not panic")
+			}
+		}()
+		p.MustWrite(a, buf)
+	}()
+	p.Release(a)
+	p.MustWrite(a, buf)
+}
+
+// TestMisuseChecksFreeAndAlloc: Free of a borrowed page and Alloc racing a
+// foreign borrow are caught too.
+func TestMisuseChecksFreeAndAlloc(t *testing.T) {
+	restore := EnableMisuseChecks()
+	defer restore()
+
+	p := NewPager(64)
+	id := p.Alloc()
+	buf := make([]byte, 64)
+	p.MustWrite(id, buf)
+	if _, err := p.View(id); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Free of a borrowed page did not panic")
+			}
+		}()
+		p.MustFree(id)
+	}()
+	p.Release(id)
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMisuseChecksOffByDefault: without EnableMisuseChecks the legacy
+// behaviour (no tracking, no panics) is untouched.
+func TestMisuseChecksOffByDefault(t *testing.T) {
+	p := NewPager(64)
+	id := p.Alloc()
+	buf := make([]byte, 64)
+	p.MustWrite(id, buf)
+	if _, err := p.View(id); err != nil {
+		t.Fatal(err)
+	}
+	p.MustWrite(id, buf) // would panic with checks on; must not here
+	p.Release(id)
+}
+
+// TestMisuseChecksCleanWorkloadPasses: a disciplined View/Release workload
+// (including concurrent readers) runs clean under the checks.
+func TestMisuseChecksCleanWorkloadPasses(t *testing.T) {
+	restore := EnableMisuseChecks()
+	defer restore()
+
+	p := NewPager(64)
+	var ids []BlockID
+	buf := make([]byte, 64)
+	for i := 0; i < 8; i++ {
+		id := p.Alloc()
+		p.MustWrite(id, buf)
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ids[i%len(ids)]
+				v, err := p.View(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_ = v[0]
+				p.Release(id)
+			}
+		}()
+	}
+	wg.Wait()
+	// All borrows released: mutations are legal.
+	p.MustWrite(ids[0], buf)
+}

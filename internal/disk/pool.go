@@ -44,9 +44,10 @@ import (
 // the miss paths respond by growing an overflow frame, never by failing.
 var errAllPinned = errors.New("disk: every buffer-pool frame is pinned")
 
-// Pool is a sharded CLOCK buffer pool over a Pager. Create with NewPool.
+// Pool is a sharded CLOCK buffer pool over a Store (the in-memory Pager or
+// a file-backed FileDevice). Create with NewPool.
 type Pool struct {
-	pager     *Pager
+	base      Store
 	shards    []poolShard
 	mask      uint64
 	hits      atomic.Int64
@@ -78,7 +79,7 @@ type frame struct {
 // distributed exactly — never inflated — and no shard degenerates to a
 // frame count smaller than a realistic pin working set. Frames are
 // allocated lazily on first use.
-func NewPool(p *Pager, capacity, nShards int) *Pool {
+func NewPool(base Store, capacity, nShards int) *Pool {
 	if capacity <= 0 {
 		panic("disk: pool capacity must be positive")
 	}
@@ -93,10 +94,10 @@ func NewPool(p *Pager, capacity, nShards int) *Pool {
 	for shards > 1 && capacity/shards < minFramesPerShard {
 		shards >>= 1
 	}
-	base, extra := capacity/shards, capacity%shards
-	pl := &Pool{pager: p, shards: make([]poolShard, shards), mask: uint64(shards - 1)}
+	per, extra := capacity/shards, capacity%shards
+	pl := &Pool{base: base, shards: make([]poolShard, shards), mask: uint64(shards - 1)}
 	for i := range pl.shards {
-		pl.shards[i].capacity = base
+		pl.shards[i].capacity = per
 		if i < extra {
 			pl.shards[i].capacity++
 		}
@@ -105,11 +106,11 @@ func NewPool(p *Pager, capacity, nShards int) *Pool {
 	return pl
 }
 
-// Pager returns the underlying device (its counters hold the device I/Os).
-func (pl *Pool) Pager() *Pager { return pl.pager }
+// Base returns the underlying store (its counters hold the device I/Os).
+func (pl *Pool) Base() Store { return pl.base }
 
 // PageSize returns the page size in bytes.
-func (pl *Pool) PageSize() int { return pl.pager.PageSize() }
+func (pl *Pool) PageSize() int { return pl.base.PageSize() }
 
 // Hits returns the number of frame hits (reads and writes served without
 // device I/O).
@@ -154,7 +155,7 @@ func (pl *Pool) frameFor(sh *poolShard, id BlockID, load bool) (*frame, error) {
 	}
 	var f *frame
 	if len(sh.frames) < sh.capacity {
-		f = &frame{data: make([]byte, pl.pager.PageSize())}
+		f = &frame{data: make([]byte, pl.base.PageSize())}
 		sh.frames = append(sh.frames, f)
 	} else {
 		var err error
@@ -168,13 +169,13 @@ func (pl *Pool) frameFor(sh *poolShard, id BlockID, load bool) (*frame, error) {
 			// reuses it once pins drain, so the shard stays at most
 			// max-concurrent-pins frames over budget.
 			pl.overflows.Add(1)
-			f = &frame{data: make([]byte, pl.pager.PageSize())}
+			f = &frame{data: make([]byte, pl.base.PageSize())}
 			sh.frames = append(sh.frames, f)
 		}
 	}
 	if load {
 		pl.misses.Add(1)
-		if err := pl.pager.Read(id, f.data); err != nil {
+		if err := pl.base.Read(id, f.data); err != nil {
 			// Leave the frame unused (id zero) rather than caching garbage.
 			f.id = NilBlock
 			return nil, err
@@ -204,7 +205,7 @@ func (pl *Pool) evict(sh *poolShard) (*frame, error) {
 			continue
 		}
 		if f.dirty {
-			if err := pl.pager.Write(f.id, f.data); err != nil {
+			if err := pl.base.Write(f.id, f.data); err != nil {
 				return nil, err
 			}
 			f.dirty = false
@@ -245,7 +246,7 @@ func (pl *Pool) Release(id BlockID) {
 
 // Read copies page id into buf through the pool.
 func (pl *Pool) Read(id BlockID, buf []byte) error {
-	if len(buf) != pl.pager.PageSize() {
+	if len(buf) != pl.base.PageSize() {
 		return ErrPageSize
 	}
 	sh := pl.shard(id)
@@ -265,10 +266,10 @@ func (pl *Pool) Read(id BlockID, buf []byte) error {
 // deferred to eviction or Flush). A full-page store needs no device read,
 // so a Write miss faults in a frame without counting a read miss.
 func (pl *Pool) Write(id BlockID, buf []byte) error {
-	if len(buf) != pl.pager.PageSize() {
+	if len(buf) != pl.base.PageSize() {
 		return ErrPageSize
 	}
-	if err := pl.pager.check(id); err != nil {
+	if err := pl.base.Check(id); err != nil {
 		return err
 	}
 	sh := pl.shard(id)
@@ -289,7 +290,7 @@ func (pl *Pool) Write(id BlockID, buf []byte) error {
 // a reused block id is dropped (Free already invalidates, so this is a
 // defensive no-op in normal operation).
 func (pl *Pool) Alloc() BlockID {
-	id := pl.pager.Alloc()
+	id := pl.base.Alloc()
 	sh := pl.shard(id)
 	sh.mu.Lock()
 	if f, ok := sh.index[id]; ok {
@@ -321,7 +322,7 @@ func (pl *Pool) Free(id BlockID) error {
 		delete(sh.index, id)
 	}
 	sh.mu.Unlock()
-	return pl.pager.Free(id)
+	return pl.base.Free(id)
 }
 
 // Flush writes every dirty frame back to the device, in frame order within
@@ -333,7 +334,7 @@ func (pl *Pool) Flush() error {
 		sh.mu.Lock()
 		for _, f := range sh.frames {
 			if f.id != NilBlock && f.dirty {
-				if err := pl.pager.Write(f.id, f.data); err != nil {
+				if err := pl.base.Write(f.id, f.data); err != nil {
 					sh.mu.Unlock()
 					return err
 				}

@@ -1,0 +1,31 @@
+package disk
+
+// Store is the base storage layer an index structure builds on: the Device
+// page-I/O surface plus the allocation and accounting surface the
+// experiment harness and the buffer pool need. Two implementations exist:
+//
+//   - *Pager, the in-memory simulation every structure used historically;
+//   - *FileDevice, an os.File-backed device with the same semantics, so a
+//     structure built over a Store runs unmodified on real disk pages.
+//
+// A *Pool is a Device but deliberately NOT a Store: it layers over a Store
+// and the Store's counters keep measuring the transfers that actually reach
+// the device, which is the quantity the paper's cost model counts.
+type Store interface {
+	Device
+	// Check reports whether id names a live (allocated) page.
+	Check(id BlockID) error
+	// Stats returns a snapshot of the cumulative I/O counters.
+	Stats() Stats
+	// ResetStats zeroes the I/O counters (allocation state is unchanged).
+	ResetStats()
+	// Allocated returns the number of live pages — the structure's space
+	// usage in blocks, compared against the paper's O(n/B) bounds.
+	Allocated() int64
+	// NumPages returns the size of the page-id space (live or free), an
+	// upper bound on any chain of distinct blocks. Unlike Stats it is not
+	// affected by ResetStats, so corruption guards can be built on it.
+	NumPages() int
+}
+
+var _ Store = (*Pager)(nil)

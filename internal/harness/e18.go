@@ -32,7 +32,7 @@ import (
 // buffer and copies the page into it, exactly like the old
 // make+Pager.Read call sites.
 type copyDevice struct {
-	p *disk.Pager
+	p disk.Store
 }
 
 func (c copyDevice) PageSize() int                          { return c.p.PageSize() }

@@ -70,6 +70,6 @@ func runE19(w io.Writer) {
 			spaceBefore, mgr.SpaceBlocks())
 	}
 	fmt.Fprintln(w, "shape check: del/ins stays a small constant across scales (the delete is a")
-	fmt.Fprintln(w, "B+-tree delete + a free tombstone + an amortized rebuild share, Lemma 3.6-style");
+	fmt.Fprintln(w, "B+-tree delete + a free tombstone + an amortized rebuild share, Lemma 3.6-style")
 	fmt.Fprintln(w, "charging); rebuilds fire at the alpha threshold and keep space ~ live count.")
 }

@@ -57,6 +57,7 @@ func All() []Experiment {
 		{"E18", "Read-path ablation: copy vs zero-copy view vs buffer pool", runE18},
 		{"E19", "Churn: weak deletes + global rebuilding", runE19},
 		{"E20", "Batched query execution: shared-traversal reads", runE20},
+		{"E21", "Durable storage: cold-open I/O, durable vs simulated throughput", runE21},
 	}
 }
 

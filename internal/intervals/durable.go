@@ -1,0 +1,267 @@
+package intervals
+
+// Durable managers: the same Manager, but with both trees on file-backed
+// devices (disk.FileDevice) inside a directory, plus crash-safe
+// checkpointing.
+//
+// A checkpoint serializes each tree's out-of-page state (root pointers and
+// the stabber's tombstone directories) into its device's superblock with
+// the shadow/double-buffer protocol, committed across BOTH devices by one
+// atomic manifest rename. The id directory is not serialized at all: it is
+// in bijection with the endpoint B+-tree (every live interval is exactly
+// one endpoint entry carrying Lo, ID and Hi), so OpenAt rebuilds it with a
+// single O(n/B) leaf-chain scan — the dominant cost of a cold open, which
+// experiment E21 measures.
+//
+// The manager-level protocol (PrepareCheckpoint on every device, one
+// manifest rename, CommitCheckpoint on every device) is also exposed for
+// drivers that span many managers: the sharded serving layer checkpoints
+// every shard's devices under a single top-level manifest so a crash can
+// never surface shards from different generations.
+//
+// What is durable: exactly the state at the last committed checkpoint.
+// Mutations since then (and group-commit buffers, which live above this
+// layer) are lost on a crash, by design; call Checkpoint as often as the
+// workload wants to bound that window.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ccidx/internal/bptree"
+	"ccidx/internal/core"
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+)
+
+// Device file names inside a durable manager's directory.
+const (
+	endpointsFile = "endpoints.pages"
+	stabberFile   = "stabber.pages"
+)
+
+// manifestKind tags a standalone durable manager's manifest.
+const manifestKind = "ccidx-intervals"
+
+// DurableOptions configures the file-backed devices.
+type DurableOptions struct {
+	// Fsync selects the devices' sync policy (default disk.FsyncCheckpoint).
+	Fsync disk.FsyncPolicy
+}
+
+// Meta is the configuration a durable manager records in its manifest (and
+// the sharded layer in its own), so opening needs no out-of-band
+// parameters.
+type Meta struct {
+	B             int  `json:"b"`
+	DisableTS     bool `json:"disable_ts,omitempty"`
+	DisableCorner bool `json:"disable_corner,omitempty"`
+}
+
+func (cfg Config) meta() Meta {
+	return Meta{B: cfg.B, DisableTS: cfg.DisableTS, DisableCorner: cfg.DisableCorner}
+}
+
+// Config returns the manager configuration a Meta describes.
+func (mt Meta) Config() Config {
+	return Config{B: mt.B, DisableTS: mt.DisableTS, DisableCorner: mt.DisableCorner}
+}
+
+// CreateAt builds a manager over ivs with both trees on file-backed devices
+// in dir (created if needed), writes the initial checkpoint and commits it
+// under dir's manifest. A crash before CreateAt returns leaves no valid
+// manifest; treat the directory as never created.
+func CreateAt(dir string, cfg Config, ivs []geom.Interval, opt DurableOptions) (*Manager, error) {
+	m, err := CreateManaged(dir, cfg, ivs, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Checkpoint(); err != nil {
+		m.CloseFiles()
+		return nil, err
+	}
+	return m, nil
+}
+
+// CreateManaged is CreateAt without the initial checkpoint and without a
+// directory manifest: for drivers (the sharded serving layer) that commit
+// many managers under one top-level manifest via PrepareCheckpoint /
+// CommitCheckpoint.
+func CreateManaged(dir string, cfg Config, ivs []geom.Interval, opt DurableOptions) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ep, st, err := openDevices(dir, cfg, opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	m := newOn(cfg, ep, st, ivs)
+	m.files = []*disk.FileDevice{ep, st}
+	m.dirPath = dir
+	return m, nil
+}
+
+// OpenAt reopens the durable manager in dir at the generation its manifest
+// committed, rebuilding the id directory from the endpoint tree.
+func OpenAt(dir string, opt DurableOptions) (*Manager, error) {
+	mf, err := disk.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if mf.Kind != manifestKind {
+		return nil, fmt.Errorf("intervals: %s holds a %q checkpoint, not %q", dir, mf.Kind, manifestKind)
+	}
+	var mt Meta
+	if err := json.Unmarshal(mf.Meta, &mt); err != nil {
+		return nil, fmt.Errorf("intervals: corrupt manifest meta in %s: %w", dir, err)
+	}
+	return OpenManaged(dir, mt.Config(), mf.Seq, opt)
+}
+
+// OpenManaged reopens the manager in dir trusting generation seq (the
+// caller's committed manifest), with cfg from the caller's metadata.
+func OpenManaged(dir string, cfg Config, seq uint64, opt DurableOptions) (*Manager, error) {
+	ep, st, err := openDevices(dir, cfg, opt, &seq)
+	if err != nil {
+		return nil, err
+	}
+	closeBoth := func() { ep.Close(); st.Close() }
+	if !ep.HasCheckpoint() || !st.HasCheckpoint() {
+		closeBoth()
+		return nil, fmt.Errorf("intervals: %s has no structure checkpoint at seq %d", dir, seq)
+	}
+	endpoints, err := bptree.OpenOn(ep, ep.ReadCheckpoint())
+	if err != nil {
+		closeBoth()
+		return nil, err
+	}
+	coreCfg := core.Config{B: cfg.B, DisableTS: cfg.DisableTS, DisableCorner: cfg.DisableCorner}
+	stabber, err := core.OpenOn(coreCfg, st, st.ReadCheckpoint())
+	if err != nil {
+		closeBoth()
+		return nil, err
+	}
+	m := &Manager{
+		endpoints: endpoints,
+		stabber:   stabber,
+		dir:       make(map[uint64]geom.Interval, endpoints.Len()),
+		cfg:       cfg,
+		files:     []*disk.FileDevice{ep, st},
+		dirPath:   dir,
+	}
+	// Rebuild the id directory from the endpoint tree: one O(n/B) scan.
+	m.endpoints.All(func(e bptree.Entry) bool {
+		m.dir[e.RID] = geom.Interval{Lo: e.Key, Hi: int64(e.Val), ID: e.RID}
+		return true
+	})
+	if len(m.dir) != endpoints.Len() {
+		closeBoth()
+		return nil, fmt.Errorf("intervals: %s endpoint tree holds %d entries but %d distinct ids",
+			dir, endpoints.Len(), len(m.dir))
+	}
+	m.n = len(m.dir)
+	return m, nil
+}
+
+func openDevices(dir string, cfg Config, opt DurableOptions, trustSeq *uint64) (ep, st *disk.FileDevice, err error) {
+	// trustSeq == nil is the create path: refuse to build a fresh tree over
+	// an existing device (it would recover the old pages and leak them all
+	// under the new structure).
+	mustCreate := trustSeq == nil
+	ep, err = disk.OpenFile(filepath.Join(dir, endpointsFile), disk.FileOptions{
+		PageSize: bptree.PageSize(cfg.B), Fsync: opt.Fsync, TrustSeq: trustSeq, MustCreate: mustCreate,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err = disk.OpenFile(filepath.Join(dir, stabberFile), disk.FileOptions{
+		PageSize: core.Config{B: cfg.B}.PageSize(), Fsync: opt.Fsync, TrustSeq: trustSeq, MustCreate: mustCreate,
+	})
+	if err != nil {
+		ep.Close()
+		return nil, nil, err
+	}
+	return ep, st, nil
+}
+
+// Durable reports whether the manager runs on file-backed devices.
+func (m *Manager) Durable() bool { return len(m.files) > 0 }
+
+// Seq returns the last durable checkpoint generation (0 before the first).
+func (m *Manager) Seq() uint64 {
+	if !m.Durable() {
+		return 0
+	}
+	return m.files[0].Seq()
+}
+
+// PrepareCheckpoint flushes pooled frames and writes generation seq
+// (= Seq()+1) on both devices without committing it. Callers must have
+// quiesced mutations (checkpointing is a mutation under the manager's
+// concurrency contract).
+func (m *Manager) PrepareCheckpoint(seq uint64) error {
+	if !m.Durable() {
+		return fmt.Errorf("intervals: manager is not file-backed")
+	}
+	if err := m.flushPool(); err != nil {
+		return err
+	}
+	if err := m.files[0].PrepareCheckpoint(seq, m.endpoints.MarshalState()); err != nil {
+		return err
+	}
+	return m.files[1].PrepareCheckpoint(seq, m.stabber.MarshalState())
+}
+
+// CommitCheckpoint commits the generation PrepareCheckpoint wrote, after
+// the caller's manifest rename made it the committed one.
+func (m *Manager) CommitCheckpoint() error {
+	for _, f := range m.files {
+		if err := f.CommitCheckpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint makes the manager's current state durable: prepare both
+// devices, atomically flip the directory manifest (the commit point),
+// commit. After a crash at ANY point, OpenAt recovers the last committed
+// generation on both devices consistently.
+func (m *Manager) Checkpoint() error {
+	if !m.Durable() {
+		return fmt.Errorf("intervals: manager is not file-backed")
+	}
+	seq := m.Seq() + 1
+	if err := m.PrepareCheckpoint(seq); err != nil {
+		return err
+	}
+	metaJSON, err := json.Marshal(m.cfg.meta())
+	if err != nil {
+		return err
+	}
+	if err := disk.WriteManifest(m.dirPath, disk.Manifest{
+		Version: 1, Kind: manifestKind, Seq: seq, Meta: metaJSON,
+	}); err != nil {
+		return err
+	}
+	return m.CommitCheckpoint()
+}
+
+// CloseFiles closes the file-backed devices WITHOUT checkpointing: state
+// since the last checkpoint is deliberately left to crash recovery. No-op
+// for in-memory managers.
+func (m *Manager) CloseFiles() error {
+	var first error
+	for _, f := range m.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Files exposes the underlying file devices (fault-injection tests arm
+// their write budgets); nil for in-memory managers.
+func (m *Manager) Files() []*disk.FileDevice { return m.files }

@@ -57,10 +57,25 @@ type Manager struct {
 	pools     []*disk.Pool // attached buffer pools (nil without AttachPool)
 	dir       map[uint64]geom.Interval
 	n         int
+
+	// Durable state (nil/empty for the in-memory construction): the
+	// file-backed devices under the two trees and the directory they live
+	// in. See durable.go.
+	files   []*disk.FileDevice
+	dirPath string
+	cfg     Config
 }
 
 // New creates a manager over the given intervals (the slice is copied).
 func New(cfg Config, ivs []geom.Interval) *Manager {
+	return newOn(cfg,
+		disk.NewPager(bptree.PageSize(cfg.B)),
+		disk.NewPager(core.Config{B: cfg.B}.PageSize()),
+		ivs)
+}
+
+// newOn builds a manager whose trees live on the two given stores.
+func newOn(cfg Config, epStore, stStore disk.Store, ivs []geom.Interval) *Manager {
 	pts := make([]geom.Point, len(ivs))
 	for i, iv := range ivs {
 		if !iv.Valid() {
@@ -69,12 +84,13 @@ func New(cfg Config, ivs []geom.Interval) *Manager {
 		pts[i] = iv.ToPoint()
 	}
 	m := &Manager{
-		endpoints: bptree.New(cfg.B),
-		stabber: core.New(core.Config{
+		endpoints: bptree.NewOn(epStore, cfg.B),
+		stabber: core.NewOn(core.Config{
 			B: cfg.B, DisableTS: cfg.DisableTS, DisableCorner: cfg.DisableCorner,
-		}, pts),
+		}, stStore, pts),
 		dir: make(map[uint64]geom.Interval, len(ivs)),
 		n:   len(ivs),
+		cfg: cfg,
 	}
 	for _, iv := range ivs {
 		m.endpoints.InsertEntry(bptree.Entry{Key: iv.Lo, RID: iv.ID, Val: uint64(iv.Hi)})
@@ -97,6 +113,17 @@ func (m *Manager) addDir(iv geom.Interval) {
 // Len returns the number of intervals stored.
 func (m *Manager) Len() int { return m.n }
 
+// Each enumerates the live intervals (directory order, i.e. unspecified);
+// returning false stops the enumeration. No block I/O: the id directory is
+// in memory.
+func (m *Manager) Each(fn func(geom.Interval) bool) {
+	for _, iv := range m.dir {
+		if !fn(iv) {
+			return
+		}
+	}
+}
+
 // AttachPool layers a concurrent CLOCK buffer pool of frames pages (split
 // between the two sub-structures, nShards lock shards each) over the
 // manager's devices: reads that hit a memory-resident frame stop costing
@@ -117,11 +144,20 @@ func (m *Manager) AttachPool(frames, nShards int) {
 // FlushPool writes every dirty pooled frame back to the devices (no-op
 // without an attached pool).
 func (m *Manager) FlushPool() {
+	if err := m.flushPool(); err != nil {
+		panic(err)
+	}
+}
+
+// flushPool is FlushPool with an error return (the checkpoint path reports
+// injected write faults instead of panicking).
+func (m *Manager) flushPool() error {
 	for _, p := range m.pools {
 		if err := p.Flush(); err != nil {
-			panic(err)
+			return err
 		}
 	}
+	return nil
 }
 
 // PoolStats returns the aggregate (hits, misses) of the attached pools;

@@ -31,6 +31,13 @@ type Classes struct {
 	router Router
 	h      *classindex.Hierarchy
 	shards []*classShard
+
+	// Durable state (zero for the in-memory construction): the checkpoint
+	// directory, per-shard file-backed strategy instances, and the strategy
+	// kind recorded in the manifest. See durable_classes.go.
+	dirPath  string
+	durables []*classindex.Durable
+	strategy classindex.StrategyKind
 }
 
 type classShard struct {

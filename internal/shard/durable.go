@@ -1,0 +1,255 @@
+package shard
+
+// Durable sharded serving: every shard's interval manager lives on
+// file-backed devices in its own subdirectory, and the WHOLE sharded
+// checkpoint commits atomically under one top-level manifest.
+//
+// Checkpoint protocol (the multi-device two-phase flip):
+//
+//  1. per shard, under its write lock: drain the pending group-commit op
+//     log into the index (so the durable image needs no log replay), flush
+//     pooled frames, PrepareCheckpoint(seq) on both devices;
+//  2. atomically rename the top-level manifest to seq — the single commit
+//     point for every device of every shard;
+//  3. per shard: CommitCheckpoint (journal restart).
+//
+// A crash anywhere leaves the manifest at exactly one generation and every
+// device able to recover that generation, so OpenIntervals can never
+// observe shards from different checkpoints — which matters: under range
+// partitioning an interval is replicated across shards, and mixed
+// generations could report or drop a replica inconsistently.
+//
+// OpenIntervals reopens every shard in parallel (restartable serving: a
+// cold process is back to serving after one manifest read plus per-shard
+// O(n/B) directory-rebuild scans that proceed concurrently).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+	"ccidx/internal/intervals"
+)
+
+const intervalsManifestKind = "ccidx-sharded-intervals"
+
+// durableMeta is the sharded configuration recorded in the top manifest.
+type durableMeta struct {
+	Shards     int   `json:"shards"`
+	B          int   `json:"b"`
+	Batch      int   `json:"batch"`
+	Partition  int   `json:"partition"`
+	Span       int64 `json:"span"`
+	PoolFrames int   `json:"pool_frames"`
+}
+
+func (cfg Config) meta() durableMeta {
+	return durableMeta{
+		Shards: cfg.shards(), B: cfg.B, Batch: cfg.Batch,
+		Partition: int(cfg.Partition), Span: cfg.Span, PoolFrames: cfg.PoolFrames,
+	}
+}
+
+func (dm durableMeta) config() Config {
+	return Config{
+		Shards: dm.Shards, B: dm.B, Batch: dm.Batch,
+		Partition: Partition(dm.Partition), Span: dm.Span, PoolFrames: dm.PoolFrames,
+	}
+}
+
+func shardSubdir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d", i))
+}
+
+// CreateIntervalsAt builds a sharded manager over ivs with every shard on
+// file-backed devices under dir, and commits the initial checkpoint. A
+// crash before it returns leaves no valid top-level manifest: treat the
+// directory as never created.
+func CreateIntervalsAt(dir string, cfg Config, ivs []geom.Interval, opt intervals.DurableOptions) (*Intervals, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := newIntervalsShell(cfg)
+	parts := s.partition(ivs)
+	s.fillDir(ivs)
+	n := s.router.Shards()
+	s.shards = make([]*intervalShard, n)
+	for i := 0; i < n; i++ {
+		mgr, err := intervals.CreateManaged(shardSubdir(dir, i), intervals.Config{B: cfg.B}, parts[i], opt)
+		if err != nil {
+			s.closeCreated()
+			return nil, err
+		}
+		s.shards[i] = &intervalShard{mgr: mgr}
+	}
+	s.attachPools()
+	s.n.Store(int64(len(ivs)))
+	s.dirPath = dir
+	if err := s.Checkpoint(); err != nil {
+		s.closeCreated()
+		return nil, err
+	}
+	return s, nil
+}
+
+// closeCreated tears down partially created shard managers.
+func (s *Intervals) closeCreated() {
+	for _, sh := range s.shards {
+		if sh != nil && sh.mgr != nil {
+			sh.mgr.CloseFiles()
+		}
+	}
+}
+
+// OpenIntervals reopens the sharded manager persisted under dir at its
+// manifest-committed generation, reopening every shard in parallel and
+// resuming the serving configuration recorded at create time.
+func OpenIntervals(dir string, opt intervals.DurableOptions) (*Intervals, error) {
+	mf, err := disk.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if mf.Kind != intervalsManifestKind {
+		return nil, fmt.Errorf("shard: %s holds a %q checkpoint, not %q", dir, mf.Kind, intervalsManifestKind)
+	}
+	var dm durableMeta
+	if err := json.Unmarshal(mf.Meta, &dm); err != nil {
+		return nil, fmt.Errorf("shard: corrupt manifest meta in %s: %w", dir, err)
+	}
+	cfg := dm.config()
+	s := newIntervalsShell(cfg)
+	n := s.router.Shards()
+	s.shards = make([]*intervalShard, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mgr, err := intervals.OpenManaged(shardSubdir(dir, i), intervals.Config{B: cfg.B}, mf.Seq, opt)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			s.shards[i] = &intervalShard{mgr: mgr}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.closeCreated()
+			return nil, err
+		}
+	}
+	// Rebuild the top-level id directory as the union of the shard
+	// directories (replicas under range partitioning collapse by id).
+	s.dir = make(map[uint64]geom.Interval)
+	for _, sh := range s.shards {
+		sh.mgr.Each(func(iv geom.Interval) bool {
+			s.dir[iv.ID] = iv
+			return true
+		})
+	}
+	s.n.Store(int64(len(s.dir)))
+	s.attachPools()
+	s.dirPath = dir
+	return s, nil
+}
+
+// Durable reports whether the sharded manager runs on file-backed shards.
+func (s *Intervals) Durable() bool { return s.dirPath != "" }
+
+// Seq returns the last committed checkpoint generation.
+func (s *Intervals) Seq() uint64 {
+	if !s.Durable() {
+		return 0
+	}
+	return s.shards[0].mgr.Seq()
+}
+
+// Checkpoint makes the whole sharded index durable at one consistent
+// generation. Per shard (under its write lock) the pending group-commit
+// ops are drained and both devices prepared; one manifest rename commits
+// all of them; then every shard's journal restarts. Queries may run
+// concurrently (they block per shard only while that shard prepares);
+// mutations must be quiesced by the caller, as for any structure-level
+// mutation.
+func (s *Intervals) Checkpoint() error {
+	if !s.Durable() {
+		return fmt.Errorf("shard: sharded manager is not file-backed")
+	}
+	seq := s.Seq() + 1
+	for _, sh := range s.shards {
+		if err := prepareShard(&sh.cell.mu, func() error {
+			sh.cell.flushLocked(sh.apply)
+			return sh.mgr.PrepareCheckpoint(seq)
+		}); err != nil {
+			return err
+		}
+	}
+	metaJSON, err := json.Marshal(s.cfg.meta())
+	if err != nil {
+		return err
+	}
+	if err := disk.WriteManifest(s.dirPath, disk.Manifest{
+		Version: 1, Kind: intervalsManifestKind, Seq: seq, Meta: metaJSON,
+	}); err != nil {
+		return err
+	}
+	for _, sh := range s.shards {
+		sh.cell.mu.Lock()
+		err := sh.mgr.CommitCheckpoint()
+		sh.cell.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prepareShard runs a shard's drain+prepare step under its write lock,
+// converting an error-typed panic into a checkpoint failure: the index
+// structures report device write errors by panicking through their Must*
+// helpers (an ENOSPC — or an injected fault — mid-drain), and a failed
+// checkpoint must surface as an error the caller treats as a crash, not
+// tear down the process. Non-error panics (invariant violations) propagate.
+func prepareShard(mu *sync.RWMutex, fn func() error) (err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	defer func() {
+		if p := recover(); p != nil {
+			e, ok := p.(error)
+			if !ok {
+				panic(p)
+			}
+			err = fmt.Errorf("shard: checkpoint prepare: %w", e)
+		}
+	}()
+	return fn()
+}
+
+// Files returns every shard's file devices (fault-injection tests arm a
+// shared write budget across all of them); empty for in-memory instances.
+func (s *Intervals) Files() []*disk.FileDevice {
+	var out []*disk.FileDevice
+	for _, sh := range s.shards {
+		out = append(out, sh.mgr.Files()...)
+	}
+	return out
+}
+
+// Close closes every shard's file devices WITHOUT checkpointing (state
+// since the last checkpoint is recovered by the next OpenIntervals).
+func (s *Intervals) Close() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.mgr.CloseFiles(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

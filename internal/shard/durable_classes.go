@@ -1,0 +1,180 @@
+package shard
+
+// Durable sharded class serving: the class-index counterpart of durable.go.
+// Every shard hosts a file-backed strategy instance (classindex.Durable) in
+// its own subdirectory; one top-level manifest commits all shards at one
+// generation; OpenClasses reopens them in parallel. The hierarchy is
+// embedded in the manifest (classindex.HierarchySpec), so a cold open needs
+// nothing but the directory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"ccidx/internal/classindex"
+	"ccidx/internal/disk"
+)
+
+const classesManifestKind = "ccidx-sharded-classes"
+
+// classesMeta is the sharded class-index configuration recorded in the top
+// manifest.
+type classesMeta struct {
+	durableMeta
+	Strategy  int                      `json:"strategy"`
+	Hierarchy classindex.HierarchySpec `json:"hierarchy"`
+}
+
+// CreateClassesAt builds an empty sharded class index with every shard on
+// file-backed devices under dir, and commits the initial checkpoint.
+func CreateClassesAt(dir string, cfg Config, h *classindex.Hierarchy, kind classindex.StrategyKind, fsync disk.FsyncPolicy) (*Classes, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	n := cfg.shards()
+	s := &Classes{cfg: cfg, router: NewRouter(n, cfg.Partition, cfg.Span), h: h}
+	s.shards = make([]*classShard, n)
+	s.durables = make([]*classindex.Durable, n)
+	for i := 0; i < n; i++ {
+		du, err := classindex.CreateDurable(shardSubdir(dir, i), h, cfg.B, kind, fsync)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		if f := cfg.poolFrames(); f > 0 {
+			du.AttachPool(f, poolLockShards)
+		}
+		s.durables[i] = du
+		s.shards[i] = &classShard{idx: du}
+	}
+	s.dirPath = dir
+	s.strategy = kind
+	if err := s.Checkpoint(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenClasses reopens the sharded class index persisted under dir at its
+// manifest-committed generation (shards in parallel), returning the index
+// and the hierarchy rebuilt from the manifest.
+func OpenClasses(dir string, fsync disk.FsyncPolicy) (*Classes, *classindex.Hierarchy, error) {
+	mf, err := disk.ReadManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if mf.Kind != classesManifestKind {
+		return nil, nil, fmt.Errorf("shard: %s holds a %q checkpoint, not %q", dir, mf.Kind, classesManifestKind)
+	}
+	var cm classesMeta
+	if err := json.Unmarshal(mf.Meta, &cm); err != nil {
+		return nil, nil, fmt.Errorf("shard: corrupt manifest meta in %s: %w", dir, err)
+	}
+	h, err := classindex.HierarchyFromSpec(cm.Hierarchy)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := cm.config()
+	kind := classindex.StrategyKind(cm.Strategy)
+	n := cfg.shards()
+	s := &Classes{cfg: cfg, router: NewRouter(n, cfg.Partition, cfg.Span), h: h}
+	s.shards = make([]*classShard, n)
+	s.durables = make([]*classindex.Durable, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			du, err := classindex.OpenDurable(shardSubdir(dir, i), h, cfg.B, kind, mf.Seq, fsync)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			if f := cfg.poolFrames(); f > 0 {
+				du.AttachPool(f, poolLockShards)
+			}
+			s.durables[i] = du
+			s.shards[i] = &classShard{idx: du}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.Close()
+			return nil, nil, err
+		}
+	}
+	s.dirPath = dir
+	s.strategy = kind
+	return s, h, nil
+}
+
+// Durable reports whether the sharded class index runs on file-backed
+// shards.
+func (s *Classes) Durable() bool { return s.dirPath != "" }
+
+// Seq returns the last committed checkpoint generation.
+func (s *Classes) Seq() uint64 {
+	if !s.Durable() {
+		return 0
+	}
+	return s.durables[0].Seq()
+}
+
+// Checkpoint makes the whole sharded class index durable at one consistent
+// generation: per shard (under its write lock) the pending group-commit
+// buffer is drained and the devices prepared; one manifest rename commits
+// everything; journals restart. Mutations must be quiesced by the caller.
+func (s *Classes) Checkpoint() error {
+	if !s.Durable() {
+		return fmt.Errorf("shard: sharded class index is not file-backed")
+	}
+	seq := s.Seq() + 1
+	for i, sh := range s.shards {
+		du := s.durables[i]
+		if err := prepareShard(&sh.cell.mu, func() error {
+			sh.cell.flushLocked(sh.idx.Insert)
+			return du.PrepareCheckpoint(seq)
+		}); err != nil {
+			return err
+		}
+	}
+	metaJSON, err := json.Marshal(classesMeta{
+		durableMeta: s.cfg.meta(), Strategy: int(s.strategy), Hierarchy: s.h.Spec(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := disk.WriteManifest(s.dirPath, disk.Manifest{
+		Version: 1, Kind: classesManifestKind, Seq: seq, Meta: metaJSON,
+	}); err != nil {
+		return err
+	}
+	for i, sh := range s.shards {
+		sh.cell.mu.Lock()
+		err := s.durables[i].CommitCheckpoint()
+		sh.cell.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes every shard's file devices WITHOUT checkpointing.
+func (s *Classes) Close() error {
+	var first error
+	for _, du := range s.durables {
+		if du == nil {
+			continue
+		}
+		if err := du.CloseFiles(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,347 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"ccidx/internal/classindex"
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+	"ccidx/internal/intervals"
+	"ccidx/internal/workload"
+)
+
+func sortIDs(ids []uint64) []uint64 {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func shardedStabIDs(s *Intervals, q int64) []uint64 {
+	var ids []uint64
+	s.Stab(q, func(iv geom.Interval) bool { ids = append(ids, iv.ID); return true })
+	return sortIDs(ids)
+}
+
+func shardedIntersectIDs(s *Intervals, q geom.Interval) []uint64 {
+	var ids []uint64
+	s.Intersect(q, func(iv geom.Interval) bool { ids = append(ids, iv.ID); return true })
+	return sortIDs(ids)
+}
+
+func bruteStab(live map[uint64]geom.Interval, q int64) []uint64 {
+	var ids []uint64
+	for id, iv := range live {
+		if iv.Contains(q) {
+			ids = append(ids, id)
+		}
+	}
+	return sortIDs(ids)
+}
+
+func bruteIntersect(live map[uint64]geom.Interval, q geom.Interval) []uint64 {
+	var ids []uint64
+	for id, iv := range live {
+		if iv.Intersects(q) {
+			ids = append(ids, id)
+		}
+	}
+	return sortIDs(ids)
+}
+
+func compareSharded(t *testing.T, s *Intervals, live map[uint64]geom.Interval, span int64) {
+	t.Helper()
+	if s.Len() != len(live) {
+		t.Fatalf("Len = %d, oracle has %d", s.Len(), len(live))
+	}
+	for q := int64(0); q <= span; q += span / 29 {
+		if !idsEqual(shardedStabIDs(s, q), bruteStab(live, q)) {
+			t.Fatalf("Stab(%d) diverged from oracle", q)
+		}
+	}
+	for lo := int64(0); lo <= span; lo += span / 9 {
+		q := geom.Interval{Lo: lo, Hi: lo + span/7}
+		if !idsEqual(shardedIntersectIDs(s, q), bruteIntersect(live, q)) {
+			t.Fatalf("Intersect(%v) diverged from oracle", q)
+		}
+	}
+}
+
+// TestShardedDurableRoundTrip checkpoints a sharded manager mid-churn,
+// reopens it, and oracle-compares every query — across both partitioning
+// schemes, with pools on and off, with group-commit batching exercised and
+// tombstone state crossing the checkpoint.
+func TestShardedDurableRoundTrip(t *testing.T) {
+	const span = int64(4000)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"hash-pools", Config{Shards: 3, B: 8, Batch: 4, Partition: PartitionHash, PoolFrames: 64}},
+		{"hash-bare", Config{Shards: 3, B: 8, Batch: 1, Partition: PartitionHash, PoolFrames: -1}},
+		{"range-pools", Config{Shards: 4, B: 8, Batch: 4, Partition: PartitionRange, Span: span, PoolFrames: 64}},
+		{"range-bare", Config{Shards: 4, B: 8, Batch: 1, Partition: PartitionRange, Span: span, PoolFrames: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "sharded")
+			init := workload.UniformIntervals(21, 240, span, 250)
+			s, err := CreateIntervalsAt(dir, tc.cfg, init, intervals.DurableOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			live := map[uint64]geom.Interval{}
+			for _, iv := range init {
+				live[iv.ID] = iv
+			}
+			churn := workload.ChurnOps(23, workload.SeqIDs(240), 240, 400, span, 250)
+			apply := func(s *Intervals, ops []workload.ChurnOp) {
+				for _, op := range ops {
+					switch op.Kind {
+					case workload.ChurnInsert:
+						s.Insert(op.Iv)
+						live[op.Iv.ID] = op.Iv
+					case workload.ChurnDelete:
+						if _, ok := live[op.ID]; ok {
+							if !s.Delete(op.ID) {
+								t.Fatalf("Delete(%d) = false, oracle has it", op.ID)
+							}
+							delete(live, op.ID)
+						}
+					}
+				}
+			}
+			apply(s, churn)
+			compareSharded(t, s, live, span)
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			reopened, err := OpenIntervals(dir, intervals.DurableOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer reopened.Close()
+			if got, want := reopened.Shards(), tc.cfg.shards(); got != want {
+				t.Fatalf("reopened with %d shards, want %d", got, want)
+			}
+			compareSharded(t, reopened, live, span)
+
+			// Serving must resume: more churn, another checkpoint cycle.
+			churn2 := workload.ChurnOps(29, nil, 3000, 200, span, 250)
+			apply(reopened, churn2)
+			compareSharded(t, reopened, live, span)
+			if err := reopened.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := reopened.Close(); err != nil {
+				t.Fatal(err)
+			}
+			again, err := OpenIntervals(dir, intervals.DurableOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer again.Close()
+			compareSharded(t, again, live, span)
+		})
+	}
+}
+
+// TestShardedCrashEveryWrite is the sharded fault-injection reopen suite:
+// one write budget is SHARED across every device of every shard (so the
+// k-th write boundary is global), and reopening after a crash at any
+// boundary must recover the whole sharded index — replicas included — at
+// the last committed generation.
+func TestShardedCrashEveryWrite(t *testing.T) {
+	total := runShardedCrashWorkload(t, filepath.Join(t.TempDir(), "probe"), -1, nil)
+	if total < 200 {
+		t.Fatalf("workload too small: %d writes", total)
+	}
+	// The sharded sweep is coarser than the single-manager one (which
+	// steps every boundary): each run replays the workload from scratch
+	// across 8 devices. Step through ~400 boundaries full-size, ~40 short.
+	step := total/400 + 1
+	if testing.Short() {
+		step = total/40 + 1
+	}
+	for k := int64(1); k <= total; k += step {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "sharded")
+			var committed map[uint64]geom.Interval
+			runShardedCrashWorkload(t, dir, k, &committed)
+			reopened, err := OpenIntervals(dir, intervals.DurableOptions{})
+			if err != nil {
+				t.Fatalf("reopen after crash at write %d: %v", k, err)
+			}
+			defer reopened.Close()
+			if reopened.Len() != len(committed) {
+				t.Fatalf("crash at write %d: Len = %d, checkpoint oracle has %d",
+					k, reopened.Len(), len(committed))
+			}
+			const span = int64(3000)
+			for q := int64(0); q <= span; q += span / 17 {
+				if !idsEqual(shardedStabIDs(reopened, q), bruteStab(committed, q)) {
+					t.Fatalf("crash at write %d: Stab(%d) diverged from checkpoint oracle", k, q)
+				}
+			}
+			for lo := int64(0); lo <= span; lo += span / 5 {
+				q := geom.Interval{Lo: lo, Hi: lo + span/6}
+				if !idsEqual(shardedIntersectIDs(reopened, q), bruteIntersect(committed, q)) {
+					t.Fatalf("crash at write %d: Intersect(%v) diverged from checkpoint oracle", k, q)
+				}
+			}
+		})
+	}
+}
+
+func runShardedCrashWorkload(t *testing.T, dir string, k int64, committed *map[uint64]geom.Interval) int64 {
+	t.Helper()
+	const (
+		span      = int64(3000)
+		n0        = 100
+		ops       = 220
+		ckptEvery = 45
+	)
+	cfg := Config{Shards: 4, B: 8, Batch: 3, Partition: PartitionRange, Span: span, PoolFrames: 64}
+	init := workload.UniformIntervals(31, n0, span, 200)
+	s, err := CreateIntervalsAt(dir, cfg, init, intervals.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	live := map[uint64]geom.Interval{}
+	for _, iv := range init {
+		live[iv.ID] = iv
+	}
+	snapshot := func() map[uint64]geom.Interval {
+		snap := make(map[uint64]geom.Interval, len(live))
+		for id, iv := range live {
+			snap[id] = iv
+		}
+		return snap
+	}
+	if committed != nil {
+		*committed = snapshot()
+	}
+	if k >= 0 {
+		budget := disk.NewWriteBudget(k)
+		for _, f := range s.Files() {
+			f.SetWriteBudget(budget)
+		}
+	}
+
+	churn := workload.ChurnOps(37, workload.SeqIDs(n0), n0, ops, span, 200)
+	crashed := false
+	for i, op := range churn {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					err, ok := p.(error)
+					if !ok || !errors.Is(err, disk.ErrInjectedFault) {
+						panic(p)
+					}
+					crashed = true
+				}
+			}()
+			switch op.Kind {
+			case workload.ChurnInsert:
+				s.Insert(op.Iv)
+				live[op.Iv.ID] = op.Iv
+			case workload.ChurnDelete:
+				if _, ok := live[op.ID]; ok {
+					s.Delete(op.ID)
+					delete(live, op.ID)
+				}
+			}
+		}()
+		if crashed {
+			break
+		}
+		if (i+1)%ckptEvery == 0 {
+			if err := s.Checkpoint(); err != nil {
+				if !errors.Is(err, disk.ErrInjectedFault) {
+					t.Fatalf("checkpoint: %v", err)
+				}
+				crashed = true
+				break
+			}
+			if committed != nil {
+				*committed = snapshot()
+			}
+		}
+	}
+	var total int64
+	for _, f := range s.Files() {
+		total += f.FileWrites()
+	}
+	return total
+}
+
+// TestShardedClassesDurableRoundTrip checkpoints a durable sharded class
+// index (every strategy), reopens it — hierarchy rebuilt from the manifest
+// — and oracle-compares full-extent queries.
+func TestShardedClassesDurableRoundTrip(t *testing.T) {
+	const span = int64(2000)
+	h := workload.RandomHierarchy(41, 24)
+	strategies := []classindex.StrategyKind{
+		classindex.KindSimple, classindex.KindFullExtent, classindex.KindRakeContract,
+	}
+	for _, kind := range strategies {
+		t.Run(fmt.Sprintf("kind=%d", kind), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "classes")
+			cfg := Config{Shards: 3, B: 8, Batch: 4, Partition: PartitionRange, Span: span, PoolFrames: 64}
+			s, err := CreateClassesAt(dir, cfg, h, kind, disk.FsyncCheckpoint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs := workload.Objects(43, h, 600, span)
+			for _, o := range objs {
+				s.Insert(o)
+			}
+			oracle := NewClasses(Config{Shards: 1, B: 8, PoolFrames: -1}, h, func() ClassIndex {
+				return classindex.NewSimple(h, 8)
+			})
+			for _, o := range objs {
+				oracle.Insert(o)
+			}
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			reopened, h2, err := OpenClasses(dir, disk.FsyncCheckpoint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer reopened.Close()
+			if h2.Len() != h.Len() {
+				t.Fatalf("hierarchy round trip: %d classes, want %d", h2.Len(), h.Len())
+			}
+			for c := 0; c < h.Len(); c++ {
+				for _, q := range []struct{ a1, a2 int64 }{{0, span}, {span / 4, span / 2}, {100, 300}} {
+					var want, got []uint64
+					oracle.Query(c, q.a1, q.a2, func(_ int64, id uint64) bool {
+						want = append(want, id)
+						return true
+					})
+					reopened.Query(c, q.a1, q.a2, func(_ int64, id uint64) bool {
+						got = append(got, id)
+						return true
+					})
+					if !idsEqual(sortIDs(want), sortIDs(got)) {
+						t.Fatalf("class %d query [%d,%d] diverged after reopen (%d vs %d results)",
+							c, q.a1, q.a2, len(want), len(got))
+					}
+				}
+			}
+		})
+	}
+}

@@ -44,6 +44,10 @@ type Intervals struct {
 	// any keyed store.
 	dirMu sync.Mutex
 	dir   map[uint64]geom.Interval
+
+	// dirPath is the checkpoint directory of a file-backed instance
+	// (empty for the in-memory construction); see durable.go.
+	dirPath string
 }
 
 // ivOp is one pending group-commit operation: an insert of iv, or a delete
@@ -83,41 +87,65 @@ func (s *Intervals) replicaRange(iv geom.Interval) (first, last int) {
 // NewIntervals builds a sharded manager over an initial interval set (the
 // slice is copied; the initial build is static per shard, Theorem 3.2).
 func NewIntervals(cfg Config, ivs []geom.Interval) *Intervals {
-	n := cfg.shards()
-	s := &Intervals{cfg: cfg, router: NewRouter(n, cfg.Partition, cfg.Span)}
-	parts := make([][]geom.Interval, n)
+	s := newIntervalsShell(cfg)
+	parts := s.partition(ivs)
+	s.fillDir(ivs)
+	n := s.router.Shards()
+	s.shards = make([]*intervalShard, n)
+	for i := 0; i < n; i++ {
+		sh := &intervalShard{mgr: intervals.New(intervals.Config{B: cfg.B}, parts[i])}
+		s.shards[i] = sh
+	}
+	s.attachPools()
+	s.n.Store(int64(len(ivs)))
+	return s
+}
+
+// newIntervalsShell builds the router and empty containers shared by the
+// in-memory and file-backed constructions.
+func newIntervalsShell(cfg Config) *Intervals {
+	return &Intervals{cfg: cfg, router: NewRouter(cfg.shards(), cfg.Partition, cfg.Span)}
+}
+
+// partition splits ivs into per-shard slices (replicating slice-spanning
+// intervals under range partitioning).
+func (s *Intervals) partition(ivs []geom.Interval) [][]geom.Interval {
+	parts := make([][]geom.Interval, s.router.Shards())
 	for _, iv := range ivs {
 		first, last := s.replicaRange(iv)
 		for i := first; i <= last; i++ {
 			parts[i] = append(parts[i], iv)
 		}
 	}
+	return parts
+}
+
+// fillDir seeds the id directory from an initial interval set, panicking on
+// duplicates. Same loud-failure contract as Insert: a duplicate id in the
+// initial set would leave one copy undeletable (the directory holds one
+// entry per id) — and range partitioning can route the copies to disjoint
+// shards, so no per-shard manager would catch it.
+func (s *Intervals) fillDir(ivs []geom.Interval) {
 	s.dir = make(map[uint64]geom.Interval, len(ivs))
 	for _, iv := range ivs {
-		// Same loud-failure contract as Insert: a duplicate id in the
-		// initial set would leave one copy undeletable (the directory holds
-		// one entry per id) — and range partitioning can route the copies
-		// to disjoint shards, so no per-shard manager would catch it.
 		if _, dup := s.dir[iv.ID]; dup {
 			panic("shard: duplicate interval id " + iv.String())
 		}
 		s.dir[iv.ID] = iv
 	}
-	s.shards = make([]*intervalShard, n)
-	for i := 0; i < n; i++ {
-		sh := &intervalShard{mgr: intervals.New(intervals.Config{B: cfg.B}, parts[i])}
-		// Route the shard's page I/O through a concurrent CLOCK buffer
-		// pool: queries hit memory-resident frames instead of re-reading
-		// the device, concurrently and race-free (the pool is internally
-		// lock-sharded; the cell's RWMutex already serializes writers
-		// against readers).
-		if f := cfg.poolFrames(); f > 0 {
+}
+
+// attachPools routes every shard's page I/O through a concurrent CLOCK
+// buffer pool: queries hit memory-resident frames instead of re-reading
+// the device, concurrently and race-free (the pool is internally
+// lock-sharded; the cell's RWMutex already serializes writers against
+// readers).
+func (s *Intervals) attachPools() {
+	if f := s.cfg.poolFrames(); f > 0 {
+		for _, sh := range s.shards {
 			sh.mgr.AttachPool(f, poolLockShards)
 		}
-		s.shards[i] = sh
 	}
-	s.n.Store(int64(len(ivs)))
-	return s
 }
 
 // Shards returns the shard count.

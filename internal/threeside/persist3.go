@@ -1,0 +1,84 @@
+package threeside
+
+// Checkpoint support: serializes {root, n, rebuilds, mult, dead} — the same
+// out-of-page state shape as the diagonal metablock tree (core/persist.go),
+// since both use the weak-delete scheme with in-memory directories.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+	"ccidx/internal/wire"
+)
+
+// MarshalState serializes the tree's out-of-page state. The caller flushes
+// any pool over the store before checkpointing it.
+func (t *Tree) MarshalState() []byte {
+	buf := make([]byte, 0, 5*8+(len(t.mult)+len(t.dead))*4*8)
+	var w [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		buf = append(buf, w[:]...)
+	}
+	put(uint64(int64(t.root)))
+	put(uint64(t.n))
+	put(uint64(t.rebuilds))
+	put(uint64(len(t.mult)))
+	for p, c := range t.mult {
+		put(uint64(p.X))
+		put(uint64(p.Y))
+		put(p.ID)
+		put(uint64(c))
+	}
+	put(uint64(len(t.dead)))
+	for p, c := range t.dead {
+		put(uint64(p.X))
+		put(uint64(p.Y))
+		put(p.ID)
+		put(uint64(c))
+	}
+	return buf
+}
+
+// OpenOn reattaches a 3-sided metablock tree to a store holding its pages,
+// using the state a prior MarshalState produced. cfg must match the
+// configuration the tree was built with.
+func OpenOn(cfg Config, store disk.Store, state []byte) (*Tree, error) {
+	t := skeletonOn(cfg, store)
+	r := wire.NewStateReader(state)
+	t.root = disk.BlockID(int64(r.U64()))
+	t.n = int(r.U64())
+	t.rebuilds = int(r.U64())
+	nMult := int(r.U64())
+	if r.Err() != nil || nMult < 0 || t.n < 0 {
+		return nil, fmt.Errorf("threeside: corrupt state header")
+	}
+	t.mult = make(map[geom.Point]int, nMult)
+	for i := 0; i < nMult; i++ {
+		p := geom.Point{X: int64(r.U64()), Y: int64(r.U64()), ID: r.U64()}
+		t.mult[p] = int(r.U64())
+	}
+	nDead := int(r.U64())
+	if r.Err() != nil || nDead < 0 {
+		return nil, fmt.Errorf("threeside: corrupt mult directory")
+	}
+	t.dead = make(map[geom.Point]int, nDead)
+	t.deadCount = 0
+	for i := 0; i < nDead; i++ {
+		p := geom.Point{X: int64(r.U64()), Y: int64(r.U64()), ID: r.U64()}
+		c := int(r.U64())
+		t.dead[p] = c
+		t.deadCount += c
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("threeside: corrupt state: %w", err)
+	}
+	if t.root != disk.NilBlock {
+		if err := store.Check(t.root); err != nil {
+			return nil, fmt.Errorf("threeside: root %d: %w", t.root, err)
+		}
+	}
+	return t, nil
+}

@@ -32,8 +32,8 @@ func (cfg Config) PageSize() int { return pageHeaderSize + cfg.B*recSize }
 // and use no shared mutable scratch.
 type Tree struct {
 	cfg   Config
-	pager *disk.Pager
-	dev   disk.Device // page I/O surface; the pager, or a pool over it
+	pager disk.Store
+	dev   disk.Device // page I/O surface; the store, or a pool over it
 	root  disk.BlockID
 	n     int // LIVE points (physical copies = n + deadCount)
 
@@ -56,14 +56,14 @@ type Tree struct {
 
 // New builds the tree statically over pts (copied).
 func New(cfg Config, pts []geom.Point) *Tree {
-	if cfg.B < 4 {
-		panic("threeside: B must be at least 4")
-	}
-	t := &Tree{
-		cfg: cfg, pager: disk.NewPager(cfg.PageSize()), n: len(pts),
-		mult: make(map[geom.Point]int, len(pts)),
-	}
-	t.dev = t.pager
+	return NewOn(cfg, disk.NewPager(cfg.PageSize()), pts)
+}
+
+// NewOn is New over a caller-provided store — an in-memory pager or a
+// file-backed device — whose page size must be exactly cfg.PageSize().
+func NewOn(cfg Config, store disk.Store, pts []geom.Point) *Tree {
+	t := skeletonOn(cfg, store)
+	t.n = len(pts)
 	own := append([]geom.Point(nil), pts...)
 	for _, p := range own {
 		t.mult[p]++
@@ -73,8 +73,21 @@ func New(cfg Config, pts []geom.Point) *Tree {
 	return t
 }
 
-// Pager exposes the underlying device for I/O accounting.
-func (t *Tree) Pager() *disk.Pager { return t.pager }
+func skeletonOn(cfg Config, store disk.Store) *Tree {
+	if cfg.B < 4 {
+		panic("threeside: B must be at least 4")
+	}
+	if store.PageSize() != cfg.PageSize() {
+		panic(fmt.Sprintf("threeside: store page size %d, want %d for B=%d",
+			store.PageSize(), cfg.PageSize(), cfg.B))
+	}
+	t := &Tree{cfg: cfg, pager: store, mult: make(map[geom.Point]int)}
+	t.dev = t.pager
+	return t
+}
+
+// Pager exposes the underlying store for I/O accounting.
+func (t *Tree) Pager() disk.Store { return t.pager }
 
 // SetDevice routes all page I/O through d — typically a *disk.Pool over
 // Pager(). Call before sharing the tree between goroutines.

@@ -117,3 +117,62 @@ func (c *Cursor) PutI64(v int64) { c.PutU64(uint64(v)) }
 
 // I64 reads an int64.
 func (c *Cursor) I64() int64 { return int64(c.U64()) }
+
+// StateReader is a bounds-tracking little-endian reader for checkpoint
+// state blobs. Unlike Cursor — whose panic-on-overflow contract is right
+// for self-authored page layouts — it records the first error so callers
+// can reject a corrupt or truncated checkpoint gracefully. Every decoder
+// of persisted tree state (core, threeside, classindex) shares it.
+type StateReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewStateReader returns a reader positioned at the start of buf.
+func NewStateReader(buf []byte) *StateReader { return &StateReader{buf: buf} }
+
+// Err returns the first decode error (nil while the input is well-formed).
+func (r *StateReader) Err() error { return r.err }
+
+// U64 reads a little-endian uint64, returning 0 once an error is recorded.
+func (r *StateReader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+SizeU64 > len(r.buf) {
+		r.err = fmt.Errorf("wire: state truncated at offset %d", r.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += SizeU64
+	return v
+}
+
+// Block reads a U64 length prefix followed by that many bytes (borrowed
+// from the input, not copied).
+func (r *StateReader) Block() []byte {
+	n := int(r.U64())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("wire: bad block length %d at offset %d", n, r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// Done returns the recorded error, or an error if input remains unconsumed
+// (a well-formed state blob is read exactly to its end).
+func (r *StateReader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes after state", len(r.buf)-r.off)
+	}
+	return nil
+}
