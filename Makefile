@@ -11,7 +11,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build vet test race race-churn crash bench bench-smoke bench-gate experiments ci
+.PHONY: build vet test race race-churn crash bench bench-smoke bench-gate serve-smoke experiments ci
 
 build:
 	$(GO) build ./...
@@ -54,12 +54,26 @@ bench:
 			$(if $(BENCH_BASELINE),-bench-baseline $(BENCH_BASELINE))
 	@echo wrote BENCH.json
 
-# Small-scale E20 + E21: drives the batched query path and the durable
-# (file-backed) serving path end to end in a few seconds, so CI exercises
-# the shared-traversal and persistence machinery on every push.
+# Small-scale E20 + E21 + E22: drives the batched query path, the durable
+# (file-backed) serving path, and the HTTP auto-batching front-end end to
+# end in a few seconds, so CI exercises the shared-traversal, persistence,
+# and serving machinery on every push.
 bench-smoke:
 	$(GO) run ./cmd/experiments -run E20 -e20n 20000 -qbatch 1,16,64
 	$(GO) run ./cmd/experiments -run E21 -e21n 20000
+	$(GO) run ./cmd/experiments -run E22 -e22n 20000
+
+# Serving-path smoke: build ccserve + ccload, boot a real server on a
+# loopback port, and run ccload's self-checking pass (health, mutation
+# round-trip, concurrent burst, counter sanity) against it. The server's
+# exit status and the smoke's both gate.
+SERVE_ADDR := 127.0.0.1:18416
+serve-smoke:
+	$(GO) build -o bin/ccserve ./cmd/ccserve
+	$(GO) build -o bin/ccload ./cmd/ccload
+	@./bin/ccserve -addr $(SERVE_ADDR) -n 20000 -shards 4 & srv=$$!; \
+		status=0; ./bin/ccload -addr http://$(SERVE_ADDR) -smoke || status=$$?; \
+		kill $$srv 2>/dev/null; wait $$srv 2>/dev/null; exit $$status
 
 # Regression GATE: save the committed BENCH.json as the baseline, regenerate
 # it, and fail on a >10% ios/op regression in any tier-1 benchmark (see
@@ -73,4 +87,4 @@ bench-gate:
 experiments:
 	$(GO) run ./cmd/experiments
 
-ci: vet build test race race-churn crash bench-smoke
+ci: vet build test race race-churn crash bench-smoke serve-smoke

@@ -13,6 +13,9 @@ import (
 	"io"
 	"math/big"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -25,6 +28,8 @@ import (
 	"ccidx/internal/intervals"
 	"ccidx/internal/lowerbound"
 	"ccidx/internal/pst"
+	"ccidx/internal/server"
+	"ccidx/internal/shard"
 	"ccidx/internal/threeside"
 	"ccidx/internal/workload"
 )
@@ -508,6 +513,78 @@ func BenchmarkStabPendingReplay(b *testing.B) {
 		for _, bq := range workload.QueryBatches(qs, 256) {
 			s.StabBatch(bq, func(int, ccidx.Interval) bool { return true })
 		}
+	})
+}
+
+// BenchmarkE22ServerStab measures stabbing queries through the HTTP
+// serving front-end (E22). The sequential arm runs one client with
+// batching off and pools off, so its ios/op is deterministic and gated
+// like every other tier-1 benchmark; the concurrent arm reports wall-clock
+// only (its per-query I/O depends on how the auto-batcher coalesces the
+// racing clients, which is timing-dependent by nature).
+func BenchmarkE22ServerStab(b *testing.B) {
+	const span = 1 << 20
+	base := workload.UniformIntervals(26, 100000, span, 1000)
+	mk := func(disableBatching bool) (*shard.Intervals, *httptest.Server, func()) {
+		s := shard.NewIntervals(shard.Config{
+			Shards: 4, B: 16, Batch: 16,
+			Partition: shard.PartitionRange, Span: span, PoolFrames: -1,
+		}, base)
+		srv, err := server.New(server.Backend{Intervals: s}, server.Config{
+			DisableBatching: disableBatching,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		return s, ts, func() { ts.Close(); srv.Close() }
+	}
+	get := func(client *http.Client, url string) {
+		resp, err := client.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.Run("seq", func(b *testing.B) {
+		b.ReportAllocs()
+		s, ts, stop := mk(true)
+		defer stop()
+		qs := workload.StabQueries(27, b.N, span)
+		client := &http.Client{}
+		before := s.Stats()
+		b.ResetTimer()
+		for _, q := range qs {
+			get(client, fmt.Sprintf("%s/v1/stab?q=%d", ts.URL, q))
+		}
+		b.StopTimer()
+		report(b, s.Stats().Sub(before).IOs())
+	})
+	b.Run("concurrent=32", func(b *testing.B) {
+		b.ReportAllocs()
+		_, ts, stop := mk(false)
+		defer stop()
+		var next atomic.Int64
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for c := 0; c < 32; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(28 + c)))
+				client := &http.Client{}
+				for next.Add(1) <= int64(b.N) {
+					get(client, fmt.Sprintf("%s/v1/stab?q=%d", ts.URL, rng.Int63n(span)))
+				}
+			}(c)
+		}
+		wg.Wait()
+		// No ios/op: coalescing depth (and so per-query I/O) is
+		// scheduling-dependent under concurrency.
 	})
 }
 

@@ -297,6 +297,11 @@ func (sm *ShardedIntervalManager) Stats() Stats { return sm.s.Stats() }
 // when pooling is disabled).
 func (sm *ShardedIntervalManager) PoolStats() (hits, misses int64) { return sm.s.PoolStats() }
 
+// Rebuilds sums the stabber global-rebuild counters across shards; the
+// serving metrics surface exposes it so rebuild storms can be correlated
+// with latency spikes.
+func (sm *ShardedIntervalManager) Rebuilds() int { return sm.s.Rebuilds() }
+
 // SpaceBlocks sums the live pages across all shard devices.
 func (sm *ShardedIntervalManager) SpaceBlocks() int64 { return sm.s.SpaceBlocks() }
 
@@ -571,6 +576,9 @@ func (ci *ClassIndex) Checkpoint() error {
 	if err := disk.WriteManifest(ci.dirPath, disk.Manifest{
 		Version: 1, Kind: classIndexManifestKind, Seq: seq, Meta: metaJSON,
 	}); err != nil {
+		if rerr := ci.du.RollbackCheckpoint(); rerr != nil {
+			return fmt.Errorf("ccidx: rolling back after manifest failure: %v (original: %w)", rerr, err)
+		}
 		return err
 	}
 	return ci.du.CommitCheckpoint()

@@ -9,6 +9,17 @@
 // change is a real algorithmic regression, not machine noise (wall-clock
 // metrics are deliberately NOT gated; they vary with the runner).
 //
+// Edge contract (each of these once silently mis-reported):
+//   - a baseline at or near zero never divides to Inf%: both sides ~0
+//     compare equal, and zero-to-material jumps are flagged as regressions
+//     with an absolute annotation instead of a percentage;
+//   - non-finite metric values (NaN/Inf smuggled in by a corrupt document)
+//     fail the gate rather than comparing as anything;
+//   - a benchmark present in the baseline but absent from the new run (or
+//     missing the gated metric) fails the gate; one only in the new run is
+//     reported as NEW without failing, so adding benchmarks doesn't need a
+//     baseline ratchet in the same commit.
+//
 // Usage:
 //
 //	benchdiff -baseline BENCH.json.committed -current BENCH.json
@@ -19,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -54,6 +66,97 @@ func load(path string) (map[string]benchResult, error) {
 	return doc.After, nil
 }
 
+// zeroEps is the magnitude below which a metric value counts as zero: ios/op
+// and allocs/op are whole-number-ish rates, so anything this small is a
+// true zero measured through go test's fixed-point formatting.
+const zeroEps = 1e-9
+
+// diffReport is the outcome of one gate run, separated from printing so the
+// edge cases are unit-testable.
+type diffReport struct {
+	lines     []string // one formatted row per baseline/new benchmark
+	compared  int      // benchmarks with the metric on both sides
+	regressed int      // beyond maxRegress (or non-finite)
+	missing   int      // in baseline, absent or metric-less in current
+	fresh     int      // only in current: reported, not failed
+}
+
+// compare diffs current against baseline on one metric. It never divides by
+// a (near-)zero baseline: both sides below zeroEps are equal by definition,
+// and a jump from ~0 to a material value is a regression annotated with the
+// absolute values. Non-finite values on either side fail the comparison.
+func compare(base, cur map[string]benchResult, metric string, maxRegress float64) diffReport {
+	var r diffReport
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		bv, ok := base[name].Metrics[metric]
+		if !ok {
+			continue // baseline benchmark without the gated metric
+		}
+		cr, ok := cur[name]
+		if !ok {
+			// A tier-1 benchmark that vanished is a gate failure too: a
+			// silent drop would otherwise hide a regression forever.
+			r.lines = append(r.lines, fmt.Sprintf("%-44s %12.2f %12s %8s", name, bv, "MISSING", "!!"))
+			r.missing++
+			continue
+		}
+		cv, ok := cr.Metrics[metric]
+		if !ok {
+			r.lines = append(r.lines, fmt.Sprintf("%-44s %12.2f %12s %8s", name, bv, "NO METRIC", "!!"))
+			r.missing++
+			continue
+		}
+		if math.IsNaN(bv) || math.IsInf(bv, 0) || math.IsNaN(cv) || math.IsInf(cv, 0) {
+			r.compared++
+			r.regressed++
+			r.lines = append(r.lines, fmt.Sprintf("%-44s %12v %12v %8s  << NON-FINITE", name, bv, cv, "!!"))
+			continue
+		}
+		r.compared++
+		switch {
+		case math.Abs(bv) < zeroEps && math.Abs(cv) < zeroEps:
+			r.lines = append(r.lines, fmt.Sprintf("%-44s %12.2f %12.2f %+7.1f%%", name, bv, cv, 0.0))
+		case math.Abs(bv) < zeroEps:
+			// Zero baseline: any material cost appearing is a regression,
+			// reported absolutely — a percentage would be Inf.
+			r.regressed++
+			r.lines = append(r.lines, fmt.Sprintf("%-44s %12.2f %12.2f %8s  << REGRESSION (from zero)", name, bv, cv, "+inf"))
+		default:
+			delta := cv/bv - 1
+			marker := ""
+			if delta > maxRegress {
+				marker = "  << REGRESSION"
+				r.regressed++
+			}
+			r.lines = append(r.lines, fmt.Sprintf("%-44s %12.2f %12.2f %+7.1f%%%s", name, bv, cv, delta*100, marker))
+		}
+	}
+
+	// Benchmarks only in the current run: informational, never a failure.
+	var freshNames []string
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			freshNames = append(freshNames, name)
+		}
+	}
+	sort.Strings(freshNames)
+	for _, name := range freshNames {
+		cv, ok := cur[name].Metrics[metric]
+		if !ok {
+			continue
+		}
+		r.fresh++
+		r.lines = append(r.lines, fmt.Sprintf("%-44s %12s %12.2f %8s", name, "(new)", cv, "NEW"))
+	}
+	return r
+}
+
 func main() {
 	baseline := flag.String("baseline", "", "committed BENCH.json to gate against")
 	current := flag.String("current", "", "freshly generated BENCH.json")
@@ -75,56 +178,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	names := make([]string, 0, len(base))
-	for name := range base {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	var compared, regressed, missing int
+	r := compare(base, cur, *metric, *maxRegress)
 	fmt.Printf("%-44s %12s %12s %8s\n", "benchmark", "base "+*metric, "cur "+*metric, "delta")
-	for _, name := range names {
-		bv, ok := base[name].Metrics[*metric]
-		if !ok {
-			continue // baseline benchmark without the gated metric
-		}
-		cr, ok := cur[name]
-		if !ok {
-			// A tier-1 benchmark that vanished is a gate failure too: a
-			// silent drop would otherwise hide a regression forever.
-			fmt.Printf("%-44s %12.2f %12s %8s\n", name, bv, "MISSING", "!!")
-			missing++
-			continue
-		}
-		cv, ok := cr.Metrics[*metric]
-		if !ok {
-			fmt.Printf("%-44s %12.2f %12s %8s\n", name, bv, "NO METRIC", "!!")
-			missing++
-			continue
-		}
-		compared++
-		delta := 0.0
-		if bv != 0 {
-			delta = cv/bv - 1
-		} else if cv > 0 {
-			delta = 1 // from zero to nonzero: treat as full regression
-		}
-		marker := ""
-		if delta > *maxRegress {
-			marker = "  << REGRESSION"
-			regressed++
-		}
-		fmt.Printf("%-44s %12.2f %12.2f %+7.1f%%%s\n", name, bv, cv, delta*100, marker)
+	for _, line := range r.lines {
+		fmt.Println(line)
 	}
-
-	if compared == 0 {
+	if r.compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks shared the gated metric — wrong files?")
 		os.Exit(2)
 	}
-	if regressed > 0 || missing > 0 {
+	if r.regressed > 0 || r.missing > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — %d regression(s) beyond +%.0f%%, %d missing, %d compared\n",
-			regressed, *maxRegress*100, missing, compared)
+			r.regressed, *maxRegress*100, r.missing, r.compared)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: OK — %d benchmarks within +%.0f%% on %s\n", compared, *maxRegress*100, *metric)
+	fmt.Printf("benchdiff: OK — %d benchmarks within +%.0f%% on %s (%d new)\n",
+		r.compared, *maxRegress*100, *metric, r.fresh)
 }

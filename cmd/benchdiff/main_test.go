@@ -1,0 +1,107 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func res(metrics map[string]float64) benchResult {
+	return benchResult{Iterations: 1, Metrics: metrics}
+}
+
+func TestCompareZeroBaselines(t *testing.T) {
+	base := map[string]benchResult{
+		"BenchZeroBoth": res(map[string]float64{"ios/op": 0}),
+		"BenchZeroBase": res(map[string]float64{"ios/op": 0}),
+		"BenchNormal":   res(map[string]float64{"ios/op": 100}),
+	}
+	cur := map[string]benchResult{
+		"BenchZeroBoth": res(map[string]float64{"ios/op": 0}),
+		"BenchZeroBase": res(map[string]float64{"ios/op": 7.5}),
+		"BenchNormal":   res(map[string]float64{"ios/op": 105}),
+	}
+	r := compare(base, cur, "ios/op", 0.10)
+	if r.compared != 3 || r.missing != 0 {
+		t.Fatalf("compared=%d missing=%d", r.compared, r.missing)
+	}
+	if r.regressed != 1 {
+		t.Fatalf("regressed=%d, want exactly the zero-to-material jump", r.regressed)
+	}
+	all := strings.Join(r.lines, "\n")
+	if strings.Contains(all, "Inf") || strings.Contains(all, "NaN") {
+		t.Fatalf("report leaked a non-finite percentage:\n%s", all)
+	}
+	if !strings.Contains(all, "REGRESSION (from zero)") {
+		t.Fatalf("zero-baseline jump not flagged:\n%s", all)
+	}
+}
+
+func TestCompareNonFiniteFailsGate(t *testing.T) {
+	base := map[string]benchResult{"B": res(map[string]float64{"ios/op": math.NaN()})}
+	cur := map[string]benchResult{"B": res(map[string]float64{"ios/op": 5})}
+	r := compare(base, cur, "ios/op", 0.10)
+	if r.regressed != 1 {
+		t.Fatalf("NaN baseline compared cleanly: %+v", r)
+	}
+	base = map[string]benchResult{"B": res(map[string]float64{"ios/op": 5})}
+	cur = map[string]benchResult{"B": res(map[string]float64{"ios/op": math.Inf(1)})}
+	if r := compare(base, cur, "ios/op", 0.10); r.regressed != 1 {
+		t.Fatalf("Inf current compared cleanly: %+v", r)
+	}
+}
+
+func TestCompareMissingAndVanishedMetric(t *testing.T) {
+	base := map[string]benchResult{
+		"BenchGone":     res(map[string]float64{"ios/op": 10}),
+		"BenchNoMetric": res(map[string]float64{"ios/op": 10}),
+		"BenchKept":     res(map[string]float64{"ios/op": 10}),
+	}
+	cur := map[string]benchResult{
+		"BenchNoMetric": res(map[string]float64{"ns/op": 123}),
+		"BenchKept":     res(map[string]float64{"ios/op": 10}),
+	}
+	r := compare(base, cur, "ios/op", 0.10)
+	if r.missing != 2 {
+		t.Fatalf("missing=%d, want 2 (vanished benchmark + vanished metric)", r.missing)
+	}
+	all := strings.Join(r.lines, "\n")
+	if !strings.Contains(all, "MISSING") || !strings.Contains(all, "NO METRIC") {
+		t.Fatalf("missing rows not labeled:\n%s", all)
+	}
+}
+
+func TestCompareNewBenchmarksReportedNotFailed(t *testing.T) {
+	base := map[string]benchResult{"BenchOld": res(map[string]float64{"ios/op": 10})}
+	cur := map[string]benchResult{
+		"BenchOld":   res(map[string]float64{"ios/op": 10}),
+		"BenchAdded": res(map[string]float64{"ios/op": 42}),
+	}
+	r := compare(base, cur, "ios/op", 0.10)
+	if r.regressed != 0 || r.missing != 0 {
+		t.Fatalf("new benchmark failed the gate: %+v", r)
+	}
+	if r.fresh != 1 {
+		t.Fatalf("fresh=%d, want 1", r.fresh)
+	}
+	if !strings.Contains(strings.Join(r.lines, "\n"), "NEW") {
+		t.Fatalf("new benchmark not reported:\n%s", strings.Join(r.lines, "\n"))
+	}
+}
+
+func TestCompareRegressionThreshold(t *testing.T) {
+	base := map[string]benchResult{
+		"BenchWithin": res(map[string]float64{"ios/op": 100}),
+		"BenchBeyond": res(map[string]float64{"ios/op": 100}),
+		"BenchFaster": res(map[string]float64{"ios/op": 100}),
+	}
+	cur := map[string]benchResult{
+		"BenchWithin": res(map[string]float64{"ios/op": 109}),
+		"BenchBeyond": res(map[string]float64{"ios/op": 112}),
+		"BenchFaster": res(map[string]float64{"ios/op": 50}),
+	}
+	r := compare(base, cur, "ios/op", 0.10)
+	if r.regressed != 1 {
+		t.Fatalf("regressed=%d, want 1 (only the +12%%)", r.regressed)
+	}
+}

@@ -1,0 +1,298 @@
+// Command ccload drives a ccserve instance with stabbing-query load and
+// reports throughput and tail latency.
+//
+// Two loop disciplines:
+//
+//   - closed loop (-rate 0): each of -c workers issues its next request the
+//     moment the previous one returns. Measures peak sustainable throughput
+//     but hides queueing delay (coordinated omission).
+//   - open loop (-rate N): arrivals are scheduled at N requests/second
+//     regardless of completions, and latency is measured from the SCHEDULED
+//     arrival time, so queueing under overload is charged to the server.
+//     This is the discipline E22's latency-vs-offered-load curves use.
+//
+// -smoke runs a short self-checking pass (health, correctness of counters)
+// and exits nonzero on any violation — CI's serving-path gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// stats mirrors the fields of the server's /v1/stats document that the
+// report consumes.
+type stats struct {
+	Intervals int     `json:"intervals"`
+	IOs       int64   `json:"ios"`
+	Requests  int64   `json:"requests"`
+	Shed      int64   `json:"shed"`
+	Timeouts  int64   `json:"timeouts"`
+	Errors    int64   `json:"errors"`
+	Batches   int64   `json:"batches"`
+	BatchMean float64 `json:"batch_mean"`
+}
+
+func main() {
+	base := flag.String("addr", "http://127.0.0.1:8416", "server base URL")
+	c := flag.Int("c", 8, "concurrent workers")
+	n := flag.Int("n", 5000, "total requests")
+	rate := flag.Float64("rate", 0, "offered load in req/s (0 = closed loop)")
+	span := flag.Int64("span", 1600000, "key domain for generated queries")
+	seed := flag.Int64("seed", 1, "query seed")
+	smoke := flag.Bool("smoke", false, "short self-checking smoke run (nonzero exit on violation)")
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*base); err != nil {
+			fmt.Fprintln(os.Stderr, "ccload smoke FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("ccload smoke OK")
+		return
+	}
+	if err := runLoad(*base, *c, *n, *rate, *span, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ccload:", err)
+		os.Exit(1)
+	}
+}
+
+func getStats(base string) (stats, error) {
+	var st stats
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("/v1/stats: %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func runLoad(base string, c, n int, rate float64, span, seed int64) error {
+	before, err := getStats(base)
+	if err != nil {
+		return fmt.Errorf("server unreachable: %w", err)
+	}
+
+	lats := make([]time.Duration, n)
+	var next atomic.Int64 // request index dispenser
+	var failed atomic.Int64
+	client := &http.Client{Timeout: 10 * time.Second}
+	start := time.Now().Add(10 * time.Millisecond) // grace so worker 0 isn't late at t=0
+	interval := time.Duration(0)
+	if rate > 0 {
+		interval = time.Duration(float64(time.Second) / rate)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				issueAt := time.Now()
+				if interval > 0 {
+					// Open loop: request i belongs at start + i*interval, and
+					// latency is charged from that scheduled instant.
+					issueAt = start.Add(time.Duration(i) * interval)
+					if d := time.Until(issueAt); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				q := rng.Int63n(span)
+				resp, err := client.Get(fmt.Sprintf("%s/v1/stab?q=%d", base, q))
+				if err != nil {
+					failed.Add(1)
+					lats[i] = time.Since(issueAt)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+				}
+				lats[i] = time.Since(issueAt)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := getStats(base)
+	if err != nil {
+		return err
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	pct := func(p float64) time.Duration { return lats[int(p*float64(n-1))] }
+	mode := "closed"
+	if rate > 0 {
+		mode = fmt.Sprintf("open @ %.0f req/s", rate)
+	}
+	fmt.Printf("ccload: %d requests, %d workers, %s loop\n", n, c, mode)
+	fmt.Printf("  wall %.2fs  throughput %.0f req/s  failed %d\n",
+		elapsed.Seconds(), float64(n)/elapsed.Seconds(), failed.Load())
+	fmt.Printf("  latency p50 %v  p95 %v  p99 %v  max %v\n",
+		pct(0.50), pct(0.95), pct(0.99), lats[n-1])
+	dReq := after.Requests - before.Requests
+	dIOs := after.IOs - before.IOs
+	dBatch := after.Batches - before.Batches
+	fmt.Printf("  server: %d requests, %d batches (mean %.1f), %d shed, %d timeouts, %d errors\n",
+		dReq, dBatch, after.BatchMean, after.Shed-before.Shed,
+		after.Timeouts-before.Timeouts, after.Errors-before.Errors)
+	if dReq > 0 {
+		fmt.Printf("  ios/query %.3f\n", float64(dIOs)/float64(dReq))
+	}
+	return nil
+}
+
+// runSmoke is CI's serving-path gate: wait for health, issue known traffic,
+// verify the counters and a mutation round-trip.
+func runSmoke(base string) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not healthy within 5s: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	before, err := getStats(base)
+	if err != nil {
+		return err
+	}
+
+	// A mutation round-trip: insert, observe, delete, observe gone.
+	const probeID = 987654321
+	if err := post(base + "/v1/insert?lo=10&hi=20&id=" + strconv.Itoa(probeID)); err != nil {
+		return fmt.Errorf("insert: %w", err)
+	}
+	found, err := stabHasID(base, 15, probeID)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("inserted interval invisible to /v1/stab")
+	}
+	if err := post(base + "/v1/delete?id=" + strconv.Itoa(probeID)); err != nil {
+		return fmt.Errorf("delete: %w", err)
+	}
+	found, err = stabHasID(base, 15, probeID)
+	if err != nil {
+		return err
+	}
+	if found {
+		return fmt.Errorf("deleted interval still visible to /v1/stab")
+	}
+
+	// Concurrent read burst; every response must be 200.
+	const burst = 64
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("%s/v1/stab?q=%d", base, i*13))
+			if err != nil {
+				bad.Add(1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				bad.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		return fmt.Errorf("%d of %d burst requests failed", bad.Load(), burst)
+	}
+
+	after, err := getStats(base)
+	if err != nil {
+		return err
+	}
+	if got := after.Requests - before.Requests; got < burst {
+		return fmt.Errorf("request counter moved by %d, want >= %d", got, burst)
+	}
+	if after.Errors-before.Errors != 0 {
+		return fmt.Errorf("server error counter moved by %d during smoke", after.Errors-before.Errors)
+	}
+	if after.Intervals <= 0 {
+		return fmt.Errorf("server reports %d intervals, want > 0", after.Intervals)
+	}
+
+	// The metrics endpoint must expose the core series.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"ccidx_requests_total", "ccidx_batch_size_bucket", "ccidx_request_seconds_count"} {
+		if !strings.Contains(string(body), want) {
+			return fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+	return nil
+}
+
+func post(url string) error {
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: %d %s", url, resp.StatusCode, body)
+	}
+	return nil
+}
+
+func stabHasID(base string, q int64, id uint64) (bool, error) {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/stab?q=%d", base, q))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var rows []struct {
+		ID uint64 `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		return false, err
+	}
+	for _, r := range rows {
+		if r.ID == id {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,156 @@
+// Command ccserve runs the HTTP serving front-end over a sharded interval
+// manager (and optionally a class index), with adaptive auto-batching,
+// admission control, and a /metrics endpoint.
+//
+// In-memory with a synthetic workload:
+//
+//	ccserve -addr :8416 -n 100000 -shards 8
+//
+// Durable (creates dir on first run, reopens it afterwards):
+//
+//	ccserve -addr :8416 -dir /var/lib/ccidx -n 100000
+//
+// Batching is adaptive by default; -nobatch serves the sequential control
+// arm for A/B load tests with ccload.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ccidx/internal/classindex"
+	"ccidx/internal/intervals"
+	"ccidx/internal/server"
+	"ccidx/internal/shard"
+	"ccidx/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8416", "listen address")
+	shards := flag.Int("shards", 4, "shard count")
+	b := flag.Int("b", 32, "block capacity B")
+	batch := flag.Int("batch", 64, "per-shard group-commit buffer size")
+	partition := flag.String("partition", "range", "partitioning: range|hash")
+	pool := flag.Int("pool", 256, "buffer-pool frames per shard (-1 disables)")
+	n := flag.Int("n", 100000, "synthetic intervals to preload (create only)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	maxlen := flag.Int64("maxlen", 0, "max interval length (0 = span/n*8)")
+	dir := flag.String("dir", "", "durable directory (empty = in-memory)")
+	classes := flag.Int("classes", 0, "classes in a synthetic hierarchy (0 = no class index)")
+	window := flag.Duration("window", time.Millisecond, "max auto-batch window")
+	maxbatch := flag.Int("maxbatch", 1024, "max coalesced batch size")
+	inflight := flag.Int("inflight", 1024, "max in-flight requests before shedding")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request deadline")
+	nobatch := flag.Bool("nobatch", false, "disable auto-batching (sequential control arm)")
+	flag.Parse()
+
+	if err := run(*addr, *shards, *b, *batch, *partition, *pool, *n, *seed, *maxlen,
+		*dir, *classes, *window, *maxbatch, *inflight, *timeout, *nobatch); err != nil {
+		fmt.Fprintln(os.Stderr, "ccserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, shards, b, batch int, partition string, pool, n int, seed, maxlen int64,
+	dir string, classes int, window time.Duration, maxbatch, inflight int,
+	timeout time.Duration, nobatch bool) error {
+	span := int64(n) * 16
+	if maxlen <= 0 {
+		maxlen = span / int64(n) * 8
+	}
+	var part shard.Partition
+	switch partition {
+	case "range":
+		part = shard.PartitionRange
+	case "hash":
+		part = shard.PartitionHash
+	default:
+		return fmt.Errorf("unknown partition %q (want range|hash)", partition)
+	}
+	cfg := shard.Config{
+		Shards: shards, B: b, Batch: batch,
+		Partition: part, Span: span, PoolFrames: pool,
+	}
+
+	var im *shard.Intervals
+	var err error
+	switch {
+	case dir == "":
+		im = shard.NewIntervals(cfg, workload.UniformIntervals(seed, n, span, maxlen))
+		fmt.Printf("ccserve: in-memory, %d intervals across %d shards\n", im.Len(), shards)
+	default:
+		if _, serr := os.Stat(dir); serr == nil {
+			im, err = shard.OpenIntervals(dir, intervals.DurableOptions{})
+			if err != nil {
+				return fmt.Errorf("opening %s: %w", dir, err)
+			}
+			fmt.Printf("ccserve: reopened %s at seq %d, %d intervals\n", dir, im.Seq(), im.Len())
+		} else {
+			im, err = shard.CreateIntervalsAt(dir, cfg,
+				workload.UniformIntervals(seed, n, span, maxlen), intervals.DurableOptions{})
+			if err != nil {
+				return fmt.Errorf("creating %s: %w", dir, err)
+			}
+			fmt.Printf("ccserve: created %s, %d intervals across %d shards\n", dir, im.Len(), shards)
+		}
+	}
+	defer im.Close()
+
+	be := server.Backend{Intervals: im}
+	if classes > 0 {
+		h := workload.RandomHierarchy(seed, classes)
+		cs := shard.NewClasses(cfg, h, func() shard.ClassIndex {
+			return classindex.NewRakeContract(h, b)
+		})
+		for _, o := range workload.Objects(seed+1, h, n, span) {
+			cs.Insert(o)
+		}
+		cs.Flush()
+		be.Classes = cs
+		fmt.Printf("ccserve: class index over %d classes, %d objects\n", h.Len(), n)
+	}
+
+	srv, err := server.New(be, server.Config{
+		MaxBatch: maxbatch, MaxWait: window,
+		MaxInFlight: inflight, RequestTimeout: timeout,
+		DisableBatching: nobatch,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("ccserve: listening on %s (batching=%v window=%v maxbatch=%d)\n",
+		addr, !nobatch, window, maxbatch)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("ccserve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if im.Durable() {
+		if err := im.Checkpoint(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		fmt.Printf("ccserve: final checkpoint at seq %d\n", im.Seq())
+	}
+	return nil
+}

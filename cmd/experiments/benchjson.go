@@ -47,24 +47,40 @@ func stripProcs(name string) string {
 }
 
 // parseBench scans `go test -bench` output, collecting Benchmark lines.
+// A line that LOOKS like a benchmark result but does not parse — bad
+// iteration count, an unparsable metric value — is an error, not a skip: a
+// silently dropped line would make the downstream gate compare against a
+// truncated document and report the vanished benchmark as the failure,
+// hiding the real cause. Non-benchmark lines (PASS, ok, log output) are
+// ignored as before.
 func parseBench(r io.Reader) (map[string]benchResult, error) {
 	out := map[string]benchResult{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) == 0 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
+		}
+		if len(fields) < 4 {
+			// "BenchmarkFoo" alone is the header go test prints before the
+			// result line when -v interleaves; only lines carrying at least
+			// iterations plus one metric pair are results.
+			if len(fields) == 1 {
+				continue
+			}
+			return nil, fmt.Errorf("malformed benchmark line (want name, iterations, metric pairs): %q", line)
 		}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
-			continue
+			return nil, fmt.Errorf("malformed iteration count in %q: %v", line, err)
 		}
 		res := benchResult{Name: stripProcs(fields[0]), Iterations: iters, Metrics: map[string]float64{}}
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				continue
+				return nil, fmt.Errorf("malformed metric value %q in %q: %v", fields[i], line, err)
 			}
 			res.Metrics[fields[i+1]] = v
 		}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchWellFormed(t *testing.T) {
+	in := `goos: linux
+BenchmarkE1Stab
+BenchmarkE1Stab-8   	    1000	      1234 ns/op	        12.50 ios/op	      64 B/op	       3 allocs/op
+BenchmarkE2-8   	     500	      9876 ns/op
+PASS
+ok  	ccidx	1.234s
+`
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(got))
+	}
+	r := got["BenchmarkE1Stab"]
+	if r.Iterations != 1000 || r.Metrics["ios/op"] != 12.5 || r.Metrics["ns/op"] != 1234 {
+		t.Fatalf("BenchmarkE1Stab parsed as %+v", r)
+	}
+	if _, stripped := got["BenchmarkE1Stab-8"]; stripped {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+}
+
+func TestParseBenchMalformedIterations(t *testing.T) {
+	in := "BenchmarkBroken-8 notanumber 12 ns/op\n"
+	if _, err := parseBench(strings.NewReader(in)); err == nil {
+		t.Fatal("malformed iteration count parsed silently")
+	} else if !strings.Contains(err.Error(), "iteration count") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestParseBenchMalformedMetricValue(t *testing.T) {
+	in := "BenchmarkBroken-8 1000 garbage ns/op\n"
+	if _, err := parseBench(strings.NewReader(in)); err == nil {
+		t.Fatal("malformed metric value parsed silently")
+	} else if !strings.Contains(err.Error(), "metric value") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestParseBenchTruncatedResultLine(t *testing.T) {
+	in := "BenchmarkBroken-8 1000\n"
+	if _, err := parseBench(strings.NewReader(in)); err == nil {
+		t.Fatal("truncated result line parsed silently")
+	}
+}
+
+func TestParseBenchHeaderLineIgnored(t *testing.T) {
+	// `go test -v -bench` prints the bare name before the result line.
+	in := "BenchmarkE1Stab\nBenchmarkE1Stab-8 100 5 ios/op\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["BenchmarkE1Stab"].Metrics["ios/op"] != 5 {
+		t.Fatalf("parsed %+v", got)
+	}
+}

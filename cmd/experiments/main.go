@@ -38,6 +38,7 @@ func main() {
 	qbatch := flag.String("qbatch", "", "comma-separated query batch sizes for E20 (default 1,4,16,64,256,1024)")
 	e20n := flag.Int("e20n", 0, "E20 interval count override (default 100000; CI smoke uses a small value)")
 	e21n := flag.Int("e21n", 0, "E21 interval count override (default 100000; CI smoke uses a small value)")
+	e22n := flag.Int("e22n", 0, "E22 interval count override (default 50000; CI smoke uses a small value)")
 	benchJSON := flag.String("bench-json", "", "parse `go test -bench` output from stdin and write JSON to this file")
 	benchBaseline := flag.String("bench-baseline", "", "optional saved bench output to embed as the before side")
 	flag.Parse()
@@ -64,6 +65,9 @@ func main() {
 	}
 	if *e21n > 0 {
 		harness.E21Intervals = *e21n
+	}
+	if *e22n > 0 {
+		harness.E22Intervals = *e22n
 	}
 
 	if *list {

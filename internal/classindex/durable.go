@@ -261,9 +261,29 @@ func (d *Durable) PrepareCheckpoint(seq uint64) error {
 		return err
 	}
 	if len(d.files) > 1 {
-		return d.files[1].PrepareCheckpoint(seq, tsMarker)
+		if err := d.files[1].PrepareCheckpoint(seq, tsMarker); err != nil {
+			// Neither device may be left prepared on failure: unwind the
+			// B+-tree device so the whole instance stays retryable.
+			if rerr := d.files[0].RollbackCheckpoint(); rerr != nil {
+				return fmt.Errorf("classindex: rolling back bt prepare: %v (original: %w)", rerr, err)
+			}
+			return err
+		}
 	}
 	return nil
+}
+
+// RollbackCheckpoint abandons a prepared (uncommitted) generation on every
+// device, restoring the previous one. The owner calls this when a sibling
+// shard's prepare — or the group manifest write — fails.
+func (d *Durable) RollbackCheckpoint() error {
+	var first error
+	for _, f := range d.files {
+		if err := f.RollbackCheckpoint(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // CommitCheckpoint commits the prepared generation on every device.

@@ -125,10 +125,13 @@ type FileOptions struct {
 }
 
 // pendingCkpt is the state between PrepareCheckpoint and CommitCheckpoint.
+// oldPayload keeps the pre-prepare structure payload so RollbackCheckpoint
+// can restore the device to exactly its pre-prepare state.
 type pendingCkpt struct {
-	seq     uint64
-	newBlob []BlockID
-	oldBlob []BlockID
+	seq        uint64
+	newBlob    []BlockID
+	oldBlob    []BlockID
+	oldPayload []byte
 }
 
 // FileDevice is a file-backed Store. Create or open one with OpenFile.
@@ -493,25 +496,34 @@ func (d *FileDevice) allocLocked() BlockID {
 }
 
 func (d *FileDevice) allocPageLocked() (BlockID, error) {
-	d.allocs.Add(1)
-	d.liveCount.Add(1)
 	if n := len(d.free); n > 0 {
 		id := d.free[n-1]
 		d.free = d.free[:n-1]
 		d.live[id] = true
 		// Reuse must present a zeroed page. The zeroing write is journaled
 		// like any overwrite (the old content may belong to the last
-		// checkpoint) but is not an accounted data I/O.
+		// checkpoint) but is not an accounted data I/O. On failure the page
+		// goes back on the free list: the allocation state is unchanged, so
+		// a failed caller (a mid-prepare fault) leaves nothing leaked.
+		fail := func(err error) (BlockID, error) {
+			d.live[id] = false
+			d.free = append(d.free, id)
+			return NilBlock, err
+		}
 		if err := d.journalLocked(id); err != nil {
-			return NilBlock, fmt.Errorf("journaling reused page %d: %w", id, err)
+			return fail(fmt.Errorf("journaling reused page %d: %w", id, err))
 		}
 		zero := make([]byte, d.pageSize)
 		if err := d.fwrite(zero, d.dataOff(id)); err != nil {
-			return NilBlock, fmt.Errorf("zeroing reused page %d: %w", id, err)
+			return fail(fmt.Errorf("zeroing reused page %d: %w", id, err))
 		}
+		d.allocs.Add(1)
+		d.liveCount.Add(1)
 		return id, nil
 	}
 	d.live = append(d.live, true)
+	d.allocs.Add(1)
+	d.liveCount.Add(1)
 	return BlockID(len(d.live) - 1), nil
 }
 
@@ -826,9 +838,11 @@ func (d *FileDevice) readSlotContent(sb slotInfo) (content []byte, chain []Block
 // plus the caller's opaque payload — as generation seq (which must be
 // Seq()+1), leaving both the previous and the new checkpoint durable on
 // disk. Nothing is committed yet: a crash before CommitCheckpoint (or the
-// caller's own commit record) recovers the previous generation. After a
-// failed Prepare the in-memory allocation state may have consumed free
-// pages; the caller is expected to treat the device as crashed and reopen.
+// caller's own commit record) recovers the previous generation. A failed
+// Prepare rolls its own allocations back before returning, so the device
+// stays at the previous generation and a later Prepare may be retried —
+// the contract multi-device checkpoints rely on when one device of a group
+// fails mid-prepare and the others must be unwound.
 func (d *FileDevice) PrepareCheckpoint(seq uint64, payload []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -846,12 +860,27 @@ func (d *FileDevice) PrepareCheckpoint(seq uint64, payload []byte) error {
 	contentSize := func() int { return 16 + 8*(len(d.free)+len(oldBlob)) + len(payload) }
 
 	var chain []BlockID
+	// fail unwinds the blob-chain pages this call allocated. Their content
+	// is garbage but unreferenced (the superblock slot was never validly
+	// flipped, or if it was, the commit point is elsewhere), so returning
+	// them to the free list restores the exact pre-call allocation state.
+	// The prepared slot is invalidated best-effort so a non-TrustSeq open
+	// cannot adopt a generation whose chain pages were just recycled.
+	fail := func(err error) error {
+		d.invalidateSlotLocked(seq)
+		for _, id := range chain {
+			if ferr := d.freeLocked(id); ferr != nil {
+				return fmt.Errorf("disk: unwinding failed prepare: %v (original: %w)", ferr, err)
+			}
+		}
+		return err
+	}
 	if slotHeader+contentSize() > d.pageSize {
 		capacity := 0
 		for capacity < contentSize() {
 			id, err := d.allocPageLocked()
 			if err != nil {
-				return err
+				return fail(err)
 			}
 			chain = append(chain, id)
 			capacity += d.pageSize - blobPageHeader
@@ -898,31 +927,31 @@ func (d *FileDevice) PrepareCheckpoint(seq uint64, payload []byte) error {
 			binary.LittleEndian.PutUint32(page[8:], uint32(hi-lo))
 			copy(page[blobPageHeader:], content[lo:hi])
 			if err := d.journalLocked(id); err != nil {
-				return err
+				return fail(err)
 			}
 			d.writes.Add(1)
 			if err := d.fwrite(page, d.dataOff(id)); err != nil {
-				return err
+				return fail(err)
 			}
 		}
 		if err := d.sync(); err != nil {
-			return err
+			return fail(err)
 		}
 		if err := d.writeSlot(seq, chain[0], len(content), crc, nil); err != nil {
-			return err
+			return fail(err)
 		}
 	} else {
 		if err := d.sync(); err != nil {
-			return err
+			return fail(err)
 		}
 		if err := d.writeSlot(seq, NilBlock, len(content), crc, content); err != nil {
-			return err
+			return fail(err)
 		}
 	}
 	if err := d.sync(); err != nil {
-		return err
+		return fail(err)
 	}
-	d.pending = &pendingCkpt{seq: seq, newBlob: chain, oldBlob: oldBlob}
+	d.pending = &pendingCkpt{seq: seq, newBlob: chain, oldBlob: oldBlob, oldPayload: d.payload}
 	d.payload = append([]byte(nil), payload...)
 	return nil
 }
@@ -948,6 +977,44 @@ func (d *FileDevice) CommitCheckpoint() error {
 	}
 	d.snapshotProtected()
 	return d.resetJournal()
+}
+
+// RollbackCheckpoint abandons a prepared (uncommitted) checkpoint,
+// restoring the device to exactly its pre-prepare state: the previous
+// payload is the current payload again, the new blob chain's pages return
+// to the free list, and the prepared superblock slot is invalidated
+// best-effort (the committed generation lives in the other slot, and all
+// manager open paths pass a trusted seq, so even a surviving stale slot is
+// never adopted). Multi-device checkpoints call this on every successfully
+// prepared device when a later device's prepare — or the manifest write —
+// fails, leaving the whole group retryable in process.
+func (d *FileDevice) RollbackCheckpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.pending
+	if p == nil {
+		return fmt.Errorf("disk: RollbackCheckpoint without PrepareCheckpoint")
+	}
+	d.pending = nil
+	d.payload = p.oldPayload
+	d.invalidateSlotLocked(p.seq)
+	for _, id := range p.newBlob {
+		if err := d.freeLocked(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// invalidateSlotLocked best-effort clears the superblock slot generation
+// seq occupies so scan-based recovery cannot pick up an abandoned prepare.
+// Errors (including an exhausted fault-injection write budget) are ignored:
+// the write is purely defensive, never load-bearing for correctness of the
+// trusted-seq open paths.
+func (d *FileDevice) invalidateSlotLocked(seq uint64) {
+	zero := make([]byte, d.pageSize)
+	_ = d.fwrite(zero, d.slotOff(int(seq%2)))
+	_ = d.sync()
 }
 
 // Checkpoint prepares and commits in one step — the single-device protocol

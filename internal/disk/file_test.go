@@ -420,3 +420,147 @@ func uniform(n int, b byte) []byte {
 	}
 	return buf
 }
+
+// TestFileDeviceRollbackCheckpoint: a prepared-but-abandoned generation
+// must leave the device at exactly its previous one — payload, seq and
+// allocation state restored — and the same generation must be preparable
+// and committable afterwards.
+func TestFileDeviceRollbackCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.pages")
+	d, err := OpenFile(path, FileOptions{PageSize: testPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []BlockID
+	for i := 0; i < 6; i++ {
+		id := d.Alloc()
+		fill(t, d, id, byte(i+1))
+		ids = append(ids, id)
+	}
+	d.Free(ids[2])
+	p1 := []byte("generation one")
+	if err := d.Checkpoint(p1); err != nil {
+		t.Fatal(err)
+	}
+	allocBefore := d.Allocated()
+
+	// A payload larger than a page forces a blob chain, so the rollback
+	// exercises chain-page freeing, not just the inline slot.
+	big := bytes.Repeat([]byte{0x5A}, 3*testPS)
+	if err := d.PrepareCheckpoint(d.Seq()+1, big); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ReadCheckpoint(); !bytes.Equal(got, big) {
+		t.Fatalf("pending payload = %d bytes, want the prepared one", len(got))
+	}
+	if err := d.RollbackCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RollbackCheckpoint(); err == nil {
+		t.Fatal("second RollbackCheckpoint succeeded with nothing pending")
+	}
+	if got := d.ReadCheckpoint(); !bytes.Equal(got, p1) {
+		t.Fatalf("payload after rollback = %q, want %q", got, p1)
+	}
+	if d.Seq() != 1 {
+		t.Fatalf("seq after rollback = %d, want 1", d.Seq())
+	}
+	if got := d.Allocated(); got != allocBefore {
+		t.Fatalf("allocated after rollback = %d, want %d", got, allocBefore)
+	}
+	for i, id := range ids {
+		if i == 2 {
+			continue
+		}
+		if got := pageByte(t, d, id); got != byte(i+1) {
+			t.Fatalf("page %d = %x after rollback, want %x", id, got, i+1)
+		}
+	}
+
+	// The same generation prepares and commits cleanly after the rollback.
+	if err := d.Checkpoint(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Seq() != 2 {
+		t.Fatalf("reopened at seq %d, want 2", d2.Seq())
+	}
+	if got := d2.ReadCheckpoint(); !bytes.Equal(got, big) {
+		t.Fatalf("reopened payload = %d bytes, want the blob payload", len(got))
+	}
+}
+
+// TestFileDevicePrepareFaultRetry sweeps an injected fault across every
+// write boundary of PrepareCheckpoint and asserts the error (not crash)
+// contract: a failed prepare rolls its own allocations back, the device
+// still reads the previous generation, and the SAME prepare retried with
+// a bigger budget succeeds in process — no reopen.
+func TestFileDevicePrepareFaultRetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.pages")
+	d, err := OpenFile(path, FileOptions{PageSize: testPS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var ids []BlockID
+	for i := 0; i < 8; i++ {
+		id := d.Alloc()
+		fill(t, d, id, byte(i+1))
+		ids = append(ids, id)
+	}
+	// Free some pages so the blob chain allocates via free-list reuse (the
+	// path whose failure must restore the free list).
+	d.Free(ids[1])
+	d.Free(ids[4])
+	p1 := []byte("committed")
+	if err := d.Checkpoint(p1); err != nil {
+		t.Fatal(err)
+	}
+	allocBefore := d.Allocated()
+	big := bytes.Repeat([]byte{0x77}, 3*testPS)
+
+	faults := 0
+	for k := int64(0); ; k++ {
+		if k > 10_000 {
+			t.Fatal("prepare never succeeded")
+		}
+		d.FailAfterWrites(k)
+		err := d.PrepareCheckpoint(d.Seq()+1, big)
+		if err == nil {
+			break
+		}
+		faults++
+		if !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got := d.Allocated(); got != allocBefore {
+			t.Fatalf("k=%d: allocated %d after failed prepare, want %d", k, got, allocBefore)
+		}
+		if got := d.ReadCheckpoint(); !bytes.Equal(got, p1) {
+			t.Fatalf("k=%d: payload drifted after failed prepare", k)
+		}
+		if d.Seq() != 1 {
+			t.Fatalf("k=%d: seq %d after failed prepare", k, d.Seq())
+		}
+	}
+	d.FailAfterWrites(-1)
+	if faults == 0 {
+		t.Fatal("fault injection never fired")
+	}
+	if err := d.CommitCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq() != 2 {
+		t.Fatalf("seq after retried commit = %d, want 2", d.Seq())
+	}
+	if got := d.ReadCheckpoint(); !bytes.Equal(got, big) {
+		t.Fatalf("payload after retried commit = %d bytes", len(got))
+	}
+}

@@ -58,6 +58,7 @@ func All() []Experiment {
 		{"E19", "Churn: weak deletes + global rebuilding", runE19},
 		{"E20", "Batched query execution: shared-traversal reads", runE20},
 		{"E21", "Durable storage: cold-open I/O, durable vs simulated throughput", runE21},
+		{"E22", "Serving front-end: adaptive auto-batching under concurrent load", runE22},
 	}
 }
 

@@ -200,7 +200,10 @@ func (m *Manager) Seq() uint64 {
 // PrepareCheckpoint flushes pooled frames and writes generation seq
 // (= Seq()+1) on both devices without committing it. Callers must have
 // quiesced mutations (checkpointing is a mutation under the manager's
-// concurrency contract).
+// concurrency contract). On failure neither device is left prepared: a
+// prepared endpoints device is rolled back when the stabber device's
+// prepare fails, so the manager stays at the previous generation and the
+// checkpoint may be retried in process.
 func (m *Manager) PrepareCheckpoint(seq uint64) error {
 	if !m.Durable() {
 		return fmt.Errorf("intervals: manager is not file-backed")
@@ -211,7 +214,27 @@ func (m *Manager) PrepareCheckpoint(seq uint64) error {
 	if err := m.files[0].PrepareCheckpoint(seq, m.endpoints.MarshalState()); err != nil {
 		return err
 	}
-	return m.files[1].PrepareCheckpoint(seq, m.stabber.MarshalState())
+	if err := m.files[1].PrepareCheckpoint(seq, m.stabber.MarshalState()); err != nil {
+		if rerr := m.files[0].RollbackCheckpoint(); rerr != nil {
+			return fmt.Errorf("intervals: rolling back endpoints prepare: %v (original: %w)", rerr, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// RollbackCheckpoint abandons a prepared (uncommitted) generation on both
+// devices, restoring the previous one. Multi-manager drivers call this on
+// every successfully prepared manager when a sibling's prepare — or the
+// group manifest write — fails.
+func (m *Manager) RollbackCheckpoint() error {
+	var first error
+	for _, f := range m.files {
+		if err := f.RollbackCheckpoint(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // CommitCheckpoint commits the generation PrepareCheckpoint wrote, after
@@ -244,6 +267,9 @@ func (m *Manager) Checkpoint() error {
 	if err := disk.WriteManifest(m.dirPath, disk.Manifest{
 		Version: 1, Kind: manifestKind, Seq: seq, Meta: metaJSON,
 	}); err != nil {
+		if rerr := m.RollbackCheckpoint(); rerr != nil {
+			return fmt.Errorf("intervals: rolling back after manifest failure: %v (original: %w)", rerr, err)
+		}
 		return err
 	}
 	return m.CommitCheckpoint()

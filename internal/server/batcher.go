@@ -1,0 +1,254 @@
+package server
+
+// Adaptive auto-batching. The server coalesces concurrent single-query
+// requests into calls to the shard layer's batch entry points
+// (StabBatch/IntersectBatch/QueryBatch), which share one traversal per
+// shard across the whole batch and therefore cost far fewer I/Os per query
+// than the same queries issued one at a time.
+//
+// The window is adaptive: a dispatcher goroutine keeps an EWMA of the
+// arrival rate. When traffic is sparse (fewer than two arrivals expected
+// within the maximum wait) a lone request dispatches immediately — batching
+// must not tax an idle server with latency it cannot repay. When traffic is
+// dense the dispatcher waits min(maxWait, time-to-fill-maxBatch), bounded
+// in both time and size.
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// batchReq pairs one enqueued query with its private response channel.
+type batchReq[Q, R any] struct {
+	q    Q
+	ctx  context.Context
+	enq  time.Time
+	resp chan batchResp[R] // buffered(1): dispatcher never blocks on delivery
+}
+
+type batchResp[R any] struct {
+	r   R
+	err error
+}
+
+// batcher coalesces requests of type Q into slices handed to run, then
+// demultiplexes the per-query results of type R back to each caller.
+type batcher[Q, R any] struct {
+	run      func(qs []Q) ([]R, error)
+	maxBatch int
+	maxWait  time.Duration
+	m        *metrics
+
+	in   chan batchReq[Q, R]
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// Dispatcher-goroutine-private EWMA state (no locking needed).
+	rate     float64 // arrivals per second
+	lastSeen time.Time
+}
+
+func newBatcher[Q, R any](maxBatch int, maxWait time.Duration, m *metrics, run func(qs []Q) ([]R, error)) *batcher[Q, R] {
+	b := &batcher[Q, R]{
+		run:      run,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		m:        m,
+		in:       make(chan batchReq[Q, R], maxBatch),
+		done:     make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.dispatch()
+	return b
+}
+
+// close stops the dispatcher. Callers racing close see ErrServerClosed.
+func (b *batcher[Q, R]) close() {
+	close(b.done)
+	b.wg.Wait()
+}
+
+// do submits one query and blocks until its result, the context's end, or
+// server shutdown.
+func (b *batcher[Q, R]) do(ctx context.Context, q Q) (R, error) {
+	var zero R
+	req := batchReq[Q, R]{q: q, ctx: ctx, enq: time.Now(), resp: make(chan batchResp[R], 1)}
+	select {
+	case b.in <- req:
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	case <-b.done:
+		return zero, errServerClosed
+	}
+	select {
+	case resp := <-req.resp:
+		return resp.r, resp.err
+	case <-ctx.Done():
+		// The dispatcher will still process the query (its slot in the batch
+		// is already claimed or will be filtered at collect time); the
+		// buffered channel lets its answer be dropped without blocking.
+		return zero, ctx.Err()
+	}
+}
+
+// observeArrival updates the EWMA arrival rate. The decay constant is the
+// max window itself: bursts shorter than one window dominate, idle gaps
+// longer than a few windows decay the rate back toward zero.
+func (b *batcher[Q, R]) observeArrival(now time.Time) {
+	if b.lastSeen.IsZero() {
+		b.lastSeen = now
+		return
+	}
+	dt := now.Sub(b.lastSeen).Seconds()
+	b.lastSeen = now
+	if dt <= 0 {
+		return
+	}
+	inst := 1.0 / dt
+	tau := b.maxWait.Seconds() * 4
+	if tau <= 0 {
+		tau = 4e-3
+	}
+	alpha := dt / tau
+	if alpha > 1 {
+		alpha = 1
+	}
+	b.rate += alpha * (inst - b.rate)
+}
+
+// window picks how long to hold the current batch open. With an expected
+// inter-arrival count below two inside maxWait, waiting buys nothing —
+// dispatch now. Otherwise wait long enough to plausibly fill maxBatch, but
+// never beyond maxWait.
+func (b *batcher[Q, R]) window() time.Duration {
+	expected := b.rate * b.maxWait.Seconds()
+	if expected < 2 {
+		return 0
+	}
+	fill := time.Duration(float64(b.maxBatch) / b.rate * float64(time.Second))
+	if fill < b.maxWait {
+		return fill
+	}
+	return b.maxWait
+}
+
+func (b *batcher[Q, R]) dispatch() {
+	defer b.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		// Phase 1: block for the first request of the next batch.
+		var first batchReq[Q, R]
+		select {
+		case first = <-b.in:
+		case <-b.done:
+			b.drain()
+			return
+		}
+		now := time.Now()
+		b.observeArrival(now)
+		batch := []batchReq[Q, R]{first}
+
+		// Phase 2: hold the window open, collecting until size or time bound.
+		if w := b.window(); w > 0 {
+			timer.Reset(w)
+		collect:
+			for len(batch) < b.maxBatch {
+				select {
+				case req := <-b.in:
+					b.observeArrival(time.Now())
+					batch = append(batch, req)
+				case <-timer.C:
+					break collect
+				case <-b.done:
+					break collect
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		} else {
+			// Zero window: still sweep whatever already queued up — a burst
+			// that landed between dispatches should not serialize.
+		sweep:
+			for len(batch) < b.maxBatch {
+				select {
+				case req := <-b.in:
+					b.observeArrival(time.Now())
+					batch = append(batch, req)
+				default:
+					break sweep
+				}
+			}
+		}
+		b.runBatch(batch)
+	}
+}
+
+// runBatch filters expired requests, executes the rest through run, and
+// demultiplexes results. A panic in run is converted into a per-request
+// error: the serving loop must survive a malformed query.
+func (b *batcher[Q, R]) runBatch(batch []batchReq[Q, R]) {
+	live := batch[:0]
+	for _, req := range batch {
+		select {
+		case <-req.ctx.Done():
+			// Caller already gone; never spend backend work on it.
+		default:
+			live = append(live, req)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	dispatchTime := time.Now()
+	for _, req := range live {
+		b.m.batchWait.Observe(dispatchTime.Sub(req.enq).Seconds())
+	}
+	b.m.batches.Observe(float64(len(live)))
+
+	qs := make([]Q, len(live))
+	for i, req := range live {
+		qs[i] = req.q
+	}
+	rs, err := b.safeRun(qs)
+	if err == nil && len(rs) != len(qs) {
+		err = fmt.Errorf("batch backend returned %d results for %d queries", len(rs), len(qs))
+	}
+	for i, req := range live {
+		if err != nil {
+			req.resp <- batchResp[R]{err: err}
+			continue
+		}
+		req.resp <- batchResp[R]{r: rs[i]}
+	}
+}
+
+func (b *batcher[Q, R]) safeRun(qs []Q) (rs []R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("batch backend panic: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return b.run(qs)
+}
+
+// drain answers everything still queued at shutdown with errServerClosed.
+func (b *batcher[Q, R]) drain() {
+	for {
+		select {
+		case req := <-b.in:
+			req.resp <- batchResp[R]{err: errServerClosed}
+		default:
+			return
+		}
+	}
+}

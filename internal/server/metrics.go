@@ -1,0 +1,199 @@
+package server
+
+// Hand-rolled metrics with Prometheus text exposition — counters, callback
+// gauges and bucketed histograms — so the serving front-end ships a
+// /metrics endpoint without any dependency beyond the standard library.
+// The histogram buckets double per step, which is what the two measured
+// quantities want: request latency (sub-50µs pool hits through multi-ms
+// batched traversals) and batch size (1..MaxBatch, powers of two).
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// counter is a monotonically increasing metric.
+type counter struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+func (c *counter) Add(n int64) { c.v.Add(n) }
+func (c *counter) Inc()        { c.v.Add(1) }
+func (c *counter) Load() int64 { return c.v.Load() }
+
+// gauge reports a point-in-time value through a callback, so backend state
+// (interval count, pool hit rate, checkpoint seq) is read at scrape time
+// instead of being pushed on every mutation.
+type gauge struct {
+	name string
+	help string
+	fn   func() float64
+}
+
+// histogram is a fixed-bucket distribution. Buckets are cumulative at
+// exposition time (Prometheus convention); observation is a single atomic
+// increment on the first bucket whose upper bound holds the value.
+type histogram struct {
+	name   string
+	help   string
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(name, help string, bounds []float64) *histogram {
+	return &histogram{name: name, help: help, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// expBuckets returns n upper bounds start, 2*start, 4*start, ...
+func expBuckets(start float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+func (h *histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the owning bucket — the standard Prometheus histogram_quantile
+// estimate. Returns 0 with no observations; values in the overflow bucket
+// clamp to the last finite bound.
+func (h *histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			if i == len(h.bounds) { // overflow bucket
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if c == 0 {
+				return h.bounds[i]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lower + (h.bounds[i]-lower)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Mean returns the arithmetic mean of all observations (0 when empty).
+func (h *histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load()) / float64(n)
+}
+
+func (h *histogram) Count() int64 { return h.count.Load() }
+
+// metrics is the server's registry. Construction wires every metric the
+// DESIGN.md catalog lists; Backend-derived gauges are attached by the
+// server once it knows its backends.
+type metrics struct {
+	mu     sync.Mutex
+	ctrs   []*counter
+	gauges []*gauge
+	hists  []*histogram
+
+	requests *counter // by (endpoint, code) would need labels; totals suffice here
+	shed     *counter
+	timeouts *counter
+	errors   *counter
+
+	batches   *histogram // batch sizes actually dispatched
+	latency   *histogram // end-to-end request seconds
+	batchWait *histogram // time a request waited for its batch window
+}
+
+func newMetrics() *metrics {
+	m := &metrics{}
+	m.requests = m.counter("ccidx_requests_total", "Requests accepted (admitted past load shedding).")
+	m.shed = m.counter("ccidx_shed_total", "Requests rejected by admission control (503).")
+	m.timeouts = m.counter("ccidx_timeouts_total", "Requests that exceeded their deadline (504).")
+	m.errors = m.counter("ccidx_errors_total", "Requests that failed with a client or server error.")
+	m.batches = m.histogram("ccidx_batch_size", "Coalesced batch sizes per dispatch.", expBuckets(1, 12))
+	m.latency = m.histogram("ccidx_request_seconds", "End-to-end request latency.", expBuckets(50e-6, 20))
+	m.batchWait = m.histogram("ccidx_batch_wait_seconds", "Time spent waiting for the batch window.", expBuckets(25e-6, 16))
+	return m
+}
+
+func (m *metrics) counter(name, help string) *counter {
+	c := &counter{name: name, help: help}
+	m.mu.Lock()
+	m.ctrs = append(m.ctrs, c)
+	m.mu.Unlock()
+	return c
+}
+
+func (m *metrics) gaugeFunc(name, help string, fn func() float64) {
+	m.mu.Lock()
+	m.gauges = append(m.gauges, &gauge{name: name, help: help, fn: fn})
+	m.mu.Unlock()
+}
+
+func (m *metrics) histogram(name, help string, bounds []float64) *histogram {
+	h := newHistogram(name, help, bounds)
+	m.mu.Lock()
+	m.hists = append(m.hists, h)
+	m.mu.Unlock()
+	return h
+}
+
+// render writes the Prometheus text exposition format (version 0.0.4).
+func (m *metrics) render(w io.Writer) {
+	m.mu.Lock()
+	ctrs := append([]*counter(nil), m.ctrs...)
+	gauges := append([]*gauge(nil), m.gauges...)
+	hists := append([]*histogram(nil), m.hists...)
+	m.mu.Unlock()
+	for _, c := range ctrs {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.Load())
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", g.name, g.help, g.name, g.name, g.fn())
+	}
+	for _, h := range hists {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+		var cum int64
+		for i, ub := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", h.name, ub, cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", h.name, math.Float64frombits(h.sum.Load()))
+		fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+	}
+}

@@ -1,0 +1,462 @@
+// Package server is the HTTP serving front-end over the sharded interval
+// manager and class index. Its job is to convert concurrent single-query
+// network traffic into the shard layer's batch entry points (StabBatch /
+// IntersectBatch / QueryBatch) through an adaptive auto-batching window,
+// while enforcing per-request deadlines and admission control so overload
+// degrades by shedding instead of by collapse.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ccidx/internal/geom"
+	"ccidx/internal/shard"
+)
+
+var errServerClosed = errors.New("server: closed")
+
+// Backend is what the server serves. Intervals is required; Classes is
+// optional (class endpoints 404 without it).
+type Backend struct {
+	Intervals *shard.Intervals
+	Classes   *shard.Classes
+}
+
+// Config bounds the server's resources. Zero values take the defaults.
+type Config struct {
+	// MaxBatch caps how many coalesced queries one dispatch hands to the
+	// shard layer. Default 1024.
+	MaxBatch int
+	// MaxWait caps how long an admitted query may be held waiting for its
+	// batch to fill. Default 1ms.
+	MaxWait time.Duration
+	// MaxInFlight caps concurrently admitted requests; beyond it requests
+	// are shed with 503. Default 1024.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline (504 on expiry). Default 2s.
+	RequestTimeout time.Duration
+	// DisableBatching routes queries one at a time straight to the
+	// sequential shard paths — the experimental control arm.
+	DisableBatching bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = time.Millisecond
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// attrPair is one class-query result row.
+type attrPair struct {
+	Attr int64  `json:"attr"`
+	ID   uint64 `json:"id"`
+}
+
+// Server is the HTTP front-end. Create with New, serve its Handler, Close
+// when done (Close stops the batch dispatchers, not the backend).
+type Server struct {
+	cfg Config
+	b   Backend
+	m   *metrics
+	mux *http.ServeMux
+
+	admit chan struct{} // admission semaphore
+
+	// ckptMu serializes checkpoints against mutations: mutations hold the
+	// read side so a checkpoint captures a buffer boundary, never a torn
+	// multi-structure update.
+	ckptMu sync.RWMutex
+
+	stab      *batcher[int64, []geom.Interval]
+	intersect *batcher[geom.Interval, []geom.Interval]
+	class     *batcher[shard.ClassQuery, []attrPair]
+
+	closeOnce sync.Once
+}
+
+// New wires a server over backend. The returned server owns three batch
+// dispatcher goroutines until Close.
+func New(b Backend, cfg Config) (*Server, error) {
+	if b.Intervals == nil {
+		return nil, fmt.Errorf("server: Backend.Intervals is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		b:     b,
+		m:     newMetrics(),
+		admit: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.stab = newBatcher(cfg.MaxBatch, cfg.MaxWait, s.m, func(qs []int64) ([][]geom.Interval, error) {
+		out := make([][]geom.Interval, len(qs))
+		b.Intervals.StabBatch(qs, func(qi int, iv geom.Interval) bool {
+			out[qi] = append(out[qi], iv)
+			return true
+		})
+		return out, nil
+	})
+	s.intersect = newBatcher(cfg.MaxBatch, cfg.MaxWait, s.m, func(qs []geom.Interval) ([][]geom.Interval, error) {
+		out := make([][]geom.Interval, len(qs))
+		b.Intervals.IntersectBatch(qs, func(qi int, iv geom.Interval) bool {
+			out[qi] = append(out[qi], iv)
+			return true
+		})
+		return out, nil
+	})
+	if b.Classes != nil {
+		s.class = newBatcher(cfg.MaxBatch, cfg.MaxWait, s.m, func(qs []shard.ClassQuery) ([][]attrPair, error) {
+			out := make([][]attrPair, len(qs))
+			b.Classes.QueryBatch(qs, func(qi int, attr int64, id uint64) bool {
+				out[qi] = append(out[qi], attrPair{attr, id})
+				return true
+			})
+			return out, nil
+		})
+	}
+	s.m.gaugeFunc("ccidx_intervals", "Live intervals across all shards.", func() float64 {
+		return float64(b.Intervals.Len())
+	})
+	s.m.gaugeFunc("ccidx_ios_total", "Cumulative page I/Os (reads+writes) across interval shards.", func() float64 {
+		return float64(b.Intervals.Stats().IOs())
+	})
+	s.m.gaugeFunc("ccidx_pool_hit_rate", "Buffer-pool hit rate across interval shards.", func() float64 {
+		h, miss := b.Intervals.PoolStats()
+		if h+miss == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+miss)
+	})
+	s.m.gaugeFunc("ccidx_rebuilds_total", "Global rebuilds across interval shards.", func() float64 {
+		return float64(b.Intervals.Rebuilds())
+	})
+	s.m.gaugeFunc("ccidx_inflight", "Currently admitted requests.", func() float64 {
+		return float64(len(s.admit))
+	})
+	s.buildMux()
+	return s, nil
+}
+
+// Close stops the batch dispatchers. Requests racing Close get 500s with
+// errServerClosed; the backend is left for the caller to close.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.stab.close()
+		s.intersect.close()
+		if s.class != nil {
+			s.class.close()
+		}
+	})
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics access for in-process harnesses (E22 reads quantiles directly
+// instead of re-parsing its own exposition text).
+func (s *Server) LatencyQuantile(q float64) float64 { return s.m.latency.Quantile(q) }
+func (s *Server) BatchMean() float64                { return s.m.batches.Mean() }
+func (s *Server) BatchCount() int64                 { return s.m.batches.Count() }
+func (s *Server) RequestCount() int64               { return s.m.requests.Load() }
+func (s *Server) ShedCount() int64                  { return s.m.shed.Load() }
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.m.render(w)
+	})
+	mux.HandleFunc("/v1/stats", s.guard(http.MethodGet, s.handleStats))
+	mux.HandleFunc("/v1/stab", s.guard(http.MethodGet, s.handleStab))
+	mux.HandleFunc("/v1/intersect", s.guard(http.MethodGet, s.handleIntersect))
+	mux.HandleFunc("/v1/class", s.guard(http.MethodGet, s.handleClass))
+	mux.HandleFunc("/v1/insert", s.guard(http.MethodPost, s.handleInsert))
+	mux.HandleFunc("/v1/delete", s.guard(http.MethodPost, s.handleDelete))
+	mux.HandleFunc("/v1/flush", s.guard(http.MethodPost, s.handleFlush))
+	mux.HandleFunc("/v1/checkpoint", s.guard(http.MethodPost, s.handleCheckpoint))
+	s.mux = mux
+}
+
+// guard is the shared request spine: method check, admission control with
+// load shedding, per-request deadline, latency and outcome accounting.
+func (s *Server) guard(method string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		select {
+		case s.admit <- struct{}{}:
+			defer func() { <-s.admit }()
+		default:
+			s.m.shed.Inc()
+			http.Error(w, "overloaded, request shed", http.StatusServiceUnavailable)
+			return
+		}
+		s.m.requests.Inc()
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		err := h(ctx, w, r.WithContext(ctx))
+		s.m.latency.Observe(time.Since(start).Seconds())
+		switch {
+		case err == nil:
+		case errors.Is(err, context.DeadlineExceeded):
+			s.m.timeouts.Inc()
+			http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		case errors.Is(err, context.Canceled):
+			// Client went away; nothing useful to write.
+		case errors.Is(err, errBadRequest):
+			s.m.errors.Inc()
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			s.m.errors.Inc()
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+var errBadRequest = errors.New("bad request")
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errBadRequest}, args...)...)
+}
+
+func qInt(r *http.Request, name string) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, badRequestf("missing parameter %q", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, badRequestf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// ivRow is the wire form of one interval result.
+type ivRow struct {
+	Lo int64  `json:"lo"`
+	Hi int64  `json:"hi"`
+	ID uint64 `json:"id"`
+}
+
+func ivRows(ivs []geom.Interval) []ivRow {
+	rows := make([]ivRow, len(ivs))
+	for i, iv := range ivs {
+		rows[i] = ivRow{iv.Lo, iv.Hi, iv.ID}
+	}
+	return rows
+}
+
+func (s *Server) handleStab(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	q, err := qInt(r, "q")
+	if err != nil {
+		return err
+	}
+	var ivs []geom.Interval
+	if s.cfg.DisableBatching {
+		s.b.Intervals.Stab(q, func(iv geom.Interval) bool {
+			ivs = append(ivs, iv)
+			return true
+		})
+	} else if ivs, err = s.stab.do(ctx, q); err != nil {
+		return err
+	}
+	return writeJSON(w, ivRows(ivs))
+}
+
+func (s *Server) handleIntersect(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	lo, err := qInt(r, "lo")
+	if err != nil {
+		return err
+	}
+	hi, err := qInt(r, "hi")
+	if err != nil {
+		return err
+	}
+	if lo > hi {
+		return badRequestf("lo %d > hi %d", lo, hi)
+	}
+	q := geom.Interval{Lo: lo, Hi: hi}
+	var ivs []geom.Interval
+	if s.cfg.DisableBatching {
+		s.b.Intervals.Intersect(q, func(iv geom.Interval) bool {
+			ivs = append(ivs, iv)
+			return true
+		})
+	} else if ivs, err = s.intersect.do(ctx, q); err != nil {
+		return err
+	}
+	return writeJSON(w, ivRows(ivs))
+}
+
+func (s *Server) handleClass(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	if s.b.Classes == nil {
+		return badRequestf("no class index attached")
+	}
+	class, err := qInt(r, "class")
+	if err != nil {
+		return err
+	}
+	a1, err := qInt(r, "a1")
+	if err != nil {
+		return err
+	}
+	a2, err := qInt(r, "a2")
+	if err != nil {
+		return err
+	}
+	if a1 > a2 {
+		return badRequestf("a1 %d > a2 %d", a1, a2)
+	}
+	cq := shard.ClassQuery{Class: int(class), A1: a1, A2: a2}
+	var rows []attrPair
+	if s.cfg.DisableBatching {
+		s.b.Classes.Query(cq.Class, cq.A1, cq.A2, func(attr int64, id uint64) bool {
+			rows = append(rows, attrPair{attr, id})
+			return true
+		})
+	} else if rows, err = s.class.do(ctx, cq); err != nil {
+		return err
+	}
+	if rows == nil {
+		rows = []attrPair{}
+	}
+	return writeJSON(w, rows)
+}
+
+func (s *Server) handleInsert(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	lo, err := qInt(r, "lo")
+	if err != nil {
+		return err
+	}
+	hi, err := qInt(r, "hi")
+	if err != nil {
+		return err
+	}
+	id, err := qInt(r, "id")
+	if err != nil {
+		return err
+	}
+	if lo > hi {
+		return badRequestf("lo %d > hi %d", lo, hi)
+	}
+	s.ckptMu.RLock()
+	s.b.Intervals.Insert(geom.Interval{Lo: lo, Hi: hi, ID: uint64(id)})
+	s.ckptMu.RUnlock()
+	return writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleDelete(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	id, err := qInt(r, "id")
+	if err != nil {
+		return err
+	}
+	s.ckptMu.RLock()
+	found := s.b.Intervals.Delete(uint64(id))
+	s.ckptMu.RUnlock()
+	return writeJSON(w, map[string]bool{"ok": true, "found": found})
+}
+
+func (s *Server) handleFlush(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	s.ckptMu.RLock()
+	s.b.Intervals.Flush()
+	if s.b.Classes != nil {
+		s.b.Classes.Flush()
+	}
+	s.ckptMu.RUnlock()
+	return writeJSON(w, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleCheckpoint(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	if !s.b.Intervals.Durable() {
+		return badRequestf("backend is in-memory; nothing to checkpoint")
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if err := s.b.Intervals.Checkpoint(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if s.b.Classes != nil && s.b.Classes.Durable() {
+		if err := s.b.Classes.Checkpoint(); err != nil {
+			return fmt.Errorf("class checkpoint: %w", err)
+		}
+	}
+	return writeJSON(w, map[string]any{"ok": true, "seq": s.b.Intervals.Seq()})
+}
+
+// statsDoc is the /v1/stats document — the load generator and E22 read
+// these counters as deltas to compute ios/query per phase.
+type statsDoc struct {
+	Intervals   int     `json:"intervals"`
+	Reads       int64   `json:"reads"`
+	Writes      int64   `json:"writes"`
+	IOs         int64   `json:"ios"`
+	PoolHits    int64   `json:"pool_hits"`
+	PoolMisses  int64   `json:"pool_misses"`
+	Rebuilds    int     `json:"rebuilds"`
+	Requests    int64   `json:"requests"`
+	Shed        int64   `json:"shed"`
+	Timeouts    int64   `json:"timeouts"`
+	Errors      int64   `json:"errors"`
+	Batches     int64   `json:"batches"`
+	BatchMean   float64 `json:"batch_mean"`
+	LatencyP50  float64 `json:"latency_p50_s"`
+	LatencyP95  float64 `json:"latency_p95_s"`
+	LatencyP99  float64 `json:"latency_p99_s"`
+	LatencyMean float64 `json:"latency_mean_s"`
+}
+
+func (s *Server) handleStats(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	st := s.b.Intervals.Stats()
+	hits, misses := s.b.Intervals.PoolStats()
+	if s.b.Classes != nil {
+		cst := s.b.Classes.Stats()
+		st.Reads += cst.Reads
+		st.Writes += cst.Writes
+	}
+	return writeJSON(w, statsDoc{
+		Intervals:   s.b.Intervals.Len(),
+		Reads:       st.Reads,
+		Writes:      st.Writes,
+		IOs:         st.IOs(),
+		PoolHits:    hits,
+		PoolMisses:  misses,
+		Rebuilds:    s.b.Intervals.Rebuilds(),
+		Requests:    s.m.requests.Load(),
+		Shed:        s.m.shed.Load(),
+		Timeouts:    s.m.timeouts.Load(),
+		Errors:      s.m.errors.Load(),
+		Batches:     s.m.batches.Count(),
+		BatchMean:   s.m.batches.Mean(),
+		LatencyP50:  s.m.latency.Quantile(0.50),
+		LatencyP95:  s.m.latency.Quantile(0.95),
+		LatencyP99:  s.m.latency.Quantile(0.99),
+		LatencyMean: s.m.latency.Mean(),
+	})
+}

@@ -1,0 +1,520 @@
+package server
+
+// Server tests. The load-bearing one is the batch-equals-sequential oracle
+// THROUGH the HTTP path with batching enabled: concurrent clients must get
+// byte-identical answers to sequential backend calls even while the
+// auto-batcher coalesces them into shared traversals (the PR's acceptance
+// criterion). The rest pin shedding, timeouts, coalescing, bad-request
+// handling, mutation visibility, checkpointing, and the metrics surface.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ccidx/internal/classindex"
+	"ccidx/internal/geom"
+	"ccidx/internal/intervals"
+	"ccidx/internal/shard"
+	"ccidx/internal/workload"
+)
+
+const testSpan = int64(4000)
+
+func newTestBackend(t *testing.T) Backend {
+	t.Helper()
+	ivs := workload.UniformIntervals(41, 600, testSpan, 300)
+	im := shard.NewIntervals(shard.Config{
+		Shards: 4, B: 8, Batch: 32,
+		Partition: shard.PartitionRange, Span: testSpan, PoolFrames: -1,
+	}, ivs[:400])
+	for _, iv := range ivs[400:] {
+		im.Insert(iv) // leave a populated pending buffer behind the index
+	}
+	h := workload.RandomHierarchy(47, 12)
+	cs := shard.NewClasses(shard.Config{
+		Shards: 3, B: 8, Batch: 64,
+		Partition: shard.PartitionRange, Span: testSpan, PoolFrames: -1,
+	}, h, func() shard.ClassIndex { return classindex.NewSimple(h, 8) })
+	for _, o := range workload.Objects(53, h, 400, testSpan) {
+		cs.Insert(o)
+	}
+	return Backend{Intervals: im, Classes: cs}
+}
+
+func newTestServer(t *testing.T, b Backend, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}
+
+func postStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func sortRows(rows []ivRow) {
+	sort.Slice(rows, func(a, b int) bool { return rows[a].ID < rows[b].ID })
+}
+
+func sortPairs(rows []attrPair) {
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].ID != rows[b].ID {
+			return rows[a].ID < rows[b].ID
+		}
+		return rows[a].Attr < rows[b].Attr
+	})
+}
+
+func seqStab(b Backend, q int64) []ivRow {
+	var out []geom.Interval
+	b.Intervals.Stab(q, func(iv geom.Interval) bool { out = append(out, iv); return true })
+	rows := ivRows(out)
+	sortRows(rows)
+	return rows
+}
+
+func seqIntersect(b Backend, q geom.Interval) []ivRow {
+	var out []geom.Interval
+	b.Intervals.Intersect(q, func(iv geom.Interval) bool { out = append(out, iv); return true })
+	rows := ivRows(out)
+	sortRows(rows)
+	return rows
+}
+
+func seqClass(b Backend, q shard.ClassQuery) []attrPair {
+	out := []attrPair{}
+	b.Classes.Query(q.Class, q.A1, q.A2, func(attr int64, id uint64) bool {
+		out = append(out, attrPair{attr, id})
+		return true
+	})
+	sortPairs(out)
+	return out
+}
+
+// TestServerBatchEqualsSequential is the serving-path oracle: many
+// concurrent clients with batching ON, every HTTP answer compared to the
+// sequential backend call for the same query.
+func TestServerBatchEqualsSequential(t *testing.T) {
+	b := newTestBackend(t)
+	_, ts := newTestServer(t, b, Config{MaxWait: 500 * time.Microsecond})
+
+	const clients = 8
+	const perClient = 40
+	h := workload.RandomHierarchy(47, 12) // same seed as backend: identical shape
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				x := int64((c*perClient+i)*31) % testSpan
+				switch i % 3 {
+				case 0:
+					var got []ivRow
+					getJSON(t, fmt.Sprintf("%s/v1/stab?q=%d", ts.URL, x), &got)
+					sortRows(got)
+					want := seqStab(b, x)
+					if !rowsEqual(got, want) {
+						errs <- fmt.Errorf("stab(%d): got %d rows, want %d", x, len(got), len(want))
+						return
+					}
+				case 1:
+					q := geom.Interval{Lo: x, Hi: x + 200}
+					var got []ivRow
+					getJSON(t, fmt.Sprintf("%s/v1/intersect?lo=%d&hi=%d", ts.URL, q.Lo, q.Hi), &got)
+					sortRows(got)
+					want := seqIntersect(b, q)
+					if !rowsEqual(got, want) {
+						errs <- fmt.Errorf("intersect(%v): got %d rows, want %d", q, len(got), len(want))
+						return
+					}
+				default:
+					cq := shard.ClassQuery{Class: (c + i) % h.Len(), A1: 0, A2: x}
+					var got []attrPair
+					getJSON(t, fmt.Sprintf("%s/v1/class?class=%d&a1=%d&a2=%d", ts.URL, cq.Class, cq.A1, cq.A2), &got)
+					sortPairs(got)
+					want := seqClass(b, cq)
+					if !pairsEqual(got, want) {
+						errs <- fmt.Errorf("class(%+v): got %d rows, want %d", cq, len(got), len(want))
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func rowsEqual(a, b []ivRow) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pairsEqual(a, b []attrPair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServerCoalesces: a concurrent burst must dispatch in fewer batches
+// than requests — even at zero adaptive window the dispatcher sweeps the
+// queue, so coalescing needs no timing luck.
+func TestServerCoalesces(t *testing.T) {
+	b := newTestBackend(t)
+	s, ts := newTestServer(t, b, Config{MaxWait: 2 * time.Millisecond})
+
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var got []ivRow
+			getJSON(t, fmt.Sprintf("%s/v1/stab?q=%d", ts.URL, int64(i*17)%testSpan), &got)
+		}(i)
+	}
+	wg.Wait()
+	if s.BatchCount() >= n {
+		t.Fatalf("no coalescing: %d batches for %d requests", s.BatchCount(), n)
+	}
+	if s.BatchMean() <= 1.0 {
+		t.Fatalf("batch mean %.2f, want > 1 under a %d-way concurrent burst", s.BatchMean(), n)
+	}
+	t.Logf("batches=%d mean=%.1f for %d requests", s.BatchCount(), s.BatchMean(), n)
+}
+
+// TestServerSheds: with the admission semaphore already full, the next
+// request is rejected 503 and counted, not queued.
+func TestServerSheds(t *testing.T) {
+	b := newTestBackend(t)
+	s, ts := newTestServer(t, b, Config{MaxInFlight: 1})
+
+	s.admit <- struct{}{} // occupy the only slot
+	resp, err := http.Get(ts.URL + "/v1/stab?q=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	<-s.admit
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if s.ShedCount() != 1 {
+		t.Fatalf("shed counter %d, want 1", s.ShedCount())
+	}
+	// Slot free again: the same request now succeeds.
+	var got []ivRow
+	getJSON(t, ts.URL+"/v1/stab?q=100", &got)
+}
+
+// TestServerTimeout: an already-expired deadline surfaces as 504 and the
+// timeout counter moves.
+func TestServerTimeout(t *testing.T) {
+	b := newTestBackend(t)
+	_, ts := newTestServer(t, b, Config{RequestTimeout: time.Nanosecond})
+
+	resp, err := http.Get(ts.URL + "/v1/stab?q=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestServerBadRequests: malformed queries are 400s, never 500s, and never
+// reach the backend.
+func TestServerBadRequests(t *testing.T) {
+	b := newTestBackend(t)
+	_, ts := newTestServer(t, b, Config{})
+
+	cases := []string{
+		"/v1/stab",                    // missing q
+		"/v1/stab?q=notanumber",       // unparsable
+		"/v1/intersect?lo=5&hi=1",     // inverted
+		"/v1/intersect?lo=5",          // missing hi
+		"/v1/class?class=0&a1=9&a2=1", // inverted attr range
+		"/v1/class?class=x&a1=0&a2=1", // unparsable class
+	}
+	for _, path := range cases {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+	if code := postStatus(t, ts.URL+"/v1/insert?lo=5&hi=1&id=9"); code != http.StatusBadRequest {
+		t.Errorf("inverted insert: status %d, want 400", code)
+	}
+	// Wrong method.
+	if code := postStatus(t, ts.URL+"/v1/stab?q=1"); code != http.StatusMethodNotAllowed {
+		t.Errorf("POST to stab: status %d, want 405", code)
+	}
+}
+
+// TestServerMutations: inserts and deletes through the HTTP path are
+// immediately visible to queries through the HTTP path.
+func TestServerMutations(t *testing.T) {
+	b := newTestBackend(t)
+	_, ts := newTestServer(t, b, Config{})
+
+	if code := postStatus(t, ts.URL+"/v1/insert?lo=100&hi=110&id=999999"); code != http.StatusOK {
+		t.Fatalf("insert: status %d", code)
+	}
+	var got []ivRow
+	getJSON(t, ts.URL+"/v1/stab?q=105", &got)
+	found := false
+	for _, r := range got {
+		if r.ID == 999999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted interval not visible to stab")
+	}
+	if code := postStatus(t, ts.URL+"/v1/delete?id=999999"); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	if code := postStatus(t, ts.URL+"/v1/flush"); code != http.StatusOK {
+		t.Fatalf("flush: status %d", code)
+	}
+	got = nil
+	getJSON(t, ts.URL+"/v1/stab?q=105", &got)
+	for _, r := range got {
+		if r.ID == 999999 {
+			t.Fatal("deleted interval still visible to stab")
+		}
+	}
+}
+
+// TestServerCheckpoint: 400 on an in-memory backend; on a durable backend
+// the checkpoint succeeds and bumps the superblock sequence.
+func TestServerCheckpoint(t *testing.T) {
+	b := newTestBackend(t)
+	_, ts := newTestServer(t, b, Config{})
+	if code := postStatus(t, ts.URL+"/v1/checkpoint"); code != http.StatusBadRequest {
+		t.Fatalf("in-memory checkpoint: status %d, want 400", code)
+	}
+
+	dir := t.TempDir()
+	ivs := workload.UniformIntervals(61, 200, testSpan, 250)
+	dm, err := shard.CreateIntervalsAt(dir, shard.Config{
+		Shards: 2, B: 8, Batch: 16,
+		Partition: shard.PartitionRange, Span: testSpan, PoolFrames: 32,
+	}, ivs, intervals.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dm.Close()
+	_, dts := newTestServer(t, Backend{Intervals: dm}, Config{})
+	seq0 := dm.Seq()
+	if code := postStatus(t, dts.URL+"/v1/insert?lo=1&hi=2&id=777"); code != http.StatusOK {
+		t.Fatalf("durable insert: status %d", code)
+	}
+	if code := postStatus(t, dts.URL+"/v1/checkpoint"); code != http.StatusOK {
+		t.Fatalf("durable checkpoint: status %d", code)
+	}
+	if dm.Seq() != seq0+1 {
+		t.Fatalf("seq %d after checkpoint, want %d", dm.Seq(), seq0+1)
+	}
+}
+
+// TestServerStatsAndMetrics: both observability surfaces render and carry
+// the counters the load generator depends on.
+func TestServerStatsAndMetrics(t *testing.T) {
+	b := newTestBackend(t)
+	_, ts := newTestServer(t, b, Config{})
+
+	for i := 0; i < 10; i++ {
+		var got []ivRow
+		getJSON(t, fmt.Sprintf("%s/v1/stab?q=%d", ts.URL, i*100), &got)
+	}
+	var st statsDoc
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Requests < 10 {
+		t.Fatalf("stats requests %d, want >= 10", st.Requests)
+	}
+	if st.Intervals != b.Intervals.Len() {
+		t.Fatalf("stats intervals %d, want %d", st.Intervals, b.Intervals.Len())
+	}
+	if st.Batches == 0 || st.LatencyP50 <= 0 {
+		t.Fatalf("stats missing batch/latency data: %+v", st)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"ccidx_requests_total", "ccidx_shed_total", "ccidx_timeouts_total",
+		"ccidx_batch_size_bucket", "ccidx_request_seconds_bucket",
+		"ccidx_intervals", "ccidx_pool_hit_rate", "ccidx_rebuilds_total",
+		"ccidx_request_seconds_sum", "ccidx_request_seconds_count",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServerBatchingDisabled: the control arm answers identically with no
+// batch dispatches at all.
+func TestServerBatchingDisabled(t *testing.T) {
+	b := newTestBackend(t)
+	s, ts := newTestServer(t, b, Config{DisableBatching: true})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			x := int64(i*37) % testSpan
+			var got []ivRow
+			getJSON(t, fmt.Sprintf("%s/v1/stab?q=%d", ts.URL, x), &got)
+			sortRows(got)
+			want := seqStab(b, x)
+			if !rowsEqual(got, want) {
+				t.Errorf("stab(%d) with batching off: got %d rows, want %d", x, len(got), len(want))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.BatchCount() != 0 {
+		t.Fatalf("batching disabled but %d batches dispatched", s.BatchCount())
+	}
+}
+
+// TestBatcherPanicRecovery: a panicking backend fails the one batch with an
+// error but leaves the dispatcher alive for the next request.
+func TestBatcherPanicRecovery(t *testing.T) {
+	m := newMetrics()
+	calls := 0
+	bt := newBatcher(8, time.Millisecond, m, func(qs []int) ([]int, error) {
+		calls++
+		if calls == 1 {
+			panic("injected")
+		}
+		out := make([]int, len(qs))
+		for i, q := range qs {
+			out[i] = q * 2
+		}
+		return out, nil
+	})
+	defer bt.close()
+	ctx := contextWithTimeout(t)
+	if _, err := bt.do(ctx, 1); err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("panic not surfaced as error: %v", err)
+	}
+	got, err := bt.do(ctx, 21)
+	if err != nil || got != 42 {
+		t.Fatalf("dispatcher dead after panic: %v %v", got, err)
+	}
+}
+
+// TestBatcherLengthMismatch: a backend returning the wrong result count is
+// an error, not a misrouted answer.
+func TestBatcherLengthMismatch(t *testing.T) {
+	m := newMetrics()
+	bt := newBatcher(8, time.Millisecond, m, func(qs []int) ([]int, error) {
+		return make([]int, len(qs)+1), nil
+	})
+	defer bt.close()
+	if _, err := bt.do(contextWithTimeout(t), 1); err == nil {
+		t.Fatal("length mismatch accepted silently")
+	}
+}
+
+func contextWithTimeout(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestHistogramQuantile pins the interpolation math the stats endpoint and
+// E22 report from.
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram("t", "t", []float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in (1,2]
+	}
+	q := h.Quantile(0.5)
+	if q < 1 || q > 2 {
+		t.Fatalf("p50 %v outside owning bucket (1,2]", q)
+	}
+	h2 := newHistogram("t2", "t2", []float64{1, 2})
+	h2.Observe(100) // overflow bucket
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile %v, want clamp to 2", got)
+	}
+	if h2.Mean() != 100 {
+		t.Fatalf("mean %v, want 100", h2.Mean())
+	}
+}

@@ -121,7 +121,13 @@ func (s *Classes) queryShard(sh *classShard, c int, a1, a2 int64, stop *atomic.B
 		if stop.Load() {
 			return
 		}
+		// The pending replay polls stop per object, consistent with the
+		// index scan above: once the fan-out terminated the query this
+		// shard's output is never emitted, so halting mid-buffer is safe.
 		for _, o := range pending {
+			if stop.Load() {
+				return
+			}
 			if p := s.h.Pre(o.Class); p >= lo && p < hi && o.Attr >= a1 && o.Attr <= a2 {
 				out = append(out, attrID{o.Attr, o.ID})
 			}

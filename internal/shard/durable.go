@@ -183,11 +183,33 @@ func (s *Intervals) Checkpoint() error {
 		return fmt.Errorf("shard: sharded manager is not file-backed")
 	}
 	seq := s.Seq() + 1
-	for _, sh := range s.shards {
+	// rollbackPrepared unwinds the shards [0, upto) that prepared before a
+	// later shard — or the manifest — failed, so no shard is left holding an
+	// uncommitted generation and the checkpoint stays retryable. The shard
+	// that failed mid-prepare rolled itself back (device-level contract);
+	// drained pending ops stay drained, which only moves state between two
+	// representations of the same un-checkpointed tail.
+	rollbackPrepared := func(upto int) error {
+		var first error
+		for i := 0; i < upto; i++ {
+			sh := s.shards[i]
+			sh.cell.mu.Lock()
+			err := sh.mgr.RollbackCheckpoint()
+			sh.cell.mu.Unlock()
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	for i, sh := range s.shards {
 		if err := prepareShard(&sh.cell.mu, func() error {
 			sh.cell.flushLocked(sh.apply)
 			return sh.mgr.PrepareCheckpoint(seq)
 		}); err != nil {
+			if rerr := rollbackPrepared(i); rerr != nil {
+				return fmt.Errorf("shard: rolling back prepared shards: %v (original: %w)", rerr, err)
+			}
 			return err
 		}
 	}
@@ -198,6 +220,9 @@ func (s *Intervals) Checkpoint() error {
 	if err := disk.WriteManifest(s.dirPath, disk.Manifest{
 		Version: 1, Kind: intervalsManifestKind, Seq: seq, Meta: metaJSON,
 	}); err != nil {
+		if rerr := rollbackPrepared(len(s.shards)); rerr != nil {
+			return fmt.Errorf("shard: rolling back after manifest failure: %v (original: %w)", rerr, err)
+		}
 		return err
 	}
 	for _, sh := range s.shards {
@@ -215,8 +240,17 @@ func (s *Intervals) Checkpoint() error {
 // converting an error-typed panic into a checkpoint failure: the index
 // structures report device write errors by panicking through their Must*
 // helpers (an ENOSPC — or an injected fault — mid-drain), and a failed
-// checkpoint must surface as an error the caller treats as a crash, not
-// tear down the process. Non-error panics (invariant violations) propagate.
+// checkpoint must surface as an error, not tear down the process.
+// Non-error panics (invariant violations) propagate.
+//
+// Recoverability depends on WHERE the failure hit. A failure inside
+// PrepareCheckpoint proper leaves the shard's in-memory structures intact
+// (the device layer rolls its own allocations back), so after the caller
+// unwinds the other shards the checkpoint may simply be retried. A panic
+// out of the drain (flushLocked applying pending ops into the index) can
+// leave that shard's in-memory tree half-updated; the durable image is
+// still the previous generation, so the process must reopen from it —
+// retrying in process is not safe after a drain failure.
 func prepareShard(mu *sync.RWMutex, fn func() error) (err error) {
 	mu.Lock()
 	defer mu.Unlock()

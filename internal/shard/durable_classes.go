@@ -134,12 +134,30 @@ func (s *Classes) Checkpoint() error {
 		return fmt.Errorf("shard: sharded class index is not file-backed")
 	}
 	seq := s.Seq() + 1
+	// See Intervals.Checkpoint: prepared shards are unwound when a later
+	// shard or the manifest fails, keeping the checkpoint retryable.
+	rollbackPrepared := func(upto int) error {
+		var first error
+		for i := 0; i < upto; i++ {
+			sh := s.shards[i]
+			sh.cell.mu.Lock()
+			err := s.durables[i].RollbackCheckpoint()
+			sh.cell.mu.Unlock()
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
 	for i, sh := range s.shards {
 		du := s.durables[i]
 		if err := prepareShard(&sh.cell.mu, func() error {
 			sh.cell.flushLocked(sh.idx.Insert)
 			return du.PrepareCheckpoint(seq)
 		}); err != nil {
+			if rerr := rollbackPrepared(i); rerr != nil {
+				return fmt.Errorf("shard: rolling back prepared shards: %v (original: %w)", rerr, err)
+			}
 			return err
 		}
 	}
@@ -152,6 +170,9 @@ func (s *Classes) Checkpoint() error {
 	if err := disk.WriteManifest(s.dirPath, disk.Manifest{
 		Version: 1, Kind: classesManifestKind, Seq: seq, Meta: metaJSON,
 	}); err != nil {
+		if rerr := rollbackPrepared(len(s.shards)); rerr != nil {
+			return fmt.Errorf("shard: rolling back after manifest failure: %v (original: %w)", rerr, err)
+		}
 		return err
 	}
 	for i, sh := range s.shards {

@@ -1,0 +1,335 @@
+package shard
+
+// Early-termination regression suite for the fan-out stop flag and the
+// per-query stop state of the batch paths.
+//
+// The audited invariant (see fanOut's doc): the shared atomic.Bool has a
+// single writer — fanOut's emit loop, after the caller terminated the
+// enumeration — so a truncated collector can only belong to an already-
+// terminated query. These tests pin the two observable consequences:
+//
+//  1. Sequential queries: stopping after k results yields EXACTLY the
+//     k-prefix of the full enumeration, for every k. (fanOut emits in
+//     shard order and per-shard order is deterministic, so the full
+//     enumeration is deterministic and the prefix property is exact.)
+//  2. Batch paths: terminating one query of a batch early must not
+//     perturb any other query — each keeps its full, sequential-equal
+//     result set, and the stopped query sees exactly a prefix of its own
+//     batch enumeration.
+//
+// Pending group-commit buffers are deliberately non-empty throughout, so
+// the stop-aware pending replay is exercised alongside the index scan.
+
+import (
+	"fmt"
+	"testing"
+
+	"ccidx/internal/classindex"
+	"ccidx/internal/geom"
+	"ccidx/internal/workload"
+)
+
+// earlyStopFixture builds a sharded manager with both flushed and pending
+// state: 300 intervals built statically, 60 more buffered through a large
+// group-commit batch (so they sit in pending buffers), and 20 of the
+// static ones pending-deleted.
+func earlyStopFixture(t *testing.T, p Partition) (*Intervals, int64) {
+	t.Helper()
+	const span = int64(4000)
+	cfg := Config{Shards: 4, B: 8, Batch: 64, Partition: p, Span: span, PoolFrames: -1}
+	init := workload.UniformIntervals(71, 300, span, 400)
+	s := NewIntervals(cfg, init)
+	extra := workload.UniformIntervals(73, 60, span, 400)
+	for _, iv := range extra {
+		iv.ID += 10_000
+		s.Insert(iv)
+	}
+	for id := uint64(0); id < 20; id++ {
+		s.Delete(id)
+	}
+	return s, span
+}
+
+// budgetStab runs Stab with an emission budget (<0 = unlimited).
+func budgetStab(s *Intervals, q int64, budget int) []geom.Interval {
+	var out []geom.Interval
+	s.Stab(q, func(iv geom.Interval) bool {
+		out = append(out, iv)
+		return budget < 0 || len(out) < budget
+	})
+	return out
+}
+
+func budgetIntersect(s *Intervals, q geom.Interval, budget int) []geom.Interval {
+	var out []geom.Interval
+	s.Intersect(q, func(iv geom.Interval) bool {
+		out = append(out, iv)
+		return budget < 0 || len(out) < budget
+	})
+	return out
+}
+
+func ivsEqual(a, b []geom.Interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEarlyStopPrefixStab: for every budget k, the early-terminated
+// enumeration is the exact k-prefix of the full one.
+func TestEarlyStopPrefixStab(t *testing.T) {
+	for _, p := range []Partition{PartitionRange, PartitionHash} {
+		t.Run(fmt.Sprintf("partition=%d", p), func(t *testing.T) {
+			s, span := earlyStopFixture(t, p)
+			for q := int64(0); q <= span; q += span / 13 {
+				full := budgetStab(s, q, -1)
+				for k := 1; k <= len(full); k++ {
+					got := budgetStab(s, q, k)
+					want := full
+					if k > 0 && k < len(full) {
+						want = full[:k]
+					}
+					if !ivsEqual(got, want) {
+						t.Fatalf("Stab(%d) budget %d: got %d results, not the prefix of the full %d",
+							q, k, len(got), len(full))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEarlyStopPrefixIntersect: same prefix property for Intersect, whose
+// range-partition path adds the replica owns-filter to the stop polling.
+func TestEarlyStopPrefixIntersect(t *testing.T) {
+	for _, p := range []Partition{PartitionRange, PartitionHash} {
+		t.Run(fmt.Sprintf("partition=%d", p), func(t *testing.T) {
+			s, span := earlyStopFixture(t, p)
+			for lo := int64(0); lo <= span; lo += span / 7 {
+				q := geom.Interval{Lo: lo, Hi: lo + span/5}
+				full := budgetIntersect(s, q, -1)
+				for k := 1; k <= len(full); k += 1 + len(full)/17 {
+					got := budgetIntersect(s, q, k)
+					want := full
+					if k > 0 && k < len(full) {
+						want = full[:k]
+					}
+					if !ivsEqual(got, want) {
+						t.Fatalf("Intersect(%v) budget %d: got %d results, not the prefix of the full %d",
+							q, k, len(got), len(full))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEarlyStopPrefixClassQuery: the class-index fan-out (index scan plus
+// pending-object replay) honors the same prefix property.
+func TestEarlyStopPrefixClassQuery(t *testing.T) {
+	const span = int64(2000)
+	h := workload.RandomHierarchy(79, 16)
+	s := NewClasses(Config{Shards: 3, B: 8, Batch: 64, Partition: PartitionRange, Span: span, PoolFrames: -1},
+		h, func() ClassIndex { return classindex.NewSimple(h, 8) })
+	for _, o := range workload.Objects(83, h, 500, span) {
+		s.Insert(o) // Batch 64: most objects stay in the pending buffers
+	}
+	collect := func(c int, budget int) []attrID {
+		var out []attrID
+		s.Query(c, 0, span, func(attr int64, id uint64) bool {
+			out = append(out, attrID{attr, id})
+			return budget < 0 || len(out) < budget
+		})
+		return out
+	}
+	for c := 0; c < h.Len(); c += 3 {
+		full := collect(c, -1)
+		for k := 1; k <= len(full); k += 1 + len(full)/11 {
+			got := collect(c, k)
+			want := full
+			if k > 0 && k < len(full) {
+				want = full[:k]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("class %d budget %d: %d results, want %d", c, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("class %d budget %d: result %d = %v, want %v", c, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchEarlyStopIndependence: terminating SOME queries of a batch
+// early must leave every other query's results bit-identical to its
+// un-budgeted batch enumeration — and multiset-equal to the sequential
+// path. The stopped queries must see exact prefixes.
+func TestBatchEarlyStopIndependence(t *testing.T) {
+	for _, p := range []Partition{PartitionRange, PartitionHash} {
+		t.Run(fmt.Sprintf("partition=%d", p), func(t *testing.T) {
+			s, span := earlyStopFixture(t, p)
+			qs := workload.StabQueries(89, 40, span)
+
+			// Full batch enumeration per query (no budgets).
+			full := make([][]geom.Interval, len(qs))
+			s.StabBatch(qs, func(qi int, iv geom.Interval) bool {
+				full[qi] = append(full[qi], iv)
+				return true
+			})
+
+			// Budget every third query to k results (including k=0 edge by
+			// stopping at the first emission).
+			budgets := make([]int, len(qs))
+			for qi := range budgets {
+				budgets[qi] = -1
+				if qi%3 == 0 {
+					budgets[qi] = qi % 4 // 0..3
+					if budgets[qi] == 0 {
+						budgets[qi] = 1
+					}
+				}
+			}
+			got := make([][]geom.Interval, len(qs))
+			s.StabBatch(qs, func(qi int, iv geom.Interval) bool {
+				got[qi] = append(got[qi], iv)
+				return budgets[qi] < 0 || len(got[qi]) < budgets[qi]
+			})
+
+			for qi := range qs {
+				want := full[qi]
+				if b := budgets[qi]; b >= 0 && b < len(want) {
+					want = want[:b]
+				}
+				if !ivsEqual(got[qi], want) {
+					t.Fatalf("query %d (budget %d): %d results, want %d — early stop leaked across queries",
+						qi, budgets[qi], len(got[qi]), len(want))
+				}
+			}
+
+			// Un-budgeted queries must also match the sequential path.
+			for qi, q := range qs {
+				if budgets[qi] >= 0 {
+					continue
+				}
+				seq := budgetStab(s, q, -1)
+				if !idsEqual(sortIDs(ivIDs(full[qi])), sortIDs(ivIDs(seq))) {
+					t.Fatalf("query %d: batch %d results, sequential %d", qi, len(full[qi]), len(seq))
+				}
+			}
+		})
+	}
+}
+
+func ivIDs(ivs []geom.Interval) []uint64 {
+	ids := make([]uint64, len(ivs))
+	for i, iv := range ivs {
+		ids[i] = iv.ID
+	}
+	return ids
+}
+
+// TestIntersectBatchEarlyStopIndependence: the same independence contract
+// for IntersectBatch, whose per-shard traversal shares one sorted member
+// walk across the group.
+func TestIntersectBatchEarlyStopIndependence(t *testing.T) {
+	for _, p := range []Partition{PartitionRange, PartitionHash} {
+		t.Run(fmt.Sprintf("partition=%d", p), func(t *testing.T) {
+			s, span := earlyStopFixture(t, p)
+			var qs []geom.Interval
+			for lo := int64(0); lo < span; lo += span / 11 {
+				qs = append(qs, geom.Interval{Lo: lo, Hi: lo + span/6})
+			}
+			full := make([][]geom.Interval, len(qs))
+			s.IntersectBatch(qs, func(qi int, iv geom.Interval) bool {
+				full[qi] = append(full[qi], iv)
+				return true
+			})
+			got := make([][]geom.Interval, len(qs))
+			s.IntersectBatch(qs, func(qi int, iv geom.Interval) bool {
+				got[qi] = append(got[qi], iv)
+				return qi%2 == 0 || len(got[qi]) < 2 // odd queries stop after 2
+			})
+			for qi := range qs {
+				want := full[qi]
+				if qi%2 == 1 && len(want) > 2 {
+					want = want[:2]
+				}
+				if !ivsEqual(got[qi], want) {
+					t.Fatalf("query %d: %d results, want %d", qi, len(got[qi]), len(want))
+				}
+				if qi%2 == 0 {
+					seq := budgetIntersect(s, qs[qi], -1)
+					if !idsEqual(sortIDs(ivIDs(full[qi])), sortIDs(ivIDs(seq))) {
+						t.Fatalf("query %d: batch %d results, sequential %d", qi, len(full[qi]), len(seq))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClassQueryBatchEarlyStopIndependence: QueryBatch keeps per-query
+// stop state through the shared subtree-range traversal.
+func TestClassQueryBatchEarlyStopIndependence(t *testing.T) {
+	const span = int64(2000)
+	h := workload.RandomHierarchy(97, 16)
+	s := NewClasses(Config{Shards: 3, B: 8, Batch: 64, Partition: PartitionRange, Span: span, PoolFrames: -1},
+		h, func() ClassIndex { return classindex.NewSimple(h, 8) })
+	for _, o := range workload.Objects(101, h, 500, span) {
+		s.Insert(o)
+	}
+	var qs []ClassQuery
+	for c := 0; c < h.Len(); c++ {
+		qs = append(qs, ClassQuery{Class: c, A1: 0, A2: span})
+	}
+	full := make([][]attrID, len(qs))
+	s.QueryBatch(qs, func(qi int, attr int64, id uint64) bool {
+		full[qi] = append(full[qi], attrID{attr, id})
+		return true
+	})
+	got := make([][]attrID, len(qs))
+	s.QueryBatch(qs, func(qi int, attr int64, id uint64) bool {
+		got[qi] = append(got[qi], attrID{attr, id})
+		return qi%2 == 0 || len(got[qi]) < 3 // odd queries stop after 3
+	})
+	for qi := range qs {
+		want := full[qi]
+		if qi%2 == 1 && len(want) > 3 {
+			want = want[:3]
+		}
+		if len(got[qi]) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got[qi]), len(want))
+		}
+		for i := range want {
+			if got[qi][i] != want[i] {
+				t.Fatalf("query %d result %d: %v, want %v", qi, i, got[qi][i], want[i])
+			}
+		}
+		if qi%2 == 0 {
+			var seq []attrID
+			s.Query(qs[qi].Class, qs[qi].A1, qs[qi].A2, func(attr int64, id uint64) bool {
+				seq = append(seq, attrID{attr, id})
+				return true
+			})
+			wantIDs := make([]uint64, len(seq))
+			for i, r := range seq {
+				wantIDs[i] = r.id
+			}
+			gotIDs := make([]uint64, len(full[qi]))
+			for i, r := range full[qi] {
+				gotIDs[i] = r.id
+			}
+			if !idsEqual(sortIDs(gotIDs), sortIDs(wantIDs)) {
+				t.Fatalf("query %d: batch %d results, sequential %d", qi, len(full[qi]), len(seq))
+			}
+		}
+	}
+}

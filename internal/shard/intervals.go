@@ -225,6 +225,17 @@ func (s *Intervals) Flush() {
 	}
 }
 
+// Rebuilds sums the stabber global-rebuild counters across shards — the
+// serving layer's metrics surface reports it so operators can correlate
+// latency spikes with rebuild storms.
+func (s *Intervals) Rebuilds() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.cell.read(func([]ivOp) { total += sh.mgr.Rebuilds() })
+	}
+	return total
+}
+
 // PoolStats sums the buffer-pool hit/miss counters across shards (zeros
 // when pooling is disabled).
 func (s *Intervals) PoolStats() (hits, misses int64) {
@@ -245,8 +256,19 @@ func (s *Intervals) Len() int { return int(s.n.Load()) }
 // most one) earlier occurrence of their id — whether it came from the index
 // or from an earlier pending insert. Replaying in buffer order keeps a
 // delete-then-reinsert of the same id correct.
-func applyPending(out []geom.Interval, pending []ivOp, match func(geom.Interval) bool) []geom.Interval {
+//
+// stop is the fan-out's shared early-termination flag, polled per op the
+// same way the index scan polls it per hit. The flag is single-writer —
+// only fanOut's emit loop stores true, and only after the caller's emit
+// returned false — so once it reads true this collector's output can never
+// be emitted, and abandoning the merge mid-buffer (even between a pending
+// insert and the delete that would remove it) cannot drop a result any
+// non-terminated query is still owed.
+func applyPending(out []geom.Interval, pending []ivOp, stop *atomic.Bool, match func(geom.Interval) bool) []geom.Interval {
 	for _, op := range pending {
+		if stop.Load() {
+			return out
+		}
 		if op.del {
 			for i := range out {
 				if out[i].ID == op.iv.ID {
@@ -278,7 +300,7 @@ func (sh *intervalShard) stabShard(q int64, stop *atomic.Bool) []geom.Interval {
 		if stop.Load() {
 			return
 		}
-		out = applyPending(out, pending, func(iv geom.Interval) bool { return iv.Contains(q) })
+		out = applyPending(out, pending, stop, func(iv geom.Interval) bool { return iv.Contains(q) })
 	})
 	return out
 }
@@ -314,7 +336,7 @@ func (s *Intervals) intersectShard(idx int, q geom.Interval, stop *atomic.Bool) 
 		if stop.Load() {
 			return
 		}
-		out = applyPending(out, pending, func(iv geom.Interval) bool {
+		out = applyPending(out, pending, stop, func(iv geom.Interval) bool {
 			return iv.Intersects(q) && owns(iv)
 		})
 	})

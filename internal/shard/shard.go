@@ -213,6 +213,17 @@ func (c *cell[T]) read(fn func(pending []T)) {
 // item — stop building result slices instead of materializing answers
 // nobody will read. The call still joins every goroutine before returning,
 // so no collector outlives its query.
+//
+// Safety of the shared flag (audited invariant): stop has exactly ONE
+// writer — the emit loop below, which stores true only after emit returned
+// false, i.e. after the caller terminated the whole enumeration. Shard
+// collectors only POLL it; they can never race each other into setting it.
+// So a collector observing stop==true can truncate its slice freely: that
+// slice belongs to a query whose emission has already ended, and fanOut
+// never reads results[next] once stop is set. No result owed to a
+// non-terminated query can be dropped. The batch paths (batch.go) do not
+// share this flag at all — they carry per-query stop state (done flags /
+// per-query emit returns) through every layer.
 func fanOut[T any](first, last int, collect func(shard int, stop *atomic.Bool) []T, emit func(T) bool) {
 	var stop atomic.Bool
 	if first == last {
