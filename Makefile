@@ -11,7 +11,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build vet test race race-churn crash bench bench-smoke bench-gate serve-smoke experiments ci
+.PHONY: build vet test race race-churn crash crash-matrix fuzz bench bench-smoke bench-gate serve-smoke experiments ci
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,24 @@ race-churn:
 crash:
 	$(GO) test -race -run 'CrashEveryWrite|CrashBetweenManifestAndCommit|DurableRoundTrip|DurableClassesDurable|PublicDurable' \
 		-timeout 20m ./internal/disk/ ./internal/intervals/ ./internal/shard/ .
+
+# Randomized crash schedules under the race detector: CRASH_SEEDS picks the
+# seeds (comma-separated); each seed randomizes the serving config, the op
+# stream, the checkpoint cadence, and the crash point — then crashes the
+# recovery itself until one reopen survives and must equal the acked oracle.
+CRASH_SEEDS ?= 1,2,3
+crash-matrix:
+	CRASH_SEEDS=$(CRASH_SEEDS) $(GO) test -race -run 'RandomCrashSchedules|WalRecoversAcked|WALCrashEveryWrite' \
+		-timeout 20m ./internal/disk/ ./internal/shard/ .
+
+# Coverage-guided fuzzing of the two on-disk decoders that parse bytes an
+# adversarial disk could hand back: WAL record framing and the page-file
+# header. Seed corpora always run under plain `go test`; this target runs
+# each fuzzer for FUZZTIME of real mutation.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzWALRecordDecode -fuzztime=$(FUZZTIME) ./internal/disk/
+	$(GO) test -run='^$$' -fuzz=FuzzFileHeader -fuzztime=$(FUZZTIME) ./internal/disk/
 
 # One iteration per benchmark keeps the full sweep cheap; the hot query
 # benchmarks additionally get a steady-state pass (200 iterations, warm
@@ -87,4 +105,4 @@ bench-gate:
 experiments:
 	$(GO) run ./cmd/experiments
 
-ci: vet build test race race-churn crash bench-smoke serve-smoke
+ci: vet build test race race-churn crash crash-matrix bench-smoke serve-smoke

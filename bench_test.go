@@ -640,6 +640,32 @@ func BenchmarkE21ColdOpen(b *testing.B) {
 	report(b, ios)
 }
 
+// BenchmarkE23WalAppend measures a WAL-logged insert on the durable
+// manager under the default group-commit policy: one tree insert plus one
+// log append, with fsync deferred to the checkpoint boundary. Compare
+// ns/op against a DisableWAL run to see the logging overhead E23 tables.
+func BenchmarkE23WalAppend(b *testing.B) {
+	b.ReportAllocs()
+	n := 50000
+	span := int64(1 << 20)
+	ivs := workload.UniformIntervals(11, n, span, 1<<14)
+	m, err := intervals.CreateAt(b.TempDir(), intervals.Config{B: benchB}, ivs, intervals.DurableOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.CloseFiles()
+	m.AttachPool(4096, 8)
+	rng := rand.New(rand.NewSource(13))
+	before := m.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Int63n(span)
+		m.Insert(geom.Interval{Lo: lo, Hi: lo + rng.Int63n(1<<14) + 1, ID: uint64(n + i + 1)})
+	}
+	b.StopTimer()
+	report(b, m.Stats().Sub(before).IOs())
+}
+
 func BenchmarkHarnessE1Table(b *testing.B) {
 	b.ReportAllocs()
 	e, _ := harness.Lookup("E1")

@@ -47,6 +47,52 @@ type Config struct {
 	B int
 }
 
+// FsyncPolicy selects how aggressively durable instances fsync.
+type FsyncPolicy = disk.FsyncPolicy
+
+// Fsync policies for durable instances.
+const (
+	// FsyncCheckpoint (the default) syncs at checkpoint ordering points;
+	// WAL and journal appends rely on write ordering (process-crash safe).
+	FsyncCheckpoint = disk.FsyncCheckpoint
+	// FsyncNever never syncs; durability is left entirely to the OS.
+	FsyncNever = disk.FsyncNever
+	// FsyncAlways also syncs journal and WAL appends, extending crash
+	// safety to power loss (sharded instances pay one fsync per
+	// group-commit flush, not one per operation).
+	FsyncAlways = disk.FsyncAlways
+)
+
+// DurableOptions tunes a durable instance's durability/performance
+// trade-off. The zero value — checkpoint-time fsync with the write-ahead
+// log ON — recovers every acknowledged mutation after a process crash.
+type DurableOptions struct {
+	// Fsync is the device and WAL fsync policy.
+	Fsync FsyncPolicy
+	// DisableWAL turns off write-ahead logging: mutations since the last
+	// checkpoint are lost on a crash (the pre-WAL behavior; cheapest
+	// writes).
+	DisableWAL bool
+}
+
+// durableOpts folds the optional trailing options argument (the durable
+// constructors take `opts ...DurableOptions` for compatibility; only the
+// first value is used).
+func durableOpts(opts []DurableOptions) DurableOptions {
+	if len(opts) > 0 {
+		return opts[0]
+	}
+	return DurableOptions{}
+}
+
+func (o DurableOptions) intervals() intervals.DurableOptions {
+	return intervals.DurableOptions{Fsync: o.Fsync, DisableWAL: o.DisableWAL}
+}
+
+func (o DurableOptions) classes() classindex.DurableOpts {
+	return classindex.DurableOpts{Fsync: o.Fsync, DisableWAL: o.DisableWAL}
+}
+
 // IntervalManager answers stabbing and intersection queries over a dynamic
 // interval set (Proposition 2.2 + Theorem 3.7).
 type IntervalManager struct {
@@ -63,8 +109,8 @@ func NewIntervalManager(cfg Config, ivs []Interval) *IntervalManager {
 // initial state is checkpointed before returning. Use Checkpoint to persist
 // later mutations and OpenIntervalManager to reopen after a restart — or a
 // crash, which recovers the last committed checkpoint.
-func CreateIntervalManager(cfg Config, dir string, ivs []Interval) (*IntervalManager, error) {
-	m, err := intervals.CreateAt(dir, intervals.Config{B: cfg.B}, ivs, intervals.DurableOptions{})
+func CreateIntervalManager(cfg Config, dir string, ivs []Interval, opts ...DurableOptions) (*IntervalManager, error) {
+	m, err := intervals.CreateAt(dir, intervals.Config{B: cfg.B}, ivs, durableOpts(opts).intervals())
 	if err != nil {
 		return nil, err
 	}
@@ -74,8 +120,8 @@ func CreateIntervalManager(cfg Config, dir string, ivs []Interval) (*IntervalMan
 // OpenIntervalManager reopens the durable manager persisted in dir at its
 // last committed checkpoint. Crash recovery is automatic: partially written
 // generations are rolled back, never observed.
-func OpenIntervalManager(dir string) (*IntervalManager, error) {
-	m, err := intervals.OpenAt(dir, intervals.DurableOptions{})
+func OpenIntervalManager(dir string, opts ...DurableOptions) (*IntervalManager, error) {
+	m, err := intervals.OpenAt(dir, durableOpts(opts).intervals())
 	if err != nil {
 		return nil, err
 	}
@@ -210,8 +256,8 @@ func NewShardedIntervalManager(cfg ShardConfig, ivs []Interval) *ShardedInterval
 // shard's structures live on file-backed devices under dir (one
 // subdirectory per shard), the serving configuration is recorded in a
 // manifest, and the initial state is checkpointed before returning.
-func CreateShardedIntervalManager(cfg ShardConfig, dir string, ivs []Interval) (*ShardedIntervalManager, error) {
-	s, err := shard.CreateIntervalsAt(dir, cfg.internal(), ivs, intervals.DurableOptions{})
+func CreateShardedIntervalManager(cfg ShardConfig, dir string, ivs []Interval, opts ...DurableOptions) (*ShardedIntervalManager, error) {
+	s, err := shard.CreateIntervalsAt(dir, cfg.internal(), ivs, durableOpts(opts).intervals())
 	if err != nil {
 		return nil, err
 	}
@@ -223,8 +269,8 @@ func CreateShardedIntervalManager(cfg ShardConfig, dir string, ivs []Interval) (
 // are reopened IN PARALLEL at the manifest's committed generation (crash
 // recovery included), buffer pools are re-attached, and the manager resumes
 // serving.
-func OpenShardedIntervalManager(dir string) (*ShardedIntervalManager, error) {
-	s, err := shard.OpenIntervals(dir, intervals.DurableOptions{})
+func OpenShardedIntervalManager(dir string, opts ...DurableOptions) (*ShardedIntervalManager, error) {
+	s, err := shard.OpenIntervals(dir, durableOpts(opts).intervals())
 	if err != nil {
 		return nil, err
 	}
@@ -337,8 +383,8 @@ func NewShardedClassIndex(h *Hierarchy, cfg ShardConfig, s Strategy) *ShardedCla
 // index: every shard's strategy instance lives on file-backed devices under
 // dir, and the serving configuration plus the full hierarchy are recorded
 // in the manifest.
-func CreateShardedClassIndex(h *Hierarchy, cfg ShardConfig, s Strategy, dir string) (*ShardedClassIndex, error) {
-	sc, err := shard.CreateClassesAt(dir, cfg.internal(), h, classindex.StrategyKind(s), disk.FsyncCheckpoint)
+func CreateShardedClassIndex(h *Hierarchy, cfg ShardConfig, s Strategy, dir string, opts ...DurableOptions) (*ShardedClassIndex, error) {
+	sc, err := shard.CreateClassesAt(dir, cfg.internal(), h, classindex.StrategyKind(s), durableOpts(opts).classes())
 	if err != nil {
 		return nil, err
 	}
@@ -348,8 +394,8 @@ func CreateShardedClassIndex(h *Hierarchy, cfg ShardConfig, s Strategy, dir stri
 // OpenShardedClassIndex reopens the sharded class index persisted under
 // dir at its last committed checkpoint, reopening shards in parallel and
 // rebuilding the hierarchy from the manifest.
-func OpenShardedClassIndex(dir string) (*ShardedClassIndex, error) {
-	sc, h, err := shard.OpenClasses(dir, disk.FsyncCheckpoint)
+func OpenShardedClassIndex(dir string, opts ...DurableOptions) (*ShardedClassIndex, error) {
+	sc, h, err := shard.OpenClasses(dir, durableOpts(opts).classes())
 	if err != nil {
 		return nil, err
 	}
@@ -518,8 +564,8 @@ func NewClassIndex(h *Hierarchy, cfg Config, s Strategy) *ClassIndex {
 // and the hierarchy itself is recorded in the manifest, so OpenClassIndex
 // needs only the directory. The empty state is checkpointed before
 // returning.
-func CreateClassIndex(h *Hierarchy, cfg Config, s Strategy, dir string) (*ClassIndex, error) {
-	du, err := classindex.CreateDurable(dir, h, cfg.B, classindex.StrategyKind(s), disk.FsyncCheckpoint)
+func CreateClassIndex(h *Hierarchy, cfg Config, s Strategy, dir string, opts ...DurableOptions) (*ClassIndex, error) {
+	du, err := classindex.CreateDurable(dir, h, cfg.B, classindex.StrategyKind(s), durableOpts(opts).classes())
 	if err != nil {
 		return nil, err
 	}
@@ -533,7 +579,7 @@ func CreateClassIndex(h *Hierarchy, cfg Config, s Strategy, dir string) (*ClassI
 
 // OpenClassIndex reopens the durable class index persisted in dir at its
 // last committed checkpoint, rebuilding the hierarchy from the manifest.
-func OpenClassIndex(dir string) (*ClassIndex, error) {
+func OpenClassIndex(dir string, opts ...DurableOptions) (*ClassIndex, error) {
 	mf, err := disk.ReadManifest(dir)
 	if err != nil {
 		return nil, err
@@ -549,7 +595,7 @@ func OpenClassIndex(dir string) (*ClassIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	du, err := classindex.OpenDurable(dir, h, cm.B, classindex.StrategyKind(cm.Strategy), mf.Seq, disk.FsyncCheckpoint)
+	du, err := classindex.OpenDurable(dir, h, cm.B, classindex.StrategyKind(cm.Strategy), mf.Seq, durableOpts(opts).classes())
 	if err != nil {
 		return nil, err
 	}

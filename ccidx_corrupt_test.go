@@ -1,0 +1,153 @@
+package ccidx
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"ccidx/internal/bptree"
+	"ccidx/internal/disk"
+	"ccidx/internal/workload"
+)
+
+// TestPublicBitFlipDetected: a single flipped bit under a durable manager
+// created through the PUBLIC API surfaces from the public open as a typed
+// disk.ErrCorrupt — callers can errors.As it at the top of the stack — and
+// never as a panic or a silently wrong answer.
+func TestPublicBitFlipDetected(t *testing.T) {
+	const span = int64(2000)
+	ivs := workload.UniformIntervals(7, 200, span, 150)
+
+	t.Run("standalone", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "mgr")
+		cfg := Config{B: 8}
+		m, err := CreateIntervalManager(cfg, dir, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := disk.FlipBit(filepath.Join(dir, "endpoints.pages"),
+			bptree.PageSize(cfg.B), 1, 17); err != nil {
+			t.Fatal(err)
+		}
+		m, err = OpenIntervalManager(dir)
+		if err == nil {
+			m.Close()
+			t.Fatal("OpenIntervalManager succeeded over a flipped page")
+		}
+		var corrupt disk.ErrCorrupt
+		if !errors.As(err, &corrupt) {
+			t.Fatalf("open error = %v, want a wrapped disk.ErrCorrupt", err)
+		}
+	})
+
+	t.Run("sharded", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "sharded")
+		cfg := ShardConfig{Shards: 2, B: 8, Batch: 2, Partition: PartitionRange, Span: span}
+		sm, err := CreateShardedIntervalManager(cfg, dir, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sm.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := disk.FlipBit(filepath.Join(dir, "shard-0000", "endpoints.pages"),
+			bptree.PageSize(cfg.B), 1, 17); err != nil {
+			t.Fatal(err)
+		}
+		sm, err = OpenShardedIntervalManager(dir)
+		if err == nil {
+			sm.Close()
+			t.Fatal("OpenShardedIntervalManager succeeded over a flipped page")
+		}
+		var corrupt disk.ErrCorrupt
+		if !errors.As(err, &corrupt) {
+			t.Fatalf("open error = %v, want a wrapped disk.ErrCorrupt", err)
+		}
+	})
+}
+
+// TestPublicWalRecoversAckedMutations: mutations acknowledged through the
+// public API after the last checkpoint are recovered by the public open —
+// the WAL's whole point — at both the standalone and sharded levels.
+// Close without Checkpoint models a process crash whose file writes all
+// landed (write-ordering durability).
+func TestPublicWalRecoversAckedMutations(t *testing.T) {
+	const span = int64(2000)
+	ivs := workload.UniformIntervals(9, 120, span, 150)
+	extra := Interval{Lo: 42, Hi: 99, ID: 900001}
+
+	t.Run("standalone", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "mgr")
+		m, err := CreateIntervalManager(Config{B: 8}, dir, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Insert(extra)
+		if !m.Delete(ivs[3].ID) {
+			t.Fatal("delete of live id returned false")
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenIntervalManager(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re.Close()
+		if got, want := re.Len(), len(ivs); got != want {
+			t.Fatalf("recovered Len = %d, want %d", got, want)
+		}
+		ids := collectStab(re, 50)
+		found := false
+		for _, id := range ids {
+			if id == extra.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("acked post-checkpoint insert not recovered")
+		}
+	})
+
+	t.Run("sharded", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "sharded")
+		cfg := ShardConfig{Shards: 3, B: 8, Batch: 8, Partition: PartitionRange, Span: span}
+		sm, err := CreateShardedIntervalManager(cfg, dir, ivs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Batch 8 keeps these buffered: acknowledged, logged, NOT yet in
+		// the trees — exactly the window the WAL closes.
+		sm.Insert(extra)
+		if !sm.Delete(ivs[3].ID) {
+			t.Fatal("delete of live id returned false")
+		}
+		if err := sm.Close(); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenShardedIntervalManager(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re.Close()
+		if got, want := re.Len(), len(ivs); got != want {
+			t.Fatalf("recovered Len = %d, want %d", got, want)
+		}
+		ids := collectStab(re, 50)
+		found := false
+		for _, id := range ids {
+			if id == extra.ID {
+				found = true
+			}
+			if id == ivs[3].ID {
+				t.Fatal("acked delete resurrected after reopen")
+			}
+		}
+		if !found {
+			t.Fatal("acked buffered insert not recovered")
+		}
+	})
+}

@@ -160,6 +160,12 @@ func runLoad(base string, c, n int, rate float64, span, seed int64) error {
 	if dReq > 0 {
 		fmt.Printf("  ios/query %.3f\n", float64(dIOs)/float64(dReq))
 	}
+	// A failed request (transport error or non-200) fails the run: scripted
+	// callers (CI, experiment harnesses) must not mistake a half-errored
+	// load phase for a clean measurement.
+	if f := failed.Load(); f > 0 {
+		return fmt.Errorf("FAILED: %d of %d requests failed (transport error or non-200 status)", f, n)
+	}
 	return nil
 }
 

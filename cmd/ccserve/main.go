@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"ccidx/internal/classindex"
+	"ccidx/internal/disk"
 	"ccidx/internal/intervals"
 	"ccidx/internal/server"
 	"ccidx/internal/shard"
@@ -43,6 +44,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	maxlen := flag.Int64("maxlen", 0, "max interval length (0 = span/n*8)")
 	dir := flag.String("dir", "", "durable directory (empty = in-memory)")
+	fsync := flag.String("fsync", "checkpoint", "fsync policy for durable dirs: never|checkpoint|always")
+	nowal := flag.Bool("nowal", false, "disable the write-ahead log (checkpoint-granular durability)")
 	classes := flag.Int("classes", 0, "classes in a synthetic hierarchy (0 = no class index)")
 	window := flag.Duration("window", time.Millisecond, "max auto-batch window")
 	maxbatch := flag.Int("maxbatch", 1024, "max coalesced batch size")
@@ -52,14 +55,14 @@ func main() {
 	flag.Parse()
 
 	if err := run(*addr, *shards, *b, *batch, *partition, *pool, *n, *seed, *maxlen,
-		*dir, *classes, *window, *maxbatch, *inflight, *timeout, *nobatch); err != nil {
+		*dir, *fsync, *nowal, *classes, *window, *maxbatch, *inflight, *timeout, *nobatch); err != nil {
 		fmt.Fprintln(os.Stderr, "ccserve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, shards, b, batch int, partition string, pool, n int, seed, maxlen int64,
-	dir string, classes int, window time.Duration, maxbatch, inflight int,
+	dir, fsync string, nowal bool, classes int, window time.Duration, maxbatch, inflight int,
 	timeout time.Duration, nobatch bool) error {
 	span := int64(n) * 16
 	if maxlen <= 0 {
@@ -79,6 +82,18 @@ func run(addr string, shards, b, batch int, partition string, pool, n int, seed,
 		Partition: part, Span: span, PoolFrames: pool,
 	}
 
+	dopt := intervals.DurableOptions{DisableWAL: nowal}
+	switch fsync {
+	case "never":
+		dopt.Fsync = disk.FsyncNever
+	case "checkpoint":
+		dopt.Fsync = disk.FsyncCheckpoint
+	case "always":
+		dopt.Fsync = disk.FsyncAlways
+	default:
+		return fmt.Errorf("unknown fsync policy %q (want never|checkpoint|always)", fsync)
+	}
+
 	var im *shard.Intervals
 	var err error
 	switch {
@@ -87,18 +102,20 @@ func run(addr string, shards, b, batch int, partition string, pool, n int, seed,
 		fmt.Printf("ccserve: in-memory, %d intervals across %d shards\n", im.Len(), shards)
 	default:
 		if _, serr := os.Stat(dir); serr == nil {
-			im, err = shard.OpenIntervals(dir, intervals.DurableOptions{})
+			im, err = shard.OpenIntervals(dir, dopt)
 			if err != nil {
 				return fmt.Errorf("opening %s: %w", dir, err)
 			}
-			fmt.Printf("ccserve: reopened %s at seq %d, %d intervals\n", dir, im.Seq(), im.Len())
+			fmt.Printf("ccserve: reopened %s at seq %d, %d intervals (fsync=%s wal=%v)\n",
+				dir, im.Seq(), im.Len(), fsync, !nowal)
 		} else {
 			im, err = shard.CreateIntervalsAt(dir, cfg,
-				workload.UniformIntervals(seed, n, span, maxlen), intervals.DurableOptions{})
+				workload.UniformIntervals(seed, n, span, maxlen), dopt)
 			if err != nil {
 				return fmt.Errorf("creating %s: %w", dir, err)
 			}
-			fmt.Printf("ccserve: created %s, %d intervals across %d shards\n", dir, im.Len(), shards)
+			fmt.Printf("ccserve: created %s, %d intervals across %d shards (fsync=%s wal=%v)\n",
+				dir, im.Len(), shards, fsync, !nowal)
 		}
 	}
 	defer im.Close()

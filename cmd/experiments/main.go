@@ -39,6 +39,7 @@ func main() {
 	e20n := flag.Int("e20n", 0, "E20 interval count override (default 100000; CI smoke uses a small value)")
 	e21n := flag.Int("e21n", 0, "E21 interval count override (default 100000; CI smoke uses a small value)")
 	e22n := flag.Int("e22n", 0, "E22 interval count override (default 50000; CI smoke uses a small value)")
+	e23n := flag.Int("e23n", 0, "E23 interval count override (default 50000; CI smoke uses a small value)")
 	benchJSON := flag.String("bench-json", "", "parse `go test -bench` output from stdin and write JSON to this file")
 	benchBaseline := flag.String("bench-baseline", "", "optional saved bench output to embed as the before side")
 	flag.Parse()
@@ -68,6 +69,9 @@ func main() {
 	}
 	if *e22n > 0 {
 		harness.E22Intervals = *e22n
+	}
+	if *e23n > 0 {
+		harness.E23Intervals = *e23n
 	}
 
 	if *list {

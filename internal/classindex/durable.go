@@ -9,6 +9,7 @@ package classindex
 // the PrepareCheckpoint/CommitCheckpoint pair.
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -32,7 +33,34 @@ const (
 const (
 	btPagesFile = "classes-bt.pages"
 	tsPagesFile = "classes-ts.pages"
+	walFile     = "wal.log"
 )
+
+// DurableOpts configures a durable strategy instance.
+type DurableOpts struct {
+	// Fsync is the device and WAL fsync policy.
+	Fsync disk.FsyncPolicy
+	// DisableWAL turns off write-ahead logging: mutations since the last
+	// checkpoint are lost on a crash (the pre-WAL behavior, kept for the
+	// overhead sweeps).
+	DisableWAL bool
+}
+
+// WAL op encoding: one byte tag, then the Object fields little-endian.
+const (
+	walOpInsert = 1
+	walOpDelete = 2
+	walOpLen    = 25 // tag + class u64 + attr u64 + id u64
+)
+
+func encodeOp(tag byte, o Object) []byte {
+	buf := make([]byte, walOpLen)
+	buf[0] = tag
+	binary.LittleEndian.PutUint64(buf[1:], uint64(o.Class))
+	binary.LittleEndian.PutUint64(buf[9:], uint64(int64(o.Attr)))
+	binary.LittleEndian.PutUint64(buf[17:], o.ID)
+	return buf
+}
 
 // tsMarker is the payload checkpointed on the 3-sided device (whose real
 // state rides on the B+-tree device's payload): it only needs to be
@@ -53,17 +81,18 @@ type Durable struct {
 	rc *RakeContract
 
 	files []*disk.FileDevice
+	wal   *disk.WAL
 }
 
 // CreateDurable builds an EMPTY file-backed strategy instance in dir. No
 // manifest is written: the owner commits via PrepareCheckpoint /
 // CommitCheckpoint under its own manifest.
-func CreateDurable(dir string, h *Hierarchy, b int, kind StrategyKind, opt disk.FsyncPolicy) (*Durable, error) {
+func CreateDurable(dir string, h *Hierarchy, b int, kind StrategyKind, opt DurableOpts) (*Durable, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	d := &Durable{Kind: kind, b: b, h: h}
-	if err := d.openDevices(dir, opt, nil); err != nil {
+	if err := d.openDevices(dir, opt.Fsync, nil); err != nil {
 		return nil, err
 	}
 	switch kind {
@@ -77,14 +106,39 @@ func CreateDurable(dir string, h *Hierarchy, b int, kind StrategyKind, opt disk.
 		d.CloseFiles()
 		return nil, fmt.Errorf("classindex: unknown strategy kind %d", kind)
 	}
+	if !opt.DisableWAL {
+		wal, err := disk.OpenWAL(filepath.Join(dir, walFile), opt.Fsync)
+		if err != nil {
+			d.CloseFiles()
+			return nil, err
+		}
+		d.wal = wal
+		if err := wal.Reset(d.files[0].Seq()); err != nil {
+			d.CloseFiles()
+			return nil, err
+		}
+	}
 	return d, nil
 }
 
 // OpenDurable reopens the strategy instance in dir at generation seq (the
-// owner's committed manifest).
-func OpenDurable(dir string, h *Hierarchy, b int, kind StrategyKind, seq uint64, opt disk.FsyncPolicy) (*Durable, error) {
-	d := &Durable{Kind: kind, b: b, h: h}
-	if err := d.openDevices(dir, opt, &seq); err != nil {
+// owner's committed manifest) and replays the WAL tail on top of the
+// checkpoint image. A corrupt page discovered while rebuilding or replaying
+// surfaces as an error (the trees panic on a failed read deep inside the
+// rebuild; the deferred guard converts it), never as a crash.
+func OpenDurable(dir string, h *Hierarchy, b int, kind StrategyKind, seq uint64, opt DurableOpts) (d *Durable, err error) {
+	d = &Durable{Kind: kind, b: b, h: h}
+	defer func() {
+		if p := recover(); p != nil {
+			e, ok := p.(error)
+			if !ok {
+				panic(p)
+			}
+			d.CloseFiles()
+			d, err = nil, fmt.Errorf("classindex: opening %s: %w", dir, e)
+		}
+	}()
+	if err := d.openDevices(dir, opt.Fsync, &seq); err != nil {
 		return nil, err
 	}
 	bt := d.files[0]
@@ -93,7 +147,6 @@ func OpenDurable(dir string, h *Hierarchy, b int, kind StrategyKind, seq uint64,
 		return nil, fmt.Errorf("classindex: %s has no structure checkpoint at seq %d", dir, seq)
 	}
 	state := bt.ReadCheckpoint()
-	var err error
 	switch kind {
 	case KindSimple:
 		d.si, err = OpenSimpleOn(h, b, bt, state)
@@ -108,7 +161,47 @@ func OpenDurable(dir string, h *Hierarchy, b int, kind StrategyKind, seq uint64,
 		d.CloseFiles()
 		return nil, err
 	}
+	if !opt.DisableWAL {
+		wal, werr := disk.OpenWAL(filepath.Join(dir, walFile), opt.Fsync)
+		if werr != nil {
+			d.CloseFiles()
+			return nil, werr
+		}
+		d.wal = wal
+		if _, werr := wal.Recover(seq, d.replayOp); werr != nil {
+			d.CloseFiles()
+			return nil, fmt.Errorf("classindex: replaying %s: %w", dir, werr)
+		}
+	}
 	return d, nil
+}
+
+// replayOp applies one decoded WAL record during recovery. Replay runs on
+// the rollback-restored checkpoint image and the log is truncated at every
+// checkpoint, so each surviving record's effect is absent from the base:
+// inserts apply directly, and a delete of an object the crash kept out is a
+// structural no-op.
+func (d *Durable) replayOp(payload []byte) error {
+	if len(payload) != walOpLen {
+		return fmt.Errorf("classindex: wal record of %d bytes", len(payload))
+	}
+	o := Object{
+		Class: int(binary.LittleEndian.Uint64(payload[1:])),
+		Attr:  int64(binary.LittleEndian.Uint64(payload[9:])),
+		ID:    binary.LittleEndian.Uint64(payload[17:]),
+	}
+	if o.Class < 0 || o.Class >= d.h.Len() {
+		return fmt.Errorf("classindex: wal record names unknown class %d", o.Class)
+	}
+	switch payload[0] {
+	case walOpInsert:
+		d.ApplyInsert(o)
+	case walOpDelete:
+		d.ApplyDelete(o)
+	default:
+		return fmt.Errorf("classindex: wal record with unknown op %d", payload[0])
+	}
+	return nil
 }
 
 func (d *Durable) openDevices(dir string, opt disk.FsyncPolicy, trustSeq *uint64) error {
@@ -147,11 +240,42 @@ func (d *Durable) insertTarget() interface{ Insert(Object) } {
 	}
 }
 
-// Insert adds an object.
-func (d *Durable) Insert(o Object) { d.insertTarget().Insert(o) }
+// Insert logs the object to the WAL, makes the record durable (under
+// FsyncAlways), then applies it: once Insert returns, the mutation survives
+// a crash. Unknown classes panic before anything reaches the log.
+func (d *Durable) Insert(o Object) {
+	d.checkClass(o)
+	if d.wal != nil {
+		d.LogInsert(o)
+		d.SyncWAL()
+	}
+	d.ApplyInsert(o)
+}
 
-// Delete removes an object, returning whether it was present.
+// Delete logs and applies the removal, returning whether the object was
+// present. A delete of an absent object still logs (presence is only known
+// after walking the trees); its replay is a structural no-op.
 func (d *Durable) Delete(o Object) bool {
+	d.checkClass(o)
+	if d.wal != nil {
+		d.LogDelete(o)
+		d.SyncWAL()
+	}
+	return d.ApplyDelete(o)
+}
+
+func (d *Durable) checkClass(o Object) {
+	if o.Class < 0 || o.Class >= d.h.Len() {
+		panic(fmt.Errorf("classindex: object %d names unknown class %d", o.ID, o.Class))
+	}
+}
+
+// ApplyInsert applies an insert WITHOUT logging it — the shard layer's
+// group-commit path logs the whole batch up front and applies through here.
+func (d *Durable) ApplyInsert(o Object) { d.insertTarget().Insert(o) }
+
+// ApplyDelete applies a delete WITHOUT logging it (see ApplyInsert).
+func (d *Durable) ApplyDelete(o Object) bool {
 	switch {
 	case d.si != nil:
 		return d.si.Delete(o)
@@ -161,6 +285,42 @@ func (d *Durable) Delete(o Object) bool {
 		return d.rc.Delete(o)
 	}
 }
+
+// LogInsert appends an insert record to the WAL without applying or
+// syncing; it panics on an append failure (the mutation cannot be
+// acknowledged, exactly like a failed tree write).
+func (d *Durable) LogInsert(o Object) {
+	if d.wal == nil {
+		return
+	}
+	if err := d.wal.Append(encodeOp(walOpInsert, o)); err != nil {
+		panic(fmt.Errorf("classindex: wal append: %w", err))
+	}
+}
+
+// LogDelete appends a delete record to the WAL (see LogInsert).
+func (d *Durable) LogDelete(o Object) {
+	if d.wal == nil {
+		return
+	}
+	if err := d.wal.Append(encodeOp(walOpDelete, o)); err != nil {
+		panic(fmt.Errorf("classindex: wal append: %w", err))
+	}
+}
+
+// SyncWAL is the group-commit boundary: it makes every appended record
+// durable (a no-op except under FsyncAlways).
+func (d *Durable) SyncWAL() {
+	if d.wal == nil {
+		return
+	}
+	if err := d.wal.Sync(); err != nil {
+		panic(fmt.Errorf("classindex: wal sync: %w", err))
+	}
+}
+
+// WAL exposes the write-ahead log (nil when disabled).
+func (d *Durable) WAL() *disk.WAL { return d.wal }
 
 // Query reports the full extent of c within [a1, a2].
 func (d *Durable) Query(c int, a1, a2 int64, emit EmitObject) {
@@ -286,17 +446,23 @@ func (d *Durable) RollbackCheckpoint() error {
 	return first
 }
 
-// CommitCheckpoint commits the prepared generation on every device.
+// CommitCheckpoint commits the prepared generation on every device, then
+// truncates the WAL: the committed image captures every logged mutation. A
+// crash between the device commits and the truncation leaves a stale-
+// generation log that the next open discards.
 func (d *Durable) CommitCheckpoint() error {
 	for _, f := range d.files {
 		if err := f.CommitCheckpoint(); err != nil {
 			return err
 		}
 	}
+	if d.wal != nil {
+		return d.wal.Reset(d.files[0].Seq())
+	}
 	return nil
 }
 
-// CloseFiles closes the devices without checkpointing.
+// CloseFiles closes the devices and the WAL without checkpointing.
 func (d *Durable) CloseFiles() error {
 	var first error
 	for _, f := range d.files {
@@ -304,9 +470,39 @@ func (d *Durable) CloseFiles() error {
 			first = err
 		}
 	}
+	if d.wal != nil {
+		if err := d.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+		d.wal = nil
+	}
 	return first
 }
 
 // Files exposes the underlying devices (fault-injection tests arm their
 // write budgets).
 func (d *Durable) Files() []*disk.FileDevice { return d.files }
+
+// SetWriteBudget shares one fault-injection budget across the devices and
+// the WAL, so a crash sweep covers log appends too (nil disarms).
+func (d *Durable) SetWriteBudget(b *disk.WriteBudget) {
+	for _, f := range d.files {
+		f.SetWriteBudget(b)
+	}
+	if d.wal != nil {
+		d.wal.SetWriteBudget(b)
+	}
+}
+
+// FileWrites returns total file-level writes across the devices and the
+// WAL — the coordinate system of the crash sweeps.
+func (d *Durable) FileWrites() int64 {
+	var total int64
+	for _, f := range d.files {
+		total += f.FileWrites()
+	}
+	if d.wal != nil {
+		total += d.wal.FileWrites()
+	}
+	return total
+}

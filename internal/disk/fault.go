@@ -1,24 +1,48 @@
 package disk
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
 	"sync/atomic"
 )
 
-// FaultDevice wraps a Store and injects a write fault after a configured
-// number of mutations: Write returns ErrInjectedFault, Alloc and Free panic
-// with it (their signatures have no error channel for Alloc; the structures'
-// Must* helpers panic on a failed Write anyway, so a fault surfaces as a
-// panic the crash harness recovers from either way). Reads are never
-// faulted — a halted process can always re-read what it already wrote.
+// ErrInjectedRead is the typed transient read fault FailReads injects: the
+// read did not happen, but retrying it may succeed (the media model is a
+// flaky transport, not corruption).
+var ErrInjectedRead = errors.New("disk: injected transient read fault")
+
+// FaultDevice wraps a Store and injects faults. The original facility is a
+// mutation budget: Write returns ErrInjectedFault after n mutations, Alloc
+// and Free panic with it (their signatures have no error channel for Alloc;
+// the structures' Must* helpers panic on a failed Write anyway, so a fault
+// surfaces as a panic the crash harness recovers from either way).
+//
+// Beyond the budget, three probabilistic fault classes with deterministic
+// seeds generalize the harness: FailReads makes Read/View fail transiently
+// with a per-op probability, and FlipBits corrupts one random bit of a
+// written page (modeling rot introduced before the integrity boundary — a
+// CRC-checked store must detect it on the next read).
 //
 // FaultDevice tests any Store at Device-call granularity; the FileDevice's
 // own FailAfterWrites is finer (file-write granularity, covering journal
-// appends and superblock flips), and the recovery suite uses both.
+// appends, CRC-sidecar updates and superblock flips), and the recovery
+// suite uses both.
 type FaultDevice struct {
 	inner     Store
 	remaining atomic.Int64 // mutation budget; negative = disarmed
 	tripped   atomic.Bool
+
+	// rngMu guards the deterministic fault RNGs (Read/View may be called
+	// from many goroutines).
+	rngMu    sync.Mutex
+	readProb float64
+	readRng  *rand.Rand
+	flipProb float64
+	flipRng  *rand.Rand
 }
 
 // NewFaultDevice wraps inner with fault injection disarmed.
@@ -33,6 +57,43 @@ func NewFaultDevice(inner Store) *FaultDevice {
 func (fd *FaultDevice) FailAfterMutations(n int64) {
 	fd.tripped.Store(false)
 	fd.remaining.Store(n)
+}
+
+// FailReads makes each Read/View fail with ErrInjectedRead with probability
+// p, drawn from a deterministic stream seeded with seed. p <= 0 disarms.
+func (fd *FaultDevice) FailReads(p float64, seed int64) {
+	fd.rngMu.Lock()
+	defer fd.rngMu.Unlock()
+	fd.readProb = p
+	fd.readRng = rand.New(rand.NewSource(seed))
+}
+
+// FlipBits makes each Write corrupt one uniformly random bit of the stored
+// page with probability p, drawn from a deterministic stream seeded with
+// seed — the caller's buffer is untouched; only the media sees the flip.
+// p <= 0 disarms.
+func (fd *FaultDevice) FlipBits(p float64, seed int64) {
+	fd.rngMu.Lock()
+	defer fd.rngMu.Unlock()
+	fd.flipProb = p
+	fd.flipRng = rand.New(rand.NewSource(seed))
+}
+
+// readFault draws the transient-read coin.
+func (fd *FaultDevice) readFault() bool {
+	fd.rngMu.Lock()
+	defer fd.rngMu.Unlock()
+	return fd.readProb > 0 && fd.readRng.Float64() < fd.readProb
+}
+
+// flipBit returns the bit index to flip in an n-byte write, or -1.
+func (fd *FaultDevice) flipBit(n int) int {
+	fd.rngMu.Lock()
+	defer fd.rngMu.Unlock()
+	if fd.flipProb <= 0 || fd.flipRng.Float64() >= fd.flipProb || n == 0 {
+		return -1
+	}
+	return fd.flipRng.Intn(n * 8)
 }
 
 // Tripped reports whether a fault has been injected since the last arming.
@@ -66,20 +127,35 @@ func (fd *FaultDevice) Alloc() BlockID {
 	return fd.inner.Alloc()
 }
 
-// Read passes through unfaulted.
-func (fd *FaultDevice) Read(id BlockID, buf []byte) error { return fd.inner.Read(id, buf) }
+// Read passes through, unless FailReads injects a transient fault.
+func (fd *FaultDevice) Read(id BlockID, buf []byte) error {
+	if fd.readFault() {
+		return fmt.Errorf("disk: Read page %d: %w", id, ErrInjectedRead)
+	}
+	return fd.inner.Read(id, buf)
+}
 
-// View passes through unfaulted.
-func (fd *FaultDevice) View(id BlockID) ([]byte, error) { return fd.inner.View(id) }
+// View passes through, unless FailReads injects a transient fault.
+func (fd *FaultDevice) View(id BlockID) ([]byte, error) {
+	if fd.readFault() {
+		return nil, fmt.Errorf("disk: View page %d: %w", id, ErrInjectedRead)
+	}
+	return fd.inner.View(id)
+}
 
 // Release passes through.
 func (fd *FaultDevice) Release(id BlockID) { fd.inner.Release(id) }
 
 // Write stores the page, or returns ErrInjectedFault once the budget is
-// spent.
+// spent. With FlipBits armed, the stored copy may have one bit flipped.
 func (fd *FaultDevice) Write(id BlockID, buf []byte) error {
 	if err := fd.spend(); err != nil {
 		return err
+	}
+	if bit := fd.flipBit(len(buf)); bit >= 0 {
+		rotten := append([]byte(nil), buf...)
+		rotten[bit/8] ^= 1 << (bit % 8)
+		return fd.inner.Write(id, rotten)
 	}
 	return fd.inner.Write(id, buf)
 }
@@ -109,3 +185,27 @@ func (fd *FaultDevice) Allocated() int64 { return fd.inner.Allocated() }
 func (fd *FaultDevice) NumPages() int { return fd.inner.NumPages() }
 
 var _ Store = (*FaultDevice)(nil)
+
+// FlipBit flips one bit of data page `page` in the FileDevice file at path
+// — on-media rot, injected underneath the CRC layer, so the next Read of
+// the page must surface ErrCorrupt. bit indexes into the page (0 ..
+// pageSize*8-1). The device should be closed (or at least quiescent): this
+// pokes the file directly.
+func FlipBit(path string, pageSize int, page BlockID, bit int) error {
+	if page <= 0 || bit < 0 || bit >= pageSize*8 {
+		return fmt.Errorf("disk: FlipBit page %d bit %d out of range", page, bit)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	off := int64(int(page)+reservedFilePages-1)*int64(pageSize) + int64(bit/8)
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil && err != io.EOF {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	_, err = f.WriteAt(b[:], off)
+	return err
+}

@@ -92,16 +92,42 @@ var (
 	ErrNoCheckpoint  = errors.New("disk: no checkpoint with the requested sequence")
 )
 
+// ErrCorrupt reports a data page whose stored CRC32C does not match its
+// content — a bit flip or torn write on media, detected at read time. It is
+// a value type so errors.As(err, &disk.ErrCorrupt{}) matches it anywhere in
+// a wrapped chain, all the way up to the serving layer's 500.
+type ErrCorrupt struct {
+	Path     string
+	Page     BlockID
+	Stored   uint32
+	Computed uint32
+}
+
+func (e ErrCorrupt) Error() string {
+	return fmt.Sprintf("disk: corrupt page %d in %s: stored crc %08x, computed %08x",
+		e.Page, e.Path, e.Stored, e.Computed)
+}
+
 const (
 	fdMagic   = 0x3164466864696363 // "ccidhFd1" little-endian-ish tag
 	sbMagic   = 0x3142536864696363
 	jMagic    = 0x314e4a6864696363
 	jRecMagic = 0x4a52ec0d
-	fdVersion = 1
+	// fdVersion 2 adds the per-page CRC32C sidecar (path + ".crc");
+	// version-1 images are migrated in place at open time.
+	fdVersion   = 2
+	fdVersionV1 = 1
 
 	reservedFilePages = 3 // header + two superblock slots
 
 	blobPageHeader = 12 // next (u64) + dataLen (u32)
+
+	// Sanity bounds on attacker-controllable (fuzzed or corrupted) header
+	// fields, so a bad length can fail as ErrCorruptDevice instead of
+	// driving a huge allocation.
+	maxPageSize    = 1 << 24
+	maxCkptContent = 1 << 28
+	maxNumPages    = 1 << 26
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -122,6 +148,11 @@ type FileOptions struct {
 	// fresh structure over an existing file would silently recover the old
 	// allocation state and leak every old page under the new tree.
 	MustCreate bool
+	// Budget, when non-nil, arms the fault-injection write budget BEFORE
+	// recovery runs, so a crash schedule can land inside the open itself —
+	// mid-rollback, mid-migration, or (for callers that replay a log on
+	// top) mid-replay. Equivalent to SetWriteBudget, just earlier.
+	Budget *WriteBudget
 }
 
 // pendingCkpt is the state between PrepareCheckpoint and CommitCheckpoint.
@@ -138,9 +169,19 @@ type pendingCkpt struct {
 type FileDevice struct {
 	f        *os.File
 	jf       *os.File
+	cf       *os.File // per-page CRC sidecar (path + ".crc")
 	path     string
 	pageSize int
 	fsync    FsyncPolicy
+
+	// crcs caches the sidecar: crcs[id] is the CRC32C of data page id's
+	// content, or 0 for a page never written (sparse pages read as zeros
+	// and are not verified — the one-in-2^32 page whose true CRC is zero
+	// forgoes verification). Grown only under mu by Alloc; elements are
+	// written under mu by Write and read lock-free by Read, mirroring the
+	// page-content contract (a page is never written and read concurrently).
+	crcs    []uint32
+	zeroCRC uint32
 
 	// Mutation state; mu additionally serializes journal bookkeeping
 	// against pool write-back (see the concurrency note above).
@@ -174,6 +215,7 @@ type FileDevice struct {
 // any sharing device issues past the n-th fails with ErrInjectedFault.
 type WriteBudget struct {
 	remaining atomic.Int64
+	torn      atomic.Int64
 }
 
 // NewWriteBudget returns a budget allowing n writes.
@@ -182,6 +224,15 @@ func NewWriteBudget(n int64) *WriteBudget {
 	b.remaining.Store(n)
 	return b
 }
+
+// SetTornBytes arranges for the write that exhausts the budget to land a
+// torn prefix of n bytes on media before failing — a partial sector write
+// at the crash point rather than a clean all-or-nothing cut. Consumed by
+// the first faulted write.
+func (b *WriteBudget) SetTornBytes(n int64) { b.torn.Store(n) }
+
+// takeTorn consumes the one-shot torn-write setting.
+func (b *WriteBudget) takeTorn() int64 { return b.torn.Swap(0) }
 
 func (b *WriteBudget) spend() error {
 	for {
@@ -206,37 +257,51 @@ func OpenFile(path string, opts FileOptions) (*FileDevice, error) {
 		return nil, err
 	}
 	d := &FileDevice{f: f, path: path, fsync: opts.Fsync}
+	d.budget.Store(opts.Budget)
 	d.journaled = make(map[BlockID]bool)
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	if st.Size() == 0 {
-		if opts.PageSize <= 0 {
-			f.Close()
-			return nil, fmt.Errorf("disk: creating %s requires FileOptions.PageSize", path)
-		}
-	} else if opts.MustCreate {
-		f.Close()
-		return nil, fmt.Errorf("disk: %s already holds a device; open it instead, or remove it to recreate", path)
-	}
-	if st.Size() == 0 {
-		d.pageSize = opts.PageSize
-		if err := d.initFresh(); err != nil {
-			f.Close()
-			return nil, err
-		}
-	} else if err := d.recover(opts); err != nil {
+	closeAll := func() {
 		f.Close()
 		if d.jf != nil {
 			d.jf.Close()
 		}
+		if d.cf != nil {
+			d.cf.Close()
+		}
+	}
+	st, err := f.Stat()
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if opts.PageSize <= 0 {
+			closeAll()
+			return nil, fmt.Errorf("disk: creating %s requires FileOptions.PageSize", path)
+		}
+	} else if opts.MustCreate {
+		closeAll()
+		return nil, fmt.Errorf("disk: %s already holds a device; open it instead, or remove it to recreate", path)
+	}
+	// The CRC sidecar opens before recovery: the rollback replay restores
+	// sidecar entries alongside page pre-images.
+	if err := d.openSidecar(); err != nil {
+		closeAll()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		d.pageSize = opts.PageSize
+		d.zeroCRC = crc32.Checksum(make([]byte, d.pageSize), crcTable)
+		if err := d.initFresh(); err != nil {
+			closeAll()
+			return nil, err
+		}
+	} else if err := d.recover(opts); err != nil {
+		closeAll()
 		return nil, err
 	}
 	if d.jf == nil {
 		if err := d.openJournal(); err != nil {
-			f.Close()
+			closeAll()
 			return nil, err
 		}
 		if err := d.resetJournal(); err != nil {
@@ -259,6 +324,7 @@ func (d *FileDevice) initFresh() error {
 		return err
 	}
 	d.live = make([]bool, 1)
+	d.crcs = make([]uint32, 1)
 	empty := make([]byte, 16) // nPages 0, empty free list, no payload
 	if err := d.writeSlot(0, NilBlock, len(empty), crc32.Checksum(empty, crcTable), empty); err != nil {
 		return err
@@ -276,11 +342,12 @@ func (d *FileDevice) recover(opts FileOptions) error {
 	if binary.LittleEndian.Uint64(small[0:]) != fdMagic {
 		return fmt.Errorf("%w: bad magic in %s", ErrCorruptDevice, d.path)
 	}
-	if v := binary.LittleEndian.Uint32(small[8:]); v != fdVersion {
-		return fmt.Errorf("%w: version %d (want %d)", ErrCorruptDevice, v, fdVersion)
+	version := binary.LittleEndian.Uint32(small[8:])
+	if version != fdVersion && version != fdVersionV1 {
+		return fmt.Errorf("%w: version %d (want %d)", ErrCorruptDevice, version, fdVersion)
 	}
 	ps := int(binary.LittleEndian.Uint32(small[12:]))
-	if ps <= 0 {
+	if ps <= 0 || ps > maxPageSize {
 		return fmt.Errorf("%w: page size %d", ErrCorruptDevice, ps)
 	}
 	if crc32.Checksum(small[:16], crcTable) != binary.LittleEndian.Uint32(small[16:]) {
@@ -290,6 +357,7 @@ func (d *FileDevice) recover(opts FileOptions) error {
 		return fmt.Errorf("disk: %s has page size %d, caller expects %d", d.path, ps, opts.PageSize)
 	}
 	d.pageSize = ps
+	d.zeroCRC = crc32.Checksum(make([]byte, d.pageSize), crcTable)
 
 	// Pick the checkpoint slot.
 	type cand struct {
@@ -344,7 +412,10 @@ func (d *FileDevice) recover(opts FileOptions) error {
 	}
 	nPages := int(binary.LittleEndian.Uint64(content[0:]))
 	freeCount := int(binary.LittleEndian.Uint64(content[8:]))
-	if len(content) < 16+8*freeCount {
+	if nPages < 0 || nPages > maxNumPages {
+		return fmt.Errorf("%w: page count %d", ErrCorruptDevice, nPages)
+	}
+	if freeCount < 0 || len(content) < 16+8*freeCount {
 		return fmt.Errorf("%w: free list truncated", ErrCorruptDevice)
 	}
 	d.live = make([]bool, nPages+1)
@@ -364,7 +435,70 @@ func (d *FileDevice) recover(opts FileOptions) error {
 	d.ckptBlob = chain
 	d.liveCount.Store(int64(nPages - freeCount))
 	d.snapshotProtected()
+	if err := d.loadCRCs(); err != nil {
+		return err
+	}
+	if version == fdVersionV1 {
+		if err := d.migrateV1(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// loadCRCs populates the in-memory CRC table from the sidecar; entries past
+// the sidecar's length (pages written before the v2 format, or never
+// written) stay 0 = unverified.
+func (d *FileDevice) loadCRCs() error {
+	d.crcs = make([]uint32, len(d.live))
+	st, err := d.cf.Stat()
+	if err != nil {
+		return err
+	}
+	n := int(st.Size() / 4)
+	if n > len(d.live)-1 {
+		n = len(d.live) - 1
+	}
+	if n <= 0 {
+		return nil
+	}
+	buf := make([]byte, 4*n)
+	if _, err := d.cf.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		d.crcs[i+1] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return nil
+}
+
+// migrateV1 upgrades a version-1 image in place: compute and persist the
+// CRC of every live page, then rewrite the header as version 2. Crash-safe
+// because nothing here invalidates v1 semantics — a partial sidecar simply
+// leaves some pages unverified until the header rewrite lands and later
+// writes refresh their entries.
+func (d *FileDevice) migrateV1() error {
+	page := make([]byte, d.pageSize)
+	for id := 1; id < len(d.live); id++ {
+		if !d.live[id] {
+			continue
+		}
+		if err := d.fread(page, d.dataOff(BlockID(id))); err != nil {
+			return err
+		}
+		if err := d.setCRC(BlockID(id), crc32.Checksum(page, crcTable)); err != nil {
+			return err
+		}
+	}
+	hdr := make([]byte, d.pageSize)
+	binary.LittleEndian.PutUint64(hdr[0:], fdMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], fdVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(d.pageSize))
+	binary.LittleEndian.PutUint32(hdr[16:], crc32.Checksum(hdr[:16], crcTable))
+	if err := d.fwrite(hdr, 0); err != nil {
+		return err
+	}
+	return d.sync()
 }
 
 // --- basic geometry ----------------------------------------------------------
@@ -390,10 +524,73 @@ func (d *FileDevice) spendWriteBudget() error {
 // fwrite is the single funnel for page-file writes.
 func (d *FileDevice) fwrite(buf []byte, off int64) error {
 	if err := d.spendWriteBudget(); err != nil {
+		d.tornWrite(d.f, buf, off)
 		return err
 	}
 	_, err := d.f.WriteAt(buf, off)
 	return err
+}
+
+// tornWrite lands the budget's configured torn prefix of the write that
+// exhausted it, modeling a partial sector write at the crash point instead
+// of a clean all-or-nothing cut.
+func (d *FileDevice) tornWrite(f *os.File, buf []byte, off int64) {
+	b := d.budget.Load()
+	if b == nil {
+		return
+	}
+	t := b.takeTorn()
+	if t <= 0 {
+		return
+	}
+	if t > int64(len(buf)) {
+		t = int64(len(buf))
+	}
+	_, _ = f.WriteAt(buf[:t], off)
+}
+
+// --- per-page CRC sidecar ----------------------------------------------------
+
+func (d *FileDevice) openSidecar() error {
+	cf, err := os.OpenFile(d.path+".crc", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	d.cf = cf
+	return nil
+}
+
+// writeCRCEntry persists page id's content CRC to the sidecar. The write
+// spends the fault budget (a crash boundary exists between a page write and
+// its CRC update; the rollback journal heals the pair on recovery) but is
+// not an accounted data I/O — the Stats counters keep measuring exactly the
+// paper's page transfers.
+func (d *FileDevice) writeCRCEntry(id BlockID, crc uint32) error {
+	if err := d.spendWriteBudget(); err != nil {
+		return err
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], crc)
+	_, err := d.cf.WriteAt(b[:], 4*int64(id-1))
+	return err
+}
+
+// setCRC updates both the in-memory CRC table and the sidecar. Called with
+// d.mu held (or during single-threaded recovery).
+func (d *FileDevice) setCRC(id BlockID, crc uint32) error {
+	if int(id) < len(d.crcs) {
+		d.crcs[id] = crc
+	}
+	return d.writeCRCEntry(id, crc)
+}
+
+// storedCRC returns the expected content CRC of page id, or 0 when the page
+// has never been written (sparse pages are not verified).
+func (d *FileDevice) storedCRC(id BlockID) uint32 {
+	if int(id) < len(d.crcs) {
+		return d.crcs[id]
+	}
+	return 0
 }
 
 // fread reads len(buf) bytes at off, treating the region past EOF as zeros
@@ -414,6 +611,11 @@ func (d *FileDevice) sync() error {
 		return nil
 	}
 	d.syncs.Add(1)
+	if d.cf != nil {
+		if err := d.cf.Sync(); err != nil {
+			return err
+		}
+	}
 	return d.f.Sync()
 }
 
@@ -517,11 +719,15 @@ func (d *FileDevice) allocPageLocked() (BlockID, error) {
 		if err := d.fwrite(zero, d.dataOff(id)); err != nil {
 			return fail(fmt.Errorf("zeroing reused page %d: %w", id, err))
 		}
+		if err := d.setCRC(id, d.zeroCRC); err != nil {
+			return fail(fmt.Errorf("stamping reused page %d: %w", id, err))
+		}
 		d.allocs.Add(1)
 		d.liveCount.Add(1)
 		return id, nil
 	}
 	d.live = append(d.live, true)
+	d.crcs = append(d.crcs, 0) // sparse until first write; unverified
 	d.allocs.Add(1)
 	d.liveCount.Add(1)
 	return BlockID(len(d.live) - 1), nil
@@ -549,7 +755,9 @@ func (d *FileDevice) freeLocked(id BlockID) error {
 	return nil
 }
 
-// Read copies page id into buf and counts one I/O.
+// Read copies page id into buf and counts one I/O. The content is verified
+// against the page's stored CRC32C: a mismatch (bit flip, torn write on
+// media) surfaces as a typed ErrCorrupt instead of a silently wrong answer.
 func (d *FileDevice) Read(id BlockID, buf []byte) error {
 	if err := d.Check(id); err != nil {
 		return err
@@ -558,7 +766,15 @@ func (d *FileDevice) Read(id BlockID, buf []byte) error {
 		return ErrPageSize
 	}
 	d.reads.Add(1)
-	return d.fread(buf, d.dataOff(id))
+	if err := d.fread(buf, d.dataOff(id)); err != nil {
+		return err
+	}
+	if stored := d.storedCRC(id); stored != 0 {
+		if computed := crc32.Checksum(buf, crcTable); computed != stored {
+			return ErrCorrupt{Path: d.path, Page: id, Stored: stored, Computed: computed}
+		}
+	}
+	return nil
 }
 
 // View returns a read-only view of page id, counting one I/O like Read.
@@ -592,6 +808,9 @@ func (d *FileDevice) Write(id BlockID, buf []byte) error {
 	}
 	d.writes.Add(1)
 	err := d.fwrite(buf, d.dataOff(id))
+	if err == nil {
+		err = d.setCRC(id, crc32.Checksum(buf, crcTable))
+	}
 	d.mu.Unlock()
 	return err
 }
@@ -650,6 +869,7 @@ func (d *FileDevice) journalLocked(id BlockID) error {
 	// The journal append spends the same fault budget as any other file
 	// write: a crash can land between the append and the overwrite.
 	if err := d.spendWriteBudget(); err != nil {
+		d.tornWrite(d.jf, rec, end)
 		return err
 	}
 	if _, err := d.jf.WriteAt(rec, end); err != nil {
@@ -706,6 +926,11 @@ func (d *FileDevice) rollback(gen uint64) error {
 			return nil
 		}
 		if err := d.fwrite(rec[16:], d.dataOff(id)); err != nil {
+			return err
+		}
+		// Restore the sidecar entry alongside the pre-image: the record's
+		// validation CRC IS the pre-image's content CRC.
+		if err := d.writeCRCEntry(id, binary.LittleEndian.Uint32(rec[12:])); err != nil {
 			return err
 		}
 		off += int64(len(rec))
@@ -779,7 +1004,7 @@ func (d *FileDevice) readSlot(i int) (slotInfo, bool) {
 		contentLen: int(binary.LittleEndian.Uint64(buf[24:])),
 		contentCRC: binary.LittleEndian.Uint32(buf[32:]),
 	}
-	if sb.contentLen < 0 {
+	if sb.contentLen < 0 || sb.contentLen > maxCkptContent {
 		return slotInfo{}, false
 	}
 	if sb.head == NilBlock {
@@ -933,6 +1158,9 @@ func (d *FileDevice) PrepareCheckpoint(seq uint64, payload []byte) error {
 			if err := d.fwrite(page, d.dataOff(id)); err != nil {
 				return fail(err)
 			}
+			if err := d.setCRC(id, crc32.Checksum(page, crcTable)); err != nil {
+				return fail(err)
+			}
 		}
 		if err := d.sync(); err != nil {
 			return fail(err)
@@ -1066,6 +1294,11 @@ func (d *FileDevice) Close() error {
 	if d.jf != nil {
 		if jerr := d.jf.Close(); err == nil {
 			err = jerr
+		}
+	}
+	if d.cf != nil {
+		if cerr := d.cf.Close(); err == nil {
+			err = cerr
 		}
 	}
 	return err

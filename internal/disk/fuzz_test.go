@@ -1,0 +1,114 @@
+package disk
+
+// Fuzz targets for the two on-disk formats an attacker (or decaying
+// media) controls byte-for-byte: the WAL record stream and the device
+// file header. Both must reject arbitrary input with a clean error —
+// never a panic, never an oversized allocation driven by a corrupt
+// length field.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// walBytes builds a valid two-record log through the real API and returns
+// its raw bytes, the seed the fuzzer mutates from.
+func walBytes(f *testing.F) []byte {
+	path := filepath.Join(f.TempDir(), "seed.log")
+	w, err := OpenWAL(path, FsyncNever)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Reset(1); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Append([]byte("hello")); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Append([]byte{0, 1, 2, 3}); err != nil {
+		f.Fatal(err)
+	}
+	w.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return raw
+}
+
+func FuzzWALRecordDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(walBytes(f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		path := filepath.Join(t.TempDir(), "wal.log")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, err := OpenWAL(path, FsyncNever)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		// Recover must terminate with a prefix of valid records and no
+		// panic, whatever the bytes say; appending afterwards must work.
+		if _, err := w.Recover(1, func(p []byte) error { return nil }); err != nil {
+			t.Fatalf("recover on fuzzed log: %v", err)
+		}
+		if err := w.Append([]byte{42}); err != nil {
+			t.Fatalf("append after fuzzed recover: %v", err)
+		}
+	})
+}
+
+// deviceBytes builds a small valid device file through the real API.
+func deviceBytes(f *testing.F) []byte {
+	path := filepath.Join(f.TempDir(), "seed.pages")
+	d, err := OpenFile(path, FileOptions{PageSize: 128})
+	if err != nil {
+		f.Fatal(err)
+	}
+	id := d.Alloc()
+	if err := d.Write(id, make([]byte, 128)); err != nil {
+		f.Fatal(err)
+	}
+	if err := d.Checkpoint([]byte("payload")); err != nil {
+		f.Fatal(err)
+	}
+	d.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return raw
+}
+
+func FuzzFileHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(deviceBytes(f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		path := filepath.Join(t.TempDir(), "dev.pages")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Open must either succeed or fail with an error — never panic.
+		d, err := OpenFile(path, FileOptions{})
+		if err != nil {
+			return
+		}
+		// A device the recovery accepted must serve basic reads.
+		buf := make([]byte, d.PageSize())
+		for id := BlockID(1); int64(id) <= d.Allocated() && id < 8; id++ {
+			if d.Check(id) == nil {
+				_ = d.Read(id, buf)
+			}
+		}
+		d.Close()
+	})
+}

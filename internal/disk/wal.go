@@ -1,0 +1,281 @@
+package disk
+
+// WAL is a per-store append-only write-ahead log that closes the
+// lose-since-last-checkpoint window: a manager logs every acknowledged
+// mutation batch before applying it to its trees, and the open path replays
+// the log tail idempotently on top of the checkpoint image, so a crash
+// loses at most the single mutation that was mid-append.
+//
+// # Record format
+//
+// The file starts with a fixed 32-byte header and is followed by
+// variable-length records:
+//
+//	header   {magic u64, gen u64, reserved u64, crc32c u32 over bytes [0,24), pad u32}
+//	record   {magic u32, gen u64, lsn u64, len u32, crc32c u32, payload}
+//
+// The record CRC covers the first 24 header bytes plus the payload, so a
+// torn append (short header, short payload, or garbage) is detected and the
+// tail discarded — exactly the rollback journal's torn-tail rule. LSNs are
+// assigned densely from 1 within a generation; a gap means a torn or
+// corrupt record and also stops replay.
+//
+// # Generations and truncation
+//
+// The header's generation is the checkpoint sequence the records apply on
+// top of. A checkpoint commit calls Reset(newSeq): the log is truncated and
+// restamped, because everything it held is now captured by the checkpoint
+// image. An open at sequence S replays the tail only when the header says
+// generation S; any other generation is stale (the crash landed between the
+// checkpoint's commit record and the log truncation) and is discarded by
+// Reset — its records' effects are already inside the checkpoint.
+//
+// # Fsync boundary
+//
+// Append never syncs. Sync is a no-op except under FsyncAlways, matching
+// the rollback journal's append semantics: process-crash durability needs
+// write ordering only, power-loss durability needs the fsync. The shard
+// layer's group-commit buffer calls Sync once per flushed group — one fsync
+// per group — while a standalone manager syncs per operation.
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	wMagic       = 0x314c576864696363 // "ccidhWL1"
+	wRecMagic    = 0x524c4157         // "WALR"
+	walHeader    = 32
+	walRecHeader = 28
+	// walMaxRecord bounds a decoded record's claimed payload length so a
+	// corrupt or fuzzed length field cannot drive a huge allocation.
+	walMaxRecord = 1 << 24
+)
+
+// WAL is the append-only log. Open one with OpenWAL, then either Reset
+// (fresh store) or Recover (reopen) before appending.
+type WAL struct {
+	f     *os.File
+	path  string
+	fsync FsyncPolicy
+
+	mu  sync.Mutex
+	gen uint64
+	lsn uint64
+	off int64 // end-of-log offset; appends land here
+
+	budget atomic.Pointer[WriteBudget]
+
+	appends, syncs, fwrites atomic.Int64
+}
+
+// OpenWAL opens (creating if absent) the log file at path. The returned WAL
+// holds no generation yet: call Reset(gen) on a freshly created store or
+// Recover(gen, fn) when reopening.
+func OpenWAL(path string, fsync FsyncPolicy) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &WAL{f: f, path: path, fsync: fsync}, nil
+}
+
+// Path returns the log file's path.
+func (w *WAL) Path() string { return w.path }
+
+// SetWriteBudget shares a fault-injection budget with the log (nil
+// disarms): log appends are file-level writes and a crash boundary exists
+// at each one, exactly like the device's page and journal writes.
+func (w *WAL) SetWriteBudget(b *WriteBudget) { w.budget.Store(b) }
+
+// Appends returns the number of records successfully appended.
+func (w *WAL) Appends() int64 { return w.appends.Load() }
+
+// Syncs returns the number of fsync calls the log has issued.
+func (w *WAL) Syncs() int64 { return w.syncs.Load() }
+
+// FileWrites returns the total file-level write operations (header writes
+// and record appends), the coordinate system of the crash sweeps.
+func (w *WAL) FileWrites() int64 { return w.fwrites.Load() }
+
+// write is the single funnel for log-file writes: it spends the
+// fault-injection budget and lands the configured torn prefix of the write
+// that exhausts it.
+func (w *WAL) write(buf []byte, off int64) error {
+	w.fwrites.Add(1)
+	if b := w.budget.Load(); b != nil {
+		if err := b.spend(); err != nil {
+			if t := b.takeTorn(); t > 0 {
+				if t > int64(len(buf)) {
+					t = int64(len(buf))
+				}
+				_, _ = w.f.WriteAt(buf[:t], off)
+			}
+			return err
+		}
+	}
+	_, err := w.f.WriteAt(buf, off)
+	return err
+}
+
+// writeHeader stamps the 32-byte log header with gen.
+func (w *WAL) writeHeader(gen uint64) error {
+	var hdr [walHeader]byte
+	binary.LittleEndian.PutUint64(hdr[0:], wMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], gen)
+	binary.LittleEndian.PutUint32(hdr[24:], crc32.Checksum(hdr[:24], crcTable))
+	return w.write(hdr[:], 0)
+}
+
+// Reset truncates the log and restamps it as generation gen — the
+// truncation protocol a checkpoint commit runs once the new checkpoint
+// image captures every logged mutation.
+func (w *WAL) Reset(gen uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.resetLocked(gen)
+}
+
+func (w *WAL) resetLocked(gen uint64) error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if err := w.writeHeader(gen); err != nil {
+		return err
+	}
+	w.gen = gen
+	w.lsn = 0
+	w.off = walHeader
+	if w.fsync != FsyncNever {
+		w.syncs.Add(1)
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// Append logs one mutation payload under the current generation. The
+// record is durable in write order only; call Sync at the group-commit
+// boundary for FsyncAlways durability.
+func (w *WAL) Append(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec := make([]byte, walRecHeader+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], wRecMagic)
+	binary.LittleEndian.PutUint64(rec[4:], w.gen)
+	binary.LittleEndian.PutUint64(rec[12:], w.lsn+1)
+	binary.LittleEndian.PutUint32(rec[20:], uint32(len(payload)))
+	copy(rec[walRecHeader:], payload)
+	crc := crc32.Update(0, crcTable, rec[:24])
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.LittleEndian.PutUint32(rec[24:], crc)
+	if err := w.write(rec, w.off); err != nil {
+		return err
+	}
+	w.lsn++
+	w.off += int64(len(rec))
+	w.appends.Add(1)
+	return nil
+}
+
+// Sync makes appended records durable. A no-op except under FsyncAlways:
+// the other policies rely on write ordering (process-crash durability),
+// matching the rollback journal's append semantics.
+func (w *WAL) Sync() error {
+	if w.fsync != FsyncAlways {
+		return nil
+	}
+	w.syncs.Add(1)
+	return w.f.Sync()
+}
+
+// Recover replays the log tail on top of checkpoint generation gen: every
+// valid record's payload is handed to fn in append order, the torn tail (if
+// any) is truncated, and subsequent appends continue the surviving LSN
+// sequence. A log stamped with any other generation is stale — its records'
+// effects are already inside checkpoint gen — and is discarded via Reset.
+// An error from fn aborts the replay with the log untouched, so a failed
+// (crashed) replay can be retried from scratch on the next open.
+func (w *WAL) Recover(gen uint64, fn func(payload []byte) error) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	var hdr [walHeader]byte
+	n, err := w.f.ReadAt(hdr[:], 0)
+	if (err != nil && err != io.EOF) && n < walHeader {
+		return 0, err
+	}
+	if n < walHeader ||
+		binary.LittleEndian.Uint64(hdr[0:]) != wMagic ||
+		crc32.Checksum(hdr[:24], crcTable) != binary.LittleEndian.Uint32(hdr[24:]) ||
+		binary.LittleEndian.Uint64(hdr[8:]) != gen {
+		return 0, w.resetLocked(gen)
+	}
+
+	var recHdr [walRecHeader]byte
+	off := int64(walHeader)
+	count := 0
+	lsn := uint64(0)
+	for {
+		n, err := w.f.ReadAt(recHdr[:], off)
+		if n < walRecHeader {
+			break // torn tail
+		}
+		if err != nil && err != io.EOF {
+			return count, err
+		}
+		if binary.LittleEndian.Uint32(recHdr[0:]) != wRecMagic ||
+			binary.LittleEndian.Uint64(recHdr[4:]) != gen ||
+			binary.LittleEndian.Uint64(recHdr[12:]) != lsn+1 {
+			break
+		}
+		l := int(binary.LittleEndian.Uint32(recHdr[20:]))
+		if l < 0 || l > walMaxRecord {
+			break
+		}
+		payload := make([]byte, l)
+		if n, _ := w.f.ReadAt(payload, off+walRecHeader); n < l {
+			break // torn payload
+		}
+		crc := crc32.Update(0, crcTable, recHdr[:24])
+		crc = crc32.Update(crc, crcTable, payload)
+		if crc != binary.LittleEndian.Uint32(recHdr[24:]) {
+			break
+		}
+		if err := fn(payload); err != nil {
+			return count, err
+		}
+		count++
+		lsn++
+		off += int64(walRecHeader + l)
+	}
+	// Discard the torn tail and continue the surviving sequence.
+	if err := w.f.Truncate(off); err != nil {
+		return count, err
+	}
+	w.gen = gen
+	w.lsn = lsn
+	w.off = off
+	if w.fsync != FsyncNever {
+		w.syncs.Add(1)
+		if err := w.f.Sync(); err != nil {
+			return count, err
+		}
+	}
+	return count, nil
+}
+
+// Close closes the log file. Like the device, it does not checkpoint or
+// truncate: recovery semantics are the whole point.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -1,0 +1,367 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// collectWAL reopens the log at path and replays generation gen, returning
+// the recovered payloads.
+func collectWAL(t *testing.T, path string, gen uint64) [][]byte {
+	t.Helper()
+	w, err := OpenWAL(path, FsyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var got [][]byte
+	if _, err := w.Recover(gen, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, FsyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(7); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{{1, 2, 3}, {}, bytes.Repeat([]byte{0xAB}, 1000), {42}}
+	for _, p := range want {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Appends() != int64(len(want)) {
+		t.Fatalf("Appends() = %d, want %d", w.Appends(), len(want))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := collectWAL(t, path, 7)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %x, want %x", i, got[i], want[i])
+		}
+	}
+
+	// Appending after a recover continues the LSN sequence.
+	w, err = OpenWAL(path, FsyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Recover(7, func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if got := collectWAL(t, path, 7); len(got) != len(want)+1 {
+		t.Fatalf("after continued append: %d records, want %d", len(got), len(want)+1)
+	}
+}
+
+// TestWALReplayIdempotence is the replay-idempotence property: recovering
+// the same log repeatedly yields the identical payload sequence every
+// time, and recovery itself does not change what a later recovery sees —
+// a crash DURING replay (which applies a prefix and reopens) simply
+// replays from scratch.
+func TestWALReplayIdempotence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	rng := rand.New(rand.NewSource(71))
+	w, err := OpenWAL(path, FsyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(3); err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 200; i++ {
+		p := make([]byte, rng.Intn(64))
+		rng.Read(p)
+		want = append(want, p)
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	for round := 0; round < 3; round++ {
+		got := collectWAL(t, path, 3)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d records, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("round %d: record %d differs", round, i)
+			}
+		}
+	}
+}
+
+// TestWALTornTail: a crash mid-append leaves a partial record; recovery
+// must keep every complete record, drop the tail, and let appends continue.
+func TestWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, FsyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append([]byte{byte(i), 10, 20, 30}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Tear the last record: cut 3 bytes off the file.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	got := collectWAL(t, path, 1)
+	if len(got) != 4 {
+		t.Fatalf("recovered %d records after torn tail, want 4", len(got))
+	}
+	// The torn tail was truncated: a fresh append lands a valid record 5.
+	w, err = OpenWAL(path, FsyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Recover(1, func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte{99}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got = collectWAL(t, path, 1)
+	if len(got) != 5 || !bytes.Equal(got[4], []byte{99}) {
+		t.Fatalf("after append over torn tail: %d records, last %x", len(got), got[len(got)-1])
+	}
+}
+
+// TestWALStaleGeneration: a log stamped with a different generation than
+// the checkpoint being opened is discarded — its effects are already
+// inside the checkpoint image.
+func TestWALStaleGeneration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, FsyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	if got := collectWAL(t, path, 4); len(got) != 0 {
+		t.Fatalf("stale-generation recovery replayed %d records, want 0", len(got))
+	}
+	// The discard restamped the log as generation 4.
+	if got := collectWAL(t, path, 4); len(got) != 0 {
+		t.Fatalf("restamped log replayed %d records, want 0", len(got))
+	}
+}
+
+// TestWALCorruptRecordStopsReplay: a flipped byte inside a record fails
+// its CRC; replay keeps the prefix before it and truncates the rest.
+func TestWALCorruptRecordStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, FsyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := w.Append(bytes.Repeat([]byte{byte(i)}, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Flip one payload byte of record 3 (records are walRecHeader+16 each).
+	recSize := int64(walRecHeader + 16)
+	off := int64(walHeader) + 3*recSize + walRecHeader + 7
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got := collectWAL(t, path, 1)
+	if len(got) != 3 {
+		t.Fatalf("recovered %d records past corruption, want 3", len(got))
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(walHeader) + 3*recSize; st.Size() != want {
+		t.Fatalf("log size after truncation = %d, want %d", st.Size(), want)
+	}
+}
+
+// TestWALReplayErrorRetryable: an error from the replay callback (a crash
+// during replay) aborts with the log untouched, so the next open replays
+// everything from scratch.
+func TestWALReplayErrorRetryable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, FsyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	w, err = OpenWAL(path, FsyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("crash mid-replay")
+	n := 0
+	count, err := w.Recover(2, func([]byte) error {
+		if n == 2 {
+			return boom
+		}
+		n++
+		return nil
+	})
+	if !errors.Is(err, boom) || count != 2 {
+		t.Fatalf("Recover = (%d, %v), want (2, boom)", count, err)
+	}
+	w.Close()
+
+	if got := collectWAL(t, path, 2); len(got) != 4 {
+		t.Fatalf("retried recovery replayed %d records, want 4", len(got))
+	}
+}
+
+// TestWALBudgetTornAppend: the append that exhausts a write budget fails
+// with ErrInjectedFault, optionally landing a torn prefix; recovery sees
+// only the complete records.
+func TestWALBudgetTornAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, FsyncCheckpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte{1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewWriteBudget(0)
+	b.SetTornBytes(10) // partial record header lands on media
+	w.SetWriteBudget(b)
+	if err := w.Append([]byte{2, 2, 2}); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("append past budget: %v, want ErrInjectedFault", err)
+	}
+	w.SetWriteBudget(nil)
+	w.Close()
+
+	got := collectWAL(t, path, 1)
+	if len(got) != 1 || !bytes.Equal(got[0], []byte{1, 1, 1}) {
+		t.Fatalf("recovered %d records after torn faulted append, want the 1 complete one", len(got))
+	}
+}
+
+// TestWALCrashEveryWrite sweeps a crash boundary across every file-level
+// write of an append workload: for each k, the first k writes survive and
+// recovery must yield a dense prefix of the appended payloads.
+func TestWALCrashEveryWrite(t *testing.T) {
+	const ops = 40
+	// Pass 0 measures the total writes; subsequent passes crash at k.
+	total := int64(-1)
+	for k := int64(0); ; k++ {
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("wal%d.log", k))
+		w, err := OpenWAL(path, FsyncCheckpoint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Reset(1); err != nil {
+			t.Fatal(err)
+		}
+		acked := 0
+		if total >= 0 {
+			w.SetWriteBudget(NewWriteBudget(k))
+		}
+		for i := 0; i < ops; i++ {
+			if err := w.Append([]byte{byte(i), byte(i >> 8)}); err != nil {
+				if !errors.Is(err, ErrInjectedFault) {
+					t.Fatalf("k=%d op=%d: %v", k, i, err)
+				}
+				break
+			}
+			acked++
+		}
+		writes := w.FileWrites()
+		w.Close()
+
+		got := collectWAL(t, path, 1)
+		// Recovery must include every acked append and at most the one
+		// in-flight record (none here: an append either returns nil and is
+		// fully on media, or fails and its record is torn or absent).
+		if len(got) < acked {
+			t.Fatalf("k=%d: recovered %d records, %d were acked", k, len(got), acked)
+		}
+		for i, p := range got {
+			if want := []byte{byte(i), byte(i >> 8)}; !bytes.Equal(p, want) {
+				t.Fatalf("k=%d: record %d = %x, want %x", k, i, p, want)
+			}
+		}
+		if total < 0 {
+			total = writes // fault-free pass measured the sweep length
+			continue
+		}
+		if k >= total {
+			break
+		}
+	}
+}

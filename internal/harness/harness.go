@@ -59,6 +59,7 @@ func All() []Experiment {
 		{"E20", "Batched query execution: shared-traversal reads", runE20},
 		{"E21", "Durable storage: cold-open I/O, durable vs simulated throughput", runE21},
 		{"E22", "Serving front-end: adaptive auto-batching under concurrent load", runE22},
+		{"E23", "Write-ahead logging: mutation overhead and recovery time", runE23},
 	}
 }
 

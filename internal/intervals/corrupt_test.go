@@ -1,0 +1,47 @@
+package intervals
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"ccidx/internal/bptree"
+	"ccidx/internal/disk"
+	"ccidx/internal/workload"
+)
+
+// TestDurableBitFlipDetected: one flipped bit in the endpoint tree's
+// device file must surface from OpenAt as a typed disk.ErrCorrupt — the
+// open's rebuild scans every endpoint leaf, so the rot is caught before
+// the manager serves a single wrong answer, and the recover guard turns
+// the tree's panic into an error instead of killing the process.
+func TestDurableBitFlipDetected(t *testing.T) {
+	const span = int64(2000)
+	cfg := Config{B: 8}
+	dir := filepath.Join(t.TempDir(), "mgr")
+	m, err := CreateAt(dir, cfg, workload.UniformIntervals(11, 200, span, 150), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CloseFiles(); err != nil {
+		t.Fatal(err)
+	}
+
+	epPath := filepath.Join(dir, "endpoints.pages")
+	if err := disk.FlipBit(epPath, bptree.PageSize(cfg.B), 1, 9); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err = OpenAt(dir, DurableOptions{})
+	if err == nil {
+		m.CloseFiles()
+		t.Fatal("OpenAt succeeded over a flipped endpoint page")
+	}
+	var corrupt disk.ErrCorrupt
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("OpenAt error = %v, want a wrapped disk.ErrCorrupt", err)
+	}
+	if corrupt.Path != epPath {
+		t.Fatalf("ErrCorrupt.Path = %q, want %q", corrupt.Path, epPath)
+	}
+}

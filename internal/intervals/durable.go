@@ -19,12 +19,16 @@ package intervals
 // every shard's devices under a single top-level manifest so a crash can
 // never surface shards from different generations.
 //
-// What is durable: exactly the state at the last committed checkpoint.
-// Mutations since then (and group-commit buffers, which live above this
-// layer) are lost on a crash, by design; call Checkpoint as often as the
-// workload wants to bound that window.
+// What is durable: the state at the last committed checkpoint PLUS every
+// mutation the write-ahead log recorded since (each Insert/Delete appends
+// to the WAL before touching the trees; the sharded layer appends at
+// group-commit enqueue). A crash loses at most the single mutation that
+// was mid-append. Opting out (DurableOptions.DisableWAL) restores the
+// checkpoint-granular window: call Checkpoint as often as the workload
+// wants to bound it.
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -40,6 +44,7 @@ import (
 const (
 	endpointsFile = "endpoints.pages"
 	stabberFile   = "stabber.pages"
+	walFile       = "wal.log"
 )
 
 // manifestKind tags a standalone durable manager's manifest.
@@ -49,6 +54,42 @@ const manifestKind = "ccidx-intervals"
 type DurableOptions struct {
 	// Fsync selects the devices' sync policy (default disk.FsyncCheckpoint).
 	Fsync disk.FsyncPolicy
+	// DisableWAL turns off the write-ahead log of acknowledged mutations,
+	// restoring the checkpoint-granular durability of PR 5: a crash loses
+	// everything since the last checkpoint. The default (WAL on) loses at
+	// most the mutation that was mid-append.
+	DisableWAL bool
+	// Budget, when non-nil, arms a shared fault-injection write budget on
+	// the devices and the WAL from the very first file write — including
+	// the open path's rollback, rebuild, and WAL replay, which a
+	// post-construction SetWriteBudget can never reach. Crash-schedule
+	// tests use it to land crashes inside recovery itself.
+	Budget *disk.WriteBudget
+}
+
+// WAL op encoding: one record per acknowledged mutation.
+//
+//	insert  {1, lo i64, hi i64, id u64}  25 bytes
+//	delete  {2, id u64}                   9 bytes
+const (
+	walOpInsert = 1
+	walOpDelete = 2
+)
+
+func encodeInsertOp(iv geom.Interval) []byte {
+	rec := make([]byte, 25)
+	rec[0] = walOpInsert
+	binary.LittleEndian.PutUint64(rec[1:], uint64(iv.Lo))
+	binary.LittleEndian.PutUint64(rec[9:], uint64(iv.Hi))
+	binary.LittleEndian.PutUint64(rec[17:], iv.ID)
+	return rec
+}
+
+func encodeDeleteOp(id uint64) []byte {
+	rec := make([]byte, 9)
+	rec[0] = walOpDelete
+	binary.LittleEndian.PutUint64(rec[1:], id)
+	return rec
 }
 
 // Meta is the configuration a durable manager records in its manifest (and
@@ -97,8 +138,25 @@ func CreateManaged(dir string, cfg Config, ivs []geom.Interval, opt DurableOptio
 	if err != nil {
 		return nil, err
 	}
+	var wal *disk.WAL
+	if !opt.DisableWAL {
+		wal, err = disk.OpenWAL(filepath.Join(dir, walFile), opt.Fsync)
+		if err == nil {
+			wal.SetWriteBudget(opt.Budget)
+			err = wal.Reset(ep.Seq())
+		}
+		if err != nil {
+			ep.Close()
+			st.Close()
+			if wal != nil {
+				wal.Close()
+			}
+			return nil, err
+		}
+	}
 	m := newOn(cfg, ep, st, ivs)
 	m.files = []*disk.FileDevice{ep, st}
+	m.wal = wal
 	m.dirPath = dir
 	return m, nil
 }
@@ -121,26 +179,46 @@ func OpenAt(dir string, opt DurableOptions) (*Manager, error) {
 }
 
 // OpenManaged reopens the manager in dir trusting generation seq (the
-// caller's committed manifest), with cfg from the caller's metadata.
-func OpenManaged(dir string, cfg Config, seq uint64, opt DurableOptions) (*Manager, error) {
+// caller's committed manifest), with cfg from the caller's metadata. The
+// rebuild and WAL replay run inside a recover guard: the trees' Must*
+// helpers panic with error values on a corrupt page or an injected fault,
+// and an open must surface those as errors, not kill the process.
+func OpenManaged(dir string, cfg Config, seq uint64, opt DurableOptions) (mgr *Manager, err error) {
 	ep, st, err := openDevices(dir, cfg, opt, &seq)
 	if err != nil {
 		return nil, err
 	}
-	closeBoth := func() { ep.Close(); st.Close() }
+	var wal *disk.WAL
+	closeAll := func() {
+		ep.Close()
+		st.Close()
+		if wal != nil {
+			wal.Close()
+		}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			e, ok := p.(error)
+			if !ok {
+				panic(p)
+			}
+			closeAll()
+			mgr, err = nil, fmt.Errorf("intervals: opening %s: %w", dir, e)
+		}
+	}()
 	if !ep.HasCheckpoint() || !st.HasCheckpoint() {
-		closeBoth()
+		closeAll()
 		return nil, fmt.Errorf("intervals: %s has no structure checkpoint at seq %d", dir, seq)
 	}
 	endpoints, err := bptree.OpenOn(ep, ep.ReadCheckpoint())
 	if err != nil {
-		closeBoth()
+		closeAll()
 		return nil, err
 	}
 	coreCfg := core.Config{B: cfg.B, DisableTS: cfg.DisableTS, DisableCorner: cfg.DisableCorner}
 	stabber, err := core.OpenOn(coreCfg, st, st.ReadCheckpoint())
 	if err != nil {
-		closeBoth()
+		closeAll()
 		return nil, err
 	}
 	m := &Manager{
@@ -157,12 +235,123 @@ func OpenManaged(dir string, cfg Config, seq uint64, opt DurableOptions) (*Manag
 		return true
 	})
 	if len(m.dir) != endpoints.Len() {
-		closeBoth()
+		closeAll()
 		return nil, fmt.Errorf("intervals: %s endpoint tree holds %d entries but %d distinct ids",
 			dir, endpoints.Len(), len(m.dir))
 	}
 	m.n = len(m.dir)
+
+	// Replay the WAL tail on top of the checkpoint image. Replay is
+	// idempotent: an insert already present (logged AND captured by the
+	// checkpoint, or replayed once before a crashed replay retried) is
+	// skipped, as is a delete of an absent id.
+	if !opt.DisableWAL {
+		wal, err = disk.OpenWAL(filepath.Join(dir, walFile), opt.Fsync)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		wal.SetWriteBudget(opt.Budget)
+		if _, err := wal.Recover(seq, m.replayOp); err != nil {
+			closeAll()
+			return nil, fmt.Errorf("intervals: replaying %s wal: %w", dir, err)
+		}
+		m.wal = wal
+	}
 	return m, nil
+}
+
+// replayOp applies one decoded WAL record idempotently.
+func (m *Manager) replayOp(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("empty wal record")
+	}
+	switch payload[0] {
+	case walOpInsert:
+		if len(payload) != 25 {
+			return fmt.Errorf("insert wal record of %d bytes", len(payload))
+		}
+		iv := geom.Interval{
+			Lo: int64(binary.LittleEndian.Uint64(payload[1:])),
+			Hi: int64(binary.LittleEndian.Uint64(payload[9:])),
+			ID: binary.LittleEndian.Uint64(payload[17:]),
+		}
+		if _, present := m.dir[iv.ID]; !present {
+			m.applyInsert(iv)
+		}
+		return nil
+	case walOpDelete:
+		if len(payload) != 9 {
+			return fmt.Errorf("delete wal record of %d bytes", len(payload))
+		}
+		m.applyDelete(binary.LittleEndian.Uint64(payload[1:]))
+		return nil
+	default:
+		return fmt.Errorf("unknown wal op %d", payload[0])
+	}
+}
+
+// LogInsert appends an insert record to the WAL without applying or
+// syncing it — the shard layer's enqueue hook. Panics on a failed append
+// (error-valued, like the trees' Must* helpers) so the crash harness
+// recovers it as a crash.
+func (m *Manager) LogInsert(iv geom.Interval) {
+	if m.wal == nil {
+		return
+	}
+	if err := m.wal.Append(encodeInsertOp(iv)); err != nil {
+		panic(fmt.Errorf("intervals: wal append: %w", err))
+	}
+}
+
+// LogDelete appends a delete record to the WAL without applying or syncing.
+func (m *Manager) LogDelete(id uint64) {
+	if m.wal == nil {
+		return
+	}
+	if err := m.wal.Append(encodeDeleteOp(id)); err != nil {
+		panic(fmt.Errorf("intervals: wal append: %w", err))
+	}
+}
+
+// SyncWAL syncs the log at the group-commit boundary (a no-op except under
+// FsyncAlways — see disk.WAL.Sync).
+func (m *Manager) SyncWAL() {
+	if m.wal == nil {
+		return
+	}
+	if err := m.wal.Sync(); err != nil {
+		panic(fmt.Errorf("intervals: wal sync: %w", err))
+	}
+}
+
+// WAL exposes the write-ahead log (nil when disabled or in-memory):
+// fault-injection tests arm its write budget alongside the devices'.
+func (m *Manager) WAL() *disk.WAL { return m.wal }
+
+// SetWriteBudget arms one shared fault-injection budget across both devices
+// AND the WAL, so the k-th-write crash boundary is global over every
+// file-level write the manager issues. Nil disarms.
+func (m *Manager) SetWriteBudget(b *disk.WriteBudget) {
+	for _, f := range m.files {
+		f.SetWriteBudget(b)
+	}
+	if m.wal != nil {
+		m.wal.SetWriteBudget(b)
+	}
+}
+
+// FileWrites sums the file-level write counters of the devices and the WAL
+// — the upper bound of a crash sweep's k.
+func (m *Manager) FileWrites() int64 {
+	var n int64
+	for _, f := range m.files {
+		n += f.FileWrites()
+	}
+	if m.wal != nil {
+		n += m.wal.FileWrites()
+	}
+	return n
 }
 
 func openDevices(dir string, cfg Config, opt DurableOptions, trustSeq *uint64) (ep, st *disk.FileDevice, err error) {
@@ -172,12 +361,14 @@ func openDevices(dir string, cfg Config, opt DurableOptions, trustSeq *uint64) (
 	mustCreate := trustSeq == nil
 	ep, err = disk.OpenFile(filepath.Join(dir, endpointsFile), disk.FileOptions{
 		PageSize: bptree.PageSize(cfg.B), Fsync: opt.Fsync, TrustSeq: trustSeq, MustCreate: mustCreate,
+		Budget: opt.Budget,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	st, err = disk.OpenFile(filepath.Join(dir, stabberFile), disk.FileOptions{
 		PageSize: core.Config{B: cfg.B}.PageSize(), Fsync: opt.Fsync, TrustSeq: trustSeq, MustCreate: mustCreate,
+		Budget: opt.Budget,
 	})
 	if err != nil {
 		ep.Close()
@@ -238,12 +429,18 @@ func (m *Manager) RollbackCheckpoint() error {
 }
 
 // CommitCheckpoint commits the generation PrepareCheckpoint wrote, after
-// the caller's manifest rename made it the committed one.
+// the caller's manifest rename made it the committed one, then truncates
+// the WAL: everything it logged is captured by the new checkpoint image. A
+// crash between the commit record and the truncation is benign — the log's
+// stale generation is discarded at the next open.
 func (m *Manager) CommitCheckpoint() error {
 	for _, f := range m.files {
 		if err := f.CommitCheckpoint(); err != nil {
 			return err
 		}
+	}
+	if m.wal != nil {
+		return m.wal.Reset(m.files[0].Seq())
 	}
 	return nil
 }
@@ -282,6 +479,11 @@ func (m *Manager) CloseFiles() error {
 	var first error
 	for _, f := range m.files {
 		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if m.wal != nil {
+		if err := m.wal.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -59,9 +59,11 @@ type Manager struct {
 	n         int
 
 	// Durable state (nil/empty for the in-memory construction): the
-	// file-backed devices under the two trees and the directory they live
-	// in. See durable.go.
+	// file-backed devices under the two trees, the write-ahead log of
+	// acknowledged mutations since the last checkpoint, and the directory
+	// they live in. See durable.go.
 	files   []*disk.FileDevice
+	wal     *disk.WAL
 	dirPath string
 	cfg     Config
 }
@@ -170,11 +172,35 @@ func (m *Manager) PoolStats() (hits, misses int64) {
 	return hits, misses
 }
 
-// Insert adds an interval; amortized O(log_B n + (log_B n)^2/B) I/Os.
+// Insert adds an interval; amortized O(log_B n + (log_B n)^2/B) I/Os. On a
+// WAL-backed manager the mutation is logged (and, under FsyncAlways,
+// synced) before it touches the trees, so an acknowledged insert survives a
+// crash even before the next checkpoint.
 func (m *Manager) Insert(iv geom.Interval) {
 	if !iv.Valid() {
 		panic("intervals: invalid interval " + iv.String())
 	}
+	if _, dup := m.dir[iv.ID]; dup {
+		panic("intervals: duplicate interval id " + strconv.FormatUint(iv.ID, 10))
+	}
+	if m.wal != nil {
+		m.LogInsert(iv)
+		m.SyncWAL()
+	}
+	m.applyInsert(iv)
+}
+
+// ApplyInsert inserts WITHOUT logging to the WAL: the shard layer logs at
+// enqueue time (its group-commit buffer is the WAL batching boundary) and
+// applies through here at flush time; replay also lands here.
+func (m *Manager) ApplyInsert(iv geom.Interval) {
+	if !iv.Valid() {
+		panic("intervals: invalid interval " + iv.String())
+	}
+	m.applyInsert(iv)
+}
+
+func (m *Manager) applyInsert(iv geom.Interval) {
 	m.addDir(iv)
 	m.endpoints.InsertEntry(bptree.Entry{Key: iv.Lo, RID: iv.ID, Val: uint64(iv.Hi)})
 	m.stabber.Insert(iv.ToPoint())
@@ -185,8 +211,25 @@ func (m *Manager) Insert(iv geom.Interval) {
 // present. The endpoint side is a real B+-tree delete (O(log_B n)); the
 // stabbing side is a weak delete on the metablock tree — a tombstone plus
 // an amortized share of its global rebuild — so the whole operation is
-// amortized O(log_B n) I/Os without disturbing the query bounds.
+// amortized O(log_B n) I/Os without disturbing the query bounds. Logged
+// like Insert on a WAL-backed manager; a delete of an absent id is not
+// logged (it mutates nothing).
 func (m *Manager) Delete(id uint64) bool {
+	if _, ok := m.dir[id]; !ok {
+		return false
+	}
+	if m.wal != nil {
+		m.LogDelete(id)
+		m.SyncWAL()
+	}
+	return m.applyDelete(id)
+}
+
+// ApplyDelete deletes WITHOUT logging to the WAL — the flush-time and
+// replay-time twin of ApplyInsert.
+func (m *Manager) ApplyDelete(id uint64) bool { return m.applyDelete(id) }
+
+func (m *Manager) applyDelete(id uint64) bool {
 	iv, ok := m.dir[id]
 	if !ok {
 		return false

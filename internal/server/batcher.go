@@ -232,10 +232,18 @@ func (b *batcher[Q, R]) runBatch(batch []batchReq[Q, R]) {
 	}
 }
 
+// safeRun executes the backend batch call, converting a panic into an
+// error. Error panics (the trees' disk.ErrCorrupt, re-raised on this
+// goroutine by the shard fan-out) wrap with %w so the server's guard can
+// still classify them with errors.As; anything else keeps its stack.
 func (b *batcher[Q, R]) safeRun(qs []Q) (rs []R, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("batch backend panic: %v\n%s", p, debug.Stack())
+			if e, ok := p.(error); ok {
+				err = fmt.Errorf("batch backend panic: %w", e)
+			} else {
+				err = fmt.Errorf("batch backend panic: %v\n%s", p, debug.Stack())
+			}
 		}
 	}()
 	return b.run(qs)

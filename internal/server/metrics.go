@@ -131,6 +131,7 @@ type metrics struct {
 	shed     *counter
 	timeouts *counter
 	errors   *counter
+	corrupt  *counter
 
 	batches   *histogram // batch sizes actually dispatched
 	latency   *histogram // end-to-end request seconds
@@ -143,6 +144,7 @@ func newMetrics() *metrics {
 	m.shed = m.counter("ccidx_shed_total", "Requests rejected by admission control (503).")
 	m.timeouts = m.counter("ccidx_timeouts_total", "Requests that exceeded their deadline (504).")
 	m.errors = m.counter("ccidx_errors_total", "Requests that failed with a client or server error.")
+	m.corrupt = m.counter("ccidx_corrupt_pages_total", "Requests that hit a page failing CRC verification (detected media corruption).")
 	m.batches = m.histogram("ccidx_batch_size", "Coalesced batch sizes per dispatch.", expBuckets(1, 12))
 	m.latency = m.histogram("ccidx_request_seconds", "End-to-end request latency.", expBuckets(50e-6, 20))
 	m.batchWait = m.histogram("ccidx_batch_wait_seconds", "Time spent waiting for the batch window.", expBuckets(25e-6, 16))

@@ -16,11 +16,18 @@ import (
 	"sync"
 	"time"
 
+	"ccidx/internal/disk"
 	"ccidx/internal/geom"
 	"ccidx/internal/shard"
 )
 
 var errServerClosed = errors.New("server: closed")
+
+// errCheckpointBusy sheds a mutation that could not take the checkpoint
+// lock's read side before its deadline: a long checkpoint must turn
+// mutations away with 503 instead of letting them queue past their
+// deadline and answer 504 after the client gave up.
+var errCheckpointBusy = errors.New("checkpoint in progress")
 
 // Backend is what the server serves. Intervals is required; Classes is
 // optional (class endpoints 404 without it).
@@ -216,10 +223,21 @@ func (s *Server) guard(method string, h func(ctx context.Context, w http.Respons
 		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		err := h(ctx, w, r.WithContext(ctx))
+		err := s.safeHandle(h, ctx, w, r.WithContext(ctx))
 		s.m.latency.Observe(time.Since(start).Seconds())
+		var corrupt disk.ErrCorrupt
 		switch {
 		case err == nil:
+		case errors.As(err, &corrupt):
+			// A page failed CRC verification somewhere under this request.
+			// Detected corruption is a clean 500 — never a panic, never a
+			// silently wrong answer — and is counted for alerting.
+			s.m.corrupt.Inc()
+			s.m.errors.Inc()
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		case errors.Is(err, errCheckpointBusy):
+			s.m.shed.Inc()
+			http.Error(w, "checkpoint in progress, mutation shed", http.StatusServiceUnavailable)
 		case errors.Is(err, context.DeadlineExceeded):
 			s.m.timeouts.Inc()
 			http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
@@ -231,6 +249,47 @@ func (s *Server) guard(method string, h func(ctx context.Context, w http.Respons
 		default:
 			s.m.errors.Inc()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}
+
+// safeHandle runs one handler, converting a backend panic into a request
+// error. The unbatched query paths and the mutation paths call straight
+// into the shard layer, whose trees panic with disk.ErrCorrupt when a page
+// fails verification; recovering here (with %w so errors.As still sees the
+// typed error) turns that into a 500 for one request instead of a dead
+// process. Non-error panics keep their stack — those are real bugs.
+func (s *Server) safeHandle(h func(ctx context.Context, w http.ResponseWriter, r *http.Request) error, ctx context.Context, w http.ResponseWriter, r *http.Request) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok {
+				err = fmt.Errorf("backend panic: %w", e)
+			} else {
+				err = fmt.Errorf("backend panic: %v", p)
+			}
+		}
+	}()
+	return h(ctx, w, r)
+}
+
+// lockMutate takes the read side of the checkpoint lock, but gives up at
+// the request deadline: TryRLock, then poll — sync.RWMutex has no
+// context-aware acquire — so mutations blocked behind a long checkpoint
+// shed with errCheckpointBusy instead of queueing indefinitely.
+func (s *Server) lockMutate(ctx context.Context) error {
+	if s.ckptMu.TryRLock() {
+		return nil
+	}
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return errCheckpointBusy
+		case <-tick.C:
+			if s.ckptMu.TryRLock() {
+				return nil
+			}
 		}
 	}
 }
@@ -366,9 +425,11 @@ func (s *Server) handleInsert(ctx context.Context, w http.ResponseWriter, r *htt
 	if lo > hi {
 		return badRequestf("lo %d > hi %d", lo, hi)
 	}
-	s.ckptMu.RLock()
+	if err := s.lockMutate(ctx); err != nil {
+		return err
+	}
+	defer s.ckptMu.RUnlock()
 	s.b.Intervals.Insert(geom.Interval{Lo: lo, Hi: hi, ID: uint64(id)})
-	s.ckptMu.RUnlock()
 	return writeJSON(w, map[string]bool{"ok": true})
 }
 
@@ -377,19 +438,23 @@ func (s *Server) handleDelete(ctx context.Context, w http.ResponseWriter, r *htt
 	if err != nil {
 		return err
 	}
-	s.ckptMu.RLock()
+	if err := s.lockMutate(ctx); err != nil {
+		return err
+	}
+	defer s.ckptMu.RUnlock()
 	found := s.b.Intervals.Delete(uint64(id))
-	s.ckptMu.RUnlock()
 	return writeJSON(w, map[string]bool{"ok": true, "found": found})
 }
 
 func (s *Server) handleFlush(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
-	s.ckptMu.RLock()
+	if err := s.lockMutate(ctx); err != nil {
+		return err
+	}
+	defer s.ckptMu.RUnlock()
 	s.b.Intervals.Flush()
 	if s.b.Classes != nil {
 		s.b.Classes.Flush()
 	}
-	s.ckptMu.RUnlock()
 	return writeJSON(w, map[string]bool{"ok": true})
 }
 

@@ -57,6 +57,7 @@ func (s *Intervals) StabBatch(qs []int64, emit intervals.EmitBatch) {
 		s.shards[s.router.Route(sorted[0])].stabBatch(sorted, order, out)
 	case s.cfg.Partition == PartitionRange:
 		var wg sync.WaitGroup
+		var box panicBox
 		for lo := 0; lo < n; {
 			shardIdx := s.router.Route(sorted[lo])
 			hi := lo + 1
@@ -66,24 +67,29 @@ func (s *Intervals) StabBatch(qs []int64, emit intervals.EmitBatch) {
 			wg.Add(1)
 			go func(shardIdx, lo, hi int) {
 				defer wg.Done()
-				s.shards[shardIdx].stabBatch(sorted[lo:hi], order[lo:hi], out)
+				box.run(func() {
+					s.shards[shardIdx].stabBatch(sorted[lo:hi], order[lo:hi], out)
+				})
 			}(shardIdx, lo, hi)
 			lo = hi
 		}
 		wg.Wait()
+		box.rethrow()
 	default:
 		ns := s.router.Shards()
 		perShard := make([][][]geom.Interval, ns)
 		var wg sync.WaitGroup
+		var box panicBox
 		for i := 0; i < ns; i++ {
 			perShard[i] = make([][]geom.Interval, n)
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				s.shards[i].stabBatch(sorted, order, perShard[i])
+				box.run(func() { s.shards[i].stabBatch(sorted, order, perShard[i]) })
 			}(i)
 		}
 		wg.Wait()
+		box.rethrow()
 		for qi := 0; qi < n; qi++ {
 			for i := 0; i < ns; i++ {
 				out[qi] = append(out[qi], perShard[i][qi]...)
@@ -173,6 +179,7 @@ func (s *Intervals) IntersectBatch(qs []geom.Interval, emit intervals.EmitBatch)
 	}
 	shardOuts := make([][][]geom.Interval, ns)
 	var wg sync.WaitGroup
+	var box panicBox
 	for i := 0; i < ns; i++ {
 		if len(members[i]) == 0 {
 			continue
@@ -186,10 +193,11 @@ func (s *Intervals) IntersectBatch(qs []geom.Interval, emit intervals.EmitBatch)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			s.intersectBatchShard(i, qs, members[i], shardOuts[i])
+			box.run(func() { s.intersectBatchShard(i, qs, members[i], shardOuts[i]) })
 		}(i)
 	}
 	wg.Wait()
+	box.rethrow()
 	out := make([][]geom.Interval, n)
 	for i := 0; i < ns; i++ {
 		for mi, qi := range members[i] {
@@ -293,6 +301,7 @@ func (s *Classes) QueryBatch(qs []ClassQuery, emit func(qi int, attr int64, id u
 	}
 	shardOuts := make([][][]attrID, ns)
 	var wg sync.WaitGroup
+	var box panicBox
 	for i := 0; i < ns; i++ {
 		if len(members[i]) == 0 {
 			continue
@@ -305,10 +314,11 @@ func (s *Classes) QueryBatch(qs []ClassQuery, emit func(qi int, attr int64, id u
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			s.queryBatchShard(s.shards[i], qs, members[i], shardOuts[i])
+			box.run(func() { s.queryBatchShard(s.shards[i], qs, members[i], shardOuts[i]) })
 		}(i)
 	}
 	wg.Wait()
+	box.rethrow()
 	out := make([][]attrID, n)
 	for i := 0; i < ns; i++ {
 		for mi, qi := range members[i] {

@@ -122,7 +122,9 @@ func TestShardedCheckpointFaultRetry(t *testing.T) {
 // TestShardedCheckpointDrainFaultReopen places the fault in the drain:
 // pending ops are buffered, the first drain write fails, and the half-
 // applied shard makes in-process retry unsafe — but the error must be a
-// clean ErrInjectedFault, and reopening recovers the committed state.
+// clean ErrInjectedFault, and reopening recovers every ACKNOWLEDGED
+// mutation: the buffered inserts were WAL-logged at enqueue, so the drain
+// fault loses none of them.
 func TestShardedCheckpointDrainFaultReopen(t *testing.T) {
 	const span = int64(3000)
 	dir := filepath.Join(t.TempDir(), "sharded")
@@ -140,10 +142,14 @@ func TestShardedCheckpointDrainFaultReopen(t *testing.T) {
 	}
 
 	// Buffer mutations WITHOUT flushing; with Batch 8 and 30 inserts over
-	// 2 shards both cells hold pending ops when the checkpoint drains.
+	// 2 shards both cells hold pending ops when the checkpoint drains. Each
+	// insert is acknowledged — logged to its shard's WAL at enqueue — so
+	// the reopen oracle includes all of them.
 	for i := 0; i < 30; i++ {
 		lo := int64(i*90) % span
-		s.Insert(geom.Interval{Lo: lo, Hi: lo + 50, ID: uint64(10_000 + i)})
+		iv := geom.Interval{Lo: lo, Hi: lo + 50, ID: uint64(10_000 + i)}
+		s.Insert(iv)
+		committed[iv.ID] = iv
 	}
 	budget := disk.NewWriteBudget(0)
 	for _, f := range s.Files() {

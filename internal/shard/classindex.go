@@ -43,6 +43,11 @@ type Classes struct {
 type classShard struct {
 	cell cell[classindex.Object]
 	idx  ClassIndex
+	// apply lands one pending object in the index at flush time. In-memory
+	// shards use idx.Insert; WAL-backed shards use the unlogged
+	// classindex.(*Durable).ApplyInsert (the record was appended at enqueue
+	// by cell.logOp).
+	apply func(classindex.Object)
 }
 
 // poolAttacher is implemented by class-index strategies whose constituent
@@ -71,7 +76,7 @@ func NewClasses(cfg Config, h *classindex.Hierarchy, newIndex func() ClassIndex)
 				pa.AttachPool(f, poolLockShards)
 			}
 		}
-		s.shards[i] = &classShard{idx: idx}
+		s.shards[i] = &classShard{idx: idx, apply: idx.Insert}
 	}
 	return s
 }
@@ -83,14 +88,14 @@ func (s *Classes) Shards() int { return s.router.Shards() }
 // pending buffer.
 func (s *Classes) Insert(o classindex.Object) {
 	sh := s.shards[s.router.Route(o.Attr)]
-	sh.cell.insert(o, s.cfg.batch(), sh.idx.Insert)
+	sh.cell.insert(o, s.cfg.batch(), sh.apply)
 }
 
 // Flush forces every shard's pending buffer into its index structure and
 // writes dirty pooled frames back to the shard devices.
 func (s *Classes) Flush() {
 	for _, sh := range s.shards {
-		sh.cell.flush(sh.idx.Insert)
+		sh.cell.flush(sh.apply)
 		if pf, ok := sh.idx.(poolFlusher); ok {
 			sh.cell.mu.Lock()
 			pf.FlushPool()

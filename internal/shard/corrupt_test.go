@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"ccidx/internal/bptree"
+	"ccidx/internal/core"
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+	"ccidx/internal/intervals"
+	"ccidx/internal/workload"
+)
+
+// TestShardedBitFlipDetectedAtOpen: rot in one shard's endpoint file is
+// caught by that shard's open-time rebuild and surfaces from OpenIntervals
+// as a typed disk.ErrCorrupt, never a panic.
+func TestShardedBitFlipDetectedAtOpen(t *testing.T) {
+	const span = int64(3000)
+	cfg := Config{Shards: 3, B: 8, Batch: 2, Partition: PartitionRange, Span: span, PoolFrames: 64}
+	dir := filepath.Join(t.TempDir(), "sharded")
+	s, err := CreateIntervalsAt(dir, cfg, workload.UniformIntervals(13, 300, span, 200), intervals.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := disk.FlipBit(filepath.Join(dir, "shard-0001", "endpoints.pages"),
+		bptree.PageSize(cfg.B), 1, 100); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = OpenIntervals(dir, intervals.DurableOptions{})
+	if err == nil {
+		s.Close()
+		t.Fatal("OpenIntervals succeeded over a flipped page")
+	}
+	var corrupt disk.ErrCorrupt
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("OpenIntervals error = %v, want a wrapped disk.ErrCorrupt", err)
+	}
+}
+
+// TestShardedBitFlipDetectedAtQuery flips a bit in a STABBER file — which
+// the open path does not scan — so the corruption is only met mid-query,
+// on a fan-out worker goroutine. The panicBox must carry the tree's
+// ErrCorrupt panic back to the calling goroutine (where the serving
+// layer's recover converts it to a 500); queries not touching the rotten
+// page keep answering.
+func TestShardedBitFlipDetectedAtQuery(t *testing.T) {
+	const span = int64(3000)
+	// Bare devices: pooled frames could serve the rotten page from memory.
+	cfg := Config{Shards: 2, B: 8, Batch: 1, Partition: PartitionHash, PoolFrames: -1}
+	dir := filepath.Join(t.TempDir(), "sharded")
+	s, err := CreateIntervalsAt(dir, cfg, workload.UniformIntervals(17, 400, span, 250), intervals.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := disk.FlipBit(filepath.Join(dir, "shard-0000", "stabber.pages"),
+		core.Config{B: cfg.B}.PageSize(), 1, 42); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err = OpenIntervals(dir, intervals.DurableOptions{})
+	if err != nil {
+		t.Fatalf("open after stabber flip: %v (stabber pages are read at query time)", err)
+	}
+	defer s.Close()
+
+	// Sweep stabbing queries across the domain; at least one must hit the
+	// rotten page, and every failure must arrive as a recoverable ErrCorrupt
+	// panic on THIS goroutine, not a crashed worker.
+	hits := 0
+	for q := int64(0); q <= span; q += span / 61 {
+		err := func() (err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					e, ok := p.(error)
+					if !ok {
+						t.Fatalf("Stab(%d) panicked with non-error %v", q, p)
+					}
+					err = e
+				}
+			}()
+			s.Stab(q, func(geom.Interval) bool { return true })
+			s.StabBatch([]int64{q, q + 1}, func(int, geom.Interval) bool { return true })
+			return nil
+		}()
+		if err != nil {
+			var corrupt disk.ErrCorrupt
+			if !errors.As(err, &corrupt) {
+				t.Fatalf("Stab(%d) surfaced %v, want disk.ErrCorrupt", q, err)
+			}
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no query ever met the flipped stabber page; flip landed on a dead page")
+	}
+}

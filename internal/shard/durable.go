@@ -85,6 +85,7 @@ func CreateIntervalsAt(dir string, cfg Config, ivs []geom.Interval, opt interval
 			return nil, err
 		}
 		s.shards[i] = &intervalShard{mgr: mgr}
+		s.shards[i].armWAL()
 	}
 	s.attachPools()
 	s.n.Store(int64(len(ivs)))
@@ -136,6 +137,7 @@ func OpenIntervals(dir string, opt intervals.DurableOptions) (*Intervals, error)
 				return
 			}
 			s.shards[i] = &intervalShard{mgr: mgr}
+			s.shards[i].armWAL()
 		}(i)
 	}
 	wg.Wait()
@@ -274,6 +276,36 @@ func (s *Intervals) Files() []*disk.FileDevice {
 		out = append(out, sh.mgr.Files()...)
 	}
 	return out
+}
+
+// SetWriteBudget shares one fault-injection budget across every shard's
+// devices AND write-ahead logs (nil disarms).
+func (s *Intervals) SetWriteBudget(b *disk.WriteBudget) {
+	for _, sh := range s.shards {
+		sh.mgr.SetWriteBudget(b)
+	}
+}
+
+// WALStats sums write-ahead-log appends and fsyncs across every shard
+// (zero when the store runs with DisableWAL or in memory).
+func (s *Intervals) WALStats() (appends, syncs int64) {
+	for _, sh := range s.shards {
+		if w := sh.mgr.WAL(); w != nil {
+			appends += w.Appends()
+			syncs += w.Syncs()
+		}
+	}
+	return
+}
+
+// FileWrites sums file-level writes across every shard's devices and WALs
+// — the coordinate system of the crash sweeps.
+func (s *Intervals) FileWrites() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		total += sh.mgr.FileWrites()
+	}
+	return total
 }
 
 // Close closes every shard's file devices WITHOUT checkpointing (state

@@ -27,9 +27,22 @@ type classesMeta struct {
 	Hierarchy classindex.HierarchySpec `json:"hierarchy"`
 }
 
+// newDurableClassShard wires a file-backed strategy instance into a shard
+// cell: flush applies through the unlogged ApplyInsert, and — when the
+// instance has a WAL — ops are logged at enqueue with the flush as the
+// group-commit sync boundary.
+func newDurableClassShard(du *classindex.Durable) *classShard {
+	sh := &classShard{idx: du, apply: du.ApplyInsert}
+	if du.WAL() != nil {
+		sh.cell.logOp = du.LogInsert
+		sh.cell.synced = du.SyncWAL
+	}
+	return sh
+}
+
 // CreateClassesAt builds an empty sharded class index with every shard on
 // file-backed devices under dir, and commits the initial checkpoint.
-func CreateClassesAt(dir string, cfg Config, h *classindex.Hierarchy, kind classindex.StrategyKind, fsync disk.FsyncPolicy) (*Classes, error) {
+func CreateClassesAt(dir string, cfg Config, h *classindex.Hierarchy, kind classindex.StrategyKind, opt classindex.DurableOpts) (*Classes, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -38,7 +51,7 @@ func CreateClassesAt(dir string, cfg Config, h *classindex.Hierarchy, kind class
 	s.shards = make([]*classShard, n)
 	s.durables = make([]*classindex.Durable, n)
 	for i := 0; i < n; i++ {
-		du, err := classindex.CreateDurable(shardSubdir(dir, i), h, cfg.B, kind, fsync)
+		du, err := classindex.CreateDurable(shardSubdir(dir, i), h, cfg.B, kind, opt)
 		if err != nil {
 			s.Close()
 			return nil, err
@@ -47,7 +60,7 @@ func CreateClassesAt(dir string, cfg Config, h *classindex.Hierarchy, kind class
 			du.AttachPool(f, poolLockShards)
 		}
 		s.durables[i] = du
-		s.shards[i] = &classShard{idx: du}
+		s.shards[i] = newDurableClassShard(du)
 	}
 	s.dirPath = dir
 	s.strategy = kind
@@ -61,7 +74,7 @@ func CreateClassesAt(dir string, cfg Config, h *classindex.Hierarchy, kind class
 // OpenClasses reopens the sharded class index persisted under dir at its
 // manifest-committed generation (shards in parallel), returning the index
 // and the hierarchy rebuilt from the manifest.
-func OpenClasses(dir string, fsync disk.FsyncPolicy) (*Classes, *classindex.Hierarchy, error) {
+func OpenClasses(dir string, opt classindex.DurableOpts) (*Classes, *classindex.Hierarchy, error) {
 	mf, err := disk.ReadManifest(dir)
 	if err != nil {
 		return nil, nil, err
@@ -89,7 +102,7 @@ func OpenClasses(dir string, fsync disk.FsyncPolicy) (*Classes, *classindex.Hier
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			du, err := classindex.OpenDurable(shardSubdir(dir, i), h, cfg.B, kind, mf.Seq, fsync)
+			du, err := classindex.OpenDurable(shardSubdir(dir, i), h, cfg.B, kind, mf.Seq, opt)
 			if err != nil {
 				errs[i] = fmt.Errorf("shard %d: %w", i, err)
 				return
@@ -98,7 +111,7 @@ func OpenClasses(dir string, fsync disk.FsyncPolicy) (*Classes, *classindex.Hier
 				du.AttachPool(f, poolLockShards)
 			}
 			s.durables[i] = du
-			s.shards[i] = &classShard{idx: du}
+			s.shards[i] = newDurableClassShard(du)
 		}(i)
 	}
 	wg.Wait()
@@ -152,7 +165,7 @@ func (s *Classes) Checkpoint() error {
 	for i, sh := range s.shards {
 		du := s.durables[i]
 		if err := prepareShard(&sh.cell.mu, func() error {
-			sh.cell.flushLocked(sh.idx.Insert)
+			sh.cell.flushLocked(sh.apply)
 			return du.PrepareCheckpoint(seq)
 		}); err != nil {
 			if rerr := rollbackPrepared(i); rerr != nil {
@@ -184,6 +197,27 @@ func (s *Classes) Checkpoint() error {
 		}
 	}
 	return nil
+}
+
+// SetWriteBudget shares one fault-injection budget across every shard's
+// devices AND write-ahead logs (nil disarms).
+func (s *Classes) SetWriteBudget(b *disk.WriteBudget) {
+	for _, du := range s.durables {
+		if du != nil {
+			du.SetWriteBudget(b)
+		}
+	}
+}
+
+// FileWrites sums file-level writes across every shard's devices and WALs.
+func (s *Classes) FileWrites() int64 {
+	var total int64
+	for _, du := range s.durables {
+		if du != nil {
+			total += du.FileWrites()
+		}
+	}
+	return total
 }
 
 // Close closes every shard's file devices WITHOUT checkpointing.

@@ -64,15 +64,34 @@ type intervalShard struct {
 }
 
 // apply replays one pending operation into the shard's index structure
-// (called with the shard's write lock held).
+// (called with the shard's write lock held). It goes through the UNLOGGED
+// Apply* twins: on a WAL-backed shard the op was already logged at enqueue
+// time (cell.logOp), and logging again at flush would double every record.
 func (sh *intervalShard) apply(op ivOp) {
 	if op.del {
-		if !sh.mgr.Delete(op.iv.ID) {
+		if !sh.mgr.ApplyDelete(op.iv.ID) {
 			panic("shard: pending delete of an interval its shard does not hold")
 		}
 		return
 	}
-	sh.mgr.Insert(op.iv)
+	sh.mgr.ApplyInsert(op.iv)
+}
+
+// armWAL wires the shard's cell to the manager's write-ahead log: ops are
+// logged at enqueue (the moment they are acknowledged) and the flush is the
+// group-commit sync boundary. No-op wiring when the manager has no WAL.
+func (sh *intervalShard) armWAL() {
+	if sh.mgr.WAL() == nil {
+		return
+	}
+	sh.cell.logOp = func(op ivOp) {
+		if op.del {
+			sh.mgr.LogDelete(op.iv.ID)
+		} else {
+			sh.mgr.LogInsert(op.iv)
+		}
+	}
+	sh.cell.synced = sh.mgr.SyncWAL
 }
 
 // replicaRange returns the inclusive shard interval that must store iv.

@@ -166,6 +166,17 @@ func (r Router) RouteRange(lo, hi int64) (first, last int) {
 type cell[T any] struct {
 	mu      sync.RWMutex
 	pending []T
+	// logOp, when set (file-backed shards), appends the op to the shard's
+	// write-ahead log at ENQUEUE time, under the write lock: a mutation is
+	// log-durable the moment its caller is acknowledged, even though the
+	// index structures only see it at the deferred group-commit flush.
+	logOp func(T)
+	// synced, when set, marks the group-commit boundary after a flush: the
+	// WAL pays one fsync per flushed group (under FsyncAlways), not one per
+	// operation. Between an op's ack and its group's sync the record is
+	// durable in write order only — the bounded window group commit trades
+	// for batched fsyncs.
+	synced func()
 }
 
 // insert appends item under the write lock and, once the buffer reaches
@@ -173,11 +184,17 @@ type cell[T any] struct {
 // group commit).
 func (c *cell[T]) insert(item T, batch int, apply func(T)) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.logOp != nil {
+		c.logOp(item)
+	}
 	c.pending = append(c.pending, item)
 	if len(c.pending) >= batch {
 		c.flushLocked(apply)
+		if c.synced != nil {
+			c.synced()
+		}
 	}
-	c.mu.Unlock()
 }
 
 func (c *cell[T]) flushLocked(apply func(T)) {
@@ -190,8 +207,11 @@ func (c *cell[T]) flushLocked(apply func(T)) {
 // flush applies any pending items under the write lock.
 func (c *cell[T]) flush(apply func(T)) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.flushLocked(apply)
-	c.mu.Unlock()
+	if c.synced != nil {
+		c.synced()
+	}
 }
 
 // read runs fn under the read lock, handing it the pending buffer. fn must
@@ -202,9 +222,47 @@ func (c *cell[T]) read(fn func(pending []T)) {
 	c.mu.RUnlock()
 }
 
+// panicBox carries a panic from a worker goroutine back to the goroutine
+// that forked it. The query fan-outs read index pages concurrently; a read
+// that surfaces disk.ErrCorrupt makes the tree panic with an error, and an
+// uncaught panic in a bare goroutine would kill the whole process instead
+// of failing the one request. Workers run their body through run (which
+// records the first panic and lets the goroutine finish its join
+// bookkeeping); the forker calls rethrow after the join, re-raising the
+// panic on a goroutine whose callers (the server's request guard, the
+// batcher's safeRun) can recover it.
+type panicBox struct {
+	mu  sync.Mutex
+	val any
+	set bool
+}
+
+func (b *panicBox) run(fn func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			b.mu.Lock()
+			if !b.set {
+				b.val, b.set = p, true
+			}
+			b.mu.Unlock()
+		}
+	}()
+	fn()
+}
+
+// rethrow re-raises the captured panic, if any. Call only after every
+// worker has joined.
+func (b *panicBox) rethrow() {
+	if b.set {
+		panic(b.val)
+	}
+}
+
 // fanOut runs collect on shards [first, last] in parallel and emits the
 // merged per-shard results in shard order; emit returning false stops the
-// enumeration. A single-shard span skips the goroutine machinery.
+// enumeration. A single-shard span skips the goroutine machinery. A panic
+// in a shard collector (a corrupt page read) is re-raised here, on the
+// caller's goroutine, after all collectors joined.
 //
 // Early termination propagates BACK into the collectors: per-shard results
 // stream to emit as each shard finishes (still in shard order), and the
@@ -237,9 +295,10 @@ func fanOut[T any](first, last int, collect func(shard int, stop *atomic.Bool) [
 	n := last - first + 1
 	results := make([][]T, n)
 	done := make(chan int, n)
+	var box panicBox
 	for i := first; i <= last; i++ {
 		go func(i int) {
-			results[i-first] = collect(i, &stop)
+			box.run(func() { results[i-first] = collect(i, &stop) })
 			done <- i - first
 		}(i)
 	}
@@ -259,4 +318,5 @@ func fanOut[T any](first, last int, collect func(shard int, stop *atomic.Bool) [
 			next++
 		}
 	}
+	box.rethrow()
 }
