@@ -11,7 +11,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build vet test race race-churn crash crash-matrix fuzz bench bench-smoke bench-gate serve-smoke experiments ci
+.PHONY: build vet test race race-churn crash crash-matrix fuzz bench bench-smoke bench-gate serve-smoke replica-smoke experiments ci
 
 build:
 	$(GO) build ./...
@@ -42,10 +42,13 @@ crash:
 # seeds (comma-separated); each seed randomizes the serving config, the op
 # stream, the checkpoint cadence, and the crash point — then crashes the
 # recovery itself until one reopen survives and must equal the acked oracle.
+# The replica suite adds the hydration crash point: a snapshot stream torn
+# mid-transfer must fail the open, and a retry on the same directory must
+# hydrate cleanly.
 CRASH_SEEDS ?= 1,2,3
 crash-matrix:
-	CRASH_SEEDS=$(CRASH_SEEDS) $(GO) test -race -run 'RandomCrashSchedules|WalRecoversAcked|WALCrashEveryWrite' \
-		-timeout 20m ./internal/disk/ ./internal/shard/ .
+	CRASH_SEEDS=$(CRASH_SEEDS) $(GO) test -race -run 'RandomCrashSchedules|WalRecoversAcked|WALCrashEveryWrite|ReplicaTornHydration|ReplicaParks' \
+		-timeout 20m ./internal/disk/ ./internal/shard/ ./internal/replica/ .
 
 # Coverage-guided fuzzing of the two on-disk decoders that parse bytes an
 # adversarial disk could hand back: WAL record framing and the page-file
@@ -93,6 +96,16 @@ serve-smoke:
 		status=0; ./bin/ccload -addr http://$(SERVE_ADDR) -smoke || status=$$?; \
 		kill $$srv 2>/dev/null; wait $$srv 2>/dev/null; exit $$status
 
+# Replication smoke: real binaries — a durable replication-serving primary
+# plus two snapshot-hydrated replicas behind ccload's failover router, with
+# one replica kill -9'd and re-hydrated mid-load. Gates on zero failed
+# requests and routed answers row-identical to the primary's sequential
+# ones (ccload -check).
+replica-smoke:
+	$(GO) build -o bin/ccserve ./cmd/ccserve
+	$(GO) build -o bin/ccload ./cmd/ccload
+	./scripts/replica_smoke.sh bin
+
 # Regression GATE: save the committed BENCH.json as the baseline, regenerate
 # it, and fail on a >10% ios/op regression in any tier-1 benchmark (see
 # cmd/benchdiff). CI runs this instead of merely uploading the artifact.
@@ -105,4 +118,4 @@ bench-gate:
 experiments:
 	$(GO) run ./cmd/experiments
 
-ci: vet build test race race-churn crash crash-matrix bench-smoke serve-smoke
+ci: vet build test race race-churn crash crash-matrix bench-smoke serve-smoke replica-smoke

@@ -1,0 +1,78 @@
+package ccidx_test
+
+// Facade test for the public ReadRouter: a tiny in-memory fleet (one
+// sharded manager behind two HTTP fronts) must answer typed Stab and
+// Intersect queries identically to the backend, and the stats snapshot
+// must reflect the traffic.
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"ccidx"
+	"ccidx/internal/server"
+	"ccidx/internal/shard"
+	"ccidx/internal/workload"
+)
+
+func TestReadRouterFacade(t *testing.T) {
+	const span = int64(100000)
+	im := shard.NewIntervals(shard.Config{
+		Shards: 2, B: 16, Batch: 16, Partition: shard.PartitionRange, Span: span,
+	}, workload.UniformIntervals(7, 500, span, 900))
+
+	var fronts []string
+	for i := 0; i < 2; i++ {
+		srv, err := server.New(server.Backend{Intervals: im}, server.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		fronts = append(fronts, ts.URL)
+	}
+
+	rt, err := ccidx.NewReadRouter(fronts, ccidx.RouterOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.Ready() != 2 {
+		t.Fatalf("ready endpoints %d, want 2", rt.Ready())
+	}
+
+	ctx := context.Background()
+	for q := int64(0); q < span; q += span / 20 {
+		got, err := rt.Stab(ctx, q)
+		if err != nil {
+			t.Fatalf("stab(%d): %v", q, err)
+		}
+		want := map[uint64]bool{}
+		im.Stab(q, func(iv ccidx.Interval) bool { want[iv.ID] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("stab(%d): routed %d rows, backend %d", q, len(got), len(want))
+		}
+		for _, iv := range got {
+			if !want[iv.ID] {
+				t.Fatalf("stab(%d): routed unexpected id %d", q, iv.ID)
+			}
+		}
+	}
+
+	ivs, err := rt.Intersect(ctx, span/4, span/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	im.Intersect(ccidx.Interval{Lo: span / 4, Hi: span / 2}, func(ccidx.Interval) bool { want++; return true })
+	if len(ivs) != want {
+		t.Fatalf("intersect: routed %d rows, backend %d", len(ivs), want)
+	}
+
+	st := rt.Stats()
+	if st.Requests < 20 || st.Attempts < st.Requests || st.Exhausted != 0 {
+		t.Fatalf("implausible stats %+v", st)
+	}
+}

@@ -1,5 +1,5 @@
-// Command ccload drives a ccserve instance with stabbing-query load and
-// reports throughput and tail latency.
+// Command ccload drives a ccserve instance (or a replicated fleet) with
+// stabbing-query load and reports throughput and tail latency.
 //
 // Two loop disciplines:
 //
@@ -11,11 +11,25 @@
 //     arrival time, so queueing under overload is charged to the server.
 //     This is the discipline E22's latency-vs-offered-load curves use.
 //
+// Targets:
+//
+//   - -addr <url>: drive one server directly. 503 sheds are retried after
+//     the server's Retry-After delta, so an overloaded server is backed
+//     off from instead of hammered.
+//   - -endpoints <url,url,...>: drive a replicated fleet through the
+//     failover read router (retry, hedging, circuit breaking, epoch/LSN
+//     freshness checks) — node failures cost retries, not errors.
+//
+// -check <url> replays a seeded query sample after the load phase and
+// compares every routed/loaded answer against that node's sequential
+// answer — the answer oracle the replica smoke harness relies on.
+//
 // -smoke runs a short self-checking pass (health, correctness of counters)
 // and exits nonzero on any violation — CI's serving-path gate.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +43,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ccidx/internal/replication"
+	"ccidx/internal/router"
 )
 
 // stats mirrors the fields of the server's /v1/stats document that the
@@ -46,6 +63,8 @@ type stats struct {
 
 func main() {
 	base := flag.String("addr", "http://127.0.0.1:8416", "server base URL")
+	endpoints := flag.String("endpoints", "", "comma-separated base URLs: drive through the failover read router instead of -addr")
+	check := flag.String("check", "", "oracle base URL: after the load, compare a seeded query sample against this node")
 	c := flag.Int("c", 8, "concurrent workers")
 	n := flag.Int("n", 5000, "total requests")
 	rate := flag.Float64("rate", 0, "offered load in req/s (0 = closed loop)")
@@ -62,7 +81,7 @@ func main() {
 		fmt.Println("ccload smoke OK")
 		return
 	}
-	if err := runLoad(*base, *c, *n, *rate, *span, *seed); err != nil {
+	if err := runLoad(*base, *endpoints, *check, *c, *n, *rate, *span, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "ccload:", err)
 		os.Exit(1)
 	}
@@ -81,7 +100,50 @@ func getStats(base string) (stats, error) {
 	return st, json.NewDecoder(resp.Body).Decode(&st)
 }
 
-func runLoad(base string, c, n int, rate float64, span, seed int64) error {
+// fetchDiscard GETs url and discards the body, honoring a 503's
+// Retry-After (capped at maxWait) by sleeping and retrying, up to attempts
+// tries total. Returns the final status and how many Retry-After waits it
+// performed.
+func fetchDiscard(client *http.Client, url string, attempts int, maxWait time.Duration) (status int, waits int, err error) {
+	for try := 0; try < attempts; try++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			return 0, waits, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && try < attempts-1 {
+			if d := replication.ParseRetryAfter(resp.Header.Get("Retry-After"), maxWait); d > 0 {
+				waits++
+				time.Sleep(d)
+				continue
+			}
+		}
+		return resp.StatusCode, waits, nil
+	}
+	return status, waits, nil
+}
+
+func runLoad(base, endpoints, check string, c, n int, rate float64, span, seed int64) error {
+	// Router mode: every request goes through the failover read router.
+	var rt *router.Router
+	var eps []string
+	if endpoints != "" {
+		for _, e := range strings.Split(endpoints, ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				eps = append(eps, e)
+			}
+		}
+		var err error
+		rt, err = router.New(router.Config{Endpoints: eps, Seed: seed})
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		fmt.Printf("ccload: routing over %d endpoints (%d ready)\n", len(eps), rt.Ready())
+		base = eps[0] // stats come from the first endpoint (the primary)
+	}
+
 	before, err := getStats(base)
 	if err != nil {
 		return fmt.Errorf("server unreachable: %w", err)
@@ -89,7 +151,7 @@ func runLoad(base string, c, n int, rate float64, span, seed int64) error {
 
 	lats := make([]time.Duration, n)
 	var next atomic.Int64 // request index dispenser
-	var failed atomic.Int64
+	var failed, shedWaits atomic.Int64
 	client := &http.Client{Timeout: 10 * time.Second}
 	start := time.Now().Add(10 * time.Millisecond) // grace so worker 0 isn't late at t=0
 	interval := time.Duration(0)
@@ -118,16 +180,17 @@ func runLoad(base string, c, n int, rate float64, span, seed int64) error {
 					}
 				}
 				q := rng.Int63n(span)
-				resp, err := client.Get(fmt.Sprintf("%s/v1/stab?q=%d", base, q))
-				if err != nil {
-					failed.Add(1)
-					lats[i] = time.Since(issueAt)
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					failed.Add(1)
+				path := fmt.Sprintf("/v1/stab?q=%d", q)
+				if rt != nil {
+					if _, err := rt.Do(context.Background(), path); err != nil {
+						failed.Add(1)
+					}
+				} else {
+					status, waits, err := fetchDiscard(client, base+path, 3, 2*time.Second)
+					shedWaits.Add(int64(waits))
+					if err != nil || status != http.StatusOK {
+						failed.Add(1)
+					}
 				}
 				lats[i] = time.Since(issueAt)
 			}
@@ -151,14 +214,26 @@ func runLoad(base string, c, n int, rate float64, span, seed int64) error {
 		elapsed.Seconds(), float64(n)/elapsed.Seconds(), failed.Load())
 	fmt.Printf("  latency p50 %v  p95 %v  p99 %v  max %v\n",
 		pct(0.50), pct(0.95), pct(0.99), lats[n-1])
-	dReq := after.Requests - before.Requests
-	dIOs := after.IOs - before.IOs
-	dBatch := after.Batches - before.Batches
-	fmt.Printf("  server: %d requests, %d batches (mean %.1f), %d shed, %d timeouts, %d errors\n",
-		dReq, dBatch, after.BatchMean, after.Shed-before.Shed,
-		after.Timeouts-before.Timeouts, after.Errors-before.Errors)
-	if dReq > 0 {
-		fmt.Printf("  ios/query %.3f\n", float64(dIOs)/float64(dReq))
+	if rt != nil {
+		rs := rt.Stats()
+		fmt.Printf("  router: %d attempts, %d retries, %d failovers, %d hedges (%d won), %d stale rejects, %d breaker trips, %d exhausted\n",
+			rs.Attempts, rs.Retries, rs.Failovers, rs.Hedges, rs.HedgeWins, rs.StaleRejects, rs.BreakerTrips, rs.Exhausted)
+	} else {
+		dReq := after.Requests - before.Requests
+		dIOs := after.IOs - before.IOs
+		dBatch := after.Batches - before.Batches
+		fmt.Printf("  server: %d requests, %d batches (mean %.1f), %d shed (%d honored Retry-After), %d timeouts, %d errors\n",
+			dReq, dBatch, after.BatchMean, after.Shed-before.Shed, shedWaits.Load(),
+			after.Timeouts-before.Timeouts, after.Errors-before.Errors)
+		if dReq > 0 {
+			fmt.Printf("  ios/query %.3f\n", float64(dIOs)/float64(dReq))
+		}
+	}
+
+	if check != "" {
+		if err := runCheck(rt, base, check, span, seed); err != nil {
+			return err
+		}
 	}
 	// A failed request (transport error or non-200) fails the run: scripted
 	// callers (CI, experiment harnesses) must not mistake a half-errored
@@ -166,6 +241,74 @@ func runLoad(base string, c, n int, rate float64, span, seed int64) error {
 	if f := failed.Load(); f > 0 {
 		return fmt.Errorf("FAILED: %d of %d requests failed (transport error or non-200 status)", f, n)
 	}
+	return nil
+}
+
+// ivRow mirrors the server's interval wire form for oracle comparison.
+type ivRow struct {
+	Lo int64  `json:"lo"`
+	Hi int64  `json:"hi"`
+	ID uint64 `json:"id"`
+}
+
+func fetchRows(get func(path string) ([]byte, error), path string) ([]ivRow, error) {
+	body, err := get(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ivRow
+	if err := json.Unmarshal(body, &rows); err != nil {
+		return nil, err
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].ID < rows[b].ID })
+	return rows, nil
+}
+
+func httpGetBody(base string) func(path string) ([]byte, error) {
+	return func(path string) ([]byte, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s%s: %s", base, path, resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	}
+}
+
+// runCheck is the answer oracle: a seeded query sample answered through
+// the load path (router or single node) must match the check node's
+// sequential answers row for row.
+func runCheck(rt *router.Router, base, check string, span, seed int64) error {
+	loadGet := httpGetBody(base)
+	if rt != nil {
+		loadGet = func(path string) ([]byte, error) { return rt.Do(context.Background(), path) }
+	}
+	oracleGet := httpGetBody(check)
+	rng := rand.New(rand.NewSource(seed * 7919))
+	const probes = 200
+	for i := 0; i < probes; i++ {
+		path := fmt.Sprintf("/v1/stab?q=%d", rng.Int63n(span))
+		got, err := fetchRows(loadGet, path)
+		if err != nil {
+			return fmt.Errorf("check: load path %s: %w", path, err)
+		}
+		want, err := fetchRows(oracleGet, path)
+		if err != nil {
+			return fmt.Errorf("check: oracle %s: %w", path, err)
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("check FAILED: %s: load path %d rows, oracle %d", path, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				return fmt.Errorf("check FAILED: %s row %d: load path %+v, oracle %+v", path, j, got[j], want[j])
+			}
+		}
+	}
+	fmt.Printf("  check: %d sampled queries identical to %s\n", probes, check)
 	return nil
 }
 

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFetchDiscardHonorsRetryAfter: a server that sheds once with a
+// Retry-After delta is retried after (at least) that delay and the call
+// resolves to the eventual 200 — one logical request, one honored wait.
+func TestFetchDiscardHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var shedAt, retryAt atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			shedAt.Store(time.Now().UnixNano())
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			retryAt.Store(time.Now().UnixNano())
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer ts.Close()
+
+	status, waits, err := fetchDiscard(ts.Client(), ts.URL, 3, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("final status %d, want 200", status)
+	}
+	if waits != 1 {
+		t.Fatalf("honored %d Retry-After waits, want 1", waits)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+	if gap := time.Duration(retryAt.Load() - shedAt.Load()); gap < time.Second {
+		t.Fatalf("retry came %v after the shed, want >= the 1s Retry-After", gap)
+	}
+}
+
+// TestFetchDiscardExhaustsAttempts: a server that always sheds is retried
+// at most attempts-1 times, and the final 503 is surfaced, not an error.
+func TestFetchDiscardExhaustsAttempts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	status, waits, err := fetchDiscard(ts.Client(), ts.URL, 2, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("final status %d, want 503", status)
+	}
+	if waits != 1 || calls.Load() != 2 {
+		t.Fatalf("waits=%d calls=%d, want 1 wait over 2 calls", waits, calls.Load())
+	}
+}
+
+// TestFetchDiscardNoHeaderNoRetry: a 503 without Retry-After is returned
+// immediately — blind retry loops against an overloaded server are exactly
+// what the header protocol exists to prevent.
+func TestFetchDiscardNoHeaderNoRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	status, waits, err := fetchDiscard(ts.Client(), ts.URL, 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusServiceUnavailable || waits != 0 || calls.Load() != 1 {
+		t.Fatalf("status=%d waits=%d calls=%d, want immediate 503", status, waits, calls.Load())
+	}
+}

@@ -6,12 +6,19 @@
 //
 //	ccserve -addr :8416 -n 100000 -shards 8
 //
-// Durable (creates dir on first run, reopens it afterwards):
+// Durable (creates dir on first run, reopens it afterwards), serving the
+// replication endpoints replicas hydrate from:
 //
-//	ccserve -addr :8416 -dir /var/lib/ccidx -n 100000
+//	ccserve -addr :8416 -dir /var/lib/ccidx -n 100000 -wal-serve
+//
+// Read replica of a primary (hydrates a fresh snapshot into -dir, tails
+// the primary's logical WAL, serves reads only):
+//
+//	ccserve -addr :8417 -dir /var/lib/ccidx-r1 -replica-of http://primary:8416
 //
 // Batching is adaptive by default; -nobatch serves the sequential control
-// arm for A/B load tests with ccload.
+// arm for A/B load tests with ccload. The -fault-* flags arm the HTTP
+// fault injector (deterministic under -fault-seed) for failover drills.
 package main
 
 import (
@@ -28,62 +35,216 @@ import (
 	"ccidx/internal/classindex"
 	"ccidx/internal/disk"
 	"ccidx/internal/intervals"
+	"ccidx/internal/replica"
 	"ccidx/internal/server"
 	"ccidx/internal/shard"
 	"ccidx/internal/workload"
 )
 
+// options carries every flag; one struct instead of a 20-parameter run().
+type options struct {
+	addr      string
+	shards    int
+	b         int
+	batch     int
+	partition string
+	pool      int
+	n         int
+	seed      int64
+	maxlen    int64
+	dir       string
+	fsync     string
+	nowal     bool
+	classes   int
+	window    time.Duration
+	maxbatch  int
+	inflight  int
+	timeout   time.Duration
+	nobatch   bool
+
+	replicaOf     string
+	replicaPoll   time.Duration
+	replicaMaxLag int64
+	walServe      bool
+	replog        int
+
+	faultLatency time.Duration
+	faultJitter  time.Duration
+	faultError   float64
+	faultDrop    float64
+	faultSeed    int64
+}
+
 func main() {
-	addr := flag.String("addr", ":8416", "listen address")
-	shards := flag.Int("shards", 4, "shard count")
-	b := flag.Int("b", 32, "block capacity B")
-	batch := flag.Int("batch", 64, "per-shard group-commit buffer size")
-	partition := flag.String("partition", "range", "partitioning: range|hash")
-	pool := flag.Int("pool", 256, "buffer-pool frames per shard (-1 disables)")
-	n := flag.Int("n", 100000, "synthetic intervals to preload (create only)")
-	seed := flag.Int64("seed", 1, "workload seed")
-	maxlen := flag.Int64("maxlen", 0, "max interval length (0 = span/n*8)")
-	dir := flag.String("dir", "", "durable directory (empty = in-memory)")
-	fsync := flag.String("fsync", "checkpoint", "fsync policy for durable dirs: never|checkpoint|always")
-	nowal := flag.Bool("nowal", false, "disable the write-ahead log (checkpoint-granular durability)")
-	classes := flag.Int("classes", 0, "classes in a synthetic hierarchy (0 = no class index)")
-	window := flag.Duration("window", time.Millisecond, "max auto-batch window")
-	maxbatch := flag.Int("maxbatch", 1024, "max coalesced batch size")
-	inflight := flag.Int("inflight", 1024, "max in-flight requests before shedding")
-	timeout := flag.Duration("timeout", 2*time.Second, "per-request deadline")
-	nobatch := flag.Bool("nobatch", false, "disable auto-batching (sequential control arm)")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8416", "listen address")
+	flag.IntVar(&o.shards, "shards", 4, "shard count")
+	flag.IntVar(&o.b, "b", 32, "block capacity B")
+	flag.IntVar(&o.batch, "batch", 64, "per-shard group-commit buffer size")
+	flag.StringVar(&o.partition, "partition", "range", "partitioning: range|hash")
+	flag.IntVar(&o.pool, "pool", 256, "buffer-pool frames per shard (-1 disables)")
+	flag.IntVar(&o.n, "n", 100000, "synthetic intervals to preload (create only)")
+	flag.Int64Var(&o.seed, "seed", 1, "workload seed")
+	flag.Int64Var(&o.maxlen, "maxlen", 0, "max interval length (0 = span/n*8)")
+	flag.StringVar(&o.dir, "dir", "", "durable directory (empty = in-memory)")
+	flag.StringVar(&o.fsync, "fsync", "checkpoint", "fsync policy for durable dirs: never|checkpoint|always")
+	flag.BoolVar(&o.nowal, "nowal", false, "disable the write-ahead log (checkpoint-granular durability)")
+	flag.IntVar(&o.classes, "classes", 0, "classes in a synthetic hierarchy (0 = no class index)")
+	flag.DurationVar(&o.window, "window", time.Millisecond, "max auto-batch window")
+	flag.IntVar(&o.maxbatch, "maxbatch", 1024, "max coalesced batch size")
+	flag.IntVar(&o.inflight, "inflight", 1024, "max in-flight requests before shedding")
+	flag.DurationVar(&o.timeout, "timeout", 2*time.Second, "per-request deadline")
+	flag.BoolVar(&o.nobatch, "nobatch", false, "disable auto-batching (sequential control arm)")
+	flag.StringVar(&o.replicaOf, "replica-of", "", "primary base URL: run as a read replica (requires -dir for the hydration directory)")
+	flag.DurationVar(&o.replicaPoll, "replica-poll", 25*time.Millisecond, "replica WAL tail interval")
+	flag.Int64Var(&o.replicaMaxLag, "replica-maxlag", 4096, "replica readiness lag bound in ops")
+	flag.BoolVar(&o.walServe, "wal-serve", false, "serve /v1/snapshot and /v1/wal for replicas (requires -dir)")
+	flag.IntVar(&o.replog, "replog", 65536, "retained replication-log ops with -wal-serve")
+	flag.DurationVar(&o.faultLatency, "fault-latency", 0, "injected base latency per request")
+	flag.DurationVar(&o.faultJitter, "fault-jitter", 0, "injected latency jitter bound")
+	flag.Float64Var(&o.faultError, "fault-error", 0, "injected transient 500 probability per request")
+	flag.Float64Var(&o.faultDrop, "fault-drop", 0, "injected connection-drop probability per request")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault schedule seed")
 	flag.Parse()
 
-	if err := run(*addr, *shards, *b, *batch, *partition, *pool, *n, *seed, *maxlen,
-		*dir, *fsync, *nowal, *classes, *window, *maxbatch, *inflight, *timeout, *nobatch); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "ccserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, shards, b, batch int, partition string, pool, n int, seed, maxlen int64,
-	dir, fsync string, nowal bool, classes int, window time.Duration, maxbatch, inflight int,
-	timeout time.Duration, nobatch bool) error {
-	span := int64(n) * 16
+func run(o options) error {
+	dopt, err := durableOpts(o)
+	if err != nil {
+		return err
+	}
+	if o.replicaOf != "" {
+		return runReplica(o)
+	}
+
+	span := int64(o.n) * 16
+	maxlen := o.maxlen
 	if maxlen <= 0 {
-		maxlen = span / int64(n) * 8
+		maxlen = span / int64(o.n) * 8
 	}
 	var part shard.Partition
-	switch partition {
+	switch o.partition {
 	case "range":
 		part = shard.PartitionRange
 	case "hash":
 		part = shard.PartitionHash
 	default:
-		return fmt.Errorf("unknown partition %q (want range|hash)", partition)
+		return fmt.Errorf("unknown partition %q (want range|hash)", o.partition)
 	}
 	cfg := shard.Config{
-		Shards: shards, B: b, Batch: batch,
-		Partition: part, Span: span, PoolFrames: pool,
+		Shards: o.shards, B: o.b, Batch: o.batch,
+		Partition: part, Span: span, PoolFrames: o.pool,
 	}
 
-	dopt := intervals.DurableOptions{DisableWAL: nowal}
-	switch fsync {
+	var im *shard.Intervals
+	switch {
+	case o.dir == "":
+		if o.walServe {
+			return fmt.Errorf("-wal-serve requires -dir (the snapshot ships the checkpoint directory)")
+		}
+		im = shard.NewIntervals(cfg, workload.UniformIntervals(o.seed, o.n, span, maxlen))
+		fmt.Printf("ccserve: in-memory, %d intervals across %d shards\n", im.Len(), o.shards)
+	default:
+		if _, serr := os.Stat(o.dir); serr == nil {
+			im, err = shard.OpenIntervals(o.dir, dopt)
+			if err != nil {
+				return fmt.Errorf("opening %s: %w", o.dir, err)
+			}
+			fmt.Printf("ccserve: reopened %s at seq %d, %d intervals (fsync=%s wal=%v)\n",
+				o.dir, im.Seq(), im.Len(), o.fsync, !o.nowal)
+		} else {
+			im, err = shard.CreateIntervalsAt(o.dir, cfg,
+				workload.UniformIntervals(o.seed, o.n, span, maxlen), dopt)
+			if err != nil {
+				return fmt.Errorf("creating %s: %w", o.dir, err)
+			}
+			fmt.Printf("ccserve: created %s, %d intervals across %d shards (fsync=%s wal=%v)\n",
+				o.dir, im.Len(), o.shards, o.fsync, !o.nowal)
+		}
+	}
+	defer im.Close()
+
+	be := server.Backend{Intervals: im}
+	if o.classes > 0 {
+		h := workload.RandomHierarchy(o.seed, o.classes)
+		cs := shard.NewClasses(cfg, h, func() shard.ClassIndex {
+			return classindex.NewRakeContract(h, o.b)
+		})
+		for _, obj := range workload.Objects(o.seed+1, h, o.n, span) {
+			cs.Insert(obj)
+		}
+		cs.Flush()
+		be.Classes = cs
+		fmt.Printf("ccserve: class index over %d classes, %d objects\n", h.Len(), o.n)
+	}
+
+	srv, err := server.New(be, server.Config{
+		MaxBatch: o.maxbatch, MaxWait: o.window,
+		MaxInFlight: o.inflight, RequestTimeout: o.timeout,
+		DisableBatching: o.nobatch,
+		Replication:     o.walServe, ReplicationLog: o.replog,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if o.walServe {
+		fmt.Printf("ccserve: replication serving on (retaining %d ops)\n", o.replog)
+	}
+
+	if err := serveUntilSignal(o, srv.Handler()); err != nil {
+		return err
+	}
+	if im.Durable() {
+		if err := im.Checkpoint(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		fmt.Printf("ccserve: final checkpoint at seq %d\n", im.Seq())
+	}
+	return nil
+}
+
+// runReplica hydrates from the primary and serves reads only.
+func runReplica(o options) error {
+	if o.dir == "" {
+		return fmt.Errorf("-replica-of requires -dir for the hydration directory")
+	}
+	if o.walServe {
+		return fmt.Errorf("-wal-serve and -replica-of are mutually exclusive (replicas do not re-serve the log)")
+	}
+	fmt.Printf("ccserve: hydrating replica of %s into %s\n", o.replicaOf, o.dir)
+	rep, err := replica.Open(o.replicaOf, replica.Options{
+		Dir: o.dir, Poll: o.replicaPoll, MaxLag: o.replicaMaxLag,
+	})
+	if err != nil {
+		return err
+	}
+	defer rep.Close()
+	st := rep.Status()
+	fmt.Printf("ccserve: replica hydrated: epoch=%s gen=%d lsn=%d, %d intervals\n",
+		st.Epoch, st.Gen, st.LSN, rep.Intervals().Len())
+
+	srv, err := server.New(server.Backend{Intervals: rep.Intervals()}, server.Config{
+		MaxBatch: o.maxbatch, MaxWait: o.window,
+		MaxInFlight: o.inflight, RequestTimeout: o.timeout,
+		DisableBatching: o.nobatch,
+		ReadOnly:        true, Status: rep.Status,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	return serveUntilSignal(o, srv.Handler())
+}
+
+func durableOpts(o options) (intervals.DurableOptions, error) {
+	dopt := intervals.DurableOptions{DisableWAL: o.nowal}
+	switch o.fsync {
 	case "never":
 		dopt.Fsync = disk.FsyncNever
 	case "checkpoint":
@@ -91,66 +252,34 @@ func run(addr string, shards, b, batch int, partition string, pool, n int, seed,
 	case "always":
 		dopt.Fsync = disk.FsyncAlways
 	default:
-		return fmt.Errorf("unknown fsync policy %q (want never|checkpoint|always)", fsync)
+		return dopt, fmt.Errorf("unknown fsync policy %q (want never|checkpoint|always)", o.fsync)
 	}
+	return dopt, nil
+}
 
-	var im *shard.Intervals
-	var err error
-	switch {
-	case dir == "":
-		im = shard.NewIntervals(cfg, workload.UniformIntervals(seed, n, span, maxlen))
-		fmt.Printf("ccserve: in-memory, %d intervals across %d shards\n", im.Len(), shards)
-	default:
-		if _, serr := os.Stat(dir); serr == nil {
-			im, err = shard.OpenIntervals(dir, dopt)
-			if err != nil {
-				return fmt.Errorf("opening %s: %w", dir, err)
-			}
-			fmt.Printf("ccserve: reopened %s at seq %d, %d intervals (fsync=%s wal=%v)\n",
-				dir, im.Seq(), im.Len(), fsync, !nowal)
-		} else {
-			im, err = shard.CreateIntervalsAt(dir, cfg,
-				workload.UniformIntervals(seed, n, span, maxlen), dopt)
-			if err != nil {
-				return fmt.Errorf("creating %s: %w", dir, err)
-			}
-			fmt.Printf("ccserve: created %s, %d intervals across %d shards (fsync=%s wal=%v)\n",
-				dir, im.Len(), shards, fsync, !nowal)
-		}
-	}
-	defer im.Close()
-
-	be := server.Backend{Intervals: im}
-	if classes > 0 {
-		h := workload.RandomHierarchy(seed, classes)
-		cs := shard.NewClasses(cfg, h, func() shard.ClassIndex {
-			return classindex.NewRakeContract(h, b)
+// serveUntilSignal runs the HTTP front (with fault injection if armed)
+// until SIGINT/SIGTERM, then drains.
+func serveUntilSignal(o options, h http.Handler) error {
+	if o.faultLatency > 0 || o.faultJitter > 0 || o.faultError > 0 || o.faultDrop > 0 {
+		h = server.WithFaults(h, server.FaultConfig{
+			Latency: o.faultLatency, Jitter: o.faultJitter,
+			ErrorProb: o.faultError, DropProb: o.faultDrop,
+			Seed: o.faultSeed,
+			// Liveness stays truthful; readiness and the replication pull
+			// endpoints stay clean so the fault drill exercises the QUERY
+			// path's failover, not the control plane.
+			Exempt: []string{"/healthz", "/readyz", "/v1/wal", "/v1/snapshot"},
 		})
-		for _, o := range workload.Objects(seed+1, h, n, span) {
-			cs.Insert(o)
-		}
-		cs.Flush()
-		be.Classes = cs
-		fmt.Printf("ccserve: class index over %d classes, %d objects\n", h.Len(), n)
+		fmt.Printf("ccserve: FAULT INJECTION ARMED latency=%v jitter=%v error=%.3f drop=%.3f seed=%d\n",
+			o.faultLatency, o.faultJitter, o.faultError, o.faultDrop, o.faultSeed)
 	}
-
-	srv, err := server.New(be, server.Config{
-		MaxBatch: maxbatch, MaxWait: window,
-		MaxInFlight: inflight, RequestTimeout: timeout,
-		DisableBatching: nobatch,
-	})
-	if err != nil {
-		return err
-	}
-	defer srv.Close()
-
-	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	hs := &http.Server{Addr: o.addr, Handler: h}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Printf("ccserve: listening on %s (batching=%v window=%v maxbatch=%d)\n",
-		addr, !nobatch, window, maxbatch)
+		o.addr, !o.nobatch, o.window, o.maxbatch)
 
 	select {
 	case err := <-errc:
@@ -162,12 +291,6 @@ func run(addr string, shards, b, batch int, partition string, pool, n int, seed,
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
-	}
-	if im.Durable() {
-		if err := im.Checkpoint(); err != nil {
-			return fmt.Errorf("final checkpoint: %w", err)
-		}
-		fmt.Printf("ccserve: final checkpoint at seq %d\n", im.Seq())
 	}
 	return nil
 }

@@ -40,6 +40,7 @@ func main() {
 	e21n := flag.Int("e21n", 0, "E21 interval count override (default 100000; CI smoke uses a small value)")
 	e22n := flag.Int("e22n", 0, "E22 interval count override (default 50000; CI smoke uses a small value)")
 	e23n := flag.Int("e23n", 0, "E23 interval count override (default 50000; CI smoke uses a small value)")
+	e24n := flag.Int("e24n", 0, "E24 interval count override (default 20000; CI smoke uses a small value)")
 	benchJSON := flag.String("bench-json", "", "parse `go test -bench` output from stdin and write JSON to this file")
 	benchBaseline := flag.String("bench-baseline", "", "optional saved bench output to embed as the before side")
 	flag.Parse()
@@ -72,6 +73,9 @@ func main() {
 	}
 	if *e23n > 0 {
 		harness.E23Intervals = *e23n
+	}
+	if *e24n > 0 {
+		harness.E24Intervals = *e24n
 	}
 
 	if *list {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrInjectedRead is the typed transient read fault FailReads injects: the
@@ -43,6 +44,12 @@ type FaultDevice struct {
 	readRng  *rand.Rand
 	flipProb float64
 	flipRng  *rand.Rand
+	latBase  time.Duration
+	latJit   time.Duration
+	latRng   *rand.Rand
+
+	latTotal atomic.Int64 // nanoseconds of injected latency
+	latOps   atomic.Int64 // operations that were slowed
 }
 
 // NewFaultDevice wraps inner with fault injection disarmed.
@@ -77,6 +84,44 @@ func (fd *FaultDevice) FlipBits(p float64, seed int64) {
 	defer fd.rngMu.Unlock()
 	fd.flipProb = p
 	fd.flipRng = rand.New(rand.NewSource(seed))
+}
+
+// SetLatency makes every Read/View/Write sleep base plus a uniformly random
+// extra in [0, jitter), drawn from a deterministic stream seeded with seed —
+// the slow-disk half of the fault model (a node that is up but dragging).
+// base <= 0 with jitter <= 0 disarms. The draw sequence is deterministic
+// under a fixed seed; wall-clock sleep time of course is not.
+func (fd *FaultDevice) SetLatency(base, jitter time.Duration, seed int64) {
+	fd.rngMu.Lock()
+	defer fd.rngMu.Unlock()
+	fd.latBase = base
+	fd.latJit = jitter
+	fd.latRng = rand.New(rand.NewSource(seed))
+	fd.latTotal.Store(0)
+	fd.latOps.Store(0)
+}
+
+// InjectedLatency returns the total latency injected since the last
+// SetLatency and how many operations it was spread over.
+func (fd *FaultDevice) InjectedLatency() (total time.Duration, ops int64) {
+	return time.Duration(fd.latTotal.Load()), fd.latOps.Load()
+}
+
+// slow draws this operation's injected delay (0 when disarmed), records it,
+// and sleeps.
+func (fd *FaultDevice) slow() {
+	fd.rngMu.Lock()
+	d := fd.latBase
+	if fd.latJit > 0 && fd.latRng != nil {
+		d += time.Duration(fd.latRng.Int63n(int64(fd.latJit)))
+	}
+	fd.rngMu.Unlock()
+	if d <= 0 {
+		return
+	}
+	fd.latTotal.Add(int64(d))
+	fd.latOps.Add(1)
+	time.Sleep(d)
 }
 
 // readFault draws the transient-read coin.
@@ -129,6 +174,7 @@ func (fd *FaultDevice) Alloc() BlockID {
 
 // Read passes through, unless FailReads injects a transient fault.
 func (fd *FaultDevice) Read(id BlockID, buf []byte) error {
+	fd.slow()
 	if fd.readFault() {
 		return fmt.Errorf("disk: Read page %d: %w", id, ErrInjectedRead)
 	}
@@ -137,6 +183,7 @@ func (fd *FaultDevice) Read(id BlockID, buf []byte) error {
 
 // View passes through, unless FailReads injects a transient fault.
 func (fd *FaultDevice) View(id BlockID) ([]byte, error) {
+	fd.slow()
 	if fd.readFault() {
 		return nil, fmt.Errorf("disk: View page %d: %w", id, ErrInjectedRead)
 	}
@@ -149,6 +196,7 @@ func (fd *FaultDevice) Release(id BlockID) { fd.inner.Release(id) }
 // Write stores the page, or returns ErrInjectedFault once the budget is
 // spent. With FlipBits armed, the stored copy may have one bit flipped.
 func (fd *FaultDevice) Write(id BlockID, buf []byte) error {
+	fd.slow()
 	if err := fd.spend(); err != nil {
 		return err
 	}

@@ -60,6 +60,7 @@ func All() []Experiment {
 		{"E21", "Durable storage: cold-open I/O, durable vs simulated throughput", runE21},
 		{"E22", "Serving front-end: adaptive auto-batching under concurrent load", runE22},
 		{"E23", "Write-ahead logging: mutation overhead and recovery time", runE23},
+		{"E24", "Replicated reads: router scaling and kill-one-replica availability", runE24},
 	}
 }
 

@@ -1,0 +1,361 @@
+// Package replica implements a snapshot-shipped read replica of a serving
+// primary.
+//
+// A replica hydrates by downloading the primary's /v1/snapshot — a tar of
+// its checkpoint directory stamped with the (epoch, lsn, seq) coordinates
+// the image corresponds to — into a local directory, opening it with the
+// ordinary sharded open path, and then tailing the primary's logical WAL
+// stream (/v1/wal?from=lsn) to stay within a bounded lag. Reads never
+// mutate the paper's structures, so a replica serves the full query
+// surface at full speed; its only writer is the tailer goroutine.
+//
+// Failure handling is crash-only: a replica that falls off the primary's
+// retained log (410 Gone) or observes an epoch change (primary restarted)
+// cannot safely continue — it parks itself as permanently not-ready and
+// reports why, and the operator (or the smoke harness) restarts the
+// process, which re-hydrates from a fresh snapshot. A torn hydration
+// (connection dropped mid-tar) leaves no committed manifest in the target
+// directory, so a retry simply wipes and starts over — the same
+// "treat the directory as never created" rule as a crashed CreateAt.
+package replica
+
+import (
+	"archive/tar"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccidx/internal/disk"
+	"ccidx/internal/geom"
+	"ccidx/internal/intervals"
+	"ccidx/internal/replication"
+	"ccidx/internal/shard"
+)
+
+// Options configures a replica. Zero values take the defaults.
+type Options struct {
+	// Dir is the local hydration directory (required). It is wiped on
+	// Open: a replica's local state is always reconstructable from the
+	// primary, so stale leftovers are never worth recovering.
+	Dir string
+	// Poll is the WAL tail interval (default 25ms). A capped response
+	// (more ops pending) re-polls immediately, so catch-up throughput does
+	// not depend on Poll.
+	Poll time.Duration
+	// MaxLag is the readiness lag bound in ops (default 4096): a replica
+	// further behind reports ready=false until it catches back up.
+	MaxLag int64
+	// Client issues the HTTP requests (default: a client with a 30s
+	// timeout, sized for the snapshot download).
+	Client *http.Client
+	// Fsync is the local devices' sync policy (default disk.FsyncNever:
+	// the replica's durability story is re-hydration, not its own disk).
+	Fsync disk.FsyncPolicy
+}
+
+// Replica is a live read replica: an opened sharded interval manager plus
+// the tailer keeping it within lag of the primary.
+type Replica struct {
+	primary string
+	dir     string
+	poll    time.Duration
+	maxLag  int64
+	client  *http.Client
+
+	im    *shard.Intervals
+	epoch string
+
+	applied atomic.Uint64 // last applied LSN
+	head    atomic.Uint64 // primary's head at last successful poll
+	ops     atomic.Int64  // ops applied since hydration
+	polls   atomic.Int64  // successful tail polls
+
+	mu    sync.Mutex
+	fatal string // non-empty once the replica can no longer follow
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open hydrates a replica of primary into opt.Dir and starts the tailer.
+func Open(primary string, opt Options) (*Replica, error) {
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("replica: Options.Dir is required")
+	}
+	if opt.Poll <= 0 {
+		opt.Poll = 25 * time.Millisecond
+	}
+	if opt.MaxLag <= 0 {
+		opt.MaxLag = 4096
+	}
+	if opt.Client == nil {
+		opt.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	primary = strings.TrimRight(primary, "/")
+
+	meta, err := Hydrate(opt.Client, primary, opt.Dir)
+	if err != nil {
+		return nil, err
+	}
+	// The replica re-hydrates from the primary after any restart, so its
+	// own WAL would only ever be thrown away: disable it.
+	dopt := intervals.DurableOptions{Fsync: opt.Fsync, DisableWAL: true}
+	im, err := shard.OpenIntervals(opt.Dir, dopt)
+	if err != nil {
+		return nil, fmt.Errorf("replica: opening hydrated %s: %w", opt.Dir, err)
+	}
+	if im.Seq() != meta.Seq {
+		im.Close()
+		return nil, fmt.Errorf("replica: hydrated generation %d, snapshot meta says %d", im.Seq(), meta.Seq)
+	}
+	r := &Replica{
+		primary: primary,
+		dir:     opt.Dir,
+		poll:    opt.Poll,
+		maxLag:  opt.MaxLag,
+		client:  opt.Client,
+		im:      im,
+		epoch:   meta.Epoch,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	r.applied.Store(meta.LSN)
+	r.head.Store(meta.LSN)
+	go r.tail()
+	return r, nil
+}
+
+// Hydrate downloads primary's snapshot into dir (wiped first) and returns
+// the image's replication coordinates. Exposed so harnesses can exercise
+// hydration (including torn hydration) without a full Replica.
+func Hydrate(client *http.Client, primary, dir string) (replication.SnapshotMeta, error) {
+	var meta replication.SnapshotMeta
+	if err := os.RemoveAll(dir); err != nil {
+		return meta, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return meta, err
+	}
+	resp, err := client.Get(primary + "/v1/snapshot")
+	if err != nil {
+		return meta, fmt.Errorf("replica: snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return meta, fmt.Errorf("replica: snapshot: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	tr := tar.NewReader(resp.Body)
+	first := true
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return meta, fmt.Errorf("replica: torn snapshot stream: %w", err)
+		}
+		if first {
+			if hdr.Name != replication.SnapshotMetaName {
+				return meta, fmt.Errorf("replica: snapshot stream starts with %q, want %q", hdr.Name, replication.SnapshotMetaName)
+			}
+			if err := json.NewDecoder(io.LimitReader(tr, 1<<16)).Decode(&meta); err != nil {
+				return meta, fmt.Errorf("replica: snapshot meta: %w", err)
+			}
+			first = false
+			continue
+		}
+		path, err := safeJoin(dir, hdr.Name)
+		if err != nil {
+			return meta, err
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return meta, err
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return meta, err
+		}
+		n, err := io.Copy(f, tr)
+		cerr := f.Close()
+		if err != nil || n != hdr.Size {
+			return meta, fmt.Errorf("replica: torn snapshot file %s (%d of %d bytes): %v", hdr.Name, n, hdr.Size, err)
+		}
+		if cerr != nil {
+			return meta, cerr
+		}
+	}
+	if first {
+		return meta, fmt.Errorf("replica: empty snapshot stream")
+	}
+	return meta, nil
+}
+
+// safeJoin joins a tar entry name under dir, refusing traversal.
+func safeJoin(dir, name string) (string, error) {
+	clean := filepath.Clean(filepath.FromSlash(name))
+	if filepath.IsAbs(clean) || clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("replica: snapshot entry %q escapes the hydration dir", name)
+	}
+	return filepath.Join(dir, clean), nil
+}
+
+// tail is the replica's only writer: poll the primary's log from the next
+// LSN, apply in order, loop. Transient failures (primary briefly down,
+// dropped connection) are simply retried at the next tick; the two
+// unrecoverable conditions — epoch change and falling off the retained log
+// — park the replica as not-ready.
+func (r *Replica) tail() {
+	defer close(r.done)
+	t := time.NewTicker(r.poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+		for {
+			more, err := r.pollOnce()
+			if err != nil {
+				r.park(err)
+				return
+			}
+			if !more {
+				break
+			}
+			// A capped response means more ops are already waiting: keep
+			// draining without sleeping a poll interval per page.
+			select {
+			case <-r.stop:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// pollOnce fetches and applies one /v1/wal page. It returns (more, err):
+// more means the response was capped and another page is pending; a
+// non-nil err is FATAL (the tailer parks). Transient transport errors
+// return (false, nil) after recording nothing — lag will show up via the
+// next successful poll.
+func (r *Replica) pollOnce() (bool, error) {
+	from := r.applied.Load() + 1
+	resp, err := r.client.Get(fmt.Sprintf("%s/v1/wal?from=%d", r.primary, from))
+	if err != nil {
+		return false, nil // transient: retry next tick
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return false, fmt.Errorf("fell off the primary's retained log at lsn %d: re-hydration required", from)
+	default:
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return false, nil              // transient (shed, restarting, ...): retry next tick
+	}
+	var wr replication.WALResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		return false, nil // torn response: retry next tick
+	}
+	if wr.Epoch != r.epoch {
+		return false, fmt.Errorf("primary epoch changed %s -> %s (primary restarted): re-hydration required", r.epoch, wr.Epoch)
+	}
+	if err := r.apply(wr.Ops); err != nil {
+		return false, err
+	}
+	r.head.Store(wr.Head)
+	r.polls.Add(1)
+	// A capped response leaves applied < head: more ops already waiting.
+	return r.applied.Load() < wr.Head, nil
+}
+
+// apply replays ops in LSN order onto the local sharded manager. A panic
+// out of the apply (the structures fail loudly on impossible streams, e.g.
+// an insert of a live id) is converted to a fatal parked state: the
+// replica stops serving fresh data but the process survives.
+func (r *Replica) apply(ops []replication.Op) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("applying replicated op: %v", p)
+		}
+	}()
+	for _, op := range ops {
+		if op.Del {
+			r.im.Delete(op.ID)
+		} else {
+			r.im.Insert(geom.Interval{Lo: op.Lo, Hi: op.Hi, ID: op.ID})
+		}
+		r.applied.Add(1)
+		r.ops.Add(1)
+	}
+	return nil
+}
+
+// park records the fatal condition; the replica keeps serving (stale)
+// reads but reports not-ready until the process is restarted.
+func (r *Replica) park(err error) {
+	r.mu.Lock()
+	r.fatal = err.Error()
+	r.mu.Unlock()
+}
+
+// Intervals returns the replica's sharded manager — the backend a serving
+// front-end reads from.
+func (r *Replica) Intervals() *shard.Intervals { return r.im }
+
+// Epoch returns the primary epoch the replica hydrated under.
+func (r *Replica) Epoch() string { return r.epoch }
+
+// LSN returns the last applied LSN.
+func (r *Replica) LSN() uint64 { return r.applied.Load() }
+
+// Lag returns the op lag behind the primary's head at the last successful
+// poll (an unreachable primary freezes it).
+func (r *Replica) Lag() int64 {
+	h, a := r.head.Load(), r.applied.Load()
+	if h <= a {
+		return 0
+	}
+	return int64(h - a)
+}
+
+// Applied returns the number of ops applied since hydration.
+func (r *Replica) Applied() int64 { return r.ops.Load() }
+
+// Status is the replica's readiness document — the serving front-end's
+// Config.Status provider. Not ready while parked or beyond the lag bound.
+func (r *Replica) Status() replication.Status {
+	r.mu.Lock()
+	fatal := r.fatal
+	r.mu.Unlock()
+	lag := r.Lag()
+	return replication.Status{
+		Ready:  fatal == "" && lag <= r.maxLag,
+		Role:   "replica",
+		Epoch:  r.epoch,
+		Gen:    r.im.Seq(),
+		LSN:    r.applied.Load(),
+		Lag:    lag,
+		Detail: fatal,
+	}
+}
+
+// Close stops the tailer and closes the local shard devices.
+func (r *Replica) Close() error {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	<-r.done
+	return r.im.Close()
+}

@@ -1,0 +1,298 @@
+package replica
+
+// Replica tests: hydration + tailing convergence against a live primary,
+// the torn-hydration crash point (retry must succeed from a wiped dir),
+// and the two park conditions — epoch change and falling off the retained
+// log — which must leave the replica alive but not-ready.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccidx/internal/geom"
+	"ccidx/internal/intervals"
+	"ccidx/internal/server"
+	"ccidx/internal/shard"
+	"ccidx/internal/workload"
+)
+
+const testSpan = int64(4000)
+
+// newPrimary builds a durable, replication-serving primary and returns its
+// test server plus the backing manager.
+func newPrimary(t *testing.T, n, logCap int) (*httptest.Server, *shard.Intervals) {
+	t.Helper()
+	ivs := workload.UniformIntervals(71, n, testSpan, 250)
+	dm, err := shard.CreateIntervalsAt(t.TempDir(), shard.Config{
+		Shards: 2, B: 8, Batch: 16,
+		Partition: shard.PartitionRange, Span: testSpan, PoolFrames: 32,
+	}, ivs, intervals.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Backend{Intervals: dm}, server.Config{
+		Replication: true, ReplicationLog: logCap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close(); dm.Close() })
+	return ts, dm
+}
+
+func post(t *testing.T, url string) {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, body)
+	}
+}
+
+func stabIDs(im *shard.Intervals, q int64) map[uint64]bool {
+	out := map[uint64]bool{}
+	im.Stab(q, func(iv geom.Interval) bool { out[iv.ID] = true; return true })
+	return out
+}
+
+func waitApplied(t *testing.T, r *Replica, lsn uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for r.LSN() < lsn {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at lsn %d, want %d (status %+v)", r.LSN(), lsn, r.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReplicaHydrateAndTail: a replica converges to the primary's exact
+// state — the hydrated image matches, and mutations applied after the
+// snapshot arrive through the tail within the lag bound.
+func TestReplicaHydrateAndTail(t *testing.T) {
+	ts, dm := newPrimary(t, 120, 0)
+
+	// Mutations before hydration land in the snapshot image.
+	post(t, ts.URL+"/v1/insert?lo=100&hi=200&id=50001")
+
+	r, err := Open(ts.URL, Options{Dir: t.TempDir(), Poll: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got, want := r.Intervals().Len(), dm.Len(); got != want {
+		t.Fatalf("hydrated %d intervals, primary has %d", got, want)
+	}
+	if !stabIDs(r.Intervals(), 150)[50001] {
+		t.Fatal("pre-snapshot insert missing from hydrated image")
+	}
+	st := r.Status()
+	if !st.Ready || st.Role != "replica" || st.Epoch == "" {
+		t.Fatalf("fresh replica status %+v", st)
+	}
+
+	// Mutations after hydration arrive through the tail.
+	post(t, ts.URL+"/v1/insert?lo=300&hi=400&id=50002")
+	post(t, ts.URL+"/v1/delete?id=50001")
+	waitApplied(t, r, 3)
+	if !stabIDs(r.Intervals(), 350)[50002] {
+		t.Fatal("tailed insert not visible on replica")
+	}
+	if stabIDs(r.Intervals(), 150)[50001] {
+		t.Fatal("tailed delete not applied on replica")
+	}
+	if lag := r.Lag(); lag != 0 {
+		t.Fatalf("caught-up replica lag %d", lag)
+	}
+	// Full-state oracle across the span.
+	for q := int64(0); q < testSpan; q += 97 {
+		p, rr := stabIDs(dm, q), stabIDs(r.Intervals(), q)
+		if len(p) != len(rr) {
+			t.Fatalf("stab(%d): primary %d ids, replica %d", q, len(p), len(rr))
+		}
+		for id := range p {
+			if !rr[id] {
+				t.Fatalf("stab(%d): id %d on primary only", q, id)
+			}
+		}
+	}
+}
+
+// TestReplicaTornHydration is the replica-hydration crash point: a
+// snapshot stream severed mid-file must fail loudly, and a retry against a
+// healthy primary must succeed from the same directory.
+func TestReplicaTornHydration(t *testing.T) {
+	ts, _ := newPrimary(t, 100, 0)
+
+	// A proxy that forwards the snapshot but kills the connection after a
+	// prefix — long enough to get past SNAPMETA.json into the data files.
+	torn := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		resp, err := http.Get(ts.URL + req.URL.String())
+		if err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		defer resp.Body.Close()
+		prefix := make([]byte, 4096)
+		n, _ := io.ReadFull(resp.Body, prefix)
+		w.Write(prefix[:n])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}))
+	defer torn.Close()
+
+	dir := t.TempDir()
+	if _, err := Hydrate(http.DefaultClient, torn.URL, dir); err == nil {
+		t.Fatal("torn hydration accepted")
+	}
+	// Retry against the healthy primary: Open wipes the dir and succeeds.
+	r, err := Open(ts.URL, Options{Dir: dir, Poll: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("re-hydration after torn stream: %v", err)
+	}
+	defer r.Close()
+	if !r.Status().Ready {
+		t.Fatalf("re-hydrated replica not ready: %+v", r.Status())
+	}
+}
+
+// switchable lets tests redirect or gate a replica's view of its primary.
+type switchable struct {
+	target  atomic.Pointer[string] // forward here
+	gateWAL atomic.Bool            // while set, /v1/wal answers 503
+}
+
+func (sw *switchable) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if sw.gateWAL.Load() && strings.HasPrefix(req.URL.Path, "/v1/wal") {
+			http.Error(w, "gated", http.StatusServiceUnavailable)
+			return
+		}
+		resp, err := http.Get(*sw.target.Load() + req.URL.String())
+		if err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	})
+}
+
+// TestReplicaParksOnEpochChange: when the process behind the primary URL
+// is replaced (new epoch), the replica must park not-ready rather than
+// apply a different history's log.
+func TestReplicaParksOnEpochChange(t *testing.T) {
+	tsA, _ := newPrimary(t, 60, 0)
+	tsB, _ := newPrimary(t, 60, 0)
+
+	var sw switchable
+	urlA := tsA.URL
+	sw.target.Store(&urlA)
+	front := httptest.NewServer(sw.handler())
+	defer front.Close()
+
+	r, err := Open(front.URL, Options{Dir: t.TempDir(), Poll: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// "Restart" the primary: same URL, different process → different epoch.
+	urlB := tsB.URL
+	sw.target.Store(&urlB)
+	post(t, tsB.URL+"/v1/insert?lo=1&hi=2&id=60001")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Status().Ready {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica still ready after epoch change: %+v", r.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st := r.Status()
+	if !strings.Contains(st.Detail, "epoch") {
+		t.Fatalf("park detail %q does not name the epoch change", st.Detail)
+	}
+	// Parked, not dead: stale reads still answer.
+	if len(stabIDs(r.Intervals(), 150)) == 0 {
+		t.Fatal("parked replica stopped answering reads")
+	}
+}
+
+// TestReplicaParksOnGone: a replica held off the wire while the primary's
+// bounded log rolls past its position must park (re-hydration required),
+// not resume with a hole in its history.
+func TestReplicaParksOnGone(t *testing.T) {
+	ts, _ := newPrimary(t, 60, 4) // retain only 4 ops
+
+	var sw switchable
+	url := ts.URL
+	sw.target.Store(&url)
+	front := httptest.NewServer(sw.handler())
+	defer front.Close()
+
+	r, err := Open(front.URL, Options{Dir: t.TempDir(), Poll: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Gate the tail, then push the log past its 4-op retention.
+	sw.gateWAL.Store(true)
+	for i := 0; i < 10; i++ {
+		post(t, fmt.Sprintf("%s/v1/insert?lo=%d&hi=%d&id=%d", ts.URL, i, i+1, 61000+i))
+	}
+	sw.gateWAL.Store(false)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Status().Ready {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica still ready after falling off the log: %+v", r.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := r.Status(); !strings.Contains(st.Detail, "re-hydration") {
+		t.Fatalf("park detail %q does not demand re-hydration", st.Detail)
+	}
+}
+
+// TestReplicaLagReadiness pins the readiness formula: a replica beyond its
+// lag bound reports not-ready with the lag visible, without being parked.
+func TestReplicaLagReadiness(t *testing.T) {
+	r := &Replica{maxLag: 5}
+	r.im = shard.NewIntervals(shard.Config{Shards: 1, B: 8, Span: 100}, nil)
+	r.applied.Store(10)
+	r.head.Store(20)
+	st := r.Status()
+	if st.Ready || st.Lag != 10 {
+		t.Fatalf("lag 10 > bound 5 but status %+v", st)
+	}
+	r.applied.Store(16)
+	if st := r.Status(); !st.Ready || st.Lag != 4 {
+		t.Fatalf("lag 4 <= bound 5 but status %+v", st)
+	}
+}
+
+// TestReplicaRequiresDir: Options.Dir is mandatory.
+func TestReplicaRequiresDir(t *testing.T) {
+	if _, err := Open("http://127.0.0.1:1", Options{}); err == nil {
+		t.Fatal("missing Dir accepted")
+	}
+}

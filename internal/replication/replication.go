@@ -1,0 +1,112 @@
+// Package replication defines the wire protocol shared by the three sides
+// of the replicated read path: the primary's serving front-end (which
+// exposes a snapshot + logical-WAL stream), the replica (which hydrates
+// from the snapshot and tails the stream), and the read router (which
+// spreads queries across replicas and must be able to tell a fresh answer
+// from a stale one).
+//
+// # Protocol
+//
+// A primary assigns every acknowledged mutation a dense logical LSN
+// (1-based, never reset for the life of the server process) and retains a
+// bounded tail of the mutation log in memory. Its identity is an EPOCH: a
+// random token minted at server start. The pair (epoch, lsn) names a
+// unique prefix of the primary's mutation history:
+//
+//   - GET /v1/snapshot streams a tar of the checkpoint directory taken
+//     under the mutation lock, preceded by a SNAPMETA.json entry recording
+//     the (epoch, lsn, checkpoint seq) the image corresponds to;
+//   - GET /v1/wal?from=N returns the retained ops with LSN >= N plus the
+//     current head, or 410 Gone when N has been evicted from the bounded
+//     log (the replica must re-hydrate from a fresh snapshot);
+//   - GET /readyz returns a Status document; every /v1 response carries
+//     the answering node's epoch and applied LSN in response headers.
+//
+// A crash or restart of the primary mints a new epoch, so a replica (or
+// router) can never confuse two mutation histories: LSNs are comparable
+// only within one epoch, and the router rejects any answer stamped with an
+// epoch other than the cluster's adopted one.
+package replication
+
+import "time"
+
+// Response headers stamped on every /v1 response, the router's
+// wrong-answer guard: an answer is acceptable only if its epoch matches
+// the cluster's and its LSN is not behind the router's watermark by more
+// than the configured lag budget.
+const (
+	HeaderEpoch = "X-Ccidx-Epoch"
+	HeaderLSN   = "X-Ccidx-Lsn"
+)
+
+// SnapshotMetaName is the tar entry carrying the SnapshotMeta document; it
+// is always the archive's first entry.
+const SnapshotMetaName = "SNAPMETA.json"
+
+// Op is one logical mutation in the replication stream. Inserts carry the
+// full interval; deletes carry only the id.
+type Op struct {
+	Del bool   `json:"del,omitempty"`
+	Lo  int64  `json:"lo,omitempty"`
+	Hi  int64  `json:"hi,omitempty"`
+	ID  uint64 `json:"id"`
+}
+
+// WALResponse is the /v1/wal document: the retained ops from the requested
+// LSN, plus the head so the replica can compute its lag even when the
+// response is capped.
+type WALResponse struct {
+	Epoch string `json:"epoch"`
+	From  uint64 `json:"from"` // LSN of Ops[0] (== request's from)
+	Head  uint64 `json:"head"` // latest LSN acknowledged by the primary
+	Ops   []Op   `json:"ops"`
+}
+
+// SnapshotMeta is the first tar entry of a /v1/snapshot stream: the
+// (epoch, lsn, seq) coordinates of the shipped checkpoint image. A replica
+// that applies the image and then tails /v1/wal?from=LSN+1 converges on
+// the primary's state.
+type SnapshotMeta struct {
+	Epoch string `json:"epoch"`
+	LSN   uint64 `json:"lsn"`
+	Seq   uint64 `json:"seq"`
+}
+
+// Status is the /readyz readiness document. Liveness (/healthz) answers
+// "is the process up"; readiness answers "should a router send reads
+// here": a replica that is still hydrating, has lost its primary's log
+// position, or exceeds its lag bound reports Ready=false with the fields a
+// router needs to decide what to do about it.
+type Status struct {
+	Ready  bool   `json:"ready"`
+	Role   string `json:"role"`  // "primary" or "replica"
+	Epoch  string `json:"epoch"` // mutation-history identity
+	Gen    uint64 `json:"gen"`   // checkpoint generation (manifest seq)
+	LSN    uint64 `json:"lsn"`   // last applied logical LSN
+	Lag    int64  `json:"lag"`   // head - applied, in ops (0 on a primary)
+	Detail string `json:"detail,omitempty"`
+}
+
+// ParseRetryAfter interprets a Retry-After header value as a delay,
+// clamped to max (0 when absent or unparseable). Only the delta-seconds
+// form is supported — it is what this repo's servers emit.
+func ParseRetryAfter(v string, max time.Duration) time.Duration {
+	if v == "" {
+		return 0
+	}
+	var secs int64
+	for _, c := range v {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		secs = secs*10 + int64(c-'0')
+		if secs > 1<<20 {
+			break
+		}
+	}
+	d := time.Duration(secs) * time.Second
+	if d > max {
+		return max
+	}
+	return d
+}

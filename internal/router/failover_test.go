@@ -1,0 +1,332 @@
+package router
+
+// The PR's end-to-end oracle: a primary plus two snapshot-shipped replicas
+// behind the read router, with a seeded killer severing and restoring
+// replica fronts mid-query-phase and one replica fully re-hydrated between
+// rounds. Every routed answer must equal the single-node sequential answer
+// and not one request may fail — failover is allowed to cost retries,
+// never correctness or availability.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccidx/internal/geom"
+	"ccidx/internal/intervals"
+	"ccidx/internal/replica"
+	"ccidx/internal/server"
+	"ccidx/internal/shard"
+	"ccidx/internal/workload"
+)
+
+const failoverSpan = int64(4000)
+
+// restartable is an HTTP front that can be killed and brought back on the
+// SAME address — the router's endpoint list stays valid across restarts.
+type restartable struct {
+	mu   sync.Mutex
+	addr string
+	srv  *http.Server
+}
+
+func startRestartable(t *testing.T, h http.Handler) *restartable {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &restartable{addr: ln.Addr().String()}
+	n.srv = &http.Server{Handler: h}
+	go n.srv.Serve(ln)
+	t.Cleanup(func() { n.kill() })
+	return n
+}
+
+func (n *restartable) url() string { return "http://" + n.addr }
+
+func (n *restartable) kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.srv != nil {
+		n.srv.Close()
+		n.srv = nil
+	}
+}
+
+// restart brings the front back on the recorded address (no-op if it is
+// already up), retrying briefly in case the old socket is still draining.
+func (n *restartable) restart(t *testing.T, h http.Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.srv != nil {
+		return // already running
+	}
+	var ln net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		ln, err = net.Listen("tcp", n.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Errorf("rebinding %s: %v", n.addr, err)
+		return
+	}
+	n.srv = &http.Server{Handler: h}
+	go n.srv.Serve(ln)
+}
+
+// replicaNode bundles one replica's pieces so it can be fully restarted
+// (re-hydrated) as a unit.
+type replicaNode struct {
+	mu    sync.Mutex
+	dir   string
+	rep   *replica.Replica
+	srv   *server.Server
+	front *restartable
+}
+
+func newReplicaNode(t *testing.T, primaryURL, dir string) *replicaNode {
+	t.Helper()
+	rn := &replicaNode{dir: dir}
+	rn.open(t, primaryURL, true)
+	return rn
+}
+
+func (rn *replicaNode) open(t *testing.T, primaryURL string, firstTime bool) {
+	t.Helper()
+	rep, err := replica.Open(primaryURL, replica.Options{Dir: rn.dir, Poll: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("replica open: %v", err)
+	}
+	srv, err := server.New(server.Backend{Intervals: rep.Intervals()}, server.Config{
+		ReadOnly: true, Status: rep.Status,
+	})
+	if err != nil {
+		t.Fatalf("replica server: %v", err)
+	}
+	rn.rep, rn.srv = rep, srv
+	if firstTime {
+		rn.front = startRestartable(t, srv.Handler())
+	} else {
+		rn.front.restart(t, srv.Handler())
+	}
+}
+
+// lsn returns the replica's applied LSN (0 while mid-restart).
+func (rn *replicaNode) lsn() uint64 {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	if rn.rep == nil {
+		return 0
+	}
+	return rn.rep.LSN()
+}
+
+// rehydrate tears the whole node down and re-opens it from a fresh
+// snapshot on the same address — the "process restart" the crash-only
+// replica design prescribes.
+func (rn *replicaNode) rehydrate(t *testing.T, primaryURL string) {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	rn.front.kill()
+	rn.srv.Close()
+	rn.rep.Close()
+	rn.open(t, primaryURL, false)
+}
+
+func oracleStab(im *shard.Intervals, q int64) map[uint64]bool {
+	out := map[uint64]bool{}
+	im.Stab(q, func(iv geom.Interval) bool { out[iv.ID] = true; return true })
+	return out
+}
+
+func TestRoutedEqualsSequentialUnderKills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node failover sweep")
+	}
+	// Primary: durable, replication-serving, never killed (replicas are
+	// the fault domain under test).
+	ivs := workload.UniformIntervals(91, 150, failoverSpan, 250)
+	dm, err := shard.CreateIntervalsAt(t.TempDir(), shard.Config{
+		Shards: 2, B: 8, Batch: 16,
+		Partition: shard.PartitionRange, Span: failoverSpan, PoolFrames: 32,
+	}, ivs, intervals.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dm.Close()
+	ps, err := server.New(server.Backend{Intervals: dm}, server.Config{Replication: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	primary := startRestartable(t, ps.Handler())
+
+	r1 := newReplicaNode(t, primary.url(), t.TempDir())
+	r2 := newReplicaNode(t, primary.url(), t.TempDir())
+	nodes := []*replicaNode{r1, r2}
+	defer func() {
+		for _, rn := range nodes {
+			rn.srv.Close()
+			rn.rep.Close()
+		}
+	}()
+
+	rt, err := New(Config{
+		Endpoints:     []string{primary.url(), r1.front.url(), r2.front.url()},
+		ProbeInterval: 15 * time.Millisecond,
+		BaseBackoff:   500 * time.Microsecond,
+		MaxAttempts:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	rng := rand.New(rand.NewSource(1993))
+	nextID := uint64(700000)
+	var head uint64 // primary's replication-log head (mutations we issued)
+
+	post := func(path string) {
+		resp, err := http.Post(primary.url()+path, "", nil)
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: %d", path, resp.StatusCode)
+		}
+	}
+
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		// Mutate the primary: inserts plus deletes of ids from this run.
+		live := []uint64{}
+		for i := 0; i < 40; i++ {
+			lo := rng.Int63n(failoverSpan - 300)
+			post(fmt.Sprintf("/v1/insert?lo=%d&hi=%d&id=%d", lo, lo+rng.Int63n(300), nextID))
+			live = append(live, nextID)
+			nextID++
+			head++
+		}
+		for i := 0; i < 8; i++ {
+			id := live[rng.Intn(len(live))]
+			resp, err := http.Post(fmt.Sprintf("%s/v1/delete?id=%d", primary.url(), id), "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			// Only a found delete is logged; double-deletes in the random
+			// id stream are acknowledged but not replicated.
+			if string(body) != "" && resp.StatusCode == http.StatusOK {
+				if strings.Contains(string(body), `"found":true`) {
+					head++
+				}
+			}
+		}
+
+		// Quiesce: every replica applies the full log before the query
+		// phase, so a correct answer is the same from any node.
+		deadline := time.Now().Add(10 * time.Second)
+		for _, rn := range nodes {
+			for rn.lsn() < head {
+				if time.Now().After(deadline) {
+					t.Fatalf("round %d: replica stuck at lsn %d, want %d (status %+v)",
+						round, rn.lsn(), head, rn.rep.Status())
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+
+		// Query phase: concurrent routed reads against the sequential
+		// oracle, while the killer severs and restores replica fronts.
+		stopKiller := make(chan struct{})
+		var killerWG sync.WaitGroup
+		killerWG.Add(1)
+		go func() {
+			defer killerWG.Done()
+			for k := 0; ; k++ {
+				select {
+				case <-stopKiller:
+					return
+				default:
+				}
+				victim := nodes[rng.Intn(len(nodes))]
+				victim.front.kill()
+				time.Sleep(time.Duration(10+rng.Intn(20)) * time.Millisecond)
+				victim.mu.Lock()
+				victim.front.restart(t, victim.srv.Handler())
+				victim.mu.Unlock()
+				time.Sleep(time.Duration(5+rng.Intn(10)) * time.Millisecond)
+			}
+		}()
+
+		const clients, per = 3, 25
+		var wg sync.WaitGroup
+		var failures atomic.Int64
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				qrng := rand.New(rand.NewSource(int64(round*100 + c)))
+				for i := 0; i < per; i++ {
+					q := qrng.Int63n(failoverSpan)
+					got, err := rt.Stab(context.Background(), q)
+					if err != nil {
+						failures.Add(1)
+						t.Errorf("round %d stab(%d): %v", round, q, err)
+						continue
+					}
+					want := oracleStab(dm, q)
+					if len(got) != len(want) {
+						failures.Add(1)
+						t.Errorf("round %d stab(%d): routed %d rows, oracle %d", round, q, len(got), len(want))
+						continue
+					}
+					for _, iv := range got {
+						if !want[iv.ID] {
+							failures.Add(1)
+							t.Errorf("round %d stab(%d): routed extra id %d", round, q, iv.ID)
+						}
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(stopKiller)
+		killerWG.Wait()
+		// Killer may have left a front down; ensure both are up for the
+		// next round's catch-up wait.
+		for _, rn := range nodes {
+			rn.mu.Lock()
+			rn.front.restart(t, rn.srv.Handler())
+			rn.mu.Unlock()
+		}
+		if failures.Load() != 0 {
+			t.Fatalf("round %d: %d failed/wrong routed requests (stats %+v)", round, failures.Load(), rt.Stats())
+		}
+
+		// Between rounds: full process-style restart of one replica —
+		// fresh snapshot hydration on the same endpoint address.
+		nodes[round%len(nodes)].rehydrate(t, primary.url())
+	}
+	st := rt.Stats()
+	if st.Retries == 0 && st.Failovers == 0 {
+		t.Logf("warning: kill schedule never forced a retry (stats %+v)", st)
+	}
+	t.Logf("failover sweep stats: %+v", st)
+}

@@ -1,0 +1,683 @@
+// Package router is a client-side read router over a set of replicated
+// serving endpoints: it spreads queries across healthy replicas and turns
+// individual-node failures — crashes, slow disks, injected latency,
+// dropped connections, load shedding — into retries somewhere else instead
+// of client-visible errors.
+//
+// Mechanisms, each aimed at a specific failure class:
+//
+//   - Health probes: a background loop polls every endpoint's /readyz and
+//     routes only to nodes that report ready (hydrated, within their lag
+//     bound). A replica that is rebuilding or lag-exceeded is steered
+//     around before it costs a request a retry.
+//   - Retry with exponential backoff + jitter: transient failures
+//     (connection errors, 5xx, timeouts) move the request to another
+//     endpoint after a jittered, exponentially growing delay; a 503's
+//     Retry-After is honored as a lower bound so a shedding server is not
+//     hammered.
+//   - Hedging: when a response has not arrived after an adaptive delay
+//     (p99 of recent latencies), a second copy of the request is sent to a
+//     different replica and the first answer wins — the tail-latency
+//     defense against a node that is up but slow.
+//   - Circuit breaking: an endpoint that fails several times in a row is
+//     taken out of rotation for a cool-off period, so a dead node costs
+//     at most one probe per period instead of one timeout per request.
+//
+// # Why a routed answer can never be wrong
+//
+// Every response carries the answering node's (epoch, LSN) — the identity
+// of the primary's mutation history and how much of it the node has
+// applied. The router adopts the cluster's epoch from its probes and
+// maintains a high-water LSN over the answers it has accepted. An answer
+// is rejected (and the request retried elsewhere) if its epoch differs
+// from the adopted one — the node is following a different history — or
+// if its LSN is behind the watermark by more than the configured lag
+// budget — the node is serving a past the router has already moved beyond.
+// With MaxLag=0 accepted reads are monotonic: each answer reflects at
+// least every mutation any previously accepted answer reflected.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccidx/internal/geom"
+	"ccidx/internal/replication"
+)
+
+// Config tunes the router. Zero values take the defaults.
+type Config struct {
+	// Endpoints are the base URLs to route over (required, >= 1).
+	Endpoints []string
+	// Client issues the requests (default: http.Client with no timeout —
+	// per-attempt deadlines come from AttemptTimeout).
+	Client *http.Client
+	// ProbeInterval is the /readyz poll period (default 100ms).
+	ProbeInterval time.Duration
+	// AttemptTimeout bounds one HTTP attempt (default 1s).
+	AttemptTimeout time.Duration
+	// MaxAttempts bounds the retry rounds per request, hedges excluded
+	// (default 4).
+	MaxAttempts int
+	// BaseBackoff/MaxBackoff shape the exponential retry delay (defaults
+	// 2ms / 250ms); the actual delay is jittered in [d/2, d].
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// HedgeDelay controls hedging: 0 (default) adapts to the p99 of
+	// recent request latencies, a positive value is used verbatim, and a
+	// negative value disables hedging.
+	HedgeDelay time.Duration
+	// MinHedgeDelay floors the adaptive hedge delay (default 1ms).
+	MinHedgeDelay time.Duration
+	// MaxLag is the acceptable LSN gap between an answer and the router's
+	// watermark. The zero value means strictly monotonic reads: every
+	// accepted answer is at least as fresh as every previous one.
+	MaxLag int64
+	// BreakerFailures consecutive transient failures open an endpoint's
+	// circuit (default 3); BreakerCooloff is how long it stays open
+	// (default 250ms). A successful probe closes it early.
+	BreakerFailures int
+	BreakerCooloff  time.Duration
+	// Seed makes the jitter and round-robin phase deterministic for tests
+	// (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 100 * time.Millisecond
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 2 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 250 * time.Millisecond
+	}
+	if c.MinHedgeDelay <= 0 {
+		c.MinHedgeDelay = time.Millisecond
+	}
+	if c.MaxLag < 0 {
+		c.MaxLag = 0
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooloff <= 0 {
+		c.BreakerCooloff = 250 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// StatusError is a permanent (non-retryable) HTTP failure: the request
+// itself is wrong, and no other replica would answer differently.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("router: %d: %s", e.Code, strings.TrimSpace(e.Body))
+}
+
+// Stats is a snapshot of the router's counters.
+type Stats struct {
+	Requests     int64 // Do calls
+	Attempts     int64 // HTTP attempts issued (including hedges)
+	Retries      int64 // extra rounds after a failed first round
+	Failovers    int64 // successes served by other than the first pick
+	Hedges       int64 // hedge attempts issued
+	HedgeWins    int64 // hedges whose answer was used
+	StaleRejects int64 // answers rejected by the epoch/LSN check
+	BreakerTrips int64 // circuits opened
+	Exhausted    int64 // requests that failed every round
+}
+
+// endpoint is one routed target's live state.
+type endpoint struct {
+	url string
+
+	mu    sync.Mutex
+	st    replication.Status // last probe result
+	alive bool               // last probe reached it and said ready
+
+	fails     atomic.Int32
+	openUntil atomic.Int64 // unixnano; breaker open while in the future
+}
+
+func (ep *endpoint) probeResult(st replication.Status, ok bool) {
+	ep.mu.Lock()
+	ep.st = st
+	ep.alive = ok && st.Ready
+	ep.mu.Unlock()
+	// Probes deliberately do NOT close the breaker: /readyz answering says
+	// nothing about the data path (which is what tripped it). Recovery is
+	// the cool-off expiring — the classic half-open retry.
+}
+
+func (ep *endpoint) snapshot() (replication.Status, bool) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.st, ep.alive
+}
+
+// Router routes reads across replicas. Create with New, Close when done.
+type Router struct {
+	cfg Config
+	eps []*endpoint
+
+	rr        atomic.Uint64 // round-robin cursor
+	epoch     atomic.Pointer[string]
+	watermark atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	latMu   sync.Mutex
+	lats    [256]time.Duration
+	latN    int // total observations (ring index = latN % len)
+	hedgeMu sync.Mutex
+
+	requests, attempts, retries, failovers   atomic.Int64
+	hedges, hedgeWins, staleRejects, exhaust atomic.Int64
+	breakerTrips, probeRounds                atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a router and runs one synchronous probe round (so the first
+// request already has health data), then probes in the background every
+// ProbeInterval until Close.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, fmt.Errorf("router: at least one endpoint is required")
+	}
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	empty := ""
+	rt.epoch.Store(&empty)
+	for _, u := range cfg.Endpoints {
+		rt.eps = append(rt.eps, &endpoint{url: strings.TrimRight(u, "/")})
+	}
+	rt.probeRound()
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// Close stops the probe loop.
+func (rt *Router) Close() {
+	select {
+	case <-rt.stop:
+	default:
+		close(rt.stop)
+	}
+	<-rt.done
+}
+
+func (rt *Router) probeLoop() {
+	defer close(rt.done)
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeRound()
+		}
+	}
+}
+
+// probeRound polls every endpoint's /readyz concurrently and re-adopts the
+// cluster epoch from the answers: the epoch reported by the most ready
+// endpoints wins (ties break lexicographically, for determinism). An
+// adoption change resets the LSN watermark — LSNs are not comparable
+// across epochs.
+func (rt *Router) probeRound() {
+	type probe struct {
+		st replication.Status
+		ok bool
+	}
+	results := make([]probe, len(rt.eps))
+	var wg sync.WaitGroup
+	timeout := rt.cfg.ProbeInterval
+	if timeout < 100*time.Millisecond {
+		timeout = 100 * time.Millisecond
+	}
+	for i, ep := range rt.eps {
+		wg.Add(1)
+		go func(i int, ep *endpoint) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.url+"/readyz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.cfg.Client.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var st replication.Status
+			// /readyz answers the Status document on both 200 and 503.
+			if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&st); err != nil {
+				return
+			}
+			results[i] = probe{st: st, ok: true}
+		}(i, ep)
+	}
+	wg.Wait()
+	votes := make(map[string]int)
+	for i, ep := range rt.eps {
+		ep.probeResult(results[i].st, results[i].ok)
+		if results[i].ok && results[i].st.Ready && results[i].st.Epoch != "" {
+			votes[results[i].st.Epoch]++
+		}
+	}
+	if len(votes) > 0 {
+		best, bestN := "", -1
+		for e, n := range votes {
+			if n > bestN || (n == bestN && e < best) {
+				best, bestN = e, n
+			}
+		}
+		if cur := *rt.epoch.Load(); cur != best {
+			rt.epoch.Store(&best)
+			rt.watermark.Store(0)
+		}
+	}
+	rt.probeRounds.Add(1)
+}
+
+// pick chooses the next endpoint, preferring (1) ready endpoints on the
+// adopted epoch with closed breakers, then (2) anything with a closed
+// breaker, then (3) anything at all — a request must always have somewhere
+// to go; the response epoch/LSN check protects correctness even on the
+// desperation tiers. Endpoints in `tried` are skipped (nil when every
+// endpoint has been tried).
+func (rt *Router) pick(tried map[string]bool) *endpoint {
+	now := time.Now().UnixNano()
+	adopted := *rt.epoch.Load()
+	start := int(rt.rr.Add(1))
+	n := len(rt.eps)
+	var tier2, tier3 *endpoint
+	for k := 0; k < n; k++ {
+		ep := rt.eps[(start+k)%n]
+		if tried[ep.url] {
+			continue
+		}
+		if tier3 == nil {
+			tier3 = ep
+		}
+		open := ep.openUntil.Load() > now
+		if !open && tier2 == nil {
+			tier2 = ep
+		}
+		st, alive := ep.snapshot()
+		if alive && !open && (adopted == "" || st.Epoch == adopted) {
+			return ep
+		}
+	}
+	if tier2 != nil {
+		return tier2
+	}
+	return tier3
+}
+
+// attemptResult classifies one HTTP attempt.
+type attemptResult struct {
+	body       []byte
+	err        error
+	permanent  bool
+	retryAfter time.Duration
+	latency    time.Duration
+	ep         *endpoint
+}
+
+// attempt issues one GET and classifies the outcome. Transient failures
+// feed the endpoint's breaker; successes reset it.
+func (rt *Router) attempt(ctx context.Context, ep *endpoint, pathQuery string) attemptResult {
+	rt.attempts.Add(1)
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.url+pathQuery, nil)
+	if err != nil {
+		return attemptResult{err: err, permanent: true, ep: ep}
+	}
+	start := time.Now()
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		rt.noteFail(ep)
+		return attemptResult{err: fmt.Errorf("router: %s: %w", ep.url, err), ep: ep}
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	lat := time.Since(start)
+	switch {
+	case resp.StatusCode == http.StatusOK && rerr == nil:
+		if !rt.acceptable(resp.Header) {
+			rt.noteFail(ep)
+			return attemptResult{err: fmt.Errorf("router: %s: stale answer rejected", ep.url), ep: ep}
+		}
+		rt.noteOK(ep)
+		rt.observeLatency(lat)
+		return attemptResult{body: body, latency: lat, ep: ep}
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		// The request itself is wrong (bad parameters, read-only replica
+		// for a mutation, ...): retrying elsewhere cannot help.
+		return attemptResult{err: &StatusError{Code: resp.StatusCode, Body: string(body)}, permanent: true, ep: ep}
+	default:
+		rt.noteFail(ep)
+		ra := replication.ParseRetryAfter(resp.Header.Get("Retry-After"), 2*time.Second)
+		return attemptResult{
+			err:        fmt.Errorf("router: %s: %s", ep.url, resp.Status),
+			retryAfter: ra,
+			ep:         ep,
+		}
+	}
+}
+
+// acceptable is the wrong-answer guard (see the package comment).
+func (rt *Router) acceptable(h http.Header) bool {
+	epoch := h.Get(replication.HeaderEpoch)
+	if epoch == "" {
+		return true // un-stamped server (not part of this protocol)
+	}
+	if adopted := *rt.epoch.Load(); adopted != "" && epoch != adopted {
+		rt.staleRejects.Add(1)
+		return false
+	}
+	lsn, err := strconv.ParseUint(h.Get(replication.HeaderLSN), 10, 64)
+	if err != nil {
+		return true
+	}
+	for {
+		w := rt.watermark.Load()
+		if lsn+uint64(rt.cfg.MaxLag) < w {
+			rt.staleRejects.Add(1)
+			return false
+		}
+		if lsn <= w || rt.watermark.CompareAndSwap(w, lsn) {
+			return true
+		}
+	}
+}
+
+func (rt *Router) noteFail(ep *endpoint) {
+	if ep.fails.Add(1) >= int32(rt.cfg.BreakerFailures) {
+		if ep.openUntil.Swap(time.Now().Add(rt.cfg.BreakerCooloff).UnixNano()) <= time.Now().UnixNano() {
+			rt.breakerTrips.Add(1)
+		}
+		ep.fails.Store(0)
+	}
+}
+
+func (rt *Router) noteOK(ep *endpoint) { ep.fails.Store(0) }
+
+func (rt *Router) observeLatency(d time.Duration) {
+	rt.latMu.Lock()
+	rt.lats[rt.latN%len(rt.lats)] = d
+	rt.latN++
+	rt.latMu.Unlock()
+}
+
+// hedgeDelay returns how long to wait before hedging, or <0 to disable.
+// Adaptive mode uses the p99 of the recent latency window once it has
+// enough samples, clamped below by MinHedgeDelay.
+func (rt *Router) hedgeDelay() time.Duration {
+	if rt.cfg.HedgeDelay < 0 {
+		return -1
+	}
+	if rt.cfg.HedgeDelay > 0 {
+		return rt.cfg.HedgeDelay
+	}
+	rt.latMu.Lock()
+	n := rt.latN
+	if n > len(rt.lats) {
+		n = len(rt.lats)
+	}
+	if n < 16 {
+		rt.latMu.Unlock()
+		return 10 * time.Millisecond
+	}
+	window := make([]time.Duration, n)
+	copy(window, rt.lats[:n])
+	rt.latMu.Unlock()
+	sort.Slice(window, func(a, b int) bool { return window[a] < window[b] })
+	d := window[(99*(n-1))/100]
+	if d < rt.cfg.MinHedgeDelay {
+		d = rt.cfg.MinHedgeDelay
+	}
+	return d
+}
+
+// backoff returns the jittered delay before retry round `round` (1-based),
+// floored by a server-provided Retry-After hint.
+func (rt *Router) backoff(round int, hint time.Duration) time.Duration {
+	d := rt.cfg.BaseBackoff << (round - 1)
+	if d > rt.cfg.MaxBackoff || d <= 0 {
+		d = rt.cfg.MaxBackoff
+	}
+	rt.rngMu.Lock()
+	d = d/2 + time.Duration(rt.rng.Int63n(int64(d/2)+1))
+	rt.rngMu.Unlock()
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// round runs one retry round: a primary attempt, plus (if the answer is
+// slow in coming) one hedged attempt on a different endpoint; the first
+// acceptable answer wins and the loser is canceled via its own context.
+func (rt *Router) round(ctx context.Context, pathQuery string, tried map[string]bool, first **endpoint) ([]byte, attemptResult, error) {
+	ep := rt.pick(tried)
+	if ep == nil {
+		return nil, attemptResult{}, fmt.Errorf("router: no endpoint left to try")
+	}
+	if *first == nil {
+		*first = ep
+	}
+	tried[ep.url] = true
+	ctxRound, cancelRound := context.WithCancel(ctx)
+	defer cancelRound()
+
+	type tagged struct {
+		res   attemptResult
+		hedge bool
+	}
+	ch := make(chan tagged, 2)
+	go func() { ch <- tagged{res: rt.attempt(ctxRound, ep, pathQuery)} }()
+
+	var hedgeTimer <-chan time.Time
+	if hd := rt.hedgeDelay(); hd >= 0 {
+		t := time.NewTimer(hd)
+		defer t.Stop()
+		hedgeTimer = t.C
+	}
+	outstanding := 1
+	var lastFail attemptResult
+	for outstanding > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, lastFail, ctx.Err()
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			hep := rt.pick(tried)
+			if hep == nil {
+				continue
+			}
+			tried[hep.url] = true
+			rt.hedges.Add(1)
+			outstanding++
+			go func() { ch <- tagged{res: rt.attempt(ctxRound, hep, pathQuery), hedge: true} }()
+		case t := <-ch:
+			outstanding--
+			if t.res.err == nil {
+				if t.hedge {
+					rt.hedgeWins.Add(1)
+				}
+				return t.res.body, t.res, nil
+			}
+			if t.res.permanent {
+				return nil, t.res, t.res.err
+			}
+			lastFail = t.res
+		}
+	}
+	return nil, lastFail, lastFail.err
+}
+
+// Do routes one GET (path + query, e.g. "/v1/stab?q=17") and returns the
+// response body. Transient failures are retried on other endpoints with
+// backoff; permanent failures (4xx) return immediately as *StatusError.
+func (rt *Router) Do(ctx context.Context, pathQuery string) ([]byte, error) {
+	rt.requests.Add(1)
+	tried := make(map[string]bool, len(rt.eps))
+	var firstPick *endpoint
+	var lastErr error
+	var hint time.Duration
+	for round := 0; round < rt.cfg.MaxAttempts; round++ {
+		wrapped := len(tried) >= len(rt.eps)
+		if round > 0 {
+			rt.retries.Add(1)
+			// A server's Retry-After floors the backoff only once every
+			// endpoint has been tried this cycle: while an untried replica
+			// remains, failing over to it immediately beats waiting out one
+			// shedding server's hint.
+			h := time.Duration(0)
+			if wrapped {
+				h = hint
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(rt.backoff(round, h)):
+			}
+		}
+		if wrapped {
+			// Later rounds may revisit everyone (a shedding server can
+			// clear between rounds).
+			clear(tried)
+		}
+		body, res, err := rt.round(ctx, pathQuery, tried, &firstPick)
+		if err == nil {
+			if res.ep != firstPick {
+				rt.failovers.Add(1)
+			}
+			return body, nil
+		}
+		if res.permanent || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		lastErr = err
+		hint = res.retryAfter
+	}
+	rt.exhaust.Add(1)
+	return nil, fmt.Errorf("router: all %d rounds failed: %w", rt.cfg.MaxAttempts, lastErr)
+}
+
+// GetJSON routes a GET and decodes the JSON response into out.
+func (rt *Router) GetJSON(ctx context.Context, pathQuery string, out any) error {
+	body, err := rt.Do(ctx, pathQuery)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, out)
+}
+
+// ivRow mirrors the server's interval wire form.
+type ivRow struct {
+	Lo int64  `json:"lo"`
+	Hi int64  `json:"hi"`
+	ID uint64 `json:"id"`
+}
+
+func rowsToIntervals(rows []ivRow) []geom.Interval {
+	out := make([]geom.Interval, len(rows))
+	for i, r := range rows {
+		out[i] = geom.Interval{Lo: r.Lo, Hi: r.Hi, ID: r.ID}
+	}
+	return out
+}
+
+// Stab routes a stabbing query.
+func (rt *Router) Stab(ctx context.Context, q int64) ([]geom.Interval, error) {
+	var rows []ivRow
+	if err := rt.GetJSON(ctx, "/v1/stab?q="+strconv.FormatInt(q, 10), &rows); err != nil {
+		return nil, err
+	}
+	return rowsToIntervals(rows), nil
+}
+
+// Intersect routes an interval-intersection query.
+func (rt *Router) Intersect(ctx context.Context, lo, hi int64) ([]geom.Interval, error) {
+	var rows []ivRow
+	if err := rt.GetJSON(ctx,
+		"/v1/intersect?lo="+strconv.FormatInt(lo, 10)+"&hi="+strconv.FormatInt(hi, 10), &rows); err != nil {
+		return nil, err
+	}
+	return rowsToIntervals(rows), nil
+}
+
+// Ready returns how many endpoints the last probe round found ready.
+func (rt *Router) Ready() int {
+	n := 0
+	for _, ep := range rt.eps {
+		if _, alive := ep.snapshot(); alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Epoch returns the adopted cluster epoch ("" before the first successful
+// probe).
+func (rt *Router) Epoch() string { return *rt.epoch.Load() }
+
+// Watermark returns the high-water LSN over accepted answers.
+func (rt *Router) Watermark() uint64 { return rt.watermark.Load() }
+
+// Stats snapshots the router's counters.
+func (rt *Router) Stats() Stats {
+	return Stats{
+		Requests:     rt.requests.Load(),
+		Attempts:     rt.attempts.Load(),
+		Retries:      rt.retries.Load(),
+		Failovers:    rt.failovers.Load(),
+		Hedges:       rt.hedges.Load(),
+		HedgeWins:    rt.hedgeWins.Load(),
+		StaleRejects: rt.staleRejects.Load(),
+		BreakerTrips: rt.breakerTrips.Load(),
+		Exhausted:    rt.exhaust.Load(),
+	}
+}

@@ -1,0 +1,119 @@
+package server
+
+// HTTP-layer fault injection: the network half of the fault model (the
+// disk half is disk.FaultDevice). A Faults wraps a handler and, per
+// request, may inject latency, a transient 500, or a dropped connection —
+// each drawn from one deterministic seeded stream, so a test run with a
+// fixed seed sees the same fault schedule every time (wall-clock sleeps
+// aside). This is what the router's retry/hedging/breaker tests and the
+// kill/restart oracle drive against.
+
+import (
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultConfig tunes HTTP fault injection.
+type FaultConfig struct {
+	// Latency (plus a uniform extra in [0, Jitter)) delays every non-exempt
+	// request before it reaches the handler.
+	Latency time.Duration
+	Jitter  time.Duration
+	// ErrorProb is the per-request probability of a transient 500 (with
+	// Retry-After, like a real overload shed) instead of a real answer.
+	ErrorProb float64
+	// DropProb is the per-request probability of the connection being
+	// severed mid-flight with no response — the client sees EOF / reset.
+	DropProb float64
+	// Seed makes the fault schedule deterministic (default 1).
+	Seed int64
+	// Exempt lists path prefixes that bypass injection (e.g. "/healthz" so
+	// liveness stays truthful while the data path misbehaves).
+	Exempt []string
+}
+
+// Faults is an armed fault injector; wrap handlers with Wrap.
+type Faults struct {
+	cfg FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	delayed atomic.Int64
+	errors  atomic.Int64
+	drops   atomic.Int64
+}
+
+// NewFaults builds an injector from cfg.
+func NewFaults(cfg FaultConfig) *Faults {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Faults{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// WithFaults wraps h with fault injection per cfg — the one-call form.
+func WithFaults(h http.Handler, cfg FaultConfig) http.Handler {
+	return NewFaults(cfg).Wrap(h)
+}
+
+// Counts returns how many requests were delayed, failed with an injected
+// 500, and dropped.
+func (f *Faults) Counts() (delayed, errors, drops int64) {
+	return f.delayed.Load(), f.errors.Load(), f.drops.Load()
+}
+
+// draw samples this request's fault decisions in one locked step, keeping
+// the stream deterministic under concurrency-independent ordering per
+// request (concurrent requests still interleave draws; tests that need a
+// fully fixed schedule serialize their requests).
+func (f *Faults) draw() (delay time.Duration, fail, drop bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delay = f.cfg.Latency
+	if f.cfg.Jitter > 0 {
+		delay += time.Duration(f.rng.Int63n(int64(f.cfg.Jitter)))
+	}
+	if f.cfg.DropProb > 0 && f.rng.Float64() < f.cfg.DropProb {
+		drop = true
+	}
+	if f.cfg.ErrorProb > 0 && f.rng.Float64() < f.cfg.ErrorProb {
+		fail = true
+	}
+	return delay, fail, drop
+}
+
+// Wrap returns h with fault injection in front of it.
+func (f *Faults) Wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for _, p := range f.cfg.Exempt {
+			if strings.HasPrefix(r.URL.Path, p) {
+				h.ServeHTTP(w, r)
+				return
+			}
+		}
+		delay, fail, drop := f.draw()
+		if delay > 0 {
+			f.delayed.Add(1)
+			time.Sleep(delay)
+		}
+		if drop {
+			f.drops.Add(1)
+			// ErrAbortHandler severs the connection with no response — the
+			// stdlib's sanctioned way to simulate a mid-flight network cut.
+			panic(http.ErrAbortHandler)
+		}
+		if fail {
+			f.errors.Add(1)
+			w.Header().Set("Retry-After", retryAfterShed)
+			http.Error(w, "injected transient fault", http.StatusInternalServerError)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,227 @@
+package server
+
+// Primary-side replication serving: the snapshot + logical-WAL endpoints a
+// replica hydrates from, and the readiness surface routers steer by.
+//
+// The consistency argument, end to end:
+//
+//  1. Every acknowledged mutation appends to the replication log while the
+//     handler still holds the read side of ckptMu (see the handlers in
+//     server.go), so "applied to the backend" and "visible in the log" are
+//     one atomic step with respect to the snapshot.
+//  2. /v1/snapshot takes the WRITE side of ckptMu, checkpoints the backend
+//     and captures the log head L while no mutation can be in flight: the
+//     shipped image is exactly the state after ops 1..L.
+//  3. A replica restores the image and tails /v1/wal?from=L+1, applying
+//     ops in LSN order; it therefore walks the same state sequence as the
+//     primary, shifted by its lag.
+//  4. LSNs are only comparable within one epoch (a random token minted at
+//     server start). A primary restart mints a new epoch, so a replica can
+//     never misapply a new process's log on an old process's image.
+//
+// Mutations racing a snapshot shed with 503 + Retry-After rather than
+// queueing behind the file ship — the same contract as a long checkpoint.
+
+import (
+	"archive/tar"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"ccidx/internal/replication"
+)
+
+// retryAfterShed is the Retry-After value (delta-seconds) stamped on every
+// 503: admission sheds clear in well under a second, so 1s is the smallest
+// honest integer backoff.
+const retryAfterShed = "1"
+
+// errReadOnly rejects mutations on a read replica (403).
+var errReadOnly = errors.New("server: read-only")
+
+// walMaxOps caps one /v1/wal response; a far-behind replica catches up
+// over several polls instead of one giant document.
+const walMaxOps = 4096
+
+// newEpoch mints the server's mutation-history identity.
+func newEpoch() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Errorf("server: minting epoch: %w", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// mutable rejects the mutation endpoints on a read-only (replica) server.
+func (s *Server) mutable() error {
+	if s.cfg.ReadOnly {
+		return errReadOnly
+	}
+	return nil
+}
+
+// logRep acknowledges one applied mutation into the replication log (no-op
+// when replication is off). Callers hold ckptMu's read side.
+func (s *Server) logRep(op replication.Op) {
+	if s.rep != nil {
+		s.rep.append(op)
+	}
+}
+
+// status returns the readiness document: the injected provider (replica
+// mode) or the primary's own view.
+func (s *Server) status() replication.Status {
+	if s.cfg.Status != nil {
+		return s.cfg.Status()
+	}
+	st := replication.Status{Ready: true, Role: "primary", Epoch: s.epoch}
+	if s.b.Intervals.Durable() {
+		st.Gen = s.b.Intervals.Seq()
+	}
+	if s.rep != nil {
+		st.LSN = s.rep.headLSN()
+	}
+	return st
+}
+
+// stamp writes the answering node's replication coordinates on a response;
+// the read router's generation check reads them back.
+func (s *Server) stamp(w http.ResponseWriter) {
+	st := s.status()
+	h := w.Header()
+	h.Set(replication.HeaderEpoch, st.Epoch)
+	h.Set(replication.HeaderLSN, strconv.FormatUint(st.LSN, 10))
+}
+
+// handleReady serves the readiness document: 200 when ready, 503 (with
+// Retry-After) when not. Liveness stays on /healthz.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	st := s.status()
+	s.stamp(w)
+	w.Header().Set("Content-Type", "application/json")
+	if !st.Ready {
+		w.Header().Set("Retry-After", retryAfterShed)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+// bare is the spine for the replication endpoints: method check and panic
+// conversion like guard, but NO admission control or deadline — see
+// buildMux for why they must not be shed.
+func (s *Server) bare(method string, h func(ctx context.Context, w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.stamp(w)
+		if err := s.safeHandle(h, r.Context(), w, r); err != nil {
+			var g goneError
+			switch {
+			case errors.As(err, &g):
+				http.Error(w, err.Error(), http.StatusGone)
+			case errors.Is(err, errBadRequest):
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			default:
+				s.m.errors.Inc()
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}
+	}
+}
+
+// goneError maps to 410: the requested log position has been evicted and
+// the replica must re-hydrate from a snapshot.
+type goneError struct{ from, base uint64 }
+
+func (g goneError) Error() string {
+	return fmt.Sprintf("wal position %d not retained (log base %d): re-hydrate from /v1/snapshot", g.from, g.base)
+}
+
+// handleWAL serves the retained replication-log tail from the requested
+// LSN.
+func (s *Server) handleWAL(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	from, err := qInt(r, "from")
+	if err != nil {
+		return err
+	}
+	if from < 1 {
+		return badRequestf("from %d < 1", from)
+	}
+	ops, head, ok := s.rep.from(uint64(from), walMaxOps)
+	if !ok {
+		return goneError{from: uint64(from)}
+	}
+	return writeJSON(w, replication.WALResponse{
+		Epoch: s.epoch, From: uint64(from), Head: head, Ops: ops,
+	})
+}
+
+// handleSnapshot checkpoints the backend under the mutation write-lock and
+// streams the checkpoint directory as a tar, preceded by a SNAPMETA.json
+// entry carrying the (epoch, lsn, seq) the image corresponds to. The lock
+// is held for the whole stream: mutations would dirty pages mid-copy
+// (they shed 503 + Retry-After meanwhile); queries are unaffected.
+func (s *Server) handleSnapshot(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if err := s.b.Intervals.Checkpoint(); err != nil {
+		return fmt.Errorf("snapshot checkpoint: %w", err)
+	}
+	meta := replication.SnapshotMeta{
+		Epoch: s.epoch,
+		LSN:   s.rep.headLSN(),
+		Seq:   s.b.Intervals.Seq(),
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/x-tar")
+	w.Header().Set(replication.HeaderLSN, strconv.FormatUint(meta.LSN, 10))
+	tw := tar.NewWriter(w)
+	if err := writeTarFile(tw, replication.SnapshotMetaName, metaJSON); err != nil {
+		return nil // client gone mid-stream; nothing coherent left to send
+	}
+	dir := s.b.Intervals.Dir()
+	werr := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return writeTarFile(tw, filepath.ToSlash(rel), data)
+	})
+	if werr != nil {
+		// Headers are already written; aborting the stream is the only way
+		// to signal failure. The replica's untar detects the truncation.
+		panic(http.ErrAbortHandler)
+	}
+	_ = tw.Close()
+	return nil
+}
+
+func writeTarFile(tw *tar.Writer, name string, data []byte) error {
+	if err := tw.WriteHeader(&tar.Header{
+		Name: name, Mode: 0o644, Size: int64(len(data)), Typeflag: tar.TypeReg,
+	}); err != nil {
+		return err
+	}
+	_, err := tw.Write(data)
+	return err
+}

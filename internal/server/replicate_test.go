@@ -1,0 +1,447 @@
+package server
+
+// Tests for the primary-side replication surface: the bounded replication
+// log, the readiness split, Retry-After on every 503 flavor, the logical
+// WAL endpoint's paging/410 contract, snapshot streaming, response
+// stamping, the read-only gate, and the fault middleware's determinism.
+
+import (
+	"archive/tar"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ccidx/internal/intervals"
+	"ccidx/internal/replication"
+	"ccidx/internal/shard"
+	"ccidx/internal/workload"
+)
+
+func newDurableBackend(t *testing.T, n int) (Backend, *shard.Intervals) {
+	t.Helper()
+	ivs := workload.UniformIntervals(61, n, testSpan, 250)
+	dm, err := shard.CreateIntervalsAt(t.TempDir(), shard.Config{
+		Shards: 2, B: 8, Batch: 16,
+		Partition: shard.PartitionRange, Span: testSpan, PoolFrames: 32,
+	}, ivs, intervals.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dm.Close() })
+	return Backend{Intervals: dm}, dm
+}
+
+// TestRepLog pins the bounded log's append/from contract, including the
+// eviction boundary where a lagging reader must get "gone" instead of a
+// silently resumed stream with a hole in it.
+func TestRepLog(t *testing.T) {
+	l := newRepLog(4)
+	if _, head, ok := l.from(1, 10); !ok || head != 0 {
+		t.Fatalf("empty log: from(1) ok=%v head=%d, want ok head=0", ok, head)
+	}
+	for i := 1; i <= 3; i++ {
+		if lsn := l.append(replication.Op{ID: uint64(i)}); lsn != uint64(i) {
+			t.Fatalf("append %d assigned lsn %d", i, lsn)
+		}
+	}
+	ops, head, ok := l.from(2, 10)
+	if !ok || head != 3 || len(ops) != 2 || ops[0].ID != 2 {
+		t.Fatalf("from(2) = %v head=%d ok=%v", ops, head, ok)
+	}
+	// Paging: max caps the slice but head still reports the true head.
+	ops, head, ok = l.from(1, 2)
+	if !ok || len(ops) != 2 || head != 3 {
+		t.Fatalf("capped from(1,2) = %d ops head=%d ok=%v", len(ops), head, ok)
+	}
+	// Beyond head+1 is a protocol error (gone), not an empty page.
+	if _, _, ok := l.from(5, 10); ok {
+		t.Fatal("from(head+2) accepted")
+	}
+	// from(head+1) is the steady-state empty poll.
+	if ops, _, ok := l.from(4, 10); !ok || len(ops) != 0 {
+		t.Fatalf("from(head+1) = %v ok=%v, want empty ok", ops, ok)
+	}
+	// Overflow evicts the oldest; a reader at the evicted position is gone.
+	for i := 4; i <= 9; i++ {
+		l.append(replication.Op{ID: uint64(i)})
+	}
+	if _, _, ok := l.from(2, 10); ok {
+		t.Fatal("evicted position still served")
+	}
+	ops, head, ok = l.from(6, 10)
+	if !ok || head != 9 || len(ops) != 4 || ops[0].ID != 6 {
+		t.Fatalf("post-eviction from(6) = %v head=%d ok=%v", ops, head, ok)
+	}
+}
+
+// TestReadyzSplit: /healthz stays pure liveness while /readyz reports the
+// full readiness document — and an injected not-ready status flips it to
+// 503 with Retry-After without touching liveness.
+func TestReadyzSplit(t *testing.T) {
+	b := newTestBackend(t)
+	notReady := false
+	_, ts := newTestServer(t, b, Config{Status: func() replication.Status {
+		return replication.Status{
+			Ready: !notReady, Role: "replica", Epoch: "feedbeef",
+			Gen: 7, LSN: 42, Lag: 3, Detail: "",
+		}
+	}})
+
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st replication.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready /readyz = %d", resp.StatusCode)
+	}
+	if !st.Ready || st.Role != "replica" || st.Epoch != "feedbeef" || st.Gen != 7 || st.LSN != 42 || st.Lag != 3 {
+		t.Fatalf("readiness document %+v lost fields", st)
+	}
+	if resp.Header.Get(replication.HeaderEpoch) != "feedbeef" ||
+		resp.Header.Get(replication.HeaderLSN) != "42" {
+		t.Fatalf("readyz not stamped: %v", resp.Header)
+	}
+
+	notReady = true
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = replication.Status{}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || st.Ready {
+		t.Fatalf("not-ready /readyz = %d ready=%v, want 503 false", resp.StatusCode, st.Ready)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("not-ready /readyz missing Retry-After")
+	}
+
+	// Liveness is unaffected by readiness.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while not ready: %v %v", resp, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// TestRetryAfterOnEveryShed: BOTH 503 producers — admission shedding and
+// checkpoint-in-progress — carry Retry-After, and both count as sheds.
+func TestRetryAfterOnEveryShed(t *testing.T) {
+	b := newTestBackend(t)
+	s, ts := newTestServer(t, b, Config{MaxInFlight: 1, RequestTimeout: 30 * time.Millisecond})
+
+	// Admission shed.
+	s.admit <- struct{}{}
+	resp, err := http.Get(ts.URL + "/v1/stab?q=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	<-s.admit
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("admission shed = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterShed {
+		t.Fatalf("admission shed Retry-After = %q, want %q", got, retryAfterShed)
+	}
+	shed1 := s.ShedCount()
+	if shed1 != 1 {
+		t.Fatalf("shed counter after admission shed = %d, want 1", shed1)
+	}
+
+	// Checkpoint-busy shed.
+	s.ckptMu.Lock()
+	resp, err = http.Post(ts.URL+"/v1/insert?lo=1&hi=2&id=31337", "", nil)
+	s.ckptMu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("checkpoint shed = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != retryAfterShed {
+		t.Fatalf("checkpoint shed Retry-After = %q, want %q", got, retryAfterShed)
+	}
+	if got := s.ShedCount(); got != shed1+1 {
+		t.Fatalf("shed counter after checkpoint shed = %d, want %d", got, shed1+1)
+	}
+}
+
+// TestReadOnlyServer: every mutation endpoint answers 403 on a read-only
+// server; queries are untouched.
+func TestReadOnlyServer(t *testing.T) {
+	b := newTestBackend(t)
+	_, ts := newTestServer(t, b, Config{ReadOnly: true})
+
+	for _, path := range []string{
+		"/v1/insert?lo=1&hi=2&id=3", "/v1/delete?id=3", "/v1/flush", "/v1/checkpoint",
+	} {
+		if code := postStatus(t, ts.URL+path); code != http.StatusForbidden {
+			t.Errorf("POST %s on read-only server = %d, want 403", path, code)
+		}
+	}
+	var got []ivRow
+	getJSON(t, ts.URL+"/v1/stab?q=100", &got)
+}
+
+// TestWALEndpoint: mutations through the HTTP path appear on /v1/wal in
+// LSN order; a position beyond the retained tail answers 410; responses
+// are stamped with the server's epoch and head LSN.
+func TestWALEndpoint(t *testing.T) {
+	b, _ := newDurableBackend(t, 50)
+	s, ts := newTestServer(t, b, Config{Replication: true, ReplicationLog: 8})
+
+	for i := 0; i < 5; i++ {
+		if code := postStatus(t, fmt.Sprintf("%s/v1/insert?lo=%d&hi=%d&id=%d", ts.URL, i*10, i*10+5, 9000+i)); code != http.StatusOK {
+			t.Fatalf("insert %d: status %d", i, code)
+		}
+	}
+	if code := postStatus(t, ts.URL+"/v1/delete?id=9000"); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	// Deleting a missing id is acknowledged but NOT logged (a replica
+	// replaying it would diverge on Delete's return accounting, and there
+	// is nothing to replicate).
+	if code := postStatus(t, ts.URL+"/v1/delete?id=777777"); code != http.StatusOK {
+		t.Fatalf("no-op delete: status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/wal?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wr replication.WALResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if wr.Epoch != s.epoch {
+		t.Fatalf("wal epoch %q, want server epoch %q", wr.Epoch, s.epoch)
+	}
+	if wr.Head != 6 || len(wr.Ops) != 6 {
+		t.Fatalf("wal head=%d ops=%d, want 6/6", wr.Head, len(wr.Ops))
+	}
+	if wr.Ops[0].Del || wr.Ops[0].ID != 9000 || wr.Ops[5].ID != 9000 || !wr.Ops[5].Del {
+		t.Fatalf("wal op order wrong: first=%+v last=%+v", wr.Ops[0], wr.Ops[5])
+	}
+	if resp.Header.Get(replication.HeaderEpoch) != s.epoch || resp.Header.Get(replication.HeaderLSN) != "6" {
+		t.Fatalf("wal response not stamped: %v", resp.Header)
+	}
+
+	// Steady-state empty poll.
+	resp, err = http.Get(ts.URL + "/v1/wal?from=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr = replication.WALResponse{}
+	json.NewDecoder(resp.Body).Decode(&wr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(wr.Ops) != 0 {
+		t.Fatalf("empty poll = %d with %d ops", resp.StatusCode, len(wr.Ops))
+	}
+
+	// Fall off the log: push past the 8-op retention, then ask for lsn 1.
+	for i := 0; i < 10; i++ {
+		postStatus(t, fmt.Sprintf("%s/v1/insert?lo=%d&hi=%d&id=%d", ts.URL, i, i+1, 9500+i))
+	}
+	resp, err = http.Get(ts.URL + "/v1/wal?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("evicted position = %d %q, want 410", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "re-hydrate") {
+		t.Fatalf("410 body %q does not point at /v1/snapshot", body)
+	}
+
+	// Parameter validation.
+	for _, q := range []string{"", "?from=0", "?from=x"} {
+		resp, err := http.Get(ts.URL + "/v1/wal" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("/v1/wal%s = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestSnapshotStream: /v1/snapshot streams a tar whose first entry is the
+// meta document, whose coordinates match the live server, and which
+// contains the committed manifest.
+func TestSnapshotStream(t *testing.T) {
+	b, dm := newDurableBackend(t, 80)
+	s, ts := newTestServer(t, b, Config{Replication: true})
+
+	postStatus(t, ts.URL+"/v1/insert?lo=5&hi=9&id=4242")
+	resp, err := http.Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot = %d", resp.StatusCode)
+	}
+	tr := tar.NewReader(resp.Body)
+	hdr, err := tr.Next()
+	if err != nil || hdr.Name != replication.SnapshotMetaName {
+		t.Fatalf("first entry %v err=%v, want %s", hdr, err, replication.SnapshotMetaName)
+	}
+	var meta replication.SnapshotMeta
+	if err := json.NewDecoder(tr).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Epoch != s.epoch || meta.LSN != 1 || meta.Seq != dm.Seq() {
+		t.Fatalf("snapshot meta %+v, want epoch=%s lsn=1 seq=%d", meta, s.epoch, dm.Seq())
+	}
+	sawManifest := false
+	files := 0
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		files++
+		if strings.Contains(hdr.Name, "MANIFEST") {
+			sawManifest = true
+		}
+	}
+	if !sawManifest || files == 0 {
+		t.Fatalf("snapshot shipped %d files, manifest=%v", files, sawManifest)
+	}
+	// The snapshot's checkpoint drained the pending insert: the image's seq
+	// advanced past the create-time checkpoint.
+	if dm.Seq() < 2 {
+		t.Fatalf("snapshot did not checkpoint: seq %d", dm.Seq())
+	}
+}
+
+// TestReplicationRequiresDurable: Config.Replication on an in-memory
+// backend is a construction error, not a runtime surprise.
+func TestReplicationRequiresDurable(t *testing.T) {
+	b := newTestBackend(t)
+	if _, err := New(b, Config{Replication: true}); err == nil {
+		t.Fatal("replication over an in-memory backend accepted")
+	}
+}
+
+// TestQueryResponsesStamped: ordinary data-path responses carry the
+// epoch/LSN headers the router's freshness check needs.
+func TestQueryResponsesStamped(t *testing.T) {
+	b, _ := newDurableBackend(t, 30)
+	s, ts := newTestServer(t, b, Config{Replication: true})
+	postStatus(t, ts.URL+"/v1/insert?lo=1&hi=2&id=8811")
+
+	resp, err := http.Get(ts.URL + "/v1/stab?q=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get(replication.HeaderEpoch) != s.epoch {
+		t.Fatalf("stab response epoch %q, want %q", resp.Header.Get(replication.HeaderEpoch), s.epoch)
+	}
+	if resp.Header.Get(replication.HeaderLSN) != "1" {
+		t.Fatalf("stab response lsn %q, want 1", resp.Header.Get(replication.HeaderLSN))
+	}
+}
+
+// TestFaultsDeterministic: two injectors with the same seed produce the
+// same fault schedule over a serialized request sequence; drops sever the
+// connection and errors carry Retry-After.
+func TestFaultsDeterministic(t *testing.T) {
+	run := func(seed int64) []string {
+		f := NewFaults(FaultConfig{ErrorProb: 0.3, DropProb: 0.2, Seed: seed})
+		inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "ok")
+		})
+		ts := httptest.NewServer(f.Wrap(inner))
+		defer ts.Close()
+		var schedule []string
+		for i := 0; i < 40; i++ {
+			resp, err := http.Get(ts.URL + "/x")
+			switch {
+			case err != nil:
+				schedule = append(schedule, "drop")
+			case resp.StatusCode == http.StatusInternalServerError:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("injected 500 missing Retry-After")
+				}
+				schedule = append(schedule, "err")
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			default:
+				schedule = append(schedule, "ok")
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return schedule
+	}
+	a, b := run(7), run(7)
+	c := run(8)
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	if strings.Join(a, ",") == strings.Join(c, ",") {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+	counts := map[string]int{}
+	for _, s := range a {
+		counts[s]++
+	}
+	if counts["err"] == 0 || counts["drop"] == 0 || counts["ok"] == 0 {
+		t.Fatalf("schedule %v did not exercise all outcomes", counts)
+	}
+}
+
+// TestFaultsExempt: exempted path prefixes bypass injection entirely.
+func TestFaultsExempt(t *testing.T) {
+	f := NewFaults(FaultConfig{DropProb: 1.0, Exempt: []string{"/healthz"}, Seed: 3})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	})
+	ts := httptest.NewServer(f.Wrap(inner))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("exempt path dropped: %v %v", resp, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if _, err := http.Get(ts.URL + "/data"); err == nil {
+		t.Fatal("non-exempt path survived DropProb=1")
+	}
+	// >= 1: the stdlib transport retries an idempotent GET whose connection
+	// died before any response bytes, so one client call can hit the
+	// injector more than once.
+	_, _, drops := f.Counts()
+	if drops < 1 {
+		t.Fatalf("drop counter %d, want >= 1", drops)
+	}
+}

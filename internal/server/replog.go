@@ -1,0 +1,86 @@
+package server
+
+// repLog is the primary's in-memory replication log: a bounded tail of
+// acknowledged mutations, stamped with dense logical LSNs that never reset
+// for the life of the process. It is deliberately NOT the per-shard disk
+// WAL: those logs truncate at every checkpoint (their records' effects move
+// into the checkpoint image), while a replica needs a stream whose
+// coordinates survive checkpoints. The coupling invariant is instead
+// provided by the snapshot endpoint, which records the log head it
+// captured while holding the mutation lock — so "snapshot at LSN L, then
+// tail from L+1" always converges.
+//
+// The log is bounded (cap ops); a reader that has fallen behind the
+// retained base must re-hydrate from a fresh snapshot. Appends happen
+// under the server's checkpoint read-lock at the moment a mutation is
+// acknowledged, which is what makes the snapshot's (image, LSN) pair
+// consistent: the snapshot holds the write side, so no mutation is
+// mid-append while it captures the head.
+
+import (
+	"sync"
+
+	"ccidx/internal/replication"
+)
+
+type repLog struct {
+	mu   sync.Mutex
+	cap  int
+	base uint64 // LSN of ops[0]; retained LSNs are [base, base+len(ops))
+	ops  []replication.Op
+	head uint64 // last assigned LSN (0 before the first append)
+}
+
+func newRepLog(capacity int) *repLog {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &repLog{cap: capacity, base: 1}
+}
+
+// append acknowledges one mutation, assigning it the next LSN. The oldest
+// ops are evicted once the retained tail exceeds the capacity.
+func (l *repLog) append(op replication.Op) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.head++
+	l.ops = append(l.ops, op)
+	if len(l.ops) > l.cap {
+		drop := len(l.ops) - l.cap
+		l.base += uint64(drop)
+		// Copy down instead of re-slicing so the evicted prefix is released
+		// rather than pinned by the backing array.
+		n := copy(l.ops, l.ops[drop:])
+		l.ops = l.ops[:n]
+	}
+	return l.head
+}
+
+// headLSN returns the last assigned LSN.
+func (l *repLog) headLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// from returns up to max retained ops with LSN >= from, plus the current
+// head. ok is false when from predates the retained base — the caller has
+// fallen off the log and must re-hydrate. A from beyond head+1 is also
+// rejected: it claims a position this log never assigned.
+func (l *repLog) from(from uint64, max int) (ops []replication.Op, head uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.base || from > l.head+1 {
+		return nil, l.head, false
+	}
+	i := int(from - l.base)
+	n := len(l.ops) - i
+	if n > max {
+		n = max
+	}
+	if n > 0 {
+		ops = make([]replication.Op, n)
+		copy(ops, l.ops[i:i+n])
+	}
+	return ops, l.head, true
+}

@@ -18,6 +18,7 @@ import (
 
 	"ccidx/internal/disk"
 	"ccidx/internal/geom"
+	"ccidx/internal/replication"
 	"ccidx/internal/shard"
 )
 
@@ -52,6 +53,21 @@ type Config struct {
 	// DisableBatching routes queries one at a time straight to the
 	// sequential shard paths — the experimental control arm.
 	DisableBatching bool
+	// ReadOnly rejects every mutation endpoint with 403: the configuration
+	// of a read replica, whose only writer is its replication tailer.
+	ReadOnly bool
+	// Replication serves the snapshot + logical-WAL endpoints replicas
+	// hydrate from (/v1/snapshot, /v1/wal). Requires a durable backend —
+	// the snapshot is the checkpoint directory.
+	Replication bool
+	// ReplicationLog bounds the retained replication-log tail in ops
+	// (default 65536). A replica that falls further behind than this must
+	// re-hydrate from a fresh snapshot.
+	ReplicationLog int
+	// Status overrides the readiness document (/readyz and the epoch/LSN
+	// response headers). A replica front-end injects its tailer's status
+	// here; when nil the server reports itself as a ready primary.
+	Status func() replication.Status
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +111,11 @@ type Server struct {
 	intersect *batcher[geom.Interval, []geom.Interval]
 	class     *batcher[shard.ClassQuery, []attrPair]
 
+	// epoch identifies this server's mutation history; rep is the bounded
+	// replication log (nil unless cfg.Replication). See replicate.go.
+	epoch string
+	rep   *repLog
+
 	closeOnce sync.Once
 }
 
@@ -105,11 +126,18 @@ func New(b Backend, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: Backend.Intervals is required")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Replication && !b.Intervals.Durable() {
+		return nil, fmt.Errorf("server: replication requires a durable (file-backed) backend")
+	}
 	s := &Server{
 		cfg:   cfg,
 		b:     b,
 		m:     newMetrics(),
 		admit: make(chan struct{}, cfg.MaxInFlight),
+		epoch: newEpoch(),
+	}
+	if cfg.Replication {
+		s.rep = newRepLog(cfg.ReplicationLog)
 	}
 	s.stab = newBatcher(cfg.MaxBatch, cfg.MaxWait, s.m, func(qs []int64) ([][]geom.Interval, error) {
 		out := make([][]geom.Interval, len(qs))
@@ -185,9 +213,22 @@ func (s *Server) ShedCount() int64                  { return s.m.shed.Load() }
 
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
+	// /healthz is LIVENESS only: the process is up and able to answer.
+	// Whether a router should send reads here is /readyz's question.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	// /readyz bypasses admission control on purpose: a router's health
+	// probes must keep working while the server sheds query load, or an
+	// overloaded replica could never be steered around.
+	mux.HandleFunc("/readyz", s.handleReady)
+	if s.rep != nil {
+		// The replication endpoints also bypass admission: a replica's
+		// tail polls must not be shed under query overload, or lag would
+		// grow exactly when the cluster most needs the replicas.
+		mux.HandleFunc("/v1/wal", s.bare(http.MethodGet, s.handleWAL))
+		mux.HandleFunc("/v1/snapshot", s.bare(http.MethodGet, s.handleSnapshot))
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.m.render(w)
@@ -211,11 +252,16 @@ func (s *Server) guard(method string, h func(ctx context.Context, w http.Respons
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		s.stamp(w)
 		select {
 		case s.admit <- struct{}{}:
 			defer func() { <-s.admit }()
 		default:
 			s.m.shed.Inc()
+			// Shed responses tell the client when to come back instead of
+			// letting it hammer an overloaded server (ccload and the read
+			// router both honor it).
+			w.Header().Set("Retry-After", retryAfterShed)
 			http.Error(w, "overloaded, request shed", http.StatusServiceUnavailable)
 			return
 		}
@@ -223,8 +269,20 @@ func (s *Server) guard(method string, h func(ctx context.Context, w http.Respons
 		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		err := s.safeHandle(h, ctx, w, r.WithContext(ctx))
+		// Track whether the handler started the response: once body bytes
+		// (or an explicit status) went out, the error paths below must not
+		// stack a second status line onto the stream — a handler that fails
+		// mid-write (client gone, connection severed) returns an error with
+		// a 200 already committed.
+		tw := &trackingWriter{ResponseWriter: w}
+		err := s.safeHandle(h, ctx, tw, r.WithContext(ctx))
 		s.m.latency.Observe(time.Since(start).Seconds())
+		if err != nil && tw.wrote {
+			if !errors.Is(err, context.Canceled) {
+				s.m.errors.Inc()
+			}
+			return
+		}
 		var corrupt disk.ErrCorrupt
 		switch {
 		case err == nil:
@@ -237,7 +295,11 @@ func (s *Server) guard(method string, h func(ctx context.Context, w http.Respons
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		case errors.Is(err, errCheckpointBusy):
 			s.m.shed.Inc()
+			w.Header().Set("Retry-After", retryAfterShed)
 			http.Error(w, "checkpoint in progress, mutation shed", http.StatusServiceUnavailable)
+		case errors.Is(err, errReadOnly):
+			s.m.errors.Inc()
+			http.Error(w, "read-only replica: mutations go to the primary", http.StatusForbidden)
 		case errors.Is(err, context.DeadlineExceeded):
 			s.m.timeouts.Inc()
 			http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
@@ -251,6 +313,24 @@ func (s *Server) guard(method string, h func(ctx context.Context, w http.Respons
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}
+}
+
+// trackingWriter records whether a handler committed the response (explicit
+// WriteHeader or first body byte), so guard's error paths know whether an
+// error status can still be sent.
+type trackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (t *trackingWriter) WriteHeader(code int) {
+	t.wrote = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *trackingWriter) Write(p []byte) (int, error) {
+	t.wrote = true
+	return t.ResponseWriter.Write(p)
 }
 
 // safeHandle runs one handler, converting a backend panic into a request
@@ -425,11 +505,19 @@ func (s *Server) handleInsert(ctx context.Context, w http.ResponseWriter, r *htt
 	if lo > hi {
 		return badRequestf("lo %d > hi %d", lo, hi)
 	}
+	if err := s.mutable(); err != nil {
+		return err
+	}
 	if err := s.lockMutate(ctx); err != nil {
 		return err
 	}
 	defer s.ckptMu.RUnlock()
 	s.b.Intervals.Insert(geom.Interval{Lo: lo, Hi: hi, ID: uint64(id)})
+	// Acknowledge into the replication log while still holding the
+	// checkpoint read-lock: the snapshot endpoint takes the write side, so
+	// its (image, LSN) capture can never catch a mutation applied to the
+	// backend but not yet logged (or vice versa).
+	s.logRep(replication.Op{Lo: lo, Hi: hi, ID: uint64(id)})
 	return writeJSON(w, map[string]bool{"ok": true})
 }
 
@@ -438,15 +526,24 @@ func (s *Server) handleDelete(ctx context.Context, w http.ResponseWriter, r *htt
 	if err != nil {
 		return err
 	}
+	if err := s.mutable(); err != nil {
+		return err
+	}
 	if err := s.lockMutate(ctx); err != nil {
 		return err
 	}
 	defer s.ckptMu.RUnlock()
 	found := s.b.Intervals.Delete(uint64(id))
+	if found {
+		s.logRep(replication.Op{Del: true, ID: uint64(id)})
+	}
 	return writeJSON(w, map[string]bool{"ok": true, "found": found})
 }
 
 func (s *Server) handleFlush(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	if err := s.mutable(); err != nil {
+		return err
+	}
 	if err := s.lockMutate(ctx); err != nil {
 		return err
 	}
@@ -459,6 +556,9 @@ func (s *Server) handleFlush(ctx context.Context, w http.ResponseWriter, r *http
 }
 
 func (s *Server) handleCheckpoint(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	if err := s.mutable(); err != nil {
+		return err
+	}
 	if !s.b.Intervals.Durable() {
 		return badRequestf("backend is in-memory; nothing to checkpoint")
 	}

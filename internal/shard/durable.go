@@ -165,6 +165,10 @@ func OpenIntervals(dir string, opt intervals.DurableOptions) (*Intervals, error)
 // Durable reports whether the sharded manager runs on file-backed shards.
 func (s *Intervals) Durable() bool { return s.dirPath != "" }
 
+// Dir returns the checkpoint directory of a file-backed instance (empty
+// in memory) — the replication snapshot endpoint ships its contents.
+func (s *Intervals) Dir() string { return s.dirPath }
+
 // Seq returns the last committed checkpoint generation.
 func (s *Intervals) Seq() uint64 {
 	if !s.Durable() {

@@ -1,0 +1,120 @@
+package ccidx
+
+import (
+	"context"
+	"time"
+
+	"ccidx/internal/router"
+)
+
+// RouterOptions tunes the fault-tolerant read router. The zero value is a
+// sensible production default: 100ms health probes, 4 attempts with
+// exponential jittered backoff, adaptive (p99-based) hedging, and
+// strictly monotonic reads.
+type RouterOptions struct {
+	// ProbeInterval is the period of the background /readyz health probes
+	// (0 = 100ms).
+	ProbeInterval time.Duration
+	// AttemptTimeout bounds each individual request attempt (0 = 1s).
+	AttemptTimeout time.Duration
+	// MaxAttempts bounds the retry loop per logical request, hedges
+	// excluded (0 = 4).
+	MaxAttempts int
+	// HedgeDelay is how long the first attempt may run before a hedge is
+	// sent to another replica: 0 adapts to the observed p99 latency, a
+	// negative value disables hedging.
+	HedgeDelay time.Duration
+	// MaxLag relaxes the freshness bound: an answer whose replication LSN
+	// trails the router's high-water mark by more than MaxLag ops is
+	// rejected and retried elsewhere. The zero value means strictly
+	// monotonic reads — every accepted answer is at least as fresh as
+	// every previously accepted one.
+	MaxLag int64
+	// Seed fixes the router's jitter/hedge randomness for reproducible
+	// tests (0 = 1).
+	Seed int64
+}
+
+// RouterStats is a snapshot of the router's cumulative counters.
+type RouterStats struct {
+	Requests     int64 // logical requests issued via the router
+	Attempts     int64 // individual endpoint attempts (retries + hedges included)
+	Retries      int64 // attempts beyond the first for a request
+	Failovers    int64 // retries that switched to a different endpoint
+	Hedges       int64 // speculative duplicate attempts sent
+	HedgeWins    int64 // hedges that beat the primary attempt
+	StaleRejects int64 // 200s rejected for epoch mismatch or excessive lag
+	BreakerTrips int64 // circuit-breaker opens
+	Exhausted    int64 // requests that failed every attempt
+}
+
+// ReadRouter is a client-side failover router over the read path of a
+// replicated ccidx fleet (one primary plus N snapshot-shipped replicas,
+// all serving the HTTP API). It health-probes every endpoint, retries
+// with exponential jittered backoff, hedges slow requests, circuit-breaks
+// repeatedly failing endpoints, and — via the epoch and LSN every server
+// stamps on its responses — never returns an answer from a stale epoch or
+// one that regresses past the configured lag bound. Safe for concurrent
+// use.
+type ReadRouter struct {
+	rt *router.Router
+}
+
+// NewReadRouter builds a router over the given endpoint base URLs (e.g.
+// "http://10.0.0.1:8416"). At least one endpoint is required; an initial
+// synchronous probe round runs before returning, so the router is
+// immediately usable (endpoints that are down merely start unhealthy).
+func NewReadRouter(endpoints []string, opts RouterOptions) (*ReadRouter, error) {
+	rt, err := router.New(router.Config{
+		Endpoints:      endpoints,
+		ProbeInterval:  opts.ProbeInterval,
+		AttemptTimeout: opts.AttemptTimeout,
+		MaxAttempts:    opts.MaxAttempts,
+		HedgeDelay:     opts.HedgeDelay,
+		MaxLag:         opts.MaxLag,
+		Seed:           opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ReadRouter{rt: rt}, nil
+}
+
+// Stab answers a stabbing query through the fleet: every interval
+// containing q, routed to a healthy, fresh endpoint with retry, hedging
+// and failover.
+func (r *ReadRouter) Stab(ctx context.Context, q int64) ([]Interval, error) {
+	return r.rt.Stab(ctx, q)
+}
+
+// Intersect answers an intersection query through the fleet: every
+// interval intersecting [lo, hi].
+func (r *ReadRouter) Intersect(ctx context.Context, lo, hi int64) ([]Interval, error) {
+	return r.rt.Intersect(ctx, lo, hi)
+}
+
+// Ready returns how many endpoints the last probe round found ready.
+func (r *ReadRouter) Ready() int { return r.rt.Ready() }
+
+// Epoch returns the primary epoch the router has adopted ("" until the
+// first successful probe).
+func (r *ReadRouter) Epoch() string { return r.rt.Epoch() }
+
+// Stats returns a snapshot of the router's cumulative counters.
+func (r *ReadRouter) Stats() RouterStats {
+	s := r.rt.Stats()
+	return RouterStats{
+		Requests:     s.Requests,
+		Attempts:     s.Attempts,
+		Retries:      s.Retries,
+		Failovers:    s.Failovers,
+		Hedges:       s.Hedges,
+		HedgeWins:    s.HedgeWins,
+		StaleRejects: s.StaleRejects,
+		BreakerTrips: s.BreakerTrips,
+		Exhausted:    s.Exhausted,
+	}
+}
+
+// Close stops the background health probes. In-flight requests finish.
+func (r *ReadRouter) Close() { r.rt.Close() }
