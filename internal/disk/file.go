@@ -668,8 +668,14 @@ func (d *FileDevice) NumPages() int {
 	return len(d.live)
 }
 
-// Seq returns the sequence number of the last durable checkpoint.
-func (d *FileDevice) Seq() uint64 { return d.seq }
+// Seq returns the sequence number of the last durable checkpoint. Taken
+// under mu: replication status stamping reads it concurrently with
+// CommitCheckpoint's write.
+func (d *FileDevice) Seq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seq
+}
 
 // Check reports whether id names a live page.
 func (d *FileDevice) Check(id BlockID) error {
@@ -1248,7 +1254,7 @@ func (d *FileDevice) invalidateSlotLocked(seq uint64) {
 // Checkpoint prepares and commits in one step — the single-device protocol
 // (the superblock flip itself is the commit point).
 func (d *FileDevice) Checkpoint(payload []byte) error {
-	if err := d.PrepareCheckpoint(d.seq+1, payload); err != nil {
+	if err := d.PrepareCheckpoint(d.Seq()+1, payload); err != nil {
 		return err
 	}
 	return d.CommitCheckpoint()

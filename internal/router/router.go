@@ -40,7 +40,6 @@ package router
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -155,6 +154,17 @@ type Stats struct {
 	Exhausted    int64 // requests that failed every round
 }
 
+// epochView couples the adopted epoch with the LSN watermark accumulated
+// under it. The pair is swapped as ONE unit on epoch adoption: an answer
+// from a retired epoch that slips past the epoch check mid-swap can then
+// at worst CAS its LSN into the retired view's watermark, never into the
+// fresh epoch's — LSNs are not comparable across epochs, and a poisoned
+// fresh watermark would reject every subsequent answer under MaxLag=0.
+type epochView struct {
+	epoch string
+	mark  atomic.Uint64
+}
+
 // endpoint is one routed target's live state.
 type endpoint struct {
 	url string
@@ -188,9 +198,8 @@ type Router struct {
 	cfg Config
 	eps []*endpoint
 
-	rr        atomic.Uint64 // round-robin cursor
-	epoch     atomic.Pointer[string]
-	watermark atomic.Uint64
+	rr   atomic.Uint64 // round-robin cursor
+	view atomic.Pointer[epochView]
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -222,8 +231,7 @@ func New(cfg Config) (*Router, error) {
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
-	empty := ""
-	rt.epoch.Store(&empty)
+	rt.view.Store(&epochView{})
 	for _, u := range cfg.Endpoints {
 		rt.eps = append(rt.eps, &endpoint{url: strings.TrimRight(u, "/")})
 	}
@@ -310,9 +318,9 @@ func (rt *Router) probeRound() {
 				best, bestN = e, n
 			}
 		}
-		if cur := *rt.epoch.Load(); cur != best {
-			rt.epoch.Store(&best)
-			rt.watermark.Store(0)
+		if cur := rt.view.Load(); cur.epoch != best {
+			// A fresh view starts a fresh (zero) watermark with it.
+			rt.view.Store(&epochView{epoch: best})
 		}
 	}
 	rt.probeRounds.Add(1)
@@ -326,7 +334,7 @@ func (rt *Router) probeRound() {
 // endpoint has been tried).
 func (rt *Router) pick(tried map[string]bool) *endpoint {
 	now := time.Now().UnixNano()
-	adopted := *rt.epoch.Load()
+	adopted := rt.view.Load().epoch
 	start := int(rt.rr.Add(1))
 	n := len(rt.eps)
 	var tier2, tier3 *endpoint
@@ -406,29 +414,40 @@ func (rt *Router) attempt(ctx context.Context, ep *endpoint, pathQuery string) a
 	}
 }
 
-// acceptable is the wrong-answer guard (see the package comment).
+// acceptable is the wrong-answer guard (see the package comment). Epoch
+// check and watermark advance both go through one loaded epochView, and
+// acceptance only counts if that view is still the adopted one afterwards
+// — an answer racing a probe's epoch swap is re-judged against the fresh
+// view instead of leaking a cross-epoch LSN into its watermark.
 func (rt *Router) acceptable(h http.Header) bool {
 	epoch := h.Get(replication.HeaderEpoch)
 	if epoch == "" {
 		return true // un-stamped server (not part of this protocol)
 	}
-	if adopted := *rt.epoch.Load(); adopted != "" && epoch != adopted {
-		rt.staleRejects.Add(1)
-		return false
-	}
-	lsn, err := strconv.ParseUint(h.Get(replication.HeaderLSN), 10, 64)
-	if err != nil {
-		return true
-	}
+	lsn, lsnErr := strconv.ParseUint(h.Get(replication.HeaderLSN), 10, 64)
 	for {
-		w := rt.watermark.Load()
-		if lsn+uint64(rt.cfg.MaxLag) < w {
+		v := rt.view.Load()
+		if v.epoch != "" && epoch != v.epoch {
 			rt.staleRejects.Add(1)
 			return false
 		}
-		if lsn <= w || rt.watermark.CompareAndSwap(w, lsn) {
+		if lsnErr != nil {
 			return true
 		}
+		accepted := false
+		for !accepted {
+			w := v.mark.Load()
+			if lsn+uint64(rt.cfg.MaxLag) < w {
+				rt.staleRejects.Add(1)
+				return false
+			}
+			accepted = lsn <= w || v.mark.CompareAndSwap(w, lsn)
+		}
+		if rt.view.Load() == v {
+			return true
+		}
+		// The adopted view changed mid-check: the watermark we advanced is
+		// retired. Re-run against the live view.
 	}
 }
 
@@ -596,7 +615,14 @@ func (rt *Router) Do(ctx context.Context, pathQuery string) ([]byte, error) {
 			}
 			return body, nil
 		}
-		if res.permanent || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if res.permanent {
+			return nil, err
+		}
+		// Only the CALLER's context ending is fatal. An attempt whose error
+		// wraps Canceled/DeadlineExceeded because its own AttemptTimeout
+		// fired is the transient hung-endpoint case — exactly what failover
+		// exists for — so it falls through to the retry loop.
+		if ctx.Err() != nil {
 			return nil, err
 		}
 		lastErr = err
@@ -662,10 +688,11 @@ func (rt *Router) Ready() int {
 
 // Epoch returns the adopted cluster epoch ("" before the first successful
 // probe).
-func (rt *Router) Epoch() string { return *rt.epoch.Load() }
+func (rt *Router) Epoch() string { return rt.view.Load().epoch }
 
-// Watermark returns the high-water LSN over accepted answers.
-func (rt *Router) Watermark() uint64 { return rt.watermark.Load() }
+// Watermark returns the high-water LSN over answers accepted under the
+// adopted epoch.
+func (rt *Router) Watermark() uint64 { return rt.view.Load().mark.Load() }
 
 // Stats snapshots the router's counters.
 func (rt *Router) Stats() Stats {

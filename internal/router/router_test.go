@@ -146,6 +146,53 @@ func TestRouterFailover(t *testing.T) {
 	}
 }
 
+// TestRouterAttemptTimeoutFailover: an endpoint that hangs past
+// AttemptTimeout is a TRANSIENT failure — the request must fail over to
+// the healthy replica, not abort because the attempt's own deadline error
+// looks like a context cancellation.
+func TestRouterAttemptTimeoutFailover(t *testing.T) {
+	fa, tsA := newFakeEP(t, "A", "e1", 100)
+	_, tsB := newFakeEP(t, "B", "e1", 100)
+	fa.dataDelay.Store(int64(400 * time.Millisecond)) // hung vs. the 20ms attempt budget
+
+	rt := newTestRouter(t, Config{
+		Endpoints: []string{tsA.URL, tsB.URL}, HedgeDelay: -1,
+		AttemptTimeout: 20 * time.Millisecond, BaseBackoff: 100 * time.Microsecond,
+	})
+	for i := 0; i < 6; i++ {
+		body, err := rt.Do(context.Background(), "/data")
+		if err != nil {
+			t.Fatalf("request %d failed instead of failing over from the hung endpoint: %v", i, err)
+		}
+		if string(body) != "B" {
+			t.Fatalf("answer %q from the hung endpoint", body)
+		}
+	}
+	if st := rt.Stats(); st.Failovers == 0 {
+		t.Fatalf("no failovers recorded: %+v", st)
+	}
+}
+
+// TestRouterCallerCancelAborts: the CALLER's context ending is the one
+// cancellation that must stop the retry loop promptly.
+func TestRouterCallerCancelAborts(t *testing.T) {
+	fa, tsA := newFakeEP(t, "A", "e1", 100)
+	fa.dataDelay.Store(int64(400 * time.Millisecond))
+	rt := newTestRouter(t, Config{
+		Endpoints: []string{tsA.URL}, HedgeDelay: -1,
+		AttemptTimeout: time.Second, MaxAttempts: 100,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := rt.Do(ctx, "/data"); err == nil {
+		t.Fatal("Do succeeded past its caller's deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Fatalf("caller cancellation honored only after %v", elapsed)
+	}
+}
+
 // TestRouterPermanentError: a 4xx returns immediately as *StatusError with
 // no retries — every replica would answer the same.
 func TestRouterPermanentError(t *testing.T) {
@@ -288,6 +335,88 @@ func TestRouterEpochReject(t *testing.T) {
 		if string(body) == "C" {
 			t.Fatal("answer accepted from the wrong-epoch endpoint")
 		}
+	}
+}
+
+// TestAcceptableEpochSwapNoPoison pins the adoption race: an old-epoch
+// answer landing concurrently with epoch adoption must not plant its LSN
+// in the new epoch's watermark — LSNs are not comparable across epochs,
+// and a poisoned watermark would reject every new-epoch answer forever
+// under MaxLag=0.
+func TestAcceptableEpochSwapNoPoison(t *testing.T) {
+	_, ts := newFakeEP(t, "A", "e1", 10)
+	rt := newTestRouter(t, Config{Endpoints: []string{ts.URL}, HedgeDelay: -1})
+	if rt.Epoch() != "e1" {
+		t.Fatalf("adopted %q, want e1", rt.Epoch())
+	}
+	// The interleaving, spelled out: an acceptable() call has loaded the e1
+	// view and is mid-check when a probe adopts epoch e2; its huge e1 LSN
+	// then lands on the RETIRED view, not the fresh one.
+	old := rt.view.Load()
+	rt.view.Store(&epochView{epoch: "e2"})
+	old.mark.Store(1 << 40)
+
+	h := http.Header{}
+	h.Set(replication.HeaderEpoch, "e2")
+	h.Set(replication.HeaderLSN, "1")
+	if !rt.acceptable(h) {
+		t.Fatal("fresh-epoch answer rejected: retired-epoch LSN poisoned the new watermark")
+	}
+	if rt.Watermark() != 1 {
+		t.Fatalf("watermark %d, want 1", rt.Watermark())
+	}
+	// An answer still STAMPED with the retired epoch is rejected outright,
+	// whatever its LSN claims.
+	h.Set(replication.HeaderEpoch, "e1")
+	h.Set(replication.HeaderLSN, strconv.FormatUint(1<<40, 10))
+	if rt.acceptable(h) {
+		t.Fatal("retired-epoch answer accepted")
+	}
+}
+
+// TestAcceptableEpochChurnRace hammers acceptable() from several
+// goroutines with mixed-epoch answers while adoptions churn underneath —
+// the guard must stay race-free and terminate, and a fresh answer under
+// the settled epoch must still be accepted.
+func TestAcceptableEpochChurnRace(t *testing.T) {
+	_, ts := newFakeEP(t, "A", "e1", 1)
+	rt := newTestRouter(t, Config{Endpoints: []string{ts.URL}, HedgeDelay: -1})
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				rt.view.Store(&epochView{epoch: fmt.Sprintf("e%d", i%2+1)})
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			h := http.Header{}
+			for i := 0; i < 2000; i++ {
+				h.Set(replication.HeaderEpoch, fmt.Sprintf("e%d", (g+i)%2+1))
+				h.Set(replication.HeaderLSN, strconv.Itoa(1_000_000-i))
+				rt.acceptable(h)
+			}
+		}(g)
+	}
+	workers.Wait()
+	close(stop)
+	churn.Wait()
+	rt.view.Store(&epochView{epoch: "e2"})
+	h := http.Header{}
+	h.Set(replication.HeaderEpoch, "e2")
+	h.Set(replication.HeaderLSN, "5")
+	if !rt.acceptable(h) {
+		t.Fatal("settled-epoch answer rejected after churn")
 	}
 }
 

@@ -10,8 +10,9 @@ package server
 //     server.go), so "applied to the backend" and "visible in the log" are
 //     one atomic step with respect to the snapshot.
 //  2. /v1/snapshot takes the WRITE side of ckptMu, checkpoints the backend
-//     and captures the log head L while no mutation can be in flight: the
-//     shipped image is exactly the state after ops 1..L.
+//     and captures the log head L plus a staged copy of the image while no
+//     mutation can be in flight: the shipped image is exactly the state
+//     after ops 1..L. The lock is released before the stream starts.
 //  3. A replica restores the image and tails /v1/wal?from=L+1, applying
 //     ops in LSN order; it therefore walks the same state sequence as the
 //     primary, shifted by its lag.
@@ -19,8 +20,10 @@ package server
 //     server start). A primary restart mints a new epoch, so a replica can
 //     never misapply a new process's log on an old process's image.
 //
-// Mutations racing a snapshot shed with 503 + Retry-After rather than
-// queueing behind the file ship — the same contract as a long checkpoint.
+// Mutations racing a snapshot's capture phase shed with 503 + Retry-After
+// rather than queueing behind it — the same contract as a long checkpoint.
+// The file ship itself happens off-lock, so a slow replica client costs a
+// connection, never mutation availability.
 
 import (
 	"archive/tar"
@@ -157,31 +160,29 @@ func (s *Server) handleWAL(ctx context.Context, w http.ResponseWriter, r *http.R
 	if from < 1 {
 		return badRequestf("from %d < 1", from)
 	}
-	ops, head, ok := s.rep.from(uint64(from), walMaxOps)
+	ops, head, base, ok := s.rep.from(uint64(from), walMaxOps)
 	if !ok {
-		return goneError{from: uint64(from)}
+		return goneError{from: uint64(from), base: base}
 	}
 	return writeJSON(w, replication.WALResponse{
 		Epoch: s.epoch, From: uint64(from), Head: head, Ops: ops,
 	})
 }
 
-// handleSnapshot checkpoints the backend under the mutation write-lock and
-// streams the checkpoint directory as a tar, preceded by a SNAPMETA.json
-// entry carrying the (epoch, lsn, seq) the image corresponds to. The lock
-// is held for the whole stream: mutations would dirty pages mid-copy
-// (they shed 503 + Retry-After meanwhile); queries are unaffected.
+// handleSnapshot ships the latest checkpoint image as a tar stream,
+// preceded by a SNAPMETA.json entry carrying the (epoch, lsn, seq) the
+// image corresponds to. The mutation write-lock is held only while
+// checkpointing and staging a private copy of the image — NOT while
+// streaming: the stream runs at the replica client's pace on a connection
+// with no deadline, and a slow or stalled client must not block mutations
+// for longer than the disk-speed capture (they shed 503 + Retry-After
+// meanwhile); queries are unaffected throughout.
 func (s *Server) handleSnapshot(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
-	s.ckptMu.Lock()
-	defer s.ckptMu.Unlock()
-	if err := s.b.Intervals.Checkpoint(); err != nil {
-		return fmt.Errorf("snapshot checkpoint: %w", err)
+	stage, meta, err := s.captureSnapshot()
+	if err != nil {
+		return err
 	}
-	meta := replication.SnapshotMeta{
-		Epoch: s.epoch,
-		LSN:   s.rep.headLSN(),
-		Seq:   s.b.Intervals.Seq(),
-	}
+	defer os.RemoveAll(stage)
 	metaJSON, err := json.Marshal(meta)
 	if err != nil {
 		return err
@@ -192,12 +193,11 @@ func (s *Server) handleSnapshot(ctx context.Context, w http.ResponseWriter, r *h
 	if err := writeTarFile(tw, replication.SnapshotMetaName, metaJSON); err != nil {
 		return nil // client gone mid-stream; nothing coherent left to send
 	}
-	dir := s.b.Intervals.Dir()
-	werr := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+	werr := filepath.WalkDir(stage, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err
 		}
-		rel, err := filepath.Rel(dir, path)
+		rel, err := filepath.Rel(stage, path)
 		if err != nil {
 			return err
 		}
@@ -214,6 +214,53 @@ func (s *Server) handleSnapshot(ctx context.Context, w http.ResponseWriter, r *h
 	}
 	_ = tw.Close()
 	return nil
+}
+
+// captureSnapshot checkpoints the backend under the mutation write-lock
+// and copies the committed checkpoint directory into a fresh staging
+// directory, returning its path and the (epoch, lsn, seq) coordinates the
+// image corresponds to — all while no mutation can be in flight, so the
+// staged image is exactly the state after ops 1..LSN. The caller owns
+// (and must remove) the staging directory.
+func (s *Server) captureSnapshot() (stage string, meta replication.SnapshotMeta, err error) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if err := s.b.Intervals.Checkpoint(); err != nil {
+		return "", meta, fmt.Errorf("snapshot checkpoint: %w", err)
+	}
+	meta = replication.SnapshotMeta{
+		Epoch: s.epoch,
+		LSN:   s.rep.headLSN(),
+		Seq:   s.b.Intervals.Seq(),
+	}
+	stage, err = os.MkdirTemp("", "ccidx-snapshot-")
+	if err != nil {
+		return "", meta, err
+	}
+	dir := s.b.Intervals.Dir()
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, werr error) error {
+		if werr != nil {
+			return werr
+		}
+		rel, rerr := filepath.Rel(dir, path)
+		if rerr != nil {
+			return rerr
+		}
+		dst := filepath.Join(stage, rel)
+		if d.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		return os.WriteFile(dst, data, 0o644)
+	})
+	if err != nil {
+		os.RemoveAll(stage)
+		return "", meta, fmt.Errorf("snapshot stage: %w", err)
+	}
+	return stage, meta, nil
 }
 
 func writeTarFile(tw *tar.Writer, name string, data []byte) error {

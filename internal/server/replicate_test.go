@@ -7,11 +7,15 @@ package server
 
 import (
 	"archive/tar"
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -41,7 +45,7 @@ func newDurableBackend(t *testing.T, n int) (Backend, *shard.Intervals) {
 // silently resumed stream with a hole in it.
 func TestRepLog(t *testing.T) {
 	l := newRepLog(4)
-	if _, head, ok := l.from(1, 10); !ok || head != 0 {
+	if _, head, _, ok := l.from(1, 10); !ok || head != 0 {
 		t.Fatalf("empty log: from(1) ok=%v head=%d, want ok head=0", ok, head)
 	}
 	for i := 1; i <= 3; i++ {
@@ -49,31 +53,31 @@ func TestRepLog(t *testing.T) {
 			t.Fatalf("append %d assigned lsn %d", i, lsn)
 		}
 	}
-	ops, head, ok := l.from(2, 10)
+	ops, head, _, ok := l.from(2, 10)
 	if !ok || head != 3 || len(ops) != 2 || ops[0].ID != 2 {
 		t.Fatalf("from(2) = %v head=%d ok=%v", ops, head, ok)
 	}
 	// Paging: max caps the slice but head still reports the true head.
-	ops, head, ok = l.from(1, 2)
+	ops, head, _, ok = l.from(1, 2)
 	if !ok || len(ops) != 2 || head != 3 {
 		t.Fatalf("capped from(1,2) = %d ops head=%d ok=%v", len(ops), head, ok)
 	}
 	// Beyond head+1 is a protocol error (gone), not an empty page.
-	if _, _, ok := l.from(5, 10); ok {
+	if _, _, _, ok := l.from(5, 10); ok {
 		t.Fatal("from(head+2) accepted")
 	}
 	// from(head+1) is the steady-state empty poll.
-	if ops, _, ok := l.from(4, 10); !ok || len(ops) != 0 {
+	if ops, _, _, ok := l.from(4, 10); !ok || len(ops) != 0 {
 		t.Fatalf("from(head+1) = %v ok=%v, want empty ok", ops, ok)
 	}
 	// Overflow evicts the oldest; a reader at the evicted position is gone.
 	for i := 4; i <= 9; i++ {
 		l.append(replication.Op{ID: uint64(i)})
 	}
-	if _, _, ok := l.from(2, 10); ok {
-		t.Fatal("evicted position still served")
+	if _, _, base, ok := l.from(2, 10); ok || base != 6 {
+		t.Fatalf("evicted position: ok=%v base=%d, want rejected with true base 6", ok, base)
 	}
-	ops, head, ok = l.from(6, 10)
+	ops, head, _, ok = l.from(6, 10)
 	if !ok || head != 9 || len(ops) != 4 || ops[0].ID != 6 {
 		t.Fatalf("post-eviction from(6) = %v head=%d ok=%v", ops, head, ok)
 	}
@@ -273,6 +277,11 @@ func TestWALEndpoint(t *testing.T) {
 	if !strings.Contains(string(body), "re-hydrate") {
 		t.Fatalf("410 body %q does not point at /v1/snapshot", body)
 	}
+	// 16 ops through an 8-op log retain [9, 16]: the body must report the
+	// real base, not a zero value.
+	if !strings.Contains(string(body), "log base 9") {
+		t.Fatalf("410 body %q does not report the true log base", body)
+	}
 
 	// Parameter validation.
 	for _, q := range []string{"", "?from=0", "?from=x"} {
@@ -339,6 +348,91 @@ func TestSnapshotStream(t *testing.T) {
 	if dm.Seq() < 2 {
 		t.Fatalf("snapshot did not checkpoint: seq %d", dm.Seq())
 	}
+}
+
+// TestSnapshotStreamDoesNotBlockMutations: a stalled or slow replica
+// client pulling /v1/snapshot must not hold the mutation write-lock for
+// the life of its stream — the lock covers only checkpoint + staging, and
+// the connection has no deadline to bail it out.
+func TestSnapshotStreamDoesNotBlockMutations(t *testing.T) {
+	b, dm := newDurableBackend(t, 60)
+	s, ts := newTestServer(t, b, Config{Replication: true})
+
+	// Pad the shipped image well past any socket/HTTP buffering, so an
+	// on-lock streamer could not finish into kernel buffers before the
+	// lock is probed below.
+	junk := bytes.Repeat([]byte("snapshot-pad"), 1<<20) // 12 MiB
+	if err := os.WriteFile(filepath.Join(dm.Dir(), "PAD.bin"), junk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot = %d", resp.StatusCode)
+	}
+	// Read just the meta entry, then park the stream unread.
+	tr := tar.NewReader(resp.Body)
+	if hdr, err := tr.Next(); err != nil || hdr.Name != replication.SnapshotMetaName {
+		t.Fatalf("first entry %v err=%v, want %s", hdr, err, replication.SnapshotMetaName)
+	}
+
+	// The mutation write-lock must be free while the stream is parked.
+	free := make(chan struct{})
+	go func() {
+		s.ckptMu.Lock()
+		//lint:ignore SA2001 the empty critical section IS the probe
+		s.ckptMu.Unlock()
+		close(free)
+	}()
+	select {
+	case <-free:
+	case <-time.After(5 * time.Second):
+		t.Fatal("mutation write-lock still held while the snapshot stream is stalled")
+	}
+	if code := postStatus(t, ts.URL+"/v1/insert?lo=1&hi=2&id=5151"); code != http.StatusOK {
+		t.Fatalf("insert during a stalled snapshot stream = %d, want 200", code)
+	}
+
+	// Unpark and drain: the stream must still be a complete tar carrying
+	// the padded file.
+	sawPad := false
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr.Name == "PAD.bin" {
+			sawPad = true
+		}
+	}
+	if !sawPad {
+		t.Fatal("drained stream missing the staged pad file")
+	}
+}
+
+// TestSafeHandleAbortPassthrough: http.ErrAbortHandler must escape
+// safeHandle's panic conversion — it is how the snapshot streamer severs
+// the connection on a mid-stream failure, and converting it to an error
+// return would terminate the chunked response cleanly, letting a
+// truncated tar that ends on an entry boundary pass for a complete one.
+func TestSafeHandleAbortPassthrough(t *testing.T) {
+	s := &Server{}
+	defer func() {
+		if p := recover(); p != http.ErrAbortHandler {
+			t.Fatalf("recovered %v, want http.ErrAbortHandler to pass through", p)
+		}
+	}()
+	s.safeHandle(func(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+		panic(http.ErrAbortHandler)
+	}, context.Background(), nil, nil)
+	t.Fatal("abort panic was swallowed")
 }
 
 // TestReplicationRequiresDurable: Config.Replication on an in-memory

@@ -64,14 +64,15 @@ func (l *repLog) headLSN() uint64 {
 }
 
 // from returns up to max retained ops with LSN >= from, plus the current
-// head. ok is false when from predates the retained base — the caller has
-// fallen off the log and must re-hydrate. A from beyond head+1 is also
-// rejected: it claims a position this log never assigned.
-func (l *repLog) from(from uint64, max int) (ops []replication.Op, head uint64, ok bool) {
+// head and retained base (so a rejected reader can be told how far off the
+// log it fell). ok is false when from predates the retained base — the
+// caller has fallen off the log and must re-hydrate. A from beyond head+1
+// is also rejected: it claims a position this log never assigned.
+func (l *repLog) from(from uint64, max int) (ops []replication.Op, head, base uint64, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if from < l.base || from > l.head+1 {
-		return nil, l.head, false
+		return nil, l.head, l.base, false
 	}
 	i := int(from - l.base)
 	n := len(l.ops) - i
@@ -82,5 +83,5 @@ func (l *repLog) from(from uint64, max int) (ops []replication.Op, head uint64, 
 		ops = make([]replication.Op, n)
 		copy(ops, l.ops[i:i+n])
 	}
-	return ops, l.head, true
+	return ops, l.head, l.base, true
 }

@@ -339,9 +339,17 @@ func (t *trackingWriter) Write(p []byte) (int, error) {
 // fails verification; recovering here (with %w so errors.As still sees the
 // typed error) turns that into a 500 for one request instead of a dead
 // process. Non-error panics keep their stack — those are real bugs.
+// http.ErrAbortHandler passes through untouched: it is the stdlib's
+// sanctioned "sever this connection" signal (the snapshot streamer uses it
+// when the tar dies mid-stream), and converting it to an error would end
+// the chunked response CLEANLY — a truncated tar that ends at an entry
+// boundary would look complete to the replica.
 func (s *Server) safeHandle(h func(ctx context.Context, w http.ResponseWriter, r *http.Request) error, ctx context.Context, w http.ResponseWriter, r *http.Request) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
 			if e, ok := p.(error); ok {
 				err = fmt.Errorf("backend panic: %w", e)
 			} else {
