@@ -11,7 +11,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build vet test race race-churn crash crash-matrix fuzz bench bench-smoke bench-gate serve-smoke replica-smoke experiments ci
+.PHONY: build vet test race race-churn crash crash-matrix fuzz bench bench-smoke bench-gate serve-smoke ingest-smoke replica-smoke experiments ci
 
 build:
 	$(GO) build ./...
@@ -65,7 +65,7 @@ fuzz:
 # is dominated by first-use warmup. The steady pass is emitted second so
 # its lines win in the JSON. bench-baseline-pr1.txt holds the pre-PR-2
 # numbers, produced the same way.
-HOT_BENCHES := BenchmarkE1MetablockQuery|BenchmarkE5IntervalManagement$$|BenchmarkE5NaiveBaseline|BenchmarkE7ExternalPST|BenchmarkE8ThreeSidedMetablock|BenchmarkE20BatchedStab|BenchmarkStabPendingReplay
+HOT_BENCHES := BenchmarkE1MetablockQuery|BenchmarkE5IntervalManagement$$|BenchmarkE5NaiveBaseline|BenchmarkE7ExternalPST|BenchmarkE8ThreeSidedMetablock|BenchmarkE20BatchedStab|BenchmarkStabPendingReplay|BenchmarkE25Ingest|BenchmarkE25MergeAmplification
 BENCH_BASELINE := $(wildcard bench-baseline-pr1.txt)
 bench:
 	{ $(GO) test -run=NONE -bench=. -benchtime=1x -benchmem . ; \
@@ -83,6 +83,7 @@ bench-smoke:
 	$(GO) run ./cmd/experiments -run E20 -e20n 20000 -qbatch 1,16,64
 	$(GO) run ./cmd/experiments -run E21 -e21n 20000
 	$(GO) run ./cmd/experiments -run E22 -e22n 20000
+	$(GO) run ./cmd/experiments -run E25 -e25n 12000
 
 # Serving-path smoke: build ccserve + ccload, boot a real server on a
 # loopback port, and run ccload's self-checking pass (health, mutation
@@ -95,6 +96,31 @@ serve-smoke:
 	@./bin/ccserve -addr $(SERVE_ADDR) -n 20000 -shards 4 & srv=$$!; \
 		status=0; ./bin/ccload -addr http://$(SERVE_ADDR) -smoke || status=$$?; \
 		kill $$srv 2>/dev/null; wait $$srv 2>/dev/null; exit $$status
+
+# Ingest smoke: real binaries — a log-structured serving node (ccserve
+# -ingest) next to a single-tree oracle node preloaded with the IDENTICAL
+# seeded dataset. Pass 1 samples read answers against the oracle (the LSM
+# fan-in must be bit-identical, as id sets, to the single tree); pass 2
+# drives a mixed read/write load at the ingest node and gates on zero
+# failed mutations and zero failed requests.
+INGEST_ADDR := 127.0.0.1:18426
+INGEST_ORACLE_ADDR := 127.0.0.1:18427
+ingest-smoke:
+	$(GO) build -o bin/ccserve ./cmd/ccserve
+	$(GO) build -o bin/ccload ./cmd/ccload
+	@./bin/ccserve -addr $(INGEST_ADDR) -n 20000 -shards 4 -ingest -memtable 2048 -maxruns 4 & srv=$$!; \
+		./bin/ccserve -addr $(INGEST_ORACLE_ADDR) -n 20000 -shards 4 & orc=$$!; \
+		for i in $$(seq 100); do \
+			curl -sf http://$(INGEST_ADDR)/healthz >/dev/null 2>&1 && \
+			curl -sf http://$(INGEST_ORACLE_ADDR)/healthz >/dev/null 2>&1 && break; \
+			sleep 0.1; \
+		done; \
+		status=0; \
+		./bin/ccload -addr http://$(INGEST_ADDR) -n 2000 -check http://$(INGEST_ORACLE_ADDR) || status=$$?; \
+		if [ $$status -eq 0 ]; then \
+			./bin/ccload -addr http://$(INGEST_ADDR) -n 5000 -write-ratio 0.4 || status=$$?; \
+		fi; \
+		kill $$srv $$orc 2>/dev/null; wait $$srv $$orc 2>/dev/null; exit $$status
 
 # Replication smoke: real binaries — a durable replication-serving primary
 # plus two snapshot-hydrated replicas behind ccload's failover router, with
@@ -118,4 +144,4 @@ bench-gate:
 experiments:
 	$(GO) run ./cmd/experiments
 
-ci: vet build test race race-churn crash crash-matrix bench-smoke serve-smoke replica-smoke
+ci: vet build test race race-churn crash crash-matrix bench-smoke serve-smoke ingest-smoke replica-smoke

@@ -666,6 +666,79 @@ func BenchmarkE23WalAppend(b *testing.B) {
 	report(b, m.Stats().Sub(before).IOs())
 }
 
+// BenchmarkE25Ingest measures a WAL-logged insert on the durable manager in
+// log-structured ingest mode: one log append plus a memtable write, with
+// tree construction deferred to the background merge path. Compare ios/op
+// against BenchmarkE23WalAppend — the same acked durability on the rebuild
+// path — to see the foreground saving E25 tables.
+func BenchmarkE25Ingest(b *testing.B) {
+	b.ReportAllocs()
+	n := 50000
+	span := int64(1 << 20)
+	ivs := workload.UniformIntervals(11, n, span, 1<<14)
+	m, err := intervals.CreateAt(b.TempDir(), intervals.Config{
+		B:      benchB,
+		Ingest: &intervals.IngestConfig{MemtableSize: 4096, MaxRuns: 8},
+	}, ivs, intervals.DurableOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.CloseFiles()
+	rng := rand.New(rand.NewSource(13))
+	before := m.Stats().IOs() + m.FileWrites()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Int63n(span)
+		m.Insert(geom.Interval{Lo: lo, Hi: lo + rng.Int63n(1<<14) + 1, ID: uint64(n + i + 1)})
+	}
+	b.StopTimer()
+	report(b, m.Stats().IOs()+m.FileWrites()-before)
+}
+
+// BenchmarkE25MergeAmplification measures the TOTAL device write cost of
+// log-structured churn — WAL appends plus every flush, tiered merge, and
+// dead-fraction compaction, drained synchronously so nothing is deferred
+// past the timer. This is the write-amplification side of the E25 frontier;
+// ios/op here bounds what the background merger pays for the foreground
+// savings BenchmarkE25Ingest shows.
+func BenchmarkE25MergeAmplification(b *testing.B) {
+	b.ReportAllocs()
+	n := 20000
+	span := int64(1 << 20)
+	ivs := workload.UniformIntervals(17, n, span, 1<<14)
+	m, err := intervals.CreateAt(b.TempDir(), intervals.Config{
+		B:      benchB,
+		Ingest: &intervals.IngestConfig{MemtableSize: 1024, MaxRuns: 4, SyncCompaction: true},
+	}, ivs, intervals.DurableOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.CloseFiles()
+	rng := rand.New(rand.NewSource(19))
+	live := make([]uint64, 0, n)
+	for _, iv := range ivs {
+		live = append(live, iv.ID)
+	}
+	next := uint64(n + 1)
+	before := m.FileWrites()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4 == 3 && len(live) > 0 {
+			j := rng.Intn(len(live))
+			m.Delete(live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		lo := rng.Int63n(span)
+		m.Insert(geom.Interval{Lo: lo, Hi: lo + rng.Int63n(1<<14) + 1, ID: next})
+		live = append(live, next)
+		next++
+	}
+	b.StopTimer()
+	report(b, m.FileWrites()-before)
+}
+
 func BenchmarkHarnessE1Table(b *testing.B) {
 	b.ReportAllocs()
 	e, _ := harness.Lookup("E1")

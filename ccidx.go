@@ -100,6 +100,10 @@ type IntervalManager struct {
 }
 
 // NewIntervalManager builds a manager over an initial interval set.
+//
+// Deprecated: Use NewIndex with Options{B: cfg.B, PoolFrames: -1}, which
+// also selects sharding and log-structured ingest; this wrapper remains for
+// compatibility.
 func NewIntervalManager(cfg Config, ivs []Interval) *IntervalManager {
 	return &IntervalManager{m: intervals.New(intervals.Config{B: cfg.B}, ivs)}
 }
@@ -109,6 +113,8 @@ func NewIntervalManager(cfg Config, ivs []Interval) *IntervalManager {
 // initial state is checkpointed before returning. Use Checkpoint to persist
 // later mutations and OpenIntervalManager to reopen after a restart — or a
 // crash, which recovers the last committed checkpoint.
+//
+// Deprecated: Use Create with Options{B: cfg.B, PoolFrames: -1, Durability: ...}.
 func CreateIntervalManager(cfg Config, dir string, ivs []Interval, opts ...DurableOptions) (*IntervalManager, error) {
 	m, err := intervals.CreateAt(dir, intervals.Config{B: cfg.B}, ivs, durableOpts(opts).intervals())
 	if err != nil {
@@ -120,6 +126,8 @@ func CreateIntervalManager(cfg Config, dir string, ivs []Interval, opts ...Durab
 // OpenIntervalManager reopens the durable manager persisted in dir at its
 // last committed checkpoint. Crash recovery is automatic: partially written
 // generations are rolled back, never observed.
+//
+// Deprecated: Use Open, which auto-detects the persisted topology.
 func OpenIntervalManager(dir string, opts ...DurableOptions) (*IntervalManager, error) {
 	m, err := intervals.OpenAt(dir, durableOpts(opts).intervals())
 	if err != nil {
@@ -192,6 +200,26 @@ func (im *IntervalManager) Stats() Stats { return im.m.Stats() }
 // SpaceBlocks returns the number of disk blocks in use.
 func (im *IntervalManager) SpaceBlocks() int64 { return im.m.SpaceBlocks() }
 
+// Flush writes dirty pooled frames back to the devices (no-op without a
+// pool; the unsharded manager has no group-commit buffer to drain). Part of
+// the unified Index surface.
+func (im *IntervalManager) Flush() { im.m.FlushPool() }
+
+// Shards returns 1: the unsharded manager is a single shard.
+func (im *IntervalManager) Shards() int { return 1 }
+
+// Rebuilds counts amortized global rebuilds (tree mode) or run compactions
+// (log-structured mode).
+func (im *IntervalManager) Rebuilds() int { return im.m.Rebuilds() }
+
+// PoolStats returns the buffer-pool hit/miss counters (zeros without a
+// pool).
+func (im *IntervalManager) PoolStats() (hits, misses int64) { return im.m.PoolStats() }
+
+// IngestStats snapshots the log-structured ingest counters (zeros for
+// tree-mode managers).
+func (im *IntervalManager) IngestStats() IngestStats { return im.m.IngestStats() }
+
 // Partition selects how a sharded index assigns keys to shards.
 type Partition = shard.Partition
 
@@ -248,6 +276,8 @@ type ShardedIntervalManager struct {
 
 // NewShardedIntervalManager builds a sharded manager over an initial
 // interval set.
+//
+// Deprecated: Use NewIndex with Options{Sharding: &ShardingOptions{...}}.
 func NewShardedIntervalManager(cfg ShardConfig, ivs []Interval) *ShardedIntervalManager {
 	return &ShardedIntervalManager{s: shard.NewIntervals(cfg.internal(), ivs)}
 }
@@ -256,6 +286,8 @@ func NewShardedIntervalManager(cfg ShardConfig, ivs []Interval) *ShardedInterval
 // shard's structures live on file-backed devices under dir (one
 // subdirectory per shard), the serving configuration is recorded in a
 // manifest, and the initial state is checkpointed before returning.
+//
+// Deprecated: Use Create with Options{Sharding: &ShardingOptions{...}}.
 func CreateShardedIntervalManager(cfg ShardConfig, dir string, ivs []Interval, opts ...DurableOptions) (*ShardedIntervalManager, error) {
 	s, err := shard.CreateIntervalsAt(dir, cfg.internal(), ivs, durableOpts(opts).intervals())
 	if err != nil {
@@ -269,6 +301,8 @@ func CreateShardedIntervalManager(cfg ShardConfig, dir string, ivs []Interval, o
 // are reopened IN PARALLEL at the manifest's committed generation (crash
 // recovery included), buffer pools are re-attached, and the manager resumes
 // serving.
+//
+// Deprecated: Use Open, which auto-detects the persisted topology.
 func OpenShardedIntervalManager(dir string, opts ...DurableOptions) (*ShardedIntervalManager, error) {
 	s, err := shard.OpenIntervals(dir, durableOpts(opts).intervals())
 	if err != nil {
@@ -351,6 +385,10 @@ func (sm *ShardedIntervalManager) Rebuilds() int { return sm.s.Rebuilds() }
 // SpaceBlocks sums the live pages across all shard devices.
 func (sm *ShardedIntervalManager) SpaceBlocks() int64 { return sm.s.SpaceBlocks() }
 
+// IngestStats sums the log-structured ingest counters across shards (zeros
+// for tree-mode managers).
+func (sm *ShardedIntervalManager) IngestStats() IngestStats { return sm.s.IngestStats() }
+
 // ShardedClassIndex is a concurrency-safe class index: objects are
 // partitioned by attribute across N independent per-shard structures of
 // the chosen strategy, sharing one frozen hierarchy. All methods are safe
@@ -364,6 +402,8 @@ type ShardedClassIndex struct {
 // hierarchy. PartitionRange with Span set to the attribute domain is the
 // natural configuration: attribute-range queries then touch only the
 // overlapping shards.
+//
+// Deprecated: Use NewClassStore with Options{Sharding: &ShardingOptions{...}}.
 func NewShardedClassIndex(h *Hierarchy, cfg ShardConfig, s Strategy) *ShardedClassIndex {
 	var newIndex func() shard.ClassIndex
 	switch s {
@@ -383,6 +423,8 @@ func NewShardedClassIndex(h *Hierarchy, cfg ShardConfig, s Strategy) *ShardedCla
 // index: every shard's strategy instance lives on file-backed devices under
 // dir, and the serving configuration plus the full hierarchy are recorded
 // in the manifest.
+//
+// Deprecated: Use CreateClassStore with Options{Sharding: &ShardingOptions{...}}.
 func CreateShardedClassIndex(h *Hierarchy, cfg ShardConfig, s Strategy, dir string, opts ...DurableOptions) (*ShardedClassIndex, error) {
 	sc, err := shard.CreateClassesAt(dir, cfg.internal(), h, classindex.StrategyKind(s), durableOpts(opts).classes())
 	if err != nil {
@@ -394,6 +436,8 @@ func CreateShardedClassIndex(h *Hierarchy, cfg ShardConfig, s Strategy, dir stri
 // OpenShardedClassIndex reopens the sharded class index persisted under
 // dir at its last committed checkpoint, reopening shards in parallel and
 // rebuilding the hierarchy from the manifest.
+//
+// Deprecated: Use OpenClassStore, which auto-detects the persisted topology.
 func OpenShardedClassIndex(dir string, opts ...DurableOptions) (*ShardedClassIndex, error) {
 	sc, h, err := shard.OpenClasses(dir, durableOpts(opts).classes())
 	if err != nil {
@@ -544,6 +588,8 @@ type classIndexMeta struct {
 }
 
 // NewClassIndex builds an index over a frozen hierarchy.
+//
+// Deprecated: Use NewClassStore with Options{B: cfg.B}.
 func NewClassIndex(h *Hierarchy, cfg Config, s Strategy) *ClassIndex {
 	ci := &ClassIndex{h: h}
 	switch s {
@@ -564,6 +610,8 @@ func NewClassIndex(h *Hierarchy, cfg Config, s Strategy) *ClassIndex {
 // and the hierarchy itself is recorded in the manifest, so OpenClassIndex
 // needs only the directory. The empty state is checkpointed before
 // returning.
+//
+// Deprecated: Use CreateClassStore with Options{B: cfg.B, Durability: ...}.
 func CreateClassIndex(h *Hierarchy, cfg Config, s Strategy, dir string, opts ...DurableOptions) (*ClassIndex, error) {
 	du, err := classindex.CreateDurable(dir, h, cfg.B, classindex.StrategyKind(s), durableOpts(opts).classes())
 	if err != nil {
@@ -579,6 +627,8 @@ func CreateClassIndex(h *Hierarchy, cfg Config, s Strategy, dir string, opts ...
 
 // OpenClassIndex reopens the durable class index persisted in dir at its
 // last committed checkpoint, rebuilding the hierarchy from the manifest.
+//
+// Deprecated: Use OpenClassStore, which auto-detects the persisted topology.
 func OpenClassIndex(dir string, opts ...DurableOptions) (*ClassIndex, error) {
 	mf, err := disk.ReadManifest(dir)
 	if err != nil {
@@ -638,6 +688,16 @@ func (ci *ClassIndex) Close() error {
 	}
 	return ci.du.CloseFiles()
 }
+
+// Flush is a no-op: the unsharded class index applies mutations directly
+// (no group-commit buffer). Part of the unified ClassStore surface.
+func (ci *ClassIndex) Flush() {}
+
+// Shards returns 1: the unsharded class index is a single shard.
+func (ci *ClassIndex) Shards() int { return 1 }
+
+// Hierarchy returns the (frozen) hierarchy the index serves.
+func (ci *ClassIndex) Hierarchy() *Hierarchy { return ci.h }
 
 func (ci *ClassIndex) classID(name string) int {
 	id, ok := ci.h.Class(name)

@@ -1,5 +1,6 @@
 // Command ccload drives a ccserve instance (or a replicated fleet) with
-// stabbing-query load and reports throughput and tail latency.
+// stabbing-query load — optionally mixed with mutations via -write-ratio —
+// and reports throughput and tail latency.
 //
 // Two loop disciplines:
 //
@@ -71,6 +72,7 @@ func main() {
 	span := flag.Int64("span", 1600000, "key domain for generated queries")
 	seed := flag.Int64("seed", 1, "query seed")
 	smoke := flag.Bool("smoke", false, "short self-checking smoke run (nonzero exit on violation)")
+	writeRatio := flag.Float64("write-ratio", 0, "fraction of requests that are mutations (insert/delete), 0..1; any failed mutation fails the run")
 	flag.Parse()
 
 	if *smoke {
@@ -81,7 +83,11 @@ func main() {
 		fmt.Println("ccload smoke OK")
 		return
 	}
-	if err := runLoad(*base, *endpoints, *check, *c, *n, *rate, *span, *seed); err != nil {
+	if *writeRatio < 0 || *writeRatio > 1 {
+		fmt.Fprintln(os.Stderr, "ccload: -write-ratio must be in [0, 1]")
+		os.Exit(1)
+	}
+	if err := runLoad(*base, *endpoints, *check, *c, *n, *rate, *span, *seed, *writeRatio); err != nil {
 		fmt.Fprintln(os.Stderr, "ccload:", err)
 		os.Exit(1)
 	}
@@ -124,7 +130,43 @@ func fetchDiscard(client *http.Client, url string, attempts int, maxWait time.Du
 	return status, waits, nil
 }
 
-func runLoad(base, endpoints, check string, c, n int, rate float64, span, seed int64) error {
+// mutPool hands mutation workers ids to insert and delete: inserts draw
+// fresh ids from a dedicated space (no collision with preloaded data),
+// deletes reclaim previously acknowledged inserts. Never deletes an id
+// whose insert was not acknowledged, so every mutation must succeed.
+type mutPool struct {
+	mu   sync.Mutex
+	ids  []uint64
+	next uint64
+}
+
+func (p *mutPool) takeInsert() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.next++
+	return 900_000_000 + p.next
+}
+
+func (p *mutPool) ackInsert(id uint64) {
+	p.mu.Lock()
+	p.ids = append(p.ids, id)
+	p.mu.Unlock()
+}
+
+// takeDelete pops an acknowledged id, or 0 when none are available (the
+// caller inserts instead).
+func (p *mutPool) takeDelete() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.ids) == 0 {
+		return 0
+	}
+	id := p.ids[len(p.ids)-1]
+	p.ids = p.ids[:len(p.ids)-1]
+	return id
+}
+
+func runLoad(base, endpoints, check string, c, n int, rate float64, span, seed int64, writeRatio float64) error {
 	// Router mode: every request goes through the failover read router.
 	var rt *router.Router
 	var eps []string
@@ -151,7 +193,8 @@ func runLoad(base, endpoints, check string, c, n int, rate float64, span, seed i
 
 	lats := make([]time.Duration, n)
 	var next atomic.Int64 // request index dispenser
-	var failed, shedWaits atomic.Int64
+	var failed, shedWaits, failedMut, inserts, deletes atomic.Int64
+	var pool mutPool
 	client := &http.Client{Timeout: 10 * time.Second}
 	start := time.Now().Add(10 * time.Millisecond) // grace so worker 0 isn't late at t=0
 	interval := time.Duration(0)
@@ -179,17 +222,39 @@ func runLoad(base, endpoints, check string, c, n int, rate float64, span, seed i
 						time.Sleep(d)
 					}
 				}
-				q := rng.Int63n(span)
-				path := fmt.Sprintf("/v1/stab?q=%d", q)
-				if rt != nil {
-					if _, err := rt.Do(context.Background(), path); err != nil {
+				if writeRatio > 0 && rng.Float64() < writeRatio {
+					// Mutations always target the primary (base) directly —
+					// the read router serves reads; replicas reject writes.
+					var err error
+					if id := pool.takeDelete(); id != 0 && rng.Intn(2) == 0 {
+						deletes.Add(1)
+						err = post(fmt.Sprintf("%s/v1/delete?id=%d", base, id))
+					} else {
+						id := pool.takeInsert()
+						lo := rng.Int63n(span)
+						inserts.Add(1)
+						err = post(fmt.Sprintf("%s/v1/insert?lo=%d&hi=%d&id=%d", base, lo, lo+rng.Int63n(200)+1, id))
+						if err == nil {
+							pool.ackInsert(id)
+						}
+					}
+					if err != nil {
 						failed.Add(1)
+						failedMut.Add(1)
 					}
 				} else {
-					status, waits, err := fetchDiscard(client, base+path, 3, 2*time.Second)
-					shedWaits.Add(int64(waits))
-					if err != nil || status != http.StatusOK {
-						failed.Add(1)
+					q := rng.Int63n(span)
+					path := fmt.Sprintf("/v1/stab?q=%d", q)
+					if rt != nil {
+						if _, err := rt.Do(context.Background(), path); err != nil {
+							failed.Add(1)
+						}
+					} else {
+						status, waits, err := fetchDiscard(client, base+path, 3, 2*time.Second)
+						shedWaits.Add(int64(waits))
+						if err != nil || status != http.StatusOK {
+							failed.Add(1)
+						}
 					}
 				}
 				lats[i] = time.Since(issueAt)
@@ -212,6 +277,10 @@ func runLoad(base, endpoints, check string, c, n int, rate float64, span, seed i
 	fmt.Printf("ccload: %d requests, %d workers, %s loop\n", n, c, mode)
 	fmt.Printf("  wall %.2fs  throughput %.0f req/s  failed %d\n",
 		elapsed.Seconds(), float64(n)/elapsed.Seconds(), failed.Load())
+	if writeRatio > 0 {
+		fmt.Printf("  mutations: %d inserts, %d deletes, %d failed\n",
+			inserts.Load(), deletes.Load(), failedMut.Load())
+	}
 	fmt.Printf("  latency p50 %v  p95 %v  p99 %v  max %v\n",
 		pct(0.50), pct(0.95), pct(0.99), lats[n-1])
 	if rt != nil {
@@ -237,7 +306,11 @@ func runLoad(base, endpoints, check string, c, n int, rate float64, span, seed i
 	}
 	// A failed request (transport error or non-200) fails the run: scripted
 	// callers (CI, experiment harnesses) must not mistake a half-errored
-	// load phase for a clean measurement.
+	// load phase for a clean measurement. Failed MUTATIONS are singled out:
+	// a lost acked write is a durability bug, not load noise.
+	if f := failedMut.Load(); f > 0 {
+		return fmt.Errorf("FAILED: %d mutations failed", f)
+	}
 	if f := failed.Load(); f > 0 {
 		return fmt.Errorf("FAILED: %d of %d requests failed (transport error or non-200 status)", f, n)
 	}

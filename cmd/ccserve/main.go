@@ -61,6 +61,9 @@ type options struct {
 	inflight  int
 	timeout   time.Duration
 	nobatch   bool
+	ingest    bool
+	memtable  int
+	maxruns   int
 
 	replicaOf     string
 	replicaPoll   time.Duration
@@ -95,6 +98,9 @@ func main() {
 	flag.IntVar(&o.inflight, "inflight", 1024, "max in-flight requests before shedding")
 	flag.DurationVar(&o.timeout, "timeout", 2*time.Second, "per-request deadline")
 	flag.BoolVar(&o.nobatch, "nobatch", false, "disable auto-batching (sequential control arm)")
+	flag.BoolVar(&o.ingest, "ingest", false, "log-structured ingest mode (memtable + immutable runs per shard)")
+	flag.IntVar(&o.memtable, "memtable", 0, "with -ingest: memtable size in intervals (0 = default)")
+	flag.IntVar(&o.maxruns, "maxruns", 0, "with -ingest: max live runs per shard before merging (0 = default)")
 	flag.StringVar(&o.replicaOf, "replica-of", "", "primary base URL: run as a read replica (requires -dir for the hydration directory)")
 	flag.DurationVar(&o.replicaPoll, "replica-poll", 25*time.Millisecond, "replica WAL tail interval")
 	flag.Int64Var(&o.replicaMaxLag, "replica-maxlag", 4096, "replica readiness lag bound in ops")
@@ -139,6 +145,10 @@ func run(o options) error {
 	cfg := shard.Config{
 		Shards: o.shards, B: o.b, Batch: o.batch,
 		Partition: part, Span: span, PoolFrames: o.pool,
+	}
+	if o.ingest {
+		cfg.Ingest = &intervals.IngestConfig{MemtableSize: o.memtable, MaxRuns: o.maxruns}
+		fmt.Printf("ccserve: log-structured ingest on (memtable=%d maxruns=%d)\n", o.memtable, o.maxruns)
 	}
 
 	var im *shard.Intervals

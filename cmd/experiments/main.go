@@ -41,6 +41,7 @@ func main() {
 	e22n := flag.Int("e22n", 0, "E22 interval count override (default 50000; CI smoke uses a small value)")
 	e23n := flag.Int("e23n", 0, "E23 interval count override (default 50000; CI smoke uses a small value)")
 	e24n := flag.Int("e24n", 0, "E24 interval count override (default 20000; CI smoke uses a small value)")
+	e25n := flag.Int("e25n", 0, "E25 interval count override (default 30000; CI smoke uses a small value)")
 	benchJSON := flag.String("bench-json", "", "parse `go test -bench` output from stdin and write JSON to this file")
 	benchBaseline := flag.String("bench-baseline", "", "optional saved bench output to embed as the before side")
 	flag.Parse()
@@ -76,6 +77,9 @@ func main() {
 	}
 	if *e24n > 0 {
 		harness.E24Intervals = *e24n
+	}
+	if *e25n > 0 {
+		harness.E25Intervals = *e25n
 	}
 
 	if *list {

@@ -234,6 +234,11 @@ func (b *WriteBudget) SetTornBytes(n int64) { b.torn.Store(n) }
 // takeTorn consumes the one-shot torn-write setting.
 func (b *WriteBudget) takeTorn() int64 { return b.torn.Swap(0) }
 
+// Spend consumes one write from the budget, failing with ErrInjectedFault
+// once exhausted — for write paths outside FileDevice and the WAL that are
+// still crash points (small sidecar state files).
+func (b *WriteBudget) Spend() error { return b.spend() }
+
 func (b *WriteBudget) spend() error {
 	for {
 		r := b.remaining.Load()

@@ -61,6 +61,7 @@ func All() []Experiment {
 		{"E22", "Serving front-end: adaptive auto-batching under concurrent load", runE22},
 		{"E23", "Write-ahead logging: mutation overhead and recovery time", runE23},
 		{"E24", "Replicated reads: router scaling and kill-one-replica availability", runE24},
+		{"E25", "Write-optimized ingest: log-structured decomposition frontier", runE25},
 	}
 }
 

@@ -21,6 +21,10 @@ type EmitBatch func(qi int, iv geom.Interval) bool
 // tree (per-copy tombstone suppression preserved per query). Read-only:
 // safe to run concurrently with other queries.
 func (m *Manager) StabBatch(qs []int64, emit EmitBatch) {
+	if m.lsm != nil {
+		m.lsmStabBatch(qs, emit)
+		return
+	}
 	m.stabber.StabBatch(qs, func(qi int, p geom.Point) bool {
 		return emit(qi, geom.PointToInterval(p))
 	})
@@ -32,6 +36,10 @@ func (m *Manager) StabBatch(qs []int64, emit EmitBatch) {
 // endpoint), one endpoint-tree batch pass the types-1/2 split (left
 // endpoints strictly inside the query), exactly mirroring Intersect.
 func (m *Manager) IntersectBatch(qs []geom.Interval, emit EmitBatch) {
+	if m.lsm != nil {
+		m.lsmIntersectBatch(qs, emit)
+		return
+	}
 	stab := make([]int64, 0, len(qs))
 	idxs := make([]int, 0, len(qs))
 	stopped := make([]bool, len(qs))

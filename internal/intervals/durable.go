@@ -96,18 +96,19 @@ func encodeDeleteOp(id uint64) []byte {
 // the sharded layer in its own), so opening needs no out-of-band
 // parameters.
 type Meta struct {
-	B             int  `json:"b"`
-	DisableTS     bool `json:"disable_ts,omitempty"`
-	DisableCorner bool `json:"disable_corner,omitempty"`
+	B             int           `json:"b"`
+	DisableTS     bool          `json:"disable_ts,omitempty"`
+	DisableCorner bool          `json:"disable_corner,omitempty"`
+	Ingest        *IngestConfig `json:"ingest,omitempty"`
 }
 
 func (cfg Config) meta() Meta {
-	return Meta{B: cfg.B, DisableTS: cfg.DisableTS, DisableCorner: cfg.DisableCorner}
+	return Meta{B: cfg.B, DisableTS: cfg.DisableTS, DisableCorner: cfg.DisableCorner, Ingest: cfg.Ingest}
 }
 
 // Config returns the manager configuration a Meta describes.
 func (mt Meta) Config() Config {
-	return Config{B: mt.B, DisableTS: mt.DisableTS, DisableCorner: mt.DisableCorner}
+	return Config{B: mt.B, DisableTS: mt.DisableTS, DisableCorner: mt.DisableCorner, Ingest: mt.Ingest}
 }
 
 // CreateAt builds a manager over ivs with both trees on file-backed devices
@@ -133,6 +134,9 @@ func CreateAt(dir string, cfg Config, ivs []geom.Interval, opt DurableOptions) (
 func CreateManaged(dir string, cfg Config, ivs []geom.Interval, opt DurableOptions) (*Manager, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
+	}
+	if cfg.Ingest != nil {
+		return createLSM(dir, cfg, ivs, opt)
 	}
 	ep, st, err := openDevices(dir, cfg, opt, nil)
 	if err != nil {
@@ -184,6 +188,9 @@ func OpenAt(dir string, opt DurableOptions) (*Manager, error) {
 // helpers panic with error values on a corrupt page or an injected fault,
 // and an open must surface those as errors, not kill the process.
 func OpenManaged(dir string, cfg Config, seq uint64, opt DurableOptions) (mgr *Manager, err error) {
+	if cfg.Ingest != nil {
+		return openLSM(dir, cfg, seq, opt)
+	}
 	ep, st, err := openDevices(dir, cfg, opt, &seq)
 	if err != nil {
 		return nil, err
@@ -330,9 +337,14 @@ func (m *Manager) SyncWAL() {
 func (m *Manager) WAL() *disk.WAL { return m.wal }
 
 // SetWriteBudget arms one shared fault-injection budget across both devices
-// AND the WAL, so the k-th-write crash boundary is global over every
-// file-level write the manager issues. Nil disarms.
+// AND the WAL (log-structured mode: every run's devices, current and
+// future, plus the WAL), so the k-th-write crash boundary is global over
+// every file-level write the manager issues. Nil disarms.
 func (m *Manager) SetWriteBudget(b *disk.WriteBudget) {
+	if m.lsm != nil {
+		m.lsmSetWriteBudget(b)
+		return
+	}
 	for _, f := range m.files {
 		f.SetWriteBudget(b)
 	}
@@ -342,8 +354,12 @@ func (m *Manager) SetWriteBudget(b *disk.WriteBudget) {
 }
 
 // FileWrites sums the file-level write counters of the devices and the WAL
-// — the upper bound of a crash sweep's k.
+// — the upper bound of a crash sweep's k. Log-structured mode includes
+// runs that have since been merged away (cumulative).
 func (m *Manager) FileWrites() int64 {
+	if m.lsm != nil {
+		return m.lsmFileWrites()
+	}
 	var n int64
 	for _, f := range m.files {
 		n += f.FileWrites()
@@ -378,12 +394,20 @@ func openDevices(dir string, cfg Config, opt DurableOptions, trustSeq *uint64) (
 }
 
 // Durable reports whether the manager runs on file-backed devices.
-func (m *Manager) Durable() bool { return len(m.files) > 0 }
+func (m *Manager) Durable() bool {
+	if m.lsm != nil {
+		return m.lsm.durable
+	}
+	return len(m.files) > 0
+}
 
 // Seq returns the last durable checkpoint generation (0 before the first).
 func (m *Manager) Seq() uint64 {
 	if !m.Durable() {
 		return 0
+	}
+	if m.lsm != nil {
+		return m.lsm.seq
 	}
 	return m.files[0].Seq()
 }
@@ -398,6 +422,9 @@ func (m *Manager) Seq() uint64 {
 func (m *Manager) PrepareCheckpoint(seq uint64) error {
 	if !m.Durable() {
 		return fmt.Errorf("intervals: manager is not file-backed")
+	}
+	if m.lsm != nil {
+		return m.lsmPrepare(seq)
 	}
 	if err := m.flushPool(); err != nil {
 		return err
@@ -419,6 +446,9 @@ func (m *Manager) PrepareCheckpoint(seq uint64) error {
 // every successfully prepared manager when a sibling's prepare — or the
 // group manifest write — fails.
 func (m *Manager) RollbackCheckpoint() error {
+	if m.lsm != nil {
+		return m.lsmRollback()
+	}
 	var first error
 	for _, f := range m.files {
 		if err := f.RollbackCheckpoint(); err != nil && first == nil {
@@ -434,6 +464,9 @@ func (m *Manager) RollbackCheckpoint() error {
 // crash between the commit record and the truncation is benign — the log's
 // stale generation is discarded at the next open.
 func (m *Manager) CommitCheckpoint() error {
+	if m.lsm != nil {
+		return m.lsmCommit()
+	}
 	for _, f := range m.files {
 		if err := f.CommitCheckpoint(); err != nil {
 			return err
@@ -476,6 +509,9 @@ func (m *Manager) Checkpoint() error {
 // since the last checkpoint is deliberately left to crash recovery. No-op
 // for in-memory managers.
 func (m *Manager) CloseFiles() error {
+	if m.lsm != nil {
+		return m.lsmCloseFiles()
+	}
 	var first error
 	for _, f := range m.files {
 		if err := f.Close(); err != nil && first == nil {
@@ -491,5 +527,20 @@ func (m *Manager) CloseFiles() error {
 }
 
 // Files exposes the underlying file devices (fault-injection tests arm
-// their write budgets); nil for in-memory managers.
-func (m *Manager) Files() []*disk.FileDevice { return m.files }
+// their write budgets); nil for in-memory managers. Log-structured mode
+// returns the CURRENT runs' devices — a point-in-time snapshot, since
+// merges retire devices; prefer SetWriteBudget, which also arms future
+// runs.
+func (m *Manager) Files() []*disk.FileDevice {
+	if m.lsm != nil {
+		l := m.lsm
+		l.mu.RLock()
+		defer l.mu.RUnlock()
+		var out []*disk.FileDevice
+		for _, r := range l.runs {
+			out = append(out, r.m.Files()...)
+		}
+		return out
+	}
+	return m.files
+}

@@ -38,6 +38,10 @@ type Config struct {
 	// DisableTS / DisableCorner forward to the metablock tree (ablations).
 	DisableTS     bool
 	DisableCorner bool
+	// Ingest, when non-nil, selects the log-structured mode: mutations land
+	// in an in-memory memtable and background compaction maintains a
+	// logarithmic set of immutable static-tree runs. See lsm.go.
+	Ingest *IngestConfig
 }
 
 // Manager answers interval intersection and stabbing queries.
@@ -66,10 +70,20 @@ type Manager struct {
 	wal     *disk.WAL
 	dirPath string
 	cfg     Config
+
+	// lsm, when non-nil, is the log-structured mode (Config.Ingest): the
+	// two trees above are unused and the data lives in memtables plus a
+	// set of immutable runs, each itself a static tree-mode Manager. See
+	// lsm.go. lsmOpt carries the durable options runs are built with.
+	lsm    *lsmState
+	lsmOpt DurableOptions
 }
 
 // New creates a manager over the given intervals (the slice is copied).
 func New(cfg Config, ivs []geom.Interval) *Manager {
+	if cfg.Ingest != nil {
+		return newLSM(cfg, ivs)
+	}
 	return newOn(cfg,
 		disk.NewPager(bptree.PageSize(cfg.B)),
 		disk.NewPager(core.Config{B: cfg.B}.PageSize()),
@@ -136,6 +150,10 @@ func (m *Manager) AttachPool(frames, nShards int) {
 	if frames < 2 {
 		frames = 2
 	}
+	if m.lsm != nil {
+		m.lsmAttachPool(frames, nShards)
+		return
+	}
 	ep := disk.NewPool(m.endpoints.Pager(), frames/2, nShards)
 	sp := disk.NewPool(m.stabber.Pager(), frames-frames/2, nShards)
 	m.endpoints.SetDevice(ep)
@@ -154,6 +172,9 @@ func (m *Manager) FlushPool() {
 // flushPool is FlushPool with an error return (the checkpoint path reports
 // injected write faults instead of panicking).
 func (m *Manager) flushPool() error {
+	if m.lsm != nil {
+		return m.lsmFlushPool()
+	}
 	for _, p := range m.pools {
 		if err := p.Flush(); err != nil {
 			return err
@@ -165,6 +186,9 @@ func (m *Manager) flushPool() error {
 // PoolStats returns the aggregate (hits, misses) of the attached pools;
 // zeros without a pool.
 func (m *Manager) PoolStats() (hits, misses int64) {
+	if m.lsm != nil {
+		return m.lsmPoolStats()
+	}
 	for _, p := range m.pools {
 		hits += p.Hits()
 		misses += p.Misses()
@@ -202,6 +226,11 @@ func (m *Manager) ApplyInsert(iv geom.Interval) {
 
 func (m *Manager) applyInsert(iv geom.Interval) {
 	m.addDir(iv)
+	if m.lsm != nil {
+		m.lsmInsert(iv)
+		m.n++
+		return
+	}
 	m.endpoints.InsertEntry(bptree.Entry{Key: iv.Lo, RID: iv.ID, Val: uint64(iv.Hi)})
 	m.stabber.Insert(iv.ToPoint())
 	m.n++
@@ -234,6 +263,12 @@ func (m *Manager) applyDelete(id uint64) bool {
 	if !ok {
 		return false
 	}
+	if m.lsm != nil {
+		m.lsmDelete(id)
+		delete(m.dir, id)
+		m.n--
+		return true
+	}
 	if !m.endpoints.Delete(iv.Lo, id) {
 		panic("intervals: id directory out of sync with endpoint tree")
 	}
@@ -246,8 +281,14 @@ func (m *Manager) applyDelete(id uint64) bool {
 }
 
 // Rebuilds returns how many delete-triggered global rebuilds the stabbing
-// structure has run.
-func (m *Manager) Rebuilds() int { return m.stabber.Rebuilds() }
+// structure has run; in log-structured mode, how many dead-fraction run
+// compactions (the same α=1/2 trigger, applied per run).
+func (m *Manager) Rebuilds() int {
+	if m.lsm != nil {
+		return int(m.lsm.compactions.Load())
+	}
+	return m.stabber.Rebuilds()
+}
 
 // EmitInterval receives reported intervals; returning false stops the
 // enumeration early.
@@ -256,6 +297,10 @@ type EmitInterval func(geom.Interval) bool
 // Stab reports every interval containing q, in O(log_B n + t/B) I/Os
 // (a diagonal corner query, Proposition 2.2).
 func (m *Manager) Stab(q int64, emit EmitInterval) {
+	if m.lsm != nil {
+		m.lsmStab(q, emit)
+		return
+	}
 	m.stabber.DiagonalQuery(q, func(p geom.Point) bool {
 		return emit(geom.PointToInterval(p))
 	})
@@ -265,6 +310,10 @@ func (m *Manager) Stab(q int64, emit EmitInterval) {
 // I/Os. Each intersecting interval is reported exactly once.
 func (m *Manager) Intersect(q geom.Interval, emit EmitInterval) {
 	if !q.Valid() {
+		return
+	}
+	if m.lsm != nil {
+		m.lsmIntersect(q, emit)
 		return
 	}
 	stopped := false
@@ -285,19 +334,32 @@ func (m *Manager) Intersect(q geom.Interval, emit EmitInterval) {
 	})
 }
 
-// Stats returns the combined I/O counters of both sub-structures.
+// Stats returns the combined I/O counters of both sub-structures — in
+// log-structured mode, summed over every run, runs merged away included
+// (cumulative, like any device counter).
 func (m *Manager) Stats() disk.Stats {
+	if m.lsm != nil {
+		return m.lsmStats()
+	}
 	return m.endpoints.Pager().Stats().Add(m.stabber.Pager().Stats())
 }
 
 // ResetStats zeroes both counters.
 func (m *Manager) ResetStats() {
+	if m.lsm != nil {
+		m.lsmResetStats()
+		return
+	}
 	m.endpoints.Pager().ResetStats()
 	m.stabber.Pager().ResetStats()
 }
 
-// SpaceBlocks returns the number of live pages across both sub-structures.
+// SpaceBlocks returns the number of live pages across both sub-structures
+// (log-structured mode: across every run).
 func (m *Manager) SpaceBlocks() int64 {
+	if m.lsm != nil {
+		return m.lsmSpaceBlocks()
+	}
 	return m.endpoints.Pager().Allocated() + m.stabber.Pager().Allocated()
 }
 

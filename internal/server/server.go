@@ -184,6 +184,29 @@ func New(b Backend, cfg Config) (*Server, error) {
 	s.m.gaugeFunc("ccidx_inflight", "Currently admitted requests.", func() float64 {
 		return float64(len(s.admit))
 	})
+	// Log-structured ingest instrumentation (all zero when the backend runs
+	// the amortized-rebuild tree): run counts bound read fan-in; flush/merge/
+	// compaction counters expose write amplification; stalls count inline
+	// backpressure drains, the signal that ingest is outrunning the merger.
+	s.m.gaugeFunc("ccidx_runs", "Immutable log-structured runs across interval shards.", func() float64 {
+		return float64(b.Intervals.IngestStats().Runs)
+	})
+	s.m.gaugeFunc("ccidx_memtable_intervals", "Intervals buffered in active memtables across shards.", func() float64 {
+		st := b.Intervals.IngestStats()
+		return float64(st.MemtableLen)
+	})
+	s.m.gaugeFunc("ccidx_merge_flushes_total", "Memtable-to-run flushes across interval shards.", func() float64 {
+		return float64(b.Intervals.IngestStats().Flushes)
+	})
+	s.m.gaugeFunc("ccidx_merge_merges_total", "Run-to-run merges across interval shards.", func() float64 {
+		return float64(b.Intervals.IngestStats().Merges)
+	})
+	s.m.gaugeFunc("ccidx_merge_compactions_total", "Dead-fraction run compactions across interval shards.", func() float64 {
+		return float64(b.Intervals.IngestStats().Compactions)
+	})
+	s.m.gaugeFunc("ccidx_merge_stalls_total", "Ingest backpressure stalls (inline drains) across interval shards.", func() float64 {
+		return float64(b.Intervals.IngestStats().Stalls)
+	})
 	s.buildMux()
 	return s, nil
 }
@@ -593,6 +616,12 @@ type statsDoc struct {
 	PoolHits    int64   `json:"pool_hits"`
 	PoolMisses  int64   `json:"pool_misses"`
 	Rebuilds    int     `json:"rebuilds"`
+	Runs        int     `json:"runs"`
+	MemtableLen int     `json:"memtable_len"`
+	Flushes     int64   `json:"flushes"`
+	Merges      int64   `json:"merges"`
+	Compactions int64   `json:"compactions"`
+	Stalls      int64   `json:"stalls"`
 	Requests    int64   `json:"requests"`
 	Shed        int64   `json:"shed"`
 	Timeouts    int64   `json:"timeouts"`
@@ -613,6 +642,7 @@ func (s *Server) handleStats(ctx context.Context, w http.ResponseWriter, r *http
 		st.Reads += cst.Reads
 		st.Writes += cst.Writes
 	}
+	ing := s.b.Intervals.IngestStats()
 	return writeJSON(w, statsDoc{
 		Intervals:   s.b.Intervals.Len(),
 		Reads:       st.Reads,
@@ -621,6 +651,12 @@ func (s *Server) handleStats(ctx context.Context, w http.ResponseWriter, r *http
 		PoolHits:    hits,
 		PoolMisses:  misses,
 		Rebuilds:    s.b.Intervals.Rebuilds(),
+		Runs:        ing.Runs,
+		MemtableLen: ing.MemtableLen,
+		Flushes:     ing.Flushes,
+		Merges:      ing.Merges,
+		Compactions: ing.Compactions,
+		Stalls:      ing.Stalls,
 		Requests:    s.m.requests.Load(),
 		Shed:        s.m.shed.Load(),
 		Timeouts:    s.m.timeouts.Load(),

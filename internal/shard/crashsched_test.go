@@ -60,6 +60,18 @@ func randomCrashConfig(rng *rand.Rand, span int64) Config {
 	} else {
 		cfg.PoolFrames = -1
 	}
+	if rng.Intn(2) == 0 {
+		// Log-structured ingest mode: tiny memtables and low run budgets so
+		// the crash schedule lands mid-flush, mid-merge, mid-runstate-stage
+		// and inside WAL replay into a half-merged run set. SyncCompaction
+		// keeps merge work on the mutating goroutine — the crash point is
+		// then a deterministic function of the op stream and budget.
+		cfg.Ingest = &intervals.IngestConfig{
+			MemtableSize:   4 + rng.Intn(13),
+			MaxRuns:        2 + rng.Intn(3),
+			SyncCompaction: true,
+		}
+	}
 	return cfg
 }
 

@@ -39,18 +39,20 @@ const intervalsManifestKind = "ccidx-sharded-intervals"
 
 // durableMeta is the sharded configuration recorded in the top manifest.
 type durableMeta struct {
-	Shards     int   `json:"shards"`
-	B          int   `json:"b"`
-	Batch      int   `json:"batch"`
-	Partition  int   `json:"partition"`
-	Span       int64 `json:"span"`
-	PoolFrames int   `json:"pool_frames"`
+	Shards     int                     `json:"shards"`
+	B          int                     `json:"b"`
+	Batch      int                     `json:"batch"`
+	Partition  int                     `json:"partition"`
+	Span       int64                   `json:"span"`
+	PoolFrames int                     `json:"pool_frames"`
+	Ingest     *intervals.IngestConfig `json:"ingest,omitempty"`
 }
 
 func (cfg Config) meta() durableMeta {
 	return durableMeta{
 		Shards: cfg.shards(), B: cfg.B, Batch: cfg.Batch,
 		Partition: int(cfg.Partition), Span: cfg.Span, PoolFrames: cfg.PoolFrames,
+		Ingest: cfg.Ingest,
 	}
 }
 
@@ -58,6 +60,7 @@ func (dm durableMeta) config() Config {
 	return Config{
 		Shards: dm.Shards, B: dm.B, Batch: dm.Batch,
 		Partition: Partition(dm.Partition), Span: dm.Span, PoolFrames: dm.PoolFrames,
+		Ingest: dm.Ingest,
 	}
 }
 
@@ -79,7 +82,7 @@ func CreateIntervalsAt(dir string, cfg Config, ivs []geom.Interval, opt interval
 	n := s.router.Shards()
 	s.shards = make([]*intervalShard, n)
 	for i := 0; i < n; i++ {
-		mgr, err := intervals.CreateManaged(shardSubdir(dir, i), intervals.Config{B: cfg.B}, parts[i], opt)
+		mgr, err := intervals.CreateManaged(shardSubdir(dir, i), cfg.intervalsConfig(), parts[i], opt)
 		if err != nil {
 			s.closeCreated()
 			return nil, err
@@ -131,7 +134,7 @@ func OpenIntervals(dir string, opt intervals.DurableOptions) (*Intervals, error)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			mgr, err := intervals.OpenManaged(shardSubdir(dir, i), intervals.Config{B: cfg.B}, mf.Seq, opt)
+			mgr, err := intervals.OpenManaged(shardSubdir(dir, i), cfg.intervalsConfig(), mf.Seq, opt)
 			if err != nil {
 				errs[i] = fmt.Errorf("shard %d: %w", i, err)
 				return

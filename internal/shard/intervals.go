@@ -112,7 +112,7 @@ func NewIntervals(cfg Config, ivs []geom.Interval) *Intervals {
 	n := s.router.Shards()
 	s.shards = make([]*intervalShard, n)
 	for i := 0; i < n; i++ {
-		sh := &intervalShard{mgr: intervals.New(intervals.Config{B: cfg.B}, parts[i])}
+		sh := &intervalShard{mgr: intervals.New(cfg.intervalsConfig(), parts[i])}
 		s.shards[i] = sh
 	}
 	s.attachPools()
@@ -264,6 +264,25 @@ func (s *Intervals) PoolStats() (hits, misses int64) {
 		misses += m
 	}
 	return hits, misses
+}
+
+// IngestStats sums the log-structured ingest counters across shards (zeros
+// when the shards run the amortized-rebuild tree instead).
+func (s *Intervals) IngestStats() intervals.IngestStats {
+	var total intervals.IngestStats
+	for _, sh := range s.shards {
+		sh.cell.read(func([]ivOp) {
+			st := sh.mgr.IngestStats()
+			total.Runs += st.Runs
+			total.Frozen += st.Frozen
+			total.MemtableLen += st.MemtableLen
+			total.Flushes += st.Flushes
+			total.Merges += st.Merges
+			total.Compactions += st.Compactions
+			total.Stalls += st.Stalls
+		})
+	}
+	return total
 }
 
 // Len returns the number of intervals stored (including pending ones);

@@ -23,6 +23,8 @@ package shard
 import (
 	"sync"
 	"sync/atomic"
+
+	"ccidx/internal/intervals"
 )
 
 // Partition selects how keys are assigned to shards.
@@ -61,6 +63,11 @@ type Config struct {
 	// I/O. 0 selects DefaultPoolFrames; negative disables pooling (every
 	// access is a device I/O, the paper's bare cost model).
 	PoolFrames int
+	// Ingest, when non-nil, runs every per-shard interval manager in
+	// log-structured ingest mode (memtable + immutable runs with
+	// background merging) instead of the amortized-rebuild tree. See
+	// intervals.IngestConfig.
+	Ingest *intervals.IngestConfig
 }
 
 // DefaultPoolFrames is the per-shard buffer-pool size used when
@@ -94,6 +101,13 @@ func (cfg Config) batch() int {
 		return 1
 	}
 	return cfg.Batch
+}
+
+// intervalsConfig is the per-shard manager configuration derived from the
+// sharded one — the single place the Ingest mode is forwarded, so the three
+// construction paths (in-memory, create, open) cannot drift.
+func (cfg Config) intervalsConfig() intervals.Config {
+	return intervals.Config{B: cfg.B, Ingest: cfg.Ingest}
 }
 
 // Router maps keys to shards.

@@ -1,0 +1,210 @@
+package ccidx
+
+import (
+	"testing"
+)
+
+// collectIdx gathers Stab answers from any Index implementation (the shared
+// collectStab helper in ccidx_durable_test.go already takes the interface).
+func collectIdx(idx Index, q int64) []uint64 { return collectStab(idx, q) }
+
+// TestUnifiedAPITopologies drives the same churn through every Options
+// topology — unsharded/sharded × tree/ingest — and checks the four agree
+// query for query.
+func TestUnifiedAPITopologies(t *testing.T) {
+	ivs := make([]Interval, 0, 64)
+	for i := 0; i < 64; i++ {
+		lo := int64(i * 7 % 500)
+		ivs = append(ivs, Interval{Lo: lo, Hi: lo + 40, ID: uint64(i + 1)})
+	}
+	opts := []Options{
+		{B: 8},
+		{B: 8, Ingest: &IngestOptions{MemtableSize: 16, MaxRuns: 3, SyncCompaction: true}},
+		{B: 8, Sharding: &ShardingOptions{Shards: 3}},
+		{B: 8, Sharding: &ShardingOptions{Shards: 3, Batch: 4},
+			Ingest: &IngestOptions{MemtableSize: 16, MaxRuns: 3, SyncCompaction: true}},
+	}
+	idxs := make([]Index, len(opts))
+	for i, o := range opts {
+		idxs[i] = NewIndex(o, ivs)
+	}
+	for i := 0; i < 80; i++ {
+		lo := int64(i * 13 % 500)
+		iv := Interval{Lo: lo, Hi: lo + 25, ID: uint64(1000 + i)}
+		for _, idx := range idxs {
+			idx.Insert(iv)
+		}
+		if i%5 == 4 {
+			id := uint64(i/5*3 + 1)
+			for _, idx := range idxs {
+				idx.Delete(id)
+			}
+		}
+	}
+	for _, idx := range idxs {
+		idx.Flush()
+	}
+	want := collectIdx(idxs[0], -1)
+	for q := int64(0); q < 550; q += 11 {
+		want := collectIdx(idxs[0], q)
+		for i, idx := range idxs[1:] {
+			if got := collectIdx(idx, q); !sameIDs(got, want) {
+				t.Fatalf("topology %d: Stab(%d)=%v want %v", i+1, q, got, want)
+			}
+		}
+	}
+	_ = want
+	if idxs[1].IngestStats().Flushes == 0 {
+		t.Fatal("ingest topology reported no memtable flushes")
+	}
+	if n := idxs[2].Shards(); n != 3 {
+		t.Fatalf("Shards()=%d want 3", n)
+	}
+	if n := idxs[0].Shards(); n != 1 {
+		t.Fatalf("unsharded Shards()=%d want 1", n)
+	}
+}
+
+// TestUnifiedAPIDurableRoundTrip creates each durable topology through
+// Create, mutates, checkpoints, closes, and reopens through Open — which
+// must auto-detect the persisted kind and restore the ingest/sharding
+// configuration from the manifest.
+func TestUnifiedAPIDurableRoundTrip(t *testing.T) {
+	ivs := []Interval{{Lo: 5, Hi: 60, ID: 1}, {Lo: 40, Hi: 90, ID: 2}}
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{B: 8}},
+		{"ingest", Options{B: 8, Ingest: &IngestOptions{MemtableSize: 8, MaxRuns: 2, SyncCompaction: true}}},
+		{"sharded", Options{B: 8, Sharding: &ShardingOptions{Shards: 2}}},
+		{"sharded-ingest", Options{B: 8, Sharding: &ShardingOptions{Shards: 2},
+			Ingest: &IngestOptions{MemtableSize: 8, MaxRuns: 2, SyncCompaction: true}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			idx, err := Create(dir, tc.opts, ivs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 40; i++ {
+				lo := int64(i * 9 % 200)
+				idx.Insert(Interval{Lo: lo, Hi: lo + 30, ID: uint64(100 + i)})
+			}
+			idx.Delete(1)
+			if err := idx.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			// Un-checkpointed tail, recovered from the WAL at Open.
+			idx.Insert(Interval{Lo: 300, Hi: 310, ID: 999})
+			want := map[int64][]uint64{}
+			for q := int64(0); q < 320; q += 17 {
+				want[q] = collectIdx(idx, q)
+			}
+			wantLen := idx.Len()
+			if err := idx.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if re.Len() != wantLen {
+				t.Fatalf("reopened Len=%d want %d", re.Len(), wantLen)
+			}
+			if re.Shards() != idx.Shards() {
+				t.Fatalf("reopened Shards=%d want %d", re.Shards(), idx.Shards())
+			}
+			for q, ids := range want {
+				if got := collectIdx(re, q); !sameIDs(got, ids) {
+					t.Fatalf("reopened Stab(%d)=%v want %v", q, got, ids)
+				}
+			}
+			if tc.opts.Ingest != nil {
+				// The reopened instance must still be in ingest mode (the
+				// manifest carries the configuration): keep inserting past a
+				// memtable's worth and expect flush activity.
+				for i := 0; i < 30; i++ {
+					re.Insert(Interval{Lo: int64(i), Hi: int64(i + 5), ID: uint64(2000 + i)})
+				}
+				if err := re.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				if re.IngestStats().Flushes == 0 {
+					t.Fatal("reopened ingest index reported no flushes")
+				}
+			}
+		})
+	}
+}
+
+// TestUnifiedClassStore exercises the NewClassStore/Create/Open family and
+// the ClassStore parity methods on both topologies.
+func TestUnifiedClassStore(t *testing.T) {
+	build := func() *Hierarchy {
+		h := NewHierarchy()
+		h.AddClass("vehicle", "")
+		h.AddClass("car", "vehicle")
+		h.AddClass("truck", "vehicle")
+		h.Freeze()
+		return h
+	}
+	for _, sharded := range []bool{false, true} {
+		h := build()
+		opts := Options{B: 8}
+		if sharded {
+			opts.Sharding = &ShardingOptions{Shards: 2}
+		}
+		cs := NewClassStore(h, opts, StrategySimple)
+		cs.Insert("car", 10, 1)
+		cs.Insert("truck", 20, 2)
+		cs.Insert("vehicle", 30, 3)
+		cs.Flush()
+		var got []uint64
+		cs.Query("vehicle", 0, 100, func(_ int64, id uint64) bool {
+			got = append(got, id)
+			return true
+		})
+		if len(got) != 3 {
+			t.Fatalf("sharded=%v: full-extent query returned %v", sharded, got)
+		}
+		if cs.Hierarchy() != h {
+			t.Fatalf("sharded=%v: Hierarchy() does not round-trip", sharded)
+		}
+		wantShards := 1
+		if sharded {
+			wantShards = 2
+		}
+		if cs.Shards() != wantShards {
+			t.Fatalf("sharded=%v: Shards()=%d", sharded, cs.Shards())
+		}
+
+		dir := t.TempDir()
+		ds, err := CreateClassStore(build(), opts, StrategySimple, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds.Insert("car", 11, 7)
+		if err := ds.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.Close(); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenClassStore(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []uint64
+		re.Query("vehicle", 0, 100, func(_ int64, id uint64) bool {
+			ids = append(ids, id)
+			return true
+		})
+		re.Close()
+		if len(ids) != 1 || ids[0] != 7 {
+			t.Fatalf("sharded=%v: reopened class store answered %v", sharded, ids)
+		}
+	}
+}
